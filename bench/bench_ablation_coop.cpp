@@ -1,0 +1,51 @@
+// Extension bench: cooperative L1 caching (the paper's future-work item
+// "consider the distributed and cooperative caching").
+//
+// With cooperation, a lookup that escalated to L3/L4 pushes the discovered
+// mapping into the group members' LRU arrays. This sweep measures what that
+// buys (L1 hit rate, mean latency) and what it costs (hint messages), per
+// cluster size.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ghba;
+using namespace ghba::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint64_t ops = quick ? 15000 : 60000;
+  const std::uint64_t files = quick ? 10000 : 30000;
+  const std::uint32_t tif = 4;
+  const auto profile = ScaledProfile("HP", tif, files);
+
+  PrintHeader("Extension: cooperative group caching (future work, Sec. 7)",
+              "G-HBA with and without L3/L4-discovery sharing, HP workload.");
+
+  std::printf("%-6s %-12s  %-8s %-8s  %-14s %-16s\n", "N", "cooperative",
+              "L1%", "L3%", "avg lat (ms)", "msgs/lookup");
+  for (const std::uint32_t n : {10u, 30u, 60u}) {
+    for (const bool coop : {false, true}) {
+      auto config = BenchConfig(n, PaperOptimalM(n), 2 * files / n);
+      config.cooperative_lru = coop;
+      GhbaCluster cluster(config);
+      (void)RunReplay(cluster, profile, tif, ops, 0, 7,
+                      /*warmup_ops=*/ops / 2);
+      const auto& m = cluster.metrics();
+      const double msgs_per_lookup =
+          m.levels.total()
+              ? static_cast<double>(m.lookup_messages) /
+                    static_cast<double>(m.levels.total())
+              : 0.0;
+      std::printf("%-6u %-12s  %-8.2f %-8.2f  %-14.3f %-16.2f\n", n,
+                  coop ? "yes" : "no",
+                  100 * m.levels.Fraction(m.levels.l1),
+                  100 * m.levels.Fraction(m.levels.l3),
+                  m.lookup_latency_ms.mean(), msgs_per_lookup);
+    }
+  }
+  std::printf("\nExpected: cooperation raises L1%% and cuts mean latency, at\n"
+              "a modest hint-message overhead; the benefit grows with N\n"
+              "(more L3 escalations to amortize).\n");
+  return 0;
+}

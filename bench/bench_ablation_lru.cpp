@@ -1,0 +1,71 @@
+// Ablation: the L1 LRU Bloom-filter array capacity.
+//
+// The paper motivates L1 with metadata-access locality ("more than 80% of
+// query operations can be successfully served by L1 and L2"). This sweep
+// quantifies how much cache it takes: L1 hit rate and mean latency vs LRU
+// entries per MDS, plus the no-L1 extreme (capacity ~ 1), under HP's
+// locality profile.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ghba;
+using namespace ghba::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint64_t ops = quick ? 15000 : 80000;
+  const std::uint64_t files = quick ? 10000 : 30000;
+  const std::uint32_t n = 30;
+  const std::uint32_t tif = 4;
+  const auto profile = ScaledProfile("HP", tif, files);
+
+  PrintHeader("Ablation: L1 LRU array capacity",
+              "G-HBA, HP workload, N=30, warmed caches.");
+
+  std::printf("%-12s  %-8s %-8s %-8s  %-14s %-12s\n", "lru entries", "L1%",
+              "L2%", "L3%", "avg lat (ms)", "false routes");
+  for (const std::uint32_t capacity : {1u, 64u, 256u, 1024u, 4096u, 16384u}) {
+    auto config = BenchConfig(n, PaperOptimalM(n), 2 * files / n);
+    config.lru_capacity = capacity;
+    GhbaCluster cluster(config);
+    (void)RunReplay(cluster, profile, tif, ops, 0, 7, /*warmup_ops=*/ops);
+    const auto& m = cluster.metrics();
+    std::printf("%-12u  %-8.2f %-8.2f %-8.2f  %-14.3f %-12llu\n", capacity,
+                100 * m.levels.Fraction(m.levels.l1),
+                100 * m.levels.Fraction(m.levels.l2),
+                100 * m.levels.Fraction(m.levels.l3),
+                m.lookup_latency_ms.mean(),
+                static_cast<unsigned long long>(m.false_routes));
+  }
+  std::printf("\nExpected: L1%% saturates near the workload's re-reference\n"
+              "rate once the cache covers the hot set; beyond that, more\n"
+              "entries only add probe cost.\n");
+
+  // --- replacement policy: LRU (paper) vs SLRU (future-work upgrade) ---
+  std::printf("\n%-10s %-12s  %-8s %-14s\n", "policy", "lru entries", "L1%",
+              "avg lat (ms)");
+  auto scan_profile = profile;
+  // A scan-heavy mix: a third of references touch cold files once, which
+  // pollutes a plain LRU but bounces off SLRU's probation segment.
+  scan_profile.rereference_prob = 0.45;
+  scan_profile.zipf_skew = 0.6;
+  for (const LruPolicy policy : {LruPolicy::kLru, LruPolicy::kSlru}) {
+    for (const std::uint32_t capacity : {256u, 1024u}) {
+      auto config = BenchConfig(n, PaperOptimalM(n), 2 * files / n);
+      config.lru_capacity = capacity;
+      config.lru_policy = policy;
+      GhbaCluster cluster(config);
+      (void)RunReplay(cluster, scan_profile, tif, ops, 0, 7,
+                      /*warmup_ops=*/ops);
+      const auto& m = cluster.metrics();
+      std::printf("%-10s %-12u  %-8.2f %-14.3f\n",
+                  policy == LruPolicy::kLru ? "LRU" : "SLRU", capacity,
+                  100 * m.levels.Fraction(m.levels.l1),
+                  m.lookup_latency_ms.mean());
+    }
+  }
+  std::printf("\nUnder scan pollution SLRU protects the re-referenced hot\n"
+              "set that plain LRU lets one-touch traffic flush.\n");
+  return 0;
+}

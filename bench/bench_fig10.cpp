@@ -1,0 +1,16 @@
+// Figure 10: average latency of HBA vs G-HBA under the intensified INS
+// trace at memory budgets labelled 900MB / 600MB / 400MB in the paper.
+#include "latency_sweep.hpp"
+
+using namespace ghba::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint64_t files = quick ? 20000 : 60000;
+  const std::uint64_t ops = quick ? 30000 : 200000;
+  RunLatencyFigure("Figure 10", "INS",
+                   {{"900MB", 1.10}, {"600MB", 0.70}, {"400MB", 0.45}},
+                   files, ops, ops / 6);
+  std::printf("Paper reference: HBA(400MB) climbs toward ~65ms; G-HBA flat.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 13: percentage of queries successfully served by each level of the
+// G-HBA hierarchy (L1 LRU array, L2 segment array, L3 group multicast, L4
+// global multicast) as the number of MDSs grows from 10 to 100.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace ghba;
+using namespace ghba::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint64_t ops = quick ? 10000 : 60000;
+  const std::uint64_t files = quick ? 10000 : 30000;
+
+  PrintHeader("Figure 13: % of queries served per level vs number of MDSs",
+              "HP workload. Paper reference: L1+L2 > 80%, L1+L2+L3 > 90%\n"
+              "even at N=100; the L4 share grows slowly with N (stale\n"
+              "replicas).");
+
+  std::printf("%-6s %-4s  %-8s %-8s %-8s %-8s %-8s  %-10s %-10s\n", "N", "M",
+              "L1%", "L2%", "L3%", "L4%", "miss%", "<=L2 cum%", "<=L3 cum%");
+  for (std::uint32_t n = 10; n <= 100; n += 10) {
+    const std::uint32_t m = PaperOptimalM(n);
+    const std::uint32_t tif = 4;
+    const auto profile = ScaledProfile("HP", tif, files);
+    auto config = BenchConfig(n, m, 2 * files / n);
+    GhbaCluster cluster(config);
+    // Per-entry LRU warmup needs traffic proportional to N (each MDS sees
+    // ~1/N of the lookups).
+    const std::uint64_t warmup = std::max<std::uint64_t>(ops, 800ull * n);
+    (void)RunReplay(cluster, profile, tif, ops, 0, 7, warmup);
+
+    const auto& levels = cluster.metrics().levels;
+    const double l1 = 100 * levels.Fraction(levels.l1);
+    const double l2 = 100 * levels.Fraction(levels.l2);
+    const double l3 = 100 * levels.Fraction(levels.l3);
+    const double l4 = 100 * levels.Fraction(levels.l4);
+    const double miss = 100 * levels.Fraction(levels.miss);
+    std::printf("%-6u %-4u  %-8.2f %-8.2f %-8.2f %-8.2f %-8.2f  %-10.2f %-10.2f\n",
+                n, m, l1, l2, l3, l4, miss, l1 + l2, l1 + l2 + l3);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 15: number of messages exchanged while adding new nodes to the
+// prototype (cumulative over 1..10 insertions), HBA vs G-HBA, measured as
+// real frames received across all servers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "rpc/prototype_cluster.hpp"
+
+using namespace ghba;
+using namespace ghba::bench;
+
+namespace {
+
+std::vector<std::uint64_t> MeasureJoins(ProtoScheme scheme, std::uint32_t n,
+                                        std::uint32_t m, int joins) {
+  ClusterConfig config = BenchConfig(n, m, 500);
+  PrototypeCluster cluster(config, scheme);
+  std::vector<std::uint64_t> cumulative;
+  if (!cluster.Start().ok()) return cumulative;
+  std::uint64_t total = 0;
+  for (int i = 0; i < joins; ++i) {
+    std::uint64_t messages = 0;
+    if (!cluster.AddServer(&messages).ok()) break;
+    total += messages;
+    cumulative.push_back(total);
+  }
+  cluster.Stop();
+  return cumulative;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint32_t n = quick ? 24 : 60;
+  const std::uint32_t m = 7;
+  const int joins = 10;
+
+  PrintHeader("Figure 15: cumulative messages while adding 1..10 new nodes "
+              "(real TCP frames)",
+              "Paper reference (60 nodes, M=7): HBA ~ 1200 messages after 10\n"
+              "insertions (each newcomer exchanges filters with everyone);\n"
+              "G-HBA ~ 200 (one holder per group + light-weight migration).");
+
+  const auto hba = MeasureJoins(ProtoScheme::kHba, n, m, joins);
+  const auto ghba = MeasureJoins(ProtoScheme::kGhba, n, m, joins);
+
+  std::printf("%-12s %-14s %-14s\n", "new nodes", "HBA msgs", "G-HBA msgs");
+  for (int i = 0; i < joins; ++i) {
+    std::printf("%-12d %-14llu %-14llu\n", i + 1,
+                static_cast<unsigned long long>(
+                    i < static_cast<int>(hba.size()) ? hba[i] : 0),
+                static_cast<unsigned long long>(
+                    i < static_cast<int>(ghba.size()) ? ghba[i] : 0));
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 9: average latency of HBA vs G-HBA under the intensified RES trace
+// at memory budgets labelled 800MB / 500MB / 300MB in the paper.
+#include "latency_sweep.hpp"
+
+using namespace ghba::bench;
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint64_t files = quick ? 20000 : 60000;
+  const std::uint64_t ops = quick ? 30000 : 200000;
+  RunLatencyFigure("Figure 9", "RES",
+                   {{"800MB", 1.10}, {"500MB", 0.65}, {"300MB", 0.40}},
+                   files, ops, ops / 6);
+  std::printf("Paper reference: HBA(300MB) climbs toward ~50ms; G-HBA flat.\n");
+  return 0;
+}

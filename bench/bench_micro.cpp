@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the hot data structures: hashing,
+// Bloom-filter add/probe, array queries, LRU maintenance, serialization.
+// These are the operations the paper argues run "at memory speed"; the
+// numbers here substantiate that claim on the reproduction's actual code.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/bloom_filter_array.hpp"
+#include "bloom/compressed.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "bloom/lru_bloom_array.hpp"
+#include "bloom/scalable_filter.hpp"
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "hash/murmur3.hpp"
+#include "hash/xx64.hpp"
+
+namespace ghba {
+namespace {
+
+std::vector<std::string> MakePaths(std::size_t count) {
+  std::vector<std::string> paths;
+  paths.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    paths.push_back("/t0/d" + std::to_string(i % 64) + "/f" +
+                    std::to_string(i));
+  }
+  return paths;
+}
+
+void BM_Murmur3(benchmark::State& state) {
+  const auto paths = MakePaths(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Murmur3_128(paths[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_Murmur3);
+
+void BM_Xx64(benchmark::State& state) {
+  const auto paths = MakePaths(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Xx64(paths[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_Xx64);
+
+void BM_BloomAdd(benchmark::State& state) {
+  auto bf = BloomFilter::ForCapacity(1 << 20, 16.0);
+  const auto paths = MakePaths(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bf.Add(paths[i++ & 4095]);
+  }
+}
+BENCHMARK(BM_BloomAdd);
+
+void BM_BloomProbeHit(benchmark::State& state) {
+  auto bf = BloomFilter::ForCapacity(100000, 16.0);
+  const auto paths = MakePaths(4096);
+  for (const auto& p : paths) bf.Add(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.MayContain(paths[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_BloomProbeHit);
+
+void BM_BloomProbeMiss(benchmark::State& state) {
+  auto bf = BloomFilter::ForCapacity(100000, 16.0);
+  const auto paths = MakePaths(4096);
+  for (const auto& p : paths) bf.Add(p);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.MayContain("/absent/" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_BloomProbeMiss);
+
+void BM_CountingAddRemove(benchmark::State& state) {
+  auto cbf = CountingBloomFilter::ForCapacity(1 << 16, 16.0);
+  const auto paths = MakePaths(1024);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cbf.Add(paths[i & 1023]);
+    cbf.Remove(paths[i & 1023]);
+    ++i;
+  }
+}
+BENCHMARK(BM_CountingAddRemove);
+
+// The paper's L2 probe: an array of `theta` replicas queried per lookup.
+void BM_ArrayQuery(benchmark::State& state) {
+  const auto theta = static_cast<std::uint32_t>(state.range(0));
+  BloomFilterArray array;
+  const auto paths = MakePaths(4096);
+  for (std::uint32_t f = 0; f < theta; ++f) {
+    auto bf = BloomFilter::ForCapacity(10000, 16.0, 1234);
+    for (std::size_t i = f; i < paths.size(); i += theta) bf.Add(paths[i]);
+    (void)array.AddEntry(f, std::move(bf));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.Query(paths[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_ArrayQuery)->Arg(4)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_LruTouchQuery(benchmark::State& state) {
+  LruBloomArray::Options options;
+  options.capacity = 4096;
+  LruBloomArray lru(options);
+  const auto paths = MakePaths(8192);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    lru.Touch(paths[i & 8191], static_cast<MdsId>(i % 30));
+    benchmark::DoNotOptimize(lru.Query(paths[(i / 2) & 8191]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LruTouchQuery);
+
+void BM_ScalableFilterAdd(benchmark::State& state) {
+  ScalableCountingFilter::Options options;
+  options.initial_capacity = 4096;
+  ScalableCountingFilter f(options);
+  const auto paths = MakePaths(8192);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.Add(paths[i++ & 8191]);
+  }
+}
+BENCHMARK(BM_ScalableFilterAdd);
+
+void BM_CompressSparseFilter(benchmark::State& state) {
+  auto bf = BloomFilter::ForCapacity(100000, 16.0);
+  for (int i = 0; i < 200; ++i) bf.Add("sparse" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompressFilter(bf));
+  }
+}
+BENCHMARK(BM_CompressSparseFilter);
+
+void BM_FilterSerialize(benchmark::State& state) {
+  auto bf = BloomFilter::ForCapacity(100000, 16.0);
+  const auto paths = MakePaths(4096);
+  for (const auto& p : paths) bf.Add(p);
+  for (auto _ : state) {
+    ByteWriter w;
+    bf.Serialize(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_FilterSerialize);
+
+}  // namespace
+}  // namespace ghba
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// Table 1, quantified: the paper scores five scheme families qualitatively
+// (load balance, migration cost, lookup time, memory overhead, directory
+// operations). This bench runs all five families implemented here —
+// hash-based placement (Lustre-style), table-based mapping (xFS-style),
+// static subtree partition (NFS-style), HBA, and G-HBA — over the same
+// skewed HP workload and reports the measured value behind every cell.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "core/hash_cluster.hpp"
+#include "core/subtree_cluster.hpp"
+#include "core/table_cluster.hpp"
+
+using namespace ghba;
+using namespace ghba::bench;
+
+namespace {
+
+struct Table1Row {
+  std::string scheme;
+  double avg_latency_ms = 0;
+  double msgs_per_lookup = 0;
+  double state_kb_per_mds = 0;
+  std::uint64_t join_migrated = 0;  // files + replicas moved on AddMds
+  std::uint64_t join_messages = 0;
+  double load_cv = 0;               // coefficient of variation of home load
+  std::uint64_t rename_moved = 0;   // files migrated renaming one directory
+};
+
+double LoadCv(const std::unordered_map<MdsId, std::uint64_t>& served,
+              const std::vector<MdsId>& alive) {
+  // Idle MDSs count as zero load — that is exactly the imbalance the
+  // static partition suffers under skewed traffic.
+  if (alive.empty()) return 0;
+  double sum = 0;
+  for (const MdsId id : alive) {
+    const auto it = served.find(id);
+    sum += it == served.end() ? 0.0 : static_cast<double>(it->second);
+  }
+  const double mean = sum / static_cast<double>(alive.size());
+  if (mean == 0) return 0;
+  double var = 0;
+  for (const MdsId id : alive) {
+    const auto it = served.find(id);
+    const double c = it == served.end() ? 0.0 : static_cast<double>(it->second);
+    var += (c - mean) * (c - mean);
+  }
+  var /= static_cast<double>(alive.size());
+  return std::sqrt(var) / mean;
+}
+
+Table1Row Run(std::unique_ptr<MetadataCluster> cluster,
+              const WorkloadProfile& profile, std::uint32_t tif,
+              std::uint64_t ops) {
+  Table1Row row;
+  row.scheme = cluster->SchemeName();
+  auto& base = dynamic_cast<ClusterBase&>(*cluster);
+
+  IntensifiedTrace trace(profile, tif, 29);
+  ReplaySimulator sim(*cluster);
+  sim.Populate(trace);
+
+  // Replay, tracking which home served each (found) lookup.
+  std::unordered_map<MdsId, std::uint64_t> served;
+  std::uint64_t done = 0;
+  while (done < ops) {
+    auto rec = trace.Next();
+    if (!rec) break;
+    const double now_ms = rec->timestamp * 1000.0;
+    switch (rec->op) {
+      case OpType::kCreate: {
+        FileMetadata md;
+        (void)cluster->CreateFile(rec->path, md, now_ms);
+        break;
+      }
+      case OpType::kUnlink:
+        (void)cluster->UnlinkFile(rec->path, now_ms);
+        break;
+      default: {
+        const auto r = cluster->Lookup(rec->path, now_ms);
+        if (r.found) ++served[r.home];
+        break;
+      }
+    }
+    ++done;
+  }
+
+  const auto& m = cluster->metrics();
+  row.avg_latency_ms = m.lookup_latency_ms.mean();
+  row.msgs_per_lookup =
+      m.levels.total() ? static_cast<double>(m.lookup_messages) /
+                             static_cast<double>(m.levels.total())
+                       : 0;
+  // Lookup-structure bytes excluding the L1 cache: the LRU array's absolute
+  // size is a scale artifact at benchmark populations (DESIGN.md) and is
+  // identical across the Bloom schemes anyway.
+  std::uint64_t state = 0;
+  for (const MdsId id : base.alive()) {
+    const auto total = cluster->LookupStateBytes(id);
+    const auto lru = base.node(id).lru().MemoryBytes();
+    state += total > lru ? total - lru : 0;
+  }
+  row.state_kb_per_mds =
+      static_cast<double>(state) / base.alive().size() / 1024.0;
+  row.load_cv = LoadCv(served, base.alive());
+
+  ReconfigReport join;
+  (void)cluster->AddMds(&join);
+  row.join_migrated = join.files_migrated + join.replicas_migrated;
+  row.join_messages = join.messages;
+
+  ReconfigReport rename;
+  (void)cluster->RenamePrefix("/t0/", "/moved0/", 0, &rename);
+  row.rename_moved = rename.files_migrated;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = QuickMode(argc, argv);
+  const std::uint64_t ops = quick ? 15000 : 60000;
+  const std::uint64_t files = quick ? 10000 : 30000;
+  const std::uint32_t n = 30;
+  const std::uint32_t m = PaperOptimalM(n);
+  const std::uint32_t tif = 4;
+  const auto profile = ScaledProfile("HP", tif, files);
+
+  PrintHeader("Table 1, quantified: all five scheme families, one workload",
+              "HP trace, N=30. Columns map to Table 1's axes: latency &\n"
+              "msgs/lookup (Lookup Time), state KB (Memory Overhead), join\n"
+              "moved (Migration Cost), load CV (Load Balance; lower = more\n"
+              "balanced), rename moved (Directory Operations).");
+
+  std::printf("%-16s %-10s %-10s %-11s %-12s %-9s %-8s %-8s\n", "scheme",
+              "lat (ms)", "msgs/op", "state KB", "join moved", "join msg",
+              "loadCV", "rename");
+
+  const auto config = [&] {
+    auto c = BenchConfig(n, m, 2 * files / n);
+    c.initial_group_size = m - 1;
+    return c;
+  }();
+
+  std::vector<Table1Row> rows;
+  rows.push_back(Run(std::make_unique<HashPlacementCluster>(config), profile,
+                     tif, ops));
+  rows.push_back(Run(std::make_unique<TableMappingCluster>(config), profile,
+                     tif, ops));
+  rows.push_back(Run(std::make_unique<StaticSubtreeCluster>(config), profile,
+                     tif, ops));
+  rows.push_back(
+      Run(std::make_unique<HbaCluster>(config), profile, tif, ops));
+  rows.push_back(
+      Run(std::make_unique<GhbaCluster>(config), profile, tif, ops));
+
+  for (const auto& row : rows) {
+    std::printf("%-16s %-10.3f %-10.2f %-11.1f %-12llu %-9llu %-8.2f %-8llu\n",
+                row.scheme.c_str(), row.avg_latency_ms, row.msgs_per_lookup,
+                row.state_kb_per_mds,
+                static_cast<unsigned long long>(row.join_migrated),
+                static_cast<unsigned long long>(row.join_messages),
+                row.load_cv,
+                static_cast<unsigned long long>(row.rename_moved));
+  }
+
+  std::printf(
+      "\nTable 1's qualitative claims, now measurable: hash has big rename\n"
+      "cost; table has O(n) state and per-mutation broadcasts; static\n"
+      "subtree has the worst load CV; HBA has N-replica state and join\n"
+      "cost; G-HBA balances load with ~1/M of HBA's state and the smallest\n"
+      "join cost.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Prototype demo: run a real multi-server metadata cluster over TCP on
+// loopback — the paper's Section 5 setup in miniature — and watch queries
+// resolve through the hierarchy with wall-clock latencies.
+//
+//   $ ./prototype_cluster [num_servers] [group_size]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rpc/prototype_cluster.hpp"
+
+using namespace ghba;
+
+int main(int argc, char** argv) {
+  const auto n = static_cast<std::uint32_t>(argc > 1 ? std::atoi(argv[1]) : 12);
+  const auto m = static_cast<std::uint32_t>(argc > 2 ? std::atoi(argv[2]) : 4);
+
+  ClusterConfig config;
+  config.num_mds = n;
+  config.max_group_size = m;
+  config.expected_files_per_mds = 2000;
+  config.lru_capacity = 512;
+  config.seed = 5;
+
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  if (Status s = cluster.Start(); !s.ok()) {
+    std::printf("failed to start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("started %zu MDS servers (TCP loopback) in %zu groups\n",
+              cluster.NumServers(), cluster.NumGroups());
+
+  // Create a small namespace over the wire.
+  constexpr int kFiles = 500;
+  for (int i = 0; i < kFiles; ++i) {
+    FileMetadata md;
+    md.inode = static_cast<std::uint64_t>(i) + 1;
+    const Status s =
+        cluster.Insert("/wire/file" + std::to_string(i), md);
+    if (!s.ok()) {
+      std::printf("insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status s = cluster.PublishAll(); !s.ok()) {
+    std::printf("publish failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("inserted %d files and published all replicas\n\n", kFiles);
+
+  // Query a few paths; repeats show the LRU (L1) kicking in.
+  for (const int i : {7, 7, 7, 123, 456}) {
+    const std::string path = "/wire/file" + std::to_string(i);
+    const auto r = cluster.Lookup(path);
+    if (!r.ok()) {
+      std::printf("lookup error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-18s -> %s home=MDS%-3u level=L%d  %.3f ms\n", path.c_str(),
+                r->found ? "hit " : "miss", r->home, r->served_level,
+                r->latency_ms);
+  }
+  const auto ghost = cluster.Lookup("/wire/ghost");
+  if (ghost.ok()) {
+    std::printf("%-18s -> %s (level L%d)\n\n", "/wire/ghost",
+                ghost->found ? "hit?!" : "miss", ghost->served_level);
+  }
+
+  // Grow the cluster online and count the real frames it took.
+  std::uint64_t messages = 0;
+  const auto nid = cluster.AddServer(&messages);
+  if (nid.ok()) {
+    std::printf("added MDS%u over the wire: %llu frames exchanged\n", *nid,
+                static_cast<unsigned long long>(messages));
+  }
+
+  // The cluster still serves every file.
+  int found = 0;
+  for (int i = 0; i < kFiles; ++i) {
+    const auto r = cluster.Lookup("/wire/file" + std::to_string(i));
+    found += (r.ok() && r->found);
+  }
+  std::printf("post-join sweep: %d/%d files reachable\n", found, kFiles);
+  std::printf("total frames received across servers: %llu\n",
+              static_cast<unsigned long long>(cluster.TotalFramesIn()));
+
+  cluster.Stop();
+  return 0;
+}

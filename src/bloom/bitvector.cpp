@@ -1,0 +1,77 @@
+#include "bloom/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace ghba {
+
+BitVector::BitVector(std::uint64_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+void BitVector::Reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::uint64_t BitVector::PopCount() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+std::uint64_t BitVector::HammingDistance(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] ^ other.words_[i]);
+  }
+  return total;
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::XorWith(const BitVector& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+bool BitVector::IsSubsetOf(const BitVector& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+void BitVector::Serialize(ByteWriter& out) const {
+  out.PutVarint(num_bits_);
+  for (const std::uint64_t w : words_) out.PutU64(w);
+}
+
+Result<BitVector> BitVector::Deserialize(ByteReader& in) {
+  auto bits = in.GetVarint();
+  if (!bits.ok()) return bits.status();
+  // Reject absurd sizes before allocating (wire data is untrusted).
+  if (*bits > (1ULL << 40)) return Status::Corruption("bitvector too large");
+  BitVector bv(*bits);
+  for (auto& word : bv.words_) {
+    auto w = in.GetU64();
+    if (!w.ok()) return w.status();
+    word = *w;
+  }
+  // Trailing garbage bits beyond num_bits_ must be zero.
+  const std::uint64_t tail_bits = bv.num_bits_ & 63;
+  if (tail_bits != 0 && !bv.words_.empty()) {
+    const std::uint64_t mask = (1ULL << tail_bits) - 1;
+    if (bv.words_.back() & ~mask) return Status::Corruption("nonzero tail bits");
+  }
+  return bv;
+}
+
+}  // namespace ghba

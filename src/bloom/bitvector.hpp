@@ -1,0 +1,59 @@
+// Packed bit vector backing the Bloom filters.
+//
+// Provides the whole-vector algebra the paper's Section 3.4 relies on
+// (Properties 1-3): OR for union, AND for intersection, XOR for difference
+// detection, plus popcount and Hamming distance for staleness thresholds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace ghba {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::uint64_t num_bits);
+
+  std::uint64_t size() const { return num_bits_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  bool Test(std::uint64_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(std::uint64_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Clear(std::uint64_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void Reset();  ///< Clear all bits.
+
+  /// Number of set bits.
+  std::uint64_t PopCount() const;
+
+  /// Number of differing bits vs `other` (sizes must match).
+  std::uint64_t HammingDistance(const BitVector& other) const;
+
+  /// In-place algebra; sizes must match (asserted).
+  void OrWith(const BitVector& other);
+  void AndWith(const BitVector& other);
+  void XorWith(const BitVector& other);
+
+  /// True when every set bit of this vector is also set in `other`.
+  bool IsSubsetOf(const BitVector& other) const;
+
+  /// Heap bytes used (for memory accounting in the simulator).
+  std::uint64_t MemoryBytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  void Serialize(ByteWriter& out) const;
+  static Result<BitVector> Deserialize(ByteReader& in);
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  std::uint64_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ghba

@@ -1,0 +1,133 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bloom/bloom_math.hpp"
+
+namespace ghba {
+
+BloomFilter::BloomFilter(std::uint64_t num_bits, std::uint32_t k,
+                         std::uint64_t seed)
+    : bits_(std::max<std::uint64_t>(num_bits, 1)), family_(k, seed) {
+  assert(k >= 1 && k <= ProbeSet::kMaxK);
+}
+
+BloomFilter BloomFilter::ForCapacity(std::uint64_t expected_items,
+                                     double bits_per_item,
+                                     std::uint64_t seed) {
+  const auto items = std::max<std::uint64_t>(expected_items, 1);
+  const auto bits = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(items) * bits_per_item));
+  const std::uint32_t k =
+      OptimalK(static_cast<double>(bits), static_cast<double>(items));
+  return BloomFilter(bits, k, seed);
+}
+
+BloomFilter BloomFilter::FromBits(BitVector bits, std::uint32_t k,
+                                  std::uint64_t seed, std::uint64_t inserted) {
+  assert(bits.size() >= 1);
+  BloomFilter bf(bits.size(), k, seed);
+  bf.bits_ = std::move(bits);
+  bf.inserted_ = inserted;
+  return bf;
+}
+
+void BloomFilter::Add(std::string_view key) { Add(Murmur3_128(key, seed())); }
+
+void BloomFilter::Add(const Hash128& digest) {
+  ProbeSet probes;
+  family_.FillProbes(digest, num_bits(), probes);
+  for (const std::uint64_t i : probes) bits_.Set(i);
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  return MayContain(Murmur3_128(key, seed()));
+}
+
+bool BloomFilter::MayContain(const Hash128& digest) const {
+  ProbeSet probes;
+  family_.FillProbes(digest, num_bits(), probes);
+  for (const std::uint64_t i : probes) {
+    if (!bits_.Test(i)) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  bits_.Reset();
+  inserted_ = 0;
+}
+
+double BloomFilter::FillRatio() const {
+  if (num_bits() == 0) return 0.0;
+  return static_cast<double>(bits_.PopCount()) /
+         static_cast<double>(num_bits());
+}
+
+double BloomFilter::ExpectedFalsePositiveRate() const {
+  return BloomFalsePositiveRate(static_cast<double>(num_bits()),
+                                static_cast<double>(inserted_), k());
+}
+
+bool BloomFilter::SameGeometry(const BloomFilter& other) const {
+  return num_bits() == other.num_bits() && k() == other.k() &&
+         seed() == other.seed();
+}
+
+void BloomFilter::UnionWith(const BloomFilter& other) {
+  assert(SameGeometry(other));
+  bits_.OrWith(other.bits_);
+  inserted_ += other.inserted_;  // upper bound; duplicates unknown
+}
+
+void BloomFilter::IntersectWith(const BloomFilter& other) {
+  assert(SameGeometry(other));
+  bits_.AndWith(other.bits_);
+  // Cardinality after AND is unknowable exactly; re-estimate from popcount.
+  inserted_ = static_cast<std::uint64_t>(
+      EstimateCardinality(static_cast<double>(num_bits()), k(),
+                          static_cast<double>(bits_.PopCount())));
+}
+
+std::uint64_t BloomFilter::XorDistance(const BloomFilter& other) const {
+  assert(SameGeometry(other));
+  return bits_.HammingDistance(other.bits_);
+}
+
+Status BloomFilter::CopyBitsFrom(const BloomFilter& other) {
+  if (!SameGeometry(other)) {
+    return Status::InvalidArgument("bloom geometry mismatch");
+  }
+  bits_ = other.bits_;
+  inserted_ = other.inserted_;
+  return Status::Ok();
+}
+
+void BloomFilter::Serialize(ByteWriter& out) const {
+  out.PutU32(family_.k());
+  out.PutU64(family_.seed());
+  out.PutU64(inserted_);
+  bits_.Serialize(out);
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(ByteReader& in) {
+  auto k = in.GetU32();
+  if (!k.ok()) return k.status();
+  if (*k < 1 || *k > ProbeSet::kMaxK) return Status::Corruption("bad k");
+  auto seed = in.GetU64();
+  if (!seed.ok()) return seed.status();
+  auto inserted = in.GetU64();
+  if (!inserted.ok()) return inserted.status();
+  auto bits = BitVector::Deserialize(in);
+  if (!bits.ok()) return bits.status();
+  if (bits->size() == 0) return Status::Corruption("empty filter");
+  BloomFilter bf(bits->size(), *k, *seed);
+  bf.bits_ = std::move(*bits);
+  bf.inserted_ = *inserted;
+  return bf;
+}
+
+}  // namespace ghba

@@ -1,0 +1,90 @@
+// Standard Bloom filter with the algebraic operations of Section 3.4.
+//
+// Each MDS builds one filter over the keys of all files whose metadata it
+// stores (its "local filter") and replicates that filter to other servers.
+// Filters therefore need to be (a) serializable for shipping, (b) composable
+// via union/intersection/XOR for replica-update decisions, and (c) cheap to
+// probe from a precomputed digest so one hash serves a whole array.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "bloom/bitvector.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "hash/hash_family.hpp"
+
+namespace ghba {
+
+class BloomFilter {
+ public:
+  /// An empty filter of zero bits; unusable until assigned.
+  BloomFilter() : family_(1, 0) {}
+
+  /// num_bits >= 1; k in [1, ProbeSet::kMaxK]; seed decorrelates families.
+  BloomFilter(std::uint64_t num_bits, std::uint32_t k, std::uint64_t seed = 0);
+
+  /// Filter sized for `expected_items` at `bits_per_item` with optimal k.
+  static BloomFilter ForCapacity(std::uint64_t expected_items,
+                                 double bits_per_item,
+                                 std::uint64_t seed = 0);
+
+  /// Build a filter directly from a bit vector (e.g. flattening a counting
+  /// filter). `inserted` is the caller's best cardinality estimate.
+  static BloomFilter FromBits(BitVector bits, std::uint32_t k,
+                              std::uint64_t seed, std::uint64_t inserted);
+
+  void Add(std::string_view key);
+  void Add(const Hash128& digest);
+
+  bool MayContain(std::string_view key) const;
+  bool MayContain(const Hash128& digest) const;
+
+  /// Remove all items.
+  void Clear();
+
+  std::uint64_t num_bits() const { return bits_.size(); }
+  std::uint32_t k() const { return family_.k(); }
+  std::uint64_t seed() const { return family_.seed(); }
+  std::uint64_t inserted_count() const { return inserted_; }
+
+  /// Fraction of set bits (fill ratio).
+  double FillRatio() const;
+
+  /// Model-based false positive rate at the current load.
+  double ExpectedFalsePositiveRate() const;
+
+  /// True when geometry (bits, k, seed) matches — precondition for algebra.
+  bool SameGeometry(const BloomFilter& other) const;
+
+  /// Property 1: union via bitwise OR. Geometries must match.
+  void UnionWith(const BloomFilter& other);
+  /// Property 2: (conservative) intersection via bitwise AND.
+  void IntersectWith(const BloomFilter& other);
+  /// Number of differing bits vs `other` — the staleness metric used to
+  /// trigger replica updates (Section 3.4, XOR operation).
+  std::uint64_t XorDistance(const BloomFilter& other) const;
+
+  const BitVector& bits() const { return bits_; }
+
+  /// Replace contents with another filter's bits (replica refresh). The
+  /// geometry must match; inserted-count is taken from `other`.
+  Status CopyBitsFrom(const BloomFilter& other);
+
+  std::uint64_t MemoryBytes() const { return bits_.MemoryBytes(); }
+
+  void Serialize(ByteWriter& out) const;
+  static Result<BloomFilter> Deserialize(ByteReader& in);
+
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) {
+    return a.SameGeometry(b) && a.bits_ == b.bits_;
+  }
+
+ private:
+  BitVector bits_;
+  HashFamily family_;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace ghba

@@ -1,0 +1,108 @@
+#include "bloom/bloom_filter_array.hpp"
+
+#include <algorithm>
+
+namespace ghba {
+
+Status BloomFilterArray::AddEntry(MdsId owner, BloomFilter filter) {
+  if (HasEntry(owner)) return Status::AlreadyExists("owner already present");
+  entries_.push_back(Entry{owner, std::move(filter)});
+  return Status::Ok();
+}
+
+Result<BloomFilter> BloomFilterArray::RemoveEntry(MdsId owner) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [owner](const Entry& e) { return e.owner == owner; });
+  if (it == entries_.end()) return Status::NotFound("no entry for owner");
+  BloomFilter out = std::move(it->filter);
+  entries_.erase(it);
+  return out;
+}
+
+Status BloomFilterArray::RefreshEntry(MdsId owner, const BloomFilter& fresh) {
+  BloomFilter* bf = FindMutable(owner);
+  if (bf == nullptr) return Status::NotFound("no entry for owner");
+  return bf->CopyBitsFrom(fresh);
+}
+
+bool BloomFilterArray::HasEntry(MdsId owner) const {
+  return Find(owner) != nullptr;
+}
+
+const BloomFilter* BloomFilterArray::Find(MdsId owner) const {
+  for (const Entry& e : entries_) {
+    if (e.owner == owner) return &e.filter;
+  }
+  return nullptr;
+}
+
+BloomFilter* BloomFilterArray::FindMutable(MdsId owner) {
+  for (Entry& e : entries_) {
+    if (e.owner == owner) return &e.filter;
+  }
+  return nullptr;
+}
+
+namespace {
+
+ArrayQueryResult Classify(std::vector<MdsId> hits) {
+  ArrayQueryResult result;
+  result.all_hits = std::move(hits);
+  if (result.all_hits.size() == 1) {
+    result.kind = ArrayQueryResult::Kind::kUniqueHit;
+    result.owner = result.all_hits.front();
+  } else if (result.all_hits.empty()) {
+    result.kind = ArrayQueryResult::Kind::kZeroHit;
+  } else {
+    result.kind = ArrayQueryResult::Kind::kMultiHit;
+  }
+  return result;
+}
+
+}  // namespace
+
+ArrayQueryResult BloomFilterArray::Query(std::string_view key) const {
+  std::vector<MdsId> hits;
+  for (const Entry& e : entries_) {
+    if (e.filter.MayContain(key)) hits.push_back(e.owner);
+  }
+  return Classify(std::move(hits));
+}
+
+bool BloomFilterArray::UniformGeometry() const {
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (!entries_[i].filter.SameGeometry(entries_.front().filter)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ArrayQueryResult BloomFilterArray::QueryShared(std::string_view key) const {
+  if (entries_.empty()) return ArrayQueryResult{};
+  const std::uint64_t shared_seed = entries_.front().filter.seed();
+  const Hash128 digest = Murmur3_128(key, shared_seed);
+  std::vector<MdsId> hits;
+  for (const Entry& e : entries_) {
+    const bool hit = e.filter.seed() == shared_seed
+                         ? e.filter.MayContain(digest)
+                         : e.filter.MayContain(key);
+    if (hit) hits.push_back(e.owner);
+  }
+  return Classify(std::move(hits));
+}
+
+std::vector<MdsId> BloomFilterArray::Owners() const {
+  std::vector<MdsId> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.owner);
+  return out;
+}
+
+std::uint64_t BloomFilterArray::MemoryBytes() const {
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.filter.MemoryBytes();
+  return total;
+}
+
+}  // namespace ghba

@@ -1,0 +1,87 @@
+// Bloom Filter Array (BFA): an ordered set of (owner MDS, filter) entries
+// queried with unique-hit semantics.
+//
+// This is the paper's basic building block: an array "returns a hit when
+// exactly one filter gives a positive response; a miss takes place when zero
+// hits or multiple hits are found" (Section 2.1). The same container backs
+// the full global array of the HBA/BFA baselines and the per-MDS segment
+// array of G-HBA (which holds only theta replicas).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "common/status.hpp"
+#include "hash/murmur3.hpp"
+
+namespace ghba {
+
+/// Identifier of a metadata server. Dense small integers in the simulator;
+/// the TCP prototype maps them to endpoints.
+using MdsId = std::uint32_t;
+constexpr MdsId kInvalidMds = static_cast<MdsId>(-1);
+
+/// Outcome of a unique-hit membership query against an array.
+struct ArrayQueryResult {
+  enum class Kind { kZeroHit, kUniqueHit, kMultiHit };
+
+  Kind kind = Kind::kZeroHit;
+  MdsId owner = kInvalidMds;      ///< valid only for kUniqueHit
+  std::vector<MdsId> all_hits;    ///< every filter that answered positive
+
+  bool unique() const { return kind == Kind::kUniqueHit; }
+};
+
+class BloomFilterArray {
+ public:
+  /// Insert a filter owned by `owner`. Fails with kAlreadyExists if the
+  /// owner already has an entry.
+  Status AddEntry(MdsId owner, BloomFilter filter);
+
+  /// Remove the entry owned by `owner` and return its filter.
+  Result<BloomFilter> RemoveEntry(MdsId owner);
+
+  /// Replace the bits of `owner`'s filter with `fresh` (replica refresh).
+  Status RefreshEntry(MdsId owner, const BloomFilter& fresh);
+
+  bool HasEntry(MdsId owner) const;
+  const BloomFilter* Find(MdsId owner) const;
+  BloomFilter* FindMutable(MdsId owner);
+
+  /// Unique-hit membership query. Hashes the key per entry (entries may
+  /// have distinct seeds).
+  ArrayQueryResult Query(std::string_view key) const;
+
+  /// Fast path when every entry shares one geometry/seed (the G-HBA/HBA
+  /// deployment: all local filters are interchangeable replicas): one
+  /// digest serves all probes. Falls back to per-entry hashing for entries
+  /// whose seed differs.
+  ArrayQueryResult QueryShared(std::string_view key) const;
+
+  /// True when all entries share bits/k/seed (QueryShared's fast path).
+  bool UniformGeometry() const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Owners of all entries, in insertion order.
+  std::vector<MdsId> Owners() const;
+
+  /// Total heap bytes of all contained filters (memory accounting).
+  std::uint64_t MemoryBytes() const;
+
+  /// Iterate entries (owner, filter) for maintenance tasks.
+  struct Entry {
+    MdsId owner;
+    BloomFilter filter;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::vector<Entry>& entries() { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ghba

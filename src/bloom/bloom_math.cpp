@@ -1,0 +1,50 @@
+#include "bloom/bloom_math.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace ghba {
+
+double BloomFalsePositiveRate(double m, double n, std::uint32_t k) {
+  assert(m > 0);
+  if (n <= 0) return 0.0;
+  const double exponent = -static_cast<double>(k) * n / m;
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(k));
+}
+
+std::uint32_t OptimalK(double m, double n) {
+  if (n <= 0) return 1;
+  const double k = (m / n) * std::numbers::ln2;
+  const auto rounded = static_cast<std::int64_t>(std::lround(k));
+  return static_cast<std::uint32_t>(std::clamp<std::int64_t>(rounded, 1, 32));
+}
+
+double OptimalFalsePositiveRate(double bits_per_item) {
+  if (bits_per_item <= 0) return 1.0;
+  // 0.6185 ≈ (1/2)^{ln 2}; the paper uses this constant directly.
+  return std::pow(0.6185, bits_per_item);
+}
+
+double SegmentArrayFalsePositive(std::uint32_t theta, double bits_per_item) {
+  if (theta == 0) return 0.0;
+  const double f0 = OptimalFalsePositiveRate(bits_per_item);
+  return static_cast<double>(theta) * f0 *
+         std::pow(1.0 - f0, static_cast<double>(theta) - 1.0);
+}
+
+double UniqueHitAmongNegatives(std::uint32_t count, double fp) {
+  if (count == 0) return 0.0;
+  return static_cast<double>(count) * fp *
+         std::pow(1.0 - fp, static_cast<double>(count) - 1.0);
+}
+
+double EstimateCardinality(double m, std::uint32_t k, double popcount) {
+  assert(m > 0 && k > 0);
+  if (popcount <= 0) return 0.0;
+  if (popcount >= m) popcount = m - 1;  // saturated filter: best effort
+  return -(m / static_cast<double>(k)) * std::log(1.0 - popcount / m);
+}
+
+}  // namespace ghba

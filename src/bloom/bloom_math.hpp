@@ -1,0 +1,40 @@
+// Analytic false-positive models from the paper.
+//
+//  * f0(m, n, k)      — standard Bloom-filter false-positive probability,
+//                       (1 - e^{-kn/m})^k  [Broder & Mitzenmacher].
+//  * OptimalK(m, n)   — k = (m/n) ln 2, at which f0 = (0.6185)^{m/n}.
+//  * SegmentArrayFalsePositive — Eq. (1): the probability that the segment
+//    Bloom-filter array of one MDS (holding theta replicas) returns a
+//    *unique wrong* hit:  theta * f0 * (1 - f0)^{theta-1}.
+//
+// These drive both the optimizer (Section 3.3) and the property tests that
+// check measured rates against the model.
+#pragma once
+
+#include <cstdint>
+
+namespace ghba {
+
+/// (1 - e^{-kn/m})^k. m: bits, n: items, k: hash count.
+double BloomFalsePositiveRate(double m, double n, std::uint32_t k);
+
+/// Optimal hash count k = round((m/n) ln 2), clamped to [1, 32].
+std::uint32_t OptimalK(double m, double n);
+
+/// Minimal achievable false-positive rate at bit ratio r = m/n:
+/// f0* = 0.6185^r (i.e. (1/2)^{(m/n) ln 2}).
+double OptimalFalsePositiveRate(double bits_per_item);
+
+/// Eq. (1): unique-wrong-hit probability of a segment BF array with `theta`
+/// replicas, each tuned to bit ratio `bits_per_item`.
+double SegmentArrayFalsePositive(std::uint32_t theta, double bits_per_item);
+
+/// Probability that an array of `count` filters (each with false-positive
+/// rate fp) yields exactly one positive for a key stored in none of them.
+double UniqueHitAmongNegatives(std::uint32_t count, double fp);
+
+/// Estimate the number of distinct items inserted into an m-bit filter with
+/// k hashes given its popcount t: n ≈ -(m/k) ln(1 - t/m) [Swamidass & Baldi].
+double EstimateCardinality(double m, std::uint32_t k, double popcount);
+
+}  // namespace ghba

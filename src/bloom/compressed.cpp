@@ -1,0 +1,85 @@
+#include "bloom/compressed.hpp"
+
+namespace ghba {
+
+namespace {
+constexpr std::uint8_t kModeRaw = 0;
+constexpr std::uint8_t kModeGap = 1;
+
+std::vector<std::uint8_t> EncodeGaps(const BloomFilter& filter) {
+  ByteWriter w;
+  w.PutU8(kModeGap);
+  w.PutU32(filter.k());
+  w.PutU64(filter.seed());
+  w.PutU64(filter.inserted_count());
+  w.PutVarint(filter.num_bits());
+  const auto& bits = filter.bits();
+  const std::uint64_t popcount = bits.PopCount();
+  w.PutVarint(popcount);
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < bits.size(); ++i) {
+    if (!bits.Test(i)) continue;
+    w.PutVarint(first ? i : i - prev);
+    prev = i;
+    first = false;
+  }
+  return w.Take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> CompressFilter(const BloomFilter& filter) {
+  ByteWriter raw;
+  raw.PutU8(kModeRaw);
+  filter.Serialize(raw);
+
+  // Gap coding only pays when the filter is sparse; a quick bound (each
+  // gap costs >= 1 byte) skips the full encode for dense filters.
+  const std::uint64_t popcount = filter.bits().PopCount();
+  if (popcount < raw.size()) {
+    auto gaps = EncodeGaps(filter);
+    if (gaps.size() < raw.size()) return gaps;
+  }
+  return raw.Take();
+}
+
+Result<BloomFilter> DecompressFilter(ByteReader& in) {
+  auto mode = in.GetU8();
+  if (!mode.ok()) return mode.status();
+  if (*mode == kModeRaw) return BloomFilter::Deserialize(in);
+  if (*mode != kModeGap) return Status::Corruption("bad compression mode");
+
+  auto k = in.GetU32();
+  if (!k.ok()) return k.status();
+  if (*k < 1 || *k > ProbeSet::kMaxK) return Status::Corruption("bad k");
+  auto seed = in.GetU64();
+  if (!seed.ok()) return seed.status();
+  auto inserted = in.GetU64();
+  if (!inserted.ok()) return inserted.status();
+  auto num_bits = in.GetVarint();
+  if (!num_bits.ok()) return num_bits.status();
+  if (*num_bits == 0 || *num_bits > (1ULL << 40)) {
+    return Status::Corruption("bad filter size");
+  }
+  auto popcount = in.GetVarint();
+  if (!popcount.ok()) return popcount.status();
+  if (*popcount > *num_bits) return Status::Corruption("popcount > bits");
+
+  BitVector bits(*num_bits);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < *popcount; ++i) {
+    auto gap = in.GetVarint();
+    if (!gap.ok()) return gap.status();
+    pos = (i == 0) ? *gap : pos + *gap;
+    if (pos >= *num_bits) return Status::Corruption("gap beyond filter");
+    bits.Set(pos);
+  }
+  return BloomFilter::FromBits(std::move(bits), *k, *seed, *inserted);
+}
+
+std::size_t CompressedSizeBytes(const BloomFilter& filter) {
+  return CompressFilter(filter).size();
+}
+
+}  // namespace ghba

@@ -1,0 +1,37 @@
+// Compressed Bloom-filter encoding for replica shipping.
+//
+// The paper's related work cites Mitzenmacher's compressed Bloom filters:
+// filters tuned for transmission can be cheaper on the wire than in RAM.
+// Replicas shipped during reconfiguration are often far from their design
+// load (a fresh MDS's filter is nearly empty; a split installs many
+// lightly-filled copies), where gap coding of the set-bit positions beats
+// the raw bit vector by orders of magnitude. The encoder builds both
+// representations and sends the smaller, so dense (near 50% fill) filters
+// never regress beyond one header byte.
+//
+// Wire format: [u8 mode] [payload]
+//   mode 0: raw      — BloomFilter::Serialize bytes
+//   mode 1: gap      — k, seed, inserted, num_bits, popcount, then varint
+//                      gaps between consecutive set-bit indices (first gap
+//                      is the first set bit's index).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace ghba {
+
+/// Encode, choosing the smaller of raw and gap representations.
+std::vector<std::uint8_t> CompressFilter(const BloomFilter& filter);
+
+/// Decode either representation.
+Result<BloomFilter> DecompressFilter(ByteReader& in);
+
+/// Convenience: wire bytes of the compressed form.
+std::size_t CompressedSizeBytes(const BloomFilter& filter);
+
+}  // namespace ghba

@@ -1,0 +1,126 @@
+#include "bloom/counting_bloom_filter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "bloom/bloom_math.hpp"
+
+namespace ghba {
+
+namespace {
+constexpr std::uint8_t kMaxCounter = 15;
+}
+
+CountingBloomFilter::CountingBloomFilter(std::uint64_t num_counters,
+                                         std::uint32_t k, std::uint64_t seed)
+    : counters_((std::max<std::uint64_t>(num_counters, 2) + 1) / 2, 0),
+      family_(k, seed) {
+  assert(k >= 1 && k <= ProbeSet::kMaxK);
+}
+
+CountingBloomFilter CountingBloomFilter::ForCapacity(
+    std::uint64_t expected_items, double counters_per_item,
+    std::uint64_t seed) {
+  const auto items = std::max<std::uint64_t>(expected_items, 1);
+  const auto counters = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(items) * counters_per_item));
+  const std::uint32_t k =
+      OptimalK(static_cast<double>(counters), static_cast<double>(items));
+  return CountingBloomFilter(counters, k, seed);
+}
+
+void CountingBloomFilter::Add(std::string_view key) {
+  Add(Murmur3_128(key, seed()));
+}
+
+void CountingBloomFilter::Add(const Hash128& digest) {
+  ProbeSet probes;
+  family_.FillProbes(digest, num_counters(), probes);
+  for (const std::uint64_t i : probes) {
+    const std::uint8_t c = Get(i);
+    if (c == kMaxCounter) {
+      ++overflows_;  // saturate; never increments past 15
+    } else {
+      Put(i, static_cast<std::uint8_t>(c + 1));
+    }
+  }
+  ++items_;
+}
+
+void CountingBloomFilter::Remove(std::string_view key) {
+  Remove(Murmur3_128(key, seed()));
+}
+
+void CountingBloomFilter::Remove(const Hash128& digest) {
+  ProbeSet probes;
+  family_.FillProbes(digest, num_counters(), probes);
+  for (const std::uint64_t i : probes) {
+    const std::uint8_t c = Get(i);
+    // Saturated counters stay put (we no longer know the true count);
+    // zero counters indicate a remove-without-add bug upstream.
+    assert(c > 0 && "CBF remove of non-member");
+    if (c > 0 && c < kMaxCounter) {
+      Put(i, static_cast<std::uint8_t>(c - 1));
+    }
+  }
+  if (items_ > 0) --items_;
+}
+
+bool CountingBloomFilter::MayContain(std::string_view key) const {
+  return MayContain(Murmur3_128(key, seed()));
+}
+
+bool CountingBloomFilter::MayContain(const Hash128& digest) const {
+  ProbeSet probes;
+  family_.FillProbes(digest, num_counters(), probes);
+  for (const std::uint64_t i : probes) {
+    if (Get(i) == 0) return false;
+  }
+  return true;
+}
+
+void CountingBloomFilter::Clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  items_ = 0;
+  overflows_ = 0;
+}
+
+BloomFilter CountingBloomFilter::ToBloomFilter() const {
+  BitVector bits(num_counters());
+  for (std::uint64_t i = 0; i < num_counters(); ++i) {
+    if (Get(i) > 0) bits.Set(i);
+  }
+  return BloomFilter::FromBits(std::move(bits), k(), seed(), items_);
+}
+
+void CountingBloomFilter::Serialize(ByteWriter& out) const {
+  out.PutU32(family_.k());
+  out.PutU64(family_.seed());
+  out.PutU64(items_);
+  out.PutVarint(counters_.size());
+  out.PutBytes(counters_);
+}
+
+Result<CountingBloomFilter> CountingBloomFilter::Deserialize(ByteReader& in) {
+  auto k = in.GetU32();
+  if (!k.ok()) return k.status();
+  if (*k < 1 || *k > ProbeSet::kMaxK) return Status::Corruption("bad k");
+  auto seed = in.GetU64();
+  if (!seed.ok()) return seed.status();
+  auto items = in.GetU64();
+  if (!items.ok()) return items.status();
+  auto len = in.GetVarint();
+  if (!len.ok()) return len.status();
+  if (*len == 0 || *len > (1ULL << 37)) {
+    return Status::Corruption("bad counter length");
+  }
+  auto bytes = in.GetBytes(*len);
+  if (!bytes.ok()) return bytes.status();
+  CountingBloomFilter cbf(*len * 2, *k, *seed);
+  cbf.counters_ = std::move(*bytes);
+  cbf.items_ = *items;
+  return cbf;
+}
+
+}  // namespace ghba

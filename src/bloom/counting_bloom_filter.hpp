@@ -1,0 +1,81 @@
+// Counting Bloom filter (Fan et al., Summary Cache) with 4-bit counters.
+//
+// Used wherever the represented set shrinks over time: the LRU Bloom-filter
+// array (entries age out) and the IDBFA (replicas move between MDSs on
+// reconfiguration, so IDs must be deletable). Counters saturate at 15 and,
+// once saturated, are never decremented — the classic safe-overflow rule
+// that keeps false negatives impossible at the cost of a few stuck bits.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "hash/hash_family.hpp"
+
+namespace ghba {
+
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter() : family_(1, 0) {}
+  CountingBloomFilter(std::uint64_t num_counters, std::uint32_t k,
+                      std::uint64_t seed = 0);
+
+  static CountingBloomFilter ForCapacity(std::uint64_t expected_items,
+                                         double counters_per_item,
+                                         std::uint64_t seed = 0);
+
+  void Add(std::string_view key);
+  void Add(const Hash128& digest);
+
+  /// Decrement the key's counters. Removing a key that was never added
+  /// corrupts the filter (standard CBF contract); callers guard this.
+  void Remove(std::string_view key);
+  void Remove(const Hash128& digest);
+
+  bool MayContain(std::string_view key) const;
+  bool MayContain(const Hash128& digest) const;
+
+  void Clear();
+
+  std::uint64_t num_counters() const { return counters_.size() * 2; }
+  std::uint32_t k() const { return family_.k(); }
+  std::uint64_t seed() const { return family_.seed(); }
+  std::uint64_t item_count() const { return items_; }
+
+  /// Number of counters that have ever saturated (diagnostic).
+  std::uint64_t overflow_count() const { return overflows_; }
+
+  /// Flatten to a plain BloomFilter with identical geometry (counter>0 ->
+  /// bit set). This is how an MDS ships a snapshot of a counting filter.
+  BloomFilter ToBloomFilter() const;
+
+  std::uint64_t MemoryBytes() const { return counters_.size(); }
+
+  void Serialize(ByteWriter& out) const;
+  static Result<CountingBloomFilter> Deserialize(ByteReader& in);
+
+ private:
+  std::uint8_t Get(std::uint64_t i) const {
+    const std::uint8_t byte = counters_[i >> 1];
+    return (i & 1) ? (byte >> 4) : (byte & 0x0f);
+  }
+  void Put(std::uint64_t i, std::uint8_t v) {
+    std::uint8_t& byte = counters_[i >> 1];
+    if (i & 1) {
+      byte = static_cast<std::uint8_t>((byte & 0x0f) | (v << 4));
+    } else {
+      byte = static_cast<std::uint8_t>((byte & 0xf0) | (v & 0x0f));
+    }
+  }
+
+  std::vector<std::uint8_t> counters_;  // two 4-bit counters per byte
+  HashFamily family_;
+  std::uint64_t items_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace ghba

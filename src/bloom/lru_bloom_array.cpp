@@ -1,0 +1,144 @@
+#include "bloom/lru_bloom_array.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ghba {
+
+namespace {
+// Index key: fold the 128-bit digest to 64 bits. With LRU capacities in the
+// thousands, a 64-bit collision is vanishingly unlikely; a collision would
+// only conflate two cache entries, never corrupt the filters (we store the
+// full digest in the entry and remove by it).
+inline std::uint64_t IndexKey(const Hash128& d) {
+  return d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL);
+}
+}  // namespace
+
+LruBloomArray::LruBloomArray(Options options) : options_(options) {
+  assert(options_.capacity > 0);
+  assert(options_.protected_fraction >= 0 && options_.protected_fraction < 1);
+}
+
+std::size_t LruBloomArray::ProtectedCapacity() const {
+  return static_cast<std::size_t>(
+      static_cast<double>(options_.capacity) * options_.protected_fraction);
+}
+
+CountingBloomFilter& LruBloomArray::FilterFor(MdsId home) {
+  auto it = filters_.find(home);
+  if (it == filters_.end()) {
+    // Each home's filter is sized for the whole cache capacity so that any
+    // skew of cached entries across homes stays within the design load.
+    auto cbf = CountingBloomFilter::ForCapacity(
+        options_.capacity, options_.counters_per_item, options_.seed);
+    it = filters_.emplace(home, std::move(cbf)).first;
+  }
+  return it->second;
+}
+
+void LruBloomArray::RemoveFromFilter(const CacheEntry& entry) {
+  auto it = filters_.find(entry.home);
+  assert(it != filters_.end());
+  if (it != filters_.end()) it->second.Remove(entry.digest);
+}
+
+void LruBloomArray::EraseEntry(std::uint64_t idx_key, const IndexEntry& where) {
+  RemoveFromFilter(*where.it);
+  (where.in_protected ? protected_ : probation_).erase(where.it);
+  index_.erase(idx_key);
+}
+
+void LruBloomArray::EvictOne() {
+  // SLRU evicts from probation first; the protected segment only shrinks
+  // when probation is empty. Under kLru everything lives in probation.
+  LruList& victim_list = probation_.empty() ? protected_ : probation_;
+  assert(!victim_list.empty());
+  const CacheEntry& victim = victim_list.back();
+  RemoveFromFilter(victim);
+  index_.erase(IndexKey(victim.digest));
+  victim_list.pop_back();
+}
+
+void LruBloomArray::Touch(std::string_view key, MdsId home) {
+  const Hash128 digest = Murmur3_128(key, options_.seed);
+  const std::uint64_t idx = IndexKey(digest);
+  const auto it = index_.find(idx);
+  if (it != index_.end()) {
+    IndexEntry& where = it->second;
+    CacheEntry& entry = *where.it;
+    if (entry.home != home) {
+      // Home changed (migration): move the key between filters.
+      RemoveFromFilter(entry);
+      entry.home = home;
+      FilterFor(home).Add(digest);
+    }
+    if (options_.policy == LruPolicy::kSlru && !where.in_protected) {
+      // Re-reference promotes probation -> protected.
+      protected_.splice(protected_.begin(), probation_, where.it);
+      where.in_protected = true;
+      if (protected_.size() > ProtectedCapacity()) {
+        // Demote the protected segment's coldest entry back to probation.
+        const auto demoted = std::prev(protected_.end());
+        auto& demoted_where = index_.at(IndexKey(demoted->digest));
+        probation_.splice(probation_.begin(), protected_, demoted);
+        demoted_where.in_protected = false;
+      }
+    } else {
+      LruList& list = where.in_protected ? protected_ : probation_;
+      list.splice(list.begin(), list, where.it);  // move to front
+    }
+    return;
+  }
+  if (index_.size() >= options_.capacity) EvictOne();
+  probation_.push_front(CacheEntry{digest, home});
+  index_.emplace(idx, IndexEntry{false, probation_.begin()});
+  FilterFor(home).Add(digest);
+}
+
+void LruBloomArray::Invalidate(std::string_view key) {
+  const Hash128 digest = Murmur3_128(key, options_.seed);
+  const auto it = index_.find(IndexKey(digest));
+  if (it == index_.end()) return;
+  EraseEntry(it->first, it->second);
+}
+
+void LruBloomArray::DropHome(MdsId home) {
+  for (LruList* list : {&probation_, &protected_}) {
+    for (auto it = list->begin(); it != list->end();) {
+      if (it->home == home) {
+        index_.erase(IndexKey(it->digest));
+        it = list->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  filters_.erase(home);
+}
+
+ArrayQueryResult LruBloomArray::Query(std::string_view key) const {
+  const Hash128 digest = Murmur3_128(key, options_.seed);
+  ArrayQueryResult result;
+  for (const auto& [home, filter] : filters_) {
+    if (filter.MayContain(digest)) result.all_hits.push_back(home);
+  }
+  if (result.all_hits.size() == 1) {
+    result.kind = ArrayQueryResult::Kind::kUniqueHit;
+    result.owner = result.all_hits.front();
+  } else if (!result.all_hits.empty()) {
+    result.kind = ArrayQueryResult::Kind::kMultiHit;
+  }
+  return result;
+}
+
+std::uint64_t LruBloomArray::MemoryBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [home, filter] : filters_) total += filter.MemoryBytes();
+  // List + index bookkeeping (approximate per-entry footprint).
+  total += index_.size() * (sizeof(CacheEntry) + sizeof(IndexEntry) +
+                            4 * sizeof(void*));
+  return total;
+}
+
+}  // namespace ghba

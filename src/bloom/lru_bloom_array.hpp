@@ -1,0 +1,100 @@
+// LRU Bloom Filter Array — the L1 level of the query hierarchy.
+//
+// Captures temporal locality: each MDS remembers the home MDS of recently
+// accessed files in a bounded cache, and exposes that cache as an array of
+// per-home counting Bloom filters so a lookup costs one digest and a few
+// probes per home. Counting filters are required because eviction and
+// home-change invalidation must *remove* keys.
+//
+// Two replacement policies (the paper lists "enhance the replacement
+// efficiency of our currently used LRU" as future work):
+//   * kLru  — classic LRU, the paper's design;
+//   * kSlru — segmented LRU: new entries enter a probationary segment and
+//     are promoted to a protected segment on re-reference, which shields
+//     the hot set from scan pollution (one-touch bursts).
+//
+// The array answers with the same unique-hit semantics as any BFA: exactly
+// one home's filter positive -> route there; zero or multiple -> fall
+// through to L2.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "bloom/bloom_filter_array.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "hash/murmur3.hpp"
+
+namespace ghba {
+
+enum class LruPolicy { kLru, kSlru };
+
+struct LruBloomArrayOptions {
+  std::size_t capacity = 4096;     ///< max cached (file -> home) entries
+  double counters_per_item = 8.0;  ///< CBF size per home, relative to capacity
+  std::uint64_t seed = 0x1111;     ///< decorrelates L1 from other filters
+  LruPolicy policy = LruPolicy::kLru;
+  /// SLRU only: fraction of the capacity reserved for the protected
+  /// segment (the classic choice is ~0.8).
+  double protected_fraction = 0.8;
+};
+
+class LruBloomArray {
+ public:
+  using Options = LruBloomArrayOptions;
+
+  explicit LruBloomArray(Options options);
+
+  /// Record that `key` was observed to live on `home`. Refreshes the
+  /// entry's replacement state; if the key was cached with a different
+  /// home, the stale mapping is removed first.
+  void Touch(std::string_view key, MdsId home);
+
+  /// Invalidate a cached key (e.g. after its metadata migrated or a lookup
+  /// forwarded by L1 turned out wrong). No-op when absent.
+  void Invalidate(std::string_view key);
+
+  /// Drop every cached entry pointing at `home` (MDS departure/failure).
+  void DropHome(MdsId home);
+
+  /// Unique-hit query over the per-home filters.
+  ArrayQueryResult Query(std::string_view key) const;
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return options_.capacity; }
+
+  /// Bytes used by the per-home counting filters plus cache bookkeeping.
+  std::uint64_t MemoryBytes() const;
+
+  /// Diagnostics: number of distinct homes currently represented.
+  std::size_t home_count() const { return filters_.size(); }
+
+  /// Diagnostics: entries currently in the protected segment (SLRU).
+  std::size_t protected_size() const { return protected_.size(); }
+
+ private:
+  struct CacheEntry {
+    Hash128 digest;  // full digest, needed to Remove from counting filters
+    MdsId home;
+  };
+  using LruList = std::list<CacheEntry>;
+  struct IndexEntry {
+    bool in_protected;
+    LruList::iterator it;
+  };
+
+  CountingBloomFilter& FilterFor(MdsId home);
+  void EvictOne();
+  void RemoveFromFilter(const CacheEntry& entry);
+  void EraseEntry(std::uint64_t idx_key, const IndexEntry& where);
+  std::size_t ProtectedCapacity() const;
+
+  Options options_;
+  LruList probation_;  // front = most recent; kLru keeps everything here
+  LruList protected_;  // SLRU's re-referenced segment
+  std::unordered_map<std::uint64_t, IndexEntry> index_;
+  std::unordered_map<MdsId, CountingBloomFilter> filters_;
+};
+
+}  // namespace ghba

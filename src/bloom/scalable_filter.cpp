@@ -1,0 +1,80 @@
+#include "bloom/scalable_filter.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "bloom/bloom_math.hpp"
+
+namespace ghba {
+
+ScalableCountingFilter::ScalableCountingFilter(Options options)
+    : options_(options) {
+  assert(options_.initial_capacity > 0);
+  assert(options_.growth_factor >= 1.0);
+  AddStage();
+}
+
+void ScalableCountingFilter::AddStage() {
+  Stage stage{
+      // Distinct per-stage seeds keep stage false positives independent.
+      CountingBloomFilter::ForCapacity(
+          options_.initial_capacity *
+              static_cast<std::uint64_t>(
+                  std::pow(options_.growth_factor,
+                           static_cast<double>(stages_.size()))),
+          options_.counters_per_item,
+          options_.seed + stages_.size() * 0x9e3779b9ULL),
+      options_.initial_capacity *
+          static_cast<std::uint64_t>(std::pow(
+              options_.growth_factor, static_cast<double>(stages_.size()))),
+      0};
+  stages_.push_back(std::move(stage));
+}
+
+void ScalableCountingFilter::Add(std::string_view key) {
+  Stage& active = stages_.back();
+  active.filter.Add(key);
+  ++active.items;
+  ++items_;
+  if (active.items >= active.capacity) AddStage();
+}
+
+void ScalableCountingFilter::Remove(std::string_view key) {
+  // Newest-to-oldest: recently added keys are most likely in late stages.
+  for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
+    if (it->filter.MayContain(key)) {
+      it->filter.Remove(key);
+      if (it->items > 0) --it->items;
+      if (items_ > 0) --items_;
+      return;
+    }
+  }
+  // Remove of a never-added key: counting-filter contract violation by the
+  // caller; tolerated as a no-op here because stages screen it out.
+}
+
+bool ScalableCountingFilter::MayContain(std::string_view key) const {
+  for (const Stage& stage : stages_) {
+    if (stage.filter.MayContain(key)) return true;
+  }
+  return false;
+}
+
+std::uint64_t ScalableCountingFilter::MemoryBytes() const {
+  std::uint64_t total = 0;
+  for (const Stage& stage : stages_) total += stage.filter.MemoryBytes();
+  return total;
+}
+
+double ScalableCountingFilter::ExpectedFalsePositiveRate() const {
+  double miss_all = 1.0;
+  for (const Stage& stage : stages_) {
+    const double fp = BloomFalsePositiveRate(
+        static_cast<double>(stage.filter.num_counters()),
+        static_cast<double>(stage.items), stage.filter.k());
+    miss_all *= (1.0 - fp);
+  }
+  return 1.0 - miss_all;
+}
+
+}  // namespace ghba

@@ -1,0 +1,60 @@
+// Scalable counting Bloom filter (in the spirit of the Dynamic Bloom
+// Filters the paper's related-work section cites).
+//
+// A fixed-capacity filter sized for `expected_files_per_mds` degrades when a
+// home MDS outgrows its estimate: the false-positive rate climbs past the
+// design point. The scalable filter chains counting sub-filters: inserts go
+// to the newest ("active") sub-filter, and when it reaches its design load a
+// fresh one is appended — each new stage sized by a growth factor so the
+// chain stays short. Membership ORs across stages; removals must find the
+// stage that holds the key (callers guarantee remove-after-add, so probing
+// stages newest-to-oldest and decrementing the first positive stage is safe
+// up to false-positive aliasing, which the counting semantics tolerate).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bloom/counting_bloom_filter.hpp"
+
+namespace ghba {
+
+class ScalableCountingFilter {
+ public:
+  struct Options {
+    std::uint64_t initial_capacity = 4096;
+    double counters_per_item = 16.0;
+    double growth_factor = 2.0;  ///< each new stage is this much larger
+    std::uint64_t seed = 0x7777;
+  };
+
+  explicit ScalableCountingFilter(Options options);
+
+  void Add(std::string_view key);
+  void Remove(std::string_view key);
+  bool MayContain(std::string_view key) const;
+
+  std::uint64_t item_count() const { return items_; }
+  std::size_t stage_count() const { return stages_.size(); }
+  std::uint64_t MemoryBytes() const;
+
+  /// Expected false-positive rate of the whole chain (union bound over the
+  /// stages' individual rates).
+  double ExpectedFalsePositiveRate() const;
+
+ private:
+  struct Stage {
+    CountingBloomFilter filter;
+    std::uint64_t capacity;
+    std::uint64_t items = 0;
+  };
+
+  void AddStage();
+
+  Options options_;
+  std::vector<Stage> stages_;
+  std::uint64_t items_ = 0;
+};
+
+}  // namespace ghba

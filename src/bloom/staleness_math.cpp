@@ -1,0 +1,43 @@
+#include "bloom/staleness_math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bloom/bloom_math.hpp"
+
+namespace ghba {
+
+StalenessEstimate EstimateStaleness(std::uint64_t published_files,
+                                    std::uint64_t added, std::uint64_t removed,
+                                    double bits_per_item) {
+  StalenessEstimate est;
+  const double f0 = OptimalFalsePositiveRate(bits_per_item);
+
+  // Current population = survivors of the snapshot + the additions.
+  const std::uint64_t survivors =
+      published_files > removed ? published_files - removed : 0;
+  const double current =
+      static_cast<double>(survivors) + static_cast<double>(added);
+  if (current > 0) {
+    // An added file is invisible to the replica unless a false positive
+    // saves it; survivors always hit (no false negatives in a snapshot).
+    est.false_negative_rate =
+        static_cast<double>(added) / current * (1.0 - f0);
+  }
+
+  // A deleted file's bits are still set in the snapshot: it hits with
+  // probability ~1 (the snapshot genuinely contained it).
+  est.deleted_hit_rate = removed > 0 ? 1.0 : 0.0;
+  return est;
+}
+
+std::uint64_t PublishBudgetFor(double target_fn_rate, std::uint64_t files) {
+  target_fn_rate = std::clamp(target_fn_rate, 0.0, 1.0);
+  // FN ~ added / (files + added)  =>  added <= files * t / (1 - t).
+  if (target_fn_rate >= 1.0) return files;  // anything goes
+  const double budget = static_cast<double>(files) * target_fn_rate /
+                        (1.0 - target_fn_rate);
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(budget));
+}
+
+}  // namespace ghba

@@ -1,0 +1,39 @@
+// Analytic false-rate model for *stale* Bloom-filter replicas.
+//
+// The paper leans on its companion analysis (Zhu & Jiang, "False rate
+// analysis of Bloom filter replicas in distributed systems", ICPP'06 — its
+// reference [33]) to explain why the L4 share grows with staleness: between
+// publishes, a replica neither contains files created since the snapshot
+// (false negatives for the hierarchy) nor forgets files deleted since
+// (false positives). These estimators quantify both given the churn since
+// the last publish, and the property tests check them against measured
+// rates on real filters.
+#pragma once
+
+#include <cstdint>
+
+namespace ghba {
+
+struct StalenessEstimate {
+  /// P(a uniformly chosen *currently existing* home file misses in the
+  /// replica) — the false-negative rate the L2/L3 levels suffer.
+  double false_negative_rate = 0;
+  /// P(a uniformly chosen *deleted-since-publish* file still hits the
+  /// replica) — the false-positive rate that sends queries to a home that
+  /// no longer has the file.
+  double deleted_hit_rate = 0;
+};
+
+/// `published_files`: home's file count at the last publish;
+/// `added` / `removed`: mutations since (removed counts only files that
+/// existed at publish time); `bits_per_item`: the filter's design ratio.
+StalenessEstimate EstimateStaleness(std::uint64_t published_files,
+                                    std::uint64_t added, std::uint64_t removed,
+                                    double bits_per_item);
+
+/// Mutation budget B such that the expected false-negative rate stays below
+/// `target_fn_rate` for a home of `files` files — the inverse problem an
+/// operator solves when picking ClusterConfig::publish_after_mutations.
+std::uint64_t PublishBudgetFor(double target_fn_rate, std::uint64_t files);
+
+}  // namespace ghba

@@ -1,0 +1,72 @@
+#include "common/bytes.hpp"
+
+namespace ghba {
+
+void ByteWriter::PutVarint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::PutBytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::uint8_t> ByteReader::GetU8() { return GetLittleEndian<std::uint8_t>(); }
+Result<std::uint16_t> ByteReader::GetU16() { return GetLittleEndian<std::uint16_t>(); }
+Result<std::uint32_t> ByteReader::GetU32() { return GetLittleEndian<std::uint32_t>(); }
+Result<std::uint64_t> ByteReader::GetU64() { return GetLittleEndian<std::uint64_t>(); }
+
+Result<std::int64_t> ByteReader::GetI64() {
+  auto v = GetU64();
+  if (!v.ok()) return v.status();
+  return static_cast<std::int64_t>(*v);
+}
+
+Result<double> ByteReader::GetDouble() {
+  auto bits = GetU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  std::uint64_t raw = *bits;
+  std::memcpy(&v, &raw, sizeof(v));
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::GetVarint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) return Status::Corruption("truncated varint");
+    if (shift >= 64) return Status::Corruption("varint overflow");
+    const std::uint8_t byte = data_[pos_++];
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<std::string> ByteReader::GetString() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (remaining() < *len) return Status::Corruption("truncated string");
+  std::string s(reinterpret_cast<const char*>(data_.data() + pos_), *len);
+  pos_ += *len;
+  return s;
+}
+
+Result<std::vector<std::uint8_t>> ByteReader::GetBytes(std::size_t n) {
+  if (remaining() < n) return Status::Corruption("truncated bytes");
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace ghba

@@ -1,0 +1,96 @@
+// Byte-buffer serialization used by the TCP prototype and replica shipping.
+//
+// Fixed-width integers are encoded little-endian; unsigned varints use
+// LEB128. Readers never trust wire data: every accessor checks bounds and
+// reports kCorruption instead of reading past the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ghba {
+
+/// Append-only byte sink for message encoding.
+class ByteWriter {
+ public:
+  void PutU8(std::uint8_t v) { buf_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutLittleEndian(v); }
+  void PutU32(std::uint32_t v) { PutLittleEndian(v); }
+  void PutU64(std::uint64_t v) { PutLittleEndian(v); }
+  void PutI64(std::int64_t v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutDouble(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(std::uint64_t v);
+
+  /// Length-prefixed (varint) byte string.
+  void PutString(std::string_view s);
+
+  /// Raw bytes, no length prefix.
+  void PutBytes(std::span<const std::uint8_t> bytes);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked cursor over a byte span for message decoding.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  Result<std::uint8_t> GetU8();
+  Result<std::uint16_t> GetU16();
+  Result<std::uint32_t> GetU32();
+  Result<std::uint64_t> GetU64();
+  Result<std::int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<std::uint64_t> GetVarint();
+  Result<std::string> GetString();
+
+  /// Copy out exactly n raw bytes.
+  Result<std::vector<std::uint8_t>> GetBytes(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Result<T> GetLittleEndian() {
+    if (remaining() < sizeof(T)) {
+      return Status::Corruption("short read");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ghba

@@ -1,0 +1,84 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ghba {
+
+namespace {
+// Buckets grow geometrically by ~10% per step: bucket i covers
+// (1.1^(i-1), 1.1^i]. Bucket 0 covers (-inf, 1]. 256 buckets reach ~4e10.
+constexpr double kGrowth = 1.1;
+constexpr std::size_t kNumBuckets = 256;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::BucketFor(double value) {
+  if (value <= 1.0) return 0;
+  const auto idx =
+      static_cast<std::size_t>(std::ceil(std::log(value) / std::log(kGrowth)));
+  return std::min(idx, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(std::size_t bucket) {
+  return std::pow(kGrowth, static_cast<double>(bucket));
+}
+
+void Histogram::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = min_ = max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p50=%.3f p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), mean(), Quantile(0.5),
+                Quantile(0.99), max());
+  return buf;
+}
+
+}  // namespace ghba

@@ -1,0 +1,46 @@
+// Streaming latency/size statistics.
+//
+// The evaluation reports averages and distribution tails for query latency,
+// migration traffic and update cost. Histogram keeps exact count/mean/min/
+// max plus an exponential-bucket histogram for quantile estimates, in O(1)
+// memory regardless of sample count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ghba {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// Approximate quantile in [0,1] via the exponential bucket boundaries.
+  double Quantile(double q) const;
+
+  /// Short human-readable summary: count/mean/p50/p99/max.
+  std::string Summary() const;
+
+ private:
+  static std::size_t BucketFor(double value);
+  static double BucketUpperBound(std::size_t bucket);
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<std::uint64_t> buckets_;
+};
+
+}  // namespace ghba

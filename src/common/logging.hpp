@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator and the TCP prototype are both chatty at debug level; the
+// default level is kWarn so benchmarks stay quiet. Thread-safe (a single
+// mutex around the sink) — fine for control-path logging, never used on the
+// per-query hot path.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ghba {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded cheaply.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogLine(LogLevel level, const char* file, int line, const std::string& msg);
+}  // namespace internal
+
+/// Stream-style log statement: GHBA_LOG(kInfo) << "joined group " << g;
+#define GHBA_LOG(level_suffix)                                            \
+  for (bool ghba_log_once =                                               \
+           ::ghba::LogLevel::level_suffix >= ::ghba::GetLogLevel();       \
+       ghba_log_once; ghba_log_once = false)                              \
+  ::ghba::internal::LogStream(::ghba::LogLevel::level_suffix, __FILE__, __LINE__)
+
+namespace internal {
+
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogLine(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ghba

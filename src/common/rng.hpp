@@ -1,0 +1,63 @@
+// Deterministic, fast pseudo-random generators for simulation and tests.
+//
+// Simulations must be reproducible run-to-run, so every stochastic component
+// takes an explicit seed; nothing reads global entropy. Xoshiro256** is the
+// workhorse (fast, high quality); SplitMix64 seeds it and doubles as a
+// cheap stateless mixer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ghba {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Also a good one-shot integer mixer.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Stateless finalizer form of SplitMix64 (mix a value, no sequence).
+std::uint64_t Mix64(std::uint64_t x);
+
+/// Xoshiro256** PRNG. Satisfies UniformRandomBitGenerator, usable with
+/// <random> distributions, but the helpers below avoid libstdc++'s
+/// comparatively slow distribution objects on hot simulation paths.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Fork an independent stream (for per-component RNGs).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ghba

@@ -1,0 +1,139 @@
+// Lightweight status / result types used across the library.
+//
+// We deliberately avoid exceptions on hot paths (metadata lookups run at
+// memory speed); fallible operations return Status or Result<T> instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ghba {
+
+/// Error categories used throughout the library.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        ///< Requested item does not exist.
+  kAlreadyExists,   ///< Insertion target already present.
+  kInvalidArgument, ///< Caller violated an API precondition.
+  kCapacity,        ///< A size/capacity bound would be exceeded.
+  kUnavailable,     ///< Target node is down or unreachable.
+  kCorruption,      ///< Wire / serialized data failed validation.
+  kInternal,        ///< Invariant violation inside the library.
+};
+
+/// Human-readable name for a StatusCode.
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kCapacity: return "CAPACITY";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kCorruption: return "CORRUPTION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// A cheap, value-semantic status: a code plus an optional message.
+/// The OK status carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string msg = "") {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return {StatusCode::kAlreadyExists, std::move(msg)};
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status Capacity(std::string msg = "") {
+    return {StatusCode::kCapacity, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg = "") {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status Corruption(std::string msg = "") {
+    return {StatusCode::kCorruption, std::move(msg)};
+  }
+  static Status Internal(std::string msg = "") {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a non-OK Status (std::expected stand-in).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(state_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// The contained status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace ghba

@@ -1,0 +1,49 @@
+#include "common/zipf.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ghba {
+
+// Rejection-inversion sampling after W. Hörmann & G. Derflinger,
+// "Rejection-inversion to generate variates from monotone discrete
+// distributions" (1996), as popularised by the Apache Commons RNG
+// RejectionInversionZipfSampler.
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  one_minus_s_ = 1.0 - s_;
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of x^-s: x^(1-s)/(1-s), with the s == 1 limit log(x).
+  if (s_ == 1.0) return std::log(x);
+  return std::pow(x, one_minus_s_) / one_minus_s_;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(x * one_minus_s_, 1.0 / one_minus_s_);
+}
+
+std::uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  if (s_ == 0.0) return 1 + rng.NextBounded(n_);
+  while (true) {
+    const double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    auto k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    // Accept if u >= H(k + 0.5) - k^-s  (the hat touches the histogram).
+    if (u >= H(kd + 0.5) - std::pow(kd, -s_)) {
+      return k;
+    }
+  }
+}
+
+}  // namespace ghba

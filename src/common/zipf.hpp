@@ -1,0 +1,38 @@
+// Zipfian sampler used by the synthetic trace generators.
+//
+// File-access popularity in the HP/INS/RES traces is highly skewed; we model
+// it with a Zipf(s) distribution over ranks 1..n. The sampler uses Hörmann's
+// rejection-inversion method, which is O(1) per sample and supports very
+// large n (hundreds of millions of files) without precomputing tables.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ghba {
+
+/// Samples ranks in [1, n] with P(rank = k) proportional to k^(-s).
+/// s >= 0 (s == 0 degenerates to uniform; handled exactly).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draw one rank in [1, n].
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_;       // H(1.5) - 1
+  double h_n_;        // H(n + 0.5)
+  double one_minus_s_;
+};
+
+}  // namespace ghba

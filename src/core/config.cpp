@@ -1,0 +1,51 @@
+#include "core/config.hpp"
+
+#include "bloom/bloom_math.hpp"
+#include "hash/hash_family.hpp"
+
+namespace ghba {
+
+Status ValidateClusterConfig(const ClusterConfig& config) {
+  if (config.num_mds == 0) {
+    return Status::InvalidArgument("num_mds must be >= 1");
+  }
+  if (config.max_group_size == 0) {
+    return Status::InvalidArgument("max_group_size must be >= 1");
+  }
+  if (config.initial_group_size > config.max_group_size) {
+    return Status::InvalidArgument(
+        "initial_group_size cannot exceed max_group_size");
+  }
+  if (config.bits_per_file <= 0) {
+    return Status::InvalidArgument("bits_per_file must be positive");
+  }
+  // The probe generator caps k; an extreme bit ratio would silently lose
+  // accuracy, so reject it loudly instead.
+  if (OptimalK(config.bits_per_file, 1.0) >= ProbeSet::kMaxK) {
+    return Status::InvalidArgument(
+        "bits_per_file too large: optimal k exceeds the probe cap");
+  }
+  if (config.expected_files_per_mds == 0) {
+    return Status::InvalidArgument("expected_files_per_mds must be >= 1");
+  }
+  if (config.lru_capacity == 0) {
+    return Status::InvalidArgument("lru_capacity must be >= 1");
+  }
+  if (config.publish_after_mutations == 0) {
+    return Status::InvalidArgument(
+        "publish_after_mutations must be >= 1 (1 = publish on every "
+        "mutation)");
+  }
+  const LatencyModel& lat = config.latency;
+  if (lat.bf_probe_ms < 0 || lat.lan_rtt_ms < 0 || lat.disk_access_ms < 0 ||
+      lat.spilled_probe_ms < 0 || lat.local_proc_ms < 0 ||
+      lat.mem_metadata_ms < 0 || lat.multicast_extra_hop_ms < 0) {
+    return Status::InvalidArgument("latency constants must be non-negative");
+  }
+  if (lat.metadata_cache_hit < 0 || lat.metadata_cache_hit > 1) {
+    return Status::InvalidArgument("metadata_cache_hit must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghba

@@ -1,0 +1,76 @@
+// Cluster-wide configuration shared by G-HBA and the baseline schemes.
+#pragma once
+
+#include <cstdint>
+
+#include "bloom/lru_bloom_array.hpp"
+#include "common/status.hpp"
+#include "sim/latency_model.hpp"
+
+namespace ghba {
+
+struct ClusterConfig {
+  /// Initial number of metadata servers (N).
+  std::uint32_t num_mds = 30;
+
+  /// Maximum group size (M). Groups split when they would exceed this.
+  std::uint32_t max_group_size = 6;
+
+  /// Target size of the initial partition (0 = use max_group_size). Setting
+  /// this to M-1 builds a "mature" configuration where every group still
+  /// has room — the regime reconfiguration experiments average over.
+  std::uint32_t initial_group_size = 0;
+
+  /// Bloom-filter bit ratio (m/n). G-HBA's space savings let it afford a
+  /// high ratio (the paper's Eq. 1 argument); the BFA8/BFA16 baselines use
+  /// 8 and 16.
+  double bits_per_file = 16.0;
+
+  /// Expected files per MDS — sizes each local filter.
+  std::uint64_t expected_files_per_mds = 50000;
+
+  /// L1 LRU cache entries per MDS.
+  std::uint32_t lru_capacity = 4096;
+
+  /// L1 replacement policy. kLru is the paper's design; kSlru implements
+  /// the "replacement efficiency" improvement its future-work section
+  /// suggests (scan-resistant segmented LRU).
+  LruPolicy lru_policy = LruPolicy::kLru;
+
+  /// Per-MDS RAM budget. Replicas that do not fit are disk-resident.
+  std::uint64_t memory_budget_bytes = 64ULL << 20;
+
+  /// Replica-staleness bound: a home MDS republishes its filter after this
+  /// many local mutations (create/unlink) since the last publish. This is
+  /// the operational form of the XOR-distance threshold of Section 3.4.
+  std::uint32_t publish_after_mutations = 256;
+
+  /// Model per-MDS queueing delays (G/G/1 Lindley recursion driven by the
+  /// trace's arrival times). Off by default: unit tests pass now_ms = 0 and
+  /// would otherwise all queue behind each other. The paper's latency
+  /// numbers include queueing ("all delays of actual operations, such as
+  /// queuing, routing and memory retrieval", Sec. 3.3), and Fig. 6's
+  /// interior optimum needs it: large groups amplify multicast load until
+  /// servers saturate.
+  bool model_queueing = false;
+
+  /// Cooperative L1 caching (the paper's "future work": "consider the
+  /// distributed and cooperative caching"): when a lookup had to escalate
+  /// to the group or global level, the entry MDS pushes the discovered
+  /// (file -> home) mapping to its group members' LRU arrays, so one
+  /// expensive discovery seeds the whole group's L1. Costs one one-way
+  /// message per member per shared discovery.
+  bool cooperative_lru = false;
+
+  /// Deterministic seed for all randomized decisions.
+  std::uint64_t seed = 42;
+
+  LatencyModel latency;
+};
+
+/// Check a configuration before constructing a cluster with it: positive
+/// populations, sane group bounds, a usable bit ratio. Returns the first
+/// violation found.
+Status ValidateClusterConfig(const ClusterConfig& config);
+
+}  // namespace ghba

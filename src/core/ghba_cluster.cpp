@@ -1,0 +1,885 @@
+#include "core/ghba_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <iterator>
+
+#include "common/logging.hpp"
+
+namespace ghba {
+
+GhbaCluster::GhbaCluster(ClusterConfig config, ReplicaPlacement placement)
+    : ClusterBase(config), placement_(placement) {
+  for (std::uint32_t i = 0; i < config_.num_mds; ++i) NewNode();
+
+  // Partition into balanced groups of at most `target` members (sizes
+  // differ by at most one).
+  const std::uint32_t m = std::max<std::uint32_t>(config_.max_group_size, 1);
+  const std::uint32_t target =
+      config_.initial_group_size == 0
+          ? m
+          : std::min(config_.initial_group_size, m);
+  const std::size_t ngroups = (alive_.size() + target - 1) / target;
+  const std::size_t base = alive_.size() / ngroups;
+  const std::size_t remainder = alive_.size() % ngroups;
+  std::size_t pos = 0;
+  for (std::size_t gi = 0; gi < ngroups; ++gi) {
+    const std::size_t size = base + (gi < remainder ? 1 : 0);
+    const GroupId gid = NewGroup();
+    Group& g = groups_.at(gid);
+    for (std::size_t i = pos; i < pos + size; ++i) {
+      g.members.push_back(alive_[i]);
+      g.idbfa.AddMember(alive_[i]);
+      group_of_[alive_[i]] = gid;
+    }
+    pos += size;
+  }
+  for (auto& [gid, g] : groups_) EnsureGroupCoverage(g, nullptr);
+  for (const MdsId id : alive_) RechargeHolder(id);
+  metrics_.Reset();  // construction traffic is not part of any experiment
+}
+
+std::string GhbaCluster::SchemeName() const {
+  return placement_ == ReplicaPlacement::kLeastLoaded ? "G-HBA"
+                                                      : "G-HBA/hash-placement";
+}
+
+GroupId GhbaCluster::NewGroup() {
+  const GroupId gid = next_group_id_++;
+  Group g;
+  g.id = gid;
+  groups_.emplace(gid, std::move(g));
+  return gid;
+}
+
+// ---------------------------------------------------------------------------
+// Replica management
+// ---------------------------------------------------------------------------
+
+MdsId GhbaCluster::PlacementTarget(const Group& g, MdsId owner) const {
+  assert(!g.members.empty());
+  if (placement_ == ReplicaPlacement::kModularHash) {
+    // Section 2.4's strawman: holder index = owner mod M'. Deterministic in
+    // the member count, hence the re-placement storm when M' changes.
+    return g.members[owner % g.members.size()];
+  }
+  return g.LightestMember();
+}
+
+void GhbaCluster::InstallReplica(Group& g, MdsId owner, MdsId holder,
+                                 std::uint64_t* messages) {
+  assert(!g.replica_holder.contains(owner));
+  const MdsNode& owner_node = node(owner);
+  const BloomFilter* published = owner_node.published_snapshot();
+  BloomFilter snapshot =
+      published != nullptr ? *published : owner_node.SnapshotLocalFilter();
+  const Status s = node(holder).segment().AddEntry(owner, std::move(snapshot));
+  assert(s.ok());
+  (void)s;
+  g.replica_holder[owner] = holder;
+  g.idbfa.AddMember(holder);  // idempotent
+  const Status id_status = g.idbfa.AddReplica(holder, owner);
+  assert(id_status.ok());
+  (void)id_status;
+  if (messages != nullptr) *messages += 1;  // replica shipped to holder
+  RechargeHolder(holder);
+}
+
+void GhbaCluster::DropReplica(Group& g, MdsId owner, std::uint64_t* messages) {
+  const auto it = g.replica_holder.find(owner);
+  assert(it != g.replica_holder.end());
+  const MdsId holder = it->second;
+  auto removed = node(holder).segment().RemoveEntry(owner);
+  assert(removed.ok());
+  (void)removed;
+  const Status id_status = g.idbfa.RemoveReplica(holder, owner);
+  assert(id_status.ok());
+  (void)id_status;
+  g.replica_holder.erase(it);
+  if (messages != nullptr) *messages += 1;  // delete notification
+  RechargeHolder(holder);
+}
+
+void GhbaCluster::MoveReplicaWithinGroup(Group& g, MdsId owner, MdsId from,
+                                         MdsId to) {
+  assert(g.replica_holder.at(owner) == from);
+  auto filter = node(from).segment().RemoveEntry(owner);
+  assert(filter.ok());
+  const Status s = node(to).segment().AddEntry(owner, std::move(*filter));
+  assert(s.ok());
+  (void)s;
+  const Status id_status = g.idbfa.MoveReplica(from, to, owner);
+  assert(id_status.ok());
+  (void)id_status;
+  g.replica_holder[owner] = to;
+  RechargeHolder(from);
+  RechargeHolder(to);
+}
+
+void GhbaCluster::EnsureGroupCoverage(Group& g, ReconfigReport* report) {
+  std::uint64_t messages = 0;
+  std::uint64_t migrated = 0;
+
+  // Drop replicas that should no longer be in this group: owners that became
+  // members (their own local filter covers them) or died.
+  std::vector<MdsId> to_drop;
+  for (const auto& [owner, holder] : g.replica_holder) {
+    if (g.HasMember(owner) || !IsAlive(owner)) to_drop.push_back(owner);
+  }
+  for (const MdsId owner : to_drop) DropReplica(g, owner, &messages);
+
+  // Install missing replicas for every alive outsider.
+  for (const MdsId owner : alive_) {
+    if (g.HasMember(owner) || g.replica_holder.contains(owner)) continue;
+    InstallReplica(g, owner, PlacementTarget(g, owner), &messages);
+    ++migrated;  // a copy crossed the network into this group
+  }
+
+  // Modular-hash placement re-pins every replica to its computed member.
+  if (placement_ == ReplicaPlacement::kModularHash) {
+    std::vector<std::pair<MdsId, MdsId>> moves;  // owner, current holder
+    for (const auto& [owner, holder] : g.replica_holder) {
+      const MdsId want = PlacementTarget(g, owner);
+      if (want != holder) moves.emplace_back(owner, holder);
+    }
+    for (const auto& [owner, holder] : moves) {
+      MoveReplicaWithinGroup(g, owner, holder, PlacementTarget(g, owner));
+      ++migrated;
+      ++messages;
+    }
+  }
+
+  if (report != nullptr) {
+    report->messages += messages;
+    report->replicas_migrated += migrated;
+  }
+  metrics_.messages += messages;
+  metrics_.reconfig_messages += messages;
+  metrics_.replicas_migrated += migrated;
+}
+
+void GhbaCluster::RechargeHolder(MdsId holder) {
+  if (!IsAlive(holder)) return;
+  MdsNode& n = node(holder);
+  std::uint64_t replica_bytes = 0;
+  for (const auto& entry : n.segment().entries()) {
+    replica_bytes += PublishedReplicaBytes(entry.owner);
+  }
+  ChargeMemory(holder, replica_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Publish (replica update) path
+// ---------------------------------------------------------------------------
+
+void GhbaCluster::MaybePublish(MdsId owner, double now_ms) {
+  if (node(owner).mutations_since_publish() >= config_.publish_after_mutations) {
+    PublishReplica(owner, now_ms);
+  }
+}
+
+void GhbaCluster::PublishReplica(MdsId owner, double now_ms) {
+  (void)now_ms;
+  MdsNode& n = node(owner);
+  BloomFilter snapshot = n.SnapshotLocalFilter();
+  n.SetPublishedSnapshot(snapshot);
+  n.MarkPublished();
+  SetPublishedFileCount(owner, n.file_count());
+
+  std::uint64_t messages = 0;
+  std::uint64_t targets = 0;
+  double apply_cost = 0;
+  const GroupId own_group = group_of_.at(owner);
+
+  for (auto& [gid, g] : groups_) {
+    if (gid == own_group) continue;
+    const auto it = g.replica_holder.find(owner);
+    if (it == g.replica_holder.end()) continue;  // group has no coverage yet
+    const MdsId holder = it->second;
+
+    // Protocol fidelity: the updater locates the holder through the group's
+    // IDBFA. A multi-hit sends the update to every candidate; wrong ones
+    // simply drop it (Section 2.4), costing one wasted message each.
+    const auto loc = g.idbfa.Locate(owner);
+    if (loc.kind == ArrayQueryResult::Kind::kMultiHit) {
+      messages += loc.all_hits.size() - 1;
+    }
+
+    const Status s = node(holder).segment().RefreshEntry(owner, snapshot);
+    assert(s.ok());
+    (void)s;
+    messages += 2;  // update + ack
+    ++targets;
+    // Applying the update to a disk-resident replica costs a page write.
+    apply_cost = std::max(apply_cost, ReplicaOverflowFraction(holder) *
+                                          config_.latency.spilled_probe_ms);
+    RechargeHolder(holder);
+  }
+  RechargeHolder(owner);  // own published size may have changed
+
+  metrics_.update_latency_ms.Add(config_.latency.Multicast(targets) +
+                                 apply_cost);
+  metrics_.update_messages += messages;
+  metrics_.messages += messages;
+  ++metrics_.publishes;
+}
+
+void GhbaCluster::FlushReplicas(double now_ms) {
+  for (const MdsId id : alive_) PublishReplica(id, now_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Lookup: the four-level critical path (Section 2.3)
+// ---------------------------------------------------------------------------
+
+GhbaCluster::VerifyOutcome GhbaCluster::VerifyAt(MdsId candidate,
+                                                 const std::string& path) {
+  VerifyOutcome out;
+  out.found = node(candidate).store().Contains(path);
+  out.cost_ms = config_.latency.MetadataRead(MetadataCacheHitProb(candidate));
+  return out;
+}
+
+std::vector<MdsId> GhbaCluster::LocalHits(MdsId holder,
+                                          const std::string& path) const {
+  const MdsNode& n = node(holder);
+  // All replicas share one geometry/seed: one digest serves every probe.
+  auto result = n.segment().QueryShared(path);
+  std::vector<MdsId> hits = std::move(result.all_hits);
+  if (n.LocalFilterContains(path)) hits.push_back(holder);
+  return hits;
+}
+
+LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
+  LookupResult res;
+  const MdsId entry = RandomMds();
+  MdsNode& e = node(entry);
+  double lat = 0;
+  std::uint64_t msgs = 0;
+  std::vector<MdsId> already_verified;
+
+  const auto finish = [&](int level, bool found, MdsId home) {
+    // Cooperative caching: an expensive (L3/L4) discovery is worth sharing
+    // with the group so peers resolve the file at L1 next time.
+    if (found && level >= 3 && config_.cooperative_lru) {
+      const Group& g = groups_.at(group_of_.at(entry));
+      for (const MdsId m : g.members) {
+        if (m == entry) continue;
+        node(m).lru().Touch(path, home);
+        ++msgs;  // one-way hint
+      }
+    }
+    res.found = found;
+    res.home = home;
+    res.latency_ms = lat;
+    res.served_level = level;
+    res.messages = msgs;
+    metrics_.lookup_latency_ms.Add(lat);
+    metrics_.lookup_messages += msgs;
+    metrics_.messages += msgs;
+    switch (level) {
+      case 1:
+        ++metrics_.levels.l1;
+        metrics_.l1_latency_ms.Add(lat);
+        break;
+      case 2:
+        ++metrics_.levels.l2;
+        metrics_.l2_latency_ms.Add(lat);
+        break;
+      case 3:
+        ++metrics_.levels.l3;
+        metrics_.group_latency_ms.Add(lat);
+        break;
+      default:
+        if (found) {
+          ++metrics_.levels.l4;
+        } else {
+          ++metrics_.levels.miss;
+        }
+        metrics_.global_latency_ms.Add(lat);
+        break;
+    }
+    return res;
+  };
+
+  const auto verify_candidate = [&](MdsId candidate) {
+    if (candidate != entry) {
+      lat += config_.latency.Unicast();
+      msgs += 2;
+    }
+    const auto v = VerifyAt(candidate, path);
+    lat += ServeAt(candidate, now_ms + lat, v.cost_ms);
+    already_verified.push_back(candidate);
+    if (!v.found) ++metrics_.false_routes;
+    return v.found;
+  };
+
+  // --- L1: local LRU Bloom-filter array ---
+  lat += ServeAt(entry, now_ms,
+                 config_.latency.local_proc_ms +
+                     config_.latency.ArrayProbe(
+                         std::max<std::uint64_t>(e.lru().home_count(), 1)));
+  const auto l1 = e.lru().Query(path);
+  if (l1.unique() && IsAlive(l1.owner)) {
+    if (verify_candidate(l1.owner)) {
+      e.lru().Touch(path, l1.owner);
+      return finish(1, true, l1.owner);
+    }
+    e.lru().Invalidate(path);  // stale cache entry
+  }
+
+  // --- L2: local segment array (theta replicas + own filter) ---
+  lat += ServeAt(entry, now_ms + lat, ProbeCost(entry, e.segment().size() + 1));
+  const auto l2_hits = LocalHits(entry, path);
+  if (l2_hits.size() == 1) {
+    const MdsId candidate = l2_hits.front();
+    const bool fresh = std::find(already_verified.begin(),
+                                 already_verified.end(),
+                                 candidate) == already_verified.end();
+    if (fresh && verify_candidate(candidate)) {
+      e.lru().Touch(path, candidate);
+      return finish(2, true, candidate);
+    }
+  }
+
+  // --- L3: multicast within the group ---
+  Group& g = GroupOfMut(entry);
+  if (g.size() > 1) {
+    const std::uint64_t peers = g.size() - 1;
+    msgs += 2 * peers;
+    const double mcast = config_.latency.Multicast(peers);
+
+    double slowest_peer = 0;
+    std::vector<MdsId> candidates(l2_hits);  // entry's own hits participate
+    for (const MdsId m : g.members) {
+      if (m == entry) continue;
+      const double work =
+          config_.latency.local_proc_ms +
+          ProbeCost(m, node(m).segment().size() + 1);
+      slowest_peer =
+          std::max(slowest_peer, ServeAt(m, now_ms + lat + mcast, work));
+      for (const MdsId h : LocalHits(m, path)) candidates.push_back(h);
+    }
+    lat += mcast + slowest_peer;
+
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (const MdsId c : candidates) {
+      if (std::find(already_verified.begin(), already_verified.end(), c) !=
+          already_verified.end()) {
+        continue;
+      }
+      if (verify_candidate(c)) {
+        e.lru().Touch(path, c);
+        return finish(3, true, c);
+      }
+    }
+  }
+
+  // --- L4: global multicast; exact (local filters have no false negatives,
+  // positives are verified against the on-disk store) ---
+  const std::uint64_t others = NumMds() - 1;
+  msgs += 2 * others;
+  const double gcast = config_.latency.Multicast(others);
+  double slowest_verify = 0;
+  MdsId found_home = kInvalidMds;
+  for (const MdsId m : alive_) {
+    double work = config_.latency.local_proc_ms + config_.latency.ArrayProbe(1);
+    bool positive = node(m).LocalFilterContains(path);
+    bool found_here = false;
+    if (positive) {
+      const auto v = VerifyAt(m, path);
+      work += v.cost_ms;
+      found_here = v.found;
+    }
+    slowest_verify =
+        std::max(slowest_verify, ServeAt(m, now_ms + lat + gcast, work));
+    if (found_here) found_home = m;
+  }
+  lat += gcast + slowest_verify;
+  if (found_home != kInvalidMds) {
+    e.lru().Touch(path, found_home);
+    return finish(4, true, found_home);
+  }
+  return finish(4, false, kInvalidMds);
+}
+
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
+Status GhbaCluster::CreateFile(const std::string& path, FileMetadata metadata,
+                               double now_ms) {
+  if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
+  const MdsId home = RandomMds();
+  if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
+    return s;
+  }
+  const Status oracle = OracleInsert(path, home);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;  // client -> home request + ack
+  MaybePublish(home, now_ms);
+  return Status::Ok();
+}
+
+Status GhbaCluster::UnlinkFile(const std::string& path, double now_ms) {
+  const MdsId home = OracleHome(path);
+  if (home == kInvalidMds) return Status::NotFound(path);
+  if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
+  const Status oracle = OracleErase(path);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  MaybePublish(home, now_ms);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> GhbaCluster::RenamePrefix(const std::string& old_prefix,
+                                                const std::string& new_prefix,
+                                                double now_ms,
+                                                ReconfigReport* report) {
+  // Placement does not depend on pathnames: renames are home-local filter
+  // updates, zero migration (the Table 1 advantage over pathname hashing).
+  (void)report;  // nothing migrates, nothing to report
+  return RenameKeysKeepingHomes(
+      old_prefix, new_prefix, now_ms,
+      [this](MdsId home, double now) { MaybePublish(home, now); });
+}
+
+// ---------------------------------------------------------------------------
+// Reconfiguration (Sections 3.1 and 3.2)
+// ---------------------------------------------------------------------------
+
+Result<MdsId> GhbaCluster::AddMds(ReconfigReport* report) {
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  const MdsId nid = NewNode();
+
+  // Pick the smallest group with room; if every group is full, split one.
+  GroupId target = 0;
+  std::size_t best = static_cast<std::size_t>(-1);
+  bool found_room = false;
+  for (const auto& [gid, g] : groups_) {
+    if (g.size() < config_.max_group_size && g.size() < best) {
+      best = g.size();
+      target = gid;
+      found_room = true;
+    }
+  }
+  if (!found_room) {
+    // Split a random full group; the new MDS then joins the smaller half.
+    auto it = groups_.begin();
+    std::advance(it, rng_.NextBounded(groups_.size()));
+    SplitGroup(it->first, &rep);
+    rep.group_split = true;
+    best = static_cast<std::size_t>(-1);
+    for (const auto& [gid, g] : groups_) {
+      if (g.size() < config_.max_group_size && g.size() < best) {
+        best = g.size();
+        target = gid;
+      }
+    }
+  }
+
+  Group& g = groups_.at(target);
+  g.members.push_back(nid);
+  g.idbfa.AddMember(nid);
+  group_of_[nid] = target;
+  // A split that ran above already covered the (then group-less) newcomer
+  // as an outsider; it is a member now, so that replica must go.
+  if (g.replica_holder.contains(nid)) DropReplica(g, nid, &rep.messages);
+
+  // The new member must also stop being covered as an outsider (it never
+  // was) and the group's outsider set is unchanged, so only intra-group
+  // rebalancing happens: each overloaded member offloads replicas to the
+  // new MDS (Section 3.1's light-weight migration).
+  // Floor division: every existing member sheds down to the new average so
+  // the newcomer actually receives ~(N - M')/(M' + 1) replicas.
+  const std::size_t outsiders = alive_.size() - g.size();
+  const std::size_t target_load = g.size() == 0 ? 0 : outsiders / g.size();
+  if (placement_ == ReplicaPlacement::kModularHash) {
+    // Strawman: every replica re-places under the new modulus.
+    std::vector<std::pair<MdsId, MdsId>> moves;
+    for (const auto& [owner, holder] : g.replica_holder) {
+      const MdsId want = PlacementTarget(g, owner);
+      if (want != holder) moves.emplace_back(owner, holder);
+    }
+    for (const auto& [owner, holder] : moves) {
+      MoveReplicaWithinGroup(g, owner, holder, PlacementTarget(g, owner));
+      ++rep.replicas_migrated;
+      ++rep.messages;
+    }
+  } else {
+    for (const MdsId m : g.members) {
+      if (m == nid) continue;
+      auto held = node(m).segment().Owners();
+      while (held.size() > target_load) {
+        const MdsId owner = held.back();
+        held.pop_back();
+        MoveReplicaWithinGroup(g, owner, m, nid);
+        ++rep.replicas_migrated;
+        ++rep.messages;
+      }
+    }
+  }
+
+  // Updated IDBFA multicast within the group.
+  rep.messages += g.size() - 1;
+
+  // Announce the new MDS's (empty) filter to one holder in each other group
+  // (a split may already have covered it there).
+  for (auto& [gid, other] : groups_) {
+    if (gid == target || other.replica_holder.contains(nid)) continue;
+    InstallReplica(other, nid, PlacementTarget(other, nid), &rep.messages);
+  }
+
+  for (const MdsId m : g.members) RechargeHolder(m);
+
+  metrics_.replicas_migrated += rep.replicas_migrated;
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return nid;
+}
+
+Status GhbaCluster::RemoveMds(MdsId id, ReconfigReport* report) {
+  if (!IsAlive(id)) return Status::NotFound("no such MDS");
+  if (alive_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last MDS");
+  }
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  const GroupId gid = group_of_.at(id);
+  Group& g = groups_.at(gid);
+
+  // (1) Migrate the replicas this MDS held to the remaining group members.
+  const auto held = g.ReplicasHeldBy(id);
+  if (g.size() > 1) {
+    for (const MdsId owner : held) {
+      // Lightest member other than the departing one.
+      MdsId best = kInvalidMds;
+      std::size_t best_load = static_cast<std::size_t>(-1);
+      for (const MdsId m : g.members) {
+        if (m == id) continue;
+        const auto load = g.LoadOf(m);
+        if (load < best_load) {
+          best_load = load;
+          best = m;
+        }
+      }
+      MoveReplicaWithinGroup(g, owner, id, best);
+      ++rep.replicas_migrated;
+      ++rep.messages;
+    }
+  } else {
+    for (const MdsId owner : held) DropReplica(g, owner, &rep.messages);
+  }
+
+  // (2) Remove its ID filter from the group's IDBFA and tell the members.
+  g.members.erase(std::find(g.members.begin(), g.members.end(), id));
+  const Status id_status = g.idbfa.RemoveMember(id);
+  assert(id_status.ok());
+  (void)id_status;
+  rep.messages += g.size();
+  group_of_.erase(id);
+
+  // (3) Tell the other groups to delete this MDS's replica.
+  for (auto& [ogid, other] : groups_) {
+    if (ogid == gid) continue;
+    if (other.replica_holder.contains(id)) DropReplica(other, id, &rep.messages);
+  }
+
+  // (4) Re-home the departing MDS's files to the remaining group members
+  // (round-robin), falling back to any alive MDS if the group emptied.
+  auto files = node(id).store().ExtractAll();
+  std::vector<MdsId> targets = g.members;
+  if (targets.empty()) {
+    for (const MdsId a : alive_) {
+      if (a != id) targets.push_back(a);
+    }
+  }
+  std::size_t rr = 0;
+  for (auto& [path, md] : files) {
+    const MdsId tgt = targets[rr++ % targets.size()];
+    const Status s = node(tgt).AddLocalFile(path, std::move(md));
+    assert(s.ok());
+    (void)s;
+    oracle_[path] = tgt;
+  }
+  rep.files_migrated += files.size();
+  rep.messages += files.size();
+
+  RetireNode(id);
+
+  // Receivers' filters changed substantially: publish them immediately.
+  for (const MdsId tgt : targets) PublishReplica(tgt, 0.0);
+
+  if (g.members.empty()) {
+    groups_.erase(gid);
+  } else {
+    TryMergeAfterDeparture(gid, &rep);
+  }
+
+  metrics_.replicas_migrated += rep.replicas_migrated;
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return Status::Ok();
+}
+
+Status GhbaCluster::FailMds(MdsId id, ReconfigReport* report) {
+  if (!IsAlive(id)) return Status::NotFound("no such MDS");
+  if (alive_.size() == 1) {
+    return Status::InvalidArgument("cannot fail the last MDS");
+  }
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  const GroupId gid = group_of_.at(id);
+  Group& g = groups_.at(gid);
+
+  // Heart-beats detected the crash. The files homed there are gone with the
+  // node (data-loss handling is a higher layer's job); count them.
+  lost_files_ += node(id).file_count();
+  std::vector<std::string> dead_paths;
+  node(id).store().ForEach(
+      [&](const std::string& path, const FileMetadata&) {
+        dead_paths.push_back(path);
+      });
+  for (const auto& path : dead_paths) oracle_.erase(path);
+
+  // Replicas the dead node *held* for outside owners are re-fetched from
+  // their (alive) owners by the group's remaining members.
+  const auto held = g.ReplicasHeldBy(id);
+  for (const MdsId owner : held) {
+    DropReplica(g, owner, &rep.messages);
+  }
+  g.members.erase(std::find(g.members.begin(), g.members.end(), id));
+  const Status id_status = g.idbfa.RemoveMember(id);
+  assert(id_status.ok());
+  (void)id_status;
+  rep.messages += g.size();  // IDBFA update multicast
+  group_of_.erase(id);
+
+  // "Once an MDS failure is detected, the corresponding Bloom filters are
+  // removed from the other MDSs to reduce the number of false positives."
+  for (auto& [ogid, other] : groups_) {
+    if (other.replica_holder.contains(id)) {
+      DropReplica(other, id, &rep.messages);
+    }
+  }
+  // Evict stale L1 entries pointing at the dead node.
+  for (const MdsId a : alive_) {
+    if (a != id) node(a).lru().DropHome(id);
+  }
+
+  RetireNode(id);
+
+  if (g.members.empty()) {
+    groups_.erase(gid);
+  } else {
+    // Restore full coverage (re-fetch dropped replicas from their owners).
+    EnsureGroupCoverage(groups_.at(gid), &rep);
+    TryMergeAfterDeparture(gid, &rep);
+  }
+
+  metrics_.replicas_migrated += rep.replicas_migrated;
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return Status::Ok();
+}
+
+void GhbaCluster::SplitGroup(GroupId gid, ReconfigReport* report) {
+  Group& a = groups_.at(gid);
+  const std::size_t move_count = a.members.size() / 2;  // floor(M/2)
+  if (move_count == 0) return;
+
+  const GroupId bid = NewGroup();
+  Group& b = groups_.at(bid);
+
+  // Move the tail members of A into B.
+  std::vector<MdsId> moved(a.members.end() - static_cast<std::ptrdiff_t>(move_count),
+                           a.members.end());
+  a.members.resize(a.members.size() - move_count);
+  for (const MdsId m : moved) {
+    b.members.push_back(m);
+    b.idbfa.AddMember(m);
+    const Status s = a.idbfa.RemoveMember(m);
+    assert(s.ok());
+    (void)s;
+    group_of_[m] = bid;
+  }
+
+  // Re-split the replica bookkeeping: each replica stays physically where it
+  // is; it now belongs to whichever group its holder landed in.
+  std::unordered_map<MdsId, MdsId> old_assignment = std::move(a.replica_holder);
+  a.replica_holder.clear();
+  for (const auto& [owner, holder] : old_assignment) {
+    Group& dst = b.HasMember(holder) ? b : a;
+    dst.replica_holder[owner] = holder;
+    if (&dst == &b) {
+      // Transfer IDBFA bookkeeping from A to B.
+      const Status s = b.idbfa.AddReplica(holder, owner);
+      assert(s.ok());
+      (void)s;
+    } else {
+      // Already tracked in A's IDBFA (holder stayed).
+    }
+  }
+  // Rebuild A's IDBFA cleanly: entries for moved holders are gone with the
+  // member removal; survivors keep theirs. Simplest correct approach:
+  // reconstruct from the assignment.
+  a.idbfa = IdBloomArray(IdBloomArrayOptions{});
+  for (const MdsId m : a.members) a.idbfa.AddMember(m);
+  for (const auto& [owner, holder] : a.replica_holder) {
+    const Status s = a.idbfa.AddReplica(holder, owner);
+    assert(s.ok());
+    (void)s;
+  }
+
+  // Both halves must mirror the whole system again: A now needs replicas of
+  // B's members (and of any owner whose replica moved to B), and vice versa.
+  // These are the "migrate copies" arrows of Fig. 5(a).
+  EnsureGroupCoverage(a, report);
+  EnsureGroupCoverage(b, report);
+  if (report != nullptr) {
+    report->messages += a.size() + b.size();  // new IDBFAs multicast
+  }
+  for (const MdsId m : a.members) RechargeHolder(m);
+  for (const MdsId m : b.members) RechargeHolder(m);
+}
+
+void GhbaCluster::MergeGroups(GroupId dst_id, GroupId src_id,
+                              ReconfigReport* report) {
+  Group& dst = groups_.at(dst_id);
+  Group src = std::move(groups_.at(src_id));
+  groups_.erase(src_id);
+
+  for (const MdsId m : src.members) {
+    dst.members.push_back(m);
+    dst.idbfa.AddMember(m);
+    group_of_[m] = dst_id;
+  }
+  // Adopt src's replicas unless dst already covers the owner (then src's
+  // copy is redundant and dropped) or the owner became a member.
+  for (const auto& [owner, holder] : src.replica_holder) {
+    if (dst.HasMember(owner) || dst.replica_holder.contains(owner) ||
+        !IsAlive(owner)) {
+      auto removed = node(holder).segment().RemoveEntry(owner);
+      assert(removed.ok());
+      (void)removed;
+      if (report != nullptr) ++report->messages;
+      RechargeHolder(holder);
+      continue;
+    }
+    dst.replica_holder[owner] = holder;
+    const Status s = dst.idbfa.AddReplica(holder, owner);
+    assert(s.ok());
+    (void)s;
+  }
+  // dst may have held replicas of src members; coverage fixes that.
+  EnsureGroupCoverage(dst, report);
+  if (report != nullptr) {
+    report->messages += dst.size();  // merged IDBFA multicast
+    report->group_merged = true;
+  }
+  for (const MdsId m : dst.members) RechargeHolder(m);
+}
+
+void GhbaCluster::TryMergeAfterDeparture(GroupId gid, ReconfigReport* report) {
+  // Merge while some pair of groups fits within M (paper: "this process
+  // repeats until no merging can be performed").
+  bool merged = true;
+  while (merged && groups_.size() > 1) {
+    merged = false;
+    for (auto it1 = groups_.begin(); it1 != groups_.end() && !merged; ++it1) {
+      for (auto it2 = std::next(it1); it2 != groups_.end(); ++it2) {
+        if (it1->second.size() + it2->second.size() <=
+            config_.max_group_size) {
+          MergeGroups(it1->first, it2->first, report);
+          merged = true;
+          break;
+        }
+      }
+    }
+  }
+  (void)gid;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::uint64_t GhbaCluster::LookupStateBytes(MdsId id) const {
+  const MdsNode& n = node(id);
+  std::uint64_t bytes = PublishedReplicaBytes(id);  // own filter
+  for (const auto& entry : n.segment().entries()) {
+    bytes += PublishedReplicaBytes(entry.owner);
+  }
+  bytes += n.lru().MemoryBytes();
+  const auto git = group_of_.find(id);
+  if (git != group_of_.end()) {
+    bytes += groups_.at(git->second).idbfa.MemoryBytes();
+  }
+  return bytes;
+}
+
+Status GhbaCluster::CheckInvariants() const {
+  // Every alive MDS belongs to exactly one group.
+  for (const MdsId id : alive_) {
+    const auto it = group_of_.find(id);
+    if (it == group_of_.end()) {
+      return Status::Internal("MDS not in any group");
+    }
+    if (!groups_.at(it->second).HasMember(id)) {
+      return Status::Internal("group_of points to a group without the MDS");
+    }
+  }
+  std::size_t member_total = 0;
+  for (const auto& [gid, g] : groups_) {
+    member_total += g.size();
+    if (g.size() > config_.max_group_size) {
+      return Status::Internal("group exceeds M");
+    }
+    // Each group mirrors the entire system: exactly one replica per alive
+    // outsider, held by a member, present in that member's segment array
+    // and locatable through the IDBFA.
+    for (const MdsId owner : alive_) {
+      if (g.HasMember(owner)) {
+        if (g.replica_holder.contains(owner)) {
+          return Status::Internal("replica of a co-member present");
+        }
+        continue;
+      }
+      const auto it = g.replica_holder.find(owner);
+      if (it == g.replica_holder.end()) {
+        return Status::Internal("missing replica coverage for an outsider");
+      }
+      const MdsId holder = it->second;
+      if (!g.HasMember(holder)) {
+        return Status::Internal("replica holder is not a group member");
+      }
+      if (!node(holder).segment().HasEntry(owner)) {
+        return Status::Internal("segment array missing a held replica");
+      }
+      const auto loc = g.idbfa.Locate(owner);
+      bool holder_hit = false;
+      for (const MdsId h : loc.all_hits) holder_hit |= (h == holder);
+      if (!holder_hit) {
+        return Status::Internal("IDBFA cannot locate a held replica");
+      }
+    }
+    // No stale replicas of dead MDSs.
+    for (const auto& [owner, holder] : g.replica_holder) {
+      if (!IsAlive(owner)) return Status::Internal("replica of a dead MDS");
+    }
+  }
+  if (member_total != alive_.size()) {
+    return Status::Internal("group membership does not partition the MDSs");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghba

@@ -1,0 +1,124 @@
+// G-HBA: Group-based Hierarchical Bloom filter Array cluster.
+//
+// The paper's primary contribution. MDSs are partitioned into groups of at
+// most M members. Lookups walk the four-level hierarchy (L1 local LRU array,
+// L2 local segment array, L3 group multicast, L4 global multicast). Replica
+// placement inside a group goes through the IDBFA; reconfiguration uses the
+// light-weight migration of Section 3.1 with group split/merge (Section
+// 3.2). Replica updates are staleness-bounded (Section 3.4's XOR criterion,
+// operationalized as a mutation budget) and touch only one MDS per group.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/group.hpp"
+
+namespace ghba {
+
+/// How replicas are assigned to members inside a group. kLeastLoaded is
+/// G-HBA's IDBFA-backed policy; kModularHash reproduces the "hash-based
+/// placement" strawman of Section 2.4 (Fig. 11's comparison), which must
+/// re-place replicas whenever the member count changes.
+enum class ReplicaPlacement { kLeastLoaded, kModularHash };
+
+class GhbaCluster final : public ClusterBase {
+ public:
+  explicit GhbaCluster(ClusterConfig config,
+                       ReplicaPlacement placement = ReplicaPlacement::kLeastLoaded);
+
+  std::string SchemeName() const override;
+
+  LookupResult Lookup(const std::string& path, double now_ms) override;
+  Status CreateFile(const std::string& path, FileMetadata metadata,
+                    double now_ms) override;
+  Status UnlinkFile(const std::string& path, double now_ms) override;
+  Result<std::uint64_t> RenamePrefix(const std::string& old_prefix,
+                                     const std::string& new_prefix,
+                                     double now_ms,
+                                     ReconfigReport* report) override;
+
+  Result<MdsId> AddMds(ReconfigReport* report) override;
+  Status RemoveMds(MdsId id, ReconfigReport* report) override;
+
+  /// Abrupt failure (Section 4.5's heart-beat detected crash): unlike a
+  /// graceful RemoveMds, the node's metadata is NOT migrated — it becomes
+  /// unreachable until re-inserted by higher-level recovery. The fail-over
+  /// protocol removes the dead node's filters everywhere (to stop false
+  /// positives), migrates the *replicas it held* only if other members can
+  /// reconstruct them from the owners, and keeps the service functional
+  /// "albeit at a degraded performance and coverage level".
+  Status FailMds(MdsId id, ReconfigReport* report);
+
+  /// Files whose metadata was lost to failures (simulation bookkeeping).
+  std::uint64_t lost_files() const { return lost_files_; }
+
+  std::uint64_t LookupStateBytes(MdsId id) const override;
+
+  /// Force-publish every MDS's filter to its replica holders (used after
+  /// bulk population and by benchmarks that need a clean baseline).
+  void FlushReplicas(double now_ms) override;
+
+  /// Publish one MDS's filter now, regardless of the mutation budget.
+  void PublishReplica(MdsId owner, double now_ms);
+
+  // --- introspection for tests / benches ---
+  std::size_t NumGroups() const { return groups_.size(); }
+  GroupId GroupOf(MdsId id) const { return group_of_.at(id); }
+  const Group& GetGroup(GroupId g) const { return groups_.at(g); }
+
+  /// Replicas held by `id` (theta in the paper's notation).
+  std::size_t ThetaOf(MdsId id) const { return node(id).segment().size(); }
+
+  /// Verify structural invariants (each group mirrors the global system,
+  /// IDBFA consistent with holders, segment arrays match bookkeeping).
+  /// Returns OK or an Internal status describing the violation.
+  Status CheckInvariants() const;
+
+ private:
+  // --- lookup helpers ---
+  struct VerifyOutcome {
+    bool found = false;
+    double cost_ms = 0;
+  };
+  /// Authoritatively check `path` on `candidate` (store lookup with the
+  /// cache model). Does not include network cost.
+  VerifyOutcome VerifyAt(MdsId candidate, const std::string& path);
+
+  /// Collect membership hits on `holder`'s segment array + own filter.
+  std::vector<MdsId> LocalHits(MdsId holder, const std::string& path) const;
+
+  // --- replica management ---
+  void InstallReplica(Group& g, MdsId owner, MdsId holder,
+                      std::uint64_t* messages);
+  void DropReplica(Group& g, MdsId owner, std::uint64_t* messages);
+  void MoveReplicaWithinGroup(Group& g, MdsId owner, MdsId from, MdsId to);
+  MdsId PlacementTarget(const Group& g, MdsId owner) const;
+
+  /// Make `g` hold exactly one replica for every alive non-member owner.
+  void EnsureGroupCoverage(Group& g, ReconfigReport* report);
+
+  /// Recompute a holder's analytic replica bytes and recharge its memory.
+  void RechargeHolder(MdsId holder);
+
+  void MaybePublish(MdsId owner, double now_ms);
+
+  // --- group lifecycle ---
+  Group& GroupOfMut(MdsId id) { return groups_.at(group_of_.at(id)); }
+  GroupId NewGroup();
+  /// Split `g` (which has M members and a pending join) per Section 3.2.
+  void SplitGroup(GroupId gid, ReconfigReport* report);
+  /// Merge `src` into `dst` when their total size fits M.
+  void MergeGroups(GroupId dst, GroupId src, ReconfigReport* report);
+  void TryMergeAfterDeparture(GroupId gid, ReconfigReport* report);
+
+  ReplicaPlacement placement_;
+  std::map<GroupId, Group> groups_;
+  std::unordered_map<MdsId, GroupId> group_of_;
+  GroupId next_group_id_ = 0;
+  std::uint64_t lost_files_ = 0;
+};
+
+}  // namespace ghba

@@ -1,0 +1,36 @@
+#include "core/group.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ghba {
+
+MdsId Group::LightestMember() const {
+  assert(!members.empty());
+  // Count loads in one pass rather than calling LoadOf per member.
+  std::unordered_map<MdsId, std::size_t> load;
+  for (const MdsId m : members) load[m] = 0;
+  for (const auto& [owner, holder] : replica_holder) ++load[holder];
+
+  MdsId best = members.front();
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (const MdsId m : members) {
+    if (load[m] < best_load || (load[m] == best_load && m < best)) {
+      best = m;
+      best_load = load[m];
+    }
+  }
+  return best;
+}
+
+std::vector<MdsId> Group::ReplicasHeldBy(MdsId member) const {
+  std::vector<MdsId> owners;
+  for (const auto& [owner, holder] : replica_holder) {
+    if (holder == member) owners.push_back(owner);
+  }
+  std::sort(owners.begin(), owners.end());
+  return owners;
+}
+
+}  // namespace ghba

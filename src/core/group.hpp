@@ -1,0 +1,56 @@
+// Group bookkeeping for G-HBA.
+//
+// A group of at most M MDSs collectively mirrors the whole system: for every
+// MDS outside the group, exactly one member holds that MDS's Bloom-filter
+// replica. Two views of the replica->holder relation coexist:
+//   * `replica_holder` — the exact assignment, used to *perform* migrations
+//     and rebuilds (in a real deployment each member derives this from its
+//     own bookkeeping; the simulator centralizes it),
+//   * `idbfa`          — the ID Bloom-filter array the *protocols* consult
+//     (update routing, Section 2.4), kept faithfully in sync and carrying
+//     the paper's probabilistic semantics (multi-hits cost extra messages).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bloom/bloom_filter_array.hpp"
+#include "bloom/id_bloom_array.hpp"
+
+namespace ghba {
+
+using GroupId = std::uint32_t;
+
+struct Group {
+  GroupId id = 0;
+  std::vector<MdsId> members;
+  std::unordered_map<MdsId, MdsId> replica_holder;  // owner -> holder
+  IdBloomArray idbfa;
+
+  bool HasMember(MdsId id) const {
+    for (const MdsId m : members) {
+      if (m == id) return true;
+    }
+    return false;
+  }
+
+  std::size_t size() const { return members.size(); }
+
+  /// Number of replicas currently held by `member`.
+  std::size_t LoadOf(MdsId member) const {
+    std::size_t load = 0;
+    for (const auto& [owner, holder] : replica_holder) {
+      if (holder == member) ++load;
+    }
+    return load;
+  }
+
+  /// Member holding the fewest replicas (ties: lowest id).
+  MdsId LightestMember() const;
+
+  /// Owners of replicas held by `member`.
+  std::vector<MdsId> ReplicasHeldBy(MdsId member) const;
+};
+
+}  // namespace ghba

@@ -1,0 +1,184 @@
+#include "core/hash_cluster.hpp"
+
+#include <cassert>
+
+#include "hash/xx64.hpp"
+
+namespace ghba {
+
+HashPlacementCluster::HashPlacementCluster(ClusterConfig config)
+    : ClusterBase(config) {
+  for (std::uint32_t i = 0; i < config_.num_mds; ++i) NewNode();
+  metrics_.Reset();
+}
+
+MdsId HashPlacementCluster::HomeOf(const std::string& path) const {
+  assert(!alive_.empty());
+  return alive_[Xx64(path, config_.seed) % alive_.size()];
+}
+
+LookupResult HashPlacementCluster::Lookup(const std::string& path,
+                                          double now_ms) {
+  (void)now_ms;
+  LookupResult res;
+  const MdsId home = HomeOf(path);
+  double lat = config_.latency.local_proc_ms + config_.latency.Unicast();
+  std::uint64_t msgs = 2;
+
+  res.found = node(home).store().Contains(path);
+  lat += config_.latency.MetadataRead(MetadataCacheHitProb(home));
+
+  res.home = res.found ? home : kInvalidMds;
+  res.latency_ms = lat;
+  res.served_level = 2;  // single deterministic hop
+  res.messages = msgs;
+  metrics_.lookup_latency_ms.Add(lat);
+  metrics_.l2_latency_ms.Add(lat);
+  if (res.found) {
+    ++metrics_.levels.l2;
+  } else {
+    ++metrics_.levels.miss;
+  }
+  metrics_.lookup_messages += msgs;
+  metrics_.messages += msgs;
+  return res;
+}
+
+Status HashPlacementCluster::CreateFile(const std::string& path,
+                                        FileMetadata metadata, double now_ms) {
+  (void)now_ms;
+  if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
+  const MdsId home = HomeOf(path);
+  if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
+    return s;
+  }
+  const Status oracle = OracleInsert(path, home);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  return Status::Ok();
+}
+
+Status HashPlacementCluster::UnlinkFile(const std::string& path,
+                                        double now_ms) {
+  (void)now_ms;
+  const MdsId home = OracleHome(path);
+  if (home == kInvalidMds) return Status::NotFound(path);
+  if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
+  const Status oracle = OracleErase(path);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  return Status::Ok();
+}
+
+Result<std::uint64_t> HashPlacementCluster::RenamePrefix(
+    const std::string& old_prefix, const std::string& new_prefix,
+    double now_ms, ReconfigReport* report) {
+  (void)now_ms;
+  if (old_prefix.empty() || new_prefix.empty()) {
+    return Status::InvalidArgument("empty rename prefix");
+  }
+  const auto paths = OraclePathsWithPrefix(old_prefix);
+  for (const auto& path : paths) {
+    const std::string renamed = new_prefix + path.substr(old_prefix.size());
+    if (oracle_.contains(renamed)) return Status::AlreadyExists(renamed);
+  }
+  for (const auto& path : paths) {
+    const std::string renamed = new_prefix + path.substr(old_prefix.size());
+    const MdsId old_home = oracle_.at(path);
+    const MdsId new_home = HomeOf(renamed);
+    auto md = node(old_home).store().Lookup(path);
+    assert(md.ok());
+    const Status removed = node(old_home).RemoveLocalFile(path);
+    assert(removed.ok());
+    (void)removed;
+    const Status added = node(new_home).AddLocalFile(renamed, std::move(*md));
+    assert(added.ok());
+    (void)added;
+    oracle_.erase(path);
+    oracle_.emplace(renamed, new_home);
+    if (new_home != old_home) {
+      // The re-hashed name lands on a different server: the metadata (and,
+      // in a real deployment, the client redirection) must move.
+      if (report != nullptr) {
+        ++report->files_migrated;
+        ++report->messages;
+      }
+      ++metrics_.messages;
+      ++metrics_.reconfig_messages;
+    }
+  }
+  return static_cast<std::uint64_t>(paths.size());
+}
+
+std::uint64_t HashPlacementCluster::Rebalance(ReconfigReport* report) {
+  // Collect misplaced files first: moving while iterating a node's store
+  // would invalidate its iteration.
+  std::vector<std::pair<std::string, MdsId>> moves;  // path, old home
+  for (const auto& [path, home] : oracle_) {
+    if (HomeOf(path) != home) moves.emplace_back(path, home);
+  }
+  for (const auto& [path, old_home] : moves) {
+    auto md = node(old_home).store().Lookup(path);
+    assert(md.ok());
+    const Status removed = node(old_home).RemoveLocalFile(path);
+    assert(removed.ok());
+    (void)removed;
+    const MdsId new_home = HomeOf(path);
+    const Status added = node(new_home).AddLocalFile(path, std::move(*md));
+    assert(added.ok());
+    (void)added;
+    oracle_[path] = new_home;
+  }
+  if (report != nullptr) {
+    report->files_migrated += moves.size();
+    report->messages += moves.size();
+  }
+  metrics_.messages += moves.size();
+  metrics_.reconfig_messages += moves.size();
+  return moves.size();
+}
+
+Result<MdsId> HashPlacementCluster::AddMds(ReconfigReport* report) {
+  const MdsId nid = NewNode();
+  Rebalance(report);
+  return nid;
+}
+
+Status HashPlacementCluster::RemoveMds(MdsId id, ReconfigReport* report) {
+  if (!IsAlive(id)) return Status::NotFound("no such MDS");
+  if (alive_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last MDS");
+  }
+  // Drain the departing node first, then rebalance under the new modulus.
+  auto files = node(id).store().ExtractAll();
+  RetireNode(id);
+  for (auto& [path, md] : files) {
+    const MdsId home = HomeOf(path);
+    const Status s = node(home).AddLocalFile(path, std::move(md));
+    assert(s.ok());
+    (void)s;
+    oracle_[path] = home;
+    if (report != nullptr) {
+      ++report->files_migrated;
+      ++report->messages;
+    }
+  }
+  Rebalance(report);
+  return Status::Ok();
+}
+
+Status HashPlacementCluster::CheckInvariants() const {
+  for (const auto& [path, home] : oracle_) {
+    if (HomeOf(path) != home) {
+      return Status::Internal("file not on its hash-computed home");
+    }
+    if (!node(home).store().Contains(path)) {
+      return Status::Internal("oracle out of sync with store");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghba

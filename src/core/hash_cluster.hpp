@@ -1,0 +1,50 @@
+// Hash-based metadata placement baseline (Lustre/Vesta/InterMezzo style).
+//
+// The home MDS of a file is a pure function of its pathname hash, so lookup
+// is a deterministic O(1) unicast with no replicas at all. The flip side
+// (Table 1, Section 1.1) is migration cost: when the server count changes,
+// every file whose hash now lands elsewhere must move — the behaviour this
+// baseline exposes for the reconfiguration benchmarks and examples.
+#pragma once
+
+#include "core/cluster.hpp"
+
+namespace ghba {
+
+class HashPlacementCluster final : public ClusterBase {
+ public:
+  explicit HashPlacementCluster(ClusterConfig config);
+
+  std::string SchemeName() const override { return "HashPlacement"; }
+
+  LookupResult Lookup(const std::string& path, double now_ms) override;
+  Status CreateFile(const std::string& path, FileMetadata metadata,
+                    double now_ms) override;
+  Status UnlinkFile(const std::string& path, double now_ms) override;
+
+  /// The pathname-hash pain point (Section 1.1, Lazy Hybrid discussion):
+  /// renaming a directory re-hashes every file underneath, and files whose
+  /// hash now lands elsewhere must migrate.
+  Result<std::uint64_t> RenamePrefix(const std::string& old_prefix,
+                                     const std::string& new_prefix,
+                                     double now_ms,
+                                     ReconfigReport* report) override;
+
+  Result<MdsId> AddMds(ReconfigReport* report) override;
+  Status RemoveMds(MdsId id, ReconfigReport* report) override;
+
+  /// Hash placement keeps no lookup structures at all.
+  std::uint64_t LookupStateBytes(MdsId) const override { return 0; }
+
+  /// The placement function: which MDS owns `path` right now.
+  MdsId HomeOf(const std::string& path) const;
+
+  /// Every file sits on the MDS the placement function names.
+  Status CheckInvariants() const;
+
+ private:
+  /// Move every misplaced file to its computed home; returns moves.
+  std::uint64_t Rebalance(ReconfigReport* report);
+};
+
+}  // namespace ghba

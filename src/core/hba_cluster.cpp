@@ -1,0 +1,340 @@
+#include "core/hba_cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ghba {
+
+HbaCluster::HbaCluster(ClusterConfig config, bool use_lru)
+    : ClusterBase(config), use_lru_(use_lru) {
+  for (std::uint32_t i = 0; i < config_.num_mds; ++i) NewNode();
+  // Full mesh of replicas: every node holds every other node's filter.
+  for (const MdsId holder : alive_) {
+    for (const MdsId owner : alive_) {
+      if (owner == holder) continue;
+      const Status s = node(holder).segment().AddEntry(
+          owner, node(owner).SnapshotLocalFilter());
+      assert(s.ok());
+      (void)s;
+    }
+  }
+  for (const MdsId id : alive_) RechargeHolder(id);
+  metrics_.Reset();
+}
+
+std::string HbaCluster::SchemeName() const { return use_lru_ ? "HBA" : "BFA"; }
+
+void HbaCluster::RechargeHolder(MdsId holder) {
+  if (!IsAlive(holder)) return;
+  MdsNode& n = node(holder);
+  std::uint64_t replica_bytes = 0;
+  for (const auto& entry : n.segment().entries()) {
+    replica_bytes += PublishedReplicaBytes(entry.owner);
+  }
+  ChargeMemory(holder, replica_bytes);
+}
+
+HbaCluster::VerifyOutcome HbaCluster::VerifyAt(MdsId candidate,
+                                               const std::string& path) {
+  VerifyOutcome out;
+  out.found = node(candidate).store().Contains(path);
+  out.cost_ms = config_.latency.MetadataRead(MetadataCacheHitProb(candidate));
+  return out;
+}
+
+LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
+  LookupResult res;
+  const MdsId entry = RandomMds();
+  MdsNode& e = node(entry);
+  double lat = ServeAt(entry, now_ms, config_.latency.local_proc_ms);
+  std::uint64_t msgs = 0;
+  std::vector<MdsId> already_verified;
+
+  const auto finish = [&](int level, bool found, MdsId home) {
+    res.found = found;
+    res.home = home;
+    res.latency_ms = lat;
+    res.served_level = level;
+    res.messages = msgs;
+    metrics_.lookup_latency_ms.Add(lat);
+    metrics_.lookup_messages += msgs;
+    metrics_.messages += msgs;
+    switch (level) {
+      case 1:
+        ++metrics_.levels.l1;
+        metrics_.l1_latency_ms.Add(lat);
+        break;
+      case 2:
+        ++metrics_.levels.l2;
+        metrics_.l2_latency_ms.Add(lat);
+        break;
+      default:
+        if (found) {
+          ++metrics_.levels.l4;
+        } else {
+          ++metrics_.levels.miss;
+        }
+        metrics_.global_latency_ms.Add(lat);
+        break;
+    }
+    return res;
+  };
+
+  const auto verify_candidate = [&](MdsId candidate) {
+    if (candidate != entry) {
+      lat += config_.latency.Unicast();
+      msgs += 2;
+    }
+    const auto v = VerifyAt(candidate, path);
+    lat += ServeAt(candidate, now_ms + lat, v.cost_ms);
+    already_verified.push_back(candidate);
+    if (!v.found) ++metrics_.false_routes;
+    return v.found;
+  };
+
+  // --- L1: LRU array (HBA only) ---
+  if (use_lru_) {
+    lat += ServeAt(entry, now_ms + lat,
+                   config_.latency.ArrayProbe(
+                       std::max<std::uint64_t>(e.lru().home_count(), 1)));
+    const auto l1 = e.lru().Query(path);
+    if (l1.unique() && IsAlive(l1.owner)) {
+      if (verify_candidate(l1.owner)) {
+        e.lru().Touch(path, l1.owner);
+        return finish(1, true, l1.owner);
+      }
+      e.lru().Invalidate(path);
+    }
+  }
+
+  // --- L2: the full global array (N-1 replicas + own filter). This is the
+  // expensive probe when the array has spilled to disk. ---
+  lat += ServeAt(entry, now_ms + lat, ProbeCost(entry, e.segment().size() + 1));
+  auto hits = e.segment().QueryShared(path).all_hits;
+  if (e.LocalFilterContains(path)) hits.push_back(entry);
+  if (hits.size() == 1) {
+    const MdsId candidate = hits.front();
+    const bool fresh = std::find(already_verified.begin(),
+                                 already_verified.end(),
+                                 candidate) == already_verified.end();
+    if (fresh && verify_candidate(candidate)) {
+      if (use_lru_) e.lru().Touch(path, candidate);
+      return finish(2, true, candidate);
+    }
+  }
+
+  // --- global multicast fallback (exact) ---
+  const std::uint64_t others = NumMds() - 1;
+  msgs += 2 * others;
+  const double gcast = config_.latency.Multicast(others);
+  double slowest_verify = 0;
+  MdsId found_home = kInvalidMds;
+  for (const MdsId m : alive_) {
+    double work = config_.latency.local_proc_ms + config_.latency.ArrayProbe(1);
+    bool found_here = false;
+    if (node(m).LocalFilterContains(path)) {
+      const auto v = VerifyAt(m, path);
+      work += v.cost_ms;
+      found_here = v.found;
+    }
+    slowest_verify =
+        std::max(slowest_verify, ServeAt(m, now_ms + lat + gcast, work));
+    if (found_here) found_home = m;
+  }
+  lat += gcast + slowest_verify;
+  if (found_home != kInvalidMds) {
+    if (use_lru_) e.lru().Touch(path, found_home);
+    return finish(4, true, found_home);
+  }
+  return finish(4, false, kInvalidMds);
+}
+
+Status HbaCluster::CreateFile(const std::string& path, FileMetadata metadata,
+                              double now_ms) {
+  if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
+  const MdsId home = RandomMds();
+  if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
+    return s;
+  }
+  const Status oracle = OracleInsert(path, home);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  MaybePublish(home, now_ms);
+  return Status::Ok();
+}
+
+Status HbaCluster::UnlinkFile(const std::string& path, double now_ms) {
+  const MdsId home = OracleHome(path);
+  if (home == kInvalidMds) return Status::NotFound(path);
+  if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
+  const Status oracle = OracleErase(path);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  MaybePublish(home, now_ms);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> HbaCluster::RenamePrefix(const std::string& old_prefix,
+                                               const std::string& new_prefix,
+                                               double now_ms,
+                                               ReconfigReport* report) {
+  (void)report;  // home-local, nothing migrates
+  return RenameKeysKeepingHomes(
+      old_prefix, new_prefix, now_ms,
+      [this](MdsId home, double now) { MaybePublish(home, now); });
+}
+
+void HbaCluster::MaybePublish(MdsId owner, double now_ms) {
+  if (node(owner).mutations_since_publish() >=
+      config_.publish_after_mutations) {
+    PublishReplica(owner, now_ms);
+  }
+}
+
+void HbaCluster::PublishReplica(MdsId owner, double now_ms) {
+  (void)now_ms;
+  MdsNode& n = node(owner);
+  BloomFilter snapshot = n.SnapshotLocalFilter();
+  n.SetPublishedSnapshot(snapshot);
+  n.MarkPublished();
+  SetPublishedFileCount(owner, n.file_count());
+
+  // System-wide broadcast: every other MDS refreshes its copy (the paper:
+  // "a replica update ... triggers a system-wide multicast to update all
+  // MDSs in the system").
+  std::uint64_t messages = 0;
+  double apply_cost = 0;
+  for (const MdsId holder : alive_) {
+    if (holder == owner) continue;
+    const Status s = node(holder).segment().RefreshEntry(owner, snapshot);
+    assert(s.ok());
+    (void)s;
+    messages += 2;
+    apply_cost = std::max(apply_cost, ReplicaOverflowFraction(holder) *
+                                          config_.latency.spilled_probe_ms);
+    RechargeHolder(holder);
+  }
+  RechargeHolder(owner);
+
+  metrics_.update_latency_ms.Add(
+      config_.latency.Multicast(alive_.size() - 1) + apply_cost);
+  metrics_.update_messages += messages;
+  metrics_.messages += messages;
+  ++metrics_.publishes;
+}
+
+void HbaCluster::FlushReplicas(double now_ms) {
+  for (const MdsId id : alive_) PublishReplica(id, now_ms);
+}
+
+Result<MdsId> HbaCluster::AddMds(ReconfigReport* report) {
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  const std::uint64_t existing = alive_.size();
+  const MdsId nid = NewNode();
+
+  // The new node must receive all N existing replicas to hold the global
+  // image (Fig. 11's HBA line), and every existing node installs the new
+  // node's filter (the "exchange" of Fig. 15).
+  for (const MdsId owner : alive_) {
+    if (owner == nid) continue;
+    const Status s = node(nid).segment().AddEntry(
+        owner, node(owner).published_snapshot() != nullptr
+                   ? *node(owner).published_snapshot()
+                   : node(owner).SnapshotLocalFilter());
+    assert(s.ok());
+    (void)s;
+    ++rep.replicas_migrated;
+    ++rep.messages;
+  }
+  for (const MdsId holder : alive_) {
+    if (holder == nid) continue;
+    const Status s = node(holder).segment().AddEntry(
+        nid, node(nid).SnapshotLocalFilter());
+    assert(s.ok());
+    (void)s;
+    ++rep.messages;
+    RechargeHolder(holder);
+  }
+  RechargeHolder(nid);
+  assert(existing + 1 == alive_.size());
+  (void)existing;
+
+  metrics_.replicas_migrated += rep.replicas_migrated;
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return nid;
+}
+
+Status HbaCluster::RemoveMds(MdsId id, ReconfigReport* report) {
+  if (!IsAlive(id)) return Status::NotFound("no such MDS");
+  if (alive_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last MDS");
+  }
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  // Every other node drops the departing node's replica.
+  for (const MdsId holder : alive_) {
+    if (holder == id) continue;
+    auto removed = node(holder).segment().RemoveEntry(id);
+    assert(removed.ok());
+    (void)removed;
+    ++rep.messages;
+  }
+
+  // Re-home its files round-robin over the survivors.
+  auto files = node(id).store().ExtractAll();
+  std::vector<MdsId> targets;
+  for (const MdsId a : alive_) {
+    if (a != id) targets.push_back(a);
+  }
+  std::size_t rr = 0;
+  for (auto& [path, md] : files) {
+    const MdsId tgt = targets[rr++ % targets.size()];
+    const Status s = node(tgt).AddLocalFile(path, std::move(md));
+    assert(s.ok());
+    (void)s;
+    oracle_[path] = tgt;
+  }
+  rep.files_migrated += files.size();
+  rep.messages += files.size();
+
+  RetireNode(id);
+  for (const MdsId tgt : targets) PublishReplica(tgt, 0.0);
+  for (const MdsId a : alive_) RechargeHolder(a);
+
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return Status::Ok();
+}
+
+std::uint64_t HbaCluster::LookupStateBytes(MdsId id) const {
+  const MdsNode& n = node(id);
+  std::uint64_t bytes = PublishedReplicaBytes(id);
+  for (const auto& entry : n.segment().entries()) {
+    bytes += PublishedReplicaBytes(entry.owner);
+  }
+  if (use_lru_) bytes += n.lru().MemoryBytes();
+  return bytes;
+}
+
+Status HbaCluster::CheckInvariants() const {
+  for (const MdsId holder : alive_) {
+    if (node(holder).segment().size() != alive_.size() - 1) {
+      return Status::Internal("node does not hold a full global image");
+    }
+    for (const MdsId owner : alive_) {
+      if (owner == holder) continue;
+      if (!node(holder).segment().HasEntry(owner)) {
+        return Status::Internal("missing replica in full mesh");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghba

@@ -1,0 +1,56 @@
+// HBA and pure-BFA baselines (Zhu et al., the scheme G-HBA extends).
+//
+// Every MDS stores the Bloom-filter replicas of *all* other MDSs — a full
+// global image per node. HBA adds the L1 LRU array on top; the pure Bloom
+// Filter Array (BFA) baseline of Table 5 omits it. Queries resolve locally
+// on a unique hit and otherwise fall back to a global multicast; there is no
+// group level. Replica updates broadcast to every MDS, and an MDS insertion
+// exchanges filters with every existing MDS — the costs Figs. 11, 12 and 15
+// compare against.
+#pragma once
+
+#include "core/cluster.hpp"
+
+namespace ghba {
+
+class HbaCluster final : public ClusterBase {
+ public:
+  /// `use_lru == false` gives the pure BFA baseline (bit ratio comes from
+  /// config.bits_per_file: 8 for BFA8, 16 for BFA16).
+  explicit HbaCluster(ClusterConfig config, bool use_lru = true);
+
+  std::string SchemeName() const override;
+
+  LookupResult Lookup(const std::string& path, double now_ms) override;
+  Status CreateFile(const std::string& path, FileMetadata metadata,
+                    double now_ms) override;
+  Status UnlinkFile(const std::string& path, double now_ms) override;
+  Result<std::uint64_t> RenamePrefix(const std::string& old_prefix,
+                                     const std::string& new_prefix,
+                                     double now_ms,
+                                     ReconfigReport* report) override;
+
+  Result<MdsId> AddMds(ReconfigReport* report) override;
+  Status RemoveMds(MdsId id, ReconfigReport* report) override;
+
+  std::uint64_t LookupStateBytes(MdsId id) const override;
+
+  void FlushReplicas(double now_ms) override;
+  void PublishReplica(MdsId owner, double now_ms);
+
+  /// Structural invariants: every node holds a replica of every other node.
+  Status CheckInvariants() const;
+
+ private:
+  struct VerifyOutcome {
+    bool found = false;
+    double cost_ms = 0;
+  };
+  VerifyOutcome VerifyAt(MdsId candidate, const std::string& path);
+  void MaybePublish(MdsId owner, double now_ms);
+  void RechargeHolder(MdsId holder);
+
+  bool use_lru_;
+};
+
+}  // namespace ghba

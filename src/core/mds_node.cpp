@@ -1,0 +1,64 @@
+#include "core/mds_node.hpp"
+
+namespace ghba {
+
+namespace {
+
+LruBloomArray::Options LruOptionsFor(const ClusterConfig& config) {
+  LruBloomArray::Options options;
+  options.capacity = config.lru_capacity;
+  options.counters_per_item = 8.0;
+  options.seed = 0x1111 ^ config.seed;
+  options.policy = config.lru_policy;
+  return options;
+}
+
+}  // namespace
+
+MdsNode::MdsNode(MdsId id, const ClusterConfig& config)
+    : id_(id),
+      local_filter_(CountingBloomFilter::ForCapacity(
+          config.expected_files_per_mds, config.bits_per_file,
+          /*seed=*/config.seed ^ 0x5151)),
+      lru_(LruOptionsFor(config)),
+      memory_(config.memory_budget_bytes) {
+  // All local filters across MDSs share one geometry/seed so replicas are
+  // interchangeable and the algebra (union/XOR) is well defined.
+}
+
+Status MdsNode::AddLocalFile(const std::string& path, FileMetadata metadata) {
+  if (Status s = store_.Insert(path, std::move(metadata)); !s.ok()) return s;
+  local_filter_.Add(path);
+  ++mutations_since_publish_;
+  return Status::Ok();
+}
+
+Status MdsNode::RemoveLocalFile(const std::string& path) {
+  if (Status s = store_.Remove(path); !s.ok()) return s;
+  local_filter_.Remove(path);
+  ++mutations_since_publish_;
+  return Status::Ok();
+}
+
+bool MdsNode::LocalFilterContains(const std::string& path) const {
+  return local_filter_.MayContain(path);
+}
+
+BloomFilter MdsNode::SnapshotLocalFilter() const {
+  return local_filter_.ToBloomFilter();
+}
+
+std::uint64_t MdsNode::StalenessBits() const {
+  if (!has_published_) {
+    // Never published: everything local is staleness.
+    return SnapshotLocalFilter().bits().PopCount();
+  }
+  return SnapshotLocalFilter().XorDistance(published_);
+}
+
+void MdsNode::SetPublishedSnapshot(BloomFilter snapshot) {
+  published_ = std::move(snapshot);
+  has_published_ = true;
+}
+
+}  // namespace ghba

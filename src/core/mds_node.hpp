@@ -1,0 +1,96 @@
+// One metadata server (MDS) as modeled by the simulator.
+//
+// An MdsNode owns:
+//   * the authoritative MetadataStore for files homed here,
+//   * a counting local filter over those files (counting so unlink works),
+//     plus the last *published* snapshot of it — the XOR distance between
+//     the two is the staleness that triggers replica updates (Sec. 3.4),
+//   * the L1 LRU Bloom-filter array,
+//   * the L2 segment array of replicas from other MDSs (G-HBA: theta of
+//     them; HBA/BFA: all N-1),
+//   * a FIFO service queue and memory accounting for the latency model.
+// The IDBFA replica directory is group-level state and lives in core/group
+// (conceptually replicated on every member; memory is charged per member).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bloom/bloom_filter_array.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "bloom/lru_bloom_array.hpp"
+#include "core/config.hpp"
+#include "mds/memory_budget.hpp"
+#include "mds/store.hpp"
+#include "sim/fifo_server.hpp"
+
+namespace ghba {
+
+class MdsNode {
+ public:
+  MdsNode(MdsId id, const ClusterConfig& config);
+
+  MdsId id() const { return id_; }
+
+  // --- authoritative local state ---
+  MetadataStore& store() { return store_; }
+  const MetadataStore& store() const { return store_; }
+
+  /// Insert a file homed here: updates the store and the local filter.
+  Status AddLocalFile(const std::string& path, FileMetadata metadata);
+
+  /// Remove a locally-homed file from store and filter.
+  Status RemoveLocalFile(const std::string& path);
+
+  /// Membership in the authoritative local filter (no false negatives).
+  bool LocalFilterContains(const std::string& path) const;
+
+  /// Snapshot of the local filter as shipped to replica holders.
+  BloomFilter SnapshotLocalFilter() const;
+
+  /// Number of local mutations since the last publish.
+  std::uint32_t mutations_since_publish() const {
+    return mutations_since_publish_;
+  }
+  void MarkPublished() { mutations_since_publish_ = 0; }
+
+  /// XOR (Hamming) distance between the current local filter and the last
+  /// published snapshot — the staleness metric of Section 3.4.
+  std::uint64_t StalenessBits() const;
+
+  /// Record the bits that were just published (for staleness tracking).
+  void SetPublishedSnapshot(BloomFilter snapshot);
+  const BloomFilter* published_snapshot() const {
+    return has_published_ ? &published_ : nullptr;
+  }
+
+  // --- query structures ---
+  LruBloomArray& lru() { return lru_; }
+  const LruBloomArray& lru() const { return lru_; }
+  BloomFilterArray& segment() { return segment_; }
+  const BloomFilterArray& segment() const { return segment_; }
+
+  // --- simulation accounting ---
+  FifoServer& queue() { return queue_; }
+  MemoryBudget& memory() { return memory_; }
+  const MemoryBudget& memory() const { return memory_; }
+
+  /// Files homed on this MDS.
+  std::uint64_t file_count() const { return store_.size(); }
+
+ private:
+  MdsId id_;
+  MetadataStore store_;
+  CountingBloomFilter local_filter_;
+  BloomFilter published_;
+  bool has_published_ = false;
+  std::uint32_t mutations_since_publish_ = 0;
+
+  LruBloomArray lru_;
+  BloomFilterArray segment_;
+
+  FifoServer queue_;
+  MemoryBudget memory_;
+};
+
+}  // namespace ghba

@@ -1,0 +1,53 @@
+// Metrics collected during trace replay and reconfiguration.
+//
+// These are exactly the quantities the paper's evaluation plots: per-level
+// hit counts (Fig. 13), operation latency (Figs. 8-10, 14), replica
+// migrations (Fig. 11), update latency (Fig. 12) and message counts
+// (Fig. 15).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.hpp"
+
+namespace ghba {
+
+struct QueryLevelCounters {
+  std::uint64_t l1 = 0;  ///< served by the local LRU array
+  std::uint64_t l2 = 0;  ///< served by the local segment array
+  std::uint64_t l3 = 0;  ///< served by group multicast
+  std::uint64_t l4 = 0;  ///< served by (or concluded at) global multicast
+  std::uint64_t miss = 0;  ///< file does not exist anywhere
+
+  std::uint64_t total() const { return l1 + l2 + l3 + l4 + miss; }
+
+  double Fraction(std::uint64_t level_count) const {
+    const auto t = total();
+    return t ? static_cast<double>(level_count) / static_cast<double>(t) : 0.0;
+  }
+};
+
+struct ClusterMetrics {
+  QueryLevelCounters levels;
+
+  Histogram lookup_latency_ms;
+  Histogram l1_latency_ms;   ///< latency of ops resolved at L1
+  Histogram l2_latency_ms;   ///< latency of ops resolved at L2
+  Histogram group_latency_ms;  ///< latency of ops resolved at L3
+  Histogram global_latency_ms; ///< latency of ops resolved at L4
+  Histogram update_latency_ms; ///< stale-replica update propagation
+
+  std::uint64_t messages = 0;           ///< network messages (all causes)
+  std::uint64_t lookup_messages = 0;    ///< messages due to lookups
+  std::uint64_t update_messages = 0;    ///< messages due to replica updates
+  std::uint64_t reconfig_messages = 0;  ///< messages due to join/leave/split
+  std::uint64_t replicas_migrated = 0;  ///< replica movements (Fig. 11)
+  std::uint64_t false_routes = 0;       ///< unique hits that verified wrong
+  std::uint64_t disk_probes = 0;        ///< filter probes served from disk
+  std::uint64_t publishes = 0;          ///< replica refresh rounds
+
+  void Reset() { *this = ClusterMetrics{}; }
+};
+
+}  // namespace ghba

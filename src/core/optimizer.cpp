@@ -1,0 +1,76 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ghba {
+
+LatencyComponents MeasureComponents(const ClusterMetrics& metrics) {
+  LatencyComponents c;
+  const auto total = metrics.levels.total();
+  if (total == 0) return c;
+  c.p_lru = metrics.levels.Fraction(metrics.levels.l1);
+  // P_L2 is the unique-hit rate at L2 *given* the query reached L2.
+  const auto past_l1 = total - metrics.levels.l1;
+  c.p_l2 = past_l1 ? static_cast<double>(metrics.levels.l2) /
+                         static_cast<double>(past_l1)
+                   : 0.0;
+  c.d_lru = metrics.l1_latency_ms.mean();
+  c.d_l2 = metrics.l2_latency_ms.mean();
+  c.d_group = metrics.group_latency_ms.mean();
+  c.d_net = metrics.global_latency_ms.mean();
+  return c;
+}
+
+double OperationLatency(const LatencyComponents& c, std::uint32_t m) {
+  assert(m >= 1);
+  const double miss1 = 1.0 - c.p_lru;
+  const double l2_term = 1.0 - c.p_l2 / static_cast<double>(m);
+  // Paper Eq. 4, as printed: the network term carries an extra factor of M
+  // — escaping the group costs a global multicast whose effective penalty
+  // the paper scales with the group size (more/larger groups to touch).
+  // This weighting is what gives Gamma its interior optimum in Fig. 6.
+  return c.d_lru + miss1 * c.d_l2 + miss1 * l2_term * c.d_group +
+         miss1 * l2_term * static_cast<double>(m) * c.d_net;
+}
+
+double StorageOverhead(std::uint32_t n, std::uint32_t m) {
+  assert(m >= 1 && m <= n);
+  // (N - M) / M replicas per MDS; add the node's own filter so the measure
+  // stays positive at M == N (a single all-encompassing group).
+  return (static_cast<double>(n) - static_cast<double>(m)) /
+             static_cast<double>(m) +
+         1.0;
+}
+
+double NormalizedThroughput(const LatencyComponents& c, std::uint32_t n,
+                            std::uint32_t m) {
+  const double latency = OperationLatency(c, m);
+  const double space = StorageOverhead(n, m);
+  if (latency <= 0 || space <= 0) return 0.0;
+  return 1.0 / (latency * space);
+}
+
+std::uint32_t OptimalGroupSize(const LatencyComponents& c, std::uint32_t n,
+                               std::uint32_t m_max) {
+  return OptimalGroupSize([&c](std::uint32_t) { return c; }, n, m_max);
+}
+
+std::uint32_t OptimalGroupSize(
+    const std::function<LatencyComponents(std::uint32_t)>& components_at,
+    std::uint32_t n, std::uint32_t m_max) {
+  std::uint32_t best = 1;
+  double best_gamma = -1;
+  const std::uint32_t upper = std::min(m_max, n);
+  for (std::uint32_t m = 1; m <= upper; ++m) {
+    const double gamma = NormalizedThroughput(components_at(m), n, m);
+    if (gamma > best_gamma) {
+      best_gamma = gamma;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace ghba

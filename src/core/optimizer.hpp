@@ -1,0 +1,59 @@
+// Optimal group size M (Section 3.3, Equations 2-4).
+//
+// G-HBA trades storage for latency through M: larger groups store fewer
+// replicas per MDS ((N-M)/M) but resolve fewer queries locally, multicasting
+// more. The paper optimizes the *normalized throughput*
+//     Gamma = 1 / (U_laten * U_space)                          (Eq. 2)
+// with
+//     U_space = (N - M) / M                                    (Eq. 3)
+//     U_laten = D_LRU + (1-P_LRU) D_L2
+//             + (1-P_LRU)(1 - P_L2/M) D_group
+//             + (1-P_LRU)(1 - P_L2/M)^M D_net                  (Eq. 4)
+// where P_* are unique-hit rates and D_* level latencies, measured from a
+// simulation run (or supplied analytically).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/metrics.hpp"
+
+namespace ghba {
+
+struct LatencyComponents {
+  double p_lru = 0;    ///< unique-hit rate of the L1 LRU array
+  double p_l2 = 0;     ///< unique-hit rate of the L2 segment array
+  double d_lru = 0;    ///< latency of L1-resolved operations (ms)
+  double d_l2 = 0;     ///< latency of L2-resolved operations (ms)
+  double d_group = 0;  ///< latency of L3-resolved operations (ms)
+  double d_net = 0;    ///< latency of L4-resolved operations (ms)
+};
+
+/// Extract the components from replay metrics.
+LatencyComponents MeasureComponents(const ClusterMetrics& metrics);
+
+/// Eq. 4. M >= 1.
+double OperationLatency(const LatencyComponents& c, std::uint32_t m);
+
+/// Eq. 3. Requires 1 <= M <= N.
+double StorageOverhead(std::uint32_t n, std::uint32_t m);
+
+/// Eq. 2. Higher is better.
+double NormalizedThroughput(const LatencyComponents& c, std::uint32_t n,
+                            std::uint32_t m);
+
+/// argmax over M in [1, m_max] of Eq. 2 with *fixed* components. Note the
+/// paper evaluates Eq. 2 with components measured at each M (hit rates and
+/// level latencies depend on the group size); with fixed components the
+/// optimum often sits at a boundary. Prefer the callback overload.
+std::uint32_t OptimalGroupSize(const LatencyComponents& c, std::uint32_t n,
+                               std::uint32_t m_max);
+
+/// argmax over M in [1, m_max] of Eq. 2, with the components measured (or
+/// modeled) per candidate M — this is how Section 4.1 identifies the
+/// optimal group size from per-M simulation runs.
+std::uint32_t OptimalGroupSize(
+    const std::function<LatencyComponents(std::uint32_t)>& components_at,
+    std::uint32_t n, std::uint32_t m_max);
+
+}  // namespace ghba

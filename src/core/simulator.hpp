@@ -1,0 +1,62 @@
+// Trace-driven replay simulator.
+//
+// Wires a TraceStream to a MetadataCluster: populates the initial
+// namespace, replays metadata operations, and snapshots metrics at
+// checkpoints so benchmarks can plot series over operation count (the
+// x-axis of Figs. 8-10 and 14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/metrics.hpp"
+#include "trace/generator.hpp"
+
+namespace ghba {
+
+struct ReplayCheckpoint {
+  std::uint64_t ops = 0;              ///< operations replayed so far
+  double avg_latency_ms = 0;          ///< cumulative mean lookup latency
+  double p99_latency_ms = 0;          ///< cumulative tail latency
+  double window_latency_ms = 0;       ///< mean over the last window
+  QueryLevelCounters levels;          ///< cumulative level counters
+  std::uint64_t messages = 0;
+  std::uint64_t disk_probes = 0;
+};
+
+struct ReplayResult {
+  std::vector<ReplayCheckpoint> checkpoints;
+  std::uint64_t ops_replayed = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t creates = 0;
+  std::uint64_t unlinks = 0;
+  std::uint64_t not_found = 0;  ///< lookups for files that do not exist
+};
+
+class ReplaySimulator {
+ public:
+  explicit ReplaySimulator(MetadataCluster& cluster) : cluster_(cluster) {}
+
+  /// Create the trace's initial namespace in the cluster, then flush all
+  /// replicas so every scheme starts from a consistent global image.
+  void Populate(IntensifiedTrace& trace);
+
+  /// Replay up to `max_ops` records (0 = until the stream ends), snapshotting
+  /// a checkpoint every `checkpoint_every` ops (0 = only at the end).
+  ReplayResult Replay(TraceStream& trace, std::uint64_t max_ops,
+                      std::uint64_t checkpoint_every = 0);
+
+ private:
+  void Apply(const TraceRecord& rec, ReplayResult& result);
+  ReplayCheckpoint Snapshot(std::uint64_t ops) const;
+
+  MetadataCluster& cluster_;
+  std::uint64_t inode_seq_ = 1;
+  // Rolling window for window_latency_ms.
+  double window_latency_sum_ = 0;
+  std::uint64_t window_lookups_ = 0;
+};
+
+}  // namespace ghba

@@ -1,0 +1,182 @@
+#include "core/subtree_cluster.hpp"
+
+#include <cassert>
+
+namespace ghba {
+
+StaticSubtreeCluster::StaticSubtreeCluster(ClusterConfig config)
+    : ClusterBase(config) {
+  for (std::uint32_t i = 0; i < config_.num_mds; ++i) NewNode();
+  metrics_.Reset();
+}
+
+Result<std::string> StaticSubtreeCluster::TopLevelOf(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  const auto second_slash = path.find('/', 1);
+  const auto end = second_slash == std::string::npos ? path.size() : second_slash;
+  if (end <= 1) return Status::InvalidArgument("no top-level dir: " + path);
+  return path.substr(1, end - 1);
+}
+
+MdsId StaticSubtreeCluster::SubtreeOwner(const std::string& path) {
+  auto top = TopLevelOf(path);
+  assert(top.ok());
+  const auto it = subtree_owner_.find(*top);
+  if (it != subtree_owner_.end()) return it->second;
+  // First sighting: static assignment, round-robin over the current MDSs.
+  const MdsId owner = alive_[next_assignment_++ % alive_.size()];
+  subtree_owner_.emplace(*top, owner);
+  return owner;
+}
+
+LookupResult StaticSubtreeCluster::Lookup(const std::string& path,
+                                          double now_ms) {
+  LookupResult res;
+  double lat = config_.latency.local_proc_ms + config_.latency.Unicast();
+  std::uint64_t msgs = 2;
+
+  auto top = TopLevelOf(path);
+  if (top.ok() && subtree_owner_.contains(*top)) {
+    const MdsId owner = subtree_owner_.at(*top);
+    res.found = node(owner).store().Contains(path);
+    lat += ServeAt(owner, now_ms,
+                   config_.latency.MetadataRead(MetadataCacheHitProb(owner)));
+    res.home = res.found ? owner : kInvalidMds;
+  }
+
+  res.latency_ms = lat;
+  res.served_level = 2;  // one deterministic hop, like hash placement
+  res.messages = msgs;
+  metrics_.lookup_latency_ms.Add(lat);
+  metrics_.l2_latency_ms.Add(lat);
+  if (res.found) {
+    ++metrics_.levels.l2;
+  } else {
+    ++metrics_.levels.miss;
+  }
+  metrics_.lookup_messages += msgs;
+  metrics_.messages += msgs;
+  return res;
+}
+
+Status StaticSubtreeCluster::CreateFile(const std::string& path,
+                                        FileMetadata metadata, double now_ms) {
+  (void)now_ms;
+  if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
+  auto top = TopLevelOf(path);
+  if (!top.ok()) return top.status();
+  const MdsId home = SubtreeOwner(path);
+  if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
+    return s;
+  }
+  const Status oracle = OracleInsert(path, home);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  return Status::Ok();
+}
+
+Status StaticSubtreeCluster::UnlinkFile(const std::string& path,
+                                        double now_ms) {
+  (void)now_ms;
+  const MdsId home = OracleHome(path);
+  if (home == kInvalidMds) return Status::NotFound(path);
+  if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
+  const Status oracle = OracleErase(path);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2;
+  return Status::Ok();
+}
+
+Result<std::uint64_t> StaticSubtreeCluster::RenamePrefix(
+    const std::string& old_prefix, const std::string& new_prefix,
+    double now_ms, ReconfigReport* report) {
+  // Renames inside a subtree stay on the owner: home-local, zero migration
+  // (the "fast directory operations" of Table 1). A rename that would move
+  // files ACROSS top-level subtrees changes ownership; for the static
+  // scheme we pin the destination's subtree to the same owner if unseen,
+  // preserving zero migration.
+  auto old_top = TopLevelOf(old_prefix);
+  if (old_top.ok()) {
+    auto new_top = TopLevelOf(new_prefix);
+    if (new_top.ok() && subtree_owner_.contains(*old_top) &&
+        !subtree_owner_.contains(*new_top)) {
+      subtree_owner_.emplace(*new_top, subtree_owner_.at(*old_top));
+    }
+  }
+  (void)report;
+  return RenameKeysKeepingHomes(old_prefix, new_prefix, now_ms,
+                                [](MdsId, double) {});
+}
+
+Result<MdsId> StaticSubtreeCluster::AddMds(ReconfigReport* report) {
+  // Static partition: the newcomer serves only subtrees created after it
+  // joined. Zero migration, zero messages beyond the join announcement.
+  const MdsId nid = NewNode();
+  if (report != nullptr) report->messages += alive_.size() - 1;
+  metrics_.reconfig_messages += alive_.size() - 1;
+  metrics_.messages += alive_.size() - 1;
+  return nid;
+}
+
+Status StaticSubtreeCluster::RemoveMds(MdsId id, ReconfigReport* report) {
+  if (!IsAlive(id)) return Status::NotFound("no such MDS");
+  if (alive_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last MDS");
+  }
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  // The departing MDS's subtrees (and their files) move wholesale to a
+  // successor — subtree granularity is all the static scheme can do.
+  const MdsId successor = alive_.front() != id ? alive_.front() : alive_.back();
+  for (auto& [top, owner] : subtree_owner_) {
+    if (owner == id) owner = successor;
+  }
+  auto files = node(id).store().ExtractAll();
+  for (auto& [path, md] : files) {
+    const Status s = node(successor).AddLocalFile(path, std::move(md));
+    assert(s.ok());
+    (void)s;
+    oracle_[path] = successor;
+  }
+  rep.files_migrated += files.size();
+  rep.messages += files.size();
+  RetireNode(id);
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return Status::Ok();
+}
+
+std::uint64_t StaticSubtreeCluster::LookupStateBytes(MdsId id) const {
+  (void)id;
+  // Every node keeps the (tiny) subtree table: name bytes + owner id.
+  std::uint64_t bytes = 0;
+  for (const auto& [top, owner] : subtree_owner_) {
+    bytes += top.size() + sizeof(MdsId) + 32;  // map node overhead
+  }
+  return bytes;
+}
+
+Status StaticSubtreeCluster::CheckInvariants() const {
+  for (const auto& [path, home] : oracle_) {
+    const auto top = TopLevelOf(path);
+    if (!top.ok()) return Status::Internal("oracle path not absolute");
+    const auto it = subtree_owner_.find(*top);
+    if (it == subtree_owner_.end()) {
+      return Status::Internal("file in unassigned subtree: " + path);
+    }
+    if (it->second != home) {
+      return Status::Internal("file not on its subtree owner: " + path);
+    }
+    if (!node(home).store().Contains(path)) {
+      return Status::Internal("oracle out of sync with store");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghba

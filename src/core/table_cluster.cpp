@@ -1,0 +1,162 @@
+#include "core/table_cluster.hpp"
+
+#include <cassert>
+
+namespace ghba {
+
+// The oracle map *is* the table: under table-based mapping the exact
+// path->home relation is legitimately replicated to every MDS, so the
+// simulation bookkeeping and the scheme's data structure coincide. The
+// costs modeled: per-MDS memory = full table, plus a system-wide broadcast
+// to keep the N copies coherent on every mutation.
+
+TableMappingCluster::TableMappingCluster(ClusterConfig config)
+    : ClusterBase(config) {
+  for (std::uint32_t i = 0; i < config_.num_mds; ++i) NewNode();
+  metrics_.Reset();
+}
+
+std::uint64_t TableMappingCluster::TableBytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [path, home] : oracle_) {
+    bytes += path.size() + sizeof(MdsId) + 48;  // hash-map node overhead
+  }
+  return bytes;
+}
+
+LookupResult TableMappingCluster::Lookup(const std::string& path,
+                                         double now_ms) {
+  LookupResult res;
+  // Entry MDS consults its local table copy (exact), then one unicast.
+  double lat = config_.latency.local_proc_ms + config_.latency.mem_metadata_ms;
+  std::uint64_t msgs = 0;
+
+  const MdsId home = OracleHome(path);
+  if (home != kInvalidMds) {
+    lat += config_.latency.Unicast();
+    msgs += 2;
+    res.found = node(home).store().Contains(path);
+    lat += ServeAt(home, now_ms,
+                   config_.latency.MetadataRead(MetadataCacheHitProb(home)));
+    res.home = res.found ? home : kInvalidMds;
+  }
+  // Absent from the table: answered locally, no network at all.
+
+  res.latency_ms = lat;
+  res.served_level = 2;
+  res.messages = msgs;
+  metrics_.lookup_latency_ms.Add(lat);
+  metrics_.l2_latency_ms.Add(lat);
+  if (res.found) {
+    ++metrics_.levels.l2;
+  } else {
+    ++metrics_.levels.miss;
+  }
+  metrics_.lookup_messages += msgs;
+  metrics_.messages += msgs;
+  return res;
+}
+
+Status TableMappingCluster::CreateFile(const std::string& path,
+                                       FileMetadata metadata, double now_ms) {
+  (void)now_ms;
+  if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
+  const MdsId home = RandomMds();
+  if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
+    return s;
+  }
+  const Status oracle = OracleInsert(path, home);
+  assert(oracle.ok());
+  (void)oracle;
+  // Table coherence: the new entry is broadcast to all N-1 other copies.
+  metrics_.messages += 2 + (alive_.size() - 1);
+  metrics_.update_messages += alive_.size() - 1;
+  return Status::Ok();
+}
+
+Status TableMappingCluster::UnlinkFile(const std::string& path,
+                                       double now_ms) {
+  (void)now_ms;
+  const MdsId home = OracleHome(path);
+  if (home == kInvalidMds) return Status::NotFound(path);
+  if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
+  const Status oracle = OracleErase(path);
+  assert(oracle.ok());
+  (void)oracle;
+  metrics_.messages += 2 + (alive_.size() - 1);
+  metrics_.update_messages += alive_.size() - 1;
+  return Status::Ok();
+}
+
+Result<std::uint64_t> TableMappingCluster::RenamePrefix(
+    const std::string& old_prefix, const std::string& new_prefix,
+    double now_ms, ReconfigReport* report) {
+  // Homes don't change (placement is table-driven, not name-driven), but
+  // every renamed entry must be broadcast to all table copies.
+  auto renamed = RenameKeysKeepingHomes(old_prefix, new_prefix, now_ms,
+                                        [](MdsId, double) {});
+  if (renamed.ok()) {
+    const std::uint64_t broadcast = *renamed * (alive_.size() - 1);
+    metrics_.messages += broadcast;
+    metrics_.update_messages += broadcast;
+    if (report != nullptr) report->messages += broadcast;
+  }
+  return renamed;
+}
+
+Result<MdsId> TableMappingCluster::AddMds(ReconfigReport* report) {
+  const MdsId nid = NewNode();
+  // The newcomer bootstraps by downloading one full table copy; count one
+  // bulk message per existing entry to expose the O(n) transfer.
+  if (report != nullptr) report->messages += 1 + oracle_.size();
+  metrics_.reconfig_messages += 1 + oracle_.size();
+  metrics_.messages += 1 + oracle_.size();
+  return nid;
+}
+
+Status TableMappingCluster::RemoveMds(MdsId id, ReconfigReport* report) {
+  if (!IsAlive(id)) return Status::NotFound("no such MDS");
+  if (alive_.size() == 1) {
+    return Status::InvalidArgument("cannot remove the last MDS");
+  }
+  ReconfigReport local;
+  ReconfigReport& rep = report != nullptr ? *report : local;
+
+  auto files = node(id).store().ExtractAll();
+  std::vector<MdsId> targets;
+  for (const MdsId a : alive_) {
+    if (a != id) targets.push_back(a);
+  }
+  std::size_t rr = 0;
+  for (auto& [path, md] : files) {
+    const MdsId tgt = targets[rr++ % targets.size()];
+    const Status s = node(tgt).AddLocalFile(path, std::move(md));
+    assert(s.ok());
+    (void)s;
+    oracle_[path] = tgt;
+  }
+  rep.files_migrated += files.size();
+  // Each re-homed entry is broadcast to keep the table copies coherent.
+  rep.messages += files.size() * targets.size();
+  RetireNode(id);
+  metrics_.reconfig_messages += rep.messages;
+  metrics_.messages += rep.messages;
+  return Status::Ok();
+}
+
+std::uint64_t TableMappingCluster::LookupStateBytes(MdsId id) const {
+  (void)id;
+  return TableBytes();
+}
+
+Status TableMappingCluster::CheckInvariants() const {
+  for (const auto& [path, home] : oracle_) {
+    if (!IsAlive(home)) return Status::Internal("table points at dead MDS");
+    if (!node(home).store().Contains(path)) {
+      return Status::Internal("table out of sync with store: " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace ghba

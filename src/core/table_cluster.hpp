@@ -1,0 +1,44 @@
+// Table-based mapping baseline (xFS / zFS style).
+//
+// Every MDS holds a full explicit map path -> home MDS, so lookups are
+// exact with one table probe and one unicast, and nothing migrates when the
+// server count changes. Table 1's verdict: the O(n) per-MDS memory for the
+// table — plus the broadcast needed to keep N copies coherent on every
+// create/unlink — is what kills it at ultra large scale, which is exactly
+// the overhead G-HBA's O(n/m) probabilistic replicas remove.
+#pragma once
+
+#include "core/cluster.hpp"
+
+namespace ghba {
+
+class TableMappingCluster final : public ClusterBase {
+ public:
+  explicit TableMappingCluster(ClusterConfig config);
+
+  std::string SchemeName() const override { return "TableMapping"; }
+
+  LookupResult Lookup(const std::string& path, double now_ms) override;
+  Status CreateFile(const std::string& path, FileMetadata metadata,
+                    double now_ms) override;
+  Status UnlinkFile(const std::string& path, double now_ms) override;
+  Result<std::uint64_t> RenamePrefix(const std::string& old_prefix,
+                                     const std::string& new_prefix,
+                                     double now_ms,
+                                     ReconfigReport* report) override;
+
+  /// No migration; the newcomer downloads one full table copy.
+  Result<MdsId> AddMds(ReconfigReport* report) override;
+  Status RemoveMds(MdsId id, ReconfigReport* report) override;
+
+  /// O(n): the full table, on every MDS.
+  std::uint64_t LookupStateBytes(MdsId id) const override;
+
+  Status CheckInvariants() const;
+
+ private:
+  /// Average bytes of one table entry (path + id + node overhead).
+  std::uint64_t TableBytes() const;
+};
+
+}  // namespace ghba

@@ -1,0 +1,25 @@
+// FNV-1a: tiny, dependency-free string hash.
+//
+// Used where a second independent hash family is needed (IDBFA seeds,
+// modular hash placement) and in tests as a reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ghba {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t Fnv1a64(std::string_view s,
+                                std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace ghba

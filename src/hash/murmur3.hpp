@@ -1,0 +1,36 @@
+// MurmurHash3 x64 128-bit (Austin Appleby, public domain), reimplemented.
+//
+// This is the primary hash for Bloom-filter indexing: one 128-bit digest per
+// key feeds the Kirsch-Mitzenmacher double-hashing scheme, so k filter
+// probes cost a single hash computation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ghba {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+};
+
+/// MurmurHash3 x64 128-bit over an arbitrary byte range. Named distinctly
+/// from the string_view overload: a `const char*` literal would otherwise
+/// silently convert to `const void*` and hash the wrong bytes.
+Hash128 Murmur3_128Raw(const void* data, std::size_t len,
+                       std::uint64_t seed = 0);
+
+inline Hash128 Murmur3_128(std::string_view s, std::uint64_t seed = 0) {
+  return Murmur3_128Raw(s.data(), s.size(), seed);
+}
+
+/// Convenience 64-bit slice of the 128-bit digest.
+inline std::uint64_t Murmur3_64(std::string_view s, std::uint64_t seed = 0) {
+  return Murmur3_128(s, seed).lo;
+}
+
+}  // namespace ghba

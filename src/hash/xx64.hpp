@@ -1,0 +1,22 @@
+// XXH64-style 64-bit hash (Yann Collet's xxHash algorithm, reimplemented).
+//
+// Cheaper than Murmur3-128 when only 64 bits are needed (e.g. hashing file
+// IDs for placement decisions); also serves as an independent family for
+// cross-checking Bloom index distributions in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ghba {
+
+/// Raw-byte form; distinct name so char* literals can't silently convert to
+/// `const void*` and pick the wrong overload.
+std::uint64_t Xx64Raw(const void* data, std::size_t len, std::uint64_t seed = 0);
+
+inline std::uint64_t Xx64(std::string_view s, std::uint64_t seed = 0) {
+  return Xx64Raw(s.data(), s.size(), seed);
+}
+
+}  // namespace ghba

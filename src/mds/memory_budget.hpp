@@ -1,0 +1,66 @@
+// Per-MDS memory accounting.
+//
+// Figures 8-10 hinge on *which scheme's replica set still fits in RAM*: HBA
+// keeps N replicas per MDS and overflows first; G-HBA keeps only
+// (N-M')/M'. MemoryBudget tracks named usage categories against a budget
+// and answers the two questions the simulator asks:
+//   * what fraction of the replica bytes are disk-resident? (probing those
+//     costs a disk access instead of a memory probe)
+//   * how much RAM is left over for caching authoritative metadata? (drives
+//     the home-MDS cache-hit probability)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ghba {
+
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  void SetUsage(const std::string& category, std::uint64_t bytes) {
+    usage_[category] = bytes;
+  }
+
+  std::uint64_t Usage(const std::string& category) const {
+    const auto it = usage_.find(category);
+    return it == usage_.end() ? 0 : it->second;
+  }
+
+  std::uint64_t TotalUsage() const {
+    std::uint64_t total = 0;
+    for (const auto& [name, bytes] : usage_) total += bytes;
+    return total;
+  }
+
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
+
+  /// Fraction of `category` bytes that do NOT fit after all *other*
+  /// categories take priority (replicas are evicted last-in, so they absorb
+  /// the overflow in our model).
+  double OverflowFraction(const std::string& category) const {
+    const std::uint64_t cat = Usage(category);
+    if (cat == 0) return 0.0;
+    const std::uint64_t others = TotalUsage() - cat;
+    if (others >= budget_bytes_) return 1.0;
+    const std::uint64_t room = budget_bytes_ - others;
+    if (cat <= room) return 0.0;
+    return static_cast<double>(cat - room) / static_cast<double>(cat);
+  }
+
+  /// Bytes of budget not claimed by any category (available for page cache).
+  std::uint64_t FreeBytes() const {
+    const auto used = TotalUsage();
+    return used >= budget_bytes_ ? 0 : budget_bytes_ - used;
+  }
+
+ private:
+  std::uint64_t budget_bytes_;
+  std::map<std::string, std::uint64_t> usage_;
+};
+
+}  // namespace ghba

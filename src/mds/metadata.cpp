@@ -1,0 +1,56 @@
+#include "mds/metadata.hpp"
+
+namespace ghba {
+
+void FileMetadata::Serialize(ByteWriter& out) const {
+  out.PutU64(inode);
+  out.PutU32(mode);
+  out.PutU32(uid);
+  out.PutU32(gid);
+  out.PutU64(size_bytes);
+  out.PutDouble(atime);
+  out.PutDouble(mtime);
+  out.PutDouble(ctime);
+  out.PutVarint(data_servers.size());
+  for (const auto s : data_servers) out.PutU32(s);
+}
+
+Result<FileMetadata> FileMetadata::Deserialize(ByteReader& in) {
+  FileMetadata md;
+  auto inode = in.GetU64();
+  if (!inode.ok()) return inode.status();
+  md.inode = *inode;
+  auto mode = in.GetU32();
+  if (!mode.ok()) return mode.status();
+  md.mode = *mode;
+  auto uid = in.GetU32();
+  if (!uid.ok()) return uid.status();
+  md.uid = *uid;
+  auto gid = in.GetU32();
+  if (!gid.ok()) return gid.status();
+  md.gid = *gid;
+  auto size = in.GetU64();
+  if (!size.ok()) return size.status();
+  md.size_bytes = *size;
+  auto atime = in.GetDouble();
+  if (!atime.ok()) return atime.status();
+  md.atime = *atime;
+  auto mtime = in.GetDouble();
+  if (!mtime.ok()) return mtime.status();
+  md.mtime = *mtime;
+  auto ctime = in.GetDouble();
+  if (!ctime.ok()) return ctime.status();
+  md.ctime = *ctime;
+  auto n = in.GetVarint();
+  if (!n.ok()) return n.status();
+  if (*n > 4096) return Status::Corruption("absurd stripe width");
+  md.data_servers.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto s = in.GetU32();
+    if (!s.ok()) return s.status();
+    md.data_servers.push_back(*s);
+  }
+  return md;
+}
+
+}  // namespace ghba

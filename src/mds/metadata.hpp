@@ -1,0 +1,41 @@
+// File metadata record — the payload a metadata server stores per file.
+//
+// Mirrors a POSIX-ish inode plus the data-placement hint a client needs to
+// contact object/data servers directly after the lookup (the decoupled
+// data/metadata architecture the paper assumes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace ghba {
+
+struct FileMetadata {
+  std::uint64_t inode = 0;
+  std::uint32_t mode = 0644;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size_bytes = 0;
+  double atime = 0;  ///< seconds since trace epoch
+  double mtime = 0;
+  double ctime = 0;
+  /// Object-server IDs holding the file's data stripes.
+  std::vector<std::uint32_t> data_servers;
+
+  /// Approximate in-memory footprint (map node + strings are charged by the
+  /// store; this covers the record body).
+  std::uint64_t MemoryBytes() const {
+    return sizeof(FileMetadata) + data_servers.size() * sizeof(std::uint32_t);
+  }
+
+  void Serialize(ByteWriter& out) const;
+  static Result<FileMetadata> Deserialize(ByteReader& in);
+
+  friend bool operator==(const FileMetadata&, const FileMetadata&) = default;
+};
+
+}  // namespace ghba

@@ -1,0 +1,241 @@
+#include "mds/namespace_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ghba {
+
+Result<std::vector<std::string>> SplitPath(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return Status::InvalidArgument("path must be absolute: " +
+                                   std::string(path));
+  }
+  std::vector<std::string> components;
+  std::size_t pos = 1;
+  while (pos <= path.size()) {
+    const auto slash = path.find('/', pos);
+    const auto end = slash == std::string_view::npos ? path.size() : slash;
+    if (end > pos) {
+      const auto component = path.substr(pos, end - pos);
+      if (component == "." || component == "..") {
+        return Status::InvalidArgument("'.'/'..' not allowed: " +
+                                       std::string(path));
+      }
+      components.emplace_back(component);
+    }
+    pos = end + 1;
+  }
+  return components;
+}
+
+std::string JoinPath(const std::vector<std::string>& components) {
+  if (components.empty()) return "/";
+  std::string out;
+  for (const auto& c : components) {
+    out += '/';
+    out += c;
+  }
+  return out;
+}
+
+NamespaceTree::NamespaceTree() { root_.is_dir = true; }
+
+const NamespaceTree::Node* NamespaceTree::Find(
+    const std::vector<std::string>& components) const {
+  const Node* node = &root_;
+  for (const auto& component : components) {
+    const auto it = node->children.find(component);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+NamespaceTree::Node* NamespaceTree::Find(
+    const std::vector<std::string>& components) {
+  return const_cast<Node*>(
+      static_cast<const NamespaceTree*>(this)->Find(components));
+}
+
+Status NamespaceTree::MakeDirs(std::string_view path) {
+  auto components = SplitPath(path);
+  if (!components.ok()) return components.status();
+  Node* node = &root_;
+  for (const auto& component : *components) {
+    auto it = node->children.find(component);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->is_dir = true;
+      it = node->children.emplace(component, std::move(child)).first;
+      ++dir_count_;
+    } else if (!it->second->is_dir) {
+      return Status::AlreadyExists("file blocks directory path: " +
+                                   std::string(path));
+    }
+    node = it->second.get();
+  }
+  return Status::Ok();
+}
+
+Status NamespaceTree::CreateFile(std::string_view path) {
+  auto components = SplitPath(path);
+  if (!components.ok()) return components.status();
+  if (components->empty()) return Status::InvalidArgument("cannot create /");
+  const std::string name = components->back();
+  components->pop_back();
+  Node* parent = Find(*components);
+  if (parent == nullptr || !parent->is_dir) {
+    return Status::NotFound("no such directory: " + JoinPath(*components));
+  }
+  if (parent->children.contains(name)) {
+    return Status::AlreadyExists(std::string(path));
+  }
+  auto file = std::make_unique<Node>();
+  file->is_dir = false;
+  parent->children.emplace(name, std::move(file));
+  ++file_count_;
+  return Status::Ok();
+}
+
+Status NamespaceTree::RemoveFile(std::string_view path) {
+  auto components = SplitPath(path);
+  if (!components.ok()) return components.status();
+  if (components->empty()) return Status::InvalidArgument("cannot remove /");
+  const std::string name = components->back();
+  components->pop_back();
+  Node* parent = Find(*components);
+  if (parent == nullptr) return Status::NotFound(std::string(path));
+  const auto it = parent->children.find(name);
+  if (it == parent->children.end() || it->second->is_dir) {
+    return Status::NotFound(std::string(path));
+  }
+  parent->children.erase(it);
+  --file_count_;
+  return Status::Ok();
+}
+
+Status NamespaceTree::RemoveDir(std::string_view path) {
+  auto components = SplitPath(path);
+  if (!components.ok()) return components.status();
+  if (components->empty()) return Status::InvalidArgument("cannot remove /");
+  const std::string name = components->back();
+  components->pop_back();
+  Node* parent = Find(*components);
+  if (parent == nullptr) return Status::NotFound(std::string(path));
+  const auto it = parent->children.find(name);
+  if (it == parent->children.end() || !it->second->is_dir) {
+    return Status::NotFound(std::string(path));
+  }
+  if (!it->second->children.empty()) {
+    return Status::InvalidArgument("directory not empty: " +
+                                   std::string(path));
+  }
+  parent->children.erase(it);
+  --dir_count_;
+  return Status::Ok();
+}
+
+bool NamespaceTree::FileExists(std::string_view path) const {
+  auto components = SplitPath(path);
+  if (!components.ok()) return false;
+  const Node* node = Find(*components);
+  return node != nullptr && !node->is_dir;
+}
+
+bool NamespaceTree::DirExists(std::string_view path) const {
+  auto components = SplitPath(path);
+  if (!components.ok()) return false;
+  const Node* node = Find(*components);
+  return node != nullptr && node->is_dir;
+}
+
+Result<std::vector<std::string>> NamespaceTree::List(
+    std::string_view path) const {
+  auto components = SplitPath(path);
+  if (!components.ok()) return components.status();
+  const Node* node = Find(*components);
+  if (node == nullptr || !node->is_dir) {
+    return Status::NotFound(std::string(path));
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    names.push_back(child->is_dir ? name + "/" : name);
+  }
+  return names;  // std::map keeps them sorted
+}
+
+Status NamespaceTree::Rename(std::string_view from, std::string_view to) {
+  auto from_components = SplitPath(from);
+  if (!from_components.ok()) return from_components.status();
+  auto to_components = SplitPath(to);
+  if (!to_components.ok()) return to_components.status();
+  if (from_components->empty()) return Status::InvalidArgument("cannot move /");
+  if (to_components->empty()) {
+    return Status::InvalidArgument("cannot replace /");
+  }
+  // Destination must not be inside the source subtree.
+  if (to_components->size() >= from_components->size() &&
+      std::equal(from_components->begin(), from_components->end(),
+                 to_components->begin())) {
+    return Status::InvalidArgument("cannot move a directory into itself");
+  }
+
+  const std::string from_name = from_components->back();
+  from_components->pop_back();
+  Node* from_parent = Find(*from_components);
+  if (from_parent == nullptr) return Status::NotFound(std::string(from));
+  const auto from_it = from_parent->children.find(from_name);
+  if (from_it == from_parent->children.end()) {
+    return Status::NotFound(std::string(from));
+  }
+
+  const std::string to_name = to_components->back();
+  to_components->pop_back();
+  Node* to_parent = Find(*to_components);
+  if (to_parent == nullptr || !to_parent->is_dir) {
+    return Status::NotFound("destination parent: " + JoinPath(*to_components));
+  }
+  if (to_parent->children.contains(to_name)) {
+    return Status::AlreadyExists(std::string(to));
+  }
+
+  auto node = std::move(from_it->second);
+  from_parent->children.erase(from_it);
+  to_parent->children.emplace(to_name, std::move(node));
+  return Status::Ok();
+}
+
+void NamespaceTree::CollectFiles(
+    const Node& node, std::string& prefix,
+    const std::function<void(const std::string&)>& fn) const {
+  for (const auto& [name, child] : node.children) {
+    const auto saved = prefix.size();
+    prefix += '/';
+    prefix += name;
+    if (child->is_dir) {
+      CollectFiles(*child, prefix, fn);
+    } else {
+      fn(prefix);
+    }
+    prefix.resize(saved);
+  }
+}
+
+Status NamespaceTree::ForEachFileUnder(
+    std::string_view path,
+    const std::function<void(const std::string&)>& fn) const {
+  auto components = SplitPath(path);
+  if (!components.ok()) return components.status();
+  const Node* node = Find(*components);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  std::string prefix = components->empty() ? "" : JoinPath(*components);
+  if (!node->is_dir) {
+    fn(prefix);
+    return Status::Ok();
+  }
+  CollectFiles(*node, prefix, fn);
+  return Status::Ok();
+}
+
+}  // namespace ghba

@@ -1,0 +1,86 @@
+// Hierarchical namespace tree.
+//
+// The paper's queries are "based on a hierarchical path" and Table 1 scores
+// schemes on directory-operation speed. This module provides the directory
+// layer a deployment would put in front of the flat path->metadata stores:
+// a tree of directories with POSIX-ish operations (mkdir -p, create, list,
+// rename, remove), path normalization, and enumeration of the files under a
+// subtree (the input to MetadataCluster::RenamePrefix).
+//
+// The tree stores *names*, not metadata — metadata lives on the home MDSs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ghba {
+
+/// Split an absolute path into components; rejects empty/relative paths and
+/// components "." / "..". "/a//b/" normalizes to {"a", "b"}.
+Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+/// Join components back into a canonical absolute path.
+std::string JoinPath(const std::vector<std::string>& components);
+
+class NamespaceTree {
+ public:
+  NamespaceTree();
+
+  /// mkdir -p: creates all missing intermediate directories. Fails with
+  /// kAlreadyExists only if a *file* blocks the path.
+  Status MakeDirs(std::string_view path);
+
+  /// Create a file; parent directories must exist (use MakeDirs first) —
+  /// kNotFound otherwise, kAlreadyExists if the name is taken.
+  Status CreateFile(std::string_view path);
+
+  /// Remove a file (kNotFound if absent or a directory).
+  Status RemoveFile(std::string_view path);
+
+  /// Remove an *empty* directory (kInvalidArgument if non-empty).
+  Status RemoveDir(std::string_view path);
+
+  bool FileExists(std::string_view path) const;
+  bool DirExists(std::string_view path) const;
+
+  /// Children of a directory: names, with "/" suffix for subdirectories.
+  Result<std::vector<std::string>> List(std::string_view path) const;
+
+  /// Move/rename a directory subtree or a single file. The destination must
+  /// not exist; the destination's parent must be a directory.
+  Status Rename(std::string_view from, std::string_view to);
+
+  /// Invoke fn(path) for every file under `path` (recursively), in sorted
+  /// order. `path` may be a directory or a single file.
+  Status ForEachFileUnder(std::string_view path,
+                          const std::function<void(const std::string&)>& fn) const;
+
+  std::uint64_t file_count() const { return file_count_; }
+  std::uint64_t dir_count() const { return dir_count_; }  // excludes root
+
+ private:
+  struct Node {
+    bool is_dir = true;
+    std::map<std::string, std::unique_ptr<Node>> children;  // dirs only
+  };
+
+  /// Walk to the node for `components`; nullptr if missing.
+  const Node* Find(const std::vector<std::string>& components) const;
+  Node* Find(const std::vector<std::string>& components);
+
+  void CollectFiles(const Node& node, std::string& prefix,
+                    const std::function<void(const std::string&)>& fn) const;
+
+  Node root_;
+  std::uint64_t file_count_ = 0;
+  std::uint64_t dir_count_ = 0;
+};
+
+}  // namespace ghba

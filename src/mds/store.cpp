@@ -1,0 +1,56 @@
+#include "mds/store.hpp"
+
+namespace ghba {
+
+Status MetadataStore::Insert(std::string path, FileMetadata metadata) {
+  const auto bytes = EntryBytes(path, metadata);
+  const auto [it, inserted] = map_.try_emplace(std::move(path), std::move(metadata));
+  if (!inserted) return Status::AlreadyExists(it->first);
+  memory_bytes_ += bytes;
+  return Status::Ok();
+}
+
+bool MetadataStore::Contains(std::string_view path) const {
+  return map_.find(std::string(path)) != map_.end();
+}
+
+Result<FileMetadata> MetadataStore::Lookup(std::string_view path) const {
+  const auto it = map_.find(std::string(path));
+  if (it == map_.end()) return Status::NotFound(std::string(path));
+  return it->second;
+}
+
+Status MetadataStore::Update(
+    std::string_view path, const std::function<void(FileMetadata&)>& mutate) {
+  const auto it = map_.find(std::string(path));
+  if (it == map_.end()) return Status::NotFound(std::string(path));
+  memory_bytes_ -= EntryBytes(it->first, it->second);
+  mutate(it->second);
+  memory_bytes_ += EntryBytes(it->first, it->second);
+  return Status::Ok();
+}
+
+Status MetadataStore::Remove(std::string_view path) {
+  const auto it = map_.find(std::string(path));
+  if (it == map_.end()) return Status::NotFound(std::string(path));
+  memory_bytes_ -= EntryBytes(it->first, it->second);
+  map_.erase(it);
+  return Status::Ok();
+}
+
+void MetadataStore::ForEach(
+    const std::function<void(const std::string&, const FileMetadata&)>& fn)
+    const {
+  for (const auto& [path, md] : map_) fn(path, md);
+}
+
+std::vector<std::pair<std::string, FileMetadata>> MetadataStore::ExtractAll() {
+  std::vector<std::pair<std::string, FileMetadata>> out;
+  out.reserve(map_.size());
+  for (auto& [path, md] : map_) out.emplace_back(path, std::move(md));
+  map_.clear();
+  memory_bytes_ = 0;
+  return out;
+}
+
+}  // namespace ghba

@@ -1,0 +1,62 @@
+// Per-MDS metadata store.
+//
+// Authoritative map path -> FileMetadata for every file whose home is this
+// MDS. Insertions/removals report footprint so the cluster's memory model
+// can decide what spills to (simulated) disk. Iteration order is
+// unspecified; migration uses ExtractAll.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "mds/metadata.hpp"
+
+namespace ghba {
+
+class MetadataStore {
+ public:
+  Status Insert(std::string path, FileMetadata metadata);
+
+  /// Exact (non-probabilistic) membership — this is the ground truth the
+  /// Bloom hierarchy routes toward.
+  bool Contains(std::string_view path) const;
+
+  Result<FileMetadata> Lookup(std::string_view path) const;
+
+  /// Apply `mutate` to an existing record (e.g. close() updating mtime).
+  Status Update(std::string_view path,
+                const std::function<void(FileMetadata&)>& mutate);
+
+  Status Remove(std::string_view path);
+
+  std::uint64_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Approximate resident footprint: map nodes + key strings + records.
+  std::uint64_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Visit every (path, metadata) pair.
+  void ForEach(
+      const std::function<void(const std::string&, const FileMetadata&)>& fn)
+      const;
+
+  /// Remove and return all records (MDS decommissioning / migration).
+  std::vector<std::pair<std::string, FileMetadata>> ExtractAll();
+
+ private:
+  static std::uint64_t EntryBytes(const std::string& path,
+                                  const FileMetadata& md) {
+    // map node overhead (bucket pointer + node header) ~= 64 bytes.
+    return 64 + path.size() + md.MemoryBytes();
+  }
+
+  std::unordered_map<std::string, FileMetadata> map_;
+  std::uint64_t memory_bytes_ = 0;
+};
+
+}  // namespace ghba

@@ -1,0 +1,210 @@
+#include "rpc/protocol.hpp"
+
+#include "bloom/compressed.hpp"
+
+namespace ghba {
+
+namespace {
+ByteWriter WriterFor(MsgType type) {
+  ByteWriter w;
+  w.PutU16(static_cast<std::uint16_t>(type));
+  return w;
+}
+}  // namespace
+
+std::vector<std::uint8_t> EncodeHeader(MsgType type) {
+  return WriterFor(type).Take();
+}
+
+std::vector<std::uint8_t> EncodePathRequest(MsgType type,
+                                            const std::string& path) {
+  auto w = WriterFor(type);
+  w.PutString(path);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeTouch(const std::string& path, MdsId home) {
+  auto w = WriterFor(MsgType::kTouchLru);
+  w.PutString(path);
+  w.PutU32(home);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeInsert(const std::string& path,
+                                       const FileMetadata& metadata) {
+  auto w = WriterFor(MsgType::kInsert);
+  w.PutString(path);
+  metadata.Serialize(w);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeReplicaInstall(MdsId owner,
+                                               const BloomFilter& filter) {
+  auto w = WriterFor(MsgType::kReplicaInstall);
+  w.PutU32(owner);
+  // Replicas ship compressed: sparse filters (fresh MDSs, post-split
+  // installs) gap-code to a fraction of their raw size.
+  w.PutBytes(CompressFilter(filter));
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeReplicaDrop(MdsId owner) {
+  auto w = WriterFor(MsgType::kReplicaDrop);
+  w.PutU32(owner);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeReplicaFetch(MdsId owner) {
+  auto w = WriterFor(MsgType::kReplicaFetch);
+  w.PutU32(owner);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeStatusResp(const Status& status) {
+  ByteWriter w;
+  w.PutU8(0);  // envelope: 0 = Status follows
+  w.PutU8(static_cast<std::uint8_t>(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeBoolResp(bool value) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope: 1 = payload follows
+  w.PutU8(value ? 1 : 0);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeLocalLookupResp(const LocalLookupResp& resp) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU8(resp.lru_unique ? 1 : 0);
+  w.PutU32(resp.lru_home);
+  w.PutVarint(resp.hits.size());
+  for (const MdsId h : resp.hits) w.PutU32(h);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeFilterResp(const BloomFilter& filter) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutBytes(CompressFilter(filter));
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeStatsResp(const StatsResp& stats) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU64(stats.frames_in);
+  w.PutU64(stats.frames_out);
+  w.PutU64(stats.files);
+  w.PutU64(stats.replicas);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeFileListResp(const FileListResp& resp) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutVarint(resp.files.size());
+  for (const auto& [path, md] : resp.files) {
+    w.PutString(path);
+    md.Serialize(w);
+  }
+  return w.Take();
+}
+
+Result<FileListResp> DecodeFileListResp(ByteReader& in) {
+  auto count = in.GetVarint();
+  if (!count.ok()) return count.status();
+  if (*count > 100'000'000) return Status::Corruption("absurd file count");
+  FileListResp resp;
+  resp.files.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto path = in.GetString();
+    if (!path.ok()) return path.status();
+    auto md = FileMetadata::Deserialize(in);
+    if (!md.ok()) return md.status();
+    resp.files.emplace_back(std::move(*path), std::move(*md));
+  }
+  return resp;
+}
+
+Result<Envelope> OpenEnvelope(ByteReader& in) {
+  auto kind = in.GetU8();
+  if (!kind.ok()) return kind.status();
+  Envelope env;
+  if (*kind == 1) {
+    env.has_payload = true;
+    return env;
+  }
+  if (*kind != 0) return Status::Corruption("bad envelope byte");
+  auto status = DecodeStatusResp(in);
+  if (!status.ok()) return status.status();
+  env.status = status->status;
+  return env;
+}
+
+Result<MsgType> DecodeType(ByteReader& in) {
+  auto t = in.GetU16();
+  if (!t.ok()) return t.status();
+  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kExportFiles)) {
+    return Status::Corruption("unknown message type");
+  }
+  return static_cast<MsgType>(*t);
+}
+
+Result<RemoteStatus> DecodeStatusResp(ByteReader& in) {
+  auto code = in.GetU8();
+  if (!code.ok()) return code.status();
+  auto msg = in.GetString();
+  if (!msg.ok()) return msg.status();
+  if (*code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+    return Status::Corruption("bad status code");
+  }
+  return RemoteStatus{Status(static_cast<StatusCode>(*code), std::move(*msg))};
+}
+
+Result<bool> DecodeBoolResp(ByteReader& in) {
+  auto v = in.GetU8();
+  if (!v.ok()) return v.status();
+  return *v != 0;
+}
+
+Result<LocalLookupResp> DecodeLocalLookupResp(ByteReader& in) {
+  LocalLookupResp resp;
+  auto unique = in.GetU8();
+  if (!unique.ok()) return unique.status();
+  resp.lru_unique = (*unique != 0);
+  auto home = in.GetU32();
+  if (!home.ok()) return home.status();
+  resp.lru_home = *home;
+  auto n = in.GetVarint();
+  if (!n.ok()) return n.status();
+  if (*n > 100000) return Status::Corruption("too many hits");
+  resp.hits.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto h = in.GetU32();
+    if (!h.ok()) return h.status();
+    resp.hits.push_back(*h);
+  }
+  return resp;
+}
+
+Result<StatsResp> DecodeStatsResp(ByteReader& in) {
+  StatsResp stats;
+  auto a = in.GetU64();
+  if (!a.ok()) return a.status();
+  stats.frames_in = *a;
+  auto b = in.GetU64();
+  if (!b.ok()) return b.status();
+  stats.frames_out = *b;
+  auto c = in.GetU64();
+  if (!c.ok()) return c.status();
+  stats.files = *c;
+  auto d = in.GetU64();
+  if (!d.ok()) return d.status();
+  stats.replicas = *d;
+  return stats;
+}
+
+}  // namespace ghba

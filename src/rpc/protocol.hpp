@@ -1,0 +1,106 @@
+// Wire protocol of the loopback prototype.
+//
+// Every frame is [u16 type][payload]; the TCP layer adds the length prefix.
+// Requests and responses share the framing; a connection carries one
+// request/response exchange at a time (the client serializes per
+// connection). All multi-byte integers little-endian via ByteWriter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/bloom_filter_array.hpp"
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "mds/metadata.hpp"
+
+namespace ghba {
+
+enum class MsgType : std::uint16_t {
+  // client/coordinator -> MDS
+  kLookupLocal = 1,   ///< run L1+L2 on this MDS -> LocalLookupResp
+  kGroupProbe = 2,    ///< run segment+own-filter probe only -> LocalLookupResp
+  kGlobalProbe = 3,   ///< authoritative local check (filter + store) -> Bool
+  kVerify = 4,        ///< exact store membership -> Bool
+  kTouchLru = 5,      ///< teach the MDS's L1 a (path -> home); no response
+  kInsert = 6,        ///< create file metadata here -> StatusResp
+  kUnlink = 7,        ///< remove file metadata here -> StatusResp
+  kGetFilter = 8,     ///< snapshot this MDS's local filter -> Filter
+  kReplicaInstall = 9,   ///< add/refresh a replica in the segment array
+  kReplicaDrop = 10,     ///< remove a replica from the segment array
+  kReplicaFetch = 11,    ///< read a replica back out (migration) -> Filter
+  kGetStats = 12,     ///< message/file counters -> StatsResp
+  kPing = 13,         ///< liveness -> StatusResp
+  kShutdown = 14,     ///< stop the server loop; no response
+  kExportFiles = 15,  ///< drain all (path, metadata) pairs -> FileListResp
+};
+
+/// Local lookup outcome shipped back from kLookupLocal / kGroupProbe.
+struct LocalLookupResp {
+  // Every filter (replica or own) that answered positive.
+  std::vector<MdsId> hits;
+  // For kLookupLocal only: L1 produced a unique hit on this home.
+  bool lru_unique = false;
+  MdsId lru_home = kInvalidMds;
+};
+
+struct StatsResp {
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t files = 0;
+  std::uint64_t replicas = 0;
+};
+
+// --- encode helpers (client side) ---
+std::vector<std::uint8_t> EncodeHeader(MsgType type);
+std::vector<std::uint8_t> EncodePathRequest(MsgType type,
+                                            const std::string& path);
+std::vector<std::uint8_t> EncodeTouch(const std::string& path, MdsId home);
+std::vector<std::uint8_t> EncodeInsert(const std::string& path,
+                                       const FileMetadata& metadata);
+std::vector<std::uint8_t> EncodeReplicaInstall(MdsId owner,
+                                               const BloomFilter& filter);
+std::vector<std::uint8_t> EncodeReplicaDrop(MdsId owner);
+std::vector<std::uint8_t> EncodeReplicaFetch(MdsId owner);
+
+/// Exported file set (graceful decommissioning).
+struct FileListResp {
+  std::vector<std::pair<std::string, FileMetadata>> files;
+};
+
+// --- response encoders (server side) ---
+std::vector<std::uint8_t> EncodeFileListResp(const FileListResp& resp);
+std::vector<std::uint8_t> EncodeStatusResp(const Status& status);
+std::vector<std::uint8_t> EncodeBoolResp(bool value);
+std::vector<std::uint8_t> EncodeLocalLookupResp(const LocalLookupResp& resp);
+std::vector<std::uint8_t> EncodeFilterResp(const BloomFilter& filter);
+std::vector<std::uint8_t> EncodeStatsResp(const StatsResp& stats);
+
+// --- decode helpers ---
+
+/// Every response starts with one envelope byte: 0 = a Status body follows
+/// (both errors and bare-ack successes), 1 = a typed payload follows.
+struct Envelope {
+  bool has_payload = false;
+  Status status;  ///< meaningful when has_payload is false
+};
+
+/// Consume the envelope; on has_payload the reader sits at the payload.
+Result<Envelope> OpenEnvelope(ByteReader& in);
+
+Result<MsgType> DecodeType(ByteReader& in);
+
+/// Remote status wrapped in a distinct type (Result<Status> would be
+/// ambiguous: the error channel is itself a Status).
+struct RemoteStatus {
+  Status status;
+};
+Result<RemoteStatus> DecodeStatusResp(ByteReader& in);
+Result<bool> DecodeBoolResp(ByteReader& in);
+Result<LocalLookupResp> DecodeLocalLookupResp(ByteReader& in);
+Result<StatsResp> DecodeStatsResp(ByteReader& in);
+Result<FileListResp> DecodeFileListResp(ByteReader& in);
+
+}  // namespace ghba

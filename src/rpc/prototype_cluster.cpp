@@ -1,0 +1,616 @@
+#include "rpc/prototype_cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "bloom/compressed.hpp"
+#include "common/logging.hpp"
+
+namespace ghba {
+
+namespace {
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+PrototypeCluster::PrototypeCluster(ClusterConfig config, ProtoScheme scheme)
+    : config_(config), scheme_(scheme), rng_(config.seed ^ 0x9999) {}
+
+PrototypeCluster::~PrototypeCluster() { Stop(); }
+
+Status PrototypeCluster::StartServer(MdsId id) {
+  auto server = std::make_unique<MdsServer>(id, config_);
+  if (Status s = server->Start(); !s.ok()) return s;
+  if (servers_.size() <= id) servers_.resize(id + 1);
+  servers_[id] = std::move(server);
+  return Status::Ok();
+}
+
+Status PrototypeCluster::Start() {
+  for (MdsId id = 0; id < config_.num_mds; ++id) {
+    if (Status s = StartServer(id); !s.ok()) return s;
+  }
+  if (scheme_ == ProtoScheme::kHba) {
+    // Full mesh: one group containing everyone; every server holds every
+    // other server's replica.
+    GroupInfo g;
+    for (MdsId id = 0; id < config_.num_mds; ++id) {
+      g.members.push_back(id);
+      group_of_[id] = 0;
+    }
+    groups_.push_back(std::move(g));
+    for (MdsId holder = 0; holder < config_.num_mds; ++holder) {
+      for (MdsId owner = 0; owner < config_.num_mds; ++owner) {
+        if (owner == holder) continue;
+        auto filter = FetchFilter(owner);
+        if (!filter.ok()) return filter.status();
+        if (Status s = InstallReplica(holder, owner, *filter); !s.ok()) {
+          return s;
+        }
+      }
+    }
+  } else {
+    const std::uint32_t m = std::max<std::uint32_t>(config_.max_group_size, 1);
+    for (MdsId id = 0; id < config_.num_mds; id += m) {
+      GroupInfo g;
+      for (MdsId i = id; i < std::min<MdsId>(id + m, config_.num_mds); ++i) {
+        g.members.push_back(i);
+        group_of_[i] = groups_.size();
+      }
+      groups_.push_back(std::move(g));
+    }
+    for (auto& g : groups_) {
+      if (Status s = EnsureCoverage(g); !s.ok()) return s;
+    }
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void PrototypeCluster::Stop() {
+  conns_.clear();
+  for (auto& server : servers_) {
+    if (server) server->Stop();
+  }
+  started_ = false;
+}
+
+Result<std::vector<std::uint8_t>> PrototypeCluster::Call(
+    MdsId id, const std::vector<std::uint8_t>& req) {
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::Unavailable("server is down");
+  }
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    auto conn = TcpConnection::Connect(servers_.at(id)->port());
+    if (!conn.ok()) return conn.status();
+    it = conns_.emplace(id, std::move(*conn)).first;
+  }
+  if (Status s = it->second.SendFrame(req); !s.ok()) {
+    conns_.erase(it);
+    return s;
+  }
+  auto resp = it->second.RecvFrame();
+  if (!resp.ok()) conns_.erase(id);
+  return resp;
+}
+
+Status PrototypeCluster::OneWay(MdsId id, const std::vector<std::uint8_t>& frame) {
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::Unavailable("server is down");
+  }
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    auto conn = TcpConnection::Connect(servers_.at(id)->port());
+    if (!conn.ok()) return conn.status();
+    it = conns_.emplace(id, std::move(*conn)).first;
+  }
+  return it->second.SendFrame(frame);
+}
+
+Result<BloomFilter> PrototypeCluster::FetchFilter(MdsId owner) {
+  auto resp = Call(owner, EncodeHeader(MsgType::kGetFilter));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecompressFilter(in);
+}
+
+Status PrototypeCluster::InstallReplica(MdsId holder, MdsId owner,
+                                        const BloomFilter& filter) {
+  auto resp = Call(holder, EncodeReplicaInstall(owner, filter));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+MdsId PrototypeCluster::LightestMember(const GroupInfo& g) const {
+  std::unordered_map<MdsId, std::size_t> load;
+  for (const MdsId m : g.members) load[m] = 0;
+  for (const auto& [owner, holder] : g.holder) ++load[holder];
+  MdsId best = g.members.front();
+  std::size_t best_load = static_cast<std::size_t>(-1);
+  for (const MdsId m : g.members) {
+    if (load[m] < best_load) {
+      best_load = load[m];
+      best = m;
+    }
+  }
+  return best;
+}
+
+std::size_t PrototypeCluster::GroupWithRoom() const {
+  std::size_t best = static_cast<std::size_t>(-1);
+  std::size_t best_size = config_.max_group_size;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].members.size() < best_size) {
+      best_size = groups_[i].members.size();
+      best = i;
+    }
+  }
+  return best;
+}
+
+Status PrototypeCluster::EnsureCoverage(GroupInfo& g) {
+  const auto is_member = [&](MdsId id) {
+    return std::find(g.members.begin(), g.members.end(), id) !=
+           g.members.end();
+  };
+  // Drop replicas of co-members.
+  std::vector<MdsId> to_drop;
+  for (const auto& [owner, holder] : g.holder) {
+    if (is_member(owner)) to_drop.push_back(owner);
+  }
+  for (const MdsId owner : to_drop) {
+    (void)Call(g.holder[owner], EncodeReplicaDrop(owner));
+    g.holder.erase(owner);
+  }
+  // Install missing outsider replicas.
+  for (MdsId owner = 0; owner < servers_.size(); ++owner) {
+    if (!servers_[owner] || is_member(owner) || g.holder.contains(owner)) {
+      continue;
+    }
+    auto filter = FetchFilter(owner);
+    if (!filter.ok()) return filter.status();
+    const MdsId holder = LightestMember(g);
+    if (Status s = InstallReplica(holder, owner, *filter); !s.ok()) return s;
+    g.holder[owner] = holder;
+  }
+  return Status::Ok();
+}
+
+Status PrototypeCluster::Insert(const std::string& path,
+                                const FileMetadata& metadata) {
+  const auto alive = AliveServers();
+  if (alive.empty()) return Status::Unavailable("no servers");
+  const MdsId home = alive[rng_.NextBounded(alive.size())];
+  auto resp = Call(home, EncodeInsert(path, metadata));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+Result<bool> PrototypeCluster::VerifyAt(MdsId candidate,
+                                        const std::string& path) {
+  auto resp = Call(candidate, EncodePathRequest(MsgType::kVerify, path));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeBoolResp(in);
+}
+
+Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
+  ProtoLookupResult result;
+  const double start = NowMs();
+  const auto alive = AliveServers();
+  if (alive.empty()) return Status::Unavailable("no servers");
+  const MdsId entry = alive[rng_.NextBounded(alive.size())];
+
+  const auto finish = [&](int level, bool found, MdsId home) {
+    result.found = found;
+    result.home = home;
+    result.served_level = level;
+    result.latency_ms = NowMs() - start;
+    if (found) {
+      (void)OneWay(entry, EncodeTouch(path, home));
+    }
+    return result;
+  };
+
+  // L1 + L2 on the entry server.
+  auto resp = Call(entry, EncodePathRequest(MsgType::kLookupLocal, path));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  auto local = DecodeLocalLookupResp(in);
+  if (!local.ok()) return local.status();
+
+  std::vector<MdsId> verified;
+  const auto try_verify = [&](MdsId candidate) -> Result<bool> {
+    if (std::find(verified.begin(), verified.end(), candidate) !=
+        verified.end()) {
+      return false;
+    }
+    verified.push_back(candidate);
+    auto v = VerifyAt(candidate, path);
+    if (!v.ok() && v.status().code() == StatusCode::kUnavailable) {
+      // Stale cache/replica named a dead server: degraded service means the
+      // query continues down the hierarchy, not that it fails (Sec. 4.5).
+      return false;
+    }
+    return v;
+  };
+
+  if (local->lru_unique) {
+    auto v = try_verify(local->lru_home);
+    if (!v.ok()) return v.status();
+    if (*v) return finish(1, true, local->lru_home);
+  }
+  if (local->hits.size() == 1) {
+    auto v = try_verify(local->hits.front());
+    if (!v.ok()) return v.status();
+    if (*v) return finish(2, true, local->hits.front());
+  }
+
+  // L3: probe the rest of the entry's group.
+  if (scheme_ == ProtoScheme::kGhba) {
+    std::vector<MdsId> candidates(local->hits);
+    const auto& g = groups_[group_of_.at(entry)];
+    for (const MdsId m : g.members) {
+      if (m == entry) continue;
+      auto probe = Call(m, EncodePathRequest(MsgType::kGroupProbe, path));
+      if (!probe.ok()) continue;  // a slow/dead peer must not fail the query
+      ByteReader pin(*probe);
+      auto penv = OpenEnvelope(pin);
+      if (!penv.ok() || !penv->has_payload) continue;
+      auto presp = DecodeLocalLookupResp(pin);
+      if (!presp.ok()) continue;
+      candidates.insert(candidates.end(), presp->hits.begin(),
+                        presp->hits.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (const MdsId c : candidates) {
+      auto v = try_verify(c);
+      if (!v.ok()) return v.status();
+      if (*v) return finish(3, true, c);
+    }
+  }
+
+  // L4: global probe.
+  for (MdsId m = 0; m < servers_.size(); ++m) {
+    if (!servers_[m]) continue;
+    auto probe = Call(m, EncodePathRequest(MsgType::kGlobalProbe, path));
+    if (!probe.ok()) continue;
+    ByteReader pin(*probe);
+    auto penv = OpenEnvelope(pin);
+    if (!penv.ok() || !penv->has_payload) continue;
+    auto found = DecodeBoolResp(pin);
+    if (found.ok() && *found) return finish(4, true, m);
+  }
+  return finish(4, false, kInvalidMds);
+}
+
+Status PrototypeCluster::Unlink(const std::string& path) {
+  auto located = Lookup(path);
+  if (!located.ok()) return located.status();
+  if (!located->found) return Status::NotFound(path);
+  auto resp = Call(located->home, EncodePathRequest(MsgType::kUnlink, path));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+Status PrototypeCluster::PublishAll() {
+  if (scheme_ == ProtoScheme::kHba) {
+    for (MdsId owner = 0; owner < servers_.size(); ++owner) {
+      if (!servers_[owner]) continue;
+      auto filter = FetchFilter(owner);
+      if (!filter.ok()) return filter.status();
+      for (MdsId holder = 0; holder < servers_.size(); ++holder) {
+        if (!servers_[holder] || holder == owner) continue;
+        if (Status s = InstallReplica(holder, owner, *filter); !s.ok()) {
+          return s;
+        }
+      }
+    }
+    return Status::Ok();
+  }
+  for (MdsId owner = 0; owner < servers_.size(); ++owner) {
+    if (!servers_[owner]) continue;
+    auto filter = FetchFilter(owner);
+    if (!filter.ok()) return filter.status();
+    for (auto& g : groups_) {
+      const auto it = g.holder.find(owner);
+      if (it == g.holder.end()) continue;
+      if (Status s = InstallReplica(it->second, owner, *filter); !s.ok()) {
+        return s;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
+  const std::uint64_t frames_before = TotalFramesIn();
+  const MdsId nid = static_cast<MdsId>(servers_.size());
+  if (Status s = StartServer(nid); !s.ok()) return s;
+
+  if (scheme_ == ProtoScheme::kHba) {
+    GroupInfo& g = groups_.front();
+    g.members.push_back(nid);
+    group_of_[nid] = 0;
+    // Exchange: newcomer receives all existing replicas, everyone installs
+    // the newcomer's filter.
+    auto fresh = FetchFilter(nid);
+    if (!fresh.ok()) return fresh.status();
+    for (MdsId other = 0; other < nid; ++other) {
+      auto filter = FetchFilter(other);
+      if (!filter.ok()) return filter.status();
+      if (Status s = InstallReplica(nid, other, *filter); !s.ok()) return s;
+      if (Status s = InstallReplica(other, nid, *fresh); !s.ok()) return s;
+    }
+  } else {
+    std::size_t target = GroupWithRoom();
+    if (target == static_cast<std::size_t>(-1)) {
+      // Split a random full group: tail half forms a new group.
+      const std::size_t victim = rng_.NextBounded(groups_.size());
+      GroupInfo& a = groups_[victim];
+      const std::size_t move_count = a.members.size() / 2;
+      GroupInfo b;
+      for (std::size_t i = 0; i < move_count; ++i) {
+        b.members.push_back(a.members.back());
+        a.members.pop_back();
+      }
+      // Replicas follow their holders into the new group.
+      for (auto it = a.holder.begin(); it != a.holder.end();) {
+        if (std::find(b.members.begin(), b.members.end(), it->second) !=
+            b.members.end()) {
+          b.holder[it->first] = it->second;
+          it = a.holder.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      groups_.push_back(std::move(b));
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        for (const MdsId m : groups_[gi].members) group_of_[m] = gi;
+      }
+      if (Status s = EnsureCoverage(groups_[victim]); !s.ok()) return s;
+      if (Status s = EnsureCoverage(groups_.back()); !s.ok()) return s;
+      target = GroupWithRoom();
+    }
+    GroupInfo& g = groups_[target];
+    g.members.push_back(nid);
+    group_of_[nid] = target;
+    if (g.holder.contains(nid)) {
+      (void)Call(g.holder[nid], EncodeReplicaDrop(nid));
+      g.holder.erase(nid);
+    }
+
+    // Light-weight migration: overloaded members hand replicas to the
+    // newcomer via fetch + install + drop.
+    const std::size_t outsiders =
+        servers_.size() - g.members.size();
+    const std::size_t target_load =
+        (outsiders + g.members.size() - 1) / g.members.size();
+    std::unordered_map<MdsId, std::vector<MdsId>> held;
+    for (const auto& [owner, holder] : g.holder) held[holder].push_back(owner);
+    for (const MdsId m : g.members) {
+      if (m == nid) continue;
+      auto& owners = held[m];
+      while (owners.size() > target_load) {
+        const MdsId owner = owners.back();
+        owners.pop_back();
+        auto resp = Call(m, EncodeReplicaFetch(owner));
+        if (!resp.ok()) return resp.status();
+        ByteReader in(*resp);
+        auto env = OpenEnvelope(in);
+        if (!env.ok()) return env.status();
+        if (!env->has_payload) return env->status;
+        auto filter = DecompressFilter(in);
+        if (!filter.ok()) return filter.status();
+        if (Status s = InstallReplica(nid, owner, *filter); !s.ok()) return s;
+        (void)Call(m, EncodeReplicaDrop(owner));
+        g.holder[owner] = nid;
+      }
+    }
+
+    // The newcomer's replica goes to one member of each other group.
+    auto fresh = FetchFilter(nid);
+    if (!fresh.ok()) return fresh.status();
+    for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+      if (gi == target || groups_[gi].holder.contains(nid)) continue;
+      const MdsId holder = LightestMember(groups_[gi]);
+      if (Status s = InstallReplica(holder, nid, *fresh); !s.ok()) return s;
+      groups_[gi].holder[nid] = holder;
+    }
+  }
+
+  if (messages != nullptr) *messages = TotalFramesIn() - frames_before;
+  return nid;
+}
+
+std::vector<MdsId> PrototypeCluster::AliveServers() const {
+  std::vector<MdsId> out;
+  for (MdsId id = 0; id < servers_.size(); ++id) {
+    if (servers_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::NotFound("no such server");
+  }
+  if (AliveServers().size() == 1) {
+    return Status::InvalidArgument("cannot remove the last server");
+  }
+  const std::uint64_t frames_before = TotalFramesIn();
+
+  if (scheme_ == ProtoScheme::kGhba) {
+    const std::size_t gid = group_of_.at(id);
+    GroupInfo& g = groups_[gid];
+    // Move the replicas this server holds to its group peers.
+    std::vector<MdsId> held;
+    for (const auto& [owner, holder] : g.holder) {
+      if (holder == id) held.push_back(owner);
+    }
+    g.members.erase(std::find(g.members.begin(), g.members.end(), id));
+    group_of_.erase(id);
+    for (const MdsId owner : held) {
+      auto resp = Call(id, EncodeReplicaFetch(owner));
+      if (!resp.ok()) return resp.status();
+      ByteReader in(*resp);
+      auto env = OpenEnvelope(in);
+      if (!env.ok()) return env.status();
+      if (!env->has_payload) return env->status;
+      auto filter = DecompressFilter(in);
+      if (!filter.ok()) return filter.status();
+      if (!g.members.empty()) {
+        const MdsId target = LightestMember(g);
+        if (Status s = InstallReplica(target, owner, *filter); !s.ok()) {
+          return s;
+        }
+        g.holder[owner] = target;
+      } else {
+        g.holder.erase(owner);
+      }
+    }
+    // Every survivor drops the leaver's replica/filter state and purges L1
+    // entries pointing at it.
+    for (const MdsId other : AliveServers()) {
+      if (other != id) (void)Call(other, EncodeReplicaDrop(id));
+    }
+    for (auto& other : groups_) {
+      other.holder.erase(id);
+    }
+    if (g.members.empty()) {
+      groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(gid));
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        for (const MdsId m : groups_[gi].members) group_of_[m] = gi;
+      }
+    }
+  } else {
+    GroupInfo& g = groups_.front();
+    g.members.erase(std::find(g.members.begin(), g.members.end(), id));
+    group_of_.erase(id);
+    for (const MdsId other : AliveServers()) {
+      if (other == id) continue;
+      (void)Call(other, EncodeReplicaDrop(id));
+    }
+  }
+
+  // Drain the files to the survivors.
+  auto resp = Call(id, EncodeHeader(MsgType::kExportFiles));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  auto files = DecodeFileListResp(in);
+  if (!files.ok()) return files.status();
+  const auto survivors = AliveServers();
+  std::vector<MdsId> targets;
+  for (const MdsId s : survivors) {
+    if (s != id) targets.push_back(s);
+  }
+  std::size_t rr = 0;
+  for (const auto& [path, md] : files->files) {
+    auto insert_resp =
+        Call(targets[rr++ % targets.size()], EncodeInsert(path, md));
+    if (!insert_resp.ok()) return insert_resp.status();
+    ByteReader rin(*insert_resp);
+    auto renv = OpenEnvelope(rin);
+    if (!renv.ok()) return renv.status();
+    if (!renv->status.ok()) {
+      return Status::Internal("drain re-insert of " + path +
+                              " failed: " + renv->status.ToString());
+    }
+  }
+
+  // The survivors' filters changed: refresh their replicas. The leaver's
+  // frame counter disappears with it, so fold it into the delta first.
+  const std::uint64_t victim_frames = servers_[id]->frames_in();
+  conns_.erase(id);
+  servers_[id]->Stop();
+  servers_[id].reset();
+  if (Status s = PublishAll(); !s.ok()) return s;
+
+  if (messages != nullptr) {
+    *messages = TotalFramesIn() + victim_frames - frames_before;
+  }
+  return Status::Ok();
+}
+
+Status PrototypeCluster::KillServer(MdsId id) {
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::NotFound("no such server");
+  }
+  if (AliveServers().size() == 1) {
+    return Status::InvalidArgument("cannot kill the last server");
+  }
+  // The crash: no drain, no goodbye.
+  conns_.erase(id);
+  servers_[id]->Stop();
+  servers_[id].reset();
+
+  // Fail-over (Section 4.5): "the corresponding Bloom filters are removed
+  // from the other MDSs" — every survivor drops the dead server's replica
+  // (if it holds one) and purges its L1 entries pointing there.
+  for (const MdsId other : AliveServers()) {
+    (void)Call(other, EncodeReplicaDrop(id));
+  }
+  if (scheme_ == ProtoScheme::kGhba) {
+    const std::size_t gid = group_of_.at(id);
+    GroupInfo& g = groups_[gid];
+    g.members.erase(std::find(g.members.begin(), g.members.end(), id));
+    group_of_.erase(id);
+    // Replicas it held are gone with it; forget the bookkeeping.
+    for (auto it = g.holder.begin(); it != g.holder.end();) {
+      it = it->second == id ? g.holder.erase(it) : std::next(it);
+    }
+    for (auto& other : groups_) {
+      other.holder.erase(id);
+    }
+    if (g.members.empty()) {
+      groups_.erase(groups_.begin() + static_cast<std::ptrdiff_t>(gid));
+      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+        for (const MdsId m : groups_[gi].members) group_of_[m] = gi;
+      }
+    } else {
+      if (Status s = EnsureCoverage(g); !s.ok()) return s;
+    }
+  } else {
+    GroupInfo& g = groups_.front();
+    g.members.erase(std::find(g.members.begin(), g.members.end(), id));
+    group_of_.erase(id);
+  }
+  return Status::Ok();
+}
+
+std::uint64_t PrototypeCluster::TotalFramesIn() const {
+  std::uint64_t total = 0;
+  for (const auto& server : servers_) {
+    if (server) total += server->frames_in();
+  }
+  return total;
+}
+
+}  // namespace ghba

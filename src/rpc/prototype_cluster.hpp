@@ -1,0 +1,125 @@
+// Orchestrator + client for the loopback prototype (paper Section 5).
+//
+// Spawns one MdsServer per MDS, forms groups, installs Bloom-filter
+// replicas over the wire, and drives the four-level query protocol from the
+// client side: the client library plays the coordinating role of the entry
+// MDS (L1/L2 run remotely on the entry server; group and global fan-outs go
+// to the members / all servers). Message counts come straight from the
+// servers' frame counters, which is what Fig. 15 plots.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+#include "mds/metadata.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/server.hpp"
+#include "rpc/socket.hpp"
+
+namespace ghba {
+
+/// Replica topology the prototype runs.
+enum class ProtoScheme {
+  kGhba,  ///< groups of <= M; theta replicas per server
+  kHba,   ///< every server holds every other server's replica
+};
+
+struct ProtoLookupResult {
+  bool found = false;
+  MdsId home = kInvalidMds;
+  double latency_ms = 0;  ///< measured wall-clock
+  int served_level = 0;   ///< 1..4 as in the simulator
+};
+
+class PrototypeCluster {
+ public:
+  PrototypeCluster(ClusterConfig config, ProtoScheme scheme);
+  ~PrototypeCluster();
+
+  PrototypeCluster(const PrototypeCluster&) = delete;
+  PrototypeCluster& operator=(const PrototypeCluster&) = delete;
+
+  /// Spawn all servers and install the (empty) replica topology.
+  Status Start();
+  void Stop();
+
+  std::size_t NumServers() const { return servers_.size(); }
+  std::size_t NumGroups() const { return groups_.size(); }
+
+  /// Create a file on a uniformly random server.
+  Status Insert(const std::string& path, const FileMetadata& metadata);
+
+  /// Remove a file (the lookup protocol locates it first).
+  Status Unlink(const std::string& path);
+
+  /// Four-level lookup driven from the client.
+  Result<ProtoLookupResult> Lookup(const std::string& path);
+
+  /// Fetch every server's current filter and refresh its replicas.
+  Status PublishAll();
+
+  /// Add one server (Fig. 15's experiment). Frames exchanged during the
+  /// operation are returned via `messages`.
+  Result<MdsId> AddServer(std::uint64_t* messages);
+
+  /// Gracefully decommission a server: its replicas move to group peers,
+  /// its files drain to the survivors, every group drops its filter.
+  Status RemoveServer(MdsId id, std::uint64_t* messages);
+
+  /// Crash a server (no drain — its files are lost) and run fail-over:
+  /// survivors drop its filters and rebuild group coverage. Exercises the
+  /// heart-beat path of Section 4.5 over real sockets.
+  Status KillServer(MdsId id);
+
+  /// Live server ids.
+  std::vector<MdsId> AliveServers() const;
+
+  /// Diagnostic: exact store membership of `path` on one server.
+  Result<bool> VerifyOn(MdsId id, const std::string& path) {
+    return VerifyAt(id, path);
+  }
+
+  /// Total frames received across all servers (monotone counter).
+  std::uint64_t TotalFramesIn() const;
+
+ private:
+  struct GroupInfo {
+    std::vector<MdsId> members;
+    std::unordered_map<MdsId, MdsId> holder;  // owner -> member holding it
+  };
+
+  Status StartServer(MdsId id);
+  /// Blocking request/response over a lazily-opened connection.
+  Result<std::vector<std::uint8_t>> Call(MdsId id,
+                                         const std::vector<std::uint8_t>& req);
+  Status OneWay(MdsId id, const std::vector<std::uint8_t>& frame);
+
+  Result<BloomFilter> FetchFilter(MdsId owner);
+  Status InstallReplica(MdsId holder, MdsId owner, const BloomFilter& filter);
+
+  /// Member of `g` holding the fewest replicas.
+  MdsId LightestMember(const GroupInfo& g) const;
+  /// Group index with room, or SIZE_MAX.
+  std::size_t GroupWithRoom() const;
+  Status EnsureCoverage(GroupInfo& g);
+
+  Result<bool> VerifyAt(MdsId candidate, const std::string& path);
+
+  ClusterConfig config_;
+  ProtoScheme scheme_;
+  Rng rng_;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<MdsServer>> servers_;  // index = MdsId
+  std::unordered_map<MdsId, TcpConnection> conns_;
+  std::vector<GroupInfo> groups_;               // G-HBA only
+  std::unordered_map<MdsId, std::size_t> group_of_;
+};
+
+}  // namespace ghba

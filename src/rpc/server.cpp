@@ -1,0 +1,249 @@
+#include "rpc/server.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "bloom/compressed.hpp"
+#include "common/logging.hpp"
+
+namespace ghba {
+
+namespace {
+LruBloomArray::Options LruOptionsFor(const ClusterConfig& config) {
+  LruBloomArray::Options options;
+  options.capacity = config.lru_capacity;
+  options.counters_per_item = 8.0;
+  options.seed = 0x1111 ^ config.seed;
+  return options;
+}
+}  // namespace
+
+MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
+    : id_(id),
+      config_(config),
+      local_filter_(CountingBloomFilter::ForCapacity(
+          config.expected_files_per_mds, config.bits_per_file,
+          config.seed ^ 0x5151)),
+      lru_(LruOptionsFor(config)) {}
+
+MdsServer::~MdsServer() { Stop(); }
+
+Status MdsServer::Start(std::uint16_t port) {
+  auto listener = TcpListener::Bind(port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void MdsServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  // Poke the poll loop so it notices the stop flag.
+  (void)TcpConnection::Connect(port_);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void MdsServer::Loop() {
+  std::vector<TcpConnection> conns;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    for (const auto& c : conns) fds.push_back(pollfd{c.fd(), POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (ready <= 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      auto conn = listener_.Accept();
+      if (conn.ok()) conns.push_back(std::move(*conn));
+    }
+
+    // Walk connections back-to-front so erasing is cheap and indices into
+    // `fds` (offset by 1 for the listener) stay valid.
+    for (std::size_t i = conns.size(); i-- > 0;) {
+      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      auto frame = conns[i].RecvFrame();
+      if (!frame.ok()) {
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      frames_in_.fetch_add(1, std::memory_order_relaxed);
+      bool respond = false;
+      bool shutdown = false;
+      const auto response = Handle(*frame, respond, shutdown);
+      if (respond) {
+        if (conns[i].SendFrame(response).ok()) {
+          frames_out_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (shutdown) {
+        stop_.store(true, std::memory_order_release);
+        break;
+      }
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
+                                          bool include_lru) {
+  LocalLookupResp resp;
+  if (include_lru) {
+    const auto l1 = lru_.Query(path);
+    if (l1.unique()) {
+      resp.lru_unique = true;
+      resp.lru_home = l1.owner;
+    }
+  }
+  // Emulate memory pressure: replicas beyond the configured budget live on
+  // (simulated) disk, so probing them physically blocks this server. This
+  // is the mechanism behind the paper's prototype result (Fig. 14): HBA's
+  // N-replica array overflows long before G-HBA's theta-replica one.
+  const double overflow = ReplicaOverflowFraction();
+  if (overflow > 0) {
+    const double disk_filters =
+        static_cast<double>(segment_.size() + 1) * overflow;
+    const auto delay_us = static_cast<std::int64_t>(
+        disk_filters * config_.latency.spilled_probe_ms * 1000.0);
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+  resp.hits = segment_.QueryShared(path).all_hits;
+  if (local_filter_.MayContain(path)) resp.hits.push_back(id_);
+  return resp;
+}
+
+double MdsServer::ReplicaOverflowFraction() const {
+  // As in the simulator (ClusterBase::ChargeMemory): the budget governs the
+  // replica working set — the quantity the schemes differ on. The LRU array
+  // and local filter are small at production scale and accounted elsewhere.
+  const std::uint64_t replica_bytes = segment_.MemoryBytes();
+  if (replica_bytes == 0) return 0.0;
+  const std::uint64_t room = config_.memory_budget_bytes;
+  if (replica_bytes <= room) return 0.0;
+  return static_cast<double>(replica_bytes - room) /
+         static_cast<double>(replica_bytes);
+}
+
+std::vector<std::uint8_t> MdsServer::Handle(
+    const std::vector<std::uint8_t>& frame, bool& respond, bool& shutdown) {
+  respond = true;
+  shutdown = false;
+  ByteReader in(frame);
+  const auto type = DecodeType(in);
+  if (!type.ok()) return EncodeStatusResp(type.status());
+
+  switch (*type) {
+    case MsgType::kLookupLocal:
+    case MsgType::kGroupProbe: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      return EncodeLocalLookupResp(
+          RunLocalLookup(*path, *type == MsgType::kLookupLocal));
+    }
+    case MsgType::kGlobalProbe: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      // Authoritative: filter screens, store confirms (no false negatives).
+      const bool found =
+          local_filter_.MayContain(*path) && store_.Contains(*path);
+      return EncodeBoolResp(found);
+    }
+    case MsgType::kVerify: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      return EncodeBoolResp(store_.Contains(*path));
+    }
+    case MsgType::kTouchLru: {
+      respond = false;
+      auto path = in.GetString();
+      if (!path.ok()) return {};
+      auto home = in.GetU32();
+      if (!home.ok()) return {};
+      lru_.Touch(*path, *home);
+      return {};
+    }
+    case MsgType::kInsert: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      auto md = FileMetadata::Deserialize(in);
+      if (!md.ok()) return EncodeStatusResp(md.status());
+      const Status s = store_.Insert(*path, std::move(*md));
+      if (s.ok()) local_filter_.Add(*path);
+      return EncodeStatusResp(s);
+    }
+    case MsgType::kUnlink: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      const Status s = store_.Remove(*path);
+      if (s.ok()) local_filter_.Remove(*path);
+      return EncodeStatusResp(s);
+    }
+    case MsgType::kGetFilter:
+      return EncodeFilterResp(local_filter_.ToBloomFilter());
+    case MsgType::kReplicaInstall: {
+      auto owner = in.GetU32();
+      if (!owner.ok()) return EncodeStatusResp(owner.status());
+      auto filter = DecompressFilter(in);
+      if (!filter.ok()) return EncodeStatusResp(filter.status());
+      if (segment_.HasEntry(*owner)) {
+        return EncodeStatusResp(segment_.RefreshEntry(*owner, *filter));
+      }
+      return EncodeStatusResp(segment_.AddEntry(*owner, std::move(*filter)));
+    }
+    case MsgType::kReplicaDrop: {
+      auto owner = in.GetU32();
+      if (!owner.ok()) return EncodeStatusResp(owner.status());
+      auto removed = segment_.RemoveEntry(*owner);
+      lru_.DropHome(*owner);
+      return EncodeStatusResp(removed.status());
+    }
+    case MsgType::kReplicaFetch: {
+      auto owner = in.GetU32();
+      if (!owner.ok()) return EncodeStatusResp(owner.status());
+      const BloomFilter* filter = segment_.Find(*owner);
+      if (filter == nullptr) {
+        return EncodeStatusResp(Status::NotFound("no such replica"));
+      }
+      return EncodeFilterResp(*filter);
+    }
+    case MsgType::kGetStats: {
+      StatsResp stats;
+      stats.frames_in = frames_in();
+      stats.frames_out = frames_out();
+      stats.files = store_.size();
+      stats.replicas = segment_.size();
+      return EncodeStatsResp(stats);
+    }
+    case MsgType::kPing:
+      return EncodeStatusResp(Status::Ok());
+    case MsgType::kExportFiles: {
+      // Decommissioning drain: hand over every record and clear state.
+      FileListResp resp;
+      auto extracted = store_.ExtractAll();
+      resp.files.assign(std::make_move_iterator(extracted.begin()),
+                        std::make_move_iterator(extracted.end()));
+      local_filter_.Clear();
+      return EncodeFileListResp(resp);
+    }
+    case MsgType::kShutdown:
+      respond = false;
+      shutdown = true;
+      return {};
+  }
+  return EncodeStatusResp(Status::Corruption("unhandled message type"));
+}
+
+}  // namespace ghba

@@ -1,0 +1,79 @@
+// In-process MDS daemon for the loopback prototype.
+//
+// One server = one poll(2) event loop on its own thread, owning the same
+// per-MDS state the simulator models (store, counting local filter, segment
+// replica array, L1 LRU array). All state is touched only from the loop
+// thread; the message counters are atomics so the orchestrator can read
+// them live (Fig. 15 counts messages during reconfiguration).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bloom/bloom_filter_array.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "bloom/lru_bloom_array.hpp"
+#include "core/config.hpp"
+#include "mds/store.hpp"
+#include "rpc/protocol.hpp"
+#include "rpc/socket.hpp"
+
+namespace ghba {
+
+class MdsServer {
+ public:
+  MdsServer(MdsId id, const ClusterConfig& config);
+  ~MdsServer();
+
+  MdsServer(const MdsServer&) = delete;
+  MdsServer& operator=(const MdsServer&) = delete;
+
+  /// Bind a loopback port (0 = OS-assigned) and start the event loop thread.
+  Status Start(std::uint16_t port = 0);
+
+  /// Stop the loop and join the thread. Idempotent.
+  void Stop();
+
+  MdsId id() const { return id_; }
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Live counters (readable from any thread).
+  std::uint64_t frames_in() const { return frames_in_.load(std::memory_order_relaxed); }
+  std::uint64_t frames_out() const { return frames_out_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+  /// Dispatch one request frame; returns the response payload, or empty for
+  /// one-way messages. Sets `shutdown` for kShutdown.
+  std::vector<std::uint8_t> Handle(const std::vector<std::uint8_t>& frame,
+                                   bool& respond, bool& shutdown);
+
+  LocalLookupResp RunLocalLookup(const std::string& path, bool include_lru);
+
+  /// Fraction of replica bytes beyond the memory budget (after the LRU
+  /// array and the local filter take their share). Probing those blocks.
+  double ReplicaOverflowFraction() const;
+
+  MdsId id_;
+  ClusterConfig config_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  // --- event-loop-thread-only state ---
+  MetadataStore store_;
+  CountingBloomFilter local_filter_;
+  BloomFilterArray segment_;
+  LruBloomArray lru_;
+
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+};
+
+}  // namespace ghba

@@ -1,0 +1,161 @@
+#include "rpc/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ghba {
+
+namespace {
+Status Errno(const char* what) {
+  return Status::Unavailable(std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+FdHandle& FdHandle::operator=(FdHandle&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int FdHandle::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FdHandle::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConnection> TcpConnection::Connect(std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("connect");
+  }
+  // Lookups are latency-sensitive small frames: disable Nagle.
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(std::move(fd));
+}
+
+Status TcpConnection::SendAll(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n =
+        ::send(fd_.get(), data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::RecvAll(std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_.get(), data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::Unavailable("peer closed");
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::SendFrame(const std::vector<std::uint8_t>& payload) {
+  if (!fd_.valid()) return Status::Unavailable("closed connection");
+  if (payload.size() > (64u << 20)) {
+    return Status::InvalidArgument("frame too large");
+  }
+  std::uint8_t header[4];
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<std::uint8_t>(len);
+  header[1] = static_cast<std::uint8_t>(len >> 8);
+  header[2] = static_cast<std::uint8_t>(len >> 16);
+  header[3] = static_cast<std::uint8_t>(len >> 24);
+  if (Status s = SendAll(header, sizeof(header)); !s.ok()) return s;
+  if (payload.empty()) return Status::Ok();
+  return SendAll(payload.data(), payload.size());
+}
+
+Result<std::vector<std::uint8_t>> TcpConnection::RecvFrame() {
+  if (!fd_.valid()) return Status::Unavailable("closed connection");
+  std::uint8_t header[4];
+  if (Status s = RecvAll(header, sizeof(header)); !s.ok()) return s;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > (64u << 20)) return Status::Corruption("frame too large");
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) {
+    if (Status s = RecvAll(payload.data(), len); !s.ok()) return s;
+  }
+  return payload;
+}
+
+Result<TcpListener> TcpListener::Bind(std::uint16_t port) {
+  FdHandle fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);  // 0 = OS-assigned
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), 128) != 0) return Errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Errno("getsockname");
+  }
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  while (true) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpConnection(FdHandle(fd));
+    }
+    if (errno == EINTR) continue;
+    return Errno("accept");
+  }
+}
+
+}  // namespace ghba

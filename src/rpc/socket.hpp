@@ -1,0 +1,84 @@
+// RAII TCP sockets for the loopback prototype.
+//
+// The prototype runs every MDS as an in-process server on 127.0.0.1 with a
+// poll(2)-driven event loop; these wrappers own the file descriptors and
+// provide framed, length-prefixed message IO. Blocking send/recv with
+// SIGPIPE suppressed; partial writes handled.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ghba {
+
+/// Owns a file descriptor; moves only.
+class FdHandle {
+ public:
+  FdHandle() = default;
+  explicit FdHandle(int fd) : fd_(fd) {}
+  ~FdHandle() { Close(); }
+
+  FdHandle(const FdHandle&) = delete;
+  FdHandle& operator=(const FdHandle&) = delete;
+  FdHandle(FdHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FdHandle& operator=(FdHandle&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream with 4-byte length-prefixed framing.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(FdHandle fd) : fd_(std::move(fd)) {}
+
+  /// Connect to 127.0.0.1:port.
+  static Result<TcpConnection> Connect(std::uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+
+  /// Send one frame (length prefix + payload). Blocking.
+  Status SendFrame(const std::vector<std::uint8_t>& payload);
+
+  /// Receive one frame. Blocking; kUnavailable on orderly shutdown.
+  Result<std::vector<std::uint8_t>> RecvFrame();
+
+  void Close() { fd_.Close(); }
+
+ private:
+  Status SendAll(const std::uint8_t* data, std::size_t len);
+  Status RecvAll(std::uint8_t* data, std::size_t len);
+
+  FdHandle fd_;
+};
+
+/// Listening socket on 127.0.0.1; port 0 asks the OS to pick one.
+class TcpListener {
+ public:
+  static Result<TcpListener> Bind(std::uint16_t port = 0);
+
+  std::uint16_t port() const { return port_; }
+  int fd() const { return fd_.get(); }
+
+  /// Accept one connection (blocking).
+  Result<TcpConnection> Accept();
+
+  void Close() { fd_.Close(); }
+
+ private:
+  FdHandle fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ghba

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace ghba {
+
+void EventQueue::Schedule(double when, Handler fn) {
+  assert(when >= now_ && "scheduling into the past");
+  heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Cmp{});
+}
+
+bool EventQueue::Step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Cmp{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.when;
+  ev.fn();  // may schedule further events
+  return true;
+}
+
+std::uint64_t EventQueue::Run() {
+  std::uint64_t executed = 0;
+  while (Step()) ++executed;
+  return executed;
+}
+
+std::uint64_t EventQueue::RunUntil(double horizon) {
+  std::uint64_t executed = 0;
+  while (!heap_.empty() && heap_.front().when <= horizon) {
+    Step();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+}  // namespace ghba

@@ -1,0 +1,62 @@
+// Discrete-event simulation engine.
+//
+// A minimal but complete DES core: schedule closures at absolute simulated
+// times, run until quiescence or a horizon. Used by the trace-driven
+// simulator for replica-update propagation and by tests that need
+// deterministic time-ordered execution. Ties break by insertion order so
+// runs are exactly reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ghba {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `when` (must be >= Now() during Run).
+  void Schedule(double when, Handler fn);
+
+  /// Schedule `fn` at Now() + delay.
+  void ScheduleAfter(double delay, Handler fn) {
+    Schedule(now_ + delay, std::move(fn));
+  }
+
+  double Now() const { return now_; }
+  bool Empty() const { return heap_.empty(); }
+  std::size_t PendingEvents() const { return heap_.size(); }
+
+  /// Run until no events remain. Returns the number of events executed.
+  std::uint64_t Run();
+
+  /// Run until simulated time exceeds `horizon` or no events remain.
+  std::uint64_t RunUntil(double horizon);
+
+  /// Execute exactly one event (if any); returns whether one ran.
+  bool Step();
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;  // FIFO among simultaneous events
+    Handler fn;
+  };
+  // Min-heap via std::push_heap/pop_heap so events can be *moved* out
+  // (std::priority_queue::top is const and would force a copy).
+  struct Cmp {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ghba

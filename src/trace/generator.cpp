@@ -1,0 +1,164 @@
+#include "trace/generator.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace ghba {
+
+SyntheticTrace::SyntheticTrace(WorkloadProfile profile,
+                               std::uint32_t subtrace_id, std::uint64_t seed,
+                               std::uint64_t max_ops)
+    : profile_(std::move(profile)),
+      subtrace_id_(subtrace_id),
+      max_ops_(max_ops),
+      rng_(Mix64(seed) ^ (static_cast<std::uint64_t>(subtrace_id) << 32)),
+      zipf_(std::max<std::uint64_t>(profile_.active_files, 1),
+            profile_.zipf_skew),
+      recent_(profile_.working_set, 0),
+      next_created_id_(profile_.total_files) {
+  // Seed the recency window with popular files so locality kicks in from
+  // the first operation.
+  for (auto& slot : recent_) slot = zipf_.Sample(rng_) - 1;
+}
+
+std::string SyntheticTrace::PathOfFile(std::uint64_t file_id) const {
+  // Stable, deterministic path: directories are a hash of the file id so
+  // the namespace forms a balanced tree of profile().dir_depth levels.
+  std::string path = "/t" + std::to_string(subtrace_id_);
+  std::uint64_t h = Mix64(file_id * 2 + 1);
+  for (std::uint32_t level = 0; level < profile_.dir_depth; ++level) {
+    path += "/d" + std::to_string(h % profile_.dirs_per_level);
+    h = Mix64(h);
+  }
+  path += "/f" + std::to_string(file_id);
+  return path;
+}
+
+void SyntheticTrace::RememberRecent(std::uint64_t file_id) {
+  recent_[recent_pos_] = file_id;
+  recent_pos_ = (recent_pos_ + 1) % recent_.size();
+}
+
+std::uint64_t SyntheticTrace::PickFileId() {
+  // Temporal locality: re-reference the recency window.
+  if (rng_.NextBool(profile_.rereference_prob)) {
+    return recent_[rng_.NextBounded(recent_.size())];
+  }
+  // A small tail of traffic touches the inactive bulk of the namespace.
+  constexpr double kInactiveTouchProb = 0.02;
+  if (profile_.total_files > profile_.active_files &&
+      rng_.NextBool(kInactiveTouchProb)) {
+    return profile_.active_files +
+           rng_.NextBounded(profile_.total_files - profile_.active_files);
+  }
+  // Popularity-skewed draw over the active set (rank 1 -> id 0).
+  return zipf_.Sample(rng_) - 1;
+}
+
+std::optional<TraceRecord> SyntheticTrace::Next() {
+  if (max_ops_ != 0 && emitted_ >= max_ops_) return std::nullopt;
+  ++emitted_;
+
+  clock_ += rng_.NextExponential(1.0 / profile_.ops_per_second);
+
+  TraceRecord rec;
+  rec.timestamp = clock_;
+  rec.subtrace = subtrace_id_;
+  rec.user = static_cast<std::uint32_t>(rng_.NextBounded(profile_.users));
+  rec.host = static_cast<std::uint32_t>(rng_.NextBounded(profile_.hosts));
+
+  const double dice = rng_.NextDouble();
+  double acc = profile_.stat_fraction;
+  if (dice < acc) {
+    rec.op = OpType::kStat;
+    const auto id = PickFileId();
+    rec.path = PathOfFile(id);
+    RememberRecent(id);
+    return rec;
+  }
+  acc += profile_.open_fraction;
+  if (dice < acc) {
+    rec.op = OpType::kOpen;
+    const auto id = PickFileId();
+    rec.path = PathOfFile(id);
+    RememberRecent(id);
+    open_files_.push_back(id);
+    // Bound the open table (files opened before trace end and never closed).
+    if (open_files_.size() > 4096) open_files_.pop_front();
+    return rec;
+  }
+  acc += profile_.close_fraction;
+  if (dice < acc) {
+    rec.op = OpType::kClose;
+    if (!open_files_.empty()) {
+      rec.path = PathOfFile(open_files_.front());
+      open_files_.pop_front();
+    } else {
+      // Close of a file opened before the trace started: treat as a touch
+      // of a recent file.
+      rec.path = PathOfFile(recent_[rng_.NextBounded(recent_.size())]);
+    }
+    return rec;
+  }
+  acc += profile_.create_fraction;
+  if (dice < acc) {
+    rec.op = OpType::kCreate;
+    const auto id = next_created_id_++;
+    rec.path = PathOfFile(id);
+    RememberRecent(id);
+    created_alive_.push_back(id);
+    return rec;
+  }
+  // Remainder: unlink. Prefer deleting files created during the trace so
+  // the initial population remains intact for verification.
+  rec.op = OpType::kUnlink;
+  if (!created_alive_.empty()) {
+    const auto idx = rng_.NextBounded(created_alive_.size());
+    rec.path = PathOfFile(created_alive_[idx]);
+    created_alive_[idx] = created_alive_.back();
+    created_alive_.pop_back();
+  } else {
+    // Nothing created yet: degenerate to a stat of a recent file.
+    rec.op = OpType::kStat;
+    rec.path = PathOfFile(recent_[rng_.NextBounded(recent_.size())]);
+  }
+  return rec;
+}
+
+IntensifiedTrace::IntensifiedTrace(const WorkloadProfile& profile,
+                                   std::uint32_t tif, std::uint64_t seed,
+                                   std::uint64_t total_ops)
+    : total_ops_(total_ops) {
+  assert(tif >= 1);
+  subs_.reserve(tif);
+  pending_.resize(tif);
+  for (std::uint32_t i = 0; i < tif; ++i) {
+    subs_.push_back(std::make_unique<SyntheticTrace>(
+        profile, i, Mix64(seed + i), /*max_ops=*/0));
+    pending_[i] = subs_[i]->Next();
+    if (pending_[i]) heap_.push({pending_[i]->timestamp, i});
+  }
+}
+
+std::optional<TraceRecord> IntensifiedTrace::Next() {
+  if (total_ops_ != 0 && emitted_ >= total_ops_) return std::nullopt;
+  if (heap_.empty()) return std::nullopt;
+  const auto item = heap_.top();
+  heap_.pop();
+  TraceRecord out = std::move(*pending_[item.source]);
+  pending_[item.source] = subs_[item.source]->Next();
+  if (pending_[item.source]) {
+    heap_.push({pending_[item.source]->timestamp, item.source});
+  }
+  ++emitted_;
+  return out;
+}
+
+std::uint64_t IntensifiedTrace::InitialFileCount() const {
+  std::uint64_t total = 0;
+  for (const auto& sub : subs_) total += sub->profile().total_files;
+  return total;
+}
+
+}  // namespace ghba

@@ -1,0 +1,131 @@
+// Synthetic metadata-trace generation with TIF intensification.
+//
+// SyntheticTrace produces one *subtrace*: a stream of metadata operations
+// matching a WorkloadProfile's op mix, populations and locality. The
+// IntensifiedTrace replays TIF subtraces concurrently — each with a
+// disjoint namespace, user and host ranges, and its own preserved internal
+// timing — exactly mirroring the paper's scale-up methodology (Section 4):
+// "decompose a trace into subtraces ... disjoint group ID, user ID and
+// working directories ... replayed concurrently by setting the same start
+// time".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/zipf.hpp"
+#include "trace/profile.hpp"
+#include "trace/record.hpp"
+
+namespace ghba {
+
+/// Pull-based stream of trace records; exhausted streams return nullopt.
+class TraceStream {
+ public:
+  virtual ~TraceStream() = default;
+  virtual std::optional<TraceRecord> Next() = 0;
+};
+
+/// Fixed, pre-materialized stream (tests and tiny examples).
+class VectorTrace final : public TraceStream {
+ public:
+  explicit VectorTrace(std::vector<TraceRecord> records)
+      : records_(std::move(records)) {}
+  std::optional<TraceRecord> Next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<TraceRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// One synthetic subtrace.
+class SyntheticTrace final : public TraceStream {
+ public:
+  /// `max_ops == 0` means unbounded (caller stops pulling).
+  SyntheticTrace(WorkloadProfile profile, std::uint32_t subtrace_id,
+                 std::uint64_t seed, std::uint64_t max_ops = 0);
+
+  std::optional<TraceRecord> Next() override;
+
+  /// Stable pathname of a pre-existing file in this subtrace's namespace.
+  /// Valid for ids in [0, profile.total_files).
+  std::string PathOfFile(std::uint64_t file_id) const;
+
+  /// Invoke `fn(path)` for every pre-existing file. Used to populate MDSs
+  /// before replay (paper: "All MDSs are initially populated randomly").
+  template <typename Fn>
+  void ForEachInitialFile(Fn&& fn) const {
+    for (std::uint64_t id = 0; id < profile_.total_files; ++id) {
+      fn(PathOfFile(id));
+    }
+  }
+
+  const WorkloadProfile& profile() const { return profile_; }
+  std::uint32_t subtrace_id() const { return subtrace_id_; }
+
+ private:
+  std::uint64_t PickFileId();
+  void RememberRecent(std::uint64_t file_id);
+
+  WorkloadProfile profile_;
+  std::uint32_t subtrace_id_;
+  std::uint64_t max_ops_;
+  std::uint64_t emitted_ = 0;
+  double clock_ = 0;
+  Rng rng_;
+  ZipfSampler zipf_;
+
+  std::vector<std::uint64_t> recent_;  // ring buffer: temporal locality
+  std::size_t recent_pos_ = 0;
+  std::deque<std::uint64_t> open_files_;  // open->close pairing
+  std::uint64_t next_created_id_;          // ids for files born mid-trace
+  std::vector<std::uint64_t> created_alive_;  // unlink candidates
+};
+
+/// TIF-way concurrent replay of disjoint subtraces, merged by timestamp.
+class IntensifiedTrace final : public TraceStream {
+ public:
+  /// `total_ops` bounds the merged stream (0 = unbounded).
+  IntensifiedTrace(const WorkloadProfile& profile, std::uint32_t tif,
+                   std::uint64_t seed, std::uint64_t total_ops = 0);
+
+  std::optional<TraceRecord> Next() override;
+
+  std::uint32_t tif() const { return static_cast<std::uint32_t>(subs_.size()); }
+
+  /// Initial files across all subtraces.
+  template <typename Fn>
+  void ForEachInitialFile(Fn&& fn) const {
+    for (const auto& sub : subs_) sub->ForEachInitialFile(fn);
+  }
+
+  /// Total pre-existing files across subtraces.
+  std::uint64_t InitialFileCount() const;
+
+ private:
+  struct HeapItem {
+    double timestamp;
+    std::size_t source;
+  };
+  struct HeapCmp {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.timestamp > b.timestamp;  // min-heap on time
+    }
+  };
+
+  std::vector<std::unique_ptr<SyntheticTrace>> subs_;
+  std::vector<std::optional<TraceRecord>> pending_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, HeapCmp> heap_;
+  std::uint64_t total_ops_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace ghba

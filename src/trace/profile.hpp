@@ -1,0 +1,66 @@
+// Workload profiles calibrated to the paper's trace statistics.
+//
+// The original traces are not redistributable; the generators reproduce the
+// published *statistics* instead (Tables 3-4 and the source papers):
+//   * operation mix (open/close/stat fractions),
+//   * user / host population,
+//   * file-population size and the active-file fraction,
+//   * skewed popularity + strong temporal locality of metadata traffic.
+// Each profile describes one *base* (un-intensified) trace; the TIF
+// intensifier (trace/generator.hpp) scales it up the same way the paper
+// does: disjoint per-subtrace namespaces replayed concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ghba {
+
+struct WorkloadProfile {
+  std::string name;
+
+  // --- operation mix (fractions over metadata ops; sum <= 1, remainder
+  //     becomes create/unlink churn) ---
+  double open_fraction = 0.1;
+  double close_fraction = 0.1;
+  double stat_fraction = 0.75;
+  double create_fraction = 0.04;
+  double unlink_fraction = 0.01;
+
+  // --- populations (per subtrace) ---
+  std::uint64_t total_files = 100000;   ///< namespace size at start
+  std::uint64_t active_files = 25000;   ///< files that actually get traffic
+  std::uint32_t users = 200;
+  std::uint32_t hosts = 13;
+
+  // --- locality ---
+  double zipf_skew = 0.9;        ///< popularity skew over active files
+  double rereference_prob = 0.5; ///< chance the next op re-touches a
+                                 ///< recently used file (temporal locality)
+  std::uint32_t working_set = 512;  ///< size of the recency window
+
+  // --- timing ---
+  double ops_per_second = 2000;  ///< mean metadata-op arrival rate
+
+  // --- namespace shape ---
+  std::uint32_t dirs_per_level = 64;
+  std::uint32_t dir_depth = 3;
+};
+
+/// INS: instructional workload (HP-UX cluster, Roselli et al.). Stat-heavy
+/// with a moderate open/close share; paper Table 3 at TIF=30 shows
+/// open:close:stat = 1196 : 1215 : 4077 (million).
+WorkloadProfile InsProfile();
+
+/// RES: research workload. Extremely stat-dominated; Table 3 at TIF=100
+/// shows open:close:stat = 497 : 558 : 7984 (million).
+WorkloadProfile ResProfile();
+
+/// HP: 10-day HP file-system trace (Riedel et al.); Table 4: 94.7M requests,
+/// 32 active users / 207 accounts, 0.969M active of 4.0M total files.
+WorkloadProfile HpProfile();
+
+/// Look up a profile by case-insensitive name ("ins", "res", "hp").
+WorkloadProfile ProfileByName(const std::string& name);
+
+}  // namespace ghba

@@ -1,0 +1,43 @@
+// Trace record model.
+//
+// The paper replays the INS/RES traces (Roselli et al. 2000) and the HP
+// file-system trace (Riedel et al. 2002), filtered down to metadata
+// operations. A record is one metadata operation: what, when, by whom, on
+// which path. Paths are the membership-query keys fed to the Bloom-filter
+// hierarchy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ghba {
+
+enum class OpType : std::uint8_t {
+  kOpen = 0,   ///< open an existing file (metadata lookup + perm check)
+  kClose,      ///< close (attribute/size update on the home MDS)
+  kStat,       ///< stat/getattr (pure metadata lookup)
+  kCreate,     ///< first open of a new file (inserts into the home filter)
+  kUnlink,     ///< delete (removes metadata; ages Bloom replicas)
+};
+
+constexpr const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kOpen: return "open";
+    case OpType::kClose: return "close";
+    case OpType::kStat: return "stat";
+    case OpType::kCreate: return "create";
+    case OpType::kUnlink: return "unlink";
+  }
+  return "?";
+}
+
+struct TraceRecord {
+  double timestamp = 0;  ///< seconds since trace start
+  OpType op = OpType::kStat;
+  std::string path;      ///< full pathname, unique per file
+  std::uint32_t user = 0;
+  std::uint32_t host = 0;
+  std::uint32_t subtrace = 0;  ///< which TIF subtrace produced this record
+};
+
+}  // namespace ghba

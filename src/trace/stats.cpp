@@ -1,0 +1,54 @@
+#include "trace/stats.hpp"
+
+#include <cstdio>
+
+#include "hash/xx64.hpp"
+
+namespace ghba {
+
+void TraceStats::Observe(const TraceRecord& rec) {
+  ++total_;
+  switch (rec.op) {
+    case OpType::kOpen: ++opens_; break;
+    case OpType::kClose: ++closes_; break;
+    case OpType::kStat: ++stats_; break;
+    case OpType::kCreate: ++creates_; break;
+    case OpType::kUnlink: ++unlinks_; break;
+  }
+  if (rec.timestamp > last_ts_) last_ts_ = rec.timestamp;
+  files_.insert(Xx64(rec.path));
+  // Users/hosts are disjoint across subtraces (paper's TIF methodology), so
+  // key them by (subtrace, id).
+  users_.insert((static_cast<std::uint64_t>(rec.subtrace) << 32) | rec.user);
+  hosts_.insert((static_cast<std::uint64_t>(rec.subtrace) << 32) | rec.host);
+}
+
+std::string TraceStats::ToTable(const std::string& title) const {
+  char buf[640];
+  std::snprintf(buf, sizeof(buf),
+                "%s\n"
+                "  hosts            %10llu\n"
+                "  users            %10llu\n"
+                "  open             %10llu\n"
+                "  close            %10llu\n"
+                "  stat             %10llu\n"
+                "  create           %10llu\n"
+                "  unlink           %10llu\n"
+                "  total ops        %10llu\n"
+                "  active files     %10llu\n"
+                "  duration (s)     %10.1f\n",
+                title.c_str(),
+                static_cast<unsigned long long>(distinct_hosts()),
+                static_cast<unsigned long long>(distinct_users()),
+                static_cast<unsigned long long>(opens_),
+                static_cast<unsigned long long>(closes_),
+                static_cast<unsigned long long>(stats_),
+                static_cast<unsigned long long>(creates_),
+                static_cast<unsigned long long>(unlinks_),
+                static_cast<unsigned long long>(total_),
+                static_cast<unsigned long long>(distinct_files()),
+                last_ts_);
+  return buf;
+}
+
+}  // namespace ghba

@@ -1,0 +1,41 @@
+// Trace statistics collection (reproduces the shape of Tables 3-4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "trace/record.hpp"
+
+namespace ghba {
+
+class TraceStats {
+ public:
+  /// Account one record.
+  void Observe(const TraceRecord& rec);
+
+  std::uint64_t total_ops() const { return total_; }
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t closes() const { return closes_; }
+  std::uint64_t stats() const { return stats_; }
+  std::uint64_t creates() const { return creates_; }
+  std::uint64_t unlinks() const { return unlinks_; }
+
+  std::uint64_t distinct_files() const { return files_.size(); }
+  std::uint64_t distinct_users() const { return users_.size(); }
+  std::uint64_t distinct_hosts() const { return hosts_.size(); }
+  double duration_seconds() const { return last_ts_; }
+
+  /// Multi-line table in the style of the paper's Tables 3-4.
+  std::string ToTable(const std::string& title) const;
+
+ private:
+  std::uint64_t total_ = 0, opens_ = 0, closes_ = 0, stats_ = 0,
+                creates_ = 0, unlinks_ = 0;
+  double last_ts_ = 0;
+  std::unordered_set<std::uint64_t> files_;  // hashed paths
+  std::unordered_set<std::uint64_t> users_;  // (subtrace, user)
+  std::unordered_set<std::uint64_t> hosts_;  // (subtrace, host)
+};
+
+}  // namespace ghba

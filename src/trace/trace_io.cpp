@@ -1,0 +1,153 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ghba {
+
+namespace {
+
+Result<OpType> ParseOp(const std::string& token, std::size_t line_no) {
+  if (token == "open") return OpType::kOpen;
+  if (token == "close") return OpType::kClose;
+  if (token == "stat") return OpType::kStat;
+  if (token == "create") return OpType::kCreate;
+  if (token == "unlink") return OpType::kUnlink;
+  return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                 ": unknown op '" + token + "'");
+}
+
+std::string LinePrefix(std::size_t line_no) {
+  return "line " + std::to_string(line_no) + ": ";
+}
+
+}  // namespace
+
+Result<TraceRecord> ParseTraceLine(const std::string& line,
+                                   std::size_t line_no) {
+  std::istringstream in(line);
+  TraceRecord rec;
+
+  std::string ts_token;
+  if (!(in >> ts_token)) {
+    return Status::InvalidArgument(LinePrefix(line_no) + "empty record");
+  }
+  try {
+    std::size_t consumed = 0;
+    rec.timestamp = std::stod(ts_token, &consumed);
+    if (consumed != ts_token.size()) throw std::invalid_argument(ts_token);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(LinePrefix(line_no) + "bad timestamp '" +
+                                   ts_token + "'");
+  }
+  if (rec.timestamp < 0) {
+    return Status::InvalidArgument(LinePrefix(line_no) + "negative timestamp");
+  }
+
+  std::string op_token;
+  if (!(in >> op_token)) {
+    return Status::InvalidArgument(LinePrefix(line_no) + "missing op");
+  }
+  auto op = ParseOp(op_token, line_no);
+  if (!op.ok()) return op.status();
+  rec.op = *op;
+
+  if (!(in >> rec.path) || rec.path.empty()) {
+    return Status::InvalidArgument(LinePrefix(line_no) + "missing path");
+  }
+  if (rec.path[0] != '/') {
+    return Status::InvalidArgument(LinePrefix(line_no) +
+                                   "path must be absolute: " + rec.path);
+  }
+
+  // Optional fields.
+  std::uint64_t value = 0;
+  if (in >> value) rec.user = static_cast<std::uint32_t>(value);
+  if (in >> value) rec.host = static_cast<std::uint32_t>(value);
+  if (in >> value) rec.subtrace = static_cast<std::uint32_t>(value);
+
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::InvalidArgument(LinePrefix(line_no) + "trailing garbage '" +
+                                   trailing + "'");
+  }
+  return rec;
+}
+
+std::string FormatTraceRecord(const TraceRecord& rec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", rec.timestamp);
+  std::string out(buf);
+  out += ' ';
+  out += OpTypeName(rec.op);
+  out += ' ';
+  out += rec.path;
+  out += ' ';
+  out += std::to_string(rec.user);
+  out += ' ';
+  out += std::to_string(rec.host);
+  out += ' ';
+  out += std::to_string(rec.subtrace);
+  return out;
+}
+
+Result<std::vector<TraceRecord>> LoadTrace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    bool blank = true;
+    for (const char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    auto rec = ParseTraceLine(line, line_no);
+    if (!rec.ok()) return rec.status();
+    records.push_back(std::move(*rec));
+  }
+  return records;
+}
+
+Result<std::vector<TraceRecord>> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open trace file: " + path);
+  return LoadTrace(in);
+}
+
+Status SaveTrace(std::ostream& out, const std::vector<TraceRecord>& records) {
+  out << "# ghba trace v1: <ts-seconds> <op> <path> <uid> <host> <subtrace>\n";
+  for (const auto& rec : records) {
+    out << FormatTraceRecord(rec) << '\n';
+  }
+  if (!out) return Status::Internal("trace write failed");
+  return Status::Ok();
+}
+
+Status SaveTraceFile(const std::string& path,
+                     const std::vector<TraceRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot create trace file: " + path);
+  return SaveTrace(out, records);
+}
+
+std::vector<TraceRecord> Materialize(TraceStream& stream,
+                                     std::uint64_t max_ops) {
+  std::vector<TraceRecord> records;
+  records.reserve(max_ops);
+  for (std::uint64_t i = 0; i < max_ops; ++i) {
+    auto rec = stream.Next();
+    if (!rec) break;
+    records.push_back(std::move(*rec));
+  }
+  return records;
+}
+
+}  // namespace ghba

@@ -1,0 +1,49 @@
+// Plain-text trace format: load/save streams of metadata operations.
+//
+// The synthetic generators cover the paper's experiments, but users with
+// access to real traces (the original INS/RES/HP traces, or their own
+// auditd/NFS captures) can convert them to this format and replay them
+// against any cluster scheme. One record per line:
+//
+//     <timestamp-seconds> <op> <path> [uid] [host] [subtrace]
+//
+// with <op> one of open|close|stat|create|unlink. '#' starts a comment.
+// Malformed lines are rejected with line numbers (never silently skipped).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "trace/generator.hpp"
+#include "trace/record.hpp"
+
+namespace ghba {
+
+/// Parse one line; `line_no` only flavours error messages.
+Result<TraceRecord> ParseTraceLine(const std::string& line,
+                                   std::size_t line_no = 0);
+
+/// Format one record as a line (no trailing newline).
+std::string FormatTraceRecord(const TraceRecord& rec);
+
+/// Read a whole stream; fails on the first malformed line.
+Result<std::vector<TraceRecord>> LoadTrace(std::istream& in);
+
+/// Load from a file path.
+Result<std::vector<TraceRecord>> LoadTraceFile(const std::string& path);
+
+/// Write records to a stream (with a header comment).
+Status SaveTrace(std::ostream& out, const std::vector<TraceRecord>& records);
+
+/// Save to a file path.
+Status SaveTraceFile(const std::string& path,
+                     const std::vector<TraceRecord>& records);
+
+/// Pull up to `max_ops` records out of any TraceStream (e.g. to materialize
+/// a synthetic trace into a file others can replay).
+std::vector<TraceRecord> Materialize(TraceStream& stream,
+                                     std::uint64_t max_ops);
+
+}  // namespace ghba

@@ -1,0 +1,163 @@
+// Property tests for the Bloom-filter algebra of Section 3.4.
+//
+// The paper's Properties 1-3 relate set operations to bit-vector operations.
+// Here we generate random sets and verify the probabilistic contracts hold
+// on real filters across a sweep of geometries.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/bloom_math.hpp"
+#include "common/rng.hpp"
+
+namespace ghba {
+namespace {
+
+struct Geometry {
+  std::uint64_t bits;
+  std::uint32_t k;
+  std::uint64_t set_size;
+};
+
+class AlgebraPropertyTest : public ::testing::TestWithParam<Geometry> {
+ protected:
+  // Builds disjoint sets A-only, B-only, and shared AB.
+  void SetUp() override {
+    const auto& g = GetParam();
+    Rng rng(g.bits ^ g.k);
+    auto pick = [&](const std::string& prefix, std::uint64_t n) {
+      std::vector<std::string> out;
+      out.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        out.push_back(prefix + std::to_string(rng.Next()));
+      }
+      return out;
+    };
+    a_only_ = pick("a", g.set_size);
+    b_only_ = pick("b", g.set_size);
+    shared_ = pick("s", g.set_size / 2 + 1);
+  }
+
+  BloomFilter MakeFilter() const {
+    const auto& g = GetParam();
+    return BloomFilter(g.bits, g.k, /*seed=*/1234);
+  }
+
+  std::vector<std::string> a_only_, b_only_, shared_;
+};
+
+// Property 1: BF(A) | BF(B) == BF(A u B), exactly, bit-for-bit.
+TEST_P(AlgebraPropertyTest, UnionMatchesFilterOfUnion) {
+  BloomFilter fa = MakeFilter(), fb = MakeFilter(), funion = MakeFilter();
+  for (const auto& x : a_only_) {
+    fa.Add(x);
+    funion.Add(x);
+  }
+  for (const auto& x : shared_) {
+    fa.Add(x);
+    fb.Add(x);
+    funion.Add(x);
+  }
+  for (const auto& x : b_only_) {
+    fb.Add(x);
+    funion.Add(x);
+  }
+  fa.UnionWith(fb);
+  EXPECT_EQ(fa.bits(), funion.bits());
+}
+
+// Property 2: BF(A) & BF(B) is a superset of BF(A n B): no false negatives
+// for the true intersection, and every bit of BF(A n B) is set in the AND.
+TEST_P(AlgebraPropertyTest, IntersectionConservative) {
+  BloomFilter fa = MakeFilter(), fb = MakeFilter(), finter = MakeFilter();
+  for (const auto& x : a_only_) fa.Add(x);
+  for (const auto& x : b_only_) fb.Add(x);
+  for (const auto& x : shared_) {
+    fa.Add(x);
+    fb.Add(x);
+    finter.Add(x);
+  }
+  fa.IntersectWith(fb);
+  EXPECT_TRUE(finter.bits().IsSubsetOf(fa.bits()));
+  for (const auto& x : shared_) EXPECT_TRUE(fa.MayContain(x));
+}
+
+// XOR distance is a metric proxy for set difference: zero iff bit-identical,
+// and grows as the sets diverge.
+TEST_P(AlgebraPropertyTest, XorDistanceTracksDivergence) {
+  BloomFilter fa = MakeFilter(), fb = MakeFilter();
+  for (const auto& x : shared_) {
+    fa.Add(x);
+    fb.Add(x);
+  }
+  EXPECT_EQ(fa.XorDistance(fb), 0u);
+
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < a_only_.size(); ++i) {
+    fb.Add(a_only_[i]);
+    if ((i + 1) % 16 == 0) {
+      const auto d = fa.XorDistance(fb);
+      EXPECT_GE(d, prev);
+      prev = d;
+    }
+  }
+  EXPECT_GT(prev, 0u);
+}
+
+// Symmetry and triangle-ish sanity for XOR distance.
+TEST_P(AlgebraPropertyTest, XorDistanceSymmetric) {
+  BloomFilter fa = MakeFilter(), fb = MakeFilter();
+  for (const auto& x : a_only_) fa.Add(x);
+  for (const auto& x : b_only_) fb.Add(x);
+  EXPECT_EQ(fa.XorDistance(fb), fb.XorDistance(fa));
+}
+
+// Union must never introduce false negatives and only ever raise the FP
+// rate (paper: "false positive probability of BF(A u B) is larger").
+TEST_P(AlgebraPropertyTest, UnionRaisesFillRatio) {
+  BloomFilter fa = MakeFilter(), fb = MakeFilter();
+  for (const auto& x : a_only_) fa.Add(x);
+  for (const auto& x : b_only_) fb.Add(x);
+  const double fill_before = fa.FillRatio();
+  fa.UnionWith(fb);
+  EXPECT_GE(fa.FillRatio(), fill_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, AlgebraPropertyTest,
+    ::testing::Values(Geometry{1 << 12, 4, 100}, Geometry{1 << 14, 6, 500},
+                      Geometry{1 << 16, 8, 2000}, Geometry{100003, 5, 1500},
+                      Geometry{1 << 18, 11, 10000}));
+
+// Measured false-positive rates must track the analytic f0 model across a
+// sweep of bit ratios — this validates the constants used by Eq. (1) and
+// the optimizer.
+class FalsePositiveModelTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FalsePositiveModelTest, MeasuredMatchesModel) {
+  const double bits_per_item = GetParam();
+  constexpr std::uint64_t kItems = 4000;
+  auto bf = BloomFilter::ForCapacity(kItems, bits_per_item, 999);
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    bf.Add("present" + std::to_string(i));
+  }
+  std::uint64_t fp = 0;
+  constexpr std::uint64_t kProbes = 200000;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    fp += bf.MayContain("absent" + std::to_string(i));
+  }
+  const double measured = static_cast<double>(fp) / kProbes;
+  const double model = OptimalFalsePositiveRate(bits_per_item);
+  // Integer k rounding and sampling noise: accept 35% relative + floor.
+  EXPECT_NEAR(measured, model, model * 0.35 + 3e-4)
+      << "bits/item " << bits_per_item;
+}
+
+INSTANTIATE_TEST_SUITE_P(BitRatios, FalsePositiveModelTest,
+                         ::testing::Values(6.0, 8.0, 10.0, 12.0, 16.0));
+
+}  // namespace
+}  // namespace ghba

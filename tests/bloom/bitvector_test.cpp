@@ -1,0 +1,154 @@
+#include "bloom/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ghba {
+namespace {
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector bv(130);
+  EXPECT_FALSE(bv.Test(0));
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Test(0));
+  EXPECT_TRUE(bv.Test(63));
+  EXPECT_TRUE(bv.Test(64));
+  EXPECT_TRUE(bv.Test(129));
+  EXPECT_FALSE(bv.Test(1));
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Test(63));
+  EXPECT_EQ(bv.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, ResetClearsAll) {
+  BitVector bv(200);
+  for (int i = 0; i < 200; i += 3) bv.Set(i);
+  bv.Reset();
+  EXPECT_EQ(bv.PopCount(), 0u);
+}
+
+TEST(BitVectorTest, PopCountExact) {
+  BitVector bv(1000);
+  Rng rng(1);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.NextBool(0.3) && !bv.Test(i)) {
+      bv.Set(i);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(bv.PopCount(), expected);
+}
+
+TEST(BitVectorTest, OrIsUnion) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(100);
+  b.Set(2);
+  b.Set(100);
+  a.OrWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_TRUE(a.Test(100));
+  EXPECT_EQ(a.PopCount(), 3u);
+}
+
+TEST(BitVectorTest, AndIsIntersection) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(100);
+  b.Set(2);
+  b.Set(100);
+  a.AndWith(b);
+  EXPECT_FALSE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(a.Test(100));
+}
+
+TEST(BitVectorTest, XorIsSymmetricDifference) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(100);
+  b.Set(2);
+  b.Set(100);
+  a.XorWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(2));
+  EXPECT_FALSE(a.Test(100));
+}
+
+TEST(BitVectorTest, HammingDistance) {
+  BitVector a(256), b(256);
+  EXPECT_EQ(a.HammingDistance(b), 0u);
+  a.Set(0);
+  b.Set(255);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  b.Set(0);
+  EXPECT_EQ(a.HammingDistance(b), 1u);
+}
+
+TEST(BitVectorTest, SubsetDetection) {
+  BitVector small(64), big(64);
+  small.Set(3);
+  big.Set(3);
+  big.Set(9);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+}
+
+TEST(BitVectorTest, SerializeRoundTrip) {
+  BitVector bv(777);
+  Rng rng(2);
+  for (int i = 0; i < 777; ++i) {
+    if (rng.NextBool(0.4)) bv.Set(i);
+  }
+  ByteWriter w;
+  bv.Serialize(w);
+  ByteReader r(w.data());
+  auto decoded = BitVector::Deserialize(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bv);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BitVectorTest, DeserializeRejectsTruncation) {
+  BitVector bv(1000);
+  ByteWriter w;
+  bv.Serialize(w);
+  auto data = w.Take();
+  data.resize(data.size() / 2);
+  ByteReader r(data);
+  EXPECT_EQ(BitVector::Deserialize(r).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitVectorTest, DeserializeRejectsGarbageTailBits) {
+  BitVector bv(10);
+  ByteWriter w;
+  bv.Serialize(w);
+  auto data = w.Take();
+  data.back() = 0xff;  // sets bits beyond bit 9
+  ByteReader r(data);
+  EXPECT_EQ(BitVector::Deserialize(r).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitVectorTest, DeserializeRejectsAbsurdSize) {
+  ByteWriter w;
+  w.PutVarint(1ULL << 50);
+  ByteReader r(w.data());
+  EXPECT_EQ(BitVector::Deserialize(r).status().code(), StatusCode::kCorruption);
+}
+
+TEST(BitVectorTest, MemoryBytesMatchesWordCount) {
+  BitVector bv(64);
+  EXPECT_EQ(bv.MemoryBytes(), 8u);
+  BitVector bv2(65);
+  EXPECT_EQ(bv2.MemoryBytes(), 16u);
+}
+
+}  // namespace
+}  // namespace ghba

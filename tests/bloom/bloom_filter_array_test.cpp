@@ -1,0 +1,154 @@
+#include "bloom/bloom_filter_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ghba {
+namespace {
+
+BloomFilter FilterWithKeys(int lo, int hi, std::uint64_t seed) {
+  auto bf = BloomFilter::ForCapacity(1000, 16.0, seed);
+  for (int i = lo; i < hi; ++i) bf.Add("file-" + std::to_string(i));
+  return bf;
+}
+
+class BloomFilterArrayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Three MDSs, disjoint key ranges, per-owner seeds decorrelated.
+    ASSERT_TRUE(array_.AddEntry(0, FilterWithKeys(0, 100, 100)).ok());
+    ASSERT_TRUE(array_.AddEntry(1, FilterWithKeys(100, 200, 101)).ok());
+    ASSERT_TRUE(array_.AddEntry(2, FilterWithKeys(200, 300, 102)).ok());
+  }
+
+  BloomFilterArray array_;
+};
+
+TEST_F(BloomFilterArrayTest, UniqueHitRoutesToOwner) {
+  const auto r = array_.Query("file-50");
+  ASSERT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r.owner, 0u);
+  EXPECT_TRUE(r.unique());
+
+  const auto r2 = array_.Query("file-250");
+  ASSERT_EQ(r2.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r2.owner, 2u);
+}
+
+TEST_F(BloomFilterArrayTest, AbsentKeyUsuallyZeroHit) {
+  int zero = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = array_.Query("missing-" + std::to_string(i));
+    zero += (r.kind == ArrayQueryResult::Kind::kZeroHit);
+  }
+  // At 16 bits/item the false-positive rate is ~0.0005 per filter.
+  EXPECT_GT(zero, 990);
+}
+
+TEST_F(BloomFilterArrayTest, DuplicateOwnerRejected) {
+  EXPECT_EQ(array_.AddEntry(1, FilterWithKeys(0, 1, 9)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(BloomFilterArrayTest, RemoveEntryReturnsFilter) {
+  auto removed = array_.RemoveEntry(1);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed->MayContain("file-150"));
+  EXPECT_EQ(array_.size(), 2u);
+  EXPECT_FALSE(array_.HasEntry(1));
+  // Key from removed range no longer resolves.
+  EXPECT_EQ(array_.Query("file-150").kind, ArrayQueryResult::Kind::kZeroHit);
+}
+
+TEST_F(BloomFilterArrayTest, RemoveMissingOwnerFails) {
+  EXPECT_EQ(array_.RemoveEntry(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BloomFilterArrayTest, RefreshEntryReplacesBits) {
+  // Owner 0's filter forgets everything and learns new keys.
+  auto fresh = BloomFilter::ForCapacity(1000, 16.0, 100);
+  fresh.Add("brand-new");
+  ASSERT_TRUE(array_.RefreshEntry(0, fresh).ok());
+  EXPECT_EQ(array_.Query("file-50").kind, ArrayQueryResult::Kind::kZeroHit);
+  const auto r = array_.Query("brand-new");
+  ASSERT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r.owner, 0u);
+}
+
+TEST_F(BloomFilterArrayTest, RefreshRejectsGeometryMismatch) {
+  BloomFilter other_geometry(128, 2, 0);
+  EXPECT_EQ(array_.RefreshEntry(0, other_geometry).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BloomFilterArrayTest, MultiHitWhenKeyInTwoFilters) {
+  // Insert the same key into two owners' filters.
+  array_.FindMutable(0)->Add("shared");
+  array_.FindMutable(1)->Add("shared");
+  const auto r = array_.Query("shared");
+  EXPECT_EQ(r.kind, ArrayQueryResult::Kind::kMultiHit);
+  EXPECT_EQ(r.all_hits.size(), 2u);
+  EXPECT_FALSE(r.unique());
+}
+
+TEST_F(BloomFilterArrayTest, OwnersInInsertionOrder) {
+  EXPECT_EQ(array_.Owners(), (std::vector<MdsId>{0, 1, 2}));
+}
+
+TEST_F(BloomFilterArrayTest, MemoryBytesSumsFilters) {
+  std::uint64_t expected = 0;
+  for (const auto& e : array_.entries()) expected += e.filter.MemoryBytes();
+  EXPECT_EQ(array_.MemoryBytes(), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST_F(BloomFilterArrayTest, QuerySharedFallsBackAcrossSeeds) {
+  // Entries in this fixture use distinct seeds; QueryShared must still give
+  // exactly the same answers as Query.
+  EXPECT_FALSE(array_.UniformGeometry());
+  for (int i = 0; i < 300; ++i) {
+    const std::string key = "file-" + std::to_string(i);
+    const auto slow = array_.Query(key);
+    const auto fast = array_.QueryShared(key);
+    EXPECT_EQ(slow.kind, fast.kind) << key;
+    EXPECT_EQ(slow.all_hits, fast.all_hits) << key;
+  }
+}
+
+TEST(BloomFilterArraySharedTest, UniformGeometryFastPathMatchesQuery) {
+  BloomFilterArray array;
+  for (MdsId owner = 0; owner < 5; ++owner) {
+    auto bf = BloomFilter::ForCapacity(1000, 16.0, /*seed=*/777);
+    for (int i = 0; i < 200; ++i) {
+      bf.Add("o" + std::to_string(owner) + "/f" + std::to_string(i));
+    }
+    ASSERT_TRUE(array.AddEntry(owner, std::move(bf)).ok());
+  }
+  EXPECT_TRUE(array.UniformGeometry());
+  for (MdsId owner = 0; owner < 5; ++owner) {
+    for (int i = 0; i < 200; i += 7) {
+      const std::string key =
+          "o" + std::to_string(owner) + "/f" + std::to_string(i);
+      const auto slow = array.Query(key);
+      const auto fast = array.QueryShared(key);
+      EXPECT_EQ(slow.kind, fast.kind) << key;
+      EXPECT_EQ(slow.all_hits, fast.all_hits) << key;
+    }
+  }
+  // Absent keys too.
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "absent" + std::to_string(i);
+    EXPECT_EQ(array.Query(key).all_hits, array.QueryShared(key).all_hits);
+  }
+}
+
+TEST(BloomFilterArrayEmptyTest, EmptyArrayReturnsZeroHit) {
+  BloomFilterArray array;
+  EXPECT_TRUE(array.empty());
+  EXPECT_EQ(array.Query("anything").kind, ArrayQueryResult::Kind::kZeroHit);
+  EXPECT_EQ(array.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,175 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_math.hpp"
+
+namespace ghba {
+namespace {
+
+std::string Key(int i) { return "/fs/dir" + std::to_string(i % 37) + "/file" + std::to_string(i); }
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  auto bf = BloomFilter::ForCapacity(1000, 10.0);
+  for (int i = 0; i < 1000; ++i) bf.Add(Key(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bf.MayContain(Key(i))) << Key(i);
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterRejectsEverything) {
+  BloomFilter bf(1024, 4);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(bf.MayContain(Key(i)));
+}
+
+TEST(BloomFilterTest, MeasuredFalsePositiveNearModel) {
+  auto bf = BloomFilter::ForCapacity(5000, 8.0);
+  for (int i = 0; i < 5000; ++i) bf.Add(Key(i));
+  int fp = 0;
+  constexpr int kProbes = 50000;
+  for (int i = 0; i < kProbes; ++i) {
+    fp += bf.MayContain("absent-" + std::to_string(i));
+  }
+  const double measured = fp / static_cast<double>(kProbes);
+  const double model = bf.ExpectedFalsePositiveRate();
+  EXPECT_NEAR(measured, model, model * 0.25 + 0.002);
+}
+
+TEST(BloomFilterTest, ClearEmptiesFilter) {
+  auto bf = BloomFilter::ForCapacity(100, 8.0);
+  bf.Add("x");
+  bf.Clear();
+  EXPECT_FALSE(bf.MayContain("x"));
+  EXPECT_EQ(bf.inserted_count(), 0u);
+  EXPECT_EQ(bf.FillRatio(), 0.0);
+}
+
+TEST(BloomFilterTest, FillRatioGrowsMonotonically) {
+  auto bf = BloomFilter::ForCapacity(1000, 8.0);
+  double prev = 0;
+  for (int batch = 0; batch < 10; ++batch) {
+    for (int i = 0; i < 100; ++i) bf.Add(Key(batch * 100 + i));
+    const double fill = bf.FillRatio();
+    EXPECT_GT(fill, prev);
+    prev = fill;
+  }
+  // At optimal k and design load, fill ratio approaches 1/2.
+  EXPECT_NEAR(prev, 0.5, 0.05);
+}
+
+TEST(BloomFilterTest, GeometryChecks) {
+  BloomFilter a(1024, 4, 1), b(1024, 4, 1), c(1024, 4, 2), d(2048, 4, 1),
+      e(1024, 5, 1);
+  EXPECT_TRUE(a.SameGeometry(b));
+  EXPECT_FALSE(a.SameGeometry(c));
+  EXPECT_FALSE(a.SameGeometry(d));
+  EXPECT_FALSE(a.SameGeometry(e));
+}
+
+TEST(BloomFilterTest, UnionContainsBothSets) {
+  BloomFilter a(1 << 14, 6, 7), b(1 << 14, 6, 7);
+  for (int i = 0; i < 200; ++i) a.Add(Key(i));
+  for (int i = 200; i < 400; ++i) b.Add(Key(i));
+  a.UnionWith(b);
+  for (int i = 0; i < 400; ++i) EXPECT_TRUE(a.MayContain(Key(i)));
+}
+
+TEST(BloomFilterTest, IntersectionContainsCommonSet) {
+  BloomFilter a(1 << 14, 6, 7), b(1 << 14, 6, 7);
+  for (int i = 0; i < 300; ++i) a.Add(Key(i));          // 0..299
+  for (int i = 200; i < 500; ++i) b.Add(Key(i));        // 200..499
+  a.IntersectWith(b);
+  // No false negatives on the true intersection.
+  for (int i = 200; i < 300; ++i) EXPECT_TRUE(a.MayContain(Key(i)));
+}
+
+TEST(BloomFilterTest, XorDistanceZeroForIdentical) {
+  BloomFilter a(4096, 4, 3), b(4096, 4, 3);
+  for (int i = 0; i < 100; ++i) {
+    a.Add(Key(i));
+    b.Add(Key(i));
+  }
+  EXPECT_EQ(a.XorDistance(b), 0u);
+}
+
+TEST(BloomFilterTest, XorDistanceGrowsWithDivergence) {
+  BloomFilter a(1 << 15, 5, 3), b(1 << 15, 5, 3);
+  for (int i = 0; i < 500; ++i) {
+    a.Add(Key(i));
+    b.Add(Key(i));
+  }
+  EXPECT_EQ(a.XorDistance(b), 0u);
+  std::uint64_t prev = 0;
+  for (int extra = 0; extra < 5; ++extra) {
+    for (int i = 0; i < 50; ++i) b.Add("new-" + std::to_string(extra * 50 + i));
+    const auto dist = a.XorDistance(b);
+    EXPECT_GT(dist, prev);
+    prev = dist;
+  }
+}
+
+TEST(BloomFilterTest, CopyBitsFromRefreshesReplica) {
+  BloomFilter original(8192, 5, 11), replica(8192, 5, 11);
+  for (int i = 0; i < 300; ++i) original.Add(Key(i));
+  ASSERT_TRUE(replica.CopyBitsFrom(original).ok());
+  for (int i = 0; i < 300; ++i) EXPECT_TRUE(replica.MayContain(Key(i)));
+  EXPECT_EQ(replica.inserted_count(), original.inserted_count());
+}
+
+TEST(BloomFilterTest, CopyBitsFromRejectsGeometryMismatch) {
+  BloomFilter a(1024, 4, 1), b(2048, 4, 1);
+  EXPECT_EQ(a.CopyBitsFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BloomFilterTest, SerializeRoundTrip) {
+  auto bf = BloomFilter::ForCapacity(500, 12.0, 99);
+  for (int i = 0; i < 500; ++i) bf.Add(Key(i));
+  ByteWriter w;
+  bf.Serialize(w);
+  ByteReader r(w.data());
+  auto decoded = BloomFilter::Deserialize(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bf);
+  EXPECT_EQ(decoded->inserted_count(), 500u);
+  for (int i = 0; i < 500; ++i) EXPECT_TRUE(decoded->MayContain(Key(i)));
+}
+
+TEST(BloomFilterTest, DeserializeRejectsBadK) {
+  ByteWriter w;
+  w.PutU32(0);  // invalid k
+  w.PutU64(0);
+  w.PutU64(0);
+  BitVector(64).Serialize(w);
+  ByteReader r(w.data());
+  EXPECT_EQ(BloomFilter::Deserialize(r).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BloomFilterTest, ForCapacityUsesOptimalK) {
+  auto bf = BloomFilter::ForCapacity(1000, 8.0);
+  EXPECT_EQ(bf.k(), OptimalK(8000, 1000));
+  EXPECT_GE(bf.num_bits(), 8000u);
+}
+
+TEST(BloomFilterTest, DigestApiMatchesStringApi) {
+  auto bf = BloomFilter::ForCapacity(100, 10.0, 5);
+  const auto digest = Murmur3_128("some/path", bf.seed());
+  bf.Add(digest);
+  EXPECT_TRUE(bf.MayContain("some/path"));
+  EXPECT_TRUE(bf.MayContain(digest));
+}
+
+TEST(BloomFilterTest, FromBitsPreservesBits) {
+  BitVector bits(256);
+  bits.Set(17);
+  auto bf = BloomFilter::FromBits(std::move(bits), 3, 9, 1);
+  EXPECT_TRUE(bf.bits().Test(17));
+  EXPECT_EQ(bf.inserted_count(), 1u);
+  EXPECT_EQ(bf.k(), 3u);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,94 @@
+#include "bloom/bloom_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ghba {
+namespace {
+
+TEST(BloomMathTest, FalsePositiveRateZeroWhenEmpty) {
+  EXPECT_EQ(BloomFalsePositiveRate(1000, 0, 7), 0.0);
+}
+
+TEST(BloomMathTest, FalsePositiveRateIncreasesWithLoad) {
+  double prev = 0;
+  for (double n = 10; n <= 1000; n *= 2) {
+    const double fp = BloomFalsePositiveRate(1024, n, 4);
+    EXPECT_GT(fp, prev);
+    prev = fp;
+  }
+  EXPECT_LE(prev, 1.0);
+}
+
+TEST(BloomMathTest, OptimalKMatchesFormula) {
+  // k = (m/n) ln2: m/n = 8 -> 5.54 -> 6; m/n = 16 -> 11.09 -> 11.
+  EXPECT_EQ(OptimalK(8000, 1000), 6u);
+  EXPECT_EQ(OptimalK(16000, 1000), 11u);
+  EXPECT_EQ(OptimalK(1000, 1000000), 1u);  // clamps at 1
+  EXPECT_EQ(OptimalK(64000000, 1000), 32u);  // clamps at 32
+}
+
+TEST(BloomMathTest, OptimalRateMatchesPaperConstant) {
+  // Paper: f0* = 0.6185^{m/n}. At m/n = 8 this is ~ 0.0216.
+  EXPECT_NEAR(OptimalFalsePositiveRate(8), 0.0216, 0.0005);
+  EXPECT_NEAR(OptimalFalsePositiveRate(16), 0.000459, 0.00003);
+  EXPECT_EQ(OptimalFalsePositiveRate(0), 1.0);
+}
+
+TEST(BloomMathTest, OptimalRateAgreesWithGenericFormulaAtOptimalK) {
+  for (double ratio : {4.0, 8.0, 12.0, 16.0}) {
+    const double n = 10000;
+    const double m = ratio * n;
+    const std::uint32_t k = OptimalK(m, n);
+    const double generic = BloomFalsePositiveRate(m, n, k);
+    const double optimal = OptimalFalsePositiveRate(ratio);
+    // k is rounded to an integer, so allow modest slack.
+    EXPECT_NEAR(generic, optimal, optimal * 0.25) << "ratio " << ratio;
+  }
+}
+
+// Eq. (1) of the paper: f+g = theta * f0 * (1-f0)^(theta-1).
+TEST(BloomMathTest, SegmentArrayEquationOne) {
+  const double f0 = OptimalFalsePositiveRate(8);
+  EXPECT_DOUBLE_EQ(SegmentArrayFalsePositive(1, 8), f0);
+  const double expected = 4.0 * f0 * std::pow(1 - f0, 3.0);
+  EXPECT_DOUBLE_EQ(SegmentArrayFalsePositive(4, 8), expected);
+  EXPECT_EQ(SegmentArrayFalsePositive(0, 8), 0.0);
+}
+
+TEST(BloomMathTest, SegmentArrayRateDropsWithMoreBitsPerItem) {
+  EXPECT_GT(SegmentArrayFalsePositive(8, 8), SegmentArrayFalsePositive(8, 16));
+}
+
+TEST(BloomMathTest, UniqueHitAmongNegativesPeaksNearOneOverFp) {
+  // For small fp the unique-false-hit probability grows ~linearly in count.
+  const double fp = 0.01;
+  EXPECT_NEAR(UniqueHitAmongNegatives(2, fp) / UniqueHitAmongNegatives(1, fp),
+              2.0 * (1 - fp), 0.01);
+  EXPECT_EQ(UniqueHitAmongNegatives(0, fp), 0.0);
+}
+
+TEST(BloomMathTest, CardinalityEstimateInvertsFillRatio) {
+  // If n items set k bits each (with collisions), the Swamidass-Baldi
+  // estimator should recover n from the expected popcount.
+  const double m = 1 << 16;
+  const std::uint32_t k = 5;
+  for (double n : {100.0, 1000.0, 5000.0}) {
+    const double expected_popcount =
+        m * (1 - std::exp(-static_cast<double>(k) * n / m));
+    const double est = EstimateCardinality(m, k, expected_popcount);
+    EXPECT_NEAR(est, n, n * 0.01) << n;
+  }
+}
+
+TEST(BloomMathTest, CardinalityEstimateHandlesEdges) {
+  EXPECT_EQ(EstimateCardinality(1024, 4, 0), 0.0);
+  // Saturated filter: finite best-effort estimate, no inf/nan.
+  const double est = EstimateCardinality(1024, 4, 1024);
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_GT(est, 0.0);
+}
+
+}  // namespace
+}  // namespace ghba

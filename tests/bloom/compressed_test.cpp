@@ -1,0 +1,104 @@
+#include "bloom/compressed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ghba {
+namespace {
+
+BloomFilter FilterWithKeys(std::uint64_t capacity, double bits, int keys,
+                           std::uint64_t seed = 9) {
+  auto bf = BloomFilter::ForCapacity(capacity, bits, seed);
+  for (int i = 0; i < keys; ++i) bf.Add("key" + std::to_string(i));
+  return bf;
+}
+
+TEST(CompressedFilterTest, SparseRoundTrip) {
+  const auto bf = FilterWithKeys(100000, 16.0, 50);
+  const auto wire = CompressFilter(bf);
+  ByteReader in(wire);
+  const auto decoded = DecompressFilter(in);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, bf);
+  EXPECT_EQ(decoded->inserted_count(), bf.inserted_count());
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(CompressedFilterTest, DenseRoundTrip) {
+  // At design load the filter is ~50% full: raw must win, and decode must
+  // still be exact.
+  const auto bf = FilterWithKeys(2000, 10.0, 2000);
+  const auto wire = CompressFilter(bf);
+  ByteReader in(wire);
+  const auto decoded = DecompressFilter(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bf);
+}
+
+TEST(CompressedFilterTest, EmptyFilterTiny) {
+  const BloomFilter bf(100000, 7, 3);
+  const auto wire = CompressFilter(bf);
+  // An empty 100k-bit filter is 12.5KB raw; gap coding needs only a header.
+  EXPECT_LT(wire.size(), 64u);
+  ByteReader in(wire);
+  const auto decoded = DecompressFilter(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, bf);
+}
+
+TEST(CompressedFilterTest, SparseBeatsRawByALot) {
+  const auto bf = FilterWithKeys(100000, 16.0, 100);
+  const std::size_t raw_bytes = bf.MemoryBytes();
+  const std::size_t wire_bytes = CompressedSizeBytes(bf);
+  EXPECT_LT(wire_bytes * 10, raw_bytes)
+      << "sparse filter should compress >10x";
+}
+
+TEST(CompressedFilterTest, DenseNeverRegressesBeyondHeader) {
+  const auto bf = FilterWithKeys(2000, 10.0, 2000);
+  ByteWriter raw;
+  bf.Serialize(raw);
+  EXPECT_LE(CompressedSizeBytes(bf), raw.size() + 1);
+}
+
+TEST(CompressedFilterTest, MembershipSurvivesCompression) {
+  const auto bf = FilterWithKeys(10000, 12.0, 500);
+  const auto wire = CompressFilter(bf);
+  ByteReader in(wire);
+  const auto decoded = DecompressFilter(in);
+  ASSERT_TRUE(decoded.ok());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(decoded->MayContain("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CompressedFilterTest, RejectsTruncation) {
+  const auto bf = FilterWithKeys(10000, 16.0, 30);
+  auto wire = CompressFilter(bf);
+  wire.resize(wire.size() / 2);
+  ByteReader in(wire);
+  EXPECT_FALSE(DecompressFilter(in).ok());
+}
+
+TEST(CompressedFilterTest, RejectsBadMode) {
+  const std::uint8_t bad[] = {42, 0, 0};
+  ByteReader in(bad);
+  EXPECT_EQ(DecompressFilter(in).status().code(), StatusCode::kCorruption);
+}
+
+TEST(CompressedFilterTest, RejectsGapBeyondFilter) {
+  ByteWriter w;
+  w.PutU8(1);      // gap mode
+  w.PutU32(4);     // k
+  w.PutU64(0);     // seed
+  w.PutU64(1);     // inserted
+  w.PutVarint(64); // num_bits
+  w.PutVarint(1);  // popcount
+  w.PutVarint(99); // first set bit beyond num_bits
+  ByteReader in(w.data());
+  EXPECT_EQ(DecompressFilter(in).status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace ghba

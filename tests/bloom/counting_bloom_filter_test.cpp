@@ -1,0 +1,123 @@
+#include "bloom/counting_bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ghba {
+namespace {
+
+std::string Key(int i) { return "item-" + std::to_string(i); }
+
+TEST(CountingBloomFilterTest, AddThenContains) {
+  auto cbf = CountingBloomFilter::ForCapacity(100, 8.0);
+  cbf.Add("alpha");
+  EXPECT_TRUE(cbf.MayContain("alpha"));
+  EXPECT_FALSE(cbf.MayContain("beta"));
+  EXPECT_EQ(cbf.item_count(), 1u);
+}
+
+TEST(CountingBloomFilterTest, RemoveErasesMembership) {
+  auto cbf = CountingBloomFilter::ForCapacity(100, 8.0);
+  cbf.Add("alpha");
+  cbf.Remove("alpha");
+  EXPECT_FALSE(cbf.MayContain("alpha"));
+  EXPECT_EQ(cbf.item_count(), 0u);
+}
+
+TEST(CountingBloomFilterTest, RemoveKeepsOtherMembers) {
+  auto cbf = CountingBloomFilter::ForCapacity(1000, 10.0);
+  for (int i = 0; i < 500; ++i) cbf.Add(Key(i));
+  for (int i = 0; i < 250; ++i) cbf.Remove(Key(i));
+  // No false negatives on the survivors.
+  for (int i = 250; i < 500; ++i) EXPECT_TRUE(cbf.MayContain(Key(i)));
+}
+
+TEST(CountingBloomFilterTest, DuplicateAddNeedsTwoRemoves) {
+  auto cbf = CountingBloomFilter::ForCapacity(10, 16.0);
+  cbf.Add("dup");
+  cbf.Add("dup");
+  cbf.Remove("dup");
+  EXPECT_TRUE(cbf.MayContain("dup"));
+  cbf.Remove("dup");
+  EXPECT_FALSE(cbf.MayContain("dup"));
+}
+
+TEST(CountingBloomFilterTest, SaturationNeverCausesFalseNegatives) {
+  // Tiny filter + many duplicates force every counter to 15.
+  CountingBloomFilter cbf(32, 2, 1);
+  for (int i = 0; i < 100; ++i) cbf.Add("hot");
+  EXPECT_GT(cbf.overflow_count(), 0u);
+  // Removing fewer times than added must keep membership.
+  for (int i = 0; i < 50; ++i) cbf.Remove("hot");
+  EXPECT_TRUE(cbf.MayContain("hot"));
+}
+
+TEST(CountingBloomFilterTest, ClearResets) {
+  auto cbf = CountingBloomFilter::ForCapacity(50, 8.0);
+  cbf.Add("x");
+  cbf.Clear();
+  EXPECT_FALSE(cbf.MayContain("x"));
+  EXPECT_EQ(cbf.item_count(), 0u);
+  EXPECT_EQ(cbf.overflow_count(), 0u);
+}
+
+TEST(CountingBloomFilterTest, ToBloomFilterPreservesMembership) {
+  auto cbf = CountingBloomFilter::ForCapacity(300, 10.0, 77);
+  for (int i = 0; i < 300; ++i) cbf.Add(Key(i));
+  const BloomFilter bf = cbf.ToBloomFilter();
+  EXPECT_EQ(bf.num_bits(), cbf.num_counters());
+  EXPECT_EQ(bf.k(), cbf.k());
+  EXPECT_EQ(bf.seed(), cbf.seed());
+  for (int i = 0; i < 300; ++i) EXPECT_TRUE(bf.MayContain(Key(i)));
+}
+
+TEST(CountingBloomFilterTest, ToBloomFilterAfterRemoval) {
+  auto cbf = CountingBloomFilter::ForCapacity(100, 12.0);
+  cbf.Add("keep");
+  cbf.Add("drop");
+  cbf.Remove("drop");
+  const BloomFilter bf = cbf.ToBloomFilter();
+  EXPECT_TRUE(bf.MayContain("keep"));
+  EXPECT_FALSE(bf.MayContain("drop"));
+}
+
+TEST(CountingBloomFilterTest, MemoryIsHalfCounterCount) {
+  CountingBloomFilter cbf(1024, 4);
+  EXPECT_EQ(cbf.MemoryBytes(), 512u);  // two 4-bit counters per byte
+}
+
+TEST(CountingBloomFilterTest, SerializeRoundTrip) {
+  auto cbf = CountingBloomFilter::ForCapacity(200, 8.0, 42);
+  for (int i = 0; i < 150; ++i) cbf.Add(Key(i));
+  for (int i = 0; i < 50; ++i) cbf.Remove(Key(i));
+
+  ByteWriter w;
+  cbf.Serialize(w);
+  ByteReader r(w.data());
+  auto decoded = CountingBloomFilter::Deserialize(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->item_count(), 100u);
+  for (int i = 50; i < 150; ++i) EXPECT_TRUE(decoded->MayContain(Key(i)));
+  // Removal must still work on the decoded filter.
+  decoded->Remove(Key(60));
+  EXPECT_FALSE(decoded->MayContain(Key(60)));
+}
+
+TEST(CountingBloomFilterTest, DeserializeRejectsTruncation) {
+  auto cbf = CountingBloomFilter::ForCapacity(100, 8.0);
+  ByteWriter w;
+  cbf.Serialize(w);
+  auto data = w.Take();
+  data.resize(data.size() - 10);
+  ByteReader r(data);
+  EXPECT_FALSE(CountingBloomFilter::Deserialize(r).ok());
+}
+
+TEST(CountingBloomFilterTest, OddCounterCountRoundsUp) {
+  CountingBloomFilter cbf(33, 2);
+  EXPECT_GE(cbf.num_counters(), 33u);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,129 @@
+#include "bloom/lru_bloom_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ghba {
+namespace {
+
+LruBloomArray::Options SmallOptions(std::size_t capacity = 64) {
+  LruBloomArray::Options options;
+  options.capacity = capacity;
+  options.counters_per_item = 16.0;
+  return options;
+}
+
+TEST(LruBloomArrayTest, TouchThenUniqueHit) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("/a/b/c", 3);
+  const auto r = lru.Query("/a/b/c");
+  ASSERT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r.owner, 3u);
+}
+
+TEST(LruBloomArrayTest, UnknownKeyZeroHit) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("/a", 1);
+  EXPECT_EQ(lru.Query("/b").kind, ArrayQueryResult::Kind::kZeroHit);
+}
+
+TEST(LruBloomArrayTest, CapacityEvictsOldest) {
+  LruBloomArray lru(SmallOptions(4));
+  for (int i = 0; i < 5; ++i) {
+    lru.Touch("key" + std::to_string(i), 1);
+  }
+  EXPECT_EQ(lru.size(), 4u);
+  // key0 was evicted; key4 still present.
+  EXPECT_EQ(lru.Query("key0").kind, ArrayQueryResult::Kind::kZeroHit);
+  EXPECT_EQ(lru.Query("key4").kind, ArrayQueryResult::Kind::kUniqueHit);
+}
+
+TEST(LruBloomArrayTest, TouchRefreshesRecency) {
+  LruBloomArray lru(SmallOptions(3));
+  lru.Touch("a", 1);
+  lru.Touch("b", 1);
+  lru.Touch("c", 1);
+  lru.Touch("a", 1);  // a becomes most recent
+  lru.Touch("d", 1);  // evicts b (oldest)
+  EXPECT_EQ(lru.Query("a").kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(lru.Query("b").kind, ArrayQueryResult::Kind::kZeroHit);
+  EXPECT_EQ(lru.Query("c").kind, ArrayQueryResult::Kind::kUniqueHit);
+}
+
+TEST(LruBloomArrayTest, HomeChangeMovesBetweenFilters) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("migrating", 1);
+  lru.Touch("migrating", 2);  // file moved to MDS 2
+  const auto r = lru.Query("migrating");
+  ASSERT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r.owner, 2u);
+  EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(LruBloomArrayTest, InvalidateRemovesEntry) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("stale", 5);
+  lru.Invalidate("stale");
+  EXPECT_EQ(lru.Query("stale").kind, ArrayQueryResult::Kind::kZeroHit);
+  EXPECT_EQ(lru.size(), 0u);
+  lru.Invalidate("never-present");  // must be a no-op
+}
+
+TEST(LruBloomArrayTest, DropHomeRemovesAllItsEntries) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("a1", 1);
+  lru.Touch("a2", 1);
+  lru.Touch("b1", 2);
+  lru.DropHome(1);
+  EXPECT_EQ(lru.size(), 1u);
+  EXPECT_EQ(lru.Query("a1").kind, ArrayQueryResult::Kind::kZeroHit);
+  EXPECT_EQ(lru.Query("b1").kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(lru.home_count(), 1u);
+}
+
+TEST(LruBloomArrayTest, ManyHomesUniqueHitsStayAccurate) {
+  LruBloomArray lru(SmallOptions(512));
+  for (int i = 0; i < 512; ++i) {
+    lru.Touch("file" + std::to_string(i), static_cast<MdsId>(i % 16));
+  }
+  int correct = 0;
+  for (int i = 0; i < 512; ++i) {
+    const auto r = lru.Query("file" + std::to_string(i));
+    if (r.kind == ArrayQueryResult::Kind::kUniqueHit &&
+        r.owner == static_cast<MdsId>(i % 16)) {
+      ++correct;
+    }
+  }
+  // Cross-home false positives may demote a few unique hits to multi-hits,
+  // but the vast majority must resolve correctly.
+  EXPECT_GT(correct, 480);
+}
+
+TEST(LruBloomArrayTest, EvictionNeverLeavesGhostMembership) {
+  // After heavy churn, evicted keys must not register as present.
+  LruBloomArray lru(SmallOptions(32));
+  for (int i = 0; i < 2000; ++i) {
+    lru.Touch("churn" + std::to_string(i), static_cast<MdsId>(i % 4));
+  }
+  int ghosts = 0;
+  for (int i = 0; i < 1900; ++i) {  // all long-evicted
+    ghosts += (lru.Query("churn" + std::to_string(i)).kind !=
+               ArrayQueryResult::Kind::kZeroHit);
+  }
+  // Counting-filter removal on eviction keeps ghosts to FP noise only.
+  EXPECT_LT(ghosts, 20);
+}
+
+TEST(LruBloomArrayTest, MemoryBytesPositiveAndBounded) {
+  LruBloomArray lru(SmallOptions(128));
+  for (int i = 0; i < 128; ++i) {
+    lru.Touch("k" + std::to_string(i), static_cast<MdsId>(i % 8));
+  }
+  const auto bytes = lru.MemoryBytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_LT(bytes, 1'000'000u);  // "hot data is small" (paper Sec. 2.1)
+}
+
+}  // namespace
+}  // namespace ghba

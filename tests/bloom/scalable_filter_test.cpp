@@ -1,0 +1,105 @@
+#include "bloom/scalable_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ghba {
+namespace {
+
+ScalableCountingFilter::Options SmallOptions(std::uint64_t initial = 100) {
+  ScalableCountingFilter::Options options;
+  options.initial_capacity = initial;
+  options.counters_per_item = 16.0;
+  return options;
+}
+
+TEST(ScalableFilterTest, BasicMembership) {
+  ScalableCountingFilter f(SmallOptions());
+  f.Add("a");
+  EXPECT_TRUE(f.MayContain("a"));
+  EXPECT_FALSE(f.MayContain("b"));
+  EXPECT_EQ(f.item_count(), 1u);
+}
+
+TEST(ScalableFilterTest, GrowsBeyondInitialCapacity) {
+  ScalableCountingFilter f(SmallOptions(100));
+  EXPECT_EQ(f.stage_count(), 1u);
+  for (int i = 0; i < 1000; ++i) {
+    f.Add("k" + std::to_string(i));
+  }
+  EXPECT_GT(f.stage_count(), 1u);
+  // No false negatives across the chain.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(f.MayContain("k" + std::to_string(i))) << i;
+  }
+}
+
+TEST(ScalableFilterTest, FpRateStaysNearDesignUnderOvergrowth) {
+  // A fixed filter sized for 100 items would be hopeless at 5000; the
+  // scalable chain keeps the measured FP rate small.
+  ScalableCountingFilter f(SmallOptions(100));
+  for (int i = 0; i < 5000; ++i) {
+    f.Add("grow" + std::to_string(i));
+  }
+  int fp = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    fp += f.MayContain("absent" + std::to_string(i));
+  }
+  const double measured = static_cast<double>(fp) / kProbes;
+  EXPECT_LT(measured, 0.02);
+  EXPECT_LT(measured, f.ExpectedFalsePositiveRate() * 3 + 0.005);
+}
+
+TEST(ScalableFilterTest, RemoveWorksAcrossStages) {
+  ScalableCountingFilter f(SmallOptions(50));
+  for (int i = 0; i < 300; ++i) {
+    f.Add("r" + std::to_string(i));
+  }
+  ASSERT_GT(f.stage_count(), 2u);
+  // Remove keys that landed in different stages.
+  for (int i = 0; i < 300; i += 2) {
+    f.Remove("r" + std::to_string(i));
+  }
+  int ghosts = 0;
+  for (int i = 0; i < 300; i += 2) {
+    ghosts += f.MayContain("r" + std::to_string(i));
+  }
+  EXPECT_LT(ghosts, 12);  // only FP aliasing remains
+  for (int i = 1; i < 300; i += 2) {
+    EXPECT_TRUE(f.MayContain("r" + std::to_string(i))) << i;
+  }
+  EXPECT_EQ(f.item_count(), 150u);
+}
+
+TEST(ScalableFilterTest, RemoveOfAbsentKeyIsNoOp) {
+  ScalableCountingFilter f(SmallOptions());
+  f.Add("present");
+  f.Remove("never-added");
+  EXPECT_TRUE(f.MayContain("present"));
+  EXPECT_EQ(f.item_count(), 1u);
+}
+
+TEST(ScalableFilterTest, StagesGrowGeometrically) {
+  ScalableCountingFilter f(SmallOptions(64));
+  for (int i = 0; i < 64 * (1 + 2 + 4) + 10; ++i) {
+    f.Add("g" + std::to_string(i));
+  }
+  // Stage capacities 64, 128, 256, ... => 4 stages hold 64+128+256+ some.
+  EXPECT_LE(f.stage_count(), 5u);
+  EXPECT_GT(f.MemoryBytes(), 0u);
+}
+
+TEST(ScalableFilterTest, ExpectedRateGrowsWithStages) {
+  ScalableCountingFilter f(SmallOptions(100));
+  const double before = f.ExpectedFalsePositiveRate();
+  for (int i = 0; i < 1000; ++i) {
+    f.Add("x" + std::to_string(i));
+  }
+  EXPECT_GE(f.ExpectedFalsePositiveRate(), before);
+  EXPECT_LT(f.ExpectedFalsePositiveRate(), 0.05);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,137 @@
+// Tests for the SLRU replacement policy of the L1 array (the future-work
+// "replacement efficiency" improvement).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bloom/lru_bloom_array.hpp"
+
+namespace ghba {
+namespace {
+
+LruBloomArray::Options SlruOptions(std::size_t capacity,
+                                   double protected_fraction = 0.5) {
+  LruBloomArray::Options options;
+  options.capacity = capacity;
+  options.counters_per_item = 16.0;
+  options.policy = LruPolicy::kSlru;
+  options.protected_fraction = protected_fraction;
+  return options;
+}
+
+TEST(SlruTest, ReReferencePromotesToProtected) {
+  LruBloomArray slru(SlruOptions(8));
+  slru.Touch("a", 1);
+  EXPECT_EQ(slru.protected_size(), 0u);
+  slru.Touch("a", 1);  // re-reference -> protected
+  EXPECT_EQ(slru.protected_size(), 1u);
+  EXPECT_EQ(slru.size(), 1u);
+}
+
+TEST(SlruTest, ScanResistance) {
+  // Hot set of 4 keys, re-referenced so they sit in protected; then a scan
+  // of 100 one-touch keys. LRU would evict the hot set; SLRU must not.
+  LruBloomArray slru(SlruOptions(8, 0.5));
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      slru.Touch("hot" + std::to_string(i), 1);
+    }
+  }
+  EXPECT_EQ(slru.protected_size(), 4u);
+  for (int i = 0; i < 100; ++i) {
+    slru.Touch("scan" + std::to_string(i), 2);
+  }
+  for (int i = 0; i < 4; ++i) {
+    const auto r = slru.Query("hot" + std::to_string(i));
+    EXPECT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit) << i;
+    EXPECT_EQ(r.owner, 1u) << i;
+  }
+
+  // Plain LRU loses the hot set under the same access pattern.
+  LruBloomArray::Options lru_options = SlruOptions(8);
+  lru_options.policy = LruPolicy::kLru;
+  LruBloomArray lru(lru_options);
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      lru.Touch("hot" + std::to_string(i), 1);
+    }
+  }
+  for (int i = 0; i < 100; ++i) {
+    lru.Touch("scan" + std::to_string(i), 2);
+  }
+  int survivors = 0;
+  for (int i = 0; i < 4; ++i) {
+    survivors +=
+        (lru.Query("hot" + std::to_string(i)).kind ==
+         ArrayQueryResult::Kind::kUniqueHit);
+  }
+  EXPECT_EQ(survivors, 0);
+}
+
+TEST(SlruTest, ProtectedSegmentBounded) {
+  LruBloomArray slru(SlruOptions(10, 0.4));  // protected cap = 4
+  for (int i = 0; i < 8; ++i) {
+    slru.Touch("k" + std::to_string(i), 1);
+    slru.Touch("k" + std::to_string(i), 1);  // promote each
+  }
+  EXPECT_LE(slru.protected_size(), 4u);
+  EXPECT_EQ(slru.size(), 8u);
+}
+
+TEST(SlruTest, CapacityStillEnforced) {
+  LruBloomArray slru(SlruOptions(6));
+  for (int i = 0; i < 50; ++i) {
+    slru.Touch("x" + std::to_string(i), 1);
+  }
+  EXPECT_EQ(slru.size(), 6u);
+}
+
+TEST(SlruTest, InvalidateWorksInBothSegments) {
+  LruBloomArray slru(SlruOptions(8));
+  slru.Touch("prob", 1);
+  slru.Touch("prot", 1);
+  slru.Touch("prot", 1);  // promoted
+  slru.Invalidate("prob");
+  slru.Invalidate("prot");
+  EXPECT_EQ(slru.size(), 0u);
+  EXPECT_EQ(slru.Query("prob").kind, ArrayQueryResult::Kind::kZeroHit);
+  EXPECT_EQ(slru.Query("prot").kind, ArrayQueryResult::Kind::kZeroHit);
+}
+
+TEST(SlruTest, DropHomeClearsBothSegments) {
+  LruBloomArray slru(SlruOptions(8));
+  slru.Touch("a", 1);
+  slru.Touch("a", 1);  // protected, home 1
+  slru.Touch("b", 1);  // probation, home 1
+  slru.Touch("c", 2);
+  slru.DropHome(1);
+  EXPECT_EQ(slru.size(), 1u);
+  EXPECT_EQ(slru.Query("c").kind, ArrayQueryResult::Kind::kUniqueHit);
+}
+
+TEST(SlruTest, HomeChangeInProtectedSegment) {
+  LruBloomArray slru(SlruOptions(8));
+  slru.Touch("m", 1);
+  slru.Touch("m", 1);  // protected on home 1
+  slru.Touch("m", 3);  // migrated
+  const auto r = slru.Query("m");
+  ASSERT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r.owner, 3u);
+}
+
+TEST(SlruTest, EvictionTakesProbationFirst) {
+  LruBloomArray slru(SlruOptions(4, 0.5));
+  slru.Touch("p1", 1);
+  slru.Touch("p1", 1);  // protected
+  slru.Touch("p2", 1);
+  slru.Touch("p2", 1);  // protected (cap 2)
+  slru.Touch("fresh1", 2);
+  slru.Touch("fresh2", 2);
+  slru.Touch("fresh3", 2);  // evicts a probation entry, not the hot pair
+  EXPECT_EQ(slru.Query("p1").kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(slru.Query("p2").kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(slru.Query("fresh1").kind, ArrayQueryResult::Kind::kZeroHit);
+}
+
+}  // namespace
+}  // namespace ghba

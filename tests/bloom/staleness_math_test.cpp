@@ -1,0 +1,96 @@
+// Validates the stale-replica false-rate model against measured rates on
+// real filters (the reproduction of the paper's reference [33] analysis).
+#include "bloom/staleness_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+
+namespace ghba {
+namespace {
+
+TEST(StalenessMathTest, FreshReplicaHasNoFalseRates) {
+  const auto est = EstimateStaleness(10000, 0, 0, 16.0);
+  EXPECT_EQ(est.false_negative_rate, 0.0);
+  EXPECT_EQ(est.deleted_hit_rate, 0.0);
+}
+
+TEST(StalenessMathTest, FnRateGrowsWithAdditions) {
+  double prev = -1;
+  for (std::uint64_t added : {10u, 100u, 1000u, 10000u}) {
+    const auto est = EstimateStaleness(10000, added, 0, 16.0);
+    EXPECT_GT(est.false_negative_rate, prev);
+    EXPECT_LE(est.false_negative_rate, 1.0);
+    prev = est.false_negative_rate;
+  }
+}
+
+TEST(StalenessMathTest, MeasuredFnMatchesModel) {
+  // Publish a snapshot of 5000 files, then create 1000 more: queries for
+  // the current population must miss at ~ the modeled rate.
+  constexpr std::uint64_t kBase = 5000;
+  constexpr std::uint64_t kAdded = 1000;
+  constexpr double kBits = 16.0;
+
+  auto cbf = CountingBloomFilter::ForCapacity(kBase + kAdded, kBits, 3);
+  for (std::uint64_t i = 0; i < kBase; ++i) {
+    cbf.Add("f" + std::to_string(i));
+  }
+  const BloomFilter snapshot = cbf.ToBloomFilter();  // the stale replica
+  for (std::uint64_t i = kBase; i < kBase + kAdded; ++i) {
+    cbf.Add("f" + std::to_string(i));
+  }
+
+  std::uint64_t misses = 0;
+  for (std::uint64_t i = 0; i < kBase + kAdded; ++i) {
+    misses += !snapshot.MayContain("f" + std::to_string(i));
+  }
+  const double measured =
+      static_cast<double>(misses) / static_cast<double>(kBase + kAdded);
+  const auto est = EstimateStaleness(kBase, kAdded, 0, kBits);
+  EXPECT_NEAR(measured, est.false_negative_rate,
+              est.false_negative_rate * 0.05 + 0.002);
+}
+
+TEST(StalenessMathTest, DeletedFilesStillHitSnapshot) {
+  constexpr std::uint64_t kBase = 3000;
+  auto cbf = CountingBloomFilter::ForCapacity(kBase, 12.0, 5);
+  for (std::uint64_t i = 0; i < kBase; ++i) {
+    cbf.Add("g" + std::to_string(i));
+  }
+  const BloomFilter snapshot = cbf.ToBloomFilter();
+  // Delete a third from the live filter; the snapshot must still claim
+  // every one of them (deleted_hit_rate ~ 1).
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < kBase / 3; ++i) {
+    cbf.Remove("g" + std::to_string(i));
+    hits += snapshot.MayContain("g" + std::to_string(i));
+  }
+  EXPECT_EQ(hits, kBase / 3);
+  const auto est = EstimateStaleness(kBase, 0, kBase / 3, 12.0);
+  EXPECT_DOUBLE_EQ(est.deleted_hit_rate, 1.0);
+  EXPECT_EQ(est.false_negative_rate, 0.0);
+}
+
+TEST(StalenessMathTest, PublishBudgetInvertsFnTarget) {
+  // The budget computed for a target must produce (about) that FN rate.
+  for (const double target : {0.005, 0.01, 0.05}) {
+    const std::uint64_t files = 20000;
+    const auto budget = PublishBudgetFor(target, files);
+    const auto est = EstimateStaleness(files, budget, 0, 16.0);
+    EXPECT_NEAR(est.false_negative_rate, target, target * 0.1 + 1e-4)
+        << target;
+  }
+}
+
+TEST(StalenessMathTest, PublishBudgetEdges) {
+  EXPECT_EQ(PublishBudgetFor(0.0, 10000), 1u);   // publish every mutation
+  EXPECT_EQ(PublishBudgetFor(1.0, 10000), 10000u);
+  EXPECT_GE(PublishBudgetFor(0.5, 10), 10u);
+}
+
+}  // namespace
+}  // namespace ghba

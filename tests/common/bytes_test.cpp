@@ -1,0 +1,110 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace ghba {
+namespace {
+
+TEST(BytesTest, RoundTripFixedWidth) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI64(-42);
+  w.PutDouble(3.141592653589793);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xab);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(*r.GetI64(), -42);
+  EXPECT_DOUBLE_EQ(*r.GetDouble(), 3.141592653589793);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.PutVarint(GetParam());
+  ByteReader r(w.data());
+  auto v = r.GetVarint();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, 1ULL << 56,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("");
+  w.PutString("/usr/local/share/data.bin");
+  w.PutString(std::string(10000, 'x'));
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetString(), "");
+  EXPECT_EQ(*r.GetString(), "/usr/local/share/data.bin");
+  EXPECT_EQ(r.GetString()->size(), 10000u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, ShortReadReportsCorruption) {
+  ByteWriter w;
+  w.PutU16(7);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU16().ok());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedStringReportsCorruption) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetString().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedVarintReportsCorruption) {
+  const std::uint8_t bad[] = {0x80, 0x80};  // continuation bits, no terminator
+  ByteReader r(bad);
+  EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, OverlongVarintReportsCorruption) {
+  // 11 bytes of continuation: exceeds 64 bits of payload.
+  std::vector<std::uint8_t> bad(11, 0x80);
+  bad.push_back(0x01);
+  ByteReader r(bad);
+  EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, GetBytesExactAndBounds) {
+  ByteWriter w;
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  w.PutBytes(payload);
+  ByteReader r(w.data());
+  auto first = r.GetBytes(3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((*first), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.GetBytes(5).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(BytesTest, TakeMovesBufferOut) {
+  ByteWriter w;
+  w.PutU32(99);
+  auto data = w.Take();
+  EXPECT_EQ(data.size(), 4u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,106 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ghba {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, ExactMomentsTracked) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  h.Add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(HistogramTest, QuantileApproximatesUniform) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble() * 1000.0);
+  // Exponential buckets grow 10% per step; allow that resolution.
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 75.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 120.0);
+}
+
+TEST(HistogramTest, QuantileMonotone) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextExponential(10.0));
+  double prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    const double v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsCombinedStream) {
+  Histogram a, b, combined;
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextDouble() * 100;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Summation order differs between the two streams; allow FP slack.
+  EXPECT_NEAR(a.sum(), combined.sum(), std::abs(combined.sum()) * 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), combined.Quantile(0.5));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsNoop) {
+  Histogram a, empty;
+  a.Add(5.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Add(10);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0.0);
+  h.Add(2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_NE(h.Summary().find("n=2"), std::string::npos);
+}
+
+TEST(HistogramTest, HugeValuesClampToLastBucket) {
+  Histogram h;
+  h.Add(1e30);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.max(), 1e30);
+  EXPECT_LE(h.Quantile(0.99), 1e30);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,115 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace ghba {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBoundedStaysInBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBound)];
+  // Chi-squared with 9 dof: reject far outside ~27 (p=0.001).
+  double chi2 = 0;
+  const double expected = kSamples / static_cast<double>(kBound);
+  for (const int c : counts) {
+    chi2 += (c - expected) * (c - expected) / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.15);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  std::set<std::uint64_t> parent_vals, child_vals;
+  for (int i = 0; i < 50; ++i) {
+    parent_vals.insert(parent.Next());
+    child_vals.insert(child.Next());
+  }
+  // Streams should not collide on any of the first values.
+  for (const auto v : child_vals) EXPECT_EQ(parent_vals.count(v), 0u);
+}
+
+TEST(RngTest, Mix64IsStateless) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(RngTest, SplitMixAdvancesState) {
+  std::uint64_t s = 0;
+  const auto a = SplitMix64(s);
+  const auto b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace ghba

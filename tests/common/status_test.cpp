@@ -1,0 +1,65 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::NotFound("missing file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing file");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing file");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Capacity("a"), Status::Capacity("b"));
+  EXPECT_FALSE(Status::Capacity() == Status::Internal());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const auto code :
+       {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kInvalidArgument, StatusCode::kCapacity,
+        StatusCode::kUnavailable, StatusCode::kCorruption,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<int> r(5);
+  EXPECT_EQ(r.value_or(-1), 5);
+}
+
+}  // namespace
+}  // namespace ghba

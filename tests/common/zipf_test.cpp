@@ -1,0 +1,91 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ghba {
+namespace {
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(1);
+  ZipfSampler zipf(100, 0.9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, DegenerateSingleItem) {
+  Rng rng(2);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+  for (int r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r] / static_cast<double>(kSamples), 0.1, 0.01);
+  }
+}
+
+// The empirical rank frequencies must match the analytic Zipf pmf.
+class ZipfSkewTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewTest, MatchesAnalyticPmf) {
+  const double s = GetParam();
+  constexpr std::uint64_t kN = 50;
+  constexpr int kSamples = 200000;
+  Rng rng(1234);
+  ZipfSampler zipf(kN, s);
+
+  std::vector<int> counts(kN + 1, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(rng)];
+
+  double norm = 0;
+  for (std::uint64_t r = 1; r <= kN; ++r) norm += std::pow(r, -s);
+
+  // Check the head ranks (largest probabilities, tightest relative error).
+  for (std::uint64_t r = 1; r <= 5; ++r) {
+    const double expected = std::pow(static_cast<double>(r), -s) / norm;
+    const double actual = counts[r] / static_cast<double>(kSamples);
+    EXPECT_NEAR(actual, expected, expected * 0.08 + 0.002)
+        << "rank " << r << " skew " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewTest,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.0, 1.2, 2.0));
+
+TEST(ZipfTest, HigherSkewConcentratesMass) {
+  Rng rng(5);
+  constexpr int kSamples = 50000;
+  auto head_mass = [&](double s) {
+    ZipfSampler zipf(1000, s);
+    int head = 0;
+    for (int i = 0; i < kSamples; ++i) head += (zipf.Sample(rng) <= 10);
+    return head / static_cast<double>(kSamples);
+  };
+  const double low = head_mass(0.6);
+  const double high = head_mass(1.4);
+  EXPECT_GT(high, low);
+}
+
+TEST(ZipfTest, LargeNDoesNotOverflowOrHang) {
+  Rng rng(6);
+  ZipfSampler zipf(1ULL << 33, 0.9);  // ~8.6 billion ranks
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = zipf.Sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 1ULL << 33);
+  }
+}
+
+}  // namespace
+}  // namespace ghba

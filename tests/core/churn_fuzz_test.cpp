@@ -1,0 +1,138 @@
+// Randomized churn fuzzing: a long random interleaving of file mutations,
+// lookups, joins, graceful leaves, failures, renames and forced publishes,
+// with the structural invariants and the lookup/oracle agreement checked
+// throughout. This is the property the whole system must uphold: no
+// sequence of supported operations may corrupt the replica topology or
+// lose a live file.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "core/ghba_cluster.hpp"
+
+namespace ghba {
+namespace {
+
+ClusterConfig FuzzConfig(std::uint64_t seed) {
+  ClusterConfig c;
+  c.num_mds = 9;
+  c.max_group_size = 3;
+  c.expected_files_per_mds = 1000;
+  c.lru_capacity = 128;
+  c.publish_after_mutations = 24;
+  c.seed = seed;
+  return c;
+}
+
+class ChurnFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnFuzzTest, RandomOperationSequencePreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  GhbaCluster cluster(FuzzConfig(seed));
+
+  std::unordered_set<std::string> live_files;
+  std::uint64_t next_file = 0;
+  std::uint64_t next_dir = 0;
+
+  const auto random_live = [&]() -> std::string {
+    if (live_files.empty()) return {};
+    auto it = live_files.begin();
+    std::advance(it, static_cast<long>(rng.NextBounded(live_files.size())));
+    return *it;
+  };
+
+  constexpr int kSteps = 400;
+  for (int step = 0; step < kSteps; ++step) {
+    const auto dice = rng.NextBounded(100);
+    if (dice < 40) {  // create
+      const std::string path =
+          "/fz/d" + std::to_string(rng.NextBounded(8)) + "/f" +
+          std::to_string(next_file++);
+      ASSERT_TRUE(cluster.CreateFile(path, FileMetadata{}, 0).ok()) << path;
+      live_files.insert(path);
+    } else if (dice < 55) {  // unlink
+      const auto path = random_live();
+      if (!path.empty()) {
+        ASSERT_TRUE(cluster.UnlinkFile(path, 0).ok()) << path;
+        live_files.erase(path);
+      }
+    } else if (dice < 80) {  // lookup of live or dead file
+      if (rng.NextBool(0.8)) {
+        const auto path = random_live();
+        if (!path.empty()) {
+          const auto r = cluster.Lookup(path, 0);
+          ASSERT_TRUE(r.found) << "step " << step << " lost " << path;
+          ASSERT_EQ(r.home, cluster.OracleHome(path)) << path;
+        }
+      } else {
+        const auto r =
+            cluster.Lookup("/fz/never/" + std::to_string(step), 0);
+        ASSERT_FALSE(r.found);
+      }
+    } else if (dice < 86) {  // join
+      ASSERT_TRUE(cluster.AddMds(nullptr).ok());
+    } else if (dice < 91) {  // graceful leave
+      if (cluster.NumMds() > 3) {
+        const auto& alive = cluster.alive();
+        ASSERT_TRUE(
+            cluster.RemoveMds(alive[rng.NextBounded(alive.size())], nullptr)
+                .ok());
+      }
+    } else if (dice < 94) {  // failure (loses files)
+      if (cluster.NumMds() > 3) {
+        const auto& alive = cluster.alive();
+        const MdsId victim = alive[rng.NextBounded(alive.size())];
+        // Forget the files that die with it.
+        std::vector<std::string> dead;
+        cluster.node(victim).store().ForEach(
+            [&](const std::string& path, const FileMetadata&) {
+              dead.push_back(path);
+            });
+        ASSERT_TRUE(cluster.FailMds(victim, nullptr).ok());
+        for (const auto& path : dead) live_files.erase(path);
+      }
+    } else if (dice < 97) {  // rename a directory
+      const std::string from = "/fz/d" + std::to_string(rng.NextBounded(8)) + "/";
+      const std::string to = "/fz/r" + std::to_string(next_dir++) + "/";
+      const auto renamed = cluster.RenamePrefix(from, to, 0, nullptr);
+      ASSERT_TRUE(renamed.ok());
+      if (*renamed > 0) {
+        std::vector<std::string> moved;
+        for (const auto& path : live_files) {
+          if (path.compare(0, from.size(), from) == 0) moved.push_back(path);
+        }
+        for (const auto& path : moved) {
+          live_files.erase(path);
+          live_files.insert(to + path.substr(from.size()));
+        }
+      }
+    } else {  // forced publish of a random MDS
+      const auto& alive = cluster.alive();
+      cluster.PublishReplica(alive[rng.NextBounded(alive.size())], 0);
+    }
+
+    if (step % 50 == 0) {
+      const Status inv = cluster.CheckInvariants();
+      ASSERT_TRUE(inv.ok()) << "step " << step << ": " << inv.ToString();
+    }
+  }
+
+  // Final sweep: every live file reachable at its oracle home, every
+  // removed one a definitive miss.
+  const Status inv = cluster.CheckInvariants();
+  ASSERT_TRUE(inv.ok()) << inv.ToString();
+  for (const auto& path : live_files) {
+    const auto r = cluster.Lookup(path, 0);
+    ASSERT_TRUE(r.found) << path;
+    ASSERT_EQ(r.home, cluster.OracleHome(path)) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace ghba

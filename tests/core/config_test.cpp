@@ -1,0 +1,66 @@
+#include "core/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(ConfigValidationTest, DefaultConfigValid) {
+  EXPECT_TRUE(ValidateClusterConfig(ClusterConfig{}).ok());
+}
+
+TEST(ConfigValidationTest, RejectsZeroPopulations) {
+  ClusterConfig c;
+  c.num_mds = 0;
+  EXPECT_EQ(ValidateClusterConfig(c).code(), StatusCode::kInvalidArgument);
+
+  c = ClusterConfig{};
+  c.max_group_size = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+
+  c = ClusterConfig{};
+  c.expected_files_per_mds = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+
+  c = ClusterConfig{};
+  c.lru_capacity = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+
+  c = ClusterConfig{};
+  c.publish_after_mutations = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+}
+
+TEST(ConfigValidationTest, RejectsGroupSizeInversion) {
+  ClusterConfig c;
+  c.max_group_size = 4;
+  c.initial_group_size = 6;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+  c.initial_group_size = 4;
+  EXPECT_TRUE(ValidateClusterConfig(c).ok());
+}
+
+TEST(ConfigValidationTest, RejectsBadBitRatio) {
+  ClusterConfig c;
+  c.bits_per_file = 0;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+  c.bits_per_file = -4;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+  c.bits_per_file = 1000;  // optimal k would blow the probe cap
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+  c.bits_per_file = 16;
+  EXPECT_TRUE(ValidateClusterConfig(c).ok());
+}
+
+TEST(ConfigValidationTest, RejectsBadLatencyConstants) {
+  ClusterConfig c;
+  c.latency.disk_access_ms = -1;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+
+  c = ClusterConfig{};
+  c.latency.metadata_cache_hit = 1.5;
+  EXPECT_FALSE(ValidateClusterConfig(c).ok());
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,147 @@
+// Failure-injection tests for the fail-over behaviour of Section 4.5:
+// "the metadata service still remains functional when some MDSs fail,
+// albeit at a degraded performance and coverage level."
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/ghba_cluster.hpp"
+
+namespace ghba {
+namespace {
+
+ClusterConfig FailConfig(std::uint32_t n = 12, std::uint32_t m = 4) {
+  ClusterConfig c;
+  c.num_mds = n;
+  c.max_group_size = m;
+  c.expected_files_per_mds = 2000;
+  c.lru_capacity = 256;
+  c.publish_after_mutations = 16;
+  c.seed = 31;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode = 1) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+class GhbaFailureTest : public ::testing::Test {
+ protected:
+  GhbaFailureTest() : cluster_(FailConfig()) {
+    for (int i = 0; i < 400; ++i) {
+      EXPECT_TRUE(
+          cluster_.CreateFile("/f/file" + std::to_string(i), Md(i), 0).ok());
+    }
+    cluster_.FlushReplicas(0);
+    cluster_.metrics().Reset();
+  }
+
+  GhbaCluster cluster_;
+};
+
+TEST_F(GhbaFailureTest, ServiceSurvivesOneFailure) {
+  const MdsId victim = 3;
+  const auto victim_files = cluster_.node(victim).file_count();
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.FailMds(victim, &rep).ok());
+
+  EXPECT_EQ(cluster_.NumMds(), 11u);
+  EXPECT_EQ(cluster_.lost_files(), victim_files);
+  EXPECT_TRUE(cluster_.CheckInvariants().ok())
+      << cluster_.CheckInvariants().ToString();
+
+  // Every surviving file is still reachable; lost ones miss definitively.
+  std::uint64_t found = 0, missed = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto r = cluster_.Lookup("/f/file" + std::to_string(i), 0);
+    if (r.found) {
+      EXPECT_NE(r.home, victim);
+      ++found;
+    } else {
+      ++missed;
+    }
+  }
+  EXPECT_EQ(missed, victim_files);
+  EXPECT_EQ(found, 400 - victim_files);
+}
+
+TEST_F(GhbaFailureTest, FailureRemovesDeadFiltersEverywhere) {
+  const MdsId victim = 0;
+  ASSERT_TRUE(cluster_.FailMds(victim, nullptr).ok());
+  for (const MdsId id : cluster_.alive()) {
+    EXPECT_FALSE(cluster_.node(id).segment().HasEntry(victim)) << id;
+  }
+}
+
+TEST_F(GhbaFailureTest, CascadingFailuresKeepInvariants) {
+  // Fail half the cluster one by one; groups merge as they shrink and the
+  // service keeps answering for the survivors' files.
+  for (int round = 0; round < 6; ++round) {
+    const MdsId victim = cluster_.alive()[round % cluster_.alive().size()];
+    ASSERT_TRUE(cluster_.FailMds(victim, nullptr).ok());
+    ASSERT_TRUE(cluster_.CheckInvariants().ok())
+        << "round " << round << ": "
+        << cluster_.CheckInvariants().ToString();
+  }
+  EXPECT_EQ(cluster_.NumMds(), 6u);
+  std::uint64_t surviving = 0;
+  for (const MdsId id : cluster_.alive()) {
+    surviving += cluster_.node(id).file_count();
+  }
+  EXPECT_EQ(surviving + cluster_.lost_files(), 400u);
+  // Every surviving file resolves.
+  std::uint64_t found = 0;
+  for (int i = 0; i < 400; ++i) {
+    found += cluster_.Lookup("/f/file" + std::to_string(i), 0).found;
+  }
+  EXPECT_EQ(found, surviving);
+}
+
+TEST_F(GhbaFailureTest, FailUnknownMdsRejected) {
+  EXPECT_EQ(cluster_.FailMds(77, nullptr).code(), StatusCode::kNotFound);
+}
+
+TEST_F(GhbaFailureTest, CannotFailLastMds) {
+  while (cluster_.NumMds() > 1) {
+    ASSERT_TRUE(cluster_.FailMds(cluster_.alive().front(), nullptr).ok());
+  }
+  EXPECT_EQ(cluster_.FailMds(cluster_.alive().front(), nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(GhbaFailureTest, FailureCheaperThanGracefulLeaveInFilesMoved) {
+  ReconfigReport fail_rep;
+  ASSERT_TRUE(cluster_.FailMds(2, &fail_rep).ok());
+  EXPECT_EQ(fail_rep.files_migrated, 0u);  // nothing to migrate — it's dead
+
+  GhbaCluster other(FailConfig());
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(other.CreateFile("/f/file" + std::to_string(i), Md(i), 0).ok());
+  }
+  ReconfigReport leave_rep;
+  ASSERT_TRUE(other.RemoveMds(2, &leave_rep).ok());
+  EXPECT_GT(leave_rep.files_migrated, 0u);  // graceful leave re-homes
+}
+
+TEST_F(GhbaFailureTest, RecoveryByReinsertion) {
+  ASSERT_TRUE(cluster_.FailMds(5, nullptr).ok());
+  ReconfigReport rep;
+  const auto nid = cluster_.AddMds(&rep);
+  ASSERT_TRUE(nid.ok());
+  EXPECT_EQ(cluster_.NumMds(), 12u);
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+  // The replacement node serves newly created files.
+  int created_on_new = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = "/recovered/f" + std::to_string(i);
+    ASSERT_TRUE(cluster_.CreateFile(path, Md(i), 0).ok());
+    if (cluster_.OracleHome(path) == *nid) ++created_on_new;
+  }
+  EXPECT_GT(created_on_new, 0);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,65 @@
+#include "core/group.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+Group MakeGroup(std::initializer_list<MdsId> members) {
+  Group g;
+  g.id = 1;
+  for (const MdsId m : members) {
+    g.members.push_back(m);
+    g.idbfa.AddMember(m);
+  }
+  return g;
+}
+
+TEST(GroupTest, MembershipQueries) {
+  const Group g = MakeGroup({1, 4, 9});
+  EXPECT_TRUE(g.HasMember(4));
+  EXPECT_FALSE(g.HasMember(2));
+  EXPECT_EQ(g.size(), 3u);
+}
+
+TEST(GroupTest, LoadCountsReplicasPerHolder) {
+  Group g = MakeGroup({1, 2});
+  g.replica_holder[10] = 1;
+  g.replica_holder[11] = 1;
+  g.replica_holder[12] = 2;
+  EXPECT_EQ(g.LoadOf(1), 2u);
+  EXPECT_EQ(g.LoadOf(2), 1u);
+  EXPECT_EQ(g.LoadOf(99), 0u);
+}
+
+TEST(GroupTest, LightestMemberPrefersLowLoadThenLowId) {
+  Group g = MakeGroup({3, 1, 2});
+  g.replica_holder[10] = 1;
+  g.replica_holder[11] = 2;
+  // 3 has zero load -> lightest.
+  EXPECT_EQ(g.LightestMember(), 3u);
+  g.replica_holder[12] = 3;
+  // All tied at 1 -> lowest id wins.
+  EXPECT_EQ(g.LightestMember(), 1u);
+}
+
+TEST(GroupTest, ReplicasHeldBySorted) {
+  Group g = MakeGroup({1, 2});
+  g.replica_holder[30] = 1;
+  g.replica_holder[10] = 1;
+  g.replica_holder[20] = 2;
+  EXPECT_EQ(g.ReplicasHeldBy(1), (std::vector<MdsId>{10, 30}));
+  EXPECT_EQ(g.ReplicasHeldBy(2), (std::vector<MdsId>{20}));
+  EXPECT_TRUE(g.ReplicasHeldBy(7).empty());
+}
+
+TEST(GroupTest, IdbfaTracksMembership) {
+  Group g = MakeGroup({5, 6});
+  ASSERT_TRUE(g.idbfa.AddReplica(5, 42).ok());
+  const auto loc = g.idbfa.Locate(42);
+  ASSERT_EQ(loc.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(loc.owner, 5u);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,101 @@
+#include "core/hash_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+ClusterConfig SmallConfig(std::uint32_t n = 8) {
+  ClusterConfig c;
+  c.num_mds = n;
+  c.expected_files_per_mds = 1000;
+  c.seed = 3;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode = 1) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+class HashClusterTest : public ::testing::Test {
+ protected:
+  HashClusterTest() : cluster_(SmallConfig()) {}
+
+  void Populate(int count) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(
+          cluster_.CreateFile("/h/f" + std::to_string(i), Md(i), 0).ok());
+    }
+  }
+
+  HashPlacementCluster cluster_;
+};
+
+TEST_F(HashClusterTest, DeterministicSingleHopLookup) {
+  Populate(200);
+  for (int i = 0; i < 200; ++i) {
+    const std::string path = "/h/f" + std::to_string(i);
+    const auto r = cluster_.Lookup(path, 0);
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.home, cluster_.HomeOf(path));
+    EXPECT_EQ(r.messages, 2u);  // one request, one response
+  }
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+}
+
+TEST_F(HashClusterTest, MissIsCheapToo) {
+  Populate(10);
+  const auto r = cluster_.Lookup("/absent", 0);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.messages, 2u);
+}
+
+TEST_F(HashClusterTest, LoadRoughlyBalanced) {
+  Populate(4000);
+  for (const MdsId id : cluster_.alive()) {
+    // 4000 files over 8 MDSs -> 500 each; allow generous variation.
+    EXPECT_NEAR(static_cast<double>(cluster_.node(id).file_count()), 500.0,
+                150.0);
+  }
+}
+
+TEST_F(HashClusterTest, AddMdsMigratesProportionally) {
+  Populate(4000);
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.AddMds(&rep).ok());
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+  // Modular hashing reshuffles ~ N/(N+1) of all files — the Table 1
+  // "large migration cost". Must be a big fraction of the 4000 files.
+  EXPECT_GT(rep.files_migrated, 2000u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(cluster_.Lookup("/h/f" + std::to_string(i), 0).found);
+  }
+}
+
+TEST_F(HashClusterTest, RemoveMdsMigratesAndServes) {
+  Populate(1000);
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.RemoveMds(cluster_.alive().front(), &rep).ok());
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+  EXPECT_GT(rep.files_migrated, 0u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(cluster_.Lookup("/h/f" + std::to_string(i), 0).found) << i;
+  }
+}
+
+TEST_F(HashClusterTest, NoLookupState) {
+  Populate(100);
+  EXPECT_EQ(cluster_.LookupStateBytes(cluster_.alive().front()), 0u);
+}
+
+TEST_F(HashClusterTest, UnlinkWorks) {
+  Populate(10);
+  ASSERT_TRUE(cluster_.UnlinkFile("/h/f3", 0).ok());
+  EXPECT_FALSE(cluster_.Lookup("/h/f3", 0).found);
+  EXPECT_EQ(cluster_.UnlinkFile("/h/f3", 0).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ghba

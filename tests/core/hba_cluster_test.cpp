@@ -1,0 +1,156 @@
+#include "core/hba_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+ClusterConfig SmallConfig(std::uint32_t n = 10) {
+  ClusterConfig c;
+  c.num_mds = n;
+  c.expected_files_per_mds = 2000;
+  c.lru_capacity = 256;
+  c.publish_after_mutations = 16;
+  c.memory_budget_bytes = 64ULL << 20;
+  c.seed = 9;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode = 1) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+class HbaClusterTest : public ::testing::Test {
+ protected:
+  HbaClusterTest() : cluster_(SmallConfig()) {}
+
+  void PopulateFiles(int count) {
+    for (int i = 0; i < count; ++i) {
+      ASSERT_TRUE(
+          cluster_.CreateFile("/hba/f" + std::to_string(i), Md(i), 0).ok());
+    }
+    cluster_.FlushReplicas(0);
+    cluster_.metrics().Reset();
+  }
+
+  HbaCluster cluster_;
+};
+
+TEST_F(HbaClusterTest, FullMeshInvariant) {
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+  for (const MdsId id : cluster_.alive()) {
+    EXPECT_EQ(cluster_.node(id).segment().size(), 9u);
+  }
+}
+
+TEST_F(HbaClusterTest, LookupResolvesLocallyWithFreshReplicas) {
+  PopulateFiles(400);
+  int local = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto r = cluster_.Lookup("/hba/f" + std::to_string(i), 0);
+    ASSERT_TRUE(r.found) << i;
+    local += (r.served_level <= 2);
+  }
+  // Every MDS holds the full image: almost everything resolves at L1/L2.
+  EXPECT_GT(local, 380);
+}
+
+TEST_F(HbaClusterTest, MissConcludedByGlobalMulticast) {
+  PopulateFiles(50);
+  const auto r = cluster_.Lookup("/absent", 0);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.served_level, 4);
+}
+
+TEST_F(HbaClusterTest, PublishBroadcastsToAll) {
+  PopulateFiles(10);
+  const auto msgs_before = cluster_.metrics().update_messages;
+  cluster_.PublishReplica(0, 0);
+  // 2 messages (update + ack) per other MDS.
+  EXPECT_EQ(cluster_.metrics().update_messages - msgs_before, 2u * 9u);
+}
+
+TEST_F(HbaClusterTest, AddMdsMigratesAllReplicas) {
+  ReconfigReport rep;
+  const auto nid = cluster_.AddMds(&rep);
+  ASSERT_TRUE(nid.ok());
+  // Fig. 11: HBA migrates all N existing replicas to the newcomer.
+  EXPECT_EQ(rep.replicas_migrated, 10u);
+  // Fig. 15: the newcomer exchanges filters with everyone (~2N messages).
+  EXPECT_GE(rep.messages, 2u * 10u);
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+}
+
+TEST_F(HbaClusterTest, RemoveMdsKeepsMeshAndFiles) {
+  PopulateFiles(200);
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.RemoveMds(3, &rep).ok());
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+  EXPECT_EQ(cluster_.NumMds(), 9u);
+  for (int i = 0; i < 200; ++i) {
+    const auto r = cluster_.Lookup("/hba/f" + std::to_string(i), 0);
+    EXPECT_TRUE(r.found) << i;
+    EXPECT_NE(r.home, 3u);
+  }
+}
+
+TEST_F(HbaClusterTest, LookupStateScalesWithN) {
+  PopulateFiles(500);
+  // HBA per-MDS lookup state covers all files in the system.
+  const double all_files_bytes =
+      500 * cluster_.config().bits_per_file / 8.0;
+  const auto bytes = cluster_.LookupStateBytes(cluster_.alive().front());
+  EXPECT_GE(static_cast<double>(bytes), all_files_bytes * 0.9);
+}
+
+TEST(BfaClusterTest, NoLruMeansNoL1Hits) {
+  HbaCluster bfa(SmallConfig(), /*use_lru=*/false);
+  EXPECT_EQ(bfa.SchemeName(), "BFA");
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(bfa.CreateFile("/bfa/f" + std::to_string(i), Md(i), 0).ok());
+  }
+  bfa.FlushReplicas(0);
+  bfa.metrics().Reset();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(bfa.Lookup("/bfa/f" + std::to_string(i), 0).found);
+    }
+  }
+  EXPECT_EQ(bfa.metrics().levels.l1, 0u);
+  EXPECT_GT(bfa.metrics().levels.l2, 0u);
+}
+
+TEST(HbaMemoryTest, SmallBudgetCausesDiskProbes) {
+  auto config = SmallConfig();
+  config.memory_budget_bytes = 2048;  // tiny: replicas must spill
+  HbaCluster cluster(config);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(
+        cluster.CreateFile("/big/f" + std::to_string(i), Md(i), 0).ok());
+  }
+  cluster.FlushReplicas(0);
+  cluster.metrics().Reset();
+  for (int i = 0; i < 100; ++i) {
+    (void)cluster.Lookup("/big/f" + std::to_string(i), 0);
+  }
+  EXPECT_GT(cluster.metrics().disk_probes, 0u);
+}
+
+TEST(HbaMemoryTest, AmpleBudgetAvoidsDiskProbes) {
+  HbaCluster cluster(SmallConfig());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        cluster.CreateFile("/ok/f" + std::to_string(i), Md(i), 0).ok());
+  }
+  cluster.FlushReplicas(0);
+  cluster.metrics().Reset();
+  for (int i = 0; i < 100; ++i) {
+    (void)cluster.Lookup("/ok/f" + std::to_string(i), 0);
+  }
+  EXPECT_EQ(cluster.metrics().disk_probes, 0u);
+}
+
+}  // namespace
+}  // namespace ghba

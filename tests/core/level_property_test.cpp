@@ -1,0 +1,77 @@
+// Property sweep across cluster shapes and workload knobs: the structural
+// guarantees the four-level hierarchy must uphold regardless of parameters.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ghba_cluster.hpp"
+#include "core/simulator.hpp"
+
+namespace ghba {
+namespace {
+
+struct Scenario {
+  std::uint32_t n;
+  std::uint32_t m;
+  double rereference;
+  std::uint32_t publish_threshold;
+};
+
+class LevelPropertyTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(LevelPropertyTest, HierarchyInvariantsHoldUnderReplay) {
+  const auto [n, m, rereference, publish_threshold] = GetParam();
+
+  WorkloadProfile profile = HpProfile();
+  profile.total_files = 1200;
+  profile.active_files = 400;
+  profile.rereference_prob = rereference;
+
+  ClusterConfig config;
+  config.num_mds = n;
+  config.max_group_size = m;
+  config.expected_files_per_mds = 4 * 1200 * 2 / n + 16;
+  config.lru_capacity = 256;
+  config.publish_after_mutations = publish_threshold;
+  config.seed = 1000 + n * 7 + m;
+
+  GhbaCluster cluster(config);
+  ReplaySimulator sim(cluster);
+  IntensifiedTrace trace(profile, 2, config.seed);
+  sim.Populate(trace);
+  const auto result = sim.Replay(trace, 4000);
+
+  const auto& metrics = cluster.metrics();
+  // (1) Level counters partition the lookups exactly.
+  EXPECT_EQ(metrics.levels.total(), result.lookups);
+  // (2) Per-level latency samples sum to the lookup count.
+  EXPECT_EQ(metrics.l1_latency_ms.count() + metrics.l2_latency_ms.count() +
+                metrics.group_latency_ms.count() +
+                metrics.global_latency_ms.count(),
+            result.lookups);
+  // (3) Deeper levels cost more on average (when populated).
+  if (metrics.levels.l1 > 100 && metrics.levels.l3 > 100) {
+    EXPECT_LT(metrics.l1_latency_ms.mean(), metrics.group_latency_ms.mean());
+  }
+  if (metrics.levels.l2 > 100 && metrics.levels.l4 + metrics.levels.miss > 100) {
+    EXPECT_LT(metrics.l2_latency_ms.mean(), metrics.global_latency_ms.mean());
+  }
+  // (4) Lookups for existing files cannot "miss": the exact L4 backstop.
+  // (Misses only come from references to unlinked files.)
+  EXPECT_LE(metrics.levels.miss, result.lookups);
+  EXPECT_LT(static_cast<double>(result.not_found),
+            0.06 * static_cast<double>(std::max<std::uint64_t>(result.lookups, 1)));
+  // (5) Structure stays sound.
+  EXPECT_TRUE(cluster.CheckInvariants().ok())
+      << cluster.CheckInvariants().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, LevelPropertyTest,
+    ::testing::Values(Scenario{6, 2, 0.3, 16}, Scenario{6, 3, 0.7, 64},
+                      Scenario{12, 4, 0.5, 8}, Scenario{18, 5, 0.6, 32},
+                      Scenario{24, 6, 0.4, 128}, Scenario{9, 9, 0.5, 16},
+                      Scenario{30, 6, 0.65, 256}));
+
+}  // namespace
+}  // namespace ghba

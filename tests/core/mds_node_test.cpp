@@ -1,0 +1,102 @@
+#include "core/mds_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig c;
+  c.expected_files_per_mds = 1000;
+  c.lru_capacity = 64;
+  c.seed = 5;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode = 1) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+TEST(MdsNodeTest, AddLocalFileUpdatesStoreAndFilter) {
+  MdsNode node(0, TestConfig());
+  ASSERT_TRUE(node.AddLocalFile("/a", Md()).ok());
+  EXPECT_TRUE(node.store().Contains("/a"));
+  EXPECT_TRUE(node.LocalFilterContains("/a"));
+  EXPECT_EQ(node.file_count(), 1u);
+  EXPECT_EQ(node.mutations_since_publish(), 1u);
+}
+
+TEST(MdsNodeTest, RemoveLocalFileClearsBoth) {
+  MdsNode node(0, TestConfig());
+  ASSERT_TRUE(node.AddLocalFile("/a", Md()).ok());
+  ASSERT_TRUE(node.RemoveLocalFile("/a").ok());
+  EXPECT_FALSE(node.store().Contains("/a"));
+  EXPECT_FALSE(node.LocalFilterContains("/a"));
+  EXPECT_EQ(node.mutations_since_publish(), 2u);
+}
+
+TEST(MdsNodeTest, RemoveMissingFileFails) {
+  MdsNode node(0, TestConfig());
+  EXPECT_EQ(node.RemoveLocalFile("/none").code(), StatusCode::kNotFound);
+  EXPECT_EQ(node.mutations_since_publish(), 0u);
+}
+
+TEST(MdsNodeTest, SnapshotSharesGeometryAcrossNodes) {
+  const auto config = TestConfig();
+  MdsNode a(0, config), b(1, config);
+  ASSERT_TRUE(a.AddLocalFile("/x", Md()).ok());
+  const auto snap_a = a.SnapshotLocalFilter();
+  const auto snap_b = b.SnapshotLocalFilter();
+  EXPECT_TRUE(snap_a.SameGeometry(snap_b));
+  EXPECT_TRUE(snap_a.MayContain("/x"));
+  EXPECT_FALSE(snap_b.MayContain("/x"));
+}
+
+TEST(MdsNodeTest, StalenessTracksUnpublishedMutations) {
+  MdsNode node(0, TestConfig());
+  // Nothing published yet: all set bits count as stale.
+  EXPECT_EQ(node.StalenessBits(), 0u);  // empty filter
+  ASSERT_TRUE(node.AddLocalFile("/a", Md()).ok());
+  EXPECT_GT(node.StalenessBits(), 0u);
+
+  node.SetPublishedSnapshot(node.SnapshotLocalFilter());
+  node.MarkPublished();
+  EXPECT_EQ(node.StalenessBits(), 0u);
+  EXPECT_EQ(node.mutations_since_publish(), 0u);
+
+  ASSERT_TRUE(node.AddLocalFile("/b", Md()).ok());
+  EXPECT_GT(node.StalenessBits(), 0u);
+  EXPECT_EQ(node.mutations_since_publish(), 1u);
+}
+
+TEST(MdsNodeTest, PublishedSnapshotAccessor) {
+  MdsNode node(0, TestConfig());
+  EXPECT_EQ(node.published_snapshot(), nullptr);
+  node.SetPublishedSnapshot(node.SnapshotLocalFilter());
+  ASSERT_NE(node.published_snapshot(), nullptr);
+}
+
+TEST(MdsNodeTest, UnlinkSupportViaCountingFilter) {
+  // Add and remove many files; the local filter must track exactly (no
+  // false negatives for survivors, removals truly gone).
+  MdsNode node(0, TestConfig());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(node.AddLocalFile("/f" + std::to_string(i), Md(i)).ok());
+  }
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(node.RemoveLocalFile("/f" + std::to_string(i)).ok());
+  }
+  for (int i = 250; i < 500; ++i) {
+    EXPECT_TRUE(node.LocalFilterContains("/f" + std::to_string(i))) << i;
+  }
+  int ghosts = 0;
+  for (int i = 0; i < 250; ++i) {
+    ghosts += node.LocalFilterContains("/f" + std::to_string(i));
+  }
+  EXPECT_LT(ghosts, 10);  // only Bloom false positives remain
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,133 @@
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ghba {
+namespace {
+
+LatencyComponents TypicalComponents() {
+  // Plausible measured values: L1 resolves most queries cheaply, the rest
+  // escalate with roughly 10x latency per level.
+  LatencyComponents c;
+  c.p_lru = 0.6;
+  c.p_l2 = 0.5;
+  c.d_lru = 0.05;
+  c.d_l2 = 0.3;
+  c.d_group = 2.0;
+  c.d_net = 15.0;
+  return c;
+}
+
+TEST(OptimizerTest, StorageOverheadMatchesEq3) {
+  EXPECT_DOUBLE_EQ(StorageOverhead(100, 10), 9.0 + 1.0);
+  EXPECT_DOUBLE_EQ(StorageOverhead(30, 6), 4.0 + 1.0);
+  EXPECT_DOUBLE_EQ(StorageOverhead(10, 10), 1.0);  // one big group
+}
+
+TEST(OptimizerTest, StorageOverheadDecreasesInM) {
+  double prev = 1e18;
+  for (std::uint32_t m = 1; m <= 50; ++m) {
+    const double s = StorageOverhead(50, m);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(OptimizerTest, LatencyIncreasesInM) {
+  // Larger groups resolve less locally -> Eq. 4 latency grows with M.
+  const auto c = TypicalComponents();
+  double prev = 0;
+  for (std::uint32_t m = 1; m <= 20; ++m) {
+    const double lat = OperationLatency(c, m);
+    EXPECT_GE(lat, prev) << m;
+    prev = lat;
+  }
+}
+
+TEST(OptimizerTest, LatencyBoundedByComponents) {
+  const auto c = TypicalComponents();
+  const std::uint32_t m = 5;
+  const double lat = OperationLatency(c, m);
+  EXPECT_GE(lat, c.d_lru);
+  // Eq. 4's network term carries the factor M.
+  EXPECT_LE(lat, c.d_lru + c.d_l2 + c.d_group + m * c.d_net);
+}
+
+// Components as functions of M, the way Section 4.1 measures them: the
+// local segment array holds theta = (N-M)/M replicas, so its hit share
+// falls like 1/M, while group multicast cost grows with M.
+LatencyComponents ComponentsAt(std::uint32_t n, std::uint32_t m) {
+  LatencyComponents c;
+  c.p_lru = 0.6;
+  const double theta = (static_cast<double>(n) - m) / m;
+  c.p_l2 = std::min(0.95, (theta + 1.0) / static_cast<double>(n) * 8.0);
+  c.d_lru = 0.05;
+  c.d_l2 = 0.3 + 0.4 * theta;       // probing theta replicas; spill pressure
+  c.d_group = 0.5 + 0.1 * m * m;    // multicast stragglers + congestion
+  c.d_net = 15.0;
+  return c;
+}
+
+TEST(OptimizerTest, GammaHasInteriorOptimumWithMeasuredComponents) {
+  // With per-M components the storage-latency tension produces an optimum
+  // strictly inside (1, 15) — the premise of Fig. 6.
+  const std::uint32_t n = 100;
+  const std::uint32_t best = OptimalGroupSize(
+      [n](std::uint32_t m) { return ComponentsAt(n, m); }, n, 15);
+  EXPECT_GT(best, 1u);
+  EXPECT_LT(best, 15u);
+}
+
+TEST(OptimizerTest, OptimalMGrowsWithN) {
+  // Fig. 7: the optimal group size grows (slowly) with the MDS count.
+  const auto m30 = OptimalGroupSize(
+      [](std::uint32_t m) { return ComponentsAt(30, m); }, 30, 20);
+  const auto m200 = OptimalGroupSize(
+      [](std::uint32_t m) { return ComponentsAt(200, m); }, 200, 20);
+  EXPECT_GE(m200, m30);
+}
+
+TEST(OptimizerTest, GammaMatchesDefinition) {
+  const auto c = TypicalComponents();
+  const double gamma = NormalizedThroughput(c, 40, 8);
+  EXPECT_DOUBLE_EQ(gamma,
+                   1.0 / (OperationLatency(c, 8) * StorageOverhead(40, 8)));
+}
+
+TEST(OptimizerTest, MeasureComponentsFromMetrics) {
+  ClusterMetrics m;
+  m.levels.l1 = 60;
+  m.levels.l2 = 20;
+  m.levels.l3 = 15;
+  m.levels.l4 = 5;
+  for (int i = 0; i < 60; ++i) m.l1_latency_ms.Add(0.1);
+  for (int i = 0; i < 20; ++i) m.l2_latency_ms.Add(0.5);
+  for (int i = 0; i < 15; ++i) m.group_latency_ms.Add(3.0);
+  for (int i = 0; i < 5; ++i) m.global_latency_ms.Add(20.0);
+
+  const auto c = MeasureComponents(m);
+  EXPECT_DOUBLE_EQ(c.p_lru, 0.6);
+  EXPECT_DOUBLE_EQ(c.p_l2, 0.5);  // 20 of the 40 that escaped L1
+  EXPECT_NEAR(c.d_lru, 0.1, 1e-12);
+  EXPECT_NEAR(c.d_l2, 0.5, 1e-12);
+  EXPECT_NEAR(c.d_group, 3.0, 1e-12);
+  EXPECT_NEAR(c.d_net, 20.0, 1e-12);
+}
+
+TEST(OptimizerTest, EmptyMetricsGiveZeroComponents) {
+  ClusterMetrics m;
+  const auto c = MeasureComponents(m);
+  EXPECT_EQ(c.p_lru, 0.0);
+  EXPECT_EQ(c.p_l2, 0.0);
+}
+
+TEST(OptimizerTest, OptimalRespectsUpperBound) {
+  const auto c = TypicalComponents();
+  EXPECT_LE(OptimalGroupSize(c, 100, 4), 4u);
+  EXPECT_LE(OptimalGroupSize(c, 3, 50), 3u);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,147 @@
+#include "core/subtree_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ghba {
+namespace {
+
+ClusterConfig SmallConfig(std::uint32_t n = 6) {
+  ClusterConfig c;
+  c.num_mds = n;
+  c.expected_files_per_mds = 1000;
+  c.seed = 19;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode = 1) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+class SubtreeClusterTest : public ::testing::Test {
+ protected:
+  SubtreeClusterTest() : cluster_(SmallConfig()) {}
+
+  void PopulateSubtrees(int dirs, int files_per_dir) {
+    for (int d = 0; d < dirs; ++d) {
+      for (int f = 0; f < files_per_dir; ++f) {
+        ASSERT_TRUE(cluster_
+                        .CreateFile("/proj" + std::to_string(d) + "/f" +
+                                        std::to_string(f),
+                                    Md(f), 0)
+                        .ok());
+      }
+    }
+  }
+
+  StaticSubtreeCluster cluster_;
+};
+
+TEST_F(SubtreeClusterTest, FilesOfOneSubtreeShareAnMds) {
+  PopulateSubtrees(4, 30);
+  EXPECT_EQ(cluster_.SubtreeCount(), 4u);
+  for (int d = 0; d < 4; ++d) {
+    const MdsId owner = cluster_.OracleHome("/proj" + std::to_string(d) + "/f0");
+    for (int f = 1; f < 30; ++f) {
+      EXPECT_EQ(cluster_.OracleHome("/proj" + std::to_string(d) + "/f" +
+                                    std::to_string(f)),
+                owner);
+    }
+  }
+  EXPECT_TRUE(cluster_.CheckInvariants().ok())
+      << cluster_.CheckInvariants().ToString();
+}
+
+TEST_F(SubtreeClusterTest, DeterministicSingleHopLookup) {
+  PopulateSubtrees(3, 20);
+  for (int d = 0; d < 3; ++d) {
+    for (int f = 0; f < 20; ++f) {
+      const std::string path =
+          "/proj" + std::to_string(d) + "/f" + std::to_string(f);
+      const auto r = cluster_.Lookup(path, 0);
+      EXPECT_TRUE(r.found) << path;
+      EXPECT_EQ(r.messages, 2u);
+    }
+  }
+  EXPECT_FALSE(cluster_.Lookup("/proj0/ghost", 0).found);
+  EXPECT_FALSE(cluster_.Lookup("/neverseen/x", 0).found);
+}
+
+TEST_F(SubtreeClusterTest, SkewedTrafficImbalancesLoad) {
+  // One hot subtree gets everything: its owner holds all files while the
+  // other MDSs idle — Table 1's "no load balance".
+  for (int f = 0; f < 300; ++f) {
+    ASSERT_TRUE(cluster_.CreateFile("/hot/f" + std::to_string(f), Md(f), 0).ok());
+  }
+  std::map<MdsId, std::uint64_t> counts;
+  for (const MdsId id : cluster_.alive()) {
+    counts[id] = cluster_.node(id).file_count();
+  }
+  std::uint64_t max_files = 0, total = 0;
+  for (const auto& [id, c] : counts) {
+    max_files = std::max(max_files, c);
+    total += c;
+  }
+  EXPECT_EQ(max_files, total);  // everything on one MDS
+}
+
+TEST_F(SubtreeClusterTest, AddMdsMigratesNothing) {
+  PopulateSubtrees(6, 20);
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.AddMds(&rep).ok());
+  EXPECT_EQ(rep.replicas_migrated, 0u);
+  EXPECT_EQ(rep.files_migrated, 0u);
+  // The newcomer picks up future subtrees.
+  bool newcomer_used = false;
+  for (int d = 0; d < 7; ++d) {
+    ASSERT_TRUE(
+        cluster_.CreateFile("/new" + std::to_string(d) + "/x", Md(d), 0).ok());
+    newcomer_used |= (cluster_.OracleHome("/new" + std::to_string(d) + "/x") ==
+                      cluster_.alive().back());
+  }
+  EXPECT_TRUE(newcomer_used);
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+}
+
+TEST_F(SubtreeClusterTest, RemoveMdsMovesWholeSubtrees) {
+  PopulateSubtrees(6, 20);
+  const MdsId victim = cluster_.OracleHome("/proj0/f0");
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.RemoveMds(victim, &rep).ok());
+  EXPECT_TRUE(cluster_.CheckInvariants().ok())
+      << cluster_.CheckInvariants().ToString();
+  for (int d = 0; d < 6; ++d) {
+    for (int f = 0; f < 20; ++f) {
+      EXPECT_TRUE(cluster_
+                      .Lookup("/proj" + std::to_string(d) + "/f" +
+                                  std::to_string(f),
+                              0)
+                      .found);
+    }
+  }
+}
+
+TEST_F(SubtreeClusterTest, RenameWithinNamespaceIsFree) {
+  PopulateSubtrees(2, 25);
+  ReconfigReport rep;
+  const auto renamed = cluster_.RenamePrefix("/proj0/", "/renamed/", 0, &rep);
+  ASSERT_TRUE(renamed.ok()) << renamed.status().ToString();
+  EXPECT_EQ(*renamed, 25u);
+  EXPECT_EQ(rep.files_migrated, 0u);
+  for (int f = 0; f < 25; ++f) {
+    EXPECT_TRUE(cluster_.Lookup("/renamed/f" + std::to_string(f), 0).found);
+  }
+  EXPECT_TRUE(cluster_.CheckInvariants().ok())
+      << cluster_.CheckInvariants().ToString();
+}
+
+TEST_F(SubtreeClusterTest, TinyLookupState) {
+  PopulateSubtrees(8, 50);
+  EXPECT_LT(cluster_.LookupStateBytes(0), 2048u);  // O(dirs), not O(files)
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,102 @@
+#include "core/table_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+ClusterConfig SmallConfig(std::uint32_t n = 6) {
+  ClusterConfig c;
+  c.num_mds = n;
+  c.expected_files_per_mds = 1000;
+  c.seed = 23;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode = 1) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+class TableClusterTest : public ::testing::Test {
+ protected:
+  TableClusterTest() : cluster_(SmallConfig()) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(
+          cluster_.CreateFile("/t/f" + std::to_string(i), Md(i), 0).ok());
+    }
+    cluster_.metrics().Reset();
+  }
+
+  TableMappingCluster cluster_;
+};
+
+TEST_F(TableClusterTest, ExactLookupsEverywhere) {
+  for (int i = 0; i < 200; ++i) {
+    const auto r = cluster_.Lookup("/t/f" + std::to_string(i), 0);
+    EXPECT_TRUE(r.found) << i;
+    EXPECT_EQ(r.messages, 2u);
+  }
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+}
+
+TEST_F(TableClusterTest, AbsentKeyAnsweredLocally) {
+  const auto r = cluster_.Lookup("/t/ghost", 0);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.messages, 0u);  // the table says no without any network
+}
+
+TEST_F(TableClusterTest, MutationsBroadcastTableUpdates) {
+  const auto before = cluster_.metrics().update_messages;
+  ASSERT_TRUE(cluster_.CreateFile("/t/new", Md(), 0).ok());
+  EXPECT_EQ(cluster_.metrics().update_messages - before, 5u);  // N-1
+  ASSERT_TRUE(cluster_.UnlinkFile("/t/new", 0).ok());
+  EXPECT_EQ(cluster_.metrics().update_messages - before, 10u);
+}
+
+TEST_F(TableClusterTest, LookupStateIsOrderN) {
+  const auto bytes_small = cluster_.LookupStateBytes(0);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        cluster_.CreateFile("/more/f" + std::to_string(i), Md(i), 0).ok());
+  }
+  const auto bytes_big = cluster_.LookupStateBytes(0);
+  // Doubling the file count ~doubles the table.
+  EXPECT_GT(bytes_big, bytes_small * 3 / 2);
+}
+
+TEST_F(TableClusterTest, AddMdsZeroMigrationButFullTableDownload) {
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.AddMds(&rep).ok());
+  EXPECT_EQ(rep.files_migrated, 0u);
+  EXPECT_EQ(rep.replicas_migrated, 0u);
+  EXPECT_GE(rep.messages, 200u);  // the O(n) bootstrap transfer
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+}
+
+TEST_F(TableClusterTest, RemoveMdsRehomesAndServes) {
+  ReconfigReport rep;
+  ASSERT_TRUE(cluster_.RemoveMds(2, &rep).ok());
+  EXPECT_TRUE(cluster_.CheckInvariants().ok());
+  for (int i = 0; i < 200; ++i) {
+    const auto r = cluster_.Lookup("/t/f" + std::to_string(i), 0);
+    EXPECT_TRUE(r.found) << i;
+    EXPECT_NE(r.home, 2u);
+  }
+}
+
+TEST_F(TableClusterTest, RenameKeepsHomesButBroadcasts) {
+  ReconfigReport rep;
+  const auto renamed = cluster_.RenamePrefix("/t/", "/moved/", 0, &rep);
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(*renamed, 200u);
+  EXPECT_EQ(rep.files_migrated, 0u);
+  EXPECT_GE(rep.messages, 200u * 5u);  // every entry to every other copy
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(cluster_.Lookup("/moved/f" + std::to_string(i), 0).found);
+  }
+}
+
+}  // namespace
+}  // namespace ghba

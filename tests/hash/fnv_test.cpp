@@ -1,0 +1,37 @@
+#include "hash/fnv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ghba {
+namespace {
+
+TEST(FnvTest, KnownVectors) {
+  // Canonical FNV-1a 64-bit vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(FnvTest, Constexpr) {
+  static_assert(Fnv1a64("compile-time") != 0);
+  SUCCEED();
+}
+
+TEST(FnvTest, SeedActsAsChainedState) {
+  const auto full = Fnv1a64("abcdef");
+  const auto chained = Fnv1a64("def", Fnv1a64("abc"));
+  EXPECT_EQ(full, chained);
+}
+
+TEST(FnvTest, DistinctShortKeys) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(Fnv1a64(std::to_string(i))).second);
+  }
+}
+
+}  // namespace
+}  // namespace ghba

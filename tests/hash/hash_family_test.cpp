@@ -1,0 +1,110 @@
+#include "hash/hash_family.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ghba {
+namespace {
+
+TEST(ProbeSetTest, PushAndIterate) {
+  ProbeSet p;
+  EXPECT_EQ(p.size(), 0u);
+  p.Push(5);
+  p.Push(9);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], 5u);
+  EXPECT_EQ(p[1], 9u);
+  std::vector<std::uint64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{5, 9}));
+  p.Clear();
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(ProbeSetTest, CapsAtMaxK) {
+  ProbeSet p;
+  for (std::uint64_t i = 0; i < ProbeSet::kMaxK + 10; ++i) p.Push(i);
+  EXPECT_EQ(p.size(), ProbeSet::kMaxK);
+}
+
+TEST(HashFamilyTest, ProducesKIndicesInRange) {
+  const HashFamily family(7, 99);
+  ProbeSet probes;
+  family.Probe("/var/data/file.bin", 1000, probes);
+  ASSERT_EQ(probes.size(), 7u);
+  for (const auto i : probes) EXPECT_LT(i, 1000u);
+}
+
+TEST(HashFamilyTest, DeterministicProbes) {
+  const HashFamily family(5, 1);
+  ProbeSet a, b;
+  family.Probe("key", 4096, a);
+  family.Probe("key", 4096, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(HashFamilyTest, SeedDecorrelatesProbes) {
+  const HashFamily f1(5, 111), f2(5, 222);
+  ProbeSet a, b;
+  f1.Probe("key", 1 << 20, a);
+  f2.Probe("key", 1 << 20, b);
+  int same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += (a[i] == b[i]);
+  EXPECT_EQ(same, 0);
+}
+
+TEST(HashFamilyTest, DigestReuseMatchesDirectProbe) {
+  const HashFamily family(4, 7);
+  const auto digest = Murmur3_128("reused-key", 7);
+  ProbeSet direct, via_digest;
+  family.Probe("reused-key", 999, direct);
+  family.FillProbes(digest, 999, via_digest);
+  ASSERT_EQ(direct.size(), via_digest.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i], via_digest[i]);
+  }
+}
+
+// Probe positions must be near-uniform over the bit range for the
+// false-positive analysis to hold.
+class HashFamilyUniformity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HashFamilyUniformity, ProbesNearUniform) {
+  const std::uint64_t m = GetParam();
+  const HashFamily family(8, 3);
+  constexpr int kKeys = 20000;
+  constexpr int kBuckets = 16;
+  std::vector<int> counts(kBuckets, 0);
+  ProbeSet probes;
+  for (int i = 0; i < kKeys; ++i) {
+    family.Probe("file-" + std::to_string(i), m, probes);
+    for (const auto idx : probes) {
+      ++counts[idx * kBuckets / m];
+    }
+  }
+  const double expected = kKeys * 8.0 / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitSizes, HashFamilyUniformity,
+                         ::testing::Values(1 << 10, 1 << 16, 100000, 999983));
+
+TEST(HashFamilyTest, DistinctKeysRarelyShareAllProbes) {
+  const HashFamily family(8, 5);
+  std::set<std::string> signatures;
+  ProbeSet probes;
+  for (int i = 0; i < 5000; ++i) {
+    family.Probe("k" + std::to_string(i), 1 << 16, probes);
+    std::string sig;
+    for (const auto idx : probes) sig += std::to_string(idx) + ",";
+    EXPECT_TRUE(signatures.insert(sig).second) << "full probe collision";
+  }
+}
+
+}  // namespace
+}  // namespace ghba

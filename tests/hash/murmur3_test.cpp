@@ -1,0 +1,81 @@
+#include "hash/murmur3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ghba {
+namespace {
+
+TEST(Murmur3Test, DeterministicAcrossCalls) {
+  const auto a = Murmur3_128("hello world");
+  const auto b = Murmur3_128("hello world");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Murmur3Test, SeedChangesDigest) {
+  EXPECT_NE(Murmur3_128("key", 0), Murmur3_128("key", 1));
+}
+
+TEST(Murmur3Test, EmptyInputIsValid) {
+  const auto d = Murmur3_128("", 0);
+  // Reference MurmurHash3 x64-128 of empty input with seed 0 is all-zero.
+  EXPECT_EQ(d.lo, 0u);
+  EXPECT_EQ(d.hi, 0u);
+  // ... but a nonzero seed must produce a nonzero digest.
+  const auto seeded = Murmur3_128("", 42);
+  EXPECT_TRUE(seeded.lo != 0 || seeded.hi != 0);
+}
+
+// Every tail length 0..32 must be processed without reading OOB and must
+// produce distinct digests for distinct inputs.
+TEST(Murmur3Test, AllTailLengthsDistinct) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::string s;
+  for (int len = 0; len <= 32; ++len) {
+    const auto d = Murmur3_128(s);
+    EXPECT_TRUE(seen.insert({d.lo, d.hi}).second) << "collision at len " << len;
+    s.push_back(static_cast<char>('a' + (len % 26)));
+  }
+}
+
+TEST(Murmur3Test, SingleBitInputChangesManyOutputBits) {
+  // Avalanche smoke test: flipping one input bit should flip roughly half
+  // the output bits.
+  std::string a = "aaaaaaaaaaaaaaaa";
+  std::string b = a;
+  b[0] ^= 1;
+  const auto da = Murmur3_128(a);
+  const auto db = Murmur3_128(b);
+  const int flipped = __builtin_popcountll(da.lo ^ db.lo) +
+                      __builtin_popcountll(da.hi ^ db.hi);
+  EXPECT_GT(flipped, 40);
+  EXPECT_LT(flipped, 88);
+}
+
+TEST(Murmur3Test, KnownVector) {
+  // Cross-checked against the canonical C++ implementation
+  // (MurmurHash3_x64_128 of "The quick brown fox jumps over the lazy dog",
+  // seed 0): e34bbc7bbc071b6c 7a433ca9c49a9347.
+  const auto d =
+      Murmur3_128("The quick brown fox jumps over the lazy dog", 0);
+  EXPECT_EQ(d.lo, 0xe34bbc7bbc071b6cULL);
+  EXPECT_EQ(d.hi, 0x7a433ca9c49a9347ULL);
+}
+
+TEST(Murmur3Test, Distinct64BitSlices) {
+  EXPECT_NE(Murmur3_64("abc"), Murmur3_64("abd"));
+}
+
+TEST(Murmur3Test, NoCollisionsOnPathLikeKeys) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const std::string path = "/home/user" + std::to_string(i % 100) +
+                             "/project/file" + std::to_string(i) + ".dat";
+    EXPECT_TRUE(seen.insert(Murmur3_64(path)).second) << path;
+  }
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,46 @@
+#include "hash/xx64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ghba {
+namespace {
+
+TEST(Xx64Test, Deterministic) {
+  EXPECT_EQ(Xx64("metadata"), Xx64("metadata"));
+}
+
+TEST(Xx64Test, SeedSensitive) {
+  EXPECT_NE(Xx64("metadata", 0), Xx64("metadata", 1));
+}
+
+TEST(Xx64Test, KnownVectors) {
+  // Canonical xxHash64 test vectors.
+  EXPECT_EQ(Xx64("", 0), 0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(Xx64("a", 0), 0xD24EC4F1A98C6E5BULL);
+  EXPECT_EQ(Xx64("abc", 0), 0x44BC2CF5AD770999ULL);
+}
+
+TEST(Xx64Test, AllLengthClassesCovered) {
+  // Exercise <4, <8, <32 and >=32 byte paths; all must be distinct.
+  std::set<std::uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 64; ++len) {
+    EXPECT_TRUE(seen.insert(Xx64(s)).second) << "collision at len " << len;
+    s.push_back(static_cast<char>('A' + (len % 26)));
+  }
+}
+
+TEST(Xx64Test, LowBitsUnbiased) {
+  int ones = 0;
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    ones += static_cast<int>(Xx64("file" + std::to_string(i)) & 1);
+  }
+  EXPECT_NEAR(ones / static_cast<double>(kKeys), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ghba

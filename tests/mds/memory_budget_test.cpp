@@ -1,0 +1,70 @@
+#include "mds/memory_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(MemoryBudgetTest, EmptyBudgetAllFree) {
+  MemoryBudget mb(1000);
+  EXPECT_EQ(mb.TotalUsage(), 0u);
+  EXPECT_EQ(mb.FreeBytes(), 1000u);
+  EXPECT_DOUBLE_EQ(mb.OverflowFraction("replicas"), 0.0);
+}
+
+TEST(MemoryBudgetTest, UsageBookkeeping) {
+  MemoryBudget mb(1000);
+  mb.SetUsage("replicas", 300);
+  mb.SetUsage("lru", 100);
+  EXPECT_EQ(mb.Usage("replicas"), 300u);
+  EXPECT_EQ(mb.Usage("absent"), 0u);
+  EXPECT_EQ(mb.TotalUsage(), 400u);
+  EXPECT_EQ(mb.FreeBytes(), 600u);
+  mb.SetUsage("replicas", 50);  // overwrite, not accumulate
+  EXPECT_EQ(mb.TotalUsage(), 150u);
+}
+
+TEST(MemoryBudgetTest, NoOverflowWhenFits) {
+  MemoryBudget mb(1000);
+  mb.SetUsage("replicas", 900);
+  mb.SetUsage("lru", 100);
+  EXPECT_DOUBLE_EQ(mb.OverflowFraction("replicas"), 0.0);
+  EXPECT_EQ(mb.FreeBytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, PartialOverflow) {
+  MemoryBudget mb(1000);
+  mb.SetUsage("lru", 200);      // priority usage
+  mb.SetUsage("replicas", 1600); // only 800 fit
+  EXPECT_DOUBLE_EQ(mb.OverflowFraction("replicas"), 0.5);
+}
+
+TEST(MemoryBudgetTest, FullOverflowWhenOthersConsumeBudget) {
+  MemoryBudget mb(1000);
+  mb.SetUsage("lru", 1200);
+  mb.SetUsage("replicas", 10);
+  EXPECT_DOUBLE_EQ(mb.OverflowFraction("replicas"), 1.0);
+  EXPECT_EQ(mb.FreeBytes(), 0u);
+}
+
+TEST(MemoryBudgetTest, ZeroCategoryNeverOverflows) {
+  MemoryBudget mb(10);
+  mb.SetUsage("lru", 100);
+  EXPECT_DOUBLE_EQ(mb.OverflowFraction("replicas"), 0.0);
+}
+
+TEST(MemoryBudgetTest, OverflowFractionMonotoneInUsage) {
+  MemoryBudget mb(1000);
+  double prev = -1;
+  for (std::uint64_t usage = 100; usage <= 4000; usage += 100) {
+    mb.SetUsage("replicas", usage);
+    const double f = mb.OverflowFraction("replicas");
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace ghba

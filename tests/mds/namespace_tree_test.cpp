@@ -1,0 +1,167 @@
+#include "mds/namespace_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(SplitPathTest, NormalizesSlashes) {
+  const auto c = SplitPath("/a//b/c/");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(JoinPath(*c), "/a/b/c");
+}
+
+TEST(SplitPathTest, RootIsEmptyComponentList) {
+  const auto c = SplitPath("/");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->empty());
+  EXPECT_EQ(JoinPath(*c), "/");
+}
+
+TEST(SplitPathTest, RejectsBadPaths) {
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("relative/path").ok());
+  EXPECT_FALSE(SplitPath("/a/./b").ok());
+  EXPECT_FALSE(SplitPath("/a/../b").ok());
+}
+
+class NamespaceTreeTest : public ::testing::Test {
+ protected:
+  NamespaceTree tree_;
+};
+
+TEST_F(NamespaceTreeTest, MakeDirsCreatesChain) {
+  ASSERT_TRUE(tree_.MakeDirs("/a/b/c").ok());
+  EXPECT_TRUE(tree_.DirExists("/a"));
+  EXPECT_TRUE(tree_.DirExists("/a/b"));
+  EXPECT_TRUE(tree_.DirExists("/a/b/c"));
+  EXPECT_EQ(tree_.dir_count(), 3u);
+  // Idempotent.
+  ASSERT_TRUE(tree_.MakeDirs("/a/b/c").ok());
+  EXPECT_EQ(tree_.dir_count(), 3u);
+}
+
+TEST_F(NamespaceTreeTest, CreateFileNeedsParent) {
+  EXPECT_EQ(tree_.CreateFile("/missing/f").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tree_.MakeDirs("/dir").ok());
+  ASSERT_TRUE(tree_.CreateFile("/dir/f").ok());
+  EXPECT_TRUE(tree_.FileExists("/dir/f"));
+  EXPECT_FALSE(tree_.DirExists("/dir/f"));
+  EXPECT_EQ(tree_.file_count(), 1u);
+  EXPECT_EQ(tree_.CreateFile("/dir/f").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(NamespaceTreeTest, FileBlocksDirectoryPath) {
+  ASSERT_TRUE(tree_.MakeDirs("/d").ok());
+  ASSERT_TRUE(tree_.CreateFile("/d/x").ok());
+  EXPECT_EQ(tree_.MakeDirs("/d/x/sub").code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(NamespaceTreeTest, RemoveFileAndDir) {
+  ASSERT_TRUE(tree_.MakeDirs("/d").ok());
+  ASSERT_TRUE(tree_.CreateFile("/d/f").ok());
+  EXPECT_EQ(tree_.RemoveDir("/d").code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(tree_.RemoveFile("/d/f").ok());
+  EXPECT_EQ(tree_.file_count(), 0u);
+  ASSERT_TRUE(tree_.RemoveDir("/d").ok());
+  EXPECT_EQ(tree_.dir_count(), 0u);
+  EXPECT_EQ(tree_.RemoveFile("/d/f").code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree_.RemoveDir("/d").code(), StatusCode::kNotFound);
+}
+
+TEST_F(NamespaceTreeTest, RemoveFileRejectsDirectories) {
+  ASSERT_TRUE(tree_.MakeDirs("/d").ok());
+  EXPECT_EQ(tree_.RemoveFile("/d").code(), StatusCode::kNotFound);
+}
+
+TEST_F(NamespaceTreeTest, ListSortedWithDirMarkers) {
+  ASSERT_TRUE(tree_.MakeDirs("/p/zdir").ok());
+  ASSERT_TRUE(tree_.CreateFile("/p/afile").ok());
+  ASSERT_TRUE(tree_.CreateFile("/p/mfile").ok());
+  const auto listing = tree_.List("/p");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(*listing, (std::vector<std::string>{"afile", "mfile", "zdir/"}));
+  EXPECT_FALSE(tree_.List("/nope").ok());
+}
+
+TEST_F(NamespaceTreeTest, RenameDirectorySubtree) {
+  ASSERT_TRUE(tree_.MakeDirs("/src/deep").ok());
+  ASSERT_TRUE(tree_.CreateFile("/src/deep/f1").ok());
+  ASSERT_TRUE(tree_.CreateFile("/src/f2").ok());
+  ASSERT_TRUE(tree_.MakeDirs("/dst").ok());
+
+  ASSERT_TRUE(tree_.Rename("/src", "/dst/moved").ok());
+  EXPECT_FALSE(tree_.DirExists("/src"));
+  EXPECT_TRUE(tree_.FileExists("/dst/moved/deep/f1"));
+  EXPECT_TRUE(tree_.FileExists("/dst/moved/f2"));
+}
+
+TEST_F(NamespaceTreeTest, RenameSingleFile) {
+  ASSERT_TRUE(tree_.MakeDirs("/d").ok());
+  ASSERT_TRUE(tree_.CreateFile("/d/old").ok());
+  ASSERT_TRUE(tree_.Rename("/d/old", "/d/new").ok());
+  EXPECT_FALSE(tree_.FileExists("/d/old"));
+  EXPECT_TRUE(tree_.FileExists("/d/new"));
+}
+
+TEST_F(NamespaceTreeTest, RenameRejectsBadTargets) {
+  ASSERT_TRUE(tree_.MakeDirs("/a/b").ok());
+  ASSERT_TRUE(tree_.MakeDirs("/c").ok());
+  // Into itself.
+  EXPECT_EQ(tree_.Rename("/a", "/a/b/x").code(),
+            StatusCode::kInvalidArgument);
+  // Onto an existing name.
+  EXPECT_EQ(tree_.Rename("/a", "/c").code(), StatusCode::kAlreadyExists);
+  // Missing source.
+  EXPECT_EQ(tree_.Rename("/ghost", "/c/g").code(), StatusCode::kNotFound);
+  // Missing destination parent.
+  EXPECT_EQ(tree_.Rename("/a", "/nope/a").code(), StatusCode::kNotFound);
+}
+
+TEST_F(NamespaceTreeTest, ForEachFileUnderEnumeratesRecursively) {
+  ASSERT_TRUE(tree_.MakeDirs("/r/x").ok());
+  ASSERT_TRUE(tree_.MakeDirs("/r/y").ok());
+  ASSERT_TRUE(tree_.CreateFile("/r/x/1").ok());
+  ASSERT_TRUE(tree_.CreateFile("/r/x/2").ok());
+  ASSERT_TRUE(tree_.CreateFile("/r/y/3").ok());
+  ASSERT_TRUE(tree_.CreateFile("/other").ok());
+
+  std::vector<std::string> under_r;
+  ASSERT_TRUE(tree_.ForEachFileUnder(
+      "/r", [&](const std::string& p) { under_r.push_back(p); }).ok());
+  EXPECT_EQ(under_r,
+            (std::vector<std::string>{"/r/x/1", "/r/x/2", "/r/y/3"}));
+
+  std::vector<std::string> all;
+  ASSERT_TRUE(tree_.ForEachFileUnder(
+      "/", [&](const std::string& p) { all.push_back(p); }).ok());
+  EXPECT_EQ(all.size(), 4u);
+
+  std::vector<std::string> single;
+  ASSERT_TRUE(tree_.ForEachFileUnder(
+      "/other", [&](const std::string& p) { single.push_back(p); }).ok());
+  EXPECT_EQ(single, (std::vector<std::string>{"/other"}));
+}
+
+TEST_F(NamespaceTreeTest, LargeTreeCounts) {
+  for (int d = 0; d < 20; ++d) {
+    ASSERT_TRUE(tree_.MakeDirs("/big/d" + std::to_string(d)).ok());
+    for (int f = 0; f < 50; ++f) {
+      ASSERT_TRUE(tree_
+                      .CreateFile("/big/d" + std::to_string(d) + "/f" +
+                                  std::to_string(f))
+                      .ok());
+    }
+  }
+  EXPECT_EQ(tree_.file_count(), 1000u);
+  EXPECT_EQ(tree_.dir_count(), 21u);  // /big + 20 children
+  int visited = 0;
+  ASSERT_TRUE(
+      tree_.ForEachFileUnder("/big", [&](const std::string&) { ++visited; })
+          .ok());
+  EXPECT_EQ(visited, 1000);
+}
+
+}  // namespace
+}  // namespace ghba

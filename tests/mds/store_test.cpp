@@ -1,0 +1,150 @@
+#include "mds/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+FileMetadata Md(std::uint64_t inode) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+TEST(MetadataStoreTest, InsertLookupRoundTrip) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/a/b", Md(7)).ok());
+  EXPECT_TRUE(store.Contains("/a/b"));
+  const auto md = store.Lookup("/a/b");
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->inode, 7u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(MetadataStoreTest, DuplicateInsertRejected) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/a", Md(1)).ok());
+  EXPECT_EQ(store.Insert("/a", Md(2)).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Lookup("/a")->inode, 1u);
+}
+
+TEST(MetadataStoreTest, MissingLookupFails) {
+  MetadataStore store;
+  EXPECT_FALSE(store.Contains("/nope"));
+  EXPECT_EQ(store.Lookup("/nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MetadataStoreTest, UpdateMutatesInPlace) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/a", Md(1)).ok());
+  ASSERT_TRUE(store.Update("/a", [](FileMetadata& md) {
+    md.size_bytes = 4096;
+    md.mtime = 9.0;
+  }).ok());
+  EXPECT_EQ(store.Lookup("/a")->size_bytes, 4096u);
+  EXPECT_EQ(store.Update("/zz", [](FileMetadata&) {}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(MetadataStoreTest, RemoveErases) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/a", Md(1)).ok());
+  ASSERT_TRUE(store.Remove("/a").ok());
+  EXPECT_FALSE(store.Contains("/a"));
+  EXPECT_EQ(store.Remove("/a").code(), StatusCode::kNotFound);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(MetadataStoreTest, MemoryAccountingTracksContent) {
+  MetadataStore store;
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+  ASSERT_TRUE(store.Insert("/short", Md(1)).ok());
+  const auto after_one = store.MemoryBytes();
+  EXPECT_GT(after_one, 0u);
+  ASSERT_TRUE(store.Insert(std::string(500, 'p'), Md(2)).ok());
+  EXPECT_GT(store.MemoryBytes(), after_one + 500);
+  ASSERT_TRUE(store.Remove("/short").ok());
+  ASSERT_TRUE(store.Remove(std::string(500, 'p')).ok());
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+}
+
+TEST(MetadataStoreTest, UpdateAdjustsMemoryForGrownRecord) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/a", Md(1)).ok());
+  const auto before = store.MemoryBytes();
+  ASSERT_TRUE(store.Update("/a", [](FileMetadata& md) {
+    md.data_servers.assign(64, 1);
+  }).ok());
+  EXPECT_GT(store.MemoryBytes(), before);
+}
+
+TEST(MetadataStoreTest, ForEachVisitsAll) {
+  MetadataStore store;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.Insert("/f" + std::to_string(i), Md(i)).ok());
+  }
+  int visited = 0;
+  store.ForEach([&](const std::string& path, const FileMetadata& md) {
+    EXPECT_EQ(path, "/f" + std::to_string(md.inode));
+    ++visited;
+  });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(MetadataStoreTest, ExtractAllDrains) {
+  MetadataStore store;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Insert("/f" + std::to_string(i), Md(i)).ok());
+  }
+  auto all = store.ExtractAll();
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+}
+
+TEST(MetadataSerializationTest, RoundTrip) {
+  FileMetadata md;
+  md.inode = 42;
+  md.mode = 0755;
+  md.uid = 1000;
+  md.gid = 100;
+  md.size_bytes = 1 << 20;
+  md.atime = 1.5;
+  md.mtime = 2.5;
+  md.ctime = 3.5;
+  md.data_servers = {3, 9, 27};
+
+  ByteWriter w;
+  md.Serialize(w);
+  ByteReader r(w.data());
+  const auto decoded = FileMetadata::Deserialize(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, md);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(MetadataSerializationTest, RejectsTruncation) {
+  FileMetadata md;
+  ByteWriter w;
+  md.Serialize(w);
+  auto data = w.Take();
+  data.resize(data.size() - 4);
+  ByteReader r(data);
+  EXPECT_FALSE(FileMetadata::Deserialize(r).ok());
+}
+
+TEST(MetadataSerializationTest, RejectsAbsurdStripeWidth) {
+  ByteWriter w;
+  FileMetadata md;
+  md.Serialize(w);
+  auto data = w.Take();
+  // Overwrite the trailing varint (stripe count 0 -> huge).
+  data.back() = 0xff;
+  data.push_back(0xff);
+  data.push_back(0x7f);
+  ByteReader r(data);
+  EXPECT_FALSE(FileMetadata::Deserialize(r).ok());
+}
+
+}  // namespace
+}  // namespace ghba

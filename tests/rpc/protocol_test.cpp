@@ -1,0 +1,129 @@
+#include "rpc/protocol.hpp"
+
+#include "bloom/compressed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(ProtocolTest, PathRequestRoundTrip) {
+  const auto frame = EncodePathRequest(MsgType::kVerify, "/a/b/c");
+  ByteReader in(frame);
+  const auto type = DecodeType(in);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MsgType::kVerify);
+  EXPECT_EQ(*in.GetString(), "/a/b/c");
+}
+
+TEST(ProtocolTest, UnknownTypeRejected) {
+  ByteWriter w;
+  w.PutU16(999);
+  ByteReader in(w.data());
+  EXPECT_FALSE(DecodeType(in).ok());
+}
+
+TEST(ProtocolTest, StatusRespRoundTrip) {
+  const auto frame = EncodeStatusResp(Status::NotFound("gone"));
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->has_payload);
+  EXPECT_EQ(env->status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(env->status.message(), "gone");
+}
+
+TEST(ProtocolTest, OkStatusRoundTrip) {
+  const auto frame = EncodeStatusResp(Status::Ok());
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->has_payload);
+  EXPECT_TRUE(env->status.ok());
+}
+
+TEST(ProtocolTest, BoolRespRoundTrip) {
+  for (const bool value : {true, false}) {
+    const auto frame = EncodeBoolResp(value);
+    ByteReader in(frame);
+    const auto env = OpenEnvelope(in);
+    ASSERT_TRUE(env.ok());
+    ASSERT_TRUE(env->has_payload);
+    const auto decoded = DecodeBoolResp(in);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+TEST(ProtocolTest, LocalLookupRespRoundTrip) {
+  LocalLookupResp resp;
+  resp.lru_unique = true;
+  resp.lru_home = 7;
+  resp.hits = {1, 5, 9};
+  const auto frame = EncodeLocalLookupResp(resp);
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto decoded = DecodeLocalLookupResp(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->lru_unique);
+  EXPECT_EQ(decoded->lru_home, 7u);
+  EXPECT_EQ(decoded->hits, (std::vector<MdsId>{1, 5, 9}));
+}
+
+TEST(ProtocolTest, InsertCarriesMetadata) {
+  FileMetadata md;
+  md.inode = 99;
+  md.data_servers = {1, 2};
+  const auto frame = EncodeInsert("/x", md);
+  ByteReader in(frame);
+  ASSERT_EQ(*DecodeType(in), MsgType::kInsert);
+  EXPECT_EQ(*in.GetString(), "/x");
+  const auto decoded = FileMetadata::Deserialize(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, md);
+}
+
+TEST(ProtocolTest, ReplicaInstallCarriesFilter) {
+  auto bf = BloomFilter::ForCapacity(100, 8.0, 5);
+  bf.Add("/file");
+  const auto frame = EncodeReplicaInstall(3, bf);
+  ByteReader in(frame);
+  ASSERT_EQ(*DecodeType(in), MsgType::kReplicaInstall);
+  EXPECT_EQ(*in.GetU32(), 3u);
+  const auto decoded = DecompressFilter(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->MayContain("/file"));
+}
+
+TEST(ProtocolTest, StatsRespRoundTrip) {
+  StatsResp stats;
+  stats.frames_in = 10;
+  stats.frames_out = 20;
+  stats.files = 30;
+  stats.replicas = 40;
+  const auto frame = EncodeStatsResp(stats);
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto decoded = DecodeStatsResp(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->frames_in, 10u);
+  EXPECT_EQ(decoded->replicas, 40u);
+}
+
+TEST(ProtocolTest, TruncatedEnvelopeRejected) {
+  ByteReader in(std::span<const std::uint8_t>{});
+  EXPECT_FALSE(OpenEnvelope(in).ok());
+}
+
+TEST(ProtocolTest, BadEnvelopeByteRejected) {
+  const std::uint8_t bad[] = {7};
+  ByteReader in(bad);
+  EXPECT_FALSE(OpenEnvelope(in).ok());
+}
+
+}  // namespace
+}  // namespace ghba

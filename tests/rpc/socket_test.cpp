@@ -1,0 +1,128 @@
+#include "rpc/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ghba {
+namespace {
+
+TEST(SocketTest, BindAssignsPort) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0);
+}
+
+TEST(SocketTest, FrameRoundTrip) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = conn->RecvFrame();
+    ASSERT_TRUE(frame.ok());
+    // Echo back reversed.
+    std::vector<std::uint8_t> reply(frame->rbegin(), frame->rend());
+    ASSERT_TRUE(conn->SendFrame(reply).ok());
+  });
+
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client->SendFrame({1, 2, 3, 4}).ok());
+  auto reply = client->RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, (std::vector<std::uint8_t>{4, 3, 2, 1}));
+  server.join();
+}
+
+TEST(SocketTest, EmptyFrameAllowed) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = conn->RecvFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(frame->empty());
+    ASSERT_TRUE(conn->SendFrame({}).ok());
+  });
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendFrame({}).ok());
+  auto reply = client->RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->empty());
+  server.join();
+}
+
+TEST(SocketTest, LargeFrame) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  const std::vector<std::uint8_t> big(1 << 20, 0xaa);
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = conn->RecvFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->size(), big.size());
+    ASSERT_TRUE(conn->SendFrame(*frame).ok());
+  });
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->SendFrame(big).ok());
+  auto reply = client->RecvFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, big);
+  server.join();
+}
+
+TEST(SocketTest, PeerCloseReportsUnavailable) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    conn->Close();
+  });
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  server.join();
+  const auto frame = client->RecvFrame();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(SocketTest, ConnectToClosedPortFails) {
+  // Bind then close a listener to obtain a (very likely) dead port.
+  std::uint16_t dead_port;
+  {
+    auto listener = TcpListener::Bind();
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  const auto conn = TcpConnection::Connect(dead_port);
+  EXPECT_FALSE(conn.ok());
+}
+
+TEST(SocketTest, OversizedFrameRejected) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  std::vector<std::uint8_t> huge(static_cast<std::size_t>(65) << 20);
+  EXPECT_EQ(client->SendFrame(huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FdHandleTest, MoveSemantics) {
+  FdHandle a(42);  // fake fd number; never used for IO
+  EXPECT_TRUE(a.valid());
+  FdHandle b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing move
+  EXPECT_EQ(b.get(), 42);
+  EXPECT_EQ(b.Release(), 42);  // release so the dtor won't close fd 42
+  EXPECT_FALSE(b.valid());
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,83 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ghba {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.Now(), 3.0);
+}
+
+TEST(EventQueueTest, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, HandlersCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) q.ScheduleAfter(1.0, chain);
+  };
+  q.Schedule(0.0, chain);
+  q.Run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_DOUBLE_EQ(q.Now(), 9.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&] { ++fired; });
+  q.Schedule(5.0, [&] { ++fired; });
+  q.Schedule(10.0, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(5.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.Now(), 5.0);
+  EXPECT_EQ(q.PendingEvents(), 1u);
+  q.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.RunUntil(42.0);
+  EXPECT_DOUBLE_EQ(q.Now(), 42.0);
+}
+
+TEST(EventQueueTest, StepExecutesOne) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&] { ++fired; });
+  q.Schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(q.Step());
+  EXPECT_FALSE(q.Step());
+}
+
+TEST(EventQueueTest, EmptyQueue) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Run(), 0u);
+  EXPECT_DOUBLE_EQ(q.Now(), 0.0);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,47 @@
+#include "sim/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(LatencyModelTest, OrderingOfMedia) {
+  const LatencyModel m;
+  // The model only has to respect the ordering disk >> network >> memory.
+  EXPECT_GT(m.disk_access_ms, m.lan_rtt_ms * 10);
+  EXPECT_GT(m.lan_rtt_ms, m.bf_probe_ms * 100);
+  EXPECT_GT(m.spilled_probe_ms, m.lan_rtt_ms);
+  EXPECT_LT(m.spilled_probe_ms, m.disk_access_ms);
+}
+
+TEST(LatencyModelTest, ArrayProbeLinearInFilters) {
+  const LatencyModel m;
+  EXPECT_DOUBLE_EQ(m.ArrayProbe(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.ArrayProbe(10), 10 * m.bf_probe_ms);
+}
+
+TEST(LatencyModelTest, MulticastGrowsWithFanout) {
+  const LatencyModel m;
+  EXPECT_DOUBLE_EQ(m.Multicast(0), 0.0);
+  EXPECT_GT(m.Multicast(10), m.Multicast(5));
+  EXPECT_GE(m.Multicast(1), m.Unicast());
+}
+
+TEST(LatencyModelTest, GroupCheaperThanGlobal) {
+  const LatencyModel m;
+  // A group multicast (M-1 ~ 6 peers) must be cheaper than a global one
+  // (N-1 ~ 99 peers) — the premise of the hierarchy.
+  EXPECT_LT(m.Multicast(6), m.Multicast(99));
+}
+
+TEST(LatencyModelTest, MetadataReadInterpolatesCacheHit) {
+  const LatencyModel m;
+  EXPECT_DOUBLE_EQ(m.MetadataRead(1.0), m.mem_metadata_ms);
+  EXPECT_DOUBLE_EQ(m.MetadataRead(0.0), m.disk_access_ms);
+  const double half = m.MetadataRead(0.5);
+  EXPECT_GT(half, m.mem_metadata_ms);
+  EXPECT_LT(half, m.disk_access_ms);
+}
+
+}  // namespace
+}  // namespace ghba

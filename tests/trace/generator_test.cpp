@@ -1,0 +1,182 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "trace/stats.hpp"
+
+namespace ghba {
+namespace {
+
+WorkloadProfile TinyProfile() {
+  WorkloadProfile p;
+  p.name = "tiny";
+  p.total_files = 1000;
+  p.active_files = 200;
+  p.users = 10;
+  p.hosts = 4;
+  p.ops_per_second = 100;
+  return p;
+}
+
+TEST(SyntheticTraceTest, DeterministicForSameSeed) {
+  SyntheticTrace a(TinyProfile(), 0, 7, 100);
+  SyntheticTrace b(TinyProfile(), 0, 7, 100);
+  for (int i = 0; i < 100; ++i) {
+    const auto ra = a.Next();
+    const auto rb = b.Next();
+    ASSERT_TRUE(ra && rb);
+    EXPECT_EQ(ra->path, rb->path);
+    EXPECT_EQ(ra->op, rb->op);
+    EXPECT_DOUBLE_EQ(ra->timestamp, rb->timestamp);
+  }
+}
+
+TEST(SyntheticTraceTest, RespectsMaxOps) {
+  SyntheticTrace t(TinyProfile(), 0, 1, 50);
+  int count = 0;
+  while (t.Next()) ++count;
+  EXPECT_EQ(count, 50);
+}
+
+TEST(SyntheticTraceTest, TimestampsMonotone) {
+  SyntheticTrace t(TinyProfile(), 0, 2, 500);
+  double prev = -1;
+  while (auto rec = t.Next()) {
+    EXPECT_GT(rec->timestamp, prev);
+    prev = rec->timestamp;
+  }
+}
+
+TEST(SyntheticTraceTest, PathsStableAndScoped) {
+  SyntheticTrace t(TinyProfile(), 3, 1);
+  EXPECT_EQ(t.PathOfFile(5), t.PathOfFile(5));
+  EXPECT_NE(t.PathOfFile(5), t.PathOfFile(6));
+  EXPECT_EQ(t.PathOfFile(0).rfind("/t3/", 0), 0u) << t.PathOfFile(0);
+}
+
+TEST(SyntheticTraceTest, OpMixTracksProfile) {
+  auto p = TinyProfile();
+  p.stat_fraction = 0.70;
+  p.open_fraction = 0.12;
+  p.close_fraction = 0.12;
+  p.create_fraction = 0.04;
+  p.unlink_fraction = 0.02;
+  SyntheticTrace t(p, 0, 11, 50000);
+  TraceStats stats;
+  while (auto rec = t.Next()) stats.Observe(*rec);
+  const double total = static_cast<double>(stats.total_ops());
+  EXPECT_NEAR(stats.stats() / total, 0.70, 0.02);
+  EXPECT_NEAR(stats.opens() / total, 0.12, 0.01);
+  EXPECT_NEAR(stats.closes() / total, 0.12, 0.01);
+  EXPECT_NEAR(stats.creates() / total, 0.04, 0.01);
+}
+
+TEST(SyntheticTraceTest, CreatesAreFreshFiles) {
+  SyntheticTrace t(TinyProfile(), 0, 3, 20000);
+  std::set<std::string> created;
+  while (auto rec = t.Next()) {
+    if (rec->op == OpType::kCreate) {
+      EXPECT_TRUE(created.insert(rec->path).second)
+          << "duplicate create " << rec->path;
+    }
+  }
+  EXPECT_GT(created.size(), 0u);
+}
+
+TEST(SyntheticTraceTest, UnlinksOnlyCreatedFiles) {
+  SyntheticTrace t(TinyProfile(), 0, 4, 20000);
+  std::set<std::string> created;
+  while (auto rec = t.Next()) {
+    if (rec->op == OpType::kCreate) created.insert(rec->path);
+    if (rec->op == OpType::kUnlink) {
+      EXPECT_TRUE(created.count(rec->path)) << rec->path;
+      created.erase(rec->path);  // no double unlink
+    }
+  }
+}
+
+TEST(SyntheticTraceTest, AccessSkewConcentratesOnActiveSet) {
+  auto p = TinyProfile();
+  p.zipf_skew = 1.0;
+  SyntheticTrace t(p, 0, 5, 30000);
+  std::unordered_map<std::string, int> freq;
+  while (auto rec = t.Next()) ++freq[rec->path];
+  // Top-1% of touched files should absorb a large share of traffic.
+  std::vector<int> counts;
+  counts.reserve(freq.size());
+  int total = 0;
+  for (const auto& [path, c] : freq) {
+    counts.push_back(c);
+    total += c;
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  int head = 0;
+  const std::size_t head_n = std::max<std::size_t>(counts.size() / 100, 1);
+  for (std::size_t i = 0; i < head_n; ++i) head += counts[i];
+  EXPECT_GT(static_cast<double>(head) / total, 0.10);
+}
+
+TEST(IntensifiedTraceTest, MergesByTimestamp) {
+  IntensifiedTrace trace(TinyProfile(), 4, 9, 2000);
+  double prev = 0;
+  std::set<std::uint32_t> subtraces;
+  while (auto rec = trace.Next()) {
+    EXPECT_GE(rec->timestamp, prev);
+    prev = rec->timestamp;
+    subtraces.insert(rec->subtrace);
+  }
+  EXPECT_EQ(subtraces.size(), 4u);
+}
+
+TEST(IntensifiedTraceTest, SubtraceNamespacesDisjoint) {
+  IntensifiedTrace trace(TinyProfile(), 3, 10, 3000);
+  while (auto rec = trace.Next()) {
+    const std::string expected_prefix = "/t" + std::to_string(rec->subtrace) + "/";
+    EXPECT_EQ(rec->path.rfind(expected_prefix, 0), 0u) << rec->path;
+  }
+}
+
+TEST(IntensifiedTraceTest, RespectsTotalOps) {
+  IntensifiedTrace trace(TinyProfile(), 5, 11, 1234);
+  int count = 0;
+  while (trace.Next()) ++count;
+  EXPECT_EQ(count, 1234);
+}
+
+TEST(IntensifiedTraceTest, InitialFileCountScalesWithTif) {
+  IntensifiedTrace t1(TinyProfile(), 1, 1, 10);
+  IntensifiedTrace t4(TinyProfile(), 4, 1, 10);
+  EXPECT_EQ(t4.InitialFileCount(), 4 * t1.InitialFileCount());
+  std::size_t seen = 0;
+  t4.ForEachInitialFile([&](const std::string&) { ++seen; });
+  EXPECT_EQ(seen, t4.InitialFileCount());
+}
+
+TEST(IntensifiedTraceTest, HigherTifIsHigherIntensity) {
+  // Same wall-clock span must contain ~TIF times the operations.
+  IntensifiedTrace t1(TinyProfile(), 1, 5, 5000);
+  IntensifiedTrace t5(TinyProfile(), 5, 5, 5000);
+  double end1 = 0, end5 = 0;
+  while (auto r = t1.Next()) end1 = r->timestamp;
+  while (auto r = t5.Next()) end5 = r->timestamp;
+  // 5000 ops spread over ~5x the arrival rate -> ~1/5 the duration.
+  EXPECT_LT(end5, end1 * 0.4);
+}
+
+TEST(VectorTraceTest, ReplaysInOrder) {
+  std::vector<TraceRecord> recs(3);
+  recs[0].path = "/a";
+  recs[1].path = "/b";
+  recs[2].path = "/c";
+  VectorTrace t(std::move(recs));
+  EXPECT_EQ(t.Next()->path, "/a");
+  EXPECT_EQ(t.Next()->path, "/b");
+  EXPECT_EQ(t.Next()->path, "/c");
+  EXPECT_FALSE(t.Next().has_value());
+}
+
+}  // namespace
+}  // namespace ghba

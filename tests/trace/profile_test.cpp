@@ -1,0 +1,62 @@
+#include "trace/profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+class ProfileTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileTest, FractionsFormADistribution) {
+  const auto p = ProfileByName(GetParam());
+  const double sum = p.open_fraction + p.close_fraction + p.stat_fraction +
+                     p.create_fraction + p.unlink_fraction;
+  EXPECT_GT(sum, 0.95);
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(p.stat_fraction, 0);
+  EXPECT_GT(p.open_fraction, 0);
+}
+
+TEST_P(ProfileTest, PopulationsSane) {
+  const auto p = ProfileByName(GetParam());
+  EXPECT_GT(p.total_files, 0u);
+  EXPECT_LE(p.active_files, p.total_files);
+  EXPECT_GT(p.users, 0u);
+  EXPECT_GT(p.hosts, 0u);
+  EXPECT_GT(p.ops_per_second, 0);
+  EXPECT_GT(p.zipf_skew, 0);
+  EXPECT_GE(p.rereference_prob, 0);
+  EXPECT_LE(p.rereference_prob, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Named, ProfileTest,
+                         ::testing::Values("ins", "res", "hp"));
+
+TEST(ProfileLookupTest, CaseInsensitive) {
+  EXPECT_EQ(ProfileByName("HP").name, "HP");
+  EXPECT_EQ(ProfileByName("Ins").name, "INS");
+}
+
+TEST(ProfileLookupTest, UnknownThrows) {
+  EXPECT_THROW(ProfileByName("nfs"), std::invalid_argument);
+}
+
+// The published op mixes: RES is by far the most stat-heavy (Table 3).
+TEST(ProfileShapeTest, ResIsMostStatHeavy) {
+  EXPECT_GT(ResProfile().stat_fraction, InsProfile().stat_fraction);
+  EXPECT_GT(ResProfile().stat_fraction, HpProfile().stat_fraction);
+  // INS open+close share exceeds RES's (1196+1215 vs 497+558 out of totals).
+  EXPECT_GT(InsProfile().open_fraction + InsProfile().close_fraction,
+            ResProfile().open_fraction + ResProfile().close_fraction);
+}
+
+TEST(ProfileShapeTest, HpActiveRatioMatchesTable4) {
+  const auto hp = HpProfile();
+  // Table 4: 0.969M active of 4.0M total ~= 24%.
+  const double ratio = static_cast<double>(hp.active_files) /
+                       static_cast<double>(hp.total_files);
+  EXPECT_NEAR(ratio, 0.969 / 4.0, 0.02);
+}
+
+}  // namespace
+}  // namespace ghba

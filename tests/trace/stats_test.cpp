@@ -1,0 +1,73 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TraceRecord Rec(OpType op, const std::string& path, std::uint32_t user = 0,
+                std::uint32_t host = 0, std::uint32_t subtrace = 0,
+                double ts = 0) {
+  TraceRecord r;
+  r.op = op;
+  r.path = path;
+  r.user = user;
+  r.host = host;
+  r.subtrace = subtrace;
+  r.timestamp = ts;
+  return r;
+}
+
+TEST(TraceStatsTest, CountsPerOpType) {
+  TraceStats s;
+  s.Observe(Rec(OpType::kOpen, "/a"));
+  s.Observe(Rec(OpType::kOpen, "/a"));
+  s.Observe(Rec(OpType::kClose, "/a"));
+  s.Observe(Rec(OpType::kStat, "/b"));
+  s.Observe(Rec(OpType::kCreate, "/c"));
+  s.Observe(Rec(OpType::kUnlink, "/c"));
+  EXPECT_EQ(s.opens(), 2u);
+  EXPECT_EQ(s.closes(), 1u);
+  EXPECT_EQ(s.stats(), 1u);
+  EXPECT_EQ(s.creates(), 1u);
+  EXPECT_EQ(s.unlinks(), 1u);
+  EXPECT_EQ(s.total_ops(), 6u);
+}
+
+TEST(TraceStatsTest, DistinctEntities) {
+  TraceStats s;
+  s.Observe(Rec(OpType::kStat, "/x", 1, 1, 0));
+  s.Observe(Rec(OpType::kStat, "/x", 1, 1, 0));
+  s.Observe(Rec(OpType::kStat, "/y", 2, 1, 0));
+  EXPECT_EQ(s.distinct_files(), 2u);
+  EXPECT_EQ(s.distinct_users(), 2u);
+  EXPECT_EQ(s.distinct_hosts(), 1u);
+}
+
+TEST(TraceStatsTest, SubtracesDisjointUsers) {
+  // The same user id in different subtraces is a different person (the
+  // paper forces disjoint IDs during intensification).
+  TraceStats s;
+  s.Observe(Rec(OpType::kStat, "/t0/x", 5, 2, 0));
+  s.Observe(Rec(OpType::kStat, "/t1/x", 5, 2, 1));
+  EXPECT_EQ(s.distinct_users(), 2u);
+  EXPECT_EQ(s.distinct_hosts(), 2u);
+}
+
+TEST(TraceStatsTest, DurationTracksMaxTimestamp) {
+  TraceStats s;
+  s.Observe(Rec(OpType::kStat, "/a", 0, 0, 0, 5.0));
+  s.Observe(Rec(OpType::kStat, "/a", 0, 0, 0, 3.0));
+  EXPECT_DOUBLE_EQ(s.duration_seconds(), 5.0);
+}
+
+TEST(TraceStatsTest, TableContainsCounts) {
+  TraceStats s;
+  s.Observe(Rec(OpType::kOpen, "/a"));
+  const std::string table = s.ToTable("TEST TRACE");
+  EXPECT_NE(table.find("TEST TRACE"), std::string::npos);
+  EXPECT_NE(table.find("open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -1,0 +1,145 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ghba {
+namespace {
+
+TEST(TraceIoTest, ParseMinimalLine) {
+  const auto rec = ParseTraceLine("1.5 stat /a/b");
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_DOUBLE_EQ(rec->timestamp, 1.5);
+  EXPECT_EQ(rec->op, OpType::kStat);
+  EXPECT_EQ(rec->path, "/a/b");
+  EXPECT_EQ(rec->user, 0u);
+}
+
+TEST(TraceIoTest, ParseFullLine) {
+  const auto rec = ParseTraceLine("0.25 open /x/y.dat 42 7 3");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->op, OpType::kOpen);
+  EXPECT_EQ(rec->user, 42u);
+  EXPECT_EQ(rec->host, 7u);
+  EXPECT_EQ(rec->subtrace, 3u);
+}
+
+TEST(TraceIoTest, ParseAllOps) {
+  for (const auto op :
+       {OpType::kOpen, OpType::kClose, OpType::kStat, OpType::kCreate,
+        OpType::kUnlink}) {
+    const std::string line = std::string("1 ") + OpTypeName(op) + " /f";
+    const auto rec = ParseTraceLine(line);
+    ASSERT_TRUE(rec.ok()) << line;
+    EXPECT_EQ(rec->op, op);
+  }
+}
+
+TEST(TraceIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseTraceLine("").ok());
+  EXPECT_FALSE(ParseTraceLine("abc stat /a").ok());       // bad timestamp
+  EXPECT_FALSE(ParseTraceLine("-1 stat /a").ok());        // negative ts
+  EXPECT_FALSE(ParseTraceLine("1.0 frobnicate /a").ok()); // unknown op
+  EXPECT_FALSE(ParseTraceLine("1.0 stat").ok());          // missing path
+  EXPECT_FALSE(ParseTraceLine("1.0 stat relative/p").ok());
+  EXPECT_FALSE(ParseTraceLine("1.0 stat /a 1 2 3 junk").ok());
+  EXPECT_FALSE(ParseTraceLine("1.5x stat /a").ok());      // trailing in ts
+}
+
+TEST(TraceIoTest, ErrorsNameTheLine) {
+  const auto rec = ParseTraceLine("nope stat /a", 17);
+  ASSERT_FALSE(rec.ok());
+  EXPECT_NE(rec.status().message().find("line 17"), std::string::npos);
+}
+
+TEST(TraceIoTest, FormatParseRoundTrip) {
+  TraceRecord rec;
+  rec.timestamp = 123.456789;
+  rec.op = OpType::kCreate;
+  rec.path = "/deep/nested/file.bin";
+  rec.user = 9;
+  rec.host = 4;
+  rec.subtrace = 2;
+  const auto parsed = ParseTraceLine(FormatTraceRecord(rec));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NEAR(parsed->timestamp, rec.timestamp, 1e-6);
+  EXPECT_EQ(parsed->op, rec.op);
+  EXPECT_EQ(parsed->path, rec.path);
+  EXPECT_EQ(parsed->user, rec.user);
+  EXPECT_EQ(parsed->host, rec.host);
+  EXPECT_EQ(parsed->subtrace, rec.subtrace);
+}
+
+TEST(TraceIoTest, StreamRoundTripWithCommentsAndBlanks) {
+  std::vector<TraceRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    TraceRecord rec;
+    rec.timestamp = i * 0.5;
+    rec.op = (i % 2) ? OpType::kStat : OpType::kOpen;
+    rec.path = "/t0/f" + std::to_string(i);
+    rec.user = static_cast<std::uint32_t>(i);
+    records.push_back(rec);
+  }
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveTrace(buffer, records).ok());
+  buffer << "\n# trailing comment\n   \n";
+
+  const auto loaded = LoadTrace(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].path, records[i].path);
+    EXPECT_EQ((*loaded)[i].op, records[i].op);
+  }
+}
+
+TEST(TraceIoTest, LoadFailsOnFirstBadLine) {
+  std::stringstream buffer;
+  buffer << "1.0 stat /good\n";
+  buffer << "2.0 bogus /bad\n";
+  const auto loaded = LoadTrace(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ghba_trace_test.txt";
+  std::vector<TraceRecord> records(3);
+  records[0] = {0.1, OpType::kCreate, "/a", 1, 1, 0};
+  records[1] = {0.2, OpType::kStat, "/a", 1, 1, 0};
+  records[2] = {0.3, OpType::kUnlink, "/a", 1, 1, 0};
+  ASSERT_TRUE(SaveTraceFile(path, records).ok());
+  const auto loaded = LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[2].op, OpType::kUnlink);
+}
+
+TEST(TraceIoTest, MissingFileReported) {
+  EXPECT_EQ(LoadTraceFile("/no/such/file.trace").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TraceIoTest, MaterializeSyntheticTrace) {
+  WorkloadProfile profile = HpProfile();
+  profile.total_files = 500;
+  profile.active_files = 100;
+  SyntheticTrace synth(profile, 0, 3);
+  const auto records = Materialize(synth, 100);
+  EXPECT_EQ(records.size(), 100u);
+  // Materialized synthetic traces must round-trip through the text format.
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveTrace(buffer, records).ok());
+  const auto loaded = LoadTrace(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), records.size());
+  // ... and replay through a VectorTrace.
+  VectorTrace replay(*loaded);
+  int count = 0;
+  while (replay.Next()) ++count;
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace ghba

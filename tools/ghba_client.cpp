@@ -1,0 +1,123 @@
+// ghba_client — poke a running mds_daemon over the wire.
+//
+//   $ ghba_client <port> ping
+//   $ ghba_client <port> insert </path> [inode]
+//   $ ghba_client <port> verify </path>
+//   $ ghba_client <port> unlink </path>
+//   $ ghba_client <port> stats
+//   $ ghba_client <port> shutdown
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "rpc/protocol.hpp"
+#include "rpc/socket.hpp"
+
+using namespace ghba;
+
+namespace {
+
+int PrintStatus(const std::vector<std::uint8_t>& resp) {
+  ByteReader in(resp);
+  const auto env = OpenEnvelope(in);
+  if (!env.ok()) {
+    std::fprintf(stderr, "bad response: %s\n", env.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", env->status.ToString().c_str());
+  return env->status.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <port> <ping|insert|verify|unlink|stats|shutdown> "
+                 "[args]\n",
+                 argv[0]);
+    return 2;
+  }
+  const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  const std::string cmd = argv[2];
+
+  auto conn = TcpConnection::Connect(port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto call = [&](const std::vector<std::uint8_t>& frame)
+      -> Result<std::vector<std::uint8_t>> {
+    if (const auto s = conn->SendFrame(frame); !s.ok()) return s;
+    return conn->RecvFrame();
+  };
+
+  if (cmd == "ping") {
+    auto resp = call(EncodeHeader(MsgType::kPing));
+    if (!resp.ok()) return 1;
+    return PrintStatus(*resp);
+  }
+  if (cmd == "insert") {
+    if (argc < 4) {
+      std::fprintf(stderr, "insert needs a path\n");
+      return 2;
+    }
+    FileMetadata md;
+    md.inode = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    auto resp = call(EncodeInsert(argv[3], md));
+    if (!resp.ok()) return 1;
+    return PrintStatus(*resp);
+  }
+  if (cmd == "verify") {
+    if (argc < 4) {
+      std::fprintf(stderr, "verify needs a path\n");
+      return 2;
+    }
+    auto resp = call(EncodePathRequest(MsgType::kVerify, argv[3]));
+    if (!resp.ok()) return 1;
+    ByteReader in(*resp);
+    const auto env = OpenEnvelope(in);
+    if (!env.ok() || !env->has_payload) return 1;
+    const auto found = DecodeBoolResp(in);
+    if (!found.ok()) return 1;
+    std::printf("%s\n", *found ? "present" : "absent");
+    return *found ? 0 : 3;
+  }
+  if (cmd == "unlink") {
+    if (argc < 4) {
+      std::fprintf(stderr, "unlink needs a path\n");
+      return 2;
+    }
+    auto resp = call(EncodePathRequest(MsgType::kUnlink, argv[3]));
+    if (!resp.ok()) return 1;
+    return PrintStatus(*resp);
+  }
+  if (cmd == "stats") {
+    auto resp = call(EncodeHeader(MsgType::kGetStats));
+    if (!resp.ok()) return 1;
+    ByteReader in(*resp);
+    const auto env = OpenEnvelope(in);
+    if (!env.ok() || !env->has_payload) return 1;
+    const auto stats = DecodeStatsResp(in);
+    if (!stats.ok()) return 1;
+    std::printf("frames_in=%llu frames_out=%llu files=%llu replicas=%llu\n",
+                static_cast<unsigned long long>(stats->frames_in),
+                static_cast<unsigned long long>(stats->frames_out),
+                static_cast<unsigned long long>(stats->files),
+                static_cast<unsigned long long>(stats->replicas));
+    return 0;
+  }
+  if (cmd == "shutdown") {
+    if (const auto s = conn->SendFrame(EncodeHeader(MsgType::kShutdown));
+        !s.ok()) {
+      return 1;
+    }
+    std::printf("shutdown sent\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
