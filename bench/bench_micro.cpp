@@ -15,6 +15,8 @@
 #include "bloom/scalable_filter.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "core/ghba_cluster.hpp"
+#include "core/hba_cluster.hpp"
 #include "hash/murmur3.hpp"
 #include "hash/xx64.hpp"
 
@@ -144,6 +146,110 @@ void BM_CompressSparseFilter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompressSparseFilter);
+
+// End-to-end lookup throughput through the full query hierarchy. These are
+// the headline numbers for the digest-once fast path: a lookup probes many
+// filters (L1 homes, L2 replicas, per-member L3 probes, per-MDS L4 screens)
+// that should all be served by one Murmur3 digest per distinct seed.
+ClusterConfig LookupBenchConfig() {
+  ClusterConfig c;
+  c.num_mds = 30;
+  c.max_group_size = 6;
+  c.expected_files_per_mds = 4096;
+  c.lru_capacity = 1024;
+  c.publish_after_mutations = 1u << 30;  // publish once, via FlushReplicas
+  return c;
+}
+
+void BM_GhbaLookupHit(benchmark::State& state) {
+  const auto paths = MakePaths(16384);
+  GhbaCluster cluster(LookupBenchConfig());
+  for (const auto& p : paths) (void)cluster.CreateFile(p, FileMetadata{}, 0);
+  cluster.FlushReplicas(0);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.Lookup(paths[i++ & 16383], 0));
+  }
+}
+BENCHMARK(BM_GhbaLookupHit);
+
+void BM_GhbaLookupMiss(benchmark::State& state) {
+  const auto paths = MakePaths(16384);
+  GhbaCluster cluster(LookupBenchConfig());
+  for (const auto& p : paths) (void)cluster.CreateFile(p, FileMetadata{}, 0);
+  cluster.FlushReplicas(0);
+  // Absent paths walk all four levels and screen every alive MDS at L4.
+  std::vector<std::string> absent;
+  absent.reserve(4096);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    absent.push_back("/absent/d" + std::to_string(i % 64) + "/f" +
+                     std::to_string(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.Lookup(absent[i++ & 4095], 0));
+  }
+}
+BENCHMARK(BM_GhbaLookupMiss);
+
+void BM_HbaLookupMiss(benchmark::State& state) {
+  const auto paths = MakePaths(16384);
+  HbaCluster cluster(LookupBenchConfig());
+  for (const auto& p : paths) (void)cluster.CreateFile(p, FileMetadata{}, 0);
+  cluster.FlushReplicas(0);
+  std::vector<std::string> absent;
+  absent.reserve(4096);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    absent.push_back("/absent/d" + std::to_string(i % 64) + "/f" +
+                     std::to_string(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.Lookup(absent[i++ & 4095], 0));
+  }
+}
+BENCHMARK(BM_HbaLookupMiss);
+
+// L1 probe cost after heavy home churn. Entries cycle through many distinct
+// homes in blocks so earlier homes' filters drain entirely; probe cost must
+// track the *live* home count, not every home ever cached.
+void BM_LruChurnedQuery(benchmark::State& state) {
+  LruBloomArray::Options options;
+  options.capacity = 1024;
+  LruBloomArray lru(options);
+  std::vector<std::string> keys;
+  keys.reserve(64 * 1024);
+  for (std::size_t block = 0; block < 64; ++block) {
+    for (std::size_t i = 0; i < 1024; ++i) {
+      keys.push_back("/churn/b" + std::to_string(block) + "/f" +
+                     std::to_string(i));
+      lru.Touch(keys.back(), static_cast<MdsId>(block * 8 + i % 8));
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lru.Query(keys[i++ & (64 * 1024 - 1)]));
+  }
+}
+BENCHMARK(BM_LruChurnedQuery);
+
+// The paper's deployment case: every replica shares one geometry/seed, so a
+// single digest should serve the entire array.
+void BM_ArrayQueryShared(benchmark::State& state) {
+  const auto theta = static_cast<std::uint32_t>(state.range(0));
+  BloomFilterArray array;
+  const auto paths = MakePaths(4096);
+  for (std::uint32_t f = 0; f < theta; ++f) {
+    auto bf = BloomFilter::ForCapacity(10000, 16.0, 1234);
+    for (std::size_t i = f; i < paths.size(); i += theta) bf.Add(paths[i]);
+    (void)array.AddEntry(f, std::move(bf));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.QueryShared(paths[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_ArrayQueryShared)->Arg(4)->Arg(10)->Arg(30)->Arg(100);
 
 void BM_FilterSerialize(benchmark::State& state) {
   auto bf = BloomFilter::ForCapacity(100000, 16.0);

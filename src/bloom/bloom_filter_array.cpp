@@ -62,9 +62,12 @@ ArrayQueryResult Classify(std::vector<MdsId> hits) {
 }  // namespace
 
 ArrayQueryResult BloomFilterArray::Query(std::string_view key) const {
+  QueryDigest digest(key);
   std::vector<MdsId> hits;
   for (const Entry& e : entries_) {
-    if (e.filter.MayContain(key)) hits.push_back(e.owner);
+    if (e.filter.MayContain(digest.For(e.filter.seed()))) {
+      hits.push_back(e.owner);
+    }
   }
   return Classify(std::move(hits));
 }
@@ -79,17 +82,25 @@ bool BloomFilterArray::UniformGeometry() const {
 }
 
 ArrayQueryResult BloomFilterArray::QueryShared(std::string_view key) const {
-  if (entries_.empty()) return ArrayQueryResult{};
-  const std::uint64_t shared_seed = entries_.front().filter.seed();
-  const Hash128 digest = Murmur3_128(key, shared_seed);
+  QueryDigest digest(key);
+  return QueryShared(digest);
+}
+
+ArrayQueryResult BloomFilterArray::QueryShared(QueryDigest& digest) const {
   std::vector<MdsId> hits;
-  for (const Entry& e : entries_) {
-    const bool hit = e.filter.seed() == shared_seed
-                         ? e.filter.MayContain(digest)
-                         : e.filter.MayContain(key);
-    if (hit) hits.push_back(e.owner);
-  }
+  QuerySharedInto(digest, hits);
   return Classify(std::move(hits));
+}
+
+std::size_t BloomFilterArray::QuerySharedInto(QueryDigest& digest,
+                                              std::vector<MdsId>& hits) const {
+  const std::size_t before = hits.size();
+  for (const Entry& e : entries_) {
+    if (e.filter.MayContain(digest.For(e.filter.seed()))) {
+      hits.push_back(e.owner);
+    }
+  }
+  return hits.size() - before;
 }
 
 std::vector<MdsId> BloomFilterArray::Owners() const {

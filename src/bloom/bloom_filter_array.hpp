@@ -15,6 +15,7 @@
 #include "bloom/bloom_filter.hpp"
 #include "common/status.hpp"
 #include "hash/murmur3.hpp"
+#include "hash/query_digest.hpp"
 
 namespace ghba {
 
@@ -50,15 +51,26 @@ class BloomFilterArray {
   const BloomFilter* Find(MdsId owner) const;
   BloomFilter* FindMutable(MdsId owner);
 
-  /// Unique-hit membership query. Hashes the key per entry (entries may
-  /// have distinct seeds).
+  /// Unique-hit membership query. Entries may have distinct seeds; the key
+  /// is hashed at most once per distinct seed.
   ArrayQueryResult Query(std::string_view key) const;
 
   /// Fast path when every entry shares one geometry/seed (the G-HBA/HBA
   /// deployment: all local filters are interchangeable replicas): one
-  /// digest serves all probes. Falls back to per-entry hashing for entries
-  /// whose seed differs.
+  /// digest serves all probes. Entries whose seed differs are re-hashed,
+  /// once per distinct seed (the digest-once contract).
   ArrayQueryResult QueryShared(std::string_view key) const;
+
+  /// Digest-once form: probes with digests drawn from `digest`'s per-seed
+  /// cache, so a caller that has already hashed the path for another filter
+  /// of the same seed pays nothing here.
+  ArrayQueryResult QueryShared(QueryDigest& digest) const;
+
+  /// Allocation-free form of QueryShared for hot paths: appends every
+  /// positive entry's owner to `hits` (which is NOT cleared) and returns
+  /// the number appended. Callers classify the combined hit set themselves.
+  std::size_t QuerySharedInto(QueryDigest& digest,
+                              std::vector<MdsId>& hits) const;
 
   /// True when all entries share bits/k/seed (QueryShared's fast path).
   bool UniformGeometry() const;

@@ -7,17 +7,27 @@ namespace ghba {
 
 namespace {
 // Index key: fold the 128-bit digest to 64 bits. With LRU capacities in the
-// thousands, a 64-bit collision is vanishingly unlikely; a collision would
-// only conflate two cache entries, never corrupt the filters (we store the
-// full digest in the entry and remove by it).
-inline std::uint64_t IndexKey(const Hash128& d) {
+// thousands a fold collision is vanishingly unlikely, but it is not
+// impossible: Touch/Invalidate therefore compare the stored 128-bit digest
+// before treating an index hit as the same key, so two distinct paths are
+// never conflated (a colliding newcomer evicts the incumbent instead).
+inline std::uint64_t FoldDigest(const Hash128& d) {
   return d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL);
 }
 }  // namespace
 
-LruBloomArray::LruBloomArray(Options options) : options_(options) {
+LruBloomArray::LruBloomArray(Options options)
+    : options_(options),
+      index_mask_(options.index_bits >= 64
+                      ? ~0ULL
+                      : (1ULL << options.index_bits) - 1) {
   assert(options_.capacity > 0);
   assert(options_.protected_fraction >= 0 && options_.protected_fraction < 1);
+  assert(options_.index_bits >= 1 && options_.index_bits <= 64);
+}
+
+std::uint64_t LruBloomArray::IndexKeyOf(const Hash128& digest) const {
+  return FoldDigest(digest) & index_mask_;
 }
 
 std::size_t LruBloomArray::ProtectedCapacity() const {
@@ -25,22 +35,33 @@ std::size_t LruBloomArray::ProtectedCapacity() const {
       static_cast<double>(options_.capacity) * options_.protected_fraction);
 }
 
-CountingBloomFilter& LruBloomArray::FilterFor(MdsId home) {
+LruBloomArray::HomeFilter& LruBloomArray::FilterFor(MdsId home) {
   auto it = filters_.find(home);
   if (it == filters_.end()) {
     // Each home's filter is sized for the whole cache capacity so that any
     // skew of cached entries across homes stays within the design load.
     auto cbf = CountingBloomFilter::ForCapacity(
         options_.capacity, options_.counters_per_item, options_.seed);
-    it = filters_.emplace(home, std::move(cbf)).first;
+    it = filters_.emplace(home, HomeFilter{std::move(cbf), 0}).first;
   }
   return it->second;
 }
 
+void LruBloomArray::AddToFilter(const CacheEntry& entry) {
+  HomeFilter& hf = FilterFor(entry.home);
+  hf.filter.Add(entry.digest);
+  ++hf.entries;
+}
+
 void LruBloomArray::RemoveFromFilter(const CacheEntry& entry) {
-  auto it = filters_.find(entry.home);
+  const auto it = filters_.find(entry.home);
   assert(it != filters_.end());
-  if (it != filters_.end()) it->second.Remove(entry.digest);
+  if (it == filters_.end()) return;
+  it->second.filter.Remove(entry.digest);
+  assert(it->second.entries > 0);
+  // Erase a drained filter: keeping it would make Query iterate (and
+  // MemoryBytes count) one dead filter per home ever cached, forever.
+  if (--it->second.entries == 0) filters_.erase(it);
 }
 
 void LruBloomArray::EraseEntry(std::uint64_t idx_key, const IndexEntry& where) {
@@ -54,16 +75,27 @@ void LruBloomArray::EvictOne() {
   // when probation is empty. Under kLru everything lives in probation.
   LruList& victim_list = probation_.empty() ? protected_ : probation_;
   assert(!victim_list.empty());
-  const CacheEntry& victim = victim_list.back();
-  RemoveFromFilter(victim);
-  index_.erase(IndexKey(victim.digest));
-  victim_list.pop_back();
+  const auto it = index_.find(IndexKeyOf(victim_list.back().digest));
+  assert(it != index_.end());
+  assert(it->second.it == std::prev(victim_list.end()));
+  EraseEntry(it->first, it->second);
 }
 
 void LruBloomArray::Touch(std::string_view key, MdsId home) {
-  const Hash128 digest = Murmur3_128(key, options_.seed);
-  const std::uint64_t idx = IndexKey(digest);
-  const auto it = index_.find(idx);
+  QueryDigest digest(key);
+  Touch(digest, home);
+}
+
+void LruBloomArray::Touch(QueryDigest& query, MdsId home) {
+  const Hash128& digest = query.For(options_.seed);
+  const std::uint64_t idx = IndexKeyOf(digest);
+  auto it = index_.find(idx);
+  if (it != index_.end() && it->second.it->digest != digest) {
+    // Fold collision with a different cached path. The index can track only
+    // one entry per key, so evict the incumbent and insert the newcomer.
+    EraseEntry(it->first, it->second);
+    it = index_.end();
+  }
   if (it != index_.end()) {
     IndexEntry& where = it->second;
     CacheEntry& entry = *where.it;
@@ -71,7 +103,7 @@ void LruBloomArray::Touch(std::string_view key, MdsId home) {
       // Home changed (migration): move the key between filters.
       RemoveFromFilter(entry);
       entry.home = home;
-      FilterFor(home).Add(digest);
+      AddToFilter(entry);
     }
     if (options_.policy == LruPolicy::kSlru && !where.in_protected) {
       // Re-reference promotes probation -> protected.
@@ -80,7 +112,7 @@ void LruBloomArray::Touch(std::string_view key, MdsId home) {
       if (protected_.size() > ProtectedCapacity()) {
         // Demote the protected segment's coldest entry back to probation.
         const auto demoted = std::prev(protected_.end());
-        auto& demoted_where = index_.at(IndexKey(demoted->digest));
+        auto& demoted_where = index_.at(IndexKeyOf(demoted->digest));
         probation_.splice(probation_.begin(), protected_, demoted);
         demoted_where.in_protected = false;
       }
@@ -93,13 +125,20 @@ void LruBloomArray::Touch(std::string_view key, MdsId home) {
   if (index_.size() >= options_.capacity) EvictOne();
   probation_.push_front(CacheEntry{digest, home});
   index_.emplace(idx, IndexEntry{false, probation_.begin()});
-  FilterFor(home).Add(digest);
+  AddToFilter(probation_.front());
 }
 
 void LruBloomArray::Invalidate(std::string_view key) {
-  const Hash128 digest = Murmur3_128(key, options_.seed);
-  const auto it = index_.find(IndexKey(digest));
+  QueryDigest digest(key);
+  Invalidate(digest);
+}
+
+void LruBloomArray::Invalidate(QueryDigest& query) {
+  const Hash128& digest = query.For(options_.seed);
+  const auto it = index_.find(IndexKeyOf(digest));
   if (it == index_.end()) return;
+  // A fold collision means the indexed entry is a *different* key; leave it.
+  if (it->second.it->digest != digest) return;
   EraseEntry(it->first, it->second);
 }
 
@@ -107,7 +146,7 @@ void LruBloomArray::DropHome(MdsId home) {
   for (LruList* list : {&probation_, &protected_}) {
     for (auto it = list->begin(); it != list->end();) {
       if (it->home == home) {
-        index_.erase(IndexKey(it->digest));
+        index_.erase(IndexKeyOf(it->digest));
         it = list->erase(it);
       } else {
         ++it;
@@ -118,23 +157,35 @@ void LruBloomArray::DropHome(MdsId home) {
 }
 
 ArrayQueryResult LruBloomArray::Query(std::string_view key) const {
-  const Hash128 digest = Murmur3_128(key, options_.seed);
+  QueryDigest digest(key);
+  return Query(digest);
+}
+
+ArrayQueryResult LruBloomArray::Query(QueryDigest& digest) const {
   ArrayQueryResult result;
-  for (const auto& [home, filter] : filters_) {
-    if (filter.MayContain(digest)) result.all_hits.push_back(home);
-  }
-  if (result.all_hits.size() == 1) {
-    result.kind = ArrayQueryResult::Kind::kUniqueHit;
-    result.owner = result.all_hits.front();
-  } else if (!result.all_hits.empty()) {
-    result.kind = ArrayQueryResult::Kind::kMultiHit;
-  }
+  Query(digest, result);
   return result;
+}
+
+void LruBloomArray::Query(QueryDigest& query, ArrayQueryResult& out) const {
+  out.kind = ArrayQueryResult::Kind::kZeroHit;
+  out.owner = kInvalidMds;
+  out.all_hits.clear();
+  const Hash128& digest = query.For(options_.seed);
+  for (const auto& [home, hf] : filters_) {
+    if (hf.filter.MayContain(digest)) out.all_hits.push_back(home);
+  }
+  if (out.all_hits.size() == 1) {
+    out.kind = ArrayQueryResult::Kind::kUniqueHit;
+    out.owner = out.all_hits.front();
+  } else if (!out.all_hits.empty()) {
+    out.kind = ArrayQueryResult::Kind::kMultiHit;
+  }
 }
 
 std::uint64_t LruBloomArray::MemoryBytes() const {
   std::uint64_t total = 0;
-  for (const auto& [home, filter] : filters_) total += filter.MemoryBytes();
+  for (const auto& [home, hf] : filters_) total += hf.filter.MemoryBytes();
   // List + index bookkeeping (approximate per-entry footprint).
   total += index_.size() * (sizeof(CacheEntry) + sizeof(IndexEntry) +
                             4 * sizeof(void*));

@@ -25,6 +25,7 @@
 #include "bloom/bloom_filter_array.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "hash/murmur3.hpp"
+#include "hash/query_digest.hpp"
 
 namespace ghba {
 
@@ -38,6 +39,10 @@ struct LruBloomArrayOptions {
   /// SLRU only: fraction of the capacity reserved for the protected
   /// segment (the classic choice is ~0.8).
   double protected_fraction = 0.8;
+  /// Width of the 64-bit index-key fold actually used (low bits kept).
+  /// Production leaves this at 64; tests narrow it to force index-key
+  /// collisions and exercise the collision-handling path deterministically.
+  std::uint32_t index_bits = 64;
 };
 
 class LruBloomArray {
@@ -50,16 +55,24 @@ class LruBloomArray {
   /// entry's replacement state; if the key was cached with a different
   /// home, the stale mapping is removed first.
   void Touch(std::string_view key, MdsId home);
+  /// Digest-once form: reuses the operation's cached digest for this
+  /// array's seed instead of re-hashing the key.
+  void Touch(QueryDigest& digest, MdsId home);
 
   /// Invalidate a cached key (e.g. after its metadata migrated or a lookup
   /// forwarded by L1 turned out wrong). No-op when absent.
   void Invalidate(std::string_view key);
+  void Invalidate(QueryDigest& digest);
 
   /// Drop every cached entry pointing at `home` (MDS departure/failure).
   void DropHome(MdsId home);
 
   /// Unique-hit query over the per-home filters.
   ArrayQueryResult Query(std::string_view key) const;
+  ArrayQueryResult Query(QueryDigest& digest) const;
+  /// Allocation-free form for hot paths: `out` is reset and refilled, so a
+  /// caller-owned result object's hit buffer is reused across queries.
+  void Query(QueryDigest& digest, ArrayQueryResult& out) const;
 
   std::size_t size() const { return index_.size(); }
   std::size_t capacity() const { return options_.capacity; }
@@ -83,18 +96,29 @@ class LruBloomArray {
     bool in_protected;
     LruList::iterator it;
   };
+  /// A home's counting filter plus the number of live cache entries in it.
+  /// The count is what lets eviction/invalidation erase a filter the moment
+  /// its last entry drains — otherwise `filters_` (and with it probe cost
+  /// and MemoryBytes) would grow with every home ever cached.
+  struct HomeFilter {
+    CountingBloomFilter filter;
+    std::size_t entries = 0;
+  };
 
-  CountingBloomFilter& FilterFor(MdsId home);
+  std::uint64_t IndexKeyOf(const Hash128& digest) const;
+  HomeFilter& FilterFor(MdsId home);
   void EvictOne();
+  void AddToFilter(const CacheEntry& entry);
   void RemoveFromFilter(const CacheEntry& entry);
   void EraseEntry(std::uint64_t idx_key, const IndexEntry& where);
   std::size_t ProtectedCapacity() const;
 
   Options options_;
+  std::uint64_t index_mask_;
   LruList probation_;  // front = most recent; kLru keeps everything here
   LruList protected_;  // SLRU's re-referenced segment
   std::unordered_map<std::uint64_t, IndexEntry> index_;
-  std::unordered_map<MdsId, CountingBloomFilter> filters_;
+  std::unordered_map<MdsId, HomeFilter> filters_;
 };
 
 }  // namespace ghba

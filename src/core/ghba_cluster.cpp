@@ -240,14 +240,12 @@ GhbaCluster::VerifyOutcome GhbaCluster::VerifyAt(MdsId candidate,
   return out;
 }
 
-std::vector<MdsId> GhbaCluster::LocalHits(MdsId holder,
-                                          const std::string& path) const {
+void GhbaCluster::LocalHitsInto(MdsId holder, QueryDigest& digest,
+                                std::vector<MdsId>& hits) const {
   const MdsNode& n = node(holder);
   // All replicas share one geometry/seed: one digest serves every probe.
-  auto result = n.segment().QueryShared(path);
-  std::vector<MdsId> hits = std::move(result.all_hits);
-  if (n.LocalFilterContains(path)) hits.push_back(holder);
-  return hits;
+  n.segment().QuerySharedInto(digest, hits);
+  if (n.LocalFilterContains(digest)) hits.push_back(holder);
 }
 
 LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
@@ -256,7 +254,11 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
   MdsNode& e = node(entry);
   double lat = 0;
   std::uint64_t msgs = 0;
-  std::vector<MdsId> already_verified;
+  // Digest-once: one QueryDigest per operation serves every filter probe in
+  // the four-level walk (and the Touch/Invalidate maintenance afterwards).
+  QueryDigest digest(path);
+  std::vector<MdsId>& already_verified = scratch_.already_verified;
+  already_verified.clear();
 
   const auto finish = [&](int level, bool found, MdsId home) {
     // Cooperative caching: an expensive (L3/L4) discovery is worth sharing
@@ -265,7 +267,7 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
       const Group& g = groups_.at(group_of_.at(entry));
       for (const MdsId m : g.members) {
         if (m == entry) continue;
-        node(m).lru().Touch(path, home);
+        node(m).lru().Touch(digest, home);
         ++msgs;  // one-way hint
       }
     }
@@ -319,25 +321,28 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
                  config_.latency.local_proc_ms +
                      config_.latency.ArrayProbe(
                          std::max<std::uint64_t>(e.lru().home_count(), 1)));
-  const auto l1 = e.lru().Query(path);
+  ArrayQueryResult& l1 = scratch_.l1;
+  e.lru().Query(digest, l1);
   if (l1.unique() && IsAlive(l1.owner)) {
     if (verify_candidate(l1.owner)) {
-      e.lru().Touch(path, l1.owner);
+      e.lru().Touch(digest, l1.owner);
       return finish(1, true, l1.owner);
     }
-    e.lru().Invalidate(path);  // stale cache entry
+    e.lru().Invalidate(digest);  // stale cache entry
   }
 
   // --- L2: local segment array (theta replicas + own filter) ---
   lat += ServeAt(entry, now_ms + lat, ProbeCost(entry, e.segment().size() + 1));
-  const auto l2_hits = LocalHits(entry, path);
+  std::vector<MdsId>& l2_hits = scratch_.l2_hits;
+  l2_hits.clear();
+  LocalHitsInto(entry, digest, l2_hits);
   if (l2_hits.size() == 1) {
     const MdsId candidate = l2_hits.front();
     const bool fresh = std::find(already_verified.begin(),
                                  already_verified.end(),
                                  candidate) == already_verified.end();
     if (fresh && verify_candidate(candidate)) {
-      e.lru().Touch(path, candidate);
+      e.lru().Touch(digest, candidate);
       return finish(2, true, candidate);
     }
   }
@@ -350,7 +355,8 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
     const double mcast = config_.latency.Multicast(peers);
 
     double slowest_peer = 0;
-    std::vector<MdsId> candidates(l2_hits);  // entry's own hits participate
+    std::vector<MdsId>& candidates = scratch_.candidates;
+    candidates.assign(l2_hits.begin(), l2_hits.end());  // entry's own hits
     for (const MdsId m : g.members) {
       if (m == entry) continue;
       const double work =
@@ -358,7 +364,7 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
           ProbeCost(m, node(m).segment().size() + 1);
       slowest_peer =
           std::max(slowest_peer, ServeAt(m, now_ms + lat + mcast, work));
-      for (const MdsId h : LocalHits(m, path)) candidates.push_back(h);
+      LocalHitsInto(m, digest, candidates);
     }
     lat += mcast + slowest_peer;
 
@@ -371,7 +377,7 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
         continue;
       }
       if (verify_candidate(c)) {
-        e.lru().Touch(path, c);
+        e.lru().Touch(digest, c);
         return finish(3, true, c);
       }
     }
@@ -386,7 +392,7 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
   MdsId found_home = kInvalidMds;
   for (const MdsId m : alive_) {
     double work = config_.latency.local_proc_ms + config_.latency.ArrayProbe(1);
-    bool positive = node(m).LocalFilterContains(path);
+    bool positive = node(m).LocalFilterContains(digest);
     bool found_here = false;
     if (positive) {
       const auto v = VerifyAt(m, path);
@@ -399,7 +405,7 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
   }
   lat += gcast + slowest_verify;
   if (found_home != kInvalidMds) {
-    e.lru().Touch(path, found_home);
+    e.lru().Touch(digest, found_home);
     return finish(4, true, found_home);
   }
   return finish(4, false, kInvalidMds);

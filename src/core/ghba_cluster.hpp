@@ -15,6 +15,7 @@
 
 #include "core/cluster.hpp"
 #include "core/group.hpp"
+#include "hash/query_digest.hpp"
 
 namespace ghba {
 
@@ -87,8 +88,21 @@ class GhbaCluster final : public ClusterBase {
   /// cache model). Does not include network cost.
   VerifyOutcome VerifyAt(MdsId candidate, const std::string& path);
 
-  /// Collect membership hits on `holder`'s segment array + own filter.
-  std::vector<MdsId> LocalHits(MdsId holder, const std::string& path) const;
+  /// Append membership hits on `holder`'s segment array + own filter to
+  /// `hits` (not cleared). Digest-once: probes reuse `digest`'s per-seed
+  /// cache instead of re-hashing the path per filter.
+  void LocalHitsInto(MdsId holder, QueryDigest& digest,
+                     std::vector<MdsId>& hits) const;
+
+  /// Scratch buffers reused across Lookup calls so the hot path performs no
+  /// transient allocations. Lookup is not re-entrant (single simulation
+  /// thread), which makes member-owned scratch safe.
+  struct LookupScratch {
+    ArrayQueryResult l1;
+    std::vector<MdsId> l2_hits;
+    std::vector<MdsId> candidates;
+    std::vector<MdsId> already_verified;
+  };
 
   // --- replica management ---
   void InstallReplica(Group& g, MdsId owner, MdsId holder,
@@ -119,6 +133,7 @@ class GhbaCluster final : public ClusterBase {
   std::unordered_map<MdsId, GroupId> group_of_;
   GroupId next_group_id_ = 0;
   std::uint64_t lost_files_ = 0;
+  LookupScratch scratch_;
 };
 
 }  // namespace ghba

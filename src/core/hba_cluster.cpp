@@ -48,7 +48,10 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
   MdsNode& e = node(entry);
   double lat = ServeAt(entry, now_ms, config_.latency.local_proc_ms);
   std::uint64_t msgs = 0;
-  std::vector<MdsId> already_verified;
+  // Digest-once: one hash per distinct filter seed for the whole lookup.
+  QueryDigest digest(path);
+  std::vector<MdsId>& already_verified = scratch_.already_verified;
+  already_verified.clear();
 
   const auto finish = [&](int level, bool found, MdsId home) {
     res.found = found;
@@ -97,28 +100,31 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
     lat += ServeAt(entry, now_ms + lat,
                    config_.latency.ArrayProbe(
                        std::max<std::uint64_t>(e.lru().home_count(), 1)));
-    const auto l1 = e.lru().Query(path);
+    ArrayQueryResult& l1 = scratch_.l1;
+    e.lru().Query(digest, l1);
     if (l1.unique() && IsAlive(l1.owner)) {
       if (verify_candidate(l1.owner)) {
-        e.lru().Touch(path, l1.owner);
+        e.lru().Touch(digest, l1.owner);
         return finish(1, true, l1.owner);
       }
-      e.lru().Invalidate(path);
+      e.lru().Invalidate(digest);
     }
   }
 
   // --- L2: the full global array (N-1 replicas + own filter). This is the
   // expensive probe when the array has spilled to disk. ---
   lat += ServeAt(entry, now_ms + lat, ProbeCost(entry, e.segment().size() + 1));
-  auto hits = e.segment().QueryShared(path).all_hits;
-  if (e.LocalFilterContains(path)) hits.push_back(entry);
+  std::vector<MdsId>& hits = scratch_.hits;
+  hits.clear();
+  e.segment().QuerySharedInto(digest, hits);
+  if (e.LocalFilterContains(digest)) hits.push_back(entry);
   if (hits.size() == 1) {
     const MdsId candidate = hits.front();
     const bool fresh = std::find(already_verified.begin(),
                                  already_verified.end(),
                                  candidate) == already_verified.end();
     if (fresh && verify_candidate(candidate)) {
-      if (use_lru_) e.lru().Touch(path, candidate);
+      if (use_lru_) e.lru().Touch(digest, candidate);
       return finish(2, true, candidate);
     }
   }
@@ -132,7 +138,7 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
   for (const MdsId m : alive_) {
     double work = config_.latency.local_proc_ms + config_.latency.ArrayProbe(1);
     bool found_here = false;
-    if (node(m).LocalFilterContains(path)) {
+    if (node(m).LocalFilterContains(digest)) {
       const auto v = VerifyAt(m, path);
       work += v.cost_ms;
       found_here = v.found;
@@ -143,7 +149,7 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
   }
   lat += gcast + slowest_verify;
   if (found_home != kInvalidMds) {
-    if (use_lru_) e.lru().Touch(path, found_home);
+    if (use_lru_) e.lru().Touch(digest, found_home);
     return finish(4, true, found_home);
   }
   return finish(4, false, kInvalidMds);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/cluster.hpp"
+#include "hash/query_digest.hpp"
 
 namespace ghba {
 
@@ -50,7 +51,16 @@ class HbaCluster final : public ClusterBase {
   void MaybePublish(MdsId owner, double now_ms);
   void RechargeHolder(MdsId holder);
 
+  /// Reused per-lookup buffers (Lookup is single-threaded); same rationale
+  /// as GhbaCluster::LookupScratch.
+  struct LookupScratch {
+    ArrayQueryResult l1;
+    std::vector<MdsId> hits;
+    std::vector<MdsId> already_verified;
+  };
+
   bool use_lru_;
+  LookupScratch scratch_;
 };
 
 }  // namespace ghba

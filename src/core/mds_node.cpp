@@ -44,6 +44,10 @@ bool MdsNode::LocalFilterContains(const std::string& path) const {
   return local_filter_.MayContain(path);
 }
 
+bool MdsNode::LocalFilterContains(QueryDigest& digest) const {
+  return local_filter_.MayContain(digest.For(local_filter_.seed()));
+}
+
 BloomFilter MdsNode::SnapshotLocalFilter() const {
   return local_filter_.ToBloomFilter();
 }

@@ -20,6 +20,7 @@
 #include "bloom/counting_bloom_filter.hpp"
 #include "bloom/lru_bloom_array.hpp"
 #include "core/config.hpp"
+#include "hash/query_digest.hpp"
 #include "mds/memory_budget.hpp"
 #include "mds/store.hpp"
 #include "sim/fifo_server.hpp"
@@ -44,6 +45,9 @@ class MdsNode {
 
   /// Membership in the authoritative local filter (no false negatives).
   bool LocalFilterContains(const std::string& path) const;
+  /// Digest-once form: all local filters share one seed, so an L4 sweep
+  /// over N nodes costs one digest total, not one per node.
+  bool LocalFilterContains(QueryDigest& digest) const;
 
   /// Snapshot of the local filter as shipped to replica holders.
   BloomFilter SnapshotLocalFilter() const;

@@ -25,9 +25,14 @@ inline std::uint64_t LoadU64(const std::uint8_t* p) {
   return v;  // little-endian hosts only (x86-64 / aarch64-le)
 }
 
+thread_local std::uint64_t g_digest_count = 0;
+
 }  // namespace
 
+std::uint64_t Murmur3DigestCount() { return g_digest_count; }
+
 Hash128 Murmur3_128Raw(const void* data, std::size_t len, std::uint64_t seed) {
+  ++g_digest_count;
   const auto* bytes = static_cast<const std::uint8_t*>(data);
   const std::size_t nblocks = len / 16;
 

@@ -33,4 +33,10 @@ inline std::uint64_t Murmur3_64(std::string_view s, std::uint64_t seed = 0) {
   return Murmur3_128(s, seed).lo;
 }
 
+/// Test hook: number of Murmur3_128 digest computations performed by this
+/// thread so far. Lets tests assert the digest-once contract end-to-end
+/// (e.g. "an L4-deep lookup hashes the path at most once per distinct
+/// filter seed") without instrumenting the call sites.
+std::uint64_t Murmur3DigestCount();
+
 }  // namespace ghba

@@ -1,0 +1,58 @@
+// Digest-once query context.
+//
+// A metadata operation probes many Bloom filters: the L1 LRU array's
+// per-home filters, the L2 segment array's theta replicas, every group
+// member's filters at L3 and every alive MDS's local filter at L4. All of
+// those filters hash the same path, and filters sharing a seed produce the
+// same 128-bit digest — so the lookup stack threads one QueryDigest per
+// operation and each call site asks it for the digest under the filter's
+// seed. The digest is computed lazily, at most once per distinct seed.
+//
+// The object holds a *view* of the key; it must not outlive the string it
+// was constructed from. One QueryDigest per operation, created at the top
+// of the call stack (e.g. GhbaCluster::Lookup), is the intended use.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/murmur3.hpp"
+
+namespace ghba {
+
+class QueryDigest {
+ public:
+  explicit QueryDigest(std::string_view key) : key_(key) {}
+
+  std::string_view key() const { return key_; }
+
+  /// The key's Murmur3_128 digest under `seed`, computed on first use and
+  /// cached. Operations meet at most a handful of distinct seeds (the L1
+  /// array's, the shared replica geometry's, rarely a stray entry's); if
+  /// more than kMaxSeeds show up, the extras are served uncached — still
+  /// correct, just without the memoization.
+  const Hash128& For(std::uint64_t seed) {
+    for (std::size_t i = 0; i < cached_; ++i) {
+      if (seeds_[i] == seed) return digests_[i];
+    }
+    const Hash128 d = Murmur3_128(key_, seed);
+    if (cached_ < kMaxSeeds) {
+      seeds_[cached_] = seed;
+      digests_[cached_] = d;
+      return digests_[cached_++];
+    }
+    overflow_ = d;
+    return overflow_;
+  }
+
+ private:
+  static constexpr std::size_t kMaxSeeds = 4;
+
+  std::string_view key_;
+  std::size_t cached_ = 0;
+  std::uint64_t seeds_[kMaxSeeds] = {};
+  Hash128 digests_[kMaxSeeds];
+  Hash128 overflow_;
+};
+
+}  // namespace ghba

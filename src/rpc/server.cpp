@@ -8,6 +8,7 @@
 
 #include "bloom/compressed.hpp"
 #include "common/logging.hpp"
+#include "hash/query_digest.hpp"
 
 namespace ghba {
 
@@ -99,8 +100,11 @@ void MdsServer::Loop() {
 LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
                                           bool include_lru) {
   LocalLookupResp resp;
+  // Digest-once, as in the simulator: the LRU probe, the segment-array
+  // probe and the local-filter screen all reuse one digest per seed.
+  QueryDigest digest(path);
   if (include_lru) {
-    const auto l1 = lru_.Query(path);
+    const auto l1 = lru_.Query(digest);
     if (l1.unique()) {
       resp.lru_unique = true;
       resp.lru_home = l1.owner;
@@ -120,8 +124,10 @@ LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
       std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     }
   }
-  resp.hits = segment_.QueryShared(path).all_hits;
-  if (local_filter_.MayContain(path)) resp.hits.push_back(id_);
+  segment_.QuerySharedInto(digest, resp.hits);
+  if (local_filter_.MayContain(digest.For(local_filter_.seed()))) {
+    resp.hits.push_back(id_);
+  }
   return resp;
 }
 

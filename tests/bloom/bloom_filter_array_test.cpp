@@ -143,6 +143,41 @@ TEST(BloomFilterArraySharedTest, UniformGeometryFastPathMatchesQuery) {
   }
 }
 
+TEST(BloomFilterArrayDigestTest, DigestOverloadsMatchStringQueries) {
+  // Mixed seeds: two entries share a seed, one differs. The QueryDigest
+  // overloads must agree with the string paths in both regimes, and the
+  // per-seed cache means the mixed array costs one extra digest, not one
+  // per entry.
+  BloomFilterArray array;
+  auto mk = [](std::uint64_t seed, int lo, int hi) {
+    auto bf = BloomFilter::ForCapacity(1000, 16.0, seed);
+    for (int i = lo; i < hi; ++i) bf.Add("k" + std::to_string(i));
+    return bf;
+  };
+  ASSERT_TRUE(array.AddEntry(0, mk(555, 0, 100)).ok());
+  ASSERT_TRUE(array.AddEntry(1, mk(555, 100, 200)).ok());
+  ASSERT_TRUE(array.AddEntry(2, mk(556, 200, 300)).ok());
+
+  for (int i = 0; i < 350; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    QueryDigest digest(key);
+    const auto via_digest = array.QueryShared(digest);
+    const auto via_string = array.Query(key);
+    EXPECT_EQ(via_digest.kind, via_string.kind) << key;
+    EXPECT_EQ(via_digest.all_hits, via_string.all_hits) << key;
+
+    QueryDigest digest2(key);
+    std::vector<MdsId> hits{kInvalidMds};  // pre-existing content kept
+    const auto appended = array.QuerySharedInto(digest2, hits);
+    ASSERT_GE(hits.size(), 1u);
+    EXPECT_EQ(hits.front(), kInvalidMds);
+    EXPECT_EQ(appended, hits.size() - 1);
+    EXPECT_EQ(std::vector<MdsId>(hits.begin() + 1, hits.end()),
+              via_string.all_hits)
+        << key;
+  }
+}
+
 TEST(BloomFilterArrayEmptyTest, EmptyArrayReturnsZeroHit) {
   BloomFilterArray array;
   EXPECT_TRUE(array.empty());

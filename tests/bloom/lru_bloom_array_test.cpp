@@ -115,6 +115,143 @@ TEST(LruBloomArrayTest, EvictionNeverLeavesGhostMembership) {
   EXPECT_LT(ghosts, 20);
 }
 
+TEST(LruBloomArrayTest, EvictionErasesDrainedHomeFilters) {
+  // Regression: filters_ used to keep a (empty) counting filter for every
+  // home ever cached — only DropHome erased them — so probe cost and
+  // MemoryBytes grew monotonically with the number of distinct homes.
+  LruBloomArray lru(SmallOptions(32));
+  // Fill with home 0, record the steady-state footprint.
+  for (int i = 0; i < 32; ++i) lru.Touch("warm" + std::to_string(i), 0);
+  EXPECT_EQ(lru.home_count(), 1u);
+  const auto steady_bytes = lru.MemoryBytes();
+  // Churn through 64 more homes in full-capacity blocks: each block fully
+  // evicts the previous home's entries, which must drain its filter.
+  for (MdsId home = 1; home <= 64; ++home) {
+    for (int i = 0; i < 32; ++i) {
+      lru.Touch("h" + std::to_string(home) + "/f" + std::to_string(i), home);
+    }
+    EXPECT_EQ(lru.home_count(), 1u) << "home " << home;
+  }
+  EXPECT_EQ(lru.size(), 32u);
+  EXPECT_LE(lru.MemoryBytes(), steady_bytes);
+}
+
+TEST(LruBloomArrayTest, InvalidateDrainsLastEntryAndErasesFilter) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("only", 7);
+  EXPECT_EQ(lru.home_count(), 1u);
+  lru.Invalidate("only");
+  EXPECT_EQ(lru.size(), 0u);
+  EXPECT_EQ(lru.home_count(), 0u);
+}
+
+TEST(LruBloomArrayTest, HomeChangeDrainsOldHomeFilter) {
+  LruBloomArray lru(SmallOptions());
+  lru.Touch("mover", 1);
+  lru.Touch("mover", 2);  // migrated: home 1's filter is now empty
+  EXPECT_EQ(lru.home_count(), 1u);
+  const auto r = lru.Query("mover");
+  ASSERT_EQ(r.kind, ArrayQueryResult::Kind::kUniqueHit);
+  EXPECT_EQ(r.owner, 2u);
+}
+
+LruBloomArray::Options CollidingOptions() {
+  // An 4-bit index fold forces frequent index-key collisions between
+  // distinct paths, exercising the collision-handling path that a 64-bit
+  // fold only hits with negligible probability.
+  auto options = SmallOptions(64);
+  options.index_bits = 4;
+  return options;
+}
+
+TEST(LruBloomArrayTest, IndexCollisionNeverConflatesDistinctKeys) {
+  // Regression: the Touch fast path used to trust the folded index key
+  // without comparing the stored 128-bit digest, so a colliding pair of
+  // paths was treated as one entry — Query then reported the second path's
+  // home for the first. With at most 16 index slots and 200 keys, every
+  // insert collides; a collision must evict the incumbent, never merge.
+  LruBloomArray lru(CollidingOptions());
+  for (int i = 0; i < 200; ++i) {
+    lru.Touch("path" + std::to_string(i), static_cast<MdsId>(i));
+  }
+  EXPECT_LE(lru.size(), 16u);
+  int checked = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = lru.Query("path" + std::to_string(i));
+    if (r.kind == ArrayQueryResult::Kind::kUniqueHit) {
+      // Whatever survives must map to its own home, never a collider's.
+      EXPECT_EQ(r.owner, static_cast<MdsId>(i)) << "path" << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(LruBloomArrayTest, IndexCollisionInvalidateOnlyDropsMatchingKey) {
+  LruBloomArray lru(CollidingOptions());
+  // Find two keys that collide in the 4-bit index: insert until size stops
+  // growing, then invalidate keys that were displaced — must be no-ops.
+  lru.Touch("a", 1);
+  for (int i = 0; i < 64; ++i) lru.Touch("b" + std::to_string(i), 2);
+  // "a" may or may not have been displaced by a collision; invalidating it
+  // must never remove somebody else's entry.
+  const auto before = lru.size();
+  const bool a_present =
+      lru.Query("a").kind == ArrayQueryResult::Kind::kUniqueHit;
+  lru.Invalidate("a");
+  if (!a_present) {
+    EXPECT_EQ(lru.size(), before);
+  } else {
+    EXPECT_EQ(lru.size(), before - 1);
+  }
+}
+
+TEST(LruBloomArrayTest, DigestQueryMatchesStringQuery) {
+  LruBloomArray lru(SmallOptions());
+  for (int i = 0; i < 40; ++i) {
+    lru.Touch("dq" + std::to_string(i), static_cast<MdsId>(i % 5));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "dq" + std::to_string(i);
+    QueryDigest digest(key);
+    const auto via_digest = lru.Query(digest);
+    const auto via_string = lru.Query(key);
+    EXPECT_EQ(via_digest.kind, via_string.kind) << key;
+    EXPECT_EQ(via_digest.owner, via_string.owner) << key;
+    EXPECT_EQ(via_digest.all_hits, via_string.all_hits) << key;
+  }
+}
+
+TEST(LruBloomArrayTest, SlruChurnErasesDrainedFilters) {
+  // The SLRU path evicts from both segments; drained filters must be erased
+  // there too (EvictOne and EraseEntry share one bookkeeping helper).
+  auto options = SmallOptions(32);
+  options.policy = LruPolicy::kSlru;
+  LruBloomArray lru(options);
+  for (int round = 0; round < 40; ++round) {
+    const MdsId home = static_cast<MdsId>(round);
+    for (int i = 0; i < 24; ++i) {
+      const std::string key =
+          "s" + std::to_string(round) + "/" + std::to_string(i);
+      lru.Touch(key, home);
+      if (i % 3 == 0) lru.Touch(key, home);  // promote some to protected
+    }
+  }
+  // Protected-segment entries legitimately outlive their round, so several
+  // homes may coexist mid-churn — but never one filter per home ever seen.
+  EXPECT_LT(lru.home_count(), 40u);
+  // Flushing with one home (each key touched twice so it cycles through the
+  // protected segment too) must evict every older entry from both segments
+  // and drain — hence erase — every other home's filter.
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "flush" + std::to_string(i);
+    lru.Touch(key, 999);
+    lru.Touch(key, 999);
+  }
+  EXPECT_EQ(lru.home_count(), 1u);
+  EXPECT_EQ(lru.size(), 32u);
+}
+
 TEST(LruBloomArrayTest, MemoryBytesPositiveAndBounded) {
   LruBloomArray lru(SmallOptions(128));
   for (int i = 0; i < 128; ++i) {

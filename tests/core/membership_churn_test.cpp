@@ -1,0 +1,92 @@
+// Membership-focused churn: a dense interleaving of joins, graceful leaves
+// and failures — including joins that fill a group and force SplitGroup —
+// with the full structural invariants checked after EVERY step. The broader
+// churn_fuzz_test covers long mixed workloads but only samples invariants
+// periodically; this test is the fine-grained counterpart that pinpoints the
+// exact membership operation that breaks the replica topology.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ghba_cluster.hpp"
+
+namespace ghba {
+namespace {
+
+ClusterConfig ChurnConfig(std::uint64_t seed) {
+  ClusterConfig c;
+  c.num_mds = 6;
+  c.max_group_size = 3;
+  c.expected_files_per_mds = 200;
+  c.lru_capacity = 32;
+  c.publish_after_mutations = 8;
+  c.seed = seed;
+  return c;
+}
+
+class MembershipChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MembershipChurnTest, EveryMembershipStepPreservesInvariants) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  GhbaCluster cluster(ChurnConfig(seed));
+
+  // Seed some files so RemoveMds migrates real state and FailMds loses it.
+  std::uint64_t next_file = 0;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(cluster
+                    .CreateFile("/mc/f" + std::to_string(next_file++),
+                                FileMetadata{}, 0)
+                    .ok());
+  }
+
+  const auto check = [&](int step, const char* op) {
+    const Status inv = cluster.CheckInvariants();
+    ASSERT_TRUE(inv.ok()) << "step " << step << " after " << op << ": "
+                          << inv.ToString();
+  };
+  check(-1, "setup");
+
+  constexpr int kSteps = 60;
+  for (int step = 0; step < kSteps; ++step) {
+    const auto dice = rng.NextBounded(100);
+    if (dice < 35) {  // join — repeatedly filling groups forces SplitGroup
+      const auto groups_before = cluster.NumGroups();
+      ASSERT_TRUE(cluster.AddMds(nullptr).ok()) << "step " << step;
+      check(step, groups_before < cluster.NumGroups() ? "join+split" : "join");
+    } else if (dice < 60) {  // graceful leave (may trigger group merge)
+      if (cluster.NumMds() > 3) {
+        const auto& alive = cluster.alive();
+        const MdsId victim = alive[rng.NextBounded(alive.size())];
+        ASSERT_TRUE(cluster.RemoveMds(victim, nullptr).ok())
+            << "step " << step << " victim " << victim;
+        check(step, "leave");
+      }
+    } else if (dice < 80) {  // abrupt failure (loses the victim's files)
+      if (cluster.NumMds() > 3) {
+        const auto& alive = cluster.alive();
+        const MdsId victim = alive[rng.NextBounded(alive.size())];
+        ASSERT_TRUE(cluster.FailMds(victim, nullptr).ok())
+            << "step " << step << " victim " << victim;
+        check(step, "fail");
+      }
+    } else {  // mutations between membership events keep filters non-trivial
+      for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(cluster
+                        .CreateFile("/mc/f" + std::to_string(next_file++),
+                                    FileMetadata{}, 0)
+                        .ok());
+      }
+      check(step, "create");
+    }
+  }
+  check(kSteps, "final");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MembershipChurnTest,
+                         ::testing::Values(7u, 11u, 19u, 23u, 31u, 47u));
+
+}  // namespace
+}  // namespace ghba
