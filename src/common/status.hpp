@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnavailable,     ///< Target node is down or unreachable.
   kCorruption,      ///< Wire / serialized data failed validation.
   kInternal,        ///< Invariant violation inside the library.
+  kTimedOut,        ///< A deadline expired before the operation finished.
 };
 
 /// Human-readable name for a StatusCode.
@@ -35,6 +36,7 @@ constexpr const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kTimedOut: return "TIMED_OUT";
   }
   return "UNKNOWN";
 }
@@ -68,6 +70,9 @@ class Status {
   }
   static Status Internal(std::string msg = "") {
     return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status TimedOut(std::string msg = "") {
+    return {StatusCode::kTimedOut, std::move(msg)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

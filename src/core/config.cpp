@@ -45,6 +45,20 @@ Status ValidateClusterConfig(const ClusterConfig& config) {
   if (lat.metadata_cache_hit < 0 || lat.metadata_cache_hit > 1) {
     return Status::InvalidArgument("metadata_cache_hit must be in [0, 1]");
   }
+  const RpcOptions& rpc = config.rpc;
+  if (rpc.connect_timeout_ms == 0 || rpc.attempt_timeout_ms == 0 ||
+      rpc.ping_timeout_ms == 0 || rpc.server_io_timeout_ms == 0) {
+    return Status::InvalidArgument("rpc timeouts must be >= 1 ms");
+  }
+  if (rpc.call_budget_ms < rpc.attempt_timeout_ms) {
+    return Status::InvalidArgument(
+        "rpc.call_budget_ms must cover at least one attempt");
+  }
+  if (rpc.max_attempts == 0 || rpc.ping_attempts == 0 ||
+      rpc.suspect_after == 0) {
+    return Status::InvalidArgument(
+        "rpc attempt/ping/suspect counts must be >= 1");
+  }
   return Status::Ok();
 }
 

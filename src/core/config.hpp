@@ -9,6 +9,34 @@
 
 namespace ghba {
 
+/// Timeout / retry / failure-detection knobs for the TCP prototype
+/// (src/rpc). All durations in milliseconds. Defaults are deliberately
+/// generous: prototype operations complete in microseconds, and the
+/// simulated disk-spill sleeps (Fig. 14) reach hundreds of milliseconds,
+/// so these bound genuine hangs without distorting healthy traffic. The
+/// chaos tests tighten them to exercise the timeout paths.
+struct RpcOptions {
+  /// Bound on opening one TCP connection to a peer.
+  std::uint32_t connect_timeout_ms = 500;
+  /// Bound on one send+recv exchange (a single attempt of a call).
+  std::uint32_t attempt_timeout_ms = 2000;
+  /// Total per-call budget, covering all attempts, reconnects and backoff.
+  std::uint32_t call_budget_ms = 8000;
+  /// Attempts per call (1 = no retries).
+  std::uint32_t max_attempts = 3;
+  /// Base backoff between attempts; doubles per retry with +/-50% jitter.
+  std::uint32_t retry_backoff_ms = 5;
+  /// Server-side bound on reading or writing one frame: a client that
+  /// stalls mid-frame is disconnected instead of wedging the event loop.
+  std::uint32_t server_io_timeout_ms = 2000;
+  /// Consecutive call failures before a peer is suspected.
+  std::uint32_t suspect_after = 2;
+  /// Heart-beat confirmation: a suspected peer is pinged this many times
+  /// (each bounded by ping_timeout_ms) and declared dead only if all fail.
+  std::uint32_t ping_attempts = 3;
+  std::uint32_t ping_timeout_ms = 500;
+};
+
 struct ClusterConfig {
   /// Initial number of metadata servers (N).
   std::uint32_t num_mds = 30;
@@ -66,6 +94,9 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
 
   LatencyModel latency;
+
+  /// Deadlines, retries and failure detection for the TCP prototype.
+  RpcOptions rpc;
 };
 
 /// Check a configuration before constructing a cluster with it: positive

@@ -1,0 +1,92 @@
+// Deterministic fault injection for the loopback prototype.
+//
+// One FaultInjector instance is shared by every socket that should misbehave
+// (client connections and/or server-accepted connections) plus the MdsServer
+// event loops. Each outgoing frame asks PlanFrame() for its fate — deliver,
+// drop, delay, truncate, or corrupt — and each client connect asks
+// RefuseConnect(). Decisions come from a single seeded Rng, so a fixed seed
+// replays the same fault sequence for a fixed decision order (the chaos
+// tests drive all faulted traffic from one client thread for exactly this
+// reason). Servers can additionally be stalled: a stalled event loop stops
+// servicing requests without closing its sockets, which is the failure mode
+// heart-beat detection (paper Section 4.5) exists to catch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ghba {
+
+using MdsId = std::uint32_t;  // same alias as bloom/bloom_filter_array.hpp
+
+class FaultInjector {
+ public:
+  struct Options {
+    double drop_prob = 0;            ///< frame vanishes; sender sees success
+    double delay_prob = 0;           ///< frame delivered after a pause
+    double truncate_prob = 0;        ///< frame cut short mid-payload
+    double corrupt_prob = 0;         ///< random payload bytes flipped
+    double refuse_connect_prob = 0;  ///< connect() attempts rejected
+    std::uint32_t delay_ms_max = 5;  ///< delays drawn uniform from [1, max]
+    std::uint64_t seed = 1;
+  };
+
+  FaultInjector() = default;
+  explicit FaultInjector(const Options& options) { set_options(options); }
+
+  /// Replace the probabilities/seed. Resets the decision stream.
+  void set_options(const Options& options);
+
+  enum class FrameAction { kDeliver, kDrop, kTruncate, kCorrupt };
+
+  struct FramePlan {
+    FrameAction action = FrameAction::kDeliver;
+    std::chrono::milliseconds delay{0};
+    /// Seed for the mutation (truncation point / corrupted byte positions),
+    /// so the mutation itself is deterministic too.
+    std::uint64_t mutation_seed = 0;
+  };
+
+  /// Decide the fate of one outgoing frame. Thread-safe.
+  FramePlan PlanFrame();
+
+  /// Decide whether a connect() attempt is refused. Thread-safe.
+  bool RefuseConnect();
+
+  /// Stall / resume a server's event loop. While stalled the loop sleeps in
+  /// small slices (still honouring shutdown), so in-flight and new requests
+  /// sit unanswered until their senders' deadlines expire.
+  void StallServer(MdsId id);
+  void UnstallServer(MdsId id);
+  bool IsStalled(MdsId id) const;
+
+  struct Counters {
+    std::uint64_t frames = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t delays = 0;
+    std::uint64_t truncations = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t refused_connects = 0;
+  };
+  Counters counters() const;
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  Rng rng_{1};
+  Counters counters_;
+  std::set<MdsId> stalled_;
+};
+
+/// Apply a kTruncate/kCorrupt plan to a payload copy: truncation drops a
+/// suffix (at least one byte survives removal when possible); corruption
+/// XORs 1–4 random bytes. kDeliver/kDrop plans leave the payload alone.
+void MutatePayload(const FaultInjector::FramePlan& plan,
+                   std::vector<std::uint8_t>& payload);
+
+}  // namespace ghba

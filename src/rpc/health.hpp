@@ -1,0 +1,64 @@
+// Per-peer failure accounting for the loopback prototype.
+//
+// The client side of the prototype plays the coordinator, so it is also the
+// natural place to notice that a peer has stopped answering. The tracker
+// turns per-call outcomes into a three-state health machine per peer:
+//
+//   kHealthy --(suspect_after consecutive failures)--> kSuspected
+//   kSuspected --(kPing probe fails)--> kDead   (via MarkDead)
+//   kSuspected/kHealthy <--(any success)-- back to kHealthy
+//
+// mirroring Section 4.5's heart-beat detection: failures raise suspicion,
+// a dedicated liveness probe confirms, and only a confirmed-dead peer
+// triggers fail-over (filter removal + group re-coverage). Thread-safe: the
+// chaos tests and the TSan workflow hammer it from concurrent callers.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "rpc/fault_injector.hpp"  // MdsId alias
+
+namespace ghba {
+
+enum class PeerState { kHealthy, kSuspected, kDead };
+
+class PeerHealthTracker {
+ public:
+  /// `suspect_after` = consecutive call failures before a peer is
+  /// suspected (>= 1).
+  explicit PeerHealthTracker(std::uint32_t suspect_after = 2)
+      : suspect_after_(suspect_after > 0 ? suspect_after : 1) {}
+
+  /// A call to `id` completed: clears the failure streak and, unless the
+  /// peer was already declared dead, returns it to kHealthy.
+  void RecordSuccess(MdsId id);
+
+  /// A call to `id` failed (timeout / transport error). Returns the state
+  /// after accounting, so the caller can decide to confirm via ping.
+  PeerState RecordFailure(MdsId id);
+
+  /// Liveness probe verdict for a suspected peer.
+  void MarkDead(MdsId id);
+
+  /// Drop all state for a peer (it left the cluster or was failed over).
+  void Forget(MdsId id);
+
+  PeerState state(MdsId id) const;
+  std::uint32_t consecutive_failures(MdsId id) const;
+  std::vector<MdsId> DeadPeers() const;
+
+ private:
+  struct Entry {
+    PeerState state = PeerState::kHealthy;
+    std::uint32_t failures = 0;
+  };
+
+  const std::uint32_t suspect_after_;
+  mutable std::mutex mu_;
+  std::unordered_map<MdsId, Entry> peers_;
+};
+
+}  // namespace ghba

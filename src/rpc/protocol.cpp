@@ -116,7 +116,9 @@ std::vector<std::uint8_t> EncodeFileListResp(const FileListResp& resp) {
 Result<FileListResp> DecodeFileListResp(ByteReader& in) {
   auto count = in.GetVarint();
   if (!count.ok()) return count.status();
-  if (*count > 100'000'000) return Status::Corruption("absurd file count");
+  // Each entry costs at least one byte on the wire, so a count beyond the
+  // remaining frame bytes can only come from a mangled length field.
+  if (*count > in.remaining()) return Status::Corruption("absurd file count");
   FileListResp resp;
   resp.files.reserve(*count);
   for (std::uint64_t i = 0; i < *count; ++i) {
@@ -158,7 +160,7 @@ Result<RemoteStatus> DecodeStatusResp(ByteReader& in) {
   if (!code.ok()) return code.status();
   auto msg = in.GetString();
   if (!msg.ok()) return msg.status();
-  if (*code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+  if (*code > static_cast<std::uint8_t>(StatusCode::kTimedOut)) {
     return Status::Corruption("bad status code");
   }
   return RemoteStatus{Status(static_cast<StatusCode>(*code), std::move(*msg))};
@@ -167,6 +169,9 @@ Result<RemoteStatus> DecodeStatusResp(ByteReader& in) {
 Result<bool> DecodeBoolResp(ByteReader& in) {
   auto v = in.GetU8();
   if (!v.ok()) return v.status();
+  // Strict: the encoder only ever emits 0 or 1, so anything else is a
+  // mangled frame, not a truthy value.
+  if (*v > 1) return Status::Corruption("bad bool byte");
   return *v != 0;
 }
 
@@ -180,7 +185,10 @@ Result<LocalLookupResp> DecodeLocalLookupResp(ByteReader& in) {
   resp.lru_home = *home;
   auto n = in.GetVarint();
   if (!n.ok()) return n.status();
-  if (*n > 100000) return Status::Corruption("too many hits");
+  // The claimed count must fit in what is actually left on the wire
+  // (4 bytes per hit) — otherwise a corrupted length field would make us
+  // reserve and loop far past the frame.
+  if (*n > in.remaining() / 4) return Status::Corruption("too many hits");
   resp.hits.reserve(*n);
   for (std::uint64_t i = 0; i < *n; ++i) {
     auto h = in.GetU32();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "bloom/compressed.hpp"
 #include "common/logging.hpp"
@@ -14,18 +15,59 @@ double NowMs() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Transport-level failures worth a retry / health demerit; remote
+/// application statuses (NotFound, AlreadyExists, ...) are not.
+bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kTimedOut;
+}
+
+/// True when a response frame is the server rejecting the *request* as
+/// corrupt. Our encoders never emit malformed requests, so this means the
+/// frame was mangled in flight — retrying on a fresh connection is safe.
+bool IsRemoteCorruptionReject(const std::vector<std::uint8_t>& resp) {
+  ByteReader in(resp);
+  const auto env = OpenEnvelope(in);
+  return env.ok() && !env->has_payload &&
+         env->status.code() == StatusCode::kCorruption;
+}
+
+/// Sets a flag for the current scope, restoring the previous value on exit.
+/// Used to suppress the automatic fail-over chase while a topology
+/// operation holds references into groups_/group_of_: a failed Call inside
+/// such an operation must only account health, never mutate the topology
+/// out from under its caller.
+struct FlagGuard {
+  explicit FlagGuard(bool& flag) : flag_(flag), saved_(flag) { flag = true; }
+  ~FlagGuard() { flag_ = saved_; }
+  FlagGuard(const FlagGuard&) = delete;
+  FlagGuard& operator=(const FlagGuard&) = delete;
+  bool& flag_;
+  bool saved_;
+};
 }  // namespace
 
 PrototypeCluster::PrototypeCluster(ClusterConfig config, ProtoScheme scheme)
-    : config_(config), scheme_(scheme), rng_(config.seed ^ 0x9999) {}
+    : config_(config),
+      scheme_(scheme),
+      rng_(config.seed ^ 0x9999),
+      health_(config.rpc.suspect_after) {}
 
 PrototypeCluster::~PrototypeCluster() { Stop(); }
 
+void PrototypeCluster::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  for (auto& [id, conn] : conns_) conn.set_injector(injector);
+}
+
 Status PrototypeCluster::StartServer(MdsId id) {
   auto server = std::make_unique<MdsServer>(id, config_);
+  server->set_fault_injector(injector_);
   if (Status s = server->Start(); !s.ok()) return s;
   if (servers_.size() <= id) servers_.resize(id + 1);
   servers_[id] = std::move(server);
+  health_.Forget(id);  // a fresh server starts with a clean slate
   return Status::Ok();
 }
 
@@ -78,37 +120,129 @@ void PrototypeCluster::Stop() {
   started_ = false;
 }
 
+Result<std::vector<std::uint8_t>> PrototypeCluster::CallOnce(
+    MdsId id, const std::vector<std::uint8_t>& req, Deadline deadline) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) {
+    const auto connect_budget = std::min<int>(
+        static_cast<int>(config_.rpc.connect_timeout_ms),
+        std::max(deadline.PollTimeoutMs(), 1));
+    auto conn = TcpConnection::Connect(
+        servers_.at(id)->port(),
+        Deadline::After(std::chrono::milliseconds(connect_budget)),
+        injector_);
+    if (!conn.ok()) return conn.status();
+    it = conns_.emplace(id, std::move(*conn)).first;
+  } else {
+    // A connection cached before set_fault_injector picks it up here.
+    it->second.set_injector(injector_);
+  }
+  if (Status s = it->second.SendFrame(req, deadline); !s.ok()) return s;
+  return it->second.RecvFrame(deadline);
+}
+
 Result<std::vector<std::uint8_t>> PrototypeCluster::Call(
     MdsId id, const std::vector<std::uint8_t>& req) {
   if (id >= servers_.size() || !servers_[id]) {
     return Status::Unavailable("server is down");
   }
-  auto it = conns_.find(id);
-  if (it == conns_.end()) {
-    auto conn = TcpConnection::Connect(servers_.at(id)->port());
-    if (!conn.ok()) return conn.status();
-    it = conns_.emplace(id, std::move(*conn)).first;
+  const RpcOptions& rpc = config_.rpc;
+  const Deadline budget =
+      Deadline::After(std::chrono::milliseconds(rpc.call_budget_ms));
+  Status last = Status::Unavailable("call never attempted");
+  for (std::uint32_t attempt = 0; attempt < rpc.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Jittered exponential backoff, clipped to the remaining budget.
+      const std::uint64_t base = static_cast<std::uint64_t>(
+                                     rpc.retry_backoff_ms)
+                                 << (attempt - 1);
+      const std::uint64_t wait = base / 2 + rng_.NextBounded(base + 1);
+      const int remaining = budget.PollTimeoutMs();
+      if (remaining <= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::uint64_t>(wait, static_cast<std::uint64_t>(remaining))));
+    }
+    const int remaining = budget.PollTimeoutMs();
+    if (remaining <= 0) break;
+    // One attempt never outlives the call budget.
+    const auto attempt_deadline = Deadline::After(std::chrono::milliseconds(
+        std::min<int>(static_cast<int>(rpc.attempt_timeout_ms), remaining)));
+    auto resp = CallOnce(id, req, attempt_deadline);
+    if (resp.ok()) {
+      if (IsRemoteCorruptionReject(*resp)) {
+        last = Status::Corruption("request mangled in flight");
+        conns_.erase(id);
+        continue;
+      }
+      health_.RecordSuccess(id);
+      return resp;
+    }
+    last = resp.status();
+    conns_.erase(id);  // never reuse a connection that failed mid-exchange
+    if (!IsTransient(last)) break;
   }
-  if (Status s = it->second.SendFrame(req); !s.ok()) {
-    conns_.erase(it);
-    return s;
-  }
-  auto resp = it->second.RecvFrame();
-  if (!resp.ok()) conns_.erase(id);
-  return resp;
+  NoteCallFailure(id);
+  return last;
 }
 
 Status PrototypeCluster::OneWay(MdsId id, const std::vector<std::uint8_t>& frame) {
   if (id >= servers_.size() || !servers_[id]) {
     return Status::Unavailable("server is down");
   }
+  const RpcOptions& rpc = config_.rpc;
   auto it = conns_.find(id);
   if (it == conns_.end()) {
-    auto conn = TcpConnection::Connect(servers_.at(id)->port());
+    auto conn = TcpConnection::Connect(
+        servers_.at(id)->port(),
+        Deadline::After(std::chrono::milliseconds(rpc.connect_timeout_ms)),
+        injector_);
     if (!conn.ok()) return conn.status();
     it = conns_.emplace(id, std::move(*conn)).first;
+  } else {
+    it->second.set_injector(injector_);
   }
-  return it->second.SendFrame(frame);
+  Status s = it->second.SendFrame(
+      frame,
+      Deadline::After(std::chrono::milliseconds(rpc.attempt_timeout_ms)));
+  if (!s.ok()) conns_.erase(id);
+  return s;
+}
+
+void PrototypeCluster::NoteCallFailure(MdsId id) {
+  if (health_.RecordFailure(id) != PeerState::kSuspected) return;
+  if (in_failover_) return;  // repair traffic only accounts, never chases
+  if (!ConfirmDead(id)) {
+    health_.RecordSuccess(id);  // the heart-beat answered: false alarm
+    return;
+  }
+  health_.MarkDead(id);
+  GHBA_LOG(kWarn) << "peer " << id
+                 << " confirmed dead by heart-beat; running fail-over";
+  if (Status s = FailOver(id); !s.ok()) {
+    // Best effort: a partially repaired group still serves correctly via
+    // the exact L4 path; the next detection retries coverage.
+    GHBA_LOG(kWarn) << "fail-over of peer " << id
+                   << " incomplete: " << s.ToString();
+  }
+}
+
+bool PrototypeCluster::ConfirmDead(MdsId id) {
+  if (id >= servers_.size() || !servers_[id]) return true;
+  const RpcOptions& rpc = config_.rpc;
+  const auto ping = EncodeHeader(MsgType::kPing);
+  for (std::uint32_t i = 0; i < rpc.ping_attempts; ++i) {
+    // Fresh connection per probe: the cached one may be the thing that is
+    // broken. Probes go through the fault injector like any other frame —
+    // a real heart-beat shares the network with the traffic it monitors.
+    const auto deadline =
+        Deadline::After(std::chrono::milliseconds(rpc.ping_timeout_ms));
+    auto conn =
+        TcpConnection::Connect(servers_[id]->port(), deadline, injector_);
+    if (!conn.ok()) continue;
+    if (!conn->SendFrame(ping, deadline).ok()) continue;
+    if (conn->RecvFrame(deadline).ok()) return false;  // alive after all
+  }
+  return true;
 }
 
 Result<BloomFilter> PrototypeCluster::FetchFilter(MdsId owner) {
@@ -159,6 +293,7 @@ std::size_t PrototypeCluster::GroupWithRoom() const {
 }
 
 Status PrototypeCluster::EnsureCoverage(GroupInfo& g) {
+  FlagGuard guard(in_failover_);  // holds a reference into groups_
   const auto is_member = [&](MdsId id) {
     return std::find(g.members.begin(), g.members.end(), id) !=
            g.members.end();
@@ -228,48 +363,55 @@ Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
     return result;
   };
 
-  // L1 + L2 on the entry server.
-  auto resp = Call(entry, EncodePathRequest(MsgType::kLookupLocal, path));
-  if (!resp.ok()) return resp.status();
-  ByteReader in(*resp);
-  auto env = OpenEnvelope(in);
-  if (!env.ok()) return env.status();
-  if (!env->has_payload) return env->status;
-  auto local = DecodeLocalLookupResp(in);
-  if (!local.ok()) return local.status();
+  // L1 + L2 on the entry server. A slow or dead entry degrades the query
+  // to the lower levels (empty local result) instead of failing it: the
+  // hierarchy below is a superset of what the entry could have answered.
+  LocalLookupResp local;
+  if (auto resp = Call(entry, EncodePathRequest(MsgType::kLookupLocal, path));
+      resp.ok()) {
+    ByteReader in(*resp);
+    auto env = OpenEnvelope(in);
+    if (env.ok() && env->has_payload) {
+      if (auto decoded = DecodeLocalLookupResp(in); decoded.ok()) {
+        local = std::move(*decoded);
+      }
+    }
+  }
 
   std::vector<MdsId> verified;
-  const auto try_verify = [&](MdsId candidate) -> Result<bool> {
+  const auto try_verify = [&](MdsId candidate) -> bool {
     if (std::find(verified.begin(), verified.end(), candidate) !=
         verified.end()) {
       return false;
     }
     verified.push_back(candidate);
+    // Stale cache/replica named a dead/slow server, or the answer came
+    // back mangled: degraded service means the query continues down the
+    // hierarchy, not that it fails (Sec. 4.5). The exact L4 pass backstops
+    // any candidate skipped here.
     auto v = VerifyAt(candidate, path);
-    if (!v.ok() && v.status().code() == StatusCode::kUnavailable) {
-      // Stale cache/replica named a dead server: degraded service means the
-      // query continues down the hierarchy, not that it fails (Sec. 4.5).
-      return false;
-    }
-    return v;
+    return v.ok() && *v;
   };
 
-  if (local->lru_unique) {
-    auto v = try_verify(local->lru_home);
-    if (!v.ok()) return v.status();
-    if (*v) return finish(1, true, local->lru_home);
+  if (local.lru_unique && try_verify(local.lru_home)) {
+    return finish(1, true, local.lru_home);
   }
-  if (local->hits.size() == 1) {
-    auto v = try_verify(local->hits.front());
-    if (!v.ok()) return v.status();
-    if (*v) return finish(2, true, local->hits.front());
+  if (local.hits.size() == 1 && try_verify(local.hits.front())) {
+    return finish(2, true, local.hits.front());
   }
 
-  // L3: probe the rest of the entry's group.
+  // L3: probe the rest of the entry's group. A timed-out peer counts as a
+  // miss and the query continues; its candidates resurface at L4. Work on
+  // a copy of the membership: any Call below may trigger automatic
+  // fail-over, which rewrites groups_ (and may have already evicted the
+  // entry itself during the L1/L2 call above).
   if (scheme_ == ProtoScheme::kGhba) {
-    std::vector<MdsId> candidates(local->hits);
-    const auto& g = groups_[group_of_.at(entry)];
-    for (const MdsId m : g.members) {
+    std::vector<MdsId> candidates(local.hits);
+    std::vector<MdsId> members;
+    if (const auto git = group_of_.find(entry); git != group_of_.end()) {
+      members = groups_[git->second].members;
+    }
+    for (const MdsId m : members) {
       if (m == entry) continue;
       auto probe = Call(m, EncodePathRequest(MsgType::kGroupProbe, path));
       if (!probe.ok()) continue;  // a slow/dead peer must not fail the query
@@ -285,22 +427,37 @@ Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
     for (const MdsId c : candidates) {
-      auto v = try_verify(c);
-      if (!v.ok()) return v.status();
-      if (*v) return finish(3, true, c);
+      if (try_verify(c)) return finish(3, true, c);
     }
   }
 
-  // L4: global probe.
+  // L4: global probe. L4 is the exact level, so a peer we could not reach
+  // leaves the verdict uncertain: report Unavailable rather than a
+  // confident (and possibly wrong) "not found".
+  bool all_peers_answered = true;
   for (MdsId m = 0; m < servers_.size(); ++m) {
     if (!servers_[m]) continue;
     auto probe = Call(m, EncodePathRequest(MsgType::kGlobalProbe, path));
-    if (!probe.ok()) continue;
+    if (!probe.ok()) {
+      all_peers_answered = false;
+      continue;
+    }
     ByteReader pin(*probe);
     auto penv = OpenEnvelope(pin);
-    if (!penv.ok() || !penv->has_payload) continue;
+    if (!penv.ok() || !penv->has_payload) {
+      all_peers_answered = false;
+      continue;
+    }
     auto found = DecodeBoolResp(pin);
-    if (found.ok() && *found) return finish(4, true, m);
+    if (!found.ok()) {
+      all_peers_answered = false;
+      continue;
+    }
+    if (*found) return finish(4, true, m);
+  }
+  if (!all_peers_answered) {
+    return Status::Unavailable(
+        "lookup degraded: some peers unreachable at L4");
   }
   return finish(4, false, kInvalidMds);
 }
@@ -318,6 +475,7 @@ Status PrototypeCluster::Unlink(const std::string& path) {
 }
 
 Status PrototypeCluster::PublishAll() {
+  FlagGuard guard(in_failover_);  // iterates groups_ across Calls
   if (scheme_ == ProtoScheme::kHba) {
     for (MdsId owner = 0; owner < servers_.size(); ++owner) {
       if (!servers_[owner]) continue;
@@ -348,6 +506,7 @@ Status PrototypeCluster::PublishAll() {
 }
 
 Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
+  FlagGuard guard(in_failover_);  // holds references into groups_
   const std::uint64_t frames_before = TotalFramesIn();
   const MdsId nid = static_cast<MdsId>(servers_.size());
   if (Status s = StartServer(nid); !s.ok()) return s;
@@ -462,6 +621,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
   if (AliveServers().size() == 1) {
     return Status::InvalidArgument("cannot remove the last server");
   }
+  FlagGuard guard(in_failover_);  // holds references into groups_
   const std::uint64_t frames_before = TotalFramesIn();
 
   if (scheme_ == ProtoScheme::kGhba) {
@@ -566,14 +726,35 @@ Status PrototypeCluster::KillServer(MdsId id) {
   if (AliveServers().size() == 1) {
     return Status::InvalidArgument("cannot kill the last server");
   }
-  // The crash: no drain, no goodbye.
-  conns_.erase(id);
+  return FailOver(id);
+}
+
+Status PrototypeCluster::CrashServer(MdsId id) {
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::NotFound("no such server");
+  }
+  // Stop the event loop but leave every piece of orchestrator bookkeeping
+  // (groups, replica maps, cached connections!) untouched: from the
+  // client's point of view the machine just went dark. The health tracker
+  // notices through failing calls and runs FailOver without manual help.
   servers_[id]->Stop();
-  servers_[id].reset();
+  return Status::Ok();
+}
+
+Status PrototypeCluster::FailOver(MdsId id) {
+  // The crash (or its detection): no drain, no goodbye.
+  FlagGuard guard(in_failover_);
+  conns_.erase(id);
+  health_.MarkDead(id);
+  if (servers_[id]) {
+    servers_[id]->Stop();  // idempotent; a stalled loop still honours it
+    servers_[id].reset();
+  }
 
   // Fail-over (Section 4.5): "the corresponding Bloom filters are removed
   // from the other MDSs" — every survivor drops the dead server's replica
   // (if it holds one) and purges its L1 entries pointing there.
+  Status result = Status::Ok();
   for (const MdsId other : AliveServers()) {
     (void)Call(other, EncodeReplicaDrop(id));
   }
@@ -595,14 +776,14 @@ Status PrototypeCluster::KillServer(MdsId id) {
         for (const MdsId m : groups_[gi].members) group_of_[m] = gi;
       }
     } else {
-      if (Status s = EnsureCoverage(g); !s.ok()) return s;
+      result = EnsureCoverage(g);
     }
   } else {
     GroupInfo& g = groups_.front();
     g.members.erase(std::find(g.members.begin(), g.members.end(), id));
     group_of_.erase(id);
   }
-  return Status::Ok();
+  return result;
 }
 
 std::uint64_t PrototypeCluster::TotalFramesIn() const {

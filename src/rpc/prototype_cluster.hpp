@@ -18,6 +18,8 @@
 #include "common/rng.hpp"
 #include "core/config.hpp"
 #include "mds/metadata.hpp"
+#include "rpc/fault_injector.hpp"
+#include "rpc/health.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/server.hpp"
 #include "rpc/socket.hpp"
@@ -49,6 +51,15 @@ class PrototypeCluster {
   Status Start();
   void Stop();
 
+  /// Attach a deterministic fault injector. Call before Start() so server
+  /// event loops honour injected stalls (servers read the pointer from
+  /// their loop thread); client-side connections pick it up lazily at any
+  /// time. Pass nullptr to detach from the client side.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Client-visible failure accounting (suspicion / confirmed deaths).
+  const PeerHealthTracker& health() const { return health_; }
+
   std::size_t NumServers() const { return servers_.size(); }
   std::size_t NumGroups() const { return groups_.size(); }
 
@@ -77,6 +88,13 @@ class PrototypeCluster {
   /// heart-beat path of Section 4.5 over real sockets.
   Status KillServer(MdsId id);
 
+  /// Crash a server WITHOUT telling the orchestrator: the event loop stops
+  /// but all cluster bookkeeping still believes the server is alive, as
+  /// after a real machine failure. Detection and fail-over then happen
+  /// automatically through the health tracker (failed calls -> suspected
+  /// -> kPing confirmation -> FailOver), with no manual KillServer.
+  Status CrashServer(MdsId id);
+
   /// Live server ids.
   std::vector<MdsId> AliveServers() const;
 
@@ -95,10 +113,28 @@ class PrototypeCluster {
   };
 
   Status StartServer(MdsId id);
-  /// Blocking request/response over a lazily-opened connection.
+  /// Request/response with a per-call budget: each attempt is bounded by
+  /// rpc.attempt_timeout_ms, transport failures evict the cached
+  /// connection and retry (reconnecting lazily) with jittered backoff,
+  /// and the whole call never outlives rpc.call_budget_ms. Failures feed
+  /// the health tracker and can trigger automatic fail-over.
   Result<std::vector<std::uint8_t>> Call(MdsId id,
                                          const std::vector<std::uint8_t>& req);
+  /// One bounded send+recv exchange over the cached (or freshly opened)
+  /// connection; no retries, no health accounting.
+  Result<std::vector<std::uint8_t>> CallOnce(
+      MdsId id, const std::vector<std::uint8_t>& req, Deadline deadline);
   Status OneWay(MdsId id, const std::vector<std::uint8_t>& frame);
+
+  /// Health pipeline: account a failed call; once the peer is suspected,
+  /// confirm with kPing heart-beats and fail it over if confirmed dead.
+  void NoteCallFailure(MdsId id);
+  /// True when `id` answers none of rpc.ping_attempts kPing probes.
+  bool ConfirmDead(MdsId id);
+  /// Section 4.5 fail-over: stop what is left of the server, survivors
+  /// drop its filters, groups rebuild coverage. Shared by KillServer and
+  /// the automatic detection path.
+  Status FailOver(MdsId id);
 
   Result<BloomFilter> FetchFilter(MdsId owner);
   Status InstallReplica(MdsId holder, MdsId owner, const BloomFilter& filter);
@@ -120,6 +156,12 @@ class PrototypeCluster {
   std::unordered_map<MdsId, TcpConnection> conns_;
   std::vector<GroupInfo> groups_;               // G-HBA only
   std::unordered_map<MdsId, std::size_t> group_of_;
+
+  PeerHealthTracker health_;
+  FaultInjector* injector_ = nullptr;
+  /// Guards against recursive fail-over: the repair traffic itself may hit
+  /// slow peers, which must only be accounted, not chased.
+  bool in_failover_ = false;
 };
 
 }  // namespace ghba

@@ -57,7 +57,18 @@ void MdsServer::Stop() {
 
 void MdsServer::Loop() {
   std::vector<TcpConnection> conns;
+  // Per-frame IO bound: a peer that stalls mid-frame (or an injected
+  // truncation) costs one connection, not the whole event loop.
+  const auto io_budget =
+      std::chrono::milliseconds(config_.rpc.server_io_timeout_ms);
   while (!stop_.load(std::memory_order_acquire)) {
+    // An injected stall freezes request service without closing sockets —
+    // the failure mode heart-beats exist to detect. Shutdown still works.
+    while (injector_ != nullptr && injector_->IsStalled(id_) &&
+           !stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+
     std::vector<pollfd> fds;
     fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
     for (const auto& c : conns) fds.push_back(pollfd{c.fd(), POLLIN, 0});
@@ -67,14 +78,17 @@ void MdsServer::Loop() {
 
     if (fds[0].revents & POLLIN) {
       auto conn = listener_.Accept();
-      if (conn.ok()) conns.push_back(std::move(*conn));
+      if (conn.ok()) {
+        conn->set_injector(injector_);
+        conns.push_back(std::move(*conn));
+      }
     }
 
     // Walk connections back-to-front so erasing is cheap and indices into
     // `fds` (offset by 1 for the listener) stay valid.
     for (std::size_t i = conns.size(); i-- > 0;) {
       if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      auto frame = conns[i].RecvFrame();
+      auto frame = conns[i].RecvFrame(Deadline::After(io_budget));
       if (!frame.ok()) {
         conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
         continue;
@@ -84,8 +98,10 @@ void MdsServer::Loop() {
       bool shutdown = false;
       const auto response = Handle(*frame, respond, shutdown);
       if (respond) {
-        if (conns[i].SendFrame(response).ok()) {
+        if (conns[i].SendFrame(response, Deadline::After(io_budget)).ok()) {
           frames_out_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
         }
       }
       if (shutdown) {

@@ -18,6 +18,7 @@
 #include "bloom/lru_bloom_array.hpp"
 #include "core/config.hpp"
 #include "mds/store.hpp"
+#include "rpc/fault_injector.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/socket.hpp"
 
@@ -30,6 +31,11 @@ class MdsServer {
 
   MdsServer(const MdsServer&) = delete;
   MdsServer& operator=(const MdsServer&) = delete;
+
+  /// Attach a fault injector (call before Start): the loop honours
+  /// injected stalls for this server's id, and responses it sends pass
+  /// through the injector's frame faults.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
   /// Bind a loopback port (0 = OS-assigned) and start the event loop thread.
   Status Start(std::uint16_t port = 0);
@@ -60,6 +66,7 @@ class MdsServer {
 
   MdsId id_;
   ClusterConfig config_;
+  FaultInjector* injector_ = nullptr;
   TcpListener listener_;
   std::uint16_t port_ = 0;
   std::thread thread_;

@@ -2,18 +2,52 @@
 //
 // The prototype runs every MDS as an in-process server on 127.0.0.1 with a
 // poll(2)-driven event loop; these wrappers own the file descriptors and
-// provide framed, length-prefixed message IO. Blocking send/recv with
-// SIGPIPE suppressed; partial writes handled.
+// provide framed, length-prefixed message IO with optional deadlines:
+// every Connect/SendFrame/RecvFrame takes an absolute Deadline and reports
+// kTimedOut instead of blocking past it (the default Deadline never
+// expires, preserving fully blocking behaviour). SIGPIPE suppressed;
+// partial reads/writes handled. A connection may carry a FaultInjector,
+// which gets to drop, delay, truncate, or corrupt each outgoing frame.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "rpc/fault_injector.hpp"
 
 namespace ghba {
+
+/// Absolute time bound for a socket operation. Default-constructed
+/// deadlines never expire.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `timeout` from now.
+  static Deadline After(std::chrono::milliseconds timeout) {
+    Deadline d;
+    d.at_ = std::chrono::steady_clock::now() + timeout;
+    return d;
+  }
+  static Deadline Never() { return {}; }
+
+  bool never() const { return !at_.has_value(); }
+  bool expired() const {
+    return at_.has_value() && std::chrono::steady_clock::now() >= *at_;
+  }
+
+  /// Remaining budget as a poll(2) timeout: -1 = block forever, 0 =
+  /// already expired, else whole milliseconds (rounded up so a positive
+  /// remainder never busy-spins).
+  int PollTimeoutMs() const;
+
+ private:
+  std::optional<std::chrono::steady_clock::time_point> at_;
+};
 
 /// Owns a file descriptor; moves only.
 class FdHandle {
@@ -42,25 +76,39 @@ class TcpConnection {
   TcpConnection() = default;
   explicit TcpConnection(FdHandle fd) : fd_(std::move(fd)) {}
 
-  /// Connect to 127.0.0.1:port.
-  static Result<TcpConnection> Connect(std::uint16_t port);
+  /// Connect to 127.0.0.1:port. With a finite deadline the connect runs
+  /// non-blocking and reports kTimedOut if the peer does not accept in
+  /// time; kUnavailable covers refusals (including injected ones).
+  static Result<TcpConnection> Connect(std::uint16_t port,
+                                       Deadline deadline = Deadline::Never(),
+                                       FaultInjector* injector = nullptr);
 
   bool valid() const { return fd_.valid(); }
   int fd() const { return fd_.get(); }
 
-  /// Send one frame (length prefix + payload). Blocking.
-  Status SendFrame(const std::vector<std::uint8_t>& payload);
+  /// Attach (or detach, with nullptr) a fault injector; affects every
+  /// subsequent SendFrame on this connection.
+  void set_injector(FaultInjector* injector) { injector_ = injector; }
 
-  /// Receive one frame. Blocking; kUnavailable on orderly shutdown.
-  Result<std::vector<std::uint8_t>> RecvFrame();
+  /// Send one frame (length prefix + payload). Blocks up to `deadline`.
+  Status SendFrame(const std::vector<std::uint8_t>& payload,
+                   Deadline deadline = Deadline::Never());
+
+  /// Receive one frame. Blocks up to `deadline`; kUnavailable on orderly
+  /// shutdown, kTimedOut when the deadline expires first.
+  Result<std::vector<std::uint8_t>> RecvFrame(
+      Deadline deadline = Deadline::Never());
 
   void Close() { fd_.Close(); }
 
  private:
-  Status SendAll(const std::uint8_t* data, std::size_t len);
-  Status RecvAll(std::uint8_t* data, std::size_t len);
+  Status SendAll(const std::uint8_t* data, std::size_t len,
+                 const Deadline& deadline);
+  Status RecvAll(std::uint8_t* data, std::size_t len,
+                 const Deadline& deadline);
 
   FdHandle fd_;
+  FaultInjector* injector_ = nullptr;
 };
 
 /// Listening socket on 127.0.0.1; port 0 asks the OS to pick one.

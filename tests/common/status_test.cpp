@@ -30,7 +30,7 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kNotFound, StatusCode::kAlreadyExists,
         StatusCode::kInvalidArgument, StatusCode::kCapacity,
         StatusCode::kUnavailable, StatusCode::kCorruption,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kTimedOut}) {
     EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
   }
 }

@@ -1,0 +1,58 @@
+#include "rpc/health.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ghba {
+namespace {
+
+TEST(PeerHealthTrackerTest, UnknownPeersAreHealthy) {
+  PeerHealthTracker tracker(2);
+  EXPECT_EQ(tracker.state(42), PeerState::kHealthy);
+  EXPECT_EQ(tracker.consecutive_failures(42), 0u);
+  EXPECT_TRUE(tracker.DeadPeers().empty());
+}
+
+TEST(PeerHealthTrackerTest, FailuresEscalateToSuspected) {
+  PeerHealthTracker tracker(3);
+  EXPECT_EQ(tracker.RecordFailure(1), PeerState::kHealthy);
+  EXPECT_EQ(tracker.RecordFailure(1), PeerState::kHealthy);
+  EXPECT_EQ(tracker.RecordFailure(1), PeerState::kSuspected);
+  EXPECT_EQ(tracker.state(1), PeerState::kSuspected);
+  EXPECT_EQ(tracker.consecutive_failures(1), 3u);
+  // A different peer's streak is independent.
+  EXPECT_EQ(tracker.state(2), PeerState::kHealthy);
+}
+
+TEST(PeerHealthTrackerTest, SuccessClearsSuspicion) {
+  PeerHealthTracker tracker(2);
+  tracker.RecordFailure(5);
+  tracker.RecordFailure(5);
+  ASSERT_EQ(tracker.state(5), PeerState::kSuspected);
+  tracker.RecordSuccess(5);
+  EXPECT_EQ(tracker.state(5), PeerState::kHealthy);
+  EXPECT_EQ(tracker.consecutive_failures(5), 0u);
+  // The streak restarts from zero after the success.
+  EXPECT_EQ(tracker.RecordFailure(5), PeerState::kHealthy);
+}
+
+TEST(PeerHealthTrackerTest, DeadIsStickyUntilForget) {
+  PeerHealthTracker tracker(1);
+  tracker.RecordFailure(7);
+  tracker.MarkDead(7);
+  EXPECT_EQ(tracker.state(7), PeerState::kDead);
+  // A stray late success must not resurrect a confirmed-dead peer.
+  tracker.RecordSuccess(7);
+  EXPECT_EQ(tracker.state(7), PeerState::kDead);
+  EXPECT_EQ(tracker.DeadPeers(), std::vector<MdsId>{7});
+  tracker.Forget(7);
+  EXPECT_EQ(tracker.state(7), PeerState::kHealthy);
+  EXPECT_TRUE(tracker.DeadPeers().empty());
+}
+
+TEST(PeerHealthTrackerTest, ZeroThresholdClampsToOne) {
+  PeerHealthTracker tracker(0);
+  EXPECT_EQ(tracker.RecordFailure(1), PeerState::kSuspected);
+}
+
+}  // namespace
+}  // namespace ghba

@@ -125,5 +125,96 @@ TEST(ProtocolTest, BadEnvelopeByteRejected) {
   EXPECT_FALSE(OpenEnvelope(in).ok());
 }
 
+// --- malformed-frame hardening: every decoder must answer kCorruption,
+// never mis-parse or read out of bounds, when fed mangled bytes ---
+
+TEST(ProtocolHardeningTest, TimedOutStatusRoundTrips) {
+  const auto frame = EncodeStatusResp(Status::TimedOut("deadline"));
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->has_payload);
+  EXPECT_EQ(env->status.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(env->status.message(), "deadline");
+}
+
+TEST(ProtocolHardeningTest, OutOfRangeStatusCodeRejected) {
+  ByteWriter w;
+  w.PutU8(0);    // envelope: status follows
+  w.PutU8(200);  // no such StatusCode
+  w.PutString("");
+  ByteReader in(w.data());
+  const auto env = OpenEnvelope(in);
+  ASSERT_FALSE(env.ok());
+  EXPECT_EQ(env.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolHardeningTest, BadBoolByteRejected) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope: payload
+  w.PutU8(7);  // neither 0 nor 1: a flipped bit, not a truthy value
+  ByteReader in(w.data());
+  ASSERT_TRUE(OpenEnvelope(in).ok());
+  const auto decoded = DecodeBoolResp(in);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolHardeningTest, LyingHitCountRejected) {
+  // The count field claims far more hits than the frame has bytes for.
+  ByteWriter w;
+  w.PutU8(1);         // envelope
+  w.PutU8(0);         // lru_unique
+  w.PutU32(0);        // lru_home
+  w.PutVarint(1000);  // claimed hits, no bytes behind them
+  ByteReader in(w.data());
+  ASSERT_TRUE(OpenEnvelope(in).ok());
+  const auto decoded = DecodeLocalLookupResp(in);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolHardeningTest, LyingFileCountRejected) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutVarint(1ULL << 40);
+  ByteReader in(w.data());
+  ASSERT_TRUE(OpenEnvelope(in).ok());
+  const auto decoded = DecodeFileListResp(in);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolHardeningTest, EveryTruncationOfLocalLookupRejected) {
+  LocalLookupResp resp;
+  resp.lru_unique = true;
+  resp.lru_home = 3;
+  resp.hits = {1, 2, 3};
+  const auto full = EncodeLocalLookupResp(resp);
+  // Every proper prefix must fail cleanly: either the envelope itself is
+  // short, or the body decoder reports the truncation.
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteReader in(std::span<const std::uint8_t>(full.data(), len));
+    const auto env = OpenEnvelope(in);
+    if (!env.ok()) continue;
+    EXPECT_FALSE(DecodeLocalLookupResp(in).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ProtocolHardeningTest, EveryTruncationOfStatsRejected) {
+  StatsResp stats;
+  stats.frames_in = 10;
+  stats.frames_out = 20;
+  stats.files = 30;
+  stats.replicas = 40;
+  const auto full = EncodeStatsResp(stats);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteReader in(std::span<const std::uint8_t>(full.data(), len));
+    const auto env = OpenEnvelope(in);
+    if (!env.ok()) continue;
+    EXPECT_FALSE(DecodeStatsResp(in).ok()) << "prefix length " << len;
+  }
+}
+
 }  // namespace
 }  // namespace ghba

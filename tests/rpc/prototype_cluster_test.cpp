@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
 namespace ghba {
 namespace {
 
@@ -179,6 +184,127 @@ TEST(PrototypeRemoveTest, RemoveUnknownRejected) {
   ASSERT_TRUE(cluster.Start().ok());
   EXPECT_EQ(cluster.RemoveServer(99, nullptr).code(), StatusCode::kNotFound);
   EXPECT_EQ(cluster.KillServer(99).code(), StatusCode::kNotFound);
+}
+
+ClusterConfig TightRpcConfig(std::uint32_t n = 6, std::uint32_t m = 3) {
+  // Short budgets so tests that exercise dead/stalled peers finish fast.
+  auto c = ProtoConfig(n, m);
+  c.rpc.connect_timeout_ms = 200;
+  c.rpc.attempt_timeout_ms = 200;
+  c.rpc.call_budget_ms = 600;
+  c.rpc.max_attempts = 2;
+  c.rpc.retry_backoff_ms = 2;
+  c.rpc.server_io_timeout_ms = 200;
+  c.rpc.suspect_after = 2;
+  c.rpc.ping_attempts = 2;
+  c.rpc.ping_timeout_ms = 100;
+  return c;
+}
+
+TEST(PrototypeFailureTest, KillServerDropsFiltersAndRebuildsCoverage) {
+  PrototypeCluster cluster(ProtoConfig(6, 3), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(cluster.Insert("/cov/f" + std::to_string(i), Md(i)).ok());
+  }
+  ASSERT_TRUE(cluster.PublishAll().ok());
+  std::map<std::string, MdsId> home_of;
+  for (int i = 0; i < 60; ++i) {
+    const std::string path = "/cov/f" + std::to_string(i);
+    const auto r = cluster.Lookup(path);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->found);
+    home_of[path] = r->home;
+  }
+
+  const MdsId victim = 1;
+  ASSERT_TRUE(cluster.KillServer(victim).ok());
+  EXPECT_EQ(cluster.AliveServers().size(), 5u);
+  EXPECT_EQ(cluster.health().state(victim), PeerState::kDead);
+
+  for (const auto& [path, home] : home_of) {
+    const auto r = cluster.Lookup(path);
+    ASSERT_TRUE(r.ok()) << path << ": " << r.status().ToString();
+    if (home == victim) {
+      // Filters dropped everywhere: no stale replica or L1 entry may keep
+      // naming the dead server, so the miss is clean and immediate.
+      EXPECT_FALSE(r->found) << path;
+    } else {
+      EXPECT_TRUE(r->found) << path;
+      EXPECT_EQ(r->home, home) << path;
+      // Coverage rebuilt: with every group again holding a replica of
+      // every outsider, no surviving file needs the global L4 fallback.
+      EXPECT_LE(r->served_level, 3) << path;
+    }
+  }
+}
+
+TEST(PrototypeFailureTest, CrashedServerAutoDetectedAndFailedOver) {
+  PrototypeCluster cluster(TightRpcConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.Insert("/auto/f" + std::to_string(i), Md(i)).ok());
+  }
+  ASSERT_TRUE(cluster.PublishAll().ok());
+  std::map<std::string, MdsId> home_of;
+  for (int i = 0; i < 30; ++i) {
+    const std::string path = "/auto/f" + std::to_string(i);
+    const auto r = cluster.Lookup(path);
+    ASSERT_TRUE(r.ok());
+    home_of[path] = r->home;
+  }
+
+  // Crash without telling the orchestrator: bookkeeping still lists the
+  // victim as alive, and the warmed connection cache still points at it.
+  const MdsId victim = 2;
+  ASSERT_TRUE(cluster.CrashServer(victim).ok());
+  auto alive = cluster.AliveServers();
+  ASSERT_NE(std::find(alive.begin(), alive.end(), victim), alive.end());
+
+  // A call into the crashed server fails within its budget instead of
+  // hanging on the stale cached connection (evict + lazy reconnect).
+  const auto start = std::chrono::steady_clock::now();
+  const auto first = cluster.VerifyOn(victim, "/auto/f0");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(first.ok());
+  EXPECT_LT(elapsed.count(), 5000);
+
+  // The second failure crosses suspect_after; the kPing heart-beat finds
+  // nobody home and fail-over runs — no manual KillServer anywhere.
+  (void)cluster.VerifyOn(victim, "/auto/f0");
+  alive = cluster.AliveServers();
+  EXPECT_EQ(std::find(alive.begin(), alive.end(), victim), alive.end());
+  EXPECT_EQ(cluster.health().state(victim), PeerState::kDead);
+
+  // Service continues: survivors' files all resolve to their old homes.
+  for (const auto& [path, home] : home_of) {
+    const auto r = cluster.Lookup(path);
+    ASSERT_TRUE(r.ok()) << path << ": " << r.status().ToString();
+    EXPECT_EQ(r->found, home != victim) << path;
+    if (home != victim) {
+      EXPECT_EQ(r->home, home) << path;
+    }
+  }
+  ASSERT_TRUE(cluster.Insert("/auto/after", Md()).ok());
+  ASSERT_TRUE(cluster.PublishAll().ok());
+  const auto r = cluster.Lookup("/auto/after");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+}
+
+TEST(PrototypeFailureTest, SlowCallsDoNotTriggerFailOverByThemselves) {
+  // One transient failure stays below suspect_after: the peer is never
+  // suspected and nothing is torn down.
+  PrototypeCluster cluster(TightRpcConfig(4, 2), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  EXPECT_EQ(cluster.health().state(0), PeerState::kHealthy);
+  ASSERT_TRUE(cluster.Insert("/ok/x", Md()).ok());
+  ASSERT_TRUE(cluster.PublishAll().ok());
+  EXPECT_EQ(cluster.AliveServers().size(), 4u);
+  for (MdsId id = 0; id < 4; ++id) {
+    EXPECT_EQ(cluster.health().state(id), PeerState::kHealthy) << id;
+  }
 }
 
 TEST(PrototypeSplitTest, JoinsBeyondCapacityTriggerSplit) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "bloom/compressed.hpp"
 
 namespace ghba {
@@ -208,6 +211,47 @@ TEST_F(MdsServerTest, StopIsIdempotent) {
   server_->Stop();
   server_->Stop();
   EXPECT_FALSE(server_->running());
+}
+
+TEST(MdsServerStallTest, StalledLoopParksRequestsUntilUnstalled) {
+  // An injected stall is the failure mode heart-beats exist for: the
+  // sockets stay open but nothing answers, so only a deadline saves the
+  // caller. Unstalling lets the parked request complete.
+  MdsServer server(0, TestConfig());
+  FaultInjector injector;
+  server.set_fault_injector(&injector);
+  ASSERT_TRUE(server.Start().ok());
+  auto conn = TcpConnection::Connect(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SendFrame(EncodeHeader(MsgType::kPing)).ok());
+  ASSERT_TRUE(conn->RecvFrame().ok());
+
+  injector.StallServer(0);
+  // The loop polls in <=200ms slices; after this sleep it has certainly
+  // observed the stall flag and parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE(conn->SendFrame(EncodeHeader(MsgType::kPing)).ok());
+  const auto parked =
+      conn->RecvFrame(Deadline::After(std::chrono::milliseconds(150)));
+  ASSERT_FALSE(parked.ok());
+  EXPECT_EQ(parked.status().code(), StatusCode::kTimedOut);
+
+  injector.UnstallServer(0);
+  const auto resumed =
+      conn->RecvFrame(Deadline::After(std::chrono::seconds(5)));
+  EXPECT_TRUE(resumed.ok()) << resumed.status().ToString();
+  server.Stop();
+}
+
+TEST(MdsServerStallTest, StalledServerStillShutsDown) {
+  MdsServer server(3, TestConfig());
+  FaultInjector injector;
+  server.set_fault_injector(&injector);
+  ASSERT_TRUE(server.Start().ok());
+  injector.StallServer(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  server.Stop();  // must not hang on the stalled loop
+  EXPECT_FALSE(server.running());
 }
 
 TEST(MdsServerLifecycleTest, MultipleServersCoexist) {

@@ -114,6 +114,146 @@ TEST(SocketTest, OversizedFrameRejected) {
   EXPECT_EQ(client->SendFrame(huge).code(), StatusCode::kInvalidArgument);
 }
 
+TEST(DeadlineTest, NeverNeverExpires) {
+  const Deadline d = Deadline::Never();
+  EXPECT_TRUE(d.never());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.PollTimeoutMs(), -1);
+}
+
+TEST(DeadlineTest, AfterZeroIsAlreadyExpired) {
+  const Deadline d = Deadline::After(std::chrono::milliseconds(0));
+  EXPECT_FALSE(d.never());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.PollTimeoutMs(), 0);
+}
+
+TEST(DeadlineTest, PollTimeoutRoundsUpNotDownToZero) {
+  // A deadline a hair in the future must yield a positive poll timeout,
+  // never 0 (which poll(2) treats as "return immediately" = busy spin).
+  const Deadline d = Deadline::After(std::chrono::milliseconds(100));
+  const int t = d.PollTimeoutMs();
+  EXPECT_GT(t, 0);
+  EXPECT_LE(t, 100);
+}
+
+TEST(SocketDeadlineTest, RecvFrameTimesOutOnSilentPeer) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  // Nobody ever accepts or writes: the recv must give up at its deadline.
+  const auto start = std::chrono::steady_clock::now();
+  const auto frame =
+      client->RecvFrame(Deadline::After(std::chrono::milliseconds(50)));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kTimedOut);
+  EXPECT_GE(elapsed.count(), 40);    // did wait for the budget...
+  EXPECT_LT(elapsed.count(), 2000);  // ...but not (much) longer
+}
+
+TEST(SocketDeadlineTest, DeadlineDoesNotDisturbHealthyTraffic) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = conn->RecvFrame(Deadline::After(std::chrono::seconds(5)));
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(
+        conn->SendFrame(*frame, Deadline::After(std::chrono::seconds(5)))
+            .ok());
+  });
+  auto client = TcpConnection::Connect(
+      listener->port(), Deadline::After(std::chrono::seconds(5)));
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(
+      client->SendFrame({9, 8, 7}, Deadline::After(std::chrono::seconds(5)))
+          .ok());
+  const auto reply =
+      client->RecvFrame(Deadline::After(std::chrono::seconds(5)));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, (std::vector<std::uint8_t>{9, 8, 7}));
+  server.join();
+}
+
+TEST(SocketFaultTest, InjectedConnectRefusal) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  FaultInjector::Options opts;
+  opts.refuse_connect_prob = 1.0;
+  FaultInjector injector(opts);
+  const auto conn = TcpConnection::Connect(
+      listener->port(), Deadline::After(std::chrono::seconds(1)), &injector);
+  ASSERT_FALSE(conn.ok());
+  EXPECT_EQ(conn.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(injector.counters().refused_connects, 1u);
+}
+
+TEST(SocketFaultTest, DroppedFrameNeverArrives) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  FaultInjector::Options opts;
+  opts.drop_prob = 1.0;
+  FaultInjector injector(opts);
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  client->set_injector(&injector);
+  auto server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+  // The sender sees success (the network ate it), the receiver nothing.
+  ASSERT_TRUE(client->SendFrame({1, 2, 3}).ok());
+  const auto frame =
+      server->RecvFrame(Deadline::After(std::chrono::milliseconds(100)));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kTimedOut);
+  EXPECT_GE(injector.counters().drops, 1u);
+}
+
+TEST(SocketFaultTest, TruncatedFrameStallsReceiverUntilDeadline) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  FaultInjector::Options opts;
+  opts.truncate_prob = 1.0;
+  FaultInjector injector(opts);
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  client->set_injector(&injector);
+  auto server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+  // The length prefix promises the full payload but only a prefix is sent,
+  // so the receiver blocks mid-frame until its deadline fires.
+  ASSERT_TRUE(client->SendFrame(std::vector<std::uint8_t>(64, 0x5a)).ok());
+  const auto frame =
+      server->RecvFrame(Deadline::After(std::chrono::milliseconds(100)));
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kTimedOut);
+  EXPECT_GE(injector.counters().truncations, 1u);
+}
+
+TEST(SocketFaultTest, CorruptedFrameKeepsLengthChangesBytes) {
+  auto listener = TcpListener::Bind();
+  ASSERT_TRUE(listener.ok());
+  FaultInjector::Options opts;
+  opts.corrupt_prob = 1.0;
+  FaultInjector injector(opts);
+  auto client = TcpConnection::Connect(listener->port());
+  ASSERT_TRUE(client.ok());
+  client->set_injector(&injector);
+  auto server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+  const std::vector<std::uint8_t> sent(32, 0xcd);
+  ASSERT_TRUE(client->SendFrame(sent).ok());
+  const auto frame =
+      server->RecvFrame(Deadline::After(std::chrono::seconds(2)));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->size(), sent.size());
+  EXPECT_NE(*frame, sent);
+  EXPECT_GE(injector.counters().corruptions, 1u);
+}
+
 TEST(FdHandleTest, MoveSemantics) {
   FdHandle a(42);  // fake fd number; never used for IO
   EXPECT_TRUE(a.valid());
