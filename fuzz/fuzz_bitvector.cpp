@@ -1,0 +1,88 @@
+// Fuzzes the filter-family deserializers below the protocol layer:
+// BitVector, BloomFilter, CountingBloomFilter, and IdBloomArray all accept
+// untrusted bytes (replica payloads and snapshot files). The first input
+// byte selects the type; the rest is the serialized body.
+//
+// Successful decodes must round-trip through Serialize and respect the
+// wire geometry caps — in particular a length prefix must never drive an
+// allocation larger than the payload could back.
+#include <cstdint>
+#include <span>
+
+#include "bloom/bitvector.hpp"
+#include "bloom/bloom_filter.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "bloom/id_bloom_array.hpp"
+
+namespace {
+
+void Require(bool cond) {
+  if (!cond) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  const std::uint8_t selector = data[0] % 4;
+  ghba::ByteReader in(std::span(data + 1, size - 1));
+
+  switch (selector) {
+    case 0: {
+      const auto bv = ghba::BitVector::Deserialize(in);
+      if (bv.ok()) {
+        Require(bv->size() <= ghba::kMaxWireFilterBits);
+        // The truncation guard admits at most remaining/8 words.
+        Require(bv->MemoryBytes() <= size);
+        ghba::ByteWriter w;
+        bv->Serialize(w);
+        ghba::ByteReader again(w.data());
+        const auto roundtrip = ghba::BitVector::Deserialize(again);
+        Require(roundtrip.ok() && *roundtrip == *bv);
+      }
+      break;
+    }
+    case 1: {
+      const auto bf = ghba::BloomFilter::Deserialize(in);
+      if (bf.ok()) {
+        Require(bf->num_bits() > 0 &&
+                bf->num_bits() <= ghba::kMaxWireFilterBits);
+        ghba::ByteWriter w;
+        bf->Serialize(w);
+        ghba::ByteReader again(w.data());
+        const auto roundtrip = ghba::BloomFilter::Deserialize(again);
+        Require(roundtrip.ok() && *roundtrip == *bf);
+      }
+      break;
+    }
+    case 2: {
+      const auto cbf = ghba::CountingBloomFilter::Deserialize(in);
+      if (cbf.ok()) {
+        Require(cbf->num_counters() <= ghba::kMaxWireFilterBits);
+        Require(cbf->MemoryBytes() <= size);
+        ghba::ByteWriter w;
+        cbf->Serialize(w);
+        ghba::ByteReader again(w.data());
+        const auto roundtrip = ghba::CountingBloomFilter::Deserialize(again);
+        Require(roundtrip.ok() &&
+                roundtrip->item_count() == cbf->item_count() &&
+                roundtrip->num_counters() == cbf->num_counters());
+      }
+      break;
+    }
+    case 3: {
+      const auto idbfa = ghba::IdBloomArray::Deserialize(in);
+      if (idbfa.ok()) {
+        ghba::ByteWriter w;
+        idbfa->Serialize(w);
+        ghba::ByteReader again(w.data());
+        const auto roundtrip = ghba::IdBloomArray::Deserialize(again);
+        Require(roundtrip.ok() &&
+                roundtrip->Members().size() == idbfa->Members().size());
+      }
+      break;
+    }
+  }
+  return 0;
+}

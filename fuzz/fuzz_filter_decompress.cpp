@@ -1,0 +1,39 @@
+// Fuzzes DecompressFilter: the replica-install payload an MDS accepts from
+// any peer, in both raw and gap-coded modes.
+//
+// On a successful decode the filter must respect the wire geometry cap and
+// survive a compress -> decompress round trip bit-for-bit; decode errors
+// are the expected outcome for mangled input.
+#include <cstdint>
+#include <span>
+
+#include "bloom/compressed.hpp"
+
+namespace {
+
+void Require(bool cond) {
+  if (!cond) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ghba::ByteReader in(std::span(data, size));
+  const auto filter = ghba::DecompressFilter(in);
+  if (!filter.ok()) return 0;
+
+  Require(filter->num_bits() > 0);
+  Require(filter->num_bits() <= ghba::kMaxWireFilterBits);
+  Require(filter->k() >= 1 && filter->k() <= ghba::ProbeSet::kMaxK);
+  // A decoded filter can never claim more wire payload than it consumed.
+  Require(filter->bits().PopCount() <= filter->num_bits());
+
+  const auto recompressed = ghba::CompressFilter(*filter);
+  ghba::ByteReader again(recompressed);
+  const auto roundtrip = ghba::DecompressFilter(again);
+  Require(roundtrip.ok());
+  Require(*roundtrip == *filter);
+  Require(roundtrip->inserted_count() == filter->inserted_count());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fuzzes the client-side response decoders: every byte sequence a peer (or
+// the FaultInjector's corrupt/truncate modes) could hand back. The first
+// input byte selects the decoder; the rest is the frame body.
+//
+// Invariants checked on every successful decode:
+//  - re-encoding the decoded value and decoding it again round-trips, and
+//  - decoded values respect their documented ranges (bool is 0/1, hit
+//    counts fit the payload).
+// Violations trap; decode errors are the expected outcome and are ignored.
+#include <cstdint>
+#include <span>
+
+#include "rpc/protocol.hpp"
+
+namespace {
+
+void Require(bool cond) {
+  if (!cond) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 1) return 0;
+  const std::uint8_t selector = data[0] % 6;
+  ghba::ByteReader in(std::span(data + 1, size - 1));
+
+  switch (selector) {
+    case 0: {
+      const auto type = ghba::DecodeType(in);
+      if (type.ok()) {
+        Require(*type >= ghba::MsgType::kLookupLocal &&
+                *type <= ghba::MsgType::kExportFiles);
+      }
+      break;
+    }
+    case 1: {
+      const auto env = ghba::OpenEnvelope(in);
+      if (env.ok() && !env->has_payload) {
+        // The carried status must itself re-encode/decode cleanly.
+        const auto bytes = ghba::EncodeStatusResp(env->status);
+        ghba::ByteReader again(bytes);
+        Require(ghba::OpenEnvelope(again).ok());
+      }
+      break;
+    }
+    case 2: {
+      const auto value = ghba::DecodeBoolResp(in);
+      if (value.ok()) {
+        const auto bytes = ghba::EncodeBoolResp(*value);
+        ghba::ByteReader again(bytes);
+        auto reopened = ghba::OpenEnvelope(again);
+        Require(reopened.ok() && reopened->has_payload);
+        auto redecoded = ghba::DecodeBoolResp(again);
+        Require(redecoded.ok() && *redecoded == *value);
+      }
+      break;
+    }
+    case 3: {
+      const auto resp = ghba::DecodeLocalLookupResp(in);
+      if (resp.ok()) {
+        // The hardened count check admits at most remaining/4 hits.
+        Require(resp->hits.size() <= size / 4);
+        const auto bytes = ghba::EncodeLocalLookupResp(*resp);
+        ghba::ByteReader again(bytes);
+        Require(ghba::OpenEnvelope(again).ok());
+        auto redecoded = ghba::DecodeLocalLookupResp(again);
+        Require(redecoded.ok() && redecoded->hits == resp->hits &&
+                redecoded->lru_unique == resp->lru_unique &&
+                redecoded->lru_home == resp->lru_home);
+      }
+      break;
+    }
+    case 4: {
+      const auto stats = ghba::DecodeStatsResp(in);
+      if (stats.ok()) {
+        const auto bytes = ghba::EncodeStatsResp(*stats);
+        ghba::ByteReader again(bytes);
+        Require(ghba::OpenEnvelope(again).ok());
+        auto redecoded = ghba::DecodeStatsResp(again);
+        Require(redecoded.ok() && redecoded->frames_in == stats->frames_in &&
+                redecoded->replicas == stats->replicas);
+      }
+      break;
+    }
+    case 5: {
+      const auto resp = ghba::DecodeFileListResp(in);
+      if (resp.ok()) {
+        Require(resp->files.size() <= size);
+        const auto bytes = ghba::EncodeFileListResp(*resp);
+        ghba::ByteReader again(bytes);
+        Require(ghba::OpenEnvelope(again).ok());
+        auto redecoded = ghba::DecodeFileListResp(again);
+        Require(redecoded.ok() && redecoded->files.size() == resp->files.size());
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Writes the encoder-generated seed corpus for every fuzz harness.
+//
+// Usage: make_corpus <output root>   (creates <root>/<harness>/<seed name>)
+//
+// Seeds come straight from the production encoders so each harness starts
+// inside the valid-frame region and mutates outward from there. The seeds
+// are deterministic; re-running refreshes fuzz/corpus in place.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bloom/compressed.hpp"
+#include "bloom/counting_bloom_filter.hpp"
+#include "bloom/id_bloom_array.hpp"
+#include "mds/metadata.hpp"
+#include "rpc/protocol.hpp"
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void WriteSeed(const std::filesystem::path& root, const std::string& harness,
+               const std::string& name, const Bytes& data) {
+  const auto dir = root / harness;
+  std::filesystem::create_directories(dir);
+  std::ofstream out(dir / name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+/// Prefix a harness selector byte.
+Bytes Sel(std::uint8_t selector, const Bytes& body) {
+  Bytes out;
+  out.reserve(body.size() + 1);
+  out.push_back(selector);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+/// Drop the response envelope byte (the typed-payload decoders are fed the
+/// body the harness reaches after OpenEnvelope).
+Bytes StripEnvelope(const Bytes& frame) {
+  return Bytes(frame.begin() + 1, frame.end());
+}
+
+ghba::BloomFilter DenseFilter() {
+  auto bf = ghba::BloomFilter::ForCapacity(64, 8.0, /*seed=*/7);
+  for (int i = 0; i < 64; ++i) bf.Add("dense-" + std::to_string(i));
+  return bf;
+}
+
+ghba::BloomFilter SparseFilter() {
+  auto bf = ghba::BloomFilter::ForCapacity(4096, 16.0, /*seed=*/9);
+  bf.Add("one");
+  bf.Add("two");
+  return bf;
+}
+
+ghba::FileMetadata SampleMetadata() {
+  ghba::FileMetadata md;
+  md.inode = 42;
+  md.mode = 0644;
+  md.uid = 1000;
+  md.gid = 1000;
+  md.size_bytes = 1 << 20;
+  md.atime = 1.0;
+  md.mtime = 2.0;
+  md.ctime = 3.0;
+  md.data_servers = {1, 2, 3};
+  return md;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root = argv[1];
+
+  // --- fuzz_protocol_decode: selector + response body ---
+  WriteSeed(root, "fuzz_protocol_decode", "type",
+            Sel(0, ghba::EncodeHeader(ghba::MsgType::kGetStats)));
+  WriteSeed(root, "fuzz_protocol_decode", "envelope_error",
+            Sel(1, ghba::EncodeStatusResp(ghba::Status::NotFound("nope"))));
+  WriteSeed(root, "fuzz_protocol_decode", "envelope_ok",
+            Sel(1, ghba::EncodeStatusResp(ghba::Status::Ok())));
+  WriteSeed(root, "fuzz_protocol_decode", "bool",
+            Sel(2, StripEnvelope(ghba::EncodeBoolResp(true))));
+  ghba::LocalLookupResp lookup;
+  lookup.hits = {1, 3, 9};
+  lookup.lru_unique = true;
+  lookup.lru_home = 3;
+  WriteSeed(root, "fuzz_protocol_decode", "lookup",
+            Sel(3, StripEnvelope(ghba::EncodeLocalLookupResp(lookup))));
+  ghba::StatsResp stats{100, 99, 1234, 5};
+  WriteSeed(root, "fuzz_protocol_decode", "stats",
+            Sel(4, StripEnvelope(ghba::EncodeStatsResp(stats))));
+  ghba::FileListResp files;
+  files.files.emplace_back("/a/b", SampleMetadata());
+  files.files.emplace_back("/c", SampleMetadata());
+  WriteSeed(root, "fuzz_protocol_decode", "filelist",
+            Sel(5, StripEnvelope(ghba::EncodeFileListResp(files))));
+
+  // --- fuzz_request_decode: whole request frames ---
+  WriteSeed(root, "fuzz_request_decode", "lookup",
+            ghba::EncodePathRequest(ghba::MsgType::kLookupLocal, "/usr/lib"));
+  WriteSeed(root, "fuzz_request_decode", "verify",
+            ghba::EncodePathRequest(ghba::MsgType::kVerify, "/etc/passwd"));
+  WriteSeed(root, "fuzz_request_decode", "touch",
+            ghba::EncodeTouch("/var/tmp/f", 11));
+  WriteSeed(root, "fuzz_request_decode", "insert",
+            ghba::EncodeInsert("/new/file", SampleMetadata()));
+  WriteSeed(root, "fuzz_request_decode", "install_dense",
+            ghba::EncodeReplicaInstall(2, DenseFilter()));
+  WriteSeed(root, "fuzz_request_decode", "install_sparse",
+            ghba::EncodeReplicaInstall(3, SparseFilter()));
+  WriteSeed(root, "fuzz_request_decode", "drop", ghba::EncodeReplicaDrop(2));
+  WriteSeed(root, "fuzz_request_decode", "ping",
+            ghba::EncodeHeader(ghba::MsgType::kPing));
+  WriteSeed(root, "fuzz_request_decode", "export",
+            ghba::EncodeHeader(ghba::MsgType::kExportFiles));
+
+  // --- fuzz_filter_decompress: raw and gap-coded compressed filters ---
+  WriteSeed(root, "fuzz_filter_decompress", "raw",
+            ghba::CompressFilter(DenseFilter()));
+  WriteSeed(root, "fuzz_filter_decompress", "gap",
+            ghba::CompressFilter(SparseFilter()));
+
+  // --- fuzz_bitvector: selector + serialized filter-family bodies ---
+  {
+    ghba::ByteWriter w;
+    DenseFilter().bits().Serialize(w);
+    WriteSeed(root, "fuzz_bitvector", "bitvector", Sel(0, w.Take()));
+  }
+  {
+    ghba::ByteWriter w;
+    DenseFilter().Serialize(w);
+    WriteSeed(root, "fuzz_bitvector", "bloom", Sel(1, w.Take()));
+  }
+  {
+    auto cbf = ghba::CountingBloomFilter::ForCapacity(32, 8.0, 5);
+    for (int i = 0; i < 32; ++i) cbf.Add("c" + std::to_string(i));
+    ghba::ByteWriter w;
+    cbf.Serialize(w);
+    WriteSeed(root, "fuzz_bitvector", "counting", Sel(2, w.Take()));
+  }
+  {
+    ghba::IdBloomArray idbfa;
+    idbfa.AddMember(1);
+    idbfa.AddMember(2);
+    (void)idbfa.AddReplica(1, 7);
+    (void)idbfa.AddReplica(2, 9);
+    ghba::ByteWriter w;
+    idbfa.Serialize(w);
+    WriteSeed(root, "fuzz_bitvector", "idbfa", Sel(3, w.Take()));
+  }
+
+  std::fprintf(stderr, "corpus written under %s\n", root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Minimal libFuzzer-compatible driver for toolchains without -fsanitize=fuzzer.
+//
+// Accepts the subset of the libFuzzer command line our CI and docs use:
+//   fuzz_x <corpus dir or files>... [-runs=N] [-max_total_time=SECONDS]
+//
+// Every corpus input is replayed once, then a random-mutation loop runs
+// until the run/time budget is exhausted: pick a corpus input (or start
+// empty), apply a few byte-level mutations, and feed it to the harness.
+// Crashes surface as aborts/sanitizer reports exactly as under libFuzzer;
+// reproduction is `fuzz_x <file>` after saving the offending input.
+#include <csignal>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+// The input currently being executed, for the crash handler (libFuzzer's
+// artifact behavior: on a crash, persist the offending input for replay).
+const std::uint8_t* g_current_data = nullptr;
+std::size_t g_current_size = 0;
+
+void CrashHandler(int sig) {
+  // Async-signal-safe only: open/write/_exit.
+  const int fd = ::open("crash-input.bin", O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0 && g_current_data != nullptr) {
+    ssize_t ignored = ::write(fd, g_current_data, g_current_size);
+    (void)ignored;
+    ::close(fd);
+  }
+  constexpr char kMsg[] = "crash: input saved to crash-input.bin\n";
+  ssize_t ignored = ::write(STDERR_FILENO, kMsg, sizeof(kMsg) - 1);
+  (void)ignored;
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+int RunOne(const std::uint8_t* data, std::size_t size) {
+  g_current_data = data;
+  g_current_size = size;
+  const int rc = LLVMFuzzerTestOneInput(data, size);
+  g_current_data = nullptr;
+  g_current_size = 0;
+  return rc;
+}
+
+std::vector<std::uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void Mutate(std::vector<std::uint8_t>& data, std::mt19937_64& rng) {
+  const auto pick = [&rng](std::size_t n) {
+    return static_cast<std::size_t>(rng() % n);
+  };
+  const int edits = 1 + static_cast<int>(rng() % 8);
+  for (int e = 0; e < edits; ++e) {
+    switch (rng() % 5) {
+      case 0:  // flip bits
+        if (!data.empty()) data[pick(data.size())] ^= 1u << (rng() % 8);
+        break;
+      case 1:  // overwrite with an interesting byte
+        if (!data.empty()) {
+          static constexpr std::uint8_t kMagic[] = {0x00, 0x01, 0x7f, 0x80,
+                                                    0xff, 0xfe, 0x10, 0x40};
+          data[pick(data.size())] = kMagic[rng() % std::size(kMagic)];
+        }
+        break;
+      case 2:  // insert a random byte
+        if (data.size() < (1u << 16)) {
+          data.insert(data.begin() +
+                          static_cast<std::ptrdiff_t>(pick(data.size() + 1)),
+                      static_cast<std::uint8_t>(rng()));
+        }
+        break;
+      case 3:  // truncate
+        if (!data.empty()) data.resize(pick(data.size()));
+        break;
+      case 4:  // duplicate a chunk (grows length prefixes past their body)
+        if (!data.empty() && data.size() < (1u << 16)) {
+          const std::size_t from = pick(data.size());
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng() % 16, data.size() - from);
+          data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(from),
+                      data.begin() + static_cast<std::ptrdiff_t>(from + len));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::signal(SIGILL, CrashHandler);
+  ::signal(SIGSEGV, CrashHandler);
+  ::signal(SIGABRT, CrashHandler);
+  ::signal(SIGFPE, CrashHandler);
+  long long max_runs = -1;
+  long long max_seconds = -1;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      max_runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_seconds = std::atoll(arg.c_str() + 16);
+    } else if (arg.rfind("-", 0) == 0) {
+      std::fprintf(stderr, "ignoring unsupported flag %s\n", arg.c_str());
+    } else if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else if (std::filesystem::exists(arg)) {
+      inputs.emplace_back(arg);
+    } else {
+      std::fprintf(stderr, "no such input: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> corpus;
+  corpus.reserve(inputs.size());
+  for (const auto& path : inputs) corpus.push_back(ReadFile(path));
+  for (const auto& data : corpus) {
+    RunOne(data.data(), data.size());
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+  // File-replay-only mode, like libFuzzer with explicit files and no budget.
+  if (max_runs < 0 && max_seconds < 0) return 0;
+
+  // Fixed seed: a CI smoke run must be reproducible; local runs vary the
+  // budget, not the stream.
+  std::mt19937_64 rng(0x67686261ULL);  // "ghba"
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(max_seconds < 0 ? 1u << 20
+                                                             : max_seconds);
+  long long runs = 0;
+  while ((max_runs < 0 || runs < max_runs) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::vector<std::uint8_t> data;
+    if (!corpus.empty() && rng() % 8 != 0) {
+      data = corpus[rng() % corpus.size()];
+    }
+    Mutate(data, rng);
+    RunOne(data.data(), data.size());
+    ++runs;
+  }
+  std::fprintf(stderr, "executed %lld mutated runs\n", runs);
+  return 0;
+}

@@ -58,7 +58,15 @@ Result<BitVector> BitVector::Deserialize(ByteReader& in) {
   auto bits = in.GetVarint();
   if (!bits.ok()) return bits.status();
   // Reject absurd sizes before allocating (wire data is untrusted).
-  if (*bits > (1ULL << 40)) return Status::Corruption("bitvector too large");
+  if (*bits > kMaxWireFilterBits) {
+    return Status::Corruption("bitvector too large");
+  }
+  // Every word is 8 wire bytes; a length prefix promising more words than
+  // the payload can hold must fail before the allocation, not after.
+  const std::uint64_t words = (*bits + 63) / 64;
+  if (words > in.remaining() / 8) {
+    return Status::Corruption("bitvector truncated");
+  }
   BitVector bv(*bits);
   for (auto& word : bv.words_) {
     auto w = in.GetU64();

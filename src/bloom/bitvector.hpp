@@ -13,6 +13,11 @@
 
 namespace ghba {
 
+/// Upper bound on filter geometry accepted off the wire (2^33 bits = 1 GiB),
+/// generous for the paper's per-MDS scale. Wire data is untrusted: a hostile
+/// length prefix must never drive a larger allocation than this.
+inline constexpr std::uint64_t kMaxWireFilterBits = 1ULL << 33;
+
 class BitVector {
  public:
   BitVector() = default;

@@ -59,12 +59,17 @@ Result<BloomFilter> DecompressFilter(ByteReader& in) {
   if (!inserted.ok()) return inserted.status();
   auto num_bits = in.GetVarint();
   if (!num_bits.ok()) return num_bits.status();
-  if (*num_bits == 0 || *num_bits > (1ULL << 40)) {
+  if (*num_bits == 0 || *num_bits > kMaxWireFilterBits) {
     return Status::Corruption("bad filter size");
   }
   auto popcount = in.GetVarint();
   if (!popcount.ok()) return popcount.status();
   if (*popcount > *num_bits) return Status::Corruption("popcount > bits");
+  // Every gap costs at least one wire byte; a popcount the payload cannot
+  // back is corruption we can detect before decoding any gaps.
+  if (*popcount > in.remaining()) {
+    return Status::Corruption("popcount exceeds payload");
+  }
 
   BitVector bits(*num_bits);
   std::uint64_t pos = 0;

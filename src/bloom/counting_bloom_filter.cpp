@@ -48,23 +48,32 @@ void CountingBloomFilter::Add(const Hash128& digest) {
   ++items_;
 }
 
-void CountingBloomFilter::Remove(std::string_view key) {
-  Remove(Murmur3_128(key, seed()));
+Status CountingBloomFilter::Remove(std::string_view key) {
+  return Remove(Murmur3_128(key, seed()));
 }
 
-void CountingBloomFilter::Remove(const Hash128& digest) {
+Status CountingBloomFilter::Remove(const Hash128& digest) {
   ProbeSet probes;
   family_.FillProbes(digest, num_counters(), probes);
+  // Check first, touch nothing on failure: a zero counter proves the key
+  // was never added, and decrementing the other probes anyway would plant
+  // false negatives for keys that share them.
+  for (const std::uint64_t i : probes) {
+    if (Get(i) == 0) {
+      ++underflows_;
+      return Status::InvalidArgument("CBF remove of non-member");
+    }
+  }
   for (const std::uint64_t i : probes) {
     const std::uint8_t c = Get(i);
-    // Saturated counters stay put (we no longer know the true count);
-    // zero counters indicate a remove-without-add bug upstream.
-    assert(c > 0 && "CBF remove of non-member");
-    if (c > 0 && c < kMaxCounter) {
+    // Saturated counters stay put: the true count is unknown, so a
+    // decrement could zero evidence of other keys.
+    if (c < kMaxCounter) {
       Put(i, static_cast<std::uint8_t>(c - 1));
     }
   }
   if (items_ > 0) --items_;
+  return Status::Ok();
 }
 
 bool CountingBloomFilter::MayContain(std::string_view key) const {
@@ -84,6 +93,7 @@ void CountingBloomFilter::Clear() {
   std::fill(counters_.begin(), counters_.end(), 0);
   items_ = 0;
   overflows_ = 0;
+  underflows_ = 0;
 }
 
 BloomFilter CountingBloomFilter::ToBloomFilter() const {
@@ -112,8 +122,13 @@ Result<CountingBloomFilter> CountingBloomFilter::Deserialize(ByteReader& in) {
   if (!items.ok()) return items.status();
   auto len = in.GetVarint();
   if (!len.ok()) return len.status();
-  if (*len == 0 || *len > (1ULL << 37)) {
+  // Two 4-bit counters per byte, so the byte length is bounded by half the
+  // wire-wide geometry cap; it also can never exceed the payload itself.
+  if (*len == 0 || *len > kMaxWireFilterBits / 2) {
     return Status::Corruption("bad counter length");
+  }
+  if (*len > in.remaining()) {
+    return Status::Corruption("counters truncated");
   }
   auto bytes = in.GetBytes(*len);
   if (!bytes.ok()) return bytes.status();

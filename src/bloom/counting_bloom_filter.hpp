@@ -31,10 +31,15 @@ class CountingBloomFilter {
   void Add(std::string_view key);
   void Add(const Hash128& digest);
 
-  /// Decrement the key's counters. Removing a key that was never added
-  /// corrupts the filter (standard CBF contract); callers guard this.
-  void Remove(std::string_view key);
-  void Remove(const Hash128& digest);
+  /// Decrement the key's counters. Removing a key whose counters are not
+  /// all positive (a remove-without-add, e.g. a stale IDBFA member-leave)
+  /// would plant false negatives for genuinely present keys, so the filter
+  /// is checked first: on any zero counter the call returns
+  /// kInvalidArgument, changes nothing, and bumps underflow_count().
+  /// Saturated counters are pinned (their true count is unknown) and are
+  /// never decremented, so a saturated key stays visible forever.
+  Status Remove(std::string_view key);
+  Status Remove(const Hash128& digest);
 
   bool MayContain(std::string_view key) const;
   bool MayContain(const Hash128& digest) const;
@@ -48,6 +53,10 @@ class CountingBloomFilter {
 
   /// Number of counters that have ever saturated (diagnostic).
   std::uint64_t overflow_count() const { return overflows_; }
+
+  /// Number of rejected removes of non-members (diagnostic). A nonzero
+  /// value means some caller's add/remove bookkeeping is out of sync.
+  std::uint64_t underflow_count() const { return underflows_; }
 
   /// Flatten to a plain BloomFilter with identical geometry (counter>0 ->
   /// bit set). This is how an MDS ships a snapshot of a counting filter.
@@ -76,6 +85,7 @@ class CountingBloomFilter {
   HashFamily family_;
   std::uint64_t items_ = 0;
   std::uint64_t overflows_ = 0;
+  std::uint64_t underflows_ = 0;
 };
 
 }  // namespace ghba

@@ -45,8 +45,10 @@ Status IdBloomArray::AddReplica(MdsId member, MdsId replica_owner) {
 Status IdBloomArray::RemoveReplica(MdsId member, MdsId replica_owner) {
   auto it = filters_.find(member);
   if (it == filters_.end()) return Status::NotFound("unknown member");
-  it->second.Remove(DigestOf(replica_owner, options_.seed));
-  return Status::Ok();
+  // A member-leave for a replica that was never registered (or already
+  // deregistered) is rejected by the counting filter without corrupting it;
+  // surface that to the reconfiguration caller.
+  return it->second.Remove(DigestOf(replica_owner, options_.seed));
 }
 
 Status IdBloomArray::MoveReplica(MdsId from, MdsId to, MdsId replica_owner) {

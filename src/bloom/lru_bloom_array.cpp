@@ -57,7 +57,11 @@ void LruBloomArray::RemoveFromFilter(const CacheEntry& entry) {
   const auto it = filters_.find(entry.home);
   assert(it != filters_.end());
   if (it == filters_.end()) return;
-  it->second.filter.Remove(entry.digest);
+  // Entries are tracked exactly (every cached digest was Added once), so
+  // the remove can only fail on internal bookkeeping corruption.
+  const Status removed = it->second.filter.Remove(entry.digest);
+  assert(removed.ok());
+  (void)removed;
   assert(it->second.entries > 0);
   // Erase a drained filter: keeping it would make Query iterate (and
   // MemoryBytes count) one dead filter per home ever cached, forever.

@@ -41,16 +41,17 @@ void ScalableCountingFilter::Add(std::string_view key) {
 
 void ScalableCountingFilter::Remove(std::string_view key) {
   // Newest-to-oldest: recently added keys are most likely in late stages.
+  // The counting filter's check-first Remove doubles as the membership
+  // screen: it only succeeds in a stage whose counters all cover the key.
   for (auto it = stages_.rbegin(); it != stages_.rend(); ++it) {
-    if (it->filter.MayContain(key)) {
-      it->filter.Remove(key);
+    if (it->filter.Remove(key).ok()) {
       if (it->items > 0) --it->items;
       if (items_ > 0) --items_;
       return;
     }
   }
   // Remove of a never-added key: counting-filter contract violation by the
-  // caller; tolerated as a no-op here because stages screen it out.
+  // caller; tolerated as a no-op here because every stage rejected it.
 }
 
 bool ScalableCountingFilter::MayContain(std::string_view key) const {

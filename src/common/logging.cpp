@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace ghba {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+// Guards the stderr sink: one log line reaches the stream atomically.
+Mutex g_sink_mutex;
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -38,7 +40,7 @@ namespace internal {
 
 void LogLine(LogLevel level, const char* file, int line, const std::string& msg) {
   if (level < GetLogLevel()) return;
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  MutexLock lock(&g_sink_mutex);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line,
                msg.c_str());
 }

@@ -1,0 +1,131 @@
+// Clang thread-safety annotations and annotated synchronization wrappers.
+//
+// Every mutex-guarded structure in the library declares *at compile time*
+// which lock guards which field (GHBA_GUARDED_BY) and which capability each
+// function needs (GHBA_REQUIRES). Building with Clang and -Wthread-safety
+// then proves the locking discipline on every path — including paths no
+// test happens to exercise. On non-Clang compilers every macro expands to
+// nothing and Mutex/MutexLock behave exactly like std::mutex/lock_guard.
+//
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+// attribute semantics. The macro set follows the naming in that document.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define GHBA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GHBA_THREAD_ANNOTATION
+#define GHBA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable) type.
+#define GHBA_CAPABILITY(x) GHBA_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define GHBA_SCOPED_CAPABILITY GHBA_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is only read/written while holding the given capability.
+#define GHBA_GUARDED_BY(x) GHBA_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data is only touched while holding the given capability.
+#define GHBA_PT_GUARDED_BY(x) GHBA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability held on entry (and does not release it).
+#define GHBA_REQUIRES(...) \
+  GHBA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define GHBA_ACQUIRE(...) \
+  GHBA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define GHBA_RELEASE(...) \
+  GHBA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability if it returns true.
+#define GHBA_TRY_ACQUIRE(...) \
+  GHBA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define GHBA_EXCLUDES(...) GHBA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define GHBA_RETURN_CAPABILITY(x) GHBA_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch; use sparingly and say why at the call site.
+#define GHBA_NO_THREAD_SAFETY_ANALYSIS \
+  GHBA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ghba {
+
+/// std::mutex with capability annotations. Drop-in for the plain type:
+/// same cost, but fields can be GHBA_GUARDED_BY it and functions can
+/// GHBA_REQUIRES it.
+class GHBA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() GHBA_ACQUIRE() { mu_.lock(); }
+  void Unlock() GHBA_RELEASE() { mu_.unlock(); }
+  bool TryLock() GHBA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// For interop with std::condition_variable_any and std::scoped_lock.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, annotated so the analysis tracks the scope:
+///   MutexLock lock(&mu_);   // mu_ held until end of scope
+class GHBA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) GHBA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() GHBA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// A "thread role" capability (Clang's role idiom): state owned by exactly
+/// one thread — e.g. an event loop — is GHBA_GUARDED_BY the role, functions
+/// that touch it GHBA_REQUIRES it, and the owning thread Adopt()s the role
+/// once at the top of its run function. There is no lock at runtime; the
+/// analysis simply refuses any access from a function that cannot prove it
+/// runs on the owning thread.
+class GHBA_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void Adopt() GHBA_ACQUIRE() {}
+  void Drop() GHBA_RELEASE() {}
+};
+
+/// Scoped adoption of a ThreadRole for the duration of a thread function.
+class GHBA_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole* role) GHBA_ACQUIRE(role)
+      : role_(role) {
+    role_->Adopt();
+  }
+  ~ThreadRoleGuard() GHBA_RELEASE() { role_->Drop(); }
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole* const role_;
+};
+
+}  // namespace ghba

@@ -5,13 +5,13 @@
 namespace ghba {
 
 void FaultInjector::set_options(const Options& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   options_ = options;
   rng_ = Rng(options.seed);
 }
 
 FaultInjector::FramePlan FaultInjector::PlanFrame() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ++counters_.frames;
   FramePlan plan;
   // One uniform draw picks among the fault classes so their probabilities
@@ -47,7 +47,7 @@ FaultInjector::FramePlan FaultInjector::PlanFrame() {
 }
 
 bool FaultInjector::RefuseConnect() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (options_.refuse_connect_prob <= 0) return false;
   if (!rng_.NextBool(options_.refuse_connect_prob)) return false;
   ++counters_.refused_connects;
@@ -55,22 +55,22 @@ bool FaultInjector::RefuseConnect() {
 }
 
 void FaultInjector::StallServer(MdsId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stalled_.insert(id);
 }
 
 void FaultInjector::UnstallServer(MdsId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stalled_.erase(id);
 }
 
 bool FaultInjector::IsStalled(MdsId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stalled_.contains(id);
 }
 
 FaultInjector::Counters FaultInjector::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return counters_;
 }
 

@@ -14,11 +14,11 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 
 namespace ghba {
 
@@ -76,11 +76,14 @@ class FaultInjector {
   Counters counters() const;
 
  private:
-  mutable std::mutex mu_;
-  Options options_;
-  Rng rng_{1};
-  Counters counters_;
-  std::set<MdsId> stalled_;
+  mutable Mutex mu_;
+  /// One decision stream: options, RNG, counters, and the stalled set all
+  /// advance together under mu_, so a fixed seed replays a fixed fault
+  /// sequence regardless of which thread asks.
+  Options options_ GHBA_GUARDED_BY(mu_);
+  Rng rng_ GHBA_GUARDED_BY(mu_){1};
+  Counters counters_ GHBA_GUARDED_BY(mu_);
+  std::set<MdsId> stalled_ GHBA_GUARDED_BY(mu_);
 };
 
 /// Apply a kTruncate/kCorrupt plan to a payload copy: truncation drops a

@@ -3,7 +3,7 @@
 namespace ghba {
 
 void PeerHealthTracker::RecordSuccess(MdsId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& entry = peers_[id];
   if (entry.state == PeerState::kDead) return;  // dead peers stay dead
   entry.state = PeerState::kHealthy;
@@ -11,7 +11,7 @@ void PeerHealthTracker::RecordSuccess(MdsId id) {
 }
 
 PeerState PeerHealthTracker::RecordFailure(MdsId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto& entry = peers_[id];
   if (entry.state == PeerState::kDead) return entry.state;
   ++entry.failures;
@@ -20,29 +20,29 @@ PeerState PeerHealthTracker::RecordFailure(MdsId id) {
 }
 
 void PeerHealthTracker::MarkDead(MdsId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   peers_[id].state = PeerState::kDead;
 }
 
 void PeerHealthTracker::Forget(MdsId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   peers_.erase(id);
 }
 
 PeerState PeerHealthTracker::state(MdsId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = peers_.find(id);
   return it == peers_.end() ? PeerState::kHealthy : it->second.state;
 }
 
 std::uint32_t PeerHealthTracker::consecutive_failures(MdsId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = peers_.find(id);
   return it == peers_.end() ? 0 : it->second.failures;
 }
 
 std::vector<MdsId> PeerHealthTracker::DeadPeers() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<MdsId> out;
   for (const auto& [id, entry] : peers_) {
     if (entry.state == PeerState::kDead) out.push_back(id);

@@ -15,10 +15,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "rpc/fault_injector.hpp"  // MdsId alias
 
 namespace ghba {
@@ -57,8 +57,8 @@ class PeerHealthTracker {
   };
 
   const std::uint32_t suspect_after_;
-  mutable std::mutex mu_;
-  std::unordered_map<MdsId, Entry> peers_;
+  mutable Mutex mu_;
+  std::unordered_map<MdsId, Entry> peers_ GHBA_GUARDED_BY(mu_);
 };
 
 }  // namespace ghba

@@ -49,16 +49,32 @@ struct FlagGuard {
 }  // namespace
 
 PrototypeCluster::PrototypeCluster(ClusterConfig config, ProtoScheme scheme)
-    : config_(config),
+    : config_(std::move(config)),
       scheme_(scheme),
-      rng_(config.seed ^ 0x9999),
-      health_(config.rpc.suspect_after) {}
+      rng_(config_.seed ^ 0x9999),
+      health_(config_.rpc.suspect_after) {}
 
 PrototypeCluster::~PrototypeCluster() { Stop(); }
 
 void PrototypeCluster::set_fault_injector(FaultInjector* injector) {
+  MutexLock lock(&mu_);
   injector_ = injector;
   for (auto& [id, conn] : conns_) conn.set_injector(injector);
+}
+
+std::size_t PrototypeCluster::NumServers() const {
+  MutexLock lock(&mu_);
+  return servers_.size();
+}
+
+std::size_t PrototypeCluster::NumGroups() const {
+  MutexLock lock(&mu_);
+  return groups_.size();
+}
+
+Result<bool> PrototypeCluster::VerifyOn(MdsId id, const std::string& path) {
+  MutexLock lock(&mu_);
+  return VerifyAt(id, path);
 }
 
 Status PrototypeCluster::StartServer(MdsId id) {
@@ -72,6 +88,7 @@ Status PrototypeCluster::StartServer(MdsId id) {
 }
 
 Status PrototypeCluster::Start() {
+  MutexLock lock(&mu_);
   for (MdsId id = 0; id < config_.num_mds; ++id) {
     if (Status s = StartServer(id); !s.ok()) return s;
   }
@@ -113,6 +130,11 @@ Status PrototypeCluster::Start() {
 }
 
 void PrototypeCluster::Stop() {
+  MutexLock lock(&mu_);
+  StopLocked();
+}
+
+void PrototypeCluster::StopLocked() {
   conns_.clear();
   for (auto& server : servers_) {
     if (server) server->Stop();
@@ -323,7 +345,8 @@ Status PrototypeCluster::EnsureCoverage(GroupInfo& g) {
 
 Status PrototypeCluster::Insert(const std::string& path,
                                 const FileMetadata& metadata) {
-  const auto alive = AliveServers();
+  MutexLock lock(&mu_);
+  const auto alive = AliveServersLocked();
   if (alive.empty()) return Status::Unavailable("no servers");
   const MdsId home = alive[rng_.NextBounded(alive.size())];
   auto resp = Call(home, EncodeInsert(path, metadata));
@@ -346,22 +369,16 @@ Result<bool> PrototypeCluster::VerifyAt(MdsId candidate,
 }
 
 Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
-  ProtoLookupResult result;
+  MutexLock lock(&mu_);
+  return LookupLocked(path);
+}
+
+Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
+    const std::string& path) {
   const double start = NowMs();
-  const auto alive = AliveServers();
+  const auto alive = AliveServersLocked();
   if (alive.empty()) return Status::Unavailable("no servers");
   const MdsId entry = alive[rng_.NextBounded(alive.size())];
-
-  const auto finish = [&](int level, bool found, MdsId home) {
-    result.found = found;
-    result.home = home;
-    result.served_level = level;
-    result.latency_ms = NowMs() - start;
-    if (found) {
-      (void)OneWay(entry, EncodeTouch(path, home));
-    }
-    return result;
-  };
 
   // L1 + L2 on the entry server. A slow or dead entry degrades the query
   // to the lower levels (empty local result) instead of failing it: the
@@ -379,25 +396,13 @@ Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
   }
 
   std::vector<MdsId> verified;
-  const auto try_verify = [&](MdsId candidate) -> bool {
-    if (std::find(verified.begin(), verified.end(), candidate) !=
-        verified.end()) {
-      return false;
-    }
-    verified.push_back(candidate);
-    // Stale cache/replica named a dead/slow server, or the answer came
-    // back mangled: degraded service means the query continues down the
-    // hierarchy, not that it fails (Sec. 4.5). The exact L4 pass backstops
-    // any candidate skipped here.
-    auto v = VerifyAt(candidate, path);
-    return v.ok() && *v;
-  };
 
-  if (local.lru_unique && try_verify(local.lru_home)) {
-    return finish(1, true, local.lru_home);
+  if (local.lru_unique && TryVerifyOnce(verified, local.lru_home, path)) {
+    return FinishLookup(path, entry, start, 1, true, local.lru_home);
   }
-  if (local.hits.size() == 1 && try_verify(local.hits.front())) {
-    return finish(2, true, local.hits.front());
+  if (local.hits.size() == 1 &&
+      TryVerifyOnce(verified, local.hits.front(), path)) {
+    return FinishLookup(path, entry, start, 2, true, local.hits.front());
   }
 
   // L3: probe the rest of the entry's group. A timed-out peer counts as a
@@ -427,7 +432,9 @@ Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
     for (const MdsId c : candidates) {
-      if (try_verify(c)) return finish(3, true, c);
+      if (TryVerifyOnce(verified, c, path)) {
+        return FinishLookup(path, entry, start, 3, true, c);
+      }
     }
   }
 
@@ -453,17 +460,49 @@ Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
       all_peers_answered = false;
       continue;
     }
-    if (*found) return finish(4, true, m);
+    if (*found) return FinishLookup(path, entry, start, 4, true, m);
   }
   if (!all_peers_answered) {
     return Status::Unavailable(
         "lookup degraded: some peers unreachable at L4");
   }
-  return finish(4, false, kInvalidMds);
+  return FinishLookup(path, entry, start, 4, false, kInvalidMds);
+}
+
+bool PrototypeCluster::TryVerifyOnce(std::vector<MdsId>& verified,
+                                     MdsId candidate,
+                                     const std::string& path) {
+  if (std::find(verified.begin(), verified.end(), candidate) !=
+      verified.end()) {
+    return false;
+  }
+  verified.push_back(candidate);
+  // Stale cache/replica named a dead/slow server, or the answer came
+  // back mangled: degraded service means the query continues down the
+  // hierarchy, not that it fails (Sec. 4.5). The exact L4 pass backstops
+  // any candidate skipped here.
+  auto v = VerifyAt(candidate, path);
+  return v.ok() && *v;
+}
+
+ProtoLookupResult PrototypeCluster::FinishLookup(const std::string& path,
+                                                 MdsId entry, double start_ms,
+                                                 int level, bool found,
+                                                 MdsId home) {
+  ProtoLookupResult result;
+  result.found = found;
+  result.home = home;
+  result.served_level = level;
+  result.latency_ms = NowMs() - start_ms;
+  if (found) {
+    (void)OneWay(entry, EncodeTouch(path, home));
+  }
+  return result;
 }
 
 Status PrototypeCluster::Unlink(const std::string& path) {
-  auto located = Lookup(path);
+  MutexLock lock(&mu_);
+  auto located = LookupLocked(path);
   if (!located.ok()) return located.status();
   if (!located->found) return Status::NotFound(path);
   auto resp = Call(located->home, EncodePathRequest(MsgType::kUnlink, path));
@@ -475,6 +514,11 @@ Status PrototypeCluster::Unlink(const std::string& path) {
 }
 
 Status PrototypeCluster::PublishAll() {
+  MutexLock lock(&mu_);
+  return PublishAllLocked();
+}
+
+Status PrototypeCluster::PublishAllLocked() {
   FlagGuard guard(in_failover_);  // iterates groups_ across Calls
   if (scheme_ == ProtoScheme::kHba) {
     for (MdsId owner = 0; owner < servers_.size(); ++owner) {
@@ -506,8 +550,9 @@ Status PrototypeCluster::PublishAll() {
 }
 
 Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
+  MutexLock lock(&mu_);
   FlagGuard guard(in_failover_);  // holds references into groups_
-  const std::uint64_t frames_before = TotalFramesIn();
+  const std::uint64_t frames_before = TotalFramesInLocked();
   const MdsId nid = static_cast<MdsId>(servers_.size());
   if (Status s = StartServer(nid); !s.ok()) return s;
 
@@ -602,11 +647,16 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
     }
   }
 
-  if (messages != nullptr) *messages = TotalFramesIn() - frames_before;
+  if (messages != nullptr) *messages = TotalFramesInLocked() - frames_before;
   return nid;
 }
 
 std::vector<MdsId> PrototypeCluster::AliveServers() const {
+  MutexLock lock(&mu_);
+  return AliveServersLocked();
+}
+
+std::vector<MdsId> PrototypeCluster::AliveServersLocked() const {
   std::vector<MdsId> out;
   for (MdsId id = 0; id < servers_.size(); ++id) {
     if (servers_[id]) out.push_back(id);
@@ -615,14 +665,15 @@ std::vector<MdsId> PrototypeCluster::AliveServers() const {
 }
 
 Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
+  MutexLock lock(&mu_);
   if (id >= servers_.size() || !servers_[id]) {
     return Status::NotFound("no such server");
   }
-  if (AliveServers().size() == 1) {
+  if (AliveServersLocked().size() == 1) {
     return Status::InvalidArgument("cannot remove the last server");
   }
   FlagGuard guard(in_failover_);  // holds references into groups_
-  const std::uint64_t frames_before = TotalFramesIn();
+  const std::uint64_t frames_before = TotalFramesInLocked();
 
   if (scheme_ == ProtoScheme::kGhba) {
     const std::size_t gid = group_of_.at(id);
@@ -655,7 +706,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
     }
     // Every survivor drops the leaver's replica/filter state and purges L1
     // entries pointing at it.
-    for (const MdsId other : AliveServers()) {
+    for (const MdsId other : AliveServersLocked()) {
       if (other != id) (void)Call(other, EncodeReplicaDrop(id));
     }
     for (auto& other : groups_) {
@@ -671,7 +722,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
     GroupInfo& g = groups_.front();
     g.members.erase(std::find(g.members.begin(), g.members.end(), id));
     group_of_.erase(id);
-    for (const MdsId other : AliveServers()) {
+    for (const MdsId other : AliveServersLocked()) {
       if (other == id) continue;
       (void)Call(other, EncodeReplicaDrop(id));
     }
@@ -686,7 +737,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
   if (!env->has_payload) return env->status;
   auto files = DecodeFileListResp(in);
   if (!files.ok()) return files.status();
-  const auto survivors = AliveServers();
+  const auto survivors = AliveServersLocked();
   std::vector<MdsId> targets;
   for (const MdsId s : survivors) {
     if (s != id) targets.push_back(s);
@@ -711,25 +762,27 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
   conns_.erase(id);
   servers_[id]->Stop();
   servers_[id].reset();
-  if (Status s = PublishAll(); !s.ok()) return s;
+  if (Status s = PublishAllLocked(); !s.ok()) return s;
 
   if (messages != nullptr) {
-    *messages = TotalFramesIn() + victim_frames - frames_before;
+    *messages = TotalFramesInLocked() + victim_frames - frames_before;
   }
   return Status::Ok();
 }
 
 Status PrototypeCluster::KillServer(MdsId id) {
+  MutexLock lock(&mu_);
   if (id >= servers_.size() || !servers_[id]) {
     return Status::NotFound("no such server");
   }
-  if (AliveServers().size() == 1) {
+  if (AliveServersLocked().size() == 1) {
     return Status::InvalidArgument("cannot kill the last server");
   }
   return FailOver(id);
 }
 
 Status PrototypeCluster::CrashServer(MdsId id) {
+  MutexLock lock(&mu_);
   if (id >= servers_.size() || !servers_[id]) {
     return Status::NotFound("no such server");
   }
@@ -755,7 +808,7 @@ Status PrototypeCluster::FailOver(MdsId id) {
   // from the other MDSs" — every survivor drops the dead server's replica
   // (if it holds one) and purges its L1 entries pointing there.
   Status result = Status::Ok();
-  for (const MdsId other : AliveServers()) {
+  for (const MdsId other : AliveServersLocked()) {
     (void)Call(other, EncodeReplicaDrop(id));
   }
   if (scheme_ == ProtoScheme::kGhba) {
@@ -787,6 +840,11 @@ Status PrototypeCluster::FailOver(MdsId id) {
 }
 
 std::uint64_t PrototypeCluster::TotalFramesIn() const {
+  MutexLock lock(&mu_);
+  return TotalFramesInLocked();
+}
+
+std::uint64_t PrototypeCluster::TotalFramesInLocked() const {
   std::uint64_t total = 0;
   for (const auto& server : servers_) {
     if (server) total += server->frames_in();

@@ -6,6 +6,13 @@
 // MDS (L1/L2 run remotely on the entry server; group and global fan-outs go
 // to the members / all servers). Message counts come straight from the
 // servers' frame counters, which is what Fig. 15 plots.
+//
+// Thread safety: all client/orchestrator state (cached connections, group
+// topology, the reconfiguration guard) is GHBA_GUARDED_BY(mu_); public
+// entry points take the lock and everything below them carries
+// GHBA_REQUIRES(mu_), so Clang's -Wthread-safety proves no path touches
+// the topology unlocked — including the automatic fail-over path that
+// rewrites groups_ underneath a lookup.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "core/config.hpp"
 #include "mds/metadata.hpp"
 #include "rpc/fault_injector.hpp"
@@ -60,8 +68,8 @@ class PrototypeCluster {
   /// Client-visible failure accounting (suspicion / confirmed deaths).
   const PeerHealthTracker& health() const { return health_; }
 
-  std::size_t NumServers() const { return servers_.size(); }
-  std::size_t NumGroups() const { return groups_.size(); }
+  std::size_t NumServers() const;
+  std::size_t NumGroups() const;
 
   /// Create a file on a uniformly random server.
   Status Insert(const std::string& path, const FileMetadata& metadata);
@@ -99,9 +107,7 @@ class PrototypeCluster {
   std::vector<MdsId> AliveServers() const;
 
   /// Diagnostic: exact store membership of `path` on one server.
-  Result<bool> VerifyOn(MdsId id, const std::string& path) {
-    return VerifyAt(id, path);
-  }
+  Result<bool> VerifyOn(MdsId id, const std::string& path);
 
   /// Total frames received across all servers (monotone counter).
   std::uint64_t TotalFramesIn() const;
@@ -112,56 +118,88 @@ class PrototypeCluster {
     std::unordered_map<MdsId, MdsId> holder;  // owner -> member holding it
   };
 
-  Status StartServer(MdsId id);
+  Status StartServer(MdsId id) GHBA_REQUIRES(mu_);
   /// Request/response with a per-call budget: each attempt is bounded by
   /// rpc.attempt_timeout_ms, transport failures evict the cached
   /// connection and retry (reconnecting lazily) with jittered backoff,
   /// and the whole call never outlives rpc.call_budget_ms. Failures feed
   /// the health tracker and can trigger automatic fail-over.
   Result<std::vector<std::uint8_t>> Call(MdsId id,
-                                         const std::vector<std::uint8_t>& req);
+                                         const std::vector<std::uint8_t>& req)
+      GHBA_REQUIRES(mu_);
   /// One bounded send+recv exchange over the cached (or freshly opened)
   /// connection; no retries, no health accounting.
   Result<std::vector<std::uint8_t>> CallOnce(
-      MdsId id, const std::vector<std::uint8_t>& req, Deadline deadline);
-  Status OneWay(MdsId id, const std::vector<std::uint8_t>& frame);
+      MdsId id, const std::vector<std::uint8_t>& req, Deadline deadline)
+      GHBA_REQUIRES(mu_);
+  Status OneWay(MdsId id, const std::vector<std::uint8_t>& frame)
+      GHBA_REQUIRES(mu_);
 
   /// Health pipeline: account a failed call; once the peer is suspected,
   /// confirm with kPing heart-beats and fail it over if confirmed dead.
-  void NoteCallFailure(MdsId id);
+  void NoteCallFailure(MdsId id) GHBA_REQUIRES(mu_);
   /// True when `id` answers none of rpc.ping_attempts kPing probes.
-  bool ConfirmDead(MdsId id);
+  bool ConfirmDead(MdsId id) GHBA_REQUIRES(mu_);
   /// Section 4.5 fail-over: stop what is left of the server, survivors
   /// drop its filters, groups rebuild coverage. Shared by KillServer and
   /// the automatic detection path.
-  Status FailOver(MdsId id);
+  Status FailOver(MdsId id) GHBA_REQUIRES(mu_);
 
-  Result<BloomFilter> FetchFilter(MdsId owner);
-  Status InstallReplica(MdsId holder, MdsId owner, const BloomFilter& filter);
+  Result<BloomFilter> FetchFilter(MdsId owner) GHBA_REQUIRES(mu_);
+  Status InstallReplica(MdsId holder, MdsId owner, const BloomFilter& filter)
+      GHBA_REQUIRES(mu_);
 
   /// Member of `g` holding the fewest replicas.
   MdsId LightestMember(const GroupInfo& g) const;
   /// Group index with room, or SIZE_MAX.
-  std::size_t GroupWithRoom() const;
-  Status EnsureCoverage(GroupInfo& g);
+  std::size_t GroupWithRoom() const GHBA_REQUIRES(mu_);
+  Status EnsureCoverage(GroupInfo& g) GHBA_REQUIRES(mu_);
 
-  Result<bool> VerifyAt(MdsId candidate, const std::string& path);
+  Result<bool> VerifyAt(MdsId candidate, const std::string& path)
+      GHBA_REQUIRES(mu_);
+  /// Verifies `candidate` at most once per lookup (`verified` is the
+  /// per-lookup memo). Named helpers instead of lambdas so the thread-
+  /// safety analysis sees the REQUIRES(mu_) contract: Clang analyzes a
+  /// lambda body as a separate unannotated function, losing the caller's
+  /// held-lock set.
+  bool TryVerifyOnce(std::vector<MdsId>& verified, MdsId candidate,
+                     const std::string& path) GHBA_REQUIRES(mu_);
+  /// Completes a ProtoLookupResult; on a hit, fire-and-forget a kTouchLru
+  /// to the entry server so its L1 cache learns the answer.
+  ProtoLookupResult FinishLookup(const std::string& path, MdsId entry,
+                                 double start_ms, int level, bool found,
+                                 MdsId home) GHBA_REQUIRES(mu_);
 
-  ClusterConfig config_;
-  ProtoScheme scheme_;
-  Rng rng_;
-  bool started_ = false;
+  // Locked bodies of the public entry points that other operations reuse
+  // (Unlink locates via a lookup; RemoveServer republishes filters).
+  Result<ProtoLookupResult> LookupLocked(const std::string& path)
+      GHBA_REQUIRES(mu_);
+  Status PublishAllLocked() GHBA_REQUIRES(mu_);
+  std::vector<MdsId> AliveServersLocked() const GHBA_REQUIRES(mu_);
+  std::uint64_t TotalFramesInLocked() const GHBA_REQUIRES(mu_);
+  void StopLocked() GHBA_REQUIRES(mu_);
 
-  std::vector<std::unique_ptr<MdsServer>> servers_;  // index = MdsId
-  std::unordered_map<MdsId, TcpConnection> conns_;
-  std::vector<GroupInfo> groups_;               // G-HBA only
-  std::unordered_map<MdsId, std::size_t> group_of_;
+  const ClusterConfig config_;
+  const ProtoScheme scheme_;
 
-  PeerHealthTracker health_;
-  FaultInjector* injector_ = nullptr;
-  /// Guards against recursive fail-over: the repair traffic itself may hit
-  /// slow peers, which must only be accounted, not chased.
-  bool in_failover_ = false;
+  /// Serializes every client/orchestrator operation. One lock is enough:
+  /// the prototype client is a coordinator, not a throughput path, and a
+  /// single capability keeps the fail-over reasoning tractable.
+  mutable Mutex mu_;
+  Rng rng_ GHBA_GUARDED_BY(mu_);
+  bool started_ GHBA_GUARDED_BY(mu_) = false;
+
+  // index = MdsId
+  std::vector<std::unique_ptr<MdsServer>> servers_ GHBA_GUARDED_BY(mu_);
+  std::unordered_map<MdsId, TcpConnection> conns_ GHBA_GUARDED_BY(mu_);
+  std::vector<GroupInfo> groups_ GHBA_GUARDED_BY(mu_);  // G-HBA only
+  std::unordered_map<MdsId, std::size_t> group_of_ GHBA_GUARDED_BY(mu_);
+
+  PeerHealthTracker health_;  // internally synchronized
+  FaultInjector* injector_ GHBA_GUARDED_BY(mu_) = nullptr;
+  /// Reconfiguration guard against recursive fail-over: the repair traffic
+  /// itself may hit slow peers, which must only be accounted, not chased.
+  bool in_failover_ GHBA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ghba

@@ -56,6 +56,10 @@ void MdsServer::Stop() {
 }
 
 void MdsServer::Loop() {
+  // This thread owns the MDS state for the lifetime of the loop; every
+  // access to store_/local_filter_/segment_/lru_ below type-checks against
+  // this adoption.
+  ThreadRoleGuard role(&loop_role_);
   std::vector<TcpConnection> conns;
   // Per-frame IO bound: a peer that stalls mid-frame (or an injected
   // truncation) costs one connection, not the whole event loop.

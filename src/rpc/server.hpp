@@ -3,8 +3,11 @@
 // One server = one poll(2) event loop on its own thread, owning the same
 // per-MDS state the simulator models (store, counting local filter, segment
 // replica array, L1 LRU array). All state is touched only from the loop
-// thread; the message counters are atomics so the orchestrator can read
-// them live (Fig. 15 counts messages during reconfiguration).
+// thread — enforced at compile time by the loop_role_ capability: the
+// mutable state is GHBA_GUARDED_BY(loop_role_), which only Loop() adopts,
+// so Clang's -Wthread-safety rejects any access from another thread. The
+// message counters are atomics so the orchestrator can read them live
+// (Fig. 15 counts messages during reconfiguration).
 #pragma once
 
 #include <atomic>
@@ -16,6 +19,7 @@
 #include "bloom/bloom_filter_array.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "bloom/lru_bloom_array.hpp"
+#include "common/sync.hpp"
 #include "core/config.hpp"
 #include "mds/store.hpp"
 #include "rpc/fault_injector.hpp"
@@ -56,13 +60,15 @@ class MdsServer {
   /// Dispatch one request frame; returns the response payload, or empty for
   /// one-way messages. Sets `shutdown` for kShutdown.
   std::vector<std::uint8_t> Handle(const std::vector<std::uint8_t>& frame,
-                                   bool& respond, bool& shutdown);
+                                   bool& respond, bool& shutdown)
+      GHBA_REQUIRES(loop_role_);
 
-  LocalLookupResp RunLocalLookup(const std::string& path, bool include_lru);
+  LocalLookupResp RunLocalLookup(const std::string& path, bool include_lru)
+      GHBA_REQUIRES(loop_role_);
 
   /// Fraction of replica bytes beyond the memory budget (after the LRU
   /// array and the local filter take their share). Probing those blocks.
-  double ReplicaOverflowFraction() const;
+  double ReplicaOverflowFraction() const GHBA_REQUIRES(loop_role_);
 
   MdsId id_;
   ClusterConfig config_;
@@ -73,11 +79,12 @@ class MdsServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
 
-  // --- event-loop-thread-only state ---
-  MetadataStore store_;
-  CountingBloomFilter local_filter_;
-  BloomFilterArray segment_;
-  LruBloomArray lru_;
+  // --- event-loop-thread-only state (loop_role_ is adopted by Loop()) ---
+  ThreadRole loop_role_;
+  MetadataStore store_ GHBA_GUARDED_BY(loop_role_);
+  CountingBloomFilter local_filter_ GHBA_GUARDED_BY(loop_role_);
+  BloomFilterArray segment_ GHBA_GUARDED_BY(loop_role_);
+  LruBloomArray lru_ GHBA_GUARDED_BY(loop_role_);
 
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};

@@ -7,6 +7,14 @@
 namespace ghba {
 namespace {
 
+// Concatenation helper: GCC 12's -Wrestrict misfires on chained
+// operator+(const char*, std::string&&) under -O2.
+std::string Key(const char* prefix, int i) {
+  std::string out(prefix);
+  out += std::to_string(i);
+  return out;
+}
+
 BloomFilter FilterWithKeys(int lo, int hi, std::uint64_t seed) {
   auto bf = BloomFilter::ForCapacity(1000, 16.0, seed);
   for (int i = lo; i < hi; ++i) bf.Add("file-" + std::to_string(i));
@@ -121,7 +129,7 @@ TEST(BloomFilterArraySharedTest, UniformGeometryFastPathMatchesQuery) {
   for (MdsId owner = 0; owner < 5; ++owner) {
     auto bf = BloomFilter::ForCapacity(1000, 16.0, /*seed=*/777);
     for (int i = 0; i < 200; ++i) {
-      bf.Add("o" + std::to_string(owner) + "/f" + std::to_string(i));
+      bf.Add(Key("o", static_cast<int>(owner)) + Key("/f", i));
     }
     ASSERT_TRUE(array.AddEntry(owner, std::move(bf)).ok());
   }
@@ -129,7 +137,7 @@ TEST(BloomFilterArraySharedTest, UniformGeometryFastPathMatchesQuery) {
   for (MdsId owner = 0; owner < 5; ++owner) {
     for (int i = 0; i < 200; i += 7) {
       const std::string key =
-          "o" + std::to_string(owner) + "/f" + std::to_string(i);
+          Key("o", static_cast<int>(owner)) + Key("/f", i);
       const auto slow = array.Query(key);
       const auto fast = array.QueryShared(key);
       EXPECT_EQ(slow.kind, fast.kind) << key;
@@ -151,7 +159,7 @@ TEST(BloomFilterArrayDigestTest, DigestOverloadsMatchStringQueries) {
   BloomFilterArray array;
   auto mk = [](std::uint64_t seed, int lo, int hi) {
     auto bf = BloomFilter::ForCapacity(1000, 16.0, seed);
-    for (int i = lo; i < hi; ++i) bf.Add("k" + std::to_string(i));
+    for (int i = lo; i < hi; ++i) bf.Add(Key("k", i));
     return bf;
   };
   ASSERT_TRUE(array.AddEntry(0, mk(555, 0, 100)).ok());
@@ -159,7 +167,7 @@ TEST(BloomFilterArrayDigestTest, DigestOverloadsMatchStringQueries) {
   ASSERT_TRUE(array.AddEntry(2, mk(556, 200, 300)).ok());
 
   for (int i = 0; i < 350; ++i) {
-    const std::string key = "k" + std::to_string(i);
+    const std::string key = Key("k", i);
     QueryDigest digest(key);
     const auto via_digest = array.QueryShared(digest);
     const auto via_string = array.Query(key);

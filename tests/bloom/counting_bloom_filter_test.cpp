@@ -53,13 +53,62 @@ TEST(CountingBloomFilterTest, SaturationNeverCausesFalseNegatives) {
   EXPECT_TRUE(cbf.MayContain("hot"));
 }
 
+TEST(CountingBloomFilterTest, RemoveOfNonMemberRejectedAndUntouched) {
+  auto cbf = CountingBloomFilter::ForCapacity(100, 12.0, 3);
+  for (int i = 0; i < 50; ++i) cbf.Add(Key(i));
+  const auto items_before = cbf.item_count();
+
+  const Status s = cbf.Remove("never-added");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cbf.underflow_count(), 1u);
+  // Check-first semantics: the failed remove decrements nothing, so every
+  // member's counters are intact and item_count is unchanged.
+  EXPECT_EQ(cbf.item_count(), items_before);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(cbf.MayContain(Key(i)));
+}
+
+TEST(CountingBloomFilterTest, RepeatedUnderflowNeverPlantsFalseNegatives) {
+  // The IDBFA member-leave path can replay a stale deregistration many
+  // times; each must be rejected whole, not partially applied.
+  auto cbf = CountingBloomFilter::ForCapacity(200, 12.0, 7);
+  for (int i = 0; i < 100; ++i) cbf.Add(Key(i));
+  for (int r = 0; r < 20; ++r) {
+    EXPECT_FALSE(cbf.Remove("stale-replica").ok());
+  }
+  EXPECT_EQ(cbf.underflow_count(), 20u);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(cbf.MayContain(Key(i)));
+}
+
+TEST(CountingBloomFilterTest, SuccessfulRemoveReturnsOk) {
+  auto cbf = CountingBloomFilter::ForCapacity(10, 16.0);
+  cbf.Add("present");
+  EXPECT_TRUE(cbf.Remove("present").ok());
+  EXPECT_EQ(cbf.underflow_count(), 0u);
+}
+
+TEST(CountingBloomFilterTest, SaturatedCountersPinnedThroughRemoves) {
+  // Tiny filter + many duplicates force counters to 15. Removes succeed
+  // (counters are positive) but saturated counters must stay pinned, so
+  // the key remains visible no matter how many removes follow.
+  CountingBloomFilter cbf(32, 2, 1);
+  for (int i = 0; i < 100; ++i) cbf.Add("hot");
+  EXPECT_GT(cbf.overflow_count(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(cbf.Remove("hot").ok());
+  }
+  EXPECT_TRUE(cbf.MayContain("hot"));
+  EXPECT_EQ(cbf.underflow_count(), 0u);
+}
+
 TEST(CountingBloomFilterTest, ClearResets) {
   auto cbf = CountingBloomFilter::ForCapacity(50, 8.0);
   cbf.Add("x");
+  EXPECT_FALSE(cbf.Remove("not-there").ok());
   cbf.Clear();
   EXPECT_FALSE(cbf.MayContain("x"));
   EXPECT_EQ(cbf.item_count(), 0u);
   EXPECT_EQ(cbf.overflow_count(), 0u);
+  EXPECT_EQ(cbf.underflow_count(), 0u);
 }
 
 TEST(CountingBloomFilterTest, ToBloomFilterPreservesMembership) {

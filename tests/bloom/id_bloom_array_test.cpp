@@ -36,6 +36,30 @@ TEST(IdBloomArrayTest, OperationsOnUnknownMemberFail) {
   EXPECT_EQ(idbfa.RemoveMember(5).code(), StatusCode::kNotFound);
 }
 
+TEST(IdBloomArrayTest, StaleReplicaLeaveRejectedWithoutCorruption) {
+  // Member-leave replay: deregistering a replica that was never (or is no
+  // longer) registered must be rejected by the counting filter instead of
+  // silently decrementing counters shared with live registrations.
+  IdBloomArray idbfa;
+  idbfa.AddMember(1);
+  ASSERT_TRUE(idbfa.AddReplica(1, 42).ok());
+  EXPECT_EQ(idbfa.RemoveReplica(1, 99).code(), StatusCode::kInvalidArgument);
+  // The live replica is untouched by the rejected leave.
+  EXPECT_EQ(idbfa.Locate(42).kind, ArrayQueryResult::Kind::kUniqueHit);
+  // A second leave of an already-removed replica is rejected the same way.
+  ASSERT_TRUE(idbfa.RemoveReplica(1, 42).ok());
+  EXPECT_EQ(idbfa.RemoveReplica(1, 42).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IdBloomArrayTest, MoveOfUnregisteredReplicaAddsNothing) {
+  IdBloomArray idbfa;
+  idbfa.AddMember(1);
+  idbfa.AddMember(2);
+  EXPECT_FALSE(idbfa.MoveReplica(1, 2, 7).ok());
+  // The failed move must not have registered the replica at the target.
+  EXPECT_EQ(idbfa.Locate(7).kind, ArrayQueryResult::Kind::kZeroHit);
+}
+
 TEST(IdBloomArrayTest, MoveReplicaRelocates) {
   IdBloomArray idbfa;
   idbfa.AddMember(1);

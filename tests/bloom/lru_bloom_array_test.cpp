@@ -7,6 +7,14 @@
 namespace ghba {
 namespace {
 
+// Concatenation helper: GCC 12's -Wrestrict misfires on chained
+// operator+(const char*, std::string&&) under -O2.
+std::string Key(const char* prefix, long long i) {
+  std::string out(prefix);
+  out += std::to_string(i);
+  return out;
+}
+
 LruBloomArray::Options SmallOptions(std::size_t capacity = 64) {
   LruBloomArray::Options options;
   options.capacity = capacity;
@@ -31,7 +39,7 @@ TEST(LruBloomArrayTest, UnknownKeyZeroHit) {
 TEST(LruBloomArrayTest, CapacityEvictsOldest) {
   LruBloomArray lru(SmallOptions(4));
   for (int i = 0; i < 5; ++i) {
-    lru.Touch("key" + std::to_string(i), 1);
+    lru.Touch(Key("key", i), 1);
   }
   EXPECT_EQ(lru.size(), 4u);
   // key0 was evicted; key4 still present.
@@ -85,11 +93,11 @@ TEST(LruBloomArrayTest, DropHomeRemovesAllItsEntries) {
 TEST(LruBloomArrayTest, ManyHomesUniqueHitsStayAccurate) {
   LruBloomArray lru(SmallOptions(512));
   for (int i = 0; i < 512; ++i) {
-    lru.Touch("file" + std::to_string(i), static_cast<MdsId>(i % 16));
+    lru.Touch(Key("file", i), static_cast<MdsId>(i % 16));
   }
   int correct = 0;
   for (int i = 0; i < 512; ++i) {
-    const auto r = lru.Query("file" + std::to_string(i));
+    const auto r = lru.Query(Key("file", i));
     if (r.kind == ArrayQueryResult::Kind::kUniqueHit &&
         r.owner == static_cast<MdsId>(i % 16)) {
       ++correct;
@@ -104,11 +112,11 @@ TEST(LruBloomArrayTest, EvictionNeverLeavesGhostMembership) {
   // After heavy churn, evicted keys must not register as present.
   LruBloomArray lru(SmallOptions(32));
   for (int i = 0; i < 2000; ++i) {
-    lru.Touch("churn" + std::to_string(i), static_cast<MdsId>(i % 4));
+    lru.Touch(Key("churn", i), static_cast<MdsId>(i % 4));
   }
   int ghosts = 0;
   for (int i = 0; i < 1900; ++i) {  // all long-evicted
-    ghosts += (lru.Query("churn" + std::to_string(i)).kind !=
+    ghosts += (lru.Query(Key("churn", i)).kind !=
                ArrayQueryResult::Kind::kZeroHit);
   }
   // Counting-filter removal on eviction keeps ghosts to FP noise only.
@@ -121,14 +129,14 @@ TEST(LruBloomArrayTest, EvictionErasesDrainedHomeFilters) {
   // MemoryBytes grew monotonically with the number of distinct homes.
   LruBloomArray lru(SmallOptions(32));
   // Fill with home 0, record the steady-state footprint.
-  for (int i = 0; i < 32; ++i) lru.Touch("warm" + std::to_string(i), 0);
+  for (int i = 0; i < 32; ++i) lru.Touch(Key("warm", i), 0);
   EXPECT_EQ(lru.home_count(), 1u);
   const auto steady_bytes = lru.MemoryBytes();
   // Churn through 64 more homes in full-capacity blocks: each block fully
   // evicts the previous home's entries, which must drain its filter.
   for (MdsId home = 1; home <= 64; ++home) {
     for (int i = 0; i < 32; ++i) {
-      lru.Touch("h" + std::to_string(home) + "/f" + std::to_string(i), home);
+      lru.Touch(Key("h", home) + Key("/f", i), home);
     }
     EXPECT_EQ(lru.home_count(), 1u) << "home " << home;
   }
@@ -172,12 +180,12 @@ TEST(LruBloomArrayTest, IndexCollisionNeverConflatesDistinctKeys) {
   // insert collides; a collision must evict the incumbent, never merge.
   LruBloomArray lru(CollidingOptions());
   for (int i = 0; i < 200; ++i) {
-    lru.Touch("path" + std::to_string(i), static_cast<MdsId>(i));
+    lru.Touch(Key("path", i), static_cast<MdsId>(i));
   }
   EXPECT_LE(lru.size(), 16u);
   int checked = 0;
   for (int i = 0; i < 200; ++i) {
-    const auto r = lru.Query("path" + std::to_string(i));
+    const auto r = lru.Query(Key("path", i));
     if (r.kind == ArrayQueryResult::Kind::kUniqueHit) {
       // Whatever survives must map to its own home, never a collider's.
       EXPECT_EQ(r.owner, static_cast<MdsId>(i)) << "path" << i;
@@ -192,7 +200,7 @@ TEST(LruBloomArrayTest, IndexCollisionInvalidateOnlyDropsMatchingKey) {
   // Find two keys that collide in the 4-bit index: insert until size stops
   // growing, then invalidate keys that were displaced — must be no-ops.
   lru.Touch("a", 1);
-  for (int i = 0; i < 64; ++i) lru.Touch("b" + std::to_string(i), 2);
+  for (int i = 0; i < 64; ++i) lru.Touch(Key("b", i), 2);
   // "a" may or may not have been displaced by a collision; invalidating it
   // must never remove somebody else's entry.
   const auto before = lru.size();
@@ -209,10 +217,10 @@ TEST(LruBloomArrayTest, IndexCollisionInvalidateOnlyDropsMatchingKey) {
 TEST(LruBloomArrayTest, DigestQueryMatchesStringQuery) {
   LruBloomArray lru(SmallOptions());
   for (int i = 0; i < 40; ++i) {
-    lru.Touch("dq" + std::to_string(i), static_cast<MdsId>(i % 5));
+    lru.Touch(Key("dq", i), static_cast<MdsId>(i % 5));
   }
   for (int i = 0; i < 40; ++i) {
-    const std::string key = "dq" + std::to_string(i);
+    const std::string key = Key("dq", i);
     QueryDigest digest(key);
     const auto via_digest = lru.Query(digest);
     const auto via_string = lru.Query(key);
@@ -232,7 +240,7 @@ TEST(LruBloomArrayTest, SlruChurnErasesDrainedFilters) {
     const MdsId home = static_cast<MdsId>(round);
     for (int i = 0; i < 24; ++i) {
       const std::string key =
-          "s" + std::to_string(round) + "/" + std::to_string(i);
+          Key("s", round) + Key("/", i);
       lru.Touch(key, home);
       if (i % 3 == 0) lru.Touch(key, home);  // promote some to protected
     }
@@ -244,7 +252,7 @@ TEST(LruBloomArrayTest, SlruChurnErasesDrainedFilters) {
   // protected segment too) must evict every older entry from both segments
   // and drain — hence erase — every other home's filter.
   for (int i = 0; i < 200; ++i) {
-    const std::string key = "flush" + std::to_string(i);
+    const std::string key = Key("flush", i);
     lru.Touch(key, 999);
     lru.Touch(key, 999);
   }
@@ -255,7 +263,7 @@ TEST(LruBloomArrayTest, SlruChurnErasesDrainedFilters) {
 TEST(LruBloomArrayTest, MemoryBytesPositiveAndBounded) {
   LruBloomArray lru(SmallOptions(128));
   for (int i = 0; i < 128; ++i) {
-    lru.Touch("k" + std::to_string(i), static_cast<MdsId>(i % 8));
+    lru.Touch(Key("k", i), static_cast<MdsId>(i % 8));
   }
   const auto bytes = lru.MemoryBytes();
   EXPECT_GT(bytes, 0u);

@@ -1,6 +1,7 @@
 #include "rpc/protocol.hpp"
 
 #include "bloom/compressed.hpp"
+#include "bloom/counting_bloom_filter.hpp"
 
 #include <gtest/gtest.h>
 
@@ -214,6 +215,108 @@ TEST(ProtocolHardeningTest, EveryTruncationOfStatsRejected) {
     if (!env.ok()) continue;
     EXPECT_FALSE(DecodeStatsResp(in).ok()) << "prefix length " << len;
   }
+}
+
+// --- regression tests distilled from the fuzz corpus (fuzz/) ---
+// Each reproduces a frame shape the mutation loop generates constantly:
+// length prefixes promising more than the payload holds, and geometry
+// fields big enough that decoding must fail *before* allocating.
+
+TEST(ProtocolFuzzRegressionTest, GiantBitVectorPrefixFailsBeforeAllocating) {
+  // Raw-mode compressed filter whose bit count claims 2^33 bits (1 GiB)
+  // backed by zero payload bytes. Must be rejected by the remaining-bytes
+  // check, not by attempting the allocation.
+  ByteWriter w;
+  w.PutU8(0);  // compression mode: raw
+  w.PutU32(4);
+  w.PutU64(0);
+  w.PutU64(0);
+  w.PutVarint(1ULL << 33);  // num_bits with no words behind it
+  ByteReader in(w.data());
+  const auto filter = DecompressFilter(in);
+  ASSERT_FALSE(filter.ok());
+  EXPECT_EQ(filter.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolFuzzRegressionTest, OverCapBitVectorPrefixRejected) {
+  ByteWriter w;
+  w.PutU8(0);
+  w.PutU32(4);
+  w.PutU64(0);
+  w.PutU64(0);
+  w.PutVarint((1ULL << 33) + 64);  // just past the wire geometry cap
+  for (int i = 0; i < 1024; ++i) w.PutU64(0);
+  ByteReader in(w.data());
+  EXPECT_FALSE(DecompressFilter(in).ok());
+}
+
+TEST(ProtocolFuzzRegressionTest, GapModePopcountBombRejected) {
+  // Gap mode claiming a billion set bits in a ~20-byte frame: every gap
+  // costs at least one wire byte, so the popcount check fires first.
+  ByteWriter w;
+  w.PutU8(1);  // compression mode: gap
+  w.PutU32(4);
+  w.PutU64(7);
+  w.PutU64(1);
+  w.PutVarint(1ULL << 32);  // num_bits (within cap)
+  w.PutVarint(1ULL << 30);  // popcount far beyond the payload
+  w.PutVarint(1);           // a single actual gap
+  ByteReader in(w.data());
+  const auto filter = DecompressFilter(in);
+  ASSERT_FALSE(filter.ok());
+  EXPECT_EQ(filter.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolFuzzRegressionTest, ReplicaInstallTruncatedAtEveryByteRejected) {
+  // The full request-parse arm for kReplicaInstall: every strict prefix of
+  // a valid frame must park in a Status, never crash or succeed.
+  auto bf = BloomFilter::ForCapacity(256, 8.0, 3);
+  for (int i = 0; i < 256; ++i) bf.Add("f" + std::to_string(i));
+  const auto full = EncodeReplicaInstall(9, bf);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteReader in(std::span<const std::uint8_t>(full.data(), len));
+    const auto type = DecodeType(in);
+    if (!type.ok()) continue;
+    ASSERT_EQ(*type, MsgType::kReplicaInstall);
+    const auto owner = in.GetU32();
+    if (!owner.ok()) continue;
+    EXPECT_FALSE(DecompressFilter(in).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ProtocolFuzzRegressionTest, CountingFilterLengthBombRejected) {
+  // Serialized counting filter whose counter-byte length exceeds both the
+  // geometry cap and the payload; must fail before GetBytes allocates.
+  ByteWriter w;
+  w.PutU32(4);              // k
+  w.PutU64(0);              // seed
+  w.PutU64(10);             // items
+  w.PutVarint(1ULL << 40);  // counter bytes: over the cap
+  ByteReader in(w.data());
+  const auto cbf = CountingBloomFilter::Deserialize(in);
+  ASSERT_FALSE(cbf.ok());
+  EXPECT_EQ(cbf.status().code(), StatusCode::kCorruption);
+
+  ByteWriter w2;
+  w2.PutU32(4);
+  w2.PutU64(0);
+  w2.PutU64(10);
+  w2.PutVarint(1 << 20);  // within the cap but beyond the payload
+  w2.PutU8(0xff);
+  ByteReader in2(w2.data());
+  EXPECT_FALSE(CountingBloomFilter::Deserialize(in2).ok());
+}
+
+TEST(ProtocolFuzzRegressionTest, NonzeroTailBitsRejected) {
+  // A raw bitvector whose final word sets bits past num_bits: accepting it
+  // would make equal-looking filters compare unequal after a round trip.
+  ByteWriter w;
+  w.PutVarint(60);         // num_bits: one partial word
+  w.PutU64(~0ULL);         // all 64 bits set, 4 of them out of range
+  ByteReader in(w.data());
+  const auto bv = BitVector::Deserialize(in);
+  ASSERT_FALSE(bv.ok());
+  EXPECT_EQ(bv.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace
