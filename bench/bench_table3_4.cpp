@@ -18,7 +18,7 @@ namespace {
 void RunTrace(const std::string& name, std::uint32_t tif,
               std::uint64_t sample_ops, double paper_open_m,
               double paper_close_m, double paper_stat_m) {
-  WorkloadProfile profile = ProfileByName(name);
+  WorkloadProfile profile = *ProfileByName(name);
   // Full per-subtrace populations would allocate GBs; shrink the namespace
   // but keep the TIF and mix (documented substitution).
   profile.total_files = 4000;

@@ -41,7 +41,14 @@ inline void PrintHeader(const std::string& what, const std::string& notes) {
 inline WorkloadProfile ScaledProfile(const std::string& trace_name,
                                      std::uint32_t tif,
                                      std::uint64_t target_initial_files) {
-  WorkloadProfile p = ProfileByName(trace_name);
+  // Bench binaries pass compile-time trace names; an unknown name is a
+  // programming error, so fail fast instead of propagating the Status.
+  auto profile = ProfileByName(trace_name);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    std::abort();
+  }
+  WorkloadProfile p = *std::move(profile);
   const double shrink = static_cast<double>(target_initial_files) /
                         (static_cast<double>(p.total_files) * tif);
   const double active_ratio = static_cast<double>(p.active_files) /

@@ -49,7 +49,7 @@ int main() {
   // mapping, L1 hits appear.
   const std::string hot = "/projects/demo/file42.dat";
   for (int round = 1; round <= 10; ++round) {
-    const LookupResult r = cluster.Lookup(hot, 0);
+    const LookupOutcome r = cluster.Lookup(hot, 0);
     std::printf("lookup %d: %s home=MDS%u level=L%d latency=%.3fms "
                 "messages=%llu\n",
                 round, r.found ? "hit " : "miss", r.home, r.served_level,
@@ -58,7 +58,7 @@ int main() {
 
   // A lookup for a file that does not exist is concluded (exactly) by the
   // global multicast at L4.
-  const LookupResult miss = cluster.Lookup("/projects/demo/ghost.dat", 0);
+  const LookupOutcome miss = cluster.Lookup("/projects/demo/ghost.dat", 0);
   std::printf("ghost file: %s (level L%d)\n",
               miss.found ? "unexpected hit!" : "definitive miss",
               miss.served_level);
@@ -66,7 +66,7 @@ int main() {
   // Delete a file and observe the lookup miss after the next publish.
   (void)cluster.UnlinkFile(hot, 0);
   cluster.FlushReplicas(0);
-  const LookupResult gone = cluster.Lookup(hot, 0);
+  const LookupOutcome gone = cluster.Lookup(hot, 0);
   std::printf("after unlink: %s\n", gone.found ? "still visible (stale!)"
                                                : "gone");
 

@@ -28,7 +28,12 @@ int main(int argc, char** argv) {
   const auto ops = static_cast<std::uint64_t>(
       argc > 4 ? std::atoll(argv[4]) : 50000);
 
-  WorkloadProfile profile = ProfileByName(trace_name);
+  const auto profile_or = ProfileByName(trace_name);
+  if (!profile_or.ok()) {
+    std::fprintf(stderr, "%s\n", profile_or.status().ToString().c_str());
+    return 2;
+  }
+  WorkloadProfile profile = *profile_or;
   // Keep the example fast: a modest namespace per subtrace.
   profile.total_files = 20000;
   profile.active_files = 6000;

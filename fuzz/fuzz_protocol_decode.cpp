@@ -23,7 +23,7 @@ void Require(bool cond) {
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size < 1) return 0;
-  const std::uint8_t selector = data[0] % 6;
+  const std::uint8_t selector = data[0] % 8;
   ghba::ByteReader in(std::span(data + 1, size - 1));
 
   switch (selector) {
@@ -31,7 +31,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       const auto type = ghba::DecodeType(in);
       if (type.ok()) {
         Require(*type >= ghba::MsgType::kLookupLocal &&
-                *type <= ghba::MsgType::kExportFiles);
+                *type <= ghba::MsgType::kReportOutcome);
       }
       break;
     }
@@ -93,6 +93,42 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         Require(ghba::OpenEnvelope(again).ok());
         auto redecoded = ghba::DecodeFileListResp(again);
         Require(redecoded.ok() && redecoded->files.size() == resp->files.size());
+      }
+      break;
+    }
+    case 6: {
+      const auto snap = ghba::DecodeStatsSnapshotResp(in);
+      if (snap.ok()) {
+        // The hardened count checks bound both maps by the payload size.
+        Require(snap->metrics.counters.size() <= size / 9);
+        Require(snap->metrics.histograms.size() <= size / 49);
+        const auto bytes = ghba::EncodeStatsSnapshotResp(*snap);
+        ghba::ByteReader again(bytes);
+        Require(ghba::OpenEnvelope(again).ok());
+        const auto redecoded = ghba::DecodeStatsSnapshotResp(again);
+        Require(redecoded.ok() && redecoded->mds_id == snap->mds_id &&
+                redecoded->lookup_state_bytes == snap->lookup_state_bytes &&
+                redecoded->metrics.counters == snap->metrics.counters &&
+                redecoded->metrics.histograms.size() ==
+                    snap->metrics.histograms.size());
+      }
+      break;
+    }
+    case 7: {
+      const auto report = ghba::DecodeOutcomeReport(in);
+      if (report.ok()) {
+        Require(report->level >= 1 && report->level <= 4);
+        const auto bytes = ghba::EncodeOutcomeReport(*report);
+        // Requests carry a leading u16 type, not an envelope.
+        ghba::ByteReader again(bytes);
+        Require(*ghba::DecodeType(again) == ghba::MsgType::kReportOutcome);
+        const auto redecoded = ghba::DecodeOutcomeReport(again);
+        Require(redecoded.ok() && redecoded->level == report->level &&
+                redecoded->found == report->found &&
+                redecoded->false_route == report->false_route &&
+                redecoded->elapsed_ns == report->elapsed_ns &&
+                redecoded->peers_contacted == report->peers_contacted &&
+                redecoded->retries == report->retries);
       }
       break;
     }

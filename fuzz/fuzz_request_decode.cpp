@@ -44,11 +44,15 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case ghba::MsgType::kReplicaFetch:
       (void)in.GetU32();
       break;
+    case ghba::MsgType::kReportOutcome:
+      (void)ghba::DecodeOutcomeReport(in);
+      break;
     case ghba::MsgType::kGetFilter:
     case ghba::MsgType::kGetStats:
     case ghba::MsgType::kPing:
     case ghba::MsgType::kShutdown:
     case ghba::MsgType::kExportFiles:
+    case ghba::MsgType::kStatsSnapshot:
       break;  // no arguments
   }
   return 0;

@@ -105,6 +105,39 @@ int main(int argc, char** argv) {
   files.files.emplace_back("/c", SampleMetadata());
   WriteSeed(root, "fuzz_protocol_decode", "filelist",
             Sel(5, StripEnvelope(ghba::EncodeFileListResp(files))));
+  ghba::StatsSnapshotResp snap;
+  snap.mds_id = 2;
+  snap.frames_in = 321;
+  snap.frames_out = 320;
+  snap.files = 777;
+  snap.replicas = 3;
+  snap.lookup_state_bytes = 65536;
+  snap.metrics.counters["lookups.l1"] = 500;
+  snap.metrics.counters["lookups.miss"] = 4;
+  snap.metrics.counters["serve.verifies"] = 12;
+  ghba::HistogramStats lat;
+  lat.count = 504;
+  lat.sum = 126.0;
+  lat.min = 0.05;
+  lat.max = 9.5;
+  lat.p50 = 0.2;
+  lat.p99 = 7.0;
+  snap.metrics.histograms["latency.lookup_ms"] = lat;
+  WriteSeed(root, "fuzz_protocol_decode", "stats_snapshot",
+            Sel(6, StripEnvelope(ghba::EncodeStatsSnapshotResp(snap))));
+  ghba::OutcomeReport report;
+  report.level = 3;
+  report.found = true;
+  report.false_route = true;
+  report.elapsed_ns = 1234567;
+  report.peers_contacted = 5;
+  report.retries = 1;
+  {
+    // The harness feeds DecodeOutcomeReport the body after the u16 type.
+    auto frame = ghba::EncodeOutcomeReport(report);
+    WriteSeed(root, "fuzz_protocol_decode", "outcome_report",
+              Sel(7, Bytes(frame.begin() + 2, frame.end())));
+  }
 
   // --- fuzz_request_decode: whole request frames ---
   WriteSeed(root, "fuzz_request_decode", "lookup",
@@ -124,6 +157,10 @@ int main(int argc, char** argv) {
             ghba::EncodeHeader(ghba::MsgType::kPing));
   WriteSeed(root, "fuzz_request_decode", "export",
             ghba::EncodeHeader(ghba::MsgType::kExportFiles));
+  WriteSeed(root, "fuzz_request_decode", "stats_snapshot",
+            ghba::EncodeHeader(ghba::MsgType::kStatsSnapshot));
+  WriteSeed(root, "fuzz_request_decode", "outcome_report",
+            ghba::EncodeOutcomeReport(report));
 
   // --- fuzz_filter_decompress: raw and gap-coded compressed filters ---
   WriteSeed(root, "fuzz_filter_decompress", "raw",

@@ -13,16 +13,12 @@
 #include <vector>
 
 #include "bloom/bloom_filter.hpp"
+#include "common/lookup_outcome.hpp"  // canonical MdsId / kInvalidMds
 #include "common/status.hpp"
 #include "hash/murmur3.hpp"
 #include "hash/query_digest.hpp"
 
 namespace ghba {
-
-/// Identifier of a metadata server. Dense small integers in the simulator;
-/// the TCP prototype maps them to endpoints.
-using MdsId = std::uint32_t;
-constexpr MdsId kInvalidMds = static_cast<MdsId>(-1);
 
 /// Outcome of a unique-hit membership query against an array.
 struct ArrayQueryResult {

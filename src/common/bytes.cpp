@@ -1,5 +1,7 @@
 #include "common/bytes.hpp"
 
+#include <array>
+
 namespace ghba {
 
 void ByteWriter::PutVarint(std::uint64_t v) {
@@ -67,6 +69,25 @@ Result<std::vector<std::uint8_t>> ByteReader::GetBytes(std::size_t n) {
                                 data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
   pos_ += n;
   return out;
+}
+
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 }  // namespace ghba

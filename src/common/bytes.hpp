@@ -16,6 +16,11 @@
 
 namespace ghba {
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `len` bytes. The socket
+/// layer stamps every frame with it so mangled or desynchronized streams
+/// are detected at the framing layer instead of reaching the decoders.
+std::uint32_t Crc32(const std::uint8_t* data, std::size_t len);
+
 /// Append-only byte sink for message encoding.
 class ByteWriter {
  public:

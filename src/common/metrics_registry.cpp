@@ -1,0 +1,88 @@
+#include "common/metrics_registry.hpp"
+
+#include <functional>
+#include <thread>
+
+namespace ghba {
+
+namespace {
+
+std::size_t StripeForThisThread(std::size_t stripe_count) {
+  // Hash the thread id once per call; stripes only need to spread load, not
+  // be perfectly balanced.
+  return std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+         stripe_count;
+}
+
+}  // namespace
+
+void MetricsRegistry::HistogramCell::Add(double value) {
+  Stripe& stripe = stripes[StripeForThisThread(kStripes)];
+  MutexLock lock(&stripe.mu);
+  stripe.hist.Add(value);
+}
+
+Histogram MetricsRegistry::HistogramCell::Merged() const {
+  Histogram merged;
+  for (const Stripe& stripe : stripes) {
+    MutexLock lock(&stripe.mu);
+    merged.Merge(stripe.hist);
+  }
+  return merged;
+}
+
+void MetricsRegistry::HistogramCell::Reset() {
+  for (Stripe& stripe : stripes) {
+    MutexLock lock(&stripe.mu);
+    stripe.hist.Reset();
+  }
+}
+
+MetricsRegistry::Counter MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& cell = counters_[name];
+  if (!cell) cell = std::make_unique<CounterCell>();
+  return Counter(cell.get());
+}
+
+MetricsRegistry::LatencyHistogram MetricsRegistry::histogram(
+    const std::string& name) {
+  MutexLock lock(&mu_);
+  auto& cell = histograms_[name];
+  if (!cell) cell = std::make_unique<HistogramCell>();
+  return LatencyHistogram(cell.get());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  MutexLock lock(&mu_);
+  for (const auto& [name, cell] : counters_) {
+    snap.counters[name] = cell->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& [name, cell] : histograms_) {
+    const Histogram merged = cell->Merged();
+    HistogramStats stats;
+    stats.count = merged.count();
+    stats.sum = merged.sum();
+    stats.min = merged.min();
+    stats.max = merged.max();
+    stats.p50 = merged.Quantile(0.5);
+    stats.p99 = merged.Quantile(0.99);
+    snap.histograms[name] = stats;
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(&mu_);
+  for (auto& [name, cell] : counters_) {
+    (void)name;
+    cell->value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, cell] : histograms_) {
+    (void)name;
+    cell->Reset();
+  }
+}
+
+}  // namespace ghba

@@ -1,0 +1,167 @@
+// Thread-safe named metrics: counters + lock-striped latency histograms.
+//
+// One MetricsRegistry is the accounting backbone of the observability layer:
+// the simulator's ClusterMetrics is a thin view over a registry, each
+// MdsServer owns one for its serving-side counters, and the PrototypeCluster
+// client feeds one from its LookupOutcome traces. Snapshot() is cheap and
+// safe under concurrent writers: counters are relaxed atomics and each
+// histogram is striped across independently locked shards, so writers on
+// different threads rarely contend and a reader only ever holds one stripe
+// lock at a time.
+//
+// Handles (Counter / LatencyHistogram) are stable for the registry's
+// lifetime: registration hands out pointers into node-based containers that
+// are never erased (Reset() zeroes values but keeps registrations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/histogram.hpp"
+#include "common/sync.hpp"
+
+namespace ghba {
+
+/// Point-in-time digest of one histogram, cheap to copy and serialize.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p99 = 0;
+
+  double mean() const {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Value-type snapshot of a whole registry. Map keys are the registered
+/// metric names (sorted, so rendering and serialization are deterministic).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Counter value by name, or `fallback` when the name is absent.
+  std::uint64_t CounterOr(const std::string& name,
+                          std::uint64_t fallback = 0) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? fallback : it->second;
+  }
+};
+
+class MetricsRegistry {
+  struct CounterCell {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  struct HistogramCell {
+    static constexpr std::size_t kStripes = 8;
+    struct alignas(64) Stripe {
+      mutable Mutex mu;
+      Histogram hist GHBA_GUARDED_BY(mu);
+    };
+    Stripe stripes[kStripes];
+
+    void Add(double value);
+    Histogram Merged() const;
+    void Reset();
+  };
+
+ public:
+  /// Handle to a named counter. Increment is a relaxed atomic add, so any
+  /// thread may bump it without further locking. Implicitly converts to its
+  /// current value so call sites read like the plain integers they replace.
+  class Counter {
+   public:
+    Counter() = default;
+
+    void Add(std::uint64_t n) {
+      cell_->value.fetch_add(n, std::memory_order_relaxed);
+    }
+    /// Overwrite the value (tests seeding synthetic metrics). Copy
+    /// assignment still rebinds the handle.
+    Counter& operator=(std::uint64_t v) {
+      cell_->value.store(v, std::memory_order_relaxed);
+      return *this;
+    }
+    Counter& operator+=(std::uint64_t n) {
+      Add(n);
+      return *this;
+    }
+    Counter& operator++() {
+      Add(1);
+      return *this;
+    }
+    std::uint64_t operator++(int) {
+      return cell_->value.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const {
+      return cell_->value.load(std::memory_order_relaxed);
+    }
+    operator std::uint64_t() const { return value(); }  // NOLINT(google-explicit-constructor)
+
+   private:
+    friend class MetricsRegistry;
+    explicit Counter(CounterCell* cell) : cell_(cell) {}
+    CounterCell* cell_ = nullptr;
+  };
+
+  /// Handle to a named latency histogram. Add() locks only the stripe the
+  /// calling thread hashes to; readers merge all stripes on demand.
+  class LatencyHistogram {
+   public:
+    LatencyHistogram() = default;
+
+    void Add(double value) { cell_->Add(value); }
+
+    std::uint64_t count() const { return cell_->Merged().count(); }
+    double sum() const { return cell_->Merged().sum(); }
+    double mean() const { return cell_->Merged().mean(); }
+    double min() const { return cell_->Merged().min(); }
+    double max() const { return cell_->Merged().max(); }
+    double Quantile(double q) const { return cell_->Merged().Quantile(q); }
+    std::string Summary() const { return cell_->Merged().Summary(); }
+
+    /// Full merged histogram (for callers needing buckets, e.g. Merge).
+    Histogram Materialize() const { return cell_->Merged(); }
+
+   private:
+    friend class MetricsRegistry;
+    explicit LatencyHistogram(HistogramCell* cell) : cell_(cell) {}
+    HistogramCell* cell_ = nullptr;
+  };
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it at zero on
+  /// first use. The handle stays valid for the registry's lifetime.
+  Counter counter(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it empty on
+  /// first use. The handle stays valid for the registry's lifetime.
+  LatencyHistogram histogram(const std::string& name);
+
+  /// Consistent-enough point-in-time copy of every registered metric.
+  /// Counters are read with relaxed loads; histograms merge their stripes.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zero every counter and empty every histogram; registrations (and all
+  /// outstanding handles) remain valid.
+  void Reset();
+
+ private:
+  mutable Mutex mu_;
+  // node-based maps: cell addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<CounterCell>> counters_
+      GHBA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<HistogramCell>> histograms_
+      GHBA_GUARDED_BY(mu_);
+};
+
+}  // namespace ghba

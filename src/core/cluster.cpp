@@ -66,9 +66,9 @@ std::vector<std::string> ClusterBase::OraclePathsWithPrefix(
   return out;
 }
 
-LookupResult ClusterBase::CloseFile(const std::string& path, double now_ms,
+LookupOutcome ClusterBase::CloseFile(const std::string& path, double now_ms,
                                     std::uint64_t new_size_bytes) {
-  LookupResult res = Lookup(path, now_ms);
+  LookupOutcome res = Lookup(path, now_ms);
   if (!res.found) return res;
   MdsNode& home = *nodes_[res.home];
   const Status s = home.store().Update(path, [&](FileMetadata& md) {

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lookup_outcome.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "core/config.hpp"
@@ -26,15 +27,6 @@
 #include "mds/metadata.hpp"
 
 namespace ghba {
-
-/// Outcome of one metadata lookup.
-struct LookupResult {
-  bool found = false;
-  MdsId home = kInvalidMds;   ///< home MDS when found
-  double latency_ms = 0;      ///< end-to-end operation latency
-  int served_level = 0;       ///< 1..4 = L1..L4 (4 also covers true misses)
-  std::uint64_t messages = 0; ///< network messages this lookup caused
-};
 
 /// What a reconfiguration (join/leave) cost.
 struct ReconfigReport {
@@ -53,7 +45,7 @@ class MetadataCluster {
 
   /// Route a metadata lookup for `path` entering the system at simulated
   /// time `now_ms` via a random MDS.
-  virtual LookupResult Lookup(const std::string& path, double now_ms) = 0;
+  virtual LookupOutcome Lookup(const std::string& path, double now_ms) = 0;
 
   /// Create a file: a random MDS becomes its home (paper: "all MDSs are
   /// initially populated randomly"); home-local filter updated immediately,
@@ -67,7 +59,7 @@ class MetadataCluster {
   /// close(2): locate the file, then apply an attribute write (size/mtime)
   /// at its home MDS. Routing costs are the same as Lookup; the write adds
   /// a store update at the home. Returns the lookup outcome.
-  virtual LookupResult CloseFile(const std::string& path, double now_ms,
+  virtual LookupOutcome CloseFile(const std::string& path, double now_ms,
                                  std::uint64_t new_size_bytes) = 0;
 
   /// Directory rename: every file whose path starts with `old_prefix` gets
@@ -115,7 +107,7 @@ class ClusterBase : public MetadataCluster {
 
   /// Shared close(): route via the scheme's Lookup, then mutate the record
   /// in place at the home (no filter change — the path set is unchanged).
-  LookupResult CloseFile(const std::string& path, double now_ms,
+  LookupOutcome CloseFile(const std::string& path, double now_ms,
                          std::uint64_t new_size_bytes) override;
 
   const ClusterConfig& config() const { return config_; }

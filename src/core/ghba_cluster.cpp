@@ -248,8 +248,8 @@ void GhbaCluster::LocalHitsInto(MdsId holder, QueryDigest& digest,
   if (n.LocalFilterContains(digest)) hits.push_back(holder);
 }
 
-LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
-  LookupResult res;
+LookupOutcome GhbaCluster::Lookup(const std::string& path, double now_ms) {
+  LookupOutcome res;
   const MdsId entry = RandomMds();
   MdsNode& e = node(entry);
   double lat = 0;
@@ -259,6 +259,24 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
   QueryDigest digest(path);
   std::vector<MdsId>& already_verified = scratch_.already_verified;
   already_verified.clear();
+  std::vector<MdsId>& contacted = scratch_.contacted;
+  contacted.clear();
+
+  // Trace bookkeeping: simulated time is attributed to the level that was
+  // active when it accrued; `level_mark` is the latency already attributed.
+  double level_mark = 0;
+  std::array<double, 4> level_ms{};
+  const auto close_level = [&](int level) {
+    level_ms[static_cast<std::size_t>(level - 1)] += lat - level_mark;
+    level_mark = lat;
+  };
+  const auto contact = [&](MdsId peer) {
+    if (peer == entry) return;
+    if (std::find(contacted.begin(), contacted.end(), peer) ==
+        contacted.end()) {
+      contacted.push_back(peer);
+    }
+  };
 
   const auto finish = [&](int level, bool found, MdsId home) {
     // Cooperative caching: an expensive (L3/L4) discovery is worth sharing
@@ -269,8 +287,16 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
         if (m == entry) continue;
         node(m).lru().Touch(digest, home);
         ++msgs;  // one-way hint
+        contact(m);
       }
     }
+    close_level(level);
+    res.trace.level = static_cast<std::uint8_t>(level);
+    for (std::size_t i = 0; i < level_ms.size(); ++i) {
+      res.trace.level_elapsed_ns[i] =
+          static_cast<std::uint64_t>(level_ms[i] * 1e6);
+    }
+    res.trace.peers_contacted = static_cast<std::uint32_t>(contacted.size());
     res.found = found;
     res.home = home;
     res.latency_ms = lat;
@@ -308,11 +334,15 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
     if (candidate != entry) {
       lat += config_.latency.Unicast();
       msgs += 2;
+      contact(candidate);
     }
     const auto v = VerifyAt(candidate, path);
     lat += ServeAt(candidate, now_ms + lat, v.cost_ms);
     already_verified.push_back(candidate);
-    if (!v.found) ++metrics_.false_routes;
+    if (!v.found) {
+      ++metrics_.false_routes;
+      res.trace.false_route = true;
+    }
     return v.found;
   };
 
@@ -330,6 +360,7 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
     }
     e.lru().Invalidate(digest);  // stale cache entry
   }
+  close_level(1);
 
   // --- L2: local segment array (theta replicas + own filter) ---
   lat += ServeAt(entry, now_ms + lat, ProbeCost(entry, e.segment().size() + 1));
@@ -346,12 +377,14 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
       return finish(2, true, candidate);
     }
   }
+  close_level(2);
 
   // --- L3: multicast within the group ---
   Group& g = GroupOfMut(entry);
   if (g.size() > 1) {
     const std::uint64_t peers = g.size() - 1;
     msgs += 2 * peers;
+    for (const MdsId m : g.members) contact(m);
     const double mcast = config_.latency.Multicast(peers);
 
     double slowest_peer = 0;
@@ -382,11 +415,13 @@ LookupResult GhbaCluster::Lookup(const std::string& path, double now_ms) {
       }
     }
   }
+  close_level(3);
 
   // --- L4: global multicast; exact (local filters have no false negatives,
   // positives are verified against the on-disk store) ---
   const std::uint64_t others = NumMds() - 1;
   msgs += 2 * others;
+  for (const MdsId m : alive_) contact(m);
   const double gcast = config_.latency.Multicast(others);
   double slowest_verify = 0;
   MdsId found_home = kInvalidMds;

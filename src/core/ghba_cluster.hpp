@@ -32,7 +32,7 @@ class GhbaCluster final : public ClusterBase {
 
   std::string SchemeName() const override;
 
-  LookupResult Lookup(const std::string& path, double now_ms) override;
+  LookupOutcome Lookup(const std::string& path, double now_ms) override;
   Status CreateFile(const std::string& path, FileMetadata metadata,
                     double now_ms) override;
   Status UnlinkFile(const std::string& path, double now_ms) override;
@@ -102,6 +102,7 @@ class GhbaCluster final : public ClusterBase {
     std::vector<MdsId> l2_hits;
     std::vector<MdsId> candidates;
     std::vector<MdsId> already_verified;
+    std::vector<MdsId> contacted;  ///< distinct peers messaged (trace)
   };
 
   // --- replica management ---

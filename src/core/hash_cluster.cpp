@@ -17,10 +17,10 @@ MdsId HashPlacementCluster::HomeOf(const std::string& path) const {
   return alive_[Xx64(path, config_.seed) % alive_.size()];
 }
 
-LookupResult HashPlacementCluster::Lookup(const std::string& path,
+LookupOutcome HashPlacementCluster::Lookup(const std::string& path,
                                           double now_ms) {
   (void)now_ms;
-  LookupResult res;
+  LookupOutcome res;
   const MdsId home = HomeOf(path);
   double lat = config_.latency.local_proc_ms + config_.latency.Unicast();
   std::uint64_t msgs = 2;
@@ -32,6 +32,9 @@ LookupResult HashPlacementCluster::Lookup(const std::string& path,
   res.latency_ms = lat;
   res.served_level = 2;  // single deterministic hop
   res.messages = msgs;
+  res.trace.level = 2;
+  res.trace.level_elapsed_ns[1] = static_cast<std::uint64_t>(lat * 1e6);
+  res.trace.peers_contacted = 1;
   metrics_.lookup_latency_ms.Add(lat);
   metrics_.l2_latency_ms.Add(lat);
   if (res.found) {

@@ -17,7 +17,7 @@ class HashPlacementCluster final : public ClusterBase {
 
   std::string SchemeName() const override { return "HashPlacement"; }
 
-  LookupResult Lookup(const std::string& path, double now_ms) override;
+  LookupOutcome Lookup(const std::string& path, double now_ms) override;
   Status CreateFile(const std::string& path, FileMetadata metadata,
                     double now_ms) override;
   Status UnlinkFile(const std::string& path, double now_ms) override;

@@ -42,8 +42,8 @@ HbaCluster::VerifyOutcome HbaCluster::VerifyAt(MdsId candidate,
   return out;
 }
 
-LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
-  LookupResult res;
+LookupOutcome HbaCluster::Lookup(const std::string& path, double now_ms) {
+  LookupOutcome res;
   const MdsId entry = RandomMds();
   MdsNode& e = node(entry);
   double lat = ServeAt(entry, now_ms, config_.latency.local_proc_ms);
@@ -52,8 +52,32 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
   QueryDigest digest(path);
   std::vector<MdsId>& already_verified = scratch_.already_verified;
   already_verified.clear();
+  std::vector<MdsId>& contacted = scratch_.contacted;
+  contacted.clear();
+
+  // Trace bookkeeping: attribute simulated time to the active level.
+  double level_mark = 0;
+  std::array<double, 4> level_ms{};
+  const auto close_level = [&](int level) {
+    level_ms[static_cast<std::size_t>(level - 1)] += lat - level_mark;
+    level_mark = lat;
+  };
+  const auto contact = [&](MdsId peer) {
+    if (peer == entry) return;
+    if (std::find(contacted.begin(), contacted.end(), peer) ==
+        contacted.end()) {
+      contacted.push_back(peer);
+    }
+  };
 
   const auto finish = [&](int level, bool found, MdsId home) {
+    close_level(level);
+    res.trace.level = static_cast<std::uint8_t>(level);
+    for (std::size_t i = 0; i < level_ms.size(); ++i) {
+      res.trace.level_elapsed_ns[i] =
+          static_cast<std::uint64_t>(level_ms[i] * 1e6);
+    }
+    res.trace.peers_contacted = static_cast<std::uint32_t>(contacted.size());
     res.found = found;
     res.home = home;
     res.latency_ms = lat;
@@ -87,11 +111,15 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
     if (candidate != entry) {
       lat += config_.latency.Unicast();
       msgs += 2;
+      contact(candidate);
     }
     const auto v = VerifyAt(candidate, path);
     lat += ServeAt(candidate, now_ms + lat, v.cost_ms);
     already_verified.push_back(candidate);
-    if (!v.found) ++metrics_.false_routes;
+    if (!v.found) {
+      ++metrics_.false_routes;
+      res.trace.false_route = true;
+    }
     return v.found;
   };
 
@@ -110,6 +138,7 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
       e.lru().Invalidate(digest);
     }
   }
+  close_level(1);
 
   // --- L2: the full global array (N-1 replicas + own filter). This is the
   // expensive probe when the array has spilled to disk. ---
@@ -128,10 +157,12 @@ LookupResult HbaCluster::Lookup(const std::string& path, double now_ms) {
       return finish(2, true, candidate);
     }
   }
+  close_level(2);
 
   // --- global multicast fallback (exact) ---
   const std::uint64_t others = NumMds() - 1;
   msgs += 2 * others;
+  for (const MdsId m : alive_) contact(m);
   const double gcast = config_.latency.Multicast(others);
   double slowest_verify = 0;
   MdsId found_home = kInvalidMds;

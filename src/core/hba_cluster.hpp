@@ -22,7 +22,7 @@ class HbaCluster final : public ClusterBase {
 
   std::string SchemeName() const override;
 
-  LookupResult Lookup(const std::string& path, double now_ms) override;
+  LookupOutcome Lookup(const std::string& path, double now_ms) override;
   Status CreateFile(const std::string& path, FileMetadata metadata,
                     double now_ms) override;
   Status UnlinkFile(const std::string& path, double now_ms) override;
@@ -57,6 +57,7 @@ class HbaCluster final : public ClusterBase {
     ArrayQueryResult l1;
     std::vector<MdsId> hits;
     std::vector<MdsId> already_verified;
+    std::vector<MdsId> contacted;  ///< distinct peers messaged (trace)
   };
 
   bool use_lru_;

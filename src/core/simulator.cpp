@@ -62,7 +62,7 @@ ReplayCheckpoint ReplaySimulator::Snapshot(std::uint64_t ops) const {
   cp.window_latency_ms =
       window_lookups_ ? window_latency_sum_ / static_cast<double>(window_lookups_)
                       : 0.0;
-  cp.levels = m.levels;
+  cp.levels = m.levels.Values();
   cp.messages = m.messages;
   cp.disk_probes = m.disk_probes;
   return cp;

@@ -21,7 +21,7 @@ struct ReplayCheckpoint {
   double avg_latency_ms = 0;          ///< cumulative mean lookup latency
   double p99_latency_ms = 0;          ///< cumulative tail latency
   double window_latency_ms = 0;       ///< mean over the last window
-  QueryLevelCounters levels;          ///< cumulative level counters
+  QueryLevelValues levels;            ///< cumulative level counters
   std::uint64_t messages = 0;
   std::uint64_t disk_probes = 0;
 };

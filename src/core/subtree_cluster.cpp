@@ -31,9 +31,9 @@ MdsId StaticSubtreeCluster::SubtreeOwner(const std::string& path) {
   return owner;
 }
 
-LookupResult StaticSubtreeCluster::Lookup(const std::string& path,
+LookupOutcome StaticSubtreeCluster::Lookup(const std::string& path,
                                           double now_ms) {
-  LookupResult res;
+  LookupOutcome res;
   double lat = config_.latency.local_proc_ms + config_.latency.Unicast();
   std::uint64_t msgs = 2;
 
@@ -49,6 +49,9 @@ LookupResult StaticSubtreeCluster::Lookup(const std::string& path,
   res.latency_ms = lat;
   res.served_level = 2;  // one deterministic hop, like hash placement
   res.messages = msgs;
+  res.trace.level = 2;
+  res.trace.level_elapsed_ns[1] = static_cast<std::uint64_t>(lat * 1e6);
+  res.trace.peers_contacted = 1;
   metrics_.lookup_latency_ms.Add(lat);
   metrics_.l2_latency_ms.Add(lat);
   if (res.found) {

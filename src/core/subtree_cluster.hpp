@@ -22,7 +22,7 @@ class StaticSubtreeCluster final : public ClusterBase {
 
   std::string SchemeName() const override { return "StaticSubtree"; }
 
-  LookupResult Lookup(const std::string& path, double now_ms) override;
+  LookupOutcome Lookup(const std::string& path, double now_ms) override;
   Status CreateFile(const std::string& path, FileMetadata metadata,
                     double now_ms) override;
   Status UnlinkFile(const std::string& path, double now_ms) override;

@@ -24,9 +24,9 @@ std::uint64_t TableMappingCluster::TableBytes() const {
   return bytes;
 }
 
-LookupResult TableMappingCluster::Lookup(const std::string& path,
+LookupOutcome TableMappingCluster::Lookup(const std::string& path,
                                          double now_ms) {
-  LookupResult res;
+  LookupOutcome res;
   // Entry MDS consults its local table copy (exact), then one unicast.
   double lat = config_.latency.local_proc_ms + config_.latency.mem_metadata_ms;
   std::uint64_t msgs = 0;
@@ -45,6 +45,9 @@ LookupResult TableMappingCluster::Lookup(const std::string& path,
   res.latency_ms = lat;
   res.served_level = 2;
   res.messages = msgs;
+  res.trace.level = 2;
+  res.trace.level_elapsed_ns[1] = static_cast<std::uint64_t>(lat * 1e6);
+  res.trace.peers_contacted = msgs ? 1 : 0;
   metrics_.lookup_latency_ms.Add(lat);
   metrics_.l2_latency_ms.Add(lat);
   if (res.found) {

@@ -18,7 +18,7 @@ class TableMappingCluster final : public ClusterBase {
 
   std::string SchemeName() const override { return "TableMapping"; }
 
-  LookupResult Lookup(const std::string& path, double now_ms) override;
+  LookupOutcome Lookup(const std::string& path, double now_ms) override;
   Status CreateFile(const std::string& path, FileMetadata metadata,
                     double now_ms) override;
   Status UnlinkFile(const std::string& path, double now_ms) override;

@@ -17,12 +17,11 @@
 #include <set>
 #include <vector>
 
+#include "common/lookup_outcome.hpp"  // canonical MdsId
 #include "common/rng.hpp"
 #include "common/sync.hpp"
 
 namespace ghba {
-
-using MdsId = std::uint32_t;  // same alias as bloom/bloom_filter_array.hpp
 
 class FaultInjector {
  public:

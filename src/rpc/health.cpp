@@ -15,8 +15,36 @@ PeerState PeerHealthTracker::RecordFailure(MdsId id) {
   auto& entry = peers_[id];
   if (entry.state == PeerState::kDead) return entry.state;
   ++entry.failures;
-  if (entry.failures >= suspect_after_) entry.state = PeerState::kSuspected;
+  ++totals_.failures;
+  if (entry.failures >= suspect_after_ &&
+      entry.state != PeerState::kSuspected) {
+    entry.state = PeerState::kSuspected;
+    ++totals_.suspected;
+  }
   return entry.state;
+}
+
+void PeerHealthTracker::RecordRetry(MdsId id) {
+  (void)id;
+  MutexLock lock(&mu_);
+  ++totals_.retries;
+}
+
+void PeerHealthTracker::RecordTimeout(MdsId id) {
+  (void)id;
+  MutexLock lock(&mu_);
+  ++totals_.timeouts;
+}
+
+void PeerHealthTracker::RecordFailover(MdsId id) {
+  (void)id;
+  MutexLock lock(&mu_);
+  ++totals_.failovers;
+}
+
+PeerHealthTracker::CumulativeCounts PeerHealthTracker::TotalCounts() const {
+  MutexLock lock(&mu_);
+  return totals_;
 }
 
 void PeerHealthTracker::MarkDead(MdsId id) {

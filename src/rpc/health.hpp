@@ -50,6 +50,25 @@ class PeerHealthTracker {
   std::uint32_t consecutive_failures(MdsId id) const;
   std::vector<MdsId> DeadPeers() const;
 
+  /// Cumulative failure-handling counters (monotone; survive Forget). The
+  /// observability layer exports them under the rpc.* metric names.
+  struct CumulativeCounts {
+    std::uint64_t retries = 0;     ///< call attempts beyond the first
+    std::uint64_t timeouts = 0;    ///< attempts that ended in kTimedOut
+    std::uint64_t failures = 0;    ///< failed calls (all transport causes)
+    std::uint64_t suspected = 0;   ///< kHealthy -> kSuspected transitions
+    std::uint64_t failovers = 0;   ///< confirmed-dead fail-overs executed
+  };
+
+  /// A retry (attempt after the first) is about to run against `id`.
+  void RecordRetry(MdsId id);
+  /// An attempt against `id` timed out (subset of failures).
+  void RecordTimeout(MdsId id);
+  /// A fail-over for `id` ran to completion.
+  void RecordFailover(MdsId id);
+
+  CumulativeCounts TotalCounts() const;
+
  private:
   struct Entry {
     PeerState state = PeerState::kHealthy;
@@ -59,6 +78,7 @@ class PeerHealthTracker {
   const std::uint32_t suspect_after_;
   mutable Mutex mu_;
   std::unordered_map<MdsId, Entry> peers_ GHBA_GUARDED_BY(mu_);
+  CumulativeCounts totals_ GHBA_GUARDED_BY(mu_);
 };
 
 }  // namespace ghba

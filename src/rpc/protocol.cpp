@@ -60,6 +60,44 @@ std::vector<std::uint8_t> EncodeReplicaFetch(MdsId owner) {
   return w.Take();
 }
 
+std::vector<std::uint8_t> EncodeOutcomeReport(const OutcomeReport& report) {
+  auto w = WriterFor(MsgType::kReportOutcome);
+  w.PutU8(report.level);
+  w.PutU8(report.found ? 1 : 0);
+  w.PutU8(report.false_route ? 1 : 0);
+  w.PutU64(report.elapsed_ns);
+  w.PutU32(report.peers_contacted);
+  w.PutU32(report.retries);
+  return w.Take();
+}
+
+Result<OutcomeReport> DecodeOutcomeReport(ByteReader& in) {
+  OutcomeReport report;
+  auto level = in.GetU8();
+  if (!level.ok()) return level.status();
+  // Levels are 1..4; anything else is a mangled frame.
+  if (*level < 1 || *level > 4) return Status::Corruption("bad level");
+  report.level = *level;
+  auto found = in.GetU8();
+  if (!found.ok()) return found.status();
+  if (*found > 1) return Status::Corruption("bad bool byte");
+  report.found = (*found != 0);
+  auto false_route = in.GetU8();
+  if (!false_route.ok()) return false_route.status();
+  if (*false_route > 1) return Status::Corruption("bad bool byte");
+  report.false_route = (*false_route != 0);
+  auto elapsed = in.GetU64();
+  if (!elapsed.ok()) return elapsed.status();
+  report.elapsed_ns = *elapsed;
+  auto peers = in.GetU32();
+  if (!peers.ok()) return peers.status();
+  report.peers_contacted = *peers;
+  auto retries = in.GetU32();
+  if (!retries.ok()) return retries.status();
+  report.retries = *retries;
+  return report;
+}
+
 std::vector<std::uint8_t> EncodeStatusResp(const Status& status) {
   ByteWriter w;
   w.PutU8(0);  // envelope: 0 = Status follows
@@ -100,6 +138,95 @@ std::vector<std::uint8_t> EncodeStatsResp(const StatsResp& stats) {
   w.PutU64(stats.files);
   w.PutU64(stats.replicas);
   return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeStatsSnapshotResp(
+    const StatsSnapshotResp& snap) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU32(snap.mds_id);
+  w.PutU64(snap.frames_in);
+  w.PutU64(snap.frames_out);
+  w.PutU64(snap.files);
+  w.PutU64(snap.replicas);
+  w.PutU64(snap.lookup_state_bytes);
+  w.PutVarint(snap.metrics.counters.size());
+  for (const auto& [name, value] : snap.metrics.counters) {
+    w.PutString(name);
+    w.PutU64(value);
+  }
+  w.PutVarint(snap.metrics.histograms.size());
+  for (const auto& [name, h] : snap.metrics.histograms) {
+    w.PutString(name);
+    w.PutU64(h.count);
+    w.PutDouble(h.sum);
+    w.PutDouble(h.min);
+    w.PutDouble(h.max);
+    w.PutDouble(h.p50);
+    w.PutDouble(h.p99);
+  }
+  return w.Take();
+}
+
+Result<StatsSnapshotResp> DecodeStatsSnapshotResp(ByteReader& in) {
+  StatsSnapshotResp snap;
+  auto id = in.GetU32();
+  if (!id.ok()) return id.status();
+  snap.mds_id = *id;
+  const auto fixed = [&](std::uint64_t& field) -> Status {
+    auto v = in.GetU64();
+    if (!v.ok()) return v.status();
+    field = *v;
+    return Status::Ok();
+  };
+  if (Status s = fixed(snap.frames_in); !s.ok()) return s;
+  if (Status s = fixed(snap.frames_out); !s.ok()) return s;
+  if (Status s = fixed(snap.files); !s.ok()) return s;
+  if (Status s = fixed(snap.replicas); !s.ok()) return s;
+  if (Status s = fixed(snap.lookup_state_bytes); !s.ok()) return s;
+
+  auto n_counters = in.GetVarint();
+  if (!n_counters.ok()) return n_counters.status();
+  // A counter entry costs at least 9 bytes (1-byte length of an empty name
+  // + 8-byte value); a larger claimed count means a mangled length field.
+  if (*n_counters > in.remaining() / 9) {
+    return Status::Corruption("absurd counter count");
+  }
+  for (std::uint64_t i = 0; i < *n_counters; ++i) {
+    auto name = in.GetString();
+    if (!name.ok()) return name.status();
+    auto value = in.GetU64();
+    if (!value.ok()) return value.status();
+    snap.metrics.counters[std::move(*name)] = *value;
+  }
+
+  auto n_hists = in.GetVarint();
+  if (!n_hists.ok()) return n_hists.status();
+  // 1-byte name length + count + five doubles = 49 bytes minimum.
+  if (*n_hists > in.remaining() / 49) {
+    return Status::Corruption("absurd histogram count");
+  }
+  for (std::uint64_t i = 0; i < *n_hists; ++i) {
+    auto name = in.GetString();
+    if (!name.ok()) return name.status();
+    HistogramStats h;
+    auto count = in.GetU64();
+    if (!count.ok()) return count.status();
+    h.count = *count;
+    const auto dbl = [&](double& field) -> Status {
+      auto v = in.GetDouble();
+      if (!v.ok()) return v.status();
+      field = *v;
+      return Status::Ok();
+    };
+    if (Status s = dbl(h.sum); !s.ok()) return s;
+    if (Status s = dbl(h.min); !s.ok()) return s;
+    if (Status s = dbl(h.max); !s.ok()) return s;
+    if (Status s = dbl(h.p50); !s.ok()) return s;
+    if (Status s = dbl(h.p99); !s.ok()) return s;
+    snap.metrics.histograms[std::move(*name)] = h;
+  }
+  return snap;
 }
 
 std::vector<std::uint8_t> EncodeFileListResp(const FileListResp& resp) {
@@ -149,7 +276,7 @@ Result<Envelope> OpenEnvelope(ByteReader& in) {
 Result<MsgType> DecodeType(ByteReader& in) {
   auto t = in.GetU16();
   if (!t.ok()) return t.status();
-  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kExportFiles)) {
+  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kReportOutcome)) {
     return Status::Corruption("unknown message type");
   }
   return static_cast<MsgType>(*t);

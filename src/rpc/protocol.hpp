@@ -13,6 +13,7 @@
 #include "bloom/bloom_filter.hpp"
 #include "bloom/bloom_filter_array.hpp"
 #include "common/bytes.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/status.hpp"
 #include "mds/metadata.hpp"
 
@@ -35,6 +36,8 @@ enum class MsgType : std::uint16_t {
   kPing = 13,         ///< liveness -> StatusResp
   kShutdown = 14,     ///< stop the server loop; no response
   kExportFiles = 15,  ///< drain all (path, metadata) pairs -> FileListResp
+  kStatsSnapshot = 16,  ///< full metrics snapshot -> StatsSnapshotResp
+  kReportOutcome = 17,  ///< client reports a finished lookup; no response
 };
 
 /// Local lookup outcome shipped back from kLookupLocal / kGroupProbe.
@@ -53,6 +56,35 @@ struct StatsResp {
   std::uint64_t replicas = 0;
 };
 
+/// Full per-MDS observability export (kStatsSnapshot). Fixed header fields
+/// describe the server itself; `metrics` carries every named counter and
+/// histogram from the server's MetricsRegistry (per-level hit counts fed by
+/// kReportOutcome, serve-side latencies, ...). The schema is open-ended on
+/// purpose: new named metrics need no protocol change.
+struct StatsSnapshotResp {
+  std::uint32_t mds_id = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t files = 0;
+  std::uint64_t replicas = 0;
+  /// Live analog of the simulator's LookupStateBytes: local filter +
+  /// segment replica array + LRU array resident bytes.
+  std::uint64_t lookup_state_bytes = 0;
+  MetricsSnapshot metrics;
+};
+
+/// Client -> entry-MDS outcome report (kReportOutcome, one-way). The entry
+/// server folds it into its registry so per-level hit counts accumulate
+/// server-side and kStatsSnapshot can reproduce Fig. 13 from a live cluster.
+struct OutcomeReport {
+  std::uint8_t level = 0;  ///< 1..4, as in LookupTrace
+  bool found = false;
+  bool false_route = false;
+  std::uint64_t elapsed_ns = 0;  ///< client-measured end-to-end
+  std::uint32_t peers_contacted = 0;
+  std::uint32_t retries = 0;
+};
+
 // --- encode helpers (client side) ---
 std::vector<std::uint8_t> EncodeHeader(MsgType type);
 std::vector<std::uint8_t> EncodePathRequest(MsgType type,
@@ -64,6 +96,10 @@ std::vector<std::uint8_t> EncodeReplicaInstall(MdsId owner,
                                                const BloomFilter& filter);
 std::vector<std::uint8_t> EncodeReplicaDrop(MdsId owner);
 std::vector<std::uint8_t> EncodeReplicaFetch(MdsId owner);
+std::vector<std::uint8_t> EncodeOutcomeReport(const OutcomeReport& report);
+
+/// Server-side decode of a kReportOutcome request body.
+Result<OutcomeReport> DecodeOutcomeReport(ByteReader& in);
 
 /// Exported file set (graceful decommissioning).
 struct FileListResp {
@@ -77,6 +113,8 @@ std::vector<std::uint8_t> EncodeBoolResp(bool value);
 std::vector<std::uint8_t> EncodeLocalLookupResp(const LocalLookupResp& resp);
 std::vector<std::uint8_t> EncodeFilterResp(const BloomFilter& filter);
 std::vector<std::uint8_t> EncodeStatsResp(const StatsResp& stats);
+std::vector<std::uint8_t> EncodeStatsSnapshotResp(
+    const StatsSnapshotResp& snap);
 
 // --- decode helpers ---
 
@@ -101,6 +139,7 @@ Result<RemoteStatus> DecodeStatusResp(ByteReader& in);
 Result<bool> DecodeBoolResp(ByteReader& in);
 Result<LocalLookupResp> DecodeLocalLookupResp(ByteReader& in);
 Result<StatsResp> DecodeStatsResp(ByteReader& in);
+Result<StatsSnapshotResp> DecodeStatsSnapshotResp(ByteReader& in);
 Result<FileListResp> DecodeFileListResp(ByteReader& in);
 
 }  // namespace ghba

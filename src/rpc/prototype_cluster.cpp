@@ -18,9 +18,13 @@ double NowMs() {
 
 /// Transport-level failures worth a retry / health demerit; remote
 /// application statuses (NotFound, AlreadyExists, ...) are not.
+/// kCorruption only reaches this check from the framing layer (magic/CRC
+/// mismatch on a response frame) — the payload decoders run later, at the
+/// call sites — so it too means "the wire mangled it, try again fresh".
 bool IsTransient(const Status& s) {
   return s.code() == StatusCode::kUnavailable ||
-         s.code() == StatusCode::kTimedOut;
+         s.code() == StatusCode::kTimedOut ||
+         s.code() == StatusCode::kCorruption;
 }
 
 /// True when a response frame is the server rejecting the *request* as
@@ -52,7 +56,29 @@ PrototypeCluster::PrototypeCluster(ClusterConfig config, ProtoScheme scheme)
     : config_(std::move(config)),
       scheme_(scheme),
       rng_(config_.seed ^ 0x9999),
-      health_(config_.rpc.suspect_after) {}
+      health_(config_.rpc.suspect_after),
+      rpc_retries_(metrics_.registry().counter(metrics_names::kRpcRetries)),
+      rpc_timeouts_(metrics_.registry().counter(metrics_names::kRpcTimeouts)),
+      rpc_failures_(metrics_.registry().counter(metrics_names::kRpcFailures)),
+      rpc_suspected_(
+          metrics_.registry().counter(metrics_names::kRpcSuspected)),
+      rpc_failovers_(
+          metrics_.registry().counter(metrics_names::kRpcFailovers)) {}
+
+void PrototypeCluster::QueryCtx::CloseLevel(int level) {
+  const double now = NowMs();
+  trace.level_elapsed_ns[static_cast<std::size_t>(level - 1)] +=
+      static_cast<std::uint64_t>((now - mark_ms) * 1e6);
+  mark_ms = now;
+}
+
+void PrototypeCluster::QueryCtx::Contact(MdsId id) {
+  if (id == entry) return;
+  if (std::find(contacted.begin(), contacted.end(), id) != contacted.end()) {
+    return;
+  }
+  contacted.push_back(id);
+}
 
 PrototypeCluster::~PrototypeCluster() { Stop(); }
 
@@ -186,6 +212,7 @@ Result<std::vector<std::uint8_t>> PrototypeCluster::Call(
     }
     const int remaining = budget.PollTimeoutMs();
     if (remaining <= 0) break;
+    if (attempt > 0) health_.RecordRetry(id);
     // One attempt never outlives the call budget.
     const auto attempt_deadline = Deadline::After(std::chrono::milliseconds(
         std::min<int>(static_cast<int>(rpc.attempt_timeout_ms), remaining)));
@@ -200,6 +227,7 @@ Result<std::vector<std::uint8_t>> PrototypeCluster::Call(
       return resp;
     }
     last = resp.status();
+    if (last.code() == StatusCode::kTimedOut) health_.RecordTimeout(id);
     conns_.erase(id);  // never reuse a connection that failed mid-exchange
     if (!IsTransient(last)) break;
   }
@@ -262,7 +290,11 @@ bool PrototypeCluster::ConfirmDead(MdsId id) {
         TcpConnection::Connect(servers_[id]->port(), deadline, injector_);
     if (!conn.ok()) continue;
     if (!conn->SendFrame(ping, deadline).ok()) continue;
-    if (conn->RecvFrame(deadline).ok()) return false;  // alive after all
+    const auto resp = conn->RecvFrame(deadline);
+    if (resp.ok()) return false;  // alive after all
+    // A checksum-mangled response still proves the peer's loop answered:
+    // corruption is the wire's doing, not the peer's silence.
+    if (resp.status().code() == StatusCode::kCorruption) return false;
   }
   return true;
 }
@@ -368,17 +400,21 @@ Result<bool> PrototypeCluster::VerifyAt(MdsId candidate,
   return DecodeBoolResp(in);
 }
 
-Result<ProtoLookupResult> PrototypeCluster::Lookup(const std::string& path) {
+Result<LookupOutcome> PrototypeCluster::Lookup(const std::string& path) {
   MutexLock lock(&mu_);
   return LookupLocked(path);
 }
 
-Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
+Result<LookupOutcome> PrototypeCluster::LookupLocked(
     const std::string& path) {
-  const double start = NowMs();
+  QueryCtx q;
+  q.start_ms = NowMs();
+  q.mark_ms = q.start_ms;
+  q.retries_before = health_.TotalCounts().retries;
   const auto alive = AliveServersLocked();
   if (alive.empty()) return Status::Unavailable("no servers");
-  const MdsId entry = alive[rng_.NextBounded(alive.size())];
+  q.entry = alive[rng_.NextBounded(alive.size())];
+  const MdsId entry = q.entry;
 
   // L1 + L2 on the entry server. A slow or dead entry degrades the query
   // to the lower levels (empty local result) instead of failing it: the
@@ -395,15 +431,14 @@ Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
     }
   }
 
-  std::vector<MdsId> verified;
-
-  if (local.lru_unique && TryVerifyOnce(verified, local.lru_home, path)) {
-    return FinishLookup(path, entry, start, 1, true, local.lru_home);
+  if (local.lru_unique && TryVerifyOnce(q, local.lru_home, path)) {
+    return FinishLookup(path, q, 1, true, local.lru_home);
   }
-  if (local.hits.size() == 1 &&
-      TryVerifyOnce(verified, local.hits.front(), path)) {
-    return FinishLookup(path, entry, start, 2, true, local.hits.front());
+  q.CloseLevel(1);
+  if (local.hits.size() == 1 && TryVerifyOnce(q, local.hits.front(), path)) {
+    return FinishLookup(path, q, 2, true, local.hits.front());
   }
+  q.CloseLevel(2);
 
   // L3: probe the rest of the entry's group. A timed-out peer counts as a
   // miss and the query continues; its candidates resurface at L4. Work on
@@ -418,6 +453,7 @@ Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
     }
     for (const MdsId m : members) {
       if (m == entry) continue;
+      q.Contact(m);
       auto probe = Call(m, EncodePathRequest(MsgType::kGroupProbe, path));
       if (!probe.ok()) continue;  // a slow/dead peer must not fail the query
       ByteReader pin(*probe);
@@ -432,10 +468,11 @@ Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
     for (const MdsId c : candidates) {
-      if (TryVerifyOnce(verified, c, path)) {
-        return FinishLookup(path, entry, start, 3, true, c);
+      if (TryVerifyOnce(q, c, path)) {
+        return FinishLookup(path, q, 3, true, c);
       }
     }
+    q.CloseLevel(3);
   }
 
   // L4: global probe. L4 is the exact level, so a peer we could not reach
@@ -444,6 +481,7 @@ Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
   bool all_peers_answered = true;
   for (MdsId m = 0; m < servers_.size(); ++m) {
     if (!servers_[m]) continue;
+    q.Contact(m);
     auto probe = Call(m, EncodePathRequest(MsgType::kGlobalProbe, path));
     if (!probe.ok()) {
       all_peers_answered = false;
@@ -460,42 +498,85 @@ Result<ProtoLookupResult> PrototypeCluster::LookupLocked(
       all_peers_answered = false;
       continue;
     }
-    if (*found) return FinishLookup(path, entry, start, 4, true, m);
+    if (*found) return FinishLookup(path, q, 4, true, m);
   }
   if (!all_peers_answered) {
     return Status::Unavailable(
         "lookup degraded: some peers unreachable at L4");
   }
-  return FinishLookup(path, entry, start, 4, false, kInvalidMds);
+  return FinishLookup(path, q, 4, false, kInvalidMds);
 }
 
-bool PrototypeCluster::TryVerifyOnce(std::vector<MdsId>& verified,
-                                     MdsId candidate,
+bool PrototypeCluster::TryVerifyOnce(QueryCtx& q, MdsId candidate,
                                      const std::string& path) {
-  if (std::find(verified.begin(), verified.end(), candidate) !=
-      verified.end()) {
+  if (std::find(q.verified.begin(), q.verified.end(), candidate) !=
+      q.verified.end()) {
     return false;
   }
-  verified.push_back(candidate);
+  q.verified.push_back(candidate);
+  q.Contact(candidate);
   // Stale cache/replica named a dead/slow server, or the answer came
   // back mangled: degraded service means the query continues down the
   // hierarchy, not that it fails (Sec. 4.5). The exact L4 pass backstops
   // any candidate skipped here.
   auto v = VerifyAt(candidate, path);
+  if (v.ok() && !*v) q.trace.false_route = true;  // confident wrong route
   return v.ok() && *v;
 }
 
-ProtoLookupResult PrototypeCluster::FinishLookup(const std::string& path,
-                                                 MdsId entry, double start_ms,
-                                                 int level, bool found,
-                                                 MdsId home) {
-  ProtoLookupResult result;
+LookupOutcome PrototypeCluster::FinishLookup(const std::string& path,
+                                             QueryCtx& q, int level,
+                                             bool found, MdsId home) {
+  q.CloseLevel(level);
+  LookupOutcome result;
   result.found = found;
   result.home = home;
   result.served_level = level;
-  result.latency_ms = NowMs() - start_ms;
+  result.latency_ms = NowMs() - q.start_ms;
+  q.trace.level = static_cast<std::uint8_t>(level);
+  q.trace.peers_contacted = static_cast<std::uint32_t>(q.contacted.size());
+  q.trace.retries = static_cast<std::uint32_t>(
+      health_.TotalCounts().retries - q.retries_before);
+  result.trace = q.trace;
+
+  // Client-side accounting (the entry server gets the same numbers via
+  // kReportOutcome below, so server snapshots can reconstruct Fig. 13).
+  const bool miss = level == 4 && !found;
+  switch (level) {
+    case 1:
+      ++metrics_.levels.l1;
+      metrics_.l1_latency_ms.Add(result.latency_ms);
+      break;
+    case 2:
+      ++metrics_.levels.l2;
+      metrics_.l2_latency_ms.Add(result.latency_ms);
+      break;
+    case 3:
+      ++metrics_.levels.l3;
+      metrics_.group_latency_ms.Add(result.latency_ms);
+      break;
+    default:
+      if (miss) {
+        ++metrics_.levels.miss;
+      } else {
+        ++metrics_.levels.l4;
+      }
+      metrics_.global_latency_ms.Add(result.latency_ms);
+      break;
+  }
+  metrics_.lookup_latency_ms.Add(result.latency_ms);
+  if (q.trace.false_route) ++metrics_.false_routes;
+
+  OutcomeReport report;
+  report.level = q.trace.level;
+  report.found = found;
+  report.false_route = q.trace.false_route;
+  report.elapsed_ns = q.trace.TotalElapsedNs();
+  report.peers_contacted = q.trace.peers_contacted;
+  report.retries = q.trace.retries;
+  (void)OneWay(q.entry, EncodeOutcomeReport(report));
   if (found) {
-    (void)OneWay(entry, EncodeTouch(path, home));
+    (void)OneWay(q.entry, EncodeTouch(path, home));
   }
   return result;
 }
@@ -799,6 +880,7 @@ Status PrototypeCluster::FailOver(MdsId id) {
   FlagGuard guard(in_failover_);
   conns_.erase(id);
   health_.MarkDead(id);
+  health_.RecordFailover(id);
   if (servers_[id]) {
     servers_[id]->Stop();  // idempotent; a stalled loop still honours it
     servers_[id].reset();
@@ -837,6 +919,50 @@ Status PrototypeCluster::FailOver(MdsId id) {
     group_of_.erase(id);
   }
   return result;
+}
+
+MetricsSnapshot PrototypeCluster::ClientSnapshot() {
+  const auto totals = health_.TotalCounts();
+  rpc_retries_ = totals.retries;
+  rpc_timeouts_ = totals.timeouts;
+  rpc_failures_ = totals.failures;
+  rpc_suspected_ = totals.suspected;
+  rpc_failovers_ = totals.failovers;
+  return metrics_.Snapshot();
+}
+
+Status PrototypeCluster::Quiesce() {
+  MutexLock lock(&mu_);
+  const auto ping = EncodeHeader(MsgType::kPing);
+  for (MdsId id = 0; id < servers_.size(); ++id) {
+    if (!servers_[id]) continue;
+    // Only cached connections can still hold queued one-way frames; a
+    // fresh connection has nothing to flush.
+    if (conns_.find(id) == conns_.end()) continue;
+    auto resp = Call(id, ping);
+    if (!resp.ok()) return resp.status();
+  }
+  return Status::Ok();
+}
+
+std::vector<std::uint16_t> PrototypeCluster::ServerPorts() const {
+  MutexLock lock(&mu_);
+  std::vector<std::uint16_t> ports;
+  for (const auto& server : servers_) {
+    if (server) ports.push_back(server->port());
+  }
+  return ports;
+}
+
+Result<StatsSnapshotResp> PrototypeCluster::FetchStats(MdsId id) {
+  MutexLock lock(&mu_);
+  auto resp = Call(id, EncodeHeader(MsgType::kStatsSnapshot));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeStatsSnapshotResp(in);
 }
 
 std::uint64_t PrototypeCluster::TotalFramesIn() const {

@@ -22,9 +22,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lookup_outcome.hpp"
 #include "common/rng.hpp"
 #include "common/sync.hpp"
 #include "core/config.hpp"
+#include "core/metrics.hpp"
 #include "mds/metadata.hpp"
 #include "rpc/fault_injector.hpp"
 #include "rpc/health.hpp"
@@ -38,13 +40,6 @@ namespace ghba {
 enum class ProtoScheme {
   kGhba,  ///< groups of <= M; theta replicas per server
   kHba,   ///< every server holds every other server's replica
-};
-
-struct ProtoLookupResult {
-  bool found = false;
-  MdsId home = kInvalidMds;
-  double latency_ms = 0;  ///< measured wall-clock
-  int served_level = 0;   ///< 1..4 as in the simulator
 };
 
 class PrototypeCluster {
@@ -68,6 +63,28 @@ class PrototypeCluster {
   /// Client-visible failure accounting (suspicion / confirmed deaths).
   const PeerHealthTracker& health() const { return health_; }
 
+  /// Client-side metrics (per-level outcomes, lookup latency, rpc.*
+  /// failure counters). Internally synchronized; readable any time.
+  const ClusterMetrics& metrics() const { return metrics_; }
+
+  /// Point-in-time export of the client registry, with the rpc.* counters
+  /// refreshed from the health tracker first.
+  MetricsSnapshot ClientSnapshot();
+
+  /// Flush in-flight one-way frames (kReportOutcome / kTouchLru): a kPing
+  /// round-trip on every cached connection. Each connection is FIFO on the
+  /// server side, so once the ping answers, every frame queued before it
+  /// has been handled. Call before polling server stats that must include
+  /// already-issued lookups.
+  Status Quiesce();
+
+  /// Loopback ports of the live servers, in MdsId order (ghba_stats polls
+  /// these over independent connections).
+  std::vector<std::uint16_t> ServerPorts() const;
+
+  /// One server's full stats snapshot via the kStatsSnapshot RPC.
+  Result<StatsSnapshotResp> FetchStats(MdsId id);
+
   std::size_t NumServers() const;
   std::size_t NumGroups() const;
 
@@ -78,7 +95,7 @@ class PrototypeCluster {
   Status Unlink(const std::string& path);
 
   /// Four-level lookup driven from the client.
-  Result<ProtoLookupResult> Lookup(const std::string& path);
+  Result<LookupOutcome> Lookup(const std::string& path);
 
   /// Fetch every server's current filter and refresh its replicas.
   Status PublishAll();
@@ -116,6 +133,25 @@ class PrototypeCluster {
   struct GroupInfo {
     std::vector<MdsId> members;
     std::unordered_map<MdsId, MdsId> holder;  // owner -> member holding it
+  };
+
+  /// Per-lookup bookkeeping threaded through the level cascade: wall-clock
+  /// attribution per level, distinct peers contacted, the verify memo and
+  /// the trace under construction. Plain data — no locking of its own.
+  struct QueryCtx {
+    MdsId entry = kInvalidMds;
+    double start_ms = 0;
+    double mark_ms = 0;               ///< start of the level in progress
+    std::uint64_t retries_before = 0; ///< health retry total at query start
+    LookupTrace trace;
+    std::vector<MdsId> contacted;  ///< distinct peers (entry excluded)
+    std::vector<MdsId> verified;   ///< kVerify memo (at most once each)
+
+    /// Attribute the wall-clock since `mark_ms` to `level` and restart the
+    /// mark. Levels the query fell through keep their partial elapsed time.
+    void CloseLevel(int level);
+    /// Record one contact with `id` (dedup; the entry server is implied).
+    void Contact(MdsId id);
   };
 
   Status StartServer(MdsId id) GHBA_REQUIRES(mu_);
@@ -157,22 +193,25 @@ class PrototypeCluster {
 
   Result<bool> VerifyAt(MdsId candidate, const std::string& path)
       GHBA_REQUIRES(mu_);
-  /// Verifies `candidate` at most once per lookup (`verified` is the
-  /// per-lookup memo). Named helpers instead of lambdas so the thread-
-  /// safety analysis sees the REQUIRES(mu_) contract: Clang analyzes a
-  /// lambda body as a separate unannotated function, losing the caller's
+  /// Verifies `candidate` at most once per lookup (`q.verified` is the
+  /// per-lookup memo). A verify that answers "not here" marks the trace as
+  /// a false route. Named helpers instead of lambdas so the thread-safety
+  /// analysis sees the REQUIRES(mu_) contract: Clang analyzes a lambda
+  /// body as a separate unannotated function, losing the caller's
   /// held-lock set.
-  bool TryVerifyOnce(std::vector<MdsId>& verified, MdsId candidate,
-                     const std::string& path) GHBA_REQUIRES(mu_);
-  /// Completes a ProtoLookupResult; on a hit, fire-and-forget a kTouchLru
-  /// to the entry server so its L1 cache learns the answer.
-  ProtoLookupResult FinishLookup(const std::string& path, MdsId entry,
-                                 double start_ms, int level, bool found,
-                                 MdsId home) GHBA_REQUIRES(mu_);
+  bool TryVerifyOnce(QueryCtx& q, MdsId candidate, const std::string& path)
+      GHBA_REQUIRES(mu_);
+  /// Completes a LookupOutcome: closes the serving level, seals the trace,
+  /// accounts the query into the client metrics, fire-and-forgets a
+  /// kReportOutcome to the entry server (Fig. 13 accounting lives
+  /// server-side) and, on a hit, a kTouchLru so the entry's L1 cache
+  /// learns the answer.
+  LookupOutcome FinishLookup(const std::string& path, QueryCtx& q, int level,
+                             bool found, MdsId home) GHBA_REQUIRES(mu_);
 
   // Locked bodies of the public entry points that other operations reuse
   // (Unlink locates via a lookup; RemoveServer republishes filters).
-  Result<ProtoLookupResult> LookupLocked(const std::string& path)
+  Result<LookupOutcome> LookupLocked(const std::string& path)
       GHBA_REQUIRES(mu_);
   Status PublishAllLocked() GHBA_REQUIRES(mu_);
   std::vector<MdsId> AliveServersLocked() const GHBA_REQUIRES(mu_);
@@ -196,6 +235,15 @@ class PrototypeCluster {
   std::unordered_map<MdsId, std::size_t> group_of_ GHBA_GUARDED_BY(mu_);
 
   PeerHealthTracker health_;  // internally synchronized
+  /// Client-side accounting. Internally synchronized (atomic counters,
+  /// striped histograms); all writes happen under mu_ anyway.
+  ClusterMetrics metrics_;
+  // rpc.* mirrors of health_.TotalCounts(), refreshed by ClientSnapshot().
+  MetricsRegistry::Counter rpc_retries_;
+  MetricsRegistry::Counter rpc_timeouts_;
+  MetricsRegistry::Counter rpc_failures_;
+  MetricsRegistry::Counter rpc_suspected_;
+  MetricsRegistry::Counter rpc_failovers_;
   FaultInjector* injector_ GHBA_GUARDED_BY(mu_) = nullptr;
   /// Reconfiguration guard against recursive fail-over: the repair traffic
   /// itself may hit slow peers, which must only be accounted, not chased.

@@ -8,6 +8,7 @@
 
 #include "bloom/compressed.hpp"
 #include "common/logging.hpp"
+#include "core/metrics.hpp"
 #include "hash/query_digest.hpp"
 
 namespace ghba {
@@ -28,7 +29,21 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
       local_filter_(CountingBloomFilter::ForCapacity(
           config.expected_files_per_mds, config.bits_per_file,
           config.seed ^ 0x5151)),
-      lru_(LruOptionsFor(config)) {}
+      lru_(LruOptionsFor(config)),
+      outcome_l1_(registry_.counter(metrics_names::kLookupsL1)),
+      outcome_l2_(registry_.counter(metrics_names::kLookupsL2)),
+      outcome_l3_(registry_.counter(metrics_names::kLookupsL3)),
+      outcome_l4_(registry_.counter(metrics_names::kLookupsL4)),
+      outcome_miss_(registry_.counter(metrics_names::kLookupsMiss)),
+      outcome_false_routes_(registry_.counter(metrics_names::kFalseRoutes)),
+      serve_local_lookups_(
+          registry_.counter(metrics_names::kServeLocalLookups)),
+      serve_group_probes_(registry_.counter(metrics_names::kServeGroupProbes)),
+      serve_global_probes_(
+          registry_.counter(metrics_names::kServeGlobalProbes)),
+      serve_verifies_(registry_.counter(metrics_names::kServeVerifies)),
+      outcome_latency_ms_(
+          registry_.histogram(metrics_names::kLatencyLookupMs)) {}
 
 MdsServer::~MdsServer() { Stop(); }
 
@@ -151,6 +166,11 @@ LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
   return resp;
 }
 
+std::uint64_t MdsServer::LookupStateBytes() const {
+  return local_filter_.MemoryBytes() + segment_.MemoryBytes() +
+         lru_.MemoryBytes();
+}
+
 double MdsServer::ReplicaOverflowFraction() const {
   // As in the simulator (ClusterBase::ChargeMemory): the budget governs the
   // replica working set — the quantity the schemes differ on. The LRU array
@@ -176,12 +196,18 @@ std::vector<std::uint8_t> MdsServer::Handle(
     case MsgType::kGroupProbe: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
+      if (*type == MsgType::kLookupLocal) {
+        ++serve_local_lookups_;
+      } else {
+        ++serve_group_probes_;
+      }
       return EncodeLocalLookupResp(
           RunLocalLookup(*path, *type == MsgType::kLookupLocal));
     }
     case MsgType::kGlobalProbe: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
+      ++serve_global_probes_;
       // Authoritative: filter screens, store confirms (no false negatives).
       const bool found =
           local_filter_.MayContain(*path) && store_.Contains(*path);
@@ -190,6 +216,7 @@ std::vector<std::uint8_t> MdsServer::Handle(
     case MsgType::kVerify: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
+      ++serve_verifies_;
       return EncodeBoolResp(store_.Contains(*path));
     }
     case MsgType::kTouchLru: {
@@ -255,6 +282,40 @@ std::vector<std::uint8_t> MdsServer::Handle(
     }
     case MsgType::kPing:
       return EncodeStatusResp(Status::Ok());
+    case MsgType::kStatsSnapshot: {
+      StatsSnapshotResp snap;
+      snap.mds_id = id_;
+      snap.frames_in = frames_in();
+      snap.frames_out = frames_out();
+      snap.files = store_.size();
+      snap.replicas = segment_.size();
+      snap.lookup_state_bytes = LookupStateBytes();
+      snap.metrics = registry_.Snapshot();
+      return EncodeStatsSnapshotResp(snap);
+    }
+    case MsgType::kReportOutcome: {
+      // One-way: the coordinating client tells its entry server how the
+      // lookup it started here ended, so Fig. 13's per-level hit counts
+      // accumulate server-side and export via kStatsSnapshot.
+      respond = false;
+      auto report = DecodeOutcomeReport(in);
+      if (!report.ok()) return {};
+      switch (report->level) {
+        case 1: ++outcome_l1_; break;
+        case 2: ++outcome_l2_; break;
+        case 3: ++outcome_l3_; break;
+        default:
+          if (report->found) {
+            ++outcome_l4_;
+          } else {
+            ++outcome_miss_;
+          }
+          break;
+      }
+      if (report->false_route) ++outcome_false_routes_;
+      outcome_latency_ms_.Add(static_cast<double>(report->elapsed_ns) / 1e6);
+      return {};
+    }
     case MsgType::kExportFiles: {
       // Decommissioning drain: hand over every record and clear state.
       FileListResp resp;

@@ -19,6 +19,7 @@
 #include "bloom/bloom_filter_array.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "bloom/lru_bloom_array.hpp"
+#include "common/metrics_registry.hpp"
 #include "common/sync.hpp"
 #include "core/config.hpp"
 #include "mds/store.hpp"
@@ -55,6 +56,11 @@ class MdsServer {
   std::uint64_t frames_in() const { return frames_in_.load(std::memory_order_relaxed); }
   std::uint64_t frames_out() const { return frames_out_.load(std::memory_order_relaxed); }
 
+  /// This server's metrics registry (internally synchronized): per-level
+  /// outcome counters fed by kReportOutcome plus serve-side request counts.
+  /// The same data kStatsSnapshot exports over the wire.
+  MetricsSnapshot MetricsSnapshotNow() const { return registry_.Snapshot(); }
+
  private:
   void Loop();
   /// Dispatch one request frame; returns the response payload, or empty for
@@ -69,6 +75,9 @@ class MdsServer {
   /// Fraction of replica bytes beyond the memory budget (after the LRU
   /// array and the local filter take their share). Probing those blocks.
   double ReplicaOverflowFraction() const GHBA_REQUIRES(loop_role_);
+
+  /// Resident bytes of the lookup structures (live LookupStateBytes).
+  std::uint64_t LookupStateBytes() const GHBA_REQUIRES(loop_role_);
 
   MdsId id_;
   ClusterConfig config_;
@@ -88,6 +97,21 @@ class MdsServer {
 
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};
+
+  // Internally synchronized (atomic counters, striped histograms): written
+  // from the loop thread, snapshotted from any thread.
+  MetricsRegistry registry_;
+  MetricsRegistry::Counter outcome_l1_;
+  MetricsRegistry::Counter outcome_l2_;
+  MetricsRegistry::Counter outcome_l3_;
+  MetricsRegistry::Counter outcome_l4_;
+  MetricsRegistry::Counter outcome_miss_;
+  MetricsRegistry::Counter outcome_false_routes_;
+  MetricsRegistry::Counter serve_local_lookups_;
+  MetricsRegistry::Counter serve_group_probes_;
+  MetricsRegistry::Counter serve_global_probes_;
+  MetricsRegistry::Counter serve_verifies_;
+  MetricsRegistry::LatencyHistogram outcome_latency_ms_;
 };
 
 }  // namespace ghba

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <thread>
 
+#include "common/bytes.hpp"
+
 namespace ghba {
 
 namespace {
@@ -190,7 +192,9 @@ Status TcpConnection::SendFrame(const std::vector<std::uint8_t>& payload,
         // Header still advertises the full length but only a prefix is
         // delivered: the receiver blocks mid-frame until its deadline
         // fires, like a peer crashing mid-send. This connection's framing
-        // is poisoned afterwards; callers evict it on the resulting error.
+        // is poisoned afterwards; the receiver's magic/CRC check turns any
+        // bytes that drift into the gap into kCorruption, and callers
+        // evict the connection on the resulting error.
         mutated = payload;
         MutatePayload(plan, mutated);
         if (mutated.size() < payload.size()) {
@@ -209,12 +213,23 @@ Status TcpConnection::SendFrame(const std::vector<std::uint8_t>& payload,
     }
   }
 
-  std::uint8_t header[4];
+  // Framed as [magic:2][len:4][crc32:4][payload]. The CRC covers the
+  // *intended* payload, so a receiver detects in-flight corruption,
+  // truncation-induced stream desync, and short writes as kCorruption
+  // instead of handing mangled bytes to the decoders.
+  std::uint8_t header[kFrameHeaderBytes];
   const auto len = static_cast<std::uint32_t>(payload.size());
-  header[0] = static_cast<std::uint8_t>(len);
-  header[1] = static_cast<std::uint8_t>(len >> 8);
-  header[2] = static_cast<std::uint8_t>(len >> 16);
-  header[3] = static_cast<std::uint8_t>(len >> 24);
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  header[0] = kFrameMagic0;
+  header[1] = kFrameMagic1;
+  header[2] = static_cast<std::uint8_t>(len);
+  header[3] = static_cast<std::uint8_t>(len >> 8);
+  header[4] = static_cast<std::uint8_t>(len >> 16);
+  header[5] = static_cast<std::uint8_t>(len >> 24);
+  header[6] = static_cast<std::uint8_t>(crc);
+  header[7] = static_cast<std::uint8_t>(crc >> 8);
+  header[8] = static_cast<std::uint8_t>(crc >> 16);
+  header[9] = static_cast<std::uint8_t>(crc >> 24);
   if (Status s = SendAll(header, sizeof(header), deadline); !s.ok()) return s;
   if (body_len == 0) return Status::Ok();
   return SendAll(body, body_len, deadline);
@@ -222,16 +237,28 @@ Status TcpConnection::SendFrame(const std::vector<std::uint8_t>& payload,
 
 Result<std::vector<std::uint8_t>> TcpConnection::RecvFrame(Deadline deadline) {
   if (!fd_.valid()) return Status::Unavailable("closed connection");
-  std::uint8_t header[4];
+  std::uint8_t header[kFrameHeaderBytes];
   if (Status s = RecvAll(header, sizeof(header), deadline); !s.ok()) return s;
-  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                            (static_cast<std::uint32_t>(header[1]) << 8) |
-                            (static_cast<std::uint32_t>(header[2]) << 16) |
-                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (header[0] != kFrameMagic0 || header[1] != kFrameMagic1) {
+    // Desynchronized stream (e.g. a truncated frame swallowed the start of
+    // this one): nothing downstream of this point can be trusted.
+    return Status::Corruption("bad frame magic");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(header[2]) |
+                            (static_cast<std::uint32_t>(header[3]) << 8) |
+                            (static_cast<std::uint32_t>(header[4]) << 16) |
+                            (static_cast<std::uint32_t>(header[5]) << 24);
+  const std::uint32_t crc = static_cast<std::uint32_t>(header[6]) |
+                            (static_cast<std::uint32_t>(header[7]) << 8) |
+                            (static_cast<std::uint32_t>(header[8]) << 16) |
+                            (static_cast<std::uint32_t>(header[9]) << 24);
   if (len > (64u << 20)) return Status::Corruption("frame too large");
   std::vector<std::uint8_t> payload(len);
   if (len > 0) {
     if (Status s = RecvAll(payload.data(), len, deadline); !s.ok()) return s;
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("frame checksum mismatch");
   }
   return payload;
 }

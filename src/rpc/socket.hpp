@@ -2,7 +2,8 @@
 //
 // The prototype runs every MDS as an in-process server on 127.0.0.1 with a
 // poll(2)-driven event loop; these wrappers own the file descriptors and
-// provide framed, length-prefixed message IO with optional deadlines:
+// provide framed message IO (magic + length + CRC-32 header, see
+// kFrameMagic0 below) with optional deadlines:
 // every Connect/SendFrame/RecvFrame takes an absolute Deadline and reports
 // kTimedOut instead of blocking past it (the default Deadline never
 // expires, preserving fully blocking behaviour). SIGPIPE suppressed;
@@ -20,6 +21,15 @@
 #include "rpc/fault_injector.hpp"
 
 namespace ghba {
+
+/// Wire framing: [magic:2][len:4 LE][crc32:4 LE][payload]. The magic marks
+/// frame boundaries so a desynchronized stream (a truncated frame that
+/// swallowed the next frame's header) is detected immediately; the CRC-32
+/// covers the payload so in-flight corruption surfaces as kCorruption at
+/// the framing layer instead of reaching the message decoders.
+inline constexpr std::uint8_t kFrameMagic0 = 0xF5;
+inline constexpr std::uint8_t kFrameMagic1 = 0x4D;
+inline constexpr std::size_t kFrameHeaderBytes = 10;
 
 /// Absolute time bound for a socket operation. Default-constructed
 /// deadlines never expire.

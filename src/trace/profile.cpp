@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <stdexcept>
 
 namespace ghba {
 
@@ -76,14 +75,14 @@ WorkloadProfile HpProfile() {
   return p;
 }
 
-WorkloadProfile ProfileByName(const std::string& name) {
+Result<WorkloadProfile> ProfileByName(const std::string& name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   if (lower == "ins") return InsProfile();
   if (lower == "res") return ResProfile();
   if (lower == "hp") return HpProfile();
-  throw std::invalid_argument("unknown workload profile: " + name);
+  return Status::InvalidArgument("unknown workload profile: " + name);
 }
 
 }  // namespace ghba

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/status.hpp"
+
 namespace ghba {
 
 struct WorkloadProfile {
@@ -60,7 +62,9 @@ WorkloadProfile ResProfile();
 /// 32 active users / 207 accounts, 0.969M active of 4.0M total files.
 WorkloadProfile HpProfile();
 
-/// Look up a profile by case-insensitive name ("ins", "res", "hp").
-WorkloadProfile ProfileByName(const std::string& name);
+/// Look up a profile by case-insensitive name ("ins", "res", "hp");
+/// kInvalidArgument for unknown names (same error contract as the rpc
+/// layer — see docs/PROTOCOL.md).
+Result<WorkloadProfile> ProfileByName(const std::string& name);
 
 }  // namespace ghba

@@ -133,7 +133,7 @@ TEST_F(GhbaClusterTest, PublishMakesFileVisibleAtLowerLevels) {
 
 TEST_F(GhbaClusterTest, MutationBudgetTriggersPublish) {
   PopulateFiles(10);
-  const auto publishes_before = cluster_.metrics().publishes;
+  const std::uint64_t publishes_before = cluster_.metrics().publishes;
   // 16 * 12 mutations guarantee at least one MDS crosses the budget of 16.
   for (int i = 0; i < 16 * 12; ++i) {
     ASSERT_TRUE(cluster_.CreateFile("/churn/f" + std::to_string(i), Md(), 0).ok());

@@ -66,7 +66,7 @@ TEST_F(HbaClusterTest, MissConcludedByGlobalMulticast) {
 
 TEST_F(HbaClusterTest, PublishBroadcastsToAll) {
   PopulateFiles(10);
-  const auto msgs_before = cluster_.metrics().update_messages;
+  const std::uint64_t msgs_before = cluster_.metrics().update_messages;
   cluster_.PublishReplica(0, 0);
   // 2 messages (update + ack) per other MDS.
   EXPECT_EQ(cluster_.metrics().update_messages - msgs_before, 2u * 9u);
@@ -103,6 +103,29 @@ TEST_F(HbaClusterTest, LookupStateScalesWithN) {
       500 * cluster_.config().bits_per_file / 8.0;
   const auto bytes = cluster_.LookupStateBytes(cluster_.alive().front());
   EXPECT_GE(static_cast<double>(bytes), all_files_bytes * 0.9);
+}
+
+TEST_F(HbaClusterTest, LevelCountersSumToLookupsAcrossChurn) {
+  PopulateFiles(200);
+  std::uint64_t lookups = 0;
+  const auto sweep = [&] {
+    for (int i = 0; i < 200; i += 7) {
+      (void)cluster_.Lookup("/hba/f" + std::to_string(i), 0);
+      ++lookups;
+    }
+    (void)cluster_.Lookup("/absent/path", 0);
+    ++lookups;
+    ASSERT_EQ(cluster_.metrics().levels.total(), lookups);
+  };
+  sweep();
+  ASSERT_TRUE(cluster_.AddMds(nullptr).ok());
+  sweep();
+  ASSERT_TRUE(cluster_.RemoveMds(2, nullptr).ok());
+  sweep();
+  const auto levels = cluster_.metrics().levels.Values();
+  EXPECT_EQ(levels.l1 + levels.l2 + levels.l3 + levels.l4 + levels.miss,
+            lookups);
+  EXPECT_GT(levels.miss, 0u);
 }
 
 TEST(BfaClusterTest, NoLruMeansNoL1Hits) {

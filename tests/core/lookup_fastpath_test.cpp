@@ -50,7 +50,7 @@ TEST(LookupFastpathTest, GhbaMissReachingL4HashesOncePerSeed) {
   // 12 nodes — yet may only hash twice: once per distinct seed.
   for (int i = 0; i < 16; ++i) {
     const std::string path = "/fp/absent" + std::to_string(i);
-    LookupResult r;
+    LookupOutcome r;
     const auto digests = DigestsDuring([&] { r = cluster.Lookup(path, 0); });
     EXPECT_FALSE(r.found) << path;
     EXPECT_LE(digests, 2u) << path;
@@ -64,7 +64,7 @@ TEST(LookupFastpathTest, GhbaHitHashesOncePerSeed) {
   // caches), but those reuse the same LRU seed, so the bound is unchanged.
   for (int i = 0; i < 32; ++i) {
     const std::string path = "/fp/f" + std::to_string(i * 5);
-    LookupResult r;
+    LookupOutcome r;
     const auto digests = DigestsDuring([&] { r = cluster.Lookup(path, 0); });
     EXPECT_TRUE(r.found) << path;
     EXPECT_LE(digests, 2u) << path;
@@ -76,13 +76,13 @@ TEST(LookupFastpathTest, HbaLookupHashesOncePerSeed) {
   HbaCluster cluster(config, /*use_lru=*/true);
   Populate(cluster, 200);
   for (int i = 0; i < 16; ++i) {
-    LookupResult hit;
+    LookupOutcome hit;
     EXPECT_LE(DigestsDuring([&] {
                 hit = cluster.Lookup("/fp/f" + std::to_string(i * 7), 0);
               }),
               2u);
     EXPECT_TRUE(hit.found);
-    LookupResult miss;
+    LookupOutcome miss;
     EXPECT_LE(DigestsDuring([&] {
                 miss = cluster.Lookup("/fp/no" + std::to_string(i), 0);
               }),
@@ -99,7 +99,7 @@ TEST(LookupFastpathTest, RepeatLookupsStayBounded) {
   const std::string path = "/fp/f7";
   (void)cluster.Lookup(path, 0);  // warm caches
   for (int i = 0; i < 8; ++i) {
-    LookupResult r;
+    LookupOutcome r;
     EXPECT_LE(DigestsDuring([&] { r = cluster.Lookup(path, 0); }), 2u);
     EXPECT_TRUE(r.found);
   }

@@ -85,6 +85,71 @@ TEST_P(MembershipChurnTest, EveryMembershipStepPreservesInvariants) {
   check(kSteps, "final");
 }
 
+// Accounting invariant for the observability layer: every Lookup lands in
+// exactly one of the five level counters, so their sum tracks the number of
+// lookups issued — through joins, leaves, failures and group splits.
+TEST_P(MembershipChurnTest, LevelCountersSumToLookupsIssued) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  GhbaCluster cluster(ChurnConfig(seed));
+
+  std::uint64_t next_file = 0;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 40; ++i) {
+    paths.push_back("/mc/f" + std::to_string(next_file++));
+    ASSERT_TRUE(cluster.CreateFile(paths.back(), FileMetadata{}, 0).ok());
+  }
+
+  std::uint64_t lookups_issued = 0;
+  double now_ms = 0;
+  const auto lookup_some = [&] {
+    for (int i = 0; i < 5; ++i) {
+      // Mix of live paths and guaranteed misses so every level (incl.
+      // the miss counter) accumulates.
+      const bool miss = rng.NextBounded(4) == 0;
+      const std::string path =
+          miss ? "/absent/x" + std::to_string(rng.NextBounded(1000))
+               : paths[rng.NextBounded(paths.size())];
+      (void)cluster.Lookup(path, now_ms);
+      now_ms += 0.25;
+      ++lookups_issued;
+    }
+    ASSERT_EQ(cluster.metrics().levels.total(), lookups_issued);
+  };
+
+  for (int step = 0; step < 40; ++step) {
+    const auto dice = rng.NextBounded(100);
+    if (dice < 30) {
+      ASSERT_TRUE(cluster.AddMds(nullptr).ok()) << "step " << step;
+    } else if (dice < 50 && cluster.NumMds() > 3) {
+      const auto& alive = cluster.alive();
+      ASSERT_TRUE(
+          cluster.RemoveMds(alive[rng.NextBounded(alive.size())], nullptr)
+              .ok())
+          << "step " << step;
+    } else if (dice < 65 && cluster.NumMds() > 3) {
+      // A failure loses the victim's files; drop them from the live list so
+      // later lookups for them count as (legitimate) misses.
+      const auto& alive = cluster.alive();
+      ASSERT_TRUE(
+          cluster.FailMds(alive[rng.NextBounded(alive.size())], nullptr).ok())
+          << "step " << step;
+    } else if (dice < 80) {
+      paths.push_back("/mc/f" + std::to_string(next_file++));
+      ASSERT_TRUE(cluster.CreateFile(paths.back(), FileMetadata{}, 0).ok());
+    }
+    lookup_some();
+  }
+
+  const auto levels = cluster.metrics().levels.Values();
+  EXPECT_EQ(levels.l1 + levels.l2 + levels.l3 + levels.l4 + levels.miss,
+            lookups_issued);
+  // The workload mixes repeats and absent paths, so the extremes of the
+  // hierarchy must both have fired.
+  EXPECT_GT(levels.miss, 0u);
+  EXPECT_GT(levels.l1 + levels.l2 + levels.l3 + levels.l4, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, MembershipChurnTest,
                          ::testing::Values(7u, 11u, 19u, 23u, 31u, 47u));
 

@@ -48,7 +48,7 @@ TEST_F(TableClusterTest, AbsentKeyAnsweredLocally) {
 }
 
 TEST_F(TableClusterTest, MutationsBroadcastTableUpdates) {
-  const auto before = cluster_.metrics().update_messages;
+  const std::uint64_t before = cluster_.metrics().update_messages;
   ASSERT_TRUE(cluster_.CreateFile("/t/new", Md(), 0).ok());
   EXPECT_EQ(cluster_.metrics().update_messages - before, 5u);  // N-1
   ASSERT_TRUE(cluster_.UnlinkFile("/t/new", 0).ok());

@@ -135,8 +135,8 @@ TEST(EndToEndTest, DeterministicAcrossRuns) {
     sim.Populate(trace);
     const auto result = sim.Replay(trace, 2500);
     return std::make_tuple(result.lookups, result.not_found,
-                           cluster.metrics().levels.l1,
-                           cluster.metrics().levels.l4,
+                           static_cast<std::uint64_t>(cluster.metrics().levels.l1),
+                           static_cast<std::uint64_t>(cluster.metrics().levels.l4),
                            cluster.metrics().lookup_latency_ms.sum());
   };
   EXPECT_EQ(run(), run());

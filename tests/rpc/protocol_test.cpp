@@ -319,5 +319,128 @@ TEST(ProtocolFuzzRegressionTest, NonzeroTailBitsRejected) {
   EXPECT_EQ(bv.status().code(), StatusCode::kCorruption);
 }
 
+// --- observability messages (kStatsSnapshot / kReportOutcome) ---
+
+TEST(ProtocolObservabilityTest, StatsSnapshotRoundTripsEveryField) {
+  StatsSnapshotResp snap;
+  snap.mds_id = 3;
+  snap.frames_in = 101;
+  snap.frames_out = 99;
+  snap.files = 12345;
+  snap.replicas = 5;
+  snap.lookup_state_bytes = 1 << 20;
+  snap.metrics.counters["lookups.l1"] = 70;
+  snap.metrics.counters["lookups.miss"] = 2;
+  snap.metrics.counters["serve.verifies"] = 0;
+  HistogramStats lat;
+  lat.count = 72;
+  lat.sum = 36.0;
+  lat.min = 0.1;
+  lat.max = 4.25;
+  lat.p50 = 0.4;
+  lat.p99 = 3.9;
+  snap.metrics.histograms["latency.lookup_ms"] = lat;
+
+  const auto frame = EncodeStatsSnapshotResp(snap);
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto decoded = DecodeStatsSnapshotResp(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->mds_id, 3u);
+  EXPECT_EQ(decoded->frames_in, 101u);
+  EXPECT_EQ(decoded->frames_out, 99u);
+  EXPECT_EQ(decoded->files, 12345u);
+  EXPECT_EQ(decoded->replicas, 5u);
+  EXPECT_EQ(decoded->lookup_state_bytes, 1u << 20);
+  EXPECT_EQ(decoded->metrics.counters, snap.metrics.counters);
+  ASSERT_EQ(decoded->metrics.histograms.size(), 1u);
+  const auto& h = decoded->metrics.histograms.at("latency.lookup_ms");
+  EXPECT_EQ(h.count, 72u);
+  EXPECT_DOUBLE_EQ(h.sum, 36.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.1);
+  EXPECT_DOUBLE_EQ(h.max, 4.25);
+  EXPECT_DOUBLE_EQ(h.p50, 0.4);
+  EXPECT_DOUBLE_EQ(h.p99, 3.9);
+}
+
+TEST(ProtocolObservabilityTest, StatsSnapshotTruncatedAtEveryByteRejected) {
+  StatsSnapshotResp snap;
+  snap.mds_id = 1;
+  snap.metrics.counters["c"] = 9;
+  HistogramStats h;
+  h.count = 1;
+  h.sum = 2.0;
+  snap.metrics.histograms["h"] = h;
+  const auto frame = EncodeStatsSnapshotResp(snap);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    ByteReader in(std::span<const std::uint8_t>(frame.data(), len));
+    const auto env = OpenEnvelope(in);
+    if (!env.ok()) continue;  // truncated inside the envelope byte
+    EXPECT_FALSE(DecodeStatsSnapshotResp(in).ok()) << "len=" << len;
+  }
+}
+
+TEST(ProtocolObservabilityTest, StatsSnapshotAbsurdCountsRejected) {
+  // A counter count claiming more entries than the payload could hold must
+  // fail before any allocation, not while looping.
+  ByteWriter w;
+  w.PutU32(0);             // mds_id
+  for (int i = 0; i < 5; ++i) w.PutU64(0);  // fixed header fields
+  w.PutVarint(1ULL << 40);  // counters "present"
+  ByteReader in(w.data());
+  const auto decoded = DecodeStatsSnapshotResp(in);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolObservabilityTest, OutcomeReportRoundTrips) {
+  OutcomeReport report;
+  report.level = 3;
+  report.found = true;
+  report.false_route = true;
+  report.elapsed_ns = 123456789;
+  report.peers_contacted = 4;
+  report.retries = 2;
+  const auto frame = EncodeOutcomeReport(report);
+  ByteReader in(frame);
+  ASSERT_EQ(*DecodeType(in), MsgType::kReportOutcome);
+  const auto decoded = DecodeOutcomeReport(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->level, 3);
+  EXPECT_TRUE(decoded->found);
+  EXPECT_TRUE(decoded->false_route);
+  EXPECT_EQ(decoded->elapsed_ns, 123456789u);
+  EXPECT_EQ(decoded->peers_contacted, 4u);
+  EXPECT_EQ(decoded->retries, 2u);
+}
+
+TEST(ProtocolObservabilityTest, OutcomeReportBadLevelRejected) {
+  for (const std::uint8_t level : {0, 5, 255}) {
+    OutcomeReport report;
+    report.level = 1;
+    auto frame = EncodeOutcomeReport(report);
+    frame[2] = level;  // [u16 type][level]...
+    ByteReader in(frame);
+    ASSERT_EQ(*DecodeType(in), MsgType::kReportOutcome);
+    const auto decoded = DecodeOutcomeReport(in);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(ProtocolObservabilityTest, OutcomeReportBadBoolByteRejected) {
+  OutcomeReport report;
+  report.level = 2;
+  auto frame = EncodeOutcomeReport(report);
+  frame[3] = 7;  // `found` byte must be 0 or 1
+  ByteReader in(frame);
+  ASSERT_EQ(*DecodeType(in), MsgType::kReportOutcome);
+  const auto decoded = DecodeOutcomeReport(in);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
 }  // namespace
 }  // namespace ghba

@@ -1,0 +1,174 @@
+// Acceptance test for the live observability layer: per-level hit counts
+// reported by kStatsSnapshot across a real 4-MDS PrototypeCluster must
+// exactly match the LookupOutcome traces the client observed for a
+// deterministic workload. This is the contract that lets ghba_stats
+// reproduce Fig. 13 from a running cluster instead of a simulation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "rpc/prototype_cluster.hpp"
+
+namespace ghba {
+namespace {
+
+ClusterConfig FourMdsConfig() {
+  ClusterConfig c;
+  c.num_mds = 4;
+  c.max_group_size = 2;  // two groups, so L3 and L4 both carry traffic
+  c.expected_files_per_mds = 500;
+  c.lru_capacity = 64;
+  c.memory_budget_bytes = 64ULL << 20;
+  c.seed = 2026;
+  return c;
+}
+
+FileMetadata Md(std::uint64_t inode) {
+  FileMetadata md;
+  md.inode = inode;
+  return md;
+}
+
+/// Client-side tally mirroring the server's kReportOutcome accounting.
+struct LevelTally {
+  std::uint64_t l1 = 0, l2 = 0, l3 = 0, l4 = 0, miss = 0;
+
+  void Observe(const LookupOutcome& r) {
+    if (!r.found) {
+      ++miss;
+      return;
+    }
+    switch (r.served_level) {
+      case 1: ++l1; break;
+      case 2: ++l2; break;
+      case 3: ++l3; break;
+      default: ++l4; break;
+    }
+  }
+
+  std::uint64_t total() const { return l1 + l2 + l3 + l4 + miss; }
+};
+
+TEST(StatsSnapshotTest, ServerCountersMatchClientTracesExactly) {
+  PrototypeCluster cluster(FourMdsConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_EQ(cluster.NumServers(), 4u);
+
+  constexpr int kFiles = 48;
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(cluster.Insert("/acc/f" + std::to_string(i), Md(i)).ok());
+  }
+  ASSERT_TRUE(cluster.PublishAll().ok());
+
+  // Deterministic workload: every file twice (the repeat can be served by
+  // the entry's L1), plus guaranteed misses.
+  LevelTally tally;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < kFiles; ++i) {
+      const auto r = cluster.Lookup("/acc/f" + std::to_string(i));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r->found) << i;
+      EXPECT_EQ(r->trace.level, r->served_level);
+      EXPECT_GT(r->trace.TotalElapsedNs(), 0u);
+      tally.Observe(*r);
+    }
+  }
+  for (int i = 0; i < 7; ++i) {
+    const auto r = cluster.Lookup("/acc/absent" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->found);
+    tally.Observe(*r);
+  }
+  ASSERT_EQ(tally.total(), 2u * kFiles + 7u);
+
+  // Drain in-flight one-way kReportOutcome frames before polling.
+  ASSERT_TRUE(cluster.Quiesce().ok());
+
+  // Sum the per-level counters over every server's kStatsSnapshot.
+  LevelTally servers;
+  std::uint64_t server_files = 0;
+  std::uint64_t latency_samples = 0;
+  for (const MdsId id : cluster.AliveServers()) {
+    const auto snap = cluster.FetchStats(id);
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_EQ(snap->mds_id, id);
+    EXPECT_GT(snap->frames_in, 0u);
+    EXPECT_GT(snap->lookup_state_bytes, 0u);
+    const auto& m = snap->metrics;
+    servers.l1 += m.CounterOr(metrics_names::kLookupsL1);
+    servers.l2 += m.CounterOr(metrics_names::kLookupsL2);
+    servers.l3 += m.CounterOr(metrics_names::kLookupsL3);
+    servers.l4 += m.CounterOr(metrics_names::kLookupsL4);
+    servers.miss += m.CounterOr(metrics_names::kLookupsMiss);
+    server_files += snap->files;
+    const auto it = m.histograms.find(metrics_names::kLatencyLookupMs);
+    if (it != m.histograms.end()) latency_samples += it->second.count;
+  }
+
+  // The acceptance criterion: live per-level counts == client-side traces.
+  EXPECT_EQ(servers.l1, tally.l1);
+  EXPECT_EQ(servers.l2, tally.l2);
+  EXPECT_EQ(servers.l3, tally.l3);
+  EXPECT_EQ(servers.l4, tally.l4);
+  EXPECT_EQ(servers.miss, tally.miss);
+  EXPECT_EQ(servers.total(), tally.total());
+  // Every lookup also left one end-to-end latency sample server-side.
+  EXPECT_EQ(latency_samples, tally.total());
+  // Every inserted file lives on exactly one server.
+  EXPECT_EQ(server_files, static_cast<std::uint64_t>(kFiles));
+
+  // The client's own registry tells the same story.
+  const auto client = cluster.ClientSnapshot();
+  EXPECT_EQ(client.CounterOr(metrics_names::kLookupsL1), tally.l1);
+  EXPECT_EQ(client.CounterOr(metrics_names::kLookupsL2), tally.l2);
+  EXPECT_EQ(client.CounterOr(metrics_names::kLookupsL3), tally.l3);
+  EXPECT_EQ(client.CounterOr(metrics_names::kLookupsL4), tally.l4);
+  EXPECT_EQ(client.CounterOr(metrics_names::kLookupsMiss), tally.miss);
+  EXPECT_EQ(cluster.metrics().levels.total(), tally.total());
+
+  cluster.Stop();
+}
+
+TEST(StatsSnapshotTest, HbaSchemeAccountsTheSameWay) {
+  auto config = FourMdsConfig();
+  PrototypeCluster cluster(config, ProtoScheme::kHba);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  LevelTally tally;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.Insert("/hba/f" + std::to_string(i), Md(i)).ok());
+  }
+  ASSERT_TRUE(cluster.PublishAll().ok());
+  for (int i = 0; i < 20; ++i) {
+    const auto r = cluster.Lookup("/hba/f" + std::to_string(i));
+    ASSERT_TRUE(r.ok());
+    tally.Observe(*r);
+  }
+  const auto miss = cluster.Lookup("/hba/none");
+  ASSERT_TRUE(miss.ok());
+  tally.Observe(*miss);
+
+  ASSERT_TRUE(cluster.Quiesce().ok());
+  LevelTally servers;
+  for (const MdsId id : cluster.AliveServers()) {
+    const auto snap = cluster.FetchStats(id);
+    ASSERT_TRUE(snap.ok());
+    servers.l1 += snap->metrics.CounterOr(metrics_names::kLookupsL1);
+    servers.l2 += snap->metrics.CounterOr(metrics_names::kLookupsL2);
+    servers.l3 += snap->metrics.CounterOr(metrics_names::kLookupsL3);
+    servers.l4 += snap->metrics.CounterOr(metrics_names::kLookupsL4);
+    servers.miss += snap->metrics.CounterOr(metrics_names::kLookupsMiss);
+  }
+  EXPECT_EQ(servers.l1, tally.l1);
+  EXPECT_EQ(servers.l2, tally.l2);
+  EXPECT_EQ(servers.l3, tally.l3);
+  EXPECT_EQ(servers.l4, tally.l4);
+  EXPECT_EQ(servers.miss, tally.miss);
+  cluster.Stop();
+}
+
+}  // namespace
+}  // namespace ghba

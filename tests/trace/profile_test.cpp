@@ -8,7 +8,7 @@ namespace {
 class ProfileTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ProfileTest, FractionsFormADistribution) {
-  const auto p = ProfileByName(GetParam());
+  const auto p = *ProfileByName(GetParam());
   const double sum = p.open_fraction + p.close_fraction + p.stat_fraction +
                      p.create_fraction + p.unlink_fraction;
   EXPECT_GT(sum, 0.95);
@@ -18,7 +18,7 @@ TEST_P(ProfileTest, FractionsFormADistribution) {
 }
 
 TEST_P(ProfileTest, PopulationsSane) {
-  const auto p = ProfileByName(GetParam());
+  const auto p = *ProfileByName(GetParam());
   EXPECT_GT(p.total_files, 0u);
   EXPECT_LE(p.active_files, p.total_files);
   EXPECT_GT(p.users, 0u);
@@ -33,12 +33,14 @@ INSTANTIATE_TEST_SUITE_P(Named, ProfileTest,
                          ::testing::Values("ins", "res", "hp"));
 
 TEST(ProfileLookupTest, CaseInsensitive) {
-  EXPECT_EQ(ProfileByName("HP").name, "HP");
-  EXPECT_EQ(ProfileByName("Ins").name, "INS");
+  EXPECT_EQ(ProfileByName("HP")->name, "HP");
+  EXPECT_EQ(ProfileByName("Ins")->name, "INS");
 }
 
-TEST(ProfileLookupTest, UnknownThrows) {
-  EXPECT_THROW(ProfileByName("nfs"), std::invalid_argument);
+TEST(ProfileLookupTest, UnknownIsInvalidArgument) {
+  const auto p = ProfileByName("nfs");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
 }
 
 // The published op mixes: RES is by far the most stat-heavy (Table 3).

@@ -1,0 +1,147 @@
+// ghba_workload — run a deterministic lookup workload against a live
+// in-process PrototypeCluster and (optionally) hold the servers up so
+// external tools can poll them.
+//
+//   $ ghba_workload [--servers N] [--group M] [--files F]
+//                   [--ports-file PATH] [--hold]
+//
+// Starts an N-MDS G-HBA cluster over loopback TCP, inserts F files,
+// publishes replicas, looks every file up twice (the repeat exercises the
+// entry server's L1) plus a handful of guaranteed misses, quiesces the
+// one-way report frames, and prints the workload summary:
+//
+//   lookups=<count issued>
+//   ports=<p0> <p1> ...
+//
+// With --hold the process then blocks until stdin reaches EOF (or a line
+// arrives), keeping the servers alive; the e2e CI smoke uses this to run
+// `ghba_stats --json` against a real cluster and assert the accounting
+// invariant l1+l2+l3+l4+miss == lookups.
+//
+// Exit status: 0 on success, 1 on any cluster/workload failure.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rpc/prototype_cluster.hpp"
+
+using namespace ghba;
+
+int main(int argc, char** argv) {
+  std::uint32_t num_servers = 4;
+  std::uint32_t group_size = 2;
+  int num_files = 48;
+  std::string ports_file;
+  bool hold = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--servers") == 0 && i + 1 < argc) {
+      num_servers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--group") == 0 && i + 1 < argc) {
+      group_size = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      num_files = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ports-file") == 0 && i + 1 < argc) {
+      ports_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--hold") == 0) {
+      hold = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--servers N] [--group M] [--files F] "
+                   "[--ports-file PATH] [--hold]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  ClusterConfig config;
+  config.num_mds = num_servers;
+  config.max_group_size = group_size;
+  config.expected_files_per_mds = 500;
+  config.lru_capacity = 64;
+  config.memory_budget_bytes = 64ULL << 20;
+  config.seed = 2026;
+
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  if (const auto s = cluster.Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  for (int i = 0; i < num_files; ++i) {
+    FileMetadata md;
+    md.inode = static_cast<std::uint64_t>(i);
+    if (const auto s =
+            cluster.Insert("/wk/f" + std::to_string(i), md);
+        !s.ok()) {
+      std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (const auto s = cluster.PublishAll(); !s.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::uint64_t lookups = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < num_files; ++i) {
+      const auto r = cluster.Lookup("/wk/f" + std::to_string(i));
+      if (!r.ok() || !r->found) {
+        std::fprintf(stderr, "lookup /wk/f%d failed\n", i);
+        return 1;
+      }
+      ++lookups;
+    }
+  }
+  for (int i = 0; i < 7; ++i) {
+    const auto r = cluster.Lookup("/wk/absent" + std::to_string(i));
+    if (!r.ok() || r->found) {
+      std::fprintf(stderr, "miss lookup %d misbehaved\n", i);
+      return 1;
+    }
+    ++lookups;
+  }
+
+  // Make sure every one-way kReportOutcome frame has been folded into the
+  // server registries before anyone polls kStatsSnapshot.
+  if (const auto s = cluster.Quiesce(); !s.ok()) {
+    std::fprintf(stderr, "quiesce failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const auto ports = cluster.ServerPorts();
+  std::printf("lookups=%llu\n", static_cast<unsigned long long>(lookups));
+  std::printf("ports=");
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    std::printf("%s%u", i ? " " : "", ports[i]);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+
+  if (!ports_file.empty()) {
+    // Written last, in one go: a non-empty file means the summary above is
+    // complete and the servers are pollable.
+    if (std::FILE* f = std::fopen(ports_file.c_str(), "w")) {
+      std::fprintf(f, "%llu\n", static_cast<unsigned long long>(lookups));
+      for (std::size_t i = 0; i < ports.size(); ++i) {
+        std::fprintf(f, "%s%u", i ? " " : "", ports[i]);
+      }
+      std::fprintf(f, "\n");
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", ports_file.c_str());
+      return 1;
+    }
+  }
+
+  if (hold) {
+    // Keep the servers alive until the driver script is done polling.
+    int c;
+    while ((c = std::getchar()) != EOF && c != '\n') {
+    }
+  }
+  cluster.Stop();
+  return 0;
+}

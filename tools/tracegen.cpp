@@ -34,15 +34,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  WorkloadProfile profile;
-  try {
-    profile = ProfileByName(trace_name);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
+  const auto profile = ProfileByName(trace_name);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
     return 2;
   }
 
-  IntensifiedTrace trace(profile, tif, seed);
+  IntensifiedTrace trace(*profile, tif, seed);
   auto records = Materialize(trace, ops);
 
   TraceStats stats;
