@@ -4,6 +4,8 @@
 // numbers here substantiate that claim on the reproduction's actual code.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,9 @@
 #include "core/hba_cluster.hpp"
 #include "hash/murmur3.hpp"
 #include "hash/xx64.hpp"
+#include "mds/store.hpp"
+#include "storage/engine.hpp"
+#include "storage/wal.hpp"
 
 namespace ghba {
 namespace {
@@ -262,6 +267,85 @@ void BM_FilterSerialize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FilterSerialize);
+
+// Durable-path cost per mutation: one WAL append+commit under each fsync
+// policy. kAlways is the per-op fsync the simulator charges wal_fsync_ms
+// for; kNever shows the pure framing+write cost.
+void BM_StorageWalAppend(benchmark::State& state) {
+  const auto policy = static_cast<FsyncPolicy>(state.range(0));
+  const std::string dir =
+      "/tmp/ghba_bench_wal_" + std::to_string(state.range(0));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  StorageOptions options;
+  options.fsync = policy;
+  options.fsync_interval_appends = 32;
+  auto wal = WriteAheadLog::Open(dir + "/wal.log", options, 0);
+  if (!wal.ok()) {
+    state.SkipWithError("WAL open failed");
+    return;
+  }
+  const auto paths = MakePaths(1024);
+  FileMetadata md;
+  md.inode = 1;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    WalRecord record;
+    record.op = WalOp::kInsert;
+    record.seq = ++seq;
+    record.path = paths[seq & 1023];
+    record.metadata = md;
+    benchmark::DoNotOptimize(wal->Append(record).ok() && wal->Commit().ok());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(seq));
+  state.counters["fsyncs"] = static_cast<double>(wal->fsyncs());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StorageWalAppend)
+    ->Arg(static_cast<int>(FsyncPolicy::kAlways))
+    ->Arg(static_cast<int>(FsyncPolicy::kInterval))
+    ->Arg(static_cast<int>(FsyncPolicy::kNever));
+
+// Full checkpoint of an N-file store (snapshot encode + atomic write +
+// WAL reset). This bounds how often the engine can afford to truncate its
+// log, and thereby the recovery replay tail.
+void BM_CheckpointWrite(benchmark::State& state) {
+  const auto files = static_cast<std::size_t>(state.range(0));
+  const std::string dir =
+      "/tmp/ghba_bench_ckpt_" + std::to_string(state.range(0));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  StorageOptions options;
+  options.data_dir = dir;
+  auto engine = StorageEngine::Open(
+      options, CountingBloomFilter::ForCapacity(files, 8.0, 7), nullptr);
+  if (!engine.ok()) {
+    state.SkipWithError("engine open failed");
+    return;
+  }
+  MetadataStore store;
+  auto filter = CountingBloomFilter::ForCapacity(files, 8.0, 7);
+  FileMetadata md;
+  for (std::size_t i = 0; i < files; ++i) {
+    const auto path = "/ck/d" + std::to_string(i % 64) + "/f" +
+                      std::to_string(i);
+    md.inode = i;
+    (void)store.Insert(path, md);
+    filter.Add(path);
+  }
+  for (auto _ : state) {
+    const auto s = (*engine)->WriteCheckpoint(store, filter, {});
+    if (!s.ok()) {
+      state.SkipWithError("checkpoint failed");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(files));
+  engine->reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(1000)->Arg(10000)->Arg(100000);
 
 }  // namespace
 }  // namespace ghba

@@ -23,7 +23,7 @@ void Require(bool cond) {
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size < 1) return 0;
-  const std::uint8_t selector = data[0] % 8;
+  const std::uint8_t selector = data[0] % 9;
   ghba::ByteReader in(std::span(data + 1, size - 1));
 
   switch (selector) {
@@ -31,7 +31,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       const auto type = ghba::DecodeType(in);
       if (type.ok()) {
         Require(*type >= ghba::MsgType::kLookupLocal &&
-                *type <= ghba::MsgType::kReportOutcome);
+                *type <= ghba::MsgType::kRecoveryInfo);
       }
       break;
     }
@@ -129,6 +129,18 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                 redecoded->elapsed_ns == report->elapsed_ns &&
                 redecoded->peers_contacted == report->peers_contacted &&
                 redecoded->retries == report->retries);
+      }
+      break;
+    }
+    case 8: {
+      const auto info = ghba::DecodeRecoveryInfoResp(in);
+      if (info.ok()) {
+        const auto bytes = ghba::EncodeRecoveryInfoResp(*info);
+        ghba::ByteReader again(bytes);
+        auto reopened = ghba::OpenEnvelope(again);
+        Require(reopened.ok() && reopened->has_payload);
+        const auto redecoded = ghba::DecodeRecoveryInfoResp(again);
+        Require(redecoded.ok() && *redecoded == *info);
       }
       break;
     }

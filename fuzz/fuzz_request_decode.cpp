@@ -53,6 +53,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case ghba::MsgType::kShutdown:
     case ghba::MsgType::kExportFiles:
     case ghba::MsgType::kStatsSnapshot:
+    case ghba::MsgType::kRecoveryInfo:
       break;  // no arguments
   }
   return 0;

@@ -17,6 +17,8 @@
 #include "bloom/id_bloom_array.hpp"
 #include "mds/metadata.hpp"
 #include "rpc/protocol.hpp"
+#include "storage/checkpoint.hpp"
+#include "storage/wal.hpp"
 
 namespace {
 
@@ -138,6 +140,16 @@ int main(int argc, char** argv) {
     WriteSeed(root, "fuzz_protocol_decode", "outcome_report",
               Sel(7, Bytes(frame.begin() + 2, frame.end())));
   }
+  ghba::RecoveryInfoResp recovery;
+  recovery.durable = true;
+  recovery.files = 1000;
+  recovery.wal_seq = 1024;
+  recovery.replay_records = 24;
+  recovery.torn_tail = true;
+  recovery.filter_rebuilt = false;
+  recovery.filter_matched = true;
+  WriteSeed(root, "fuzz_protocol_decode", "recovery_info",
+            Sel(8, StripEnvelope(ghba::EncodeRecoveryInfoResp(recovery))));
 
   // --- fuzz_request_decode: whole request frames ---
   WriteSeed(root, "fuzz_request_decode", "lookup",
@@ -161,6 +173,8 @@ int main(int argc, char** argv) {
             ghba::EncodeHeader(ghba::MsgType::kStatsSnapshot));
   WriteSeed(root, "fuzz_request_decode", "outcome_report",
             ghba::EncodeOutcomeReport(report));
+  WriteSeed(root, "fuzz_request_decode", "recovery_info",
+            ghba::EncodeHeader(ghba::MsgType::kRecoveryInfo));
 
   // --- fuzz_filter_decompress: raw and gap-coded compressed filters ---
   WriteSeed(root, "fuzz_filter_decompress", "raw",
@@ -195,6 +209,55 @@ int main(int argc, char** argv) {
     ghba::ByteWriter w;
     idbfa.Serialize(w);
     WriteSeed(root, "fuzz_bitvector", "idbfa", Sel(3, w.Take()));
+  }
+
+  // --- fuzz_wal_decode: WAL log images, record payloads, checkpoints ---
+  {
+    ghba::WalRecord insert;
+    insert.op = ghba::WalOp::kInsert;
+    insert.seq = 1;
+    insert.path = "/new/file";
+    insert.metadata = SampleMetadata();
+    ghba::WalRecord remove;
+    remove.op = ghba::WalOp::kRemove;
+    remove.seq = 2;
+    remove.path = "/new/file";
+    ghba::WalRecord clear;
+    clear.op = ghba::WalOp::kClear;
+    clear.seq = 3;
+
+    // A clean three-record log image for the replay scanner.
+    Bytes log;
+    for (const auto* r : {&insert, &remove, &clear}) {
+      const auto frame = ghba::EncodeWalRecordFrame(*r);
+      log.insert(log.end(), frame.begin(), frame.end());
+    }
+    WriteSeed(root, "fuzz_wal_decode", "log_clean", Sel(0, log));
+    // The same image with a torn tail (last frame cut mid-payload).
+    Bytes torn(log.begin(), log.end() - 5);
+    WriteSeed(root, "fuzz_wal_decode", "log_torn", Sel(0, torn));
+
+    ghba::ByteWriter payload;
+    ghba::EncodeWalRecordPayload(insert, payload);
+    WriteSeed(root, "fuzz_wal_decode", "payload_insert", Sel(1, payload.Take()));
+
+    ghba::CheckpointState state;
+    state.wal_seq = 3;
+    state.files.emplace_back("/a/b", SampleMetadata());
+    state.files.emplace_back("/c", SampleMetadata());
+    state.has_filter = true;
+    auto cbf = ghba::CountingBloomFilter::ForCapacity(64, 8.0, 5);
+    cbf.Add("/a/b");
+    cbf.Add("/c");
+    state.filter = std::move(cbf);
+    state.replicas.emplace_back(1, DenseFilter());
+    state.replicas.emplace_back(2, SparseFilter());
+    WriteSeed(root, "fuzz_wal_decode", "checkpoint",
+              Sel(2, ghba::EncodeCheckpoint(state)));
+    ghba::CheckpointState minimal;
+    minimal.wal_seq = 0;
+    WriteSeed(root, "fuzz_wal_decode", "checkpoint_empty",
+              Sel(2, ghba::EncodeCheckpoint(minimal)));
   }
 
   std::fprintf(stderr, "corpus written under %s\n", root.string().c_str());

@@ -59,6 +59,24 @@ Status ValidateClusterConfig(const ClusterConfig& config) {
     return Status::InvalidArgument(
         "rpc attempt/ping/suspect counts must be >= 1");
   }
+  if (lat.wal_fsync_ms < 0) {
+    return Status::InvalidArgument("wal_fsync_ms must be non-negative");
+  }
+  const StorageOptions& storage = config.storage;
+  if (storage.fsync == FsyncPolicy::kInterval &&
+      storage.fsync_interval_appends == 0) {
+    return Status::InvalidArgument(
+        "storage.fsync_interval_appends must be >= 1");
+  }
+  // A checkpoint threshold below one WAL frame would checkpoint after
+  // every mutation; treat it as a misconfiguration.
+  if (!storage.data_dir.empty() && storage.checkpoint_wal_bytes < 4096) {
+    return Status::InvalidArgument(
+        "storage.checkpoint_wal_bytes must be >= 4096");
+  }
+  if (storage.keep_checkpoints == 0) {
+    return Status::InvalidArgument("storage.keep_checkpoints must be >= 1");
+  }
   return Status::Ok();
 }
 

@@ -6,6 +6,7 @@
 #include "bloom/lru_bloom_array.hpp"
 #include "common/status.hpp"
 #include "sim/latency_model.hpp"
+#include "storage/options.hpp"
 
 namespace ghba {
 
@@ -97,6 +98,16 @@ struct ClusterConfig {
 
   /// Deadlines, retries and failure detection for the TCP prototype.
   RpcOptions rpc;
+
+  /// Durable storage engine (WAL + checkpoints). data_dir empty = metadata
+  /// lives in memory only, as in the paper's testbed. The prototype's
+  /// MdsServer opens an engine under data_dir/mds-<id> when set.
+  StorageOptions storage;
+
+  /// Charge mutations the fsync cost of the configured storage.fsync policy
+  /// in the simulator, so Fig. 6's Γ optimizer sees durability cost. Off by
+  /// default (the paper's model is memory-only).
+  bool model_durability = false;
 };
 
 /// Check a configuration before constructing a cluster with it: positive

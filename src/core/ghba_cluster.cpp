@@ -461,6 +461,8 @@ Status GhbaCluster::CreateFile(const std::string& path, FileMetadata metadata,
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;  // client -> home request + ack
+  // Occupy the home for the store write plus its WAL-fsync share.
+  (void)ChargeMutation(home, now_ms);
   MaybePublish(home, now_ms);
   return Status::Ok();
 }
@@ -473,6 +475,7 @@ Status GhbaCluster::UnlinkFile(const std::string& path, double now_ms) {
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  (void)ChargeMutation(home, now_ms);
   MaybePublish(home, now_ms);
   return Status::Ok();
 }

@@ -49,7 +49,6 @@ LookupOutcome HashPlacementCluster::Lookup(const std::string& path,
 
 Status HashPlacementCluster::CreateFile(const std::string& path,
                                         FileMetadata metadata, double now_ms) {
-  (void)now_ms;
   if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
   const MdsId home = HomeOf(path);
   if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
@@ -59,12 +58,12 @@ Status HashPlacementCluster::CreateFile(const std::string& path,
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  (void)ChargeMutation(home, now_ms);
   return Status::Ok();
 }
 
 Status HashPlacementCluster::UnlinkFile(const std::string& path,
                                         double now_ms) {
-  (void)now_ms;
   const MdsId home = OracleHome(path);
   if (home == kInvalidMds) return Status::NotFound(path);
   if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
@@ -72,6 +71,7 @@ Status HashPlacementCluster::UnlinkFile(const std::string& path,
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  (void)ChargeMutation(home, now_ms);
   return Status::Ok();
 }
 

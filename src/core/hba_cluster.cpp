@@ -197,6 +197,8 @@ Status HbaCluster::CreateFile(const std::string& path, FileMetadata metadata,
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  // Occupy the home for the store write plus its WAL-fsync share.
+  (void)ChargeMutation(home, now_ms);
   MaybePublish(home, now_ms);
   return Status::Ok();
 }
@@ -209,6 +211,7 @@ Status HbaCluster::UnlinkFile(const std::string& path, double now_ms) {
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  (void)ChargeMutation(home, now_ms);
   MaybePublish(home, now_ms);
   return Status::Ok();
 }

@@ -55,6 +55,21 @@ inline constexpr char kServeLocalLookups[] = "serve.local_lookups";
 inline constexpr char kServeGroupProbes[] = "serve.group_probes";
 inline constexpr char kServeGlobalProbes[] = "serve.global_probes";
 inline constexpr char kServeVerifies[] = "serve.verifies";
+// Durable storage engine (per-MdsServer registries, --data-dir mode only).
+inline constexpr char kStorageWalAppends[] = "storage.wal_appends";
+inline constexpr char kStorageWalFsyncs[] = "storage.wal_fsyncs";
+inline constexpr char kStorageWalBytes[] = "storage.wal_bytes";
+inline constexpr char kStorageCheckpoints[] = "storage.checkpoints";
+inline constexpr char kStorageCheckpointDurationNs[] =
+    "storage.checkpoint_duration_ns";
+inline constexpr char kStorageRecoveryReplayRecords[] =
+    "storage.recovery_replay_records";
+inline constexpr char kStorageRecoveryTornTail[] =
+    "storage.recovery_torn_tail";
+inline constexpr char kStorageRecoveryFilterRebuilt[] =
+    "storage.recovery_filter_rebuilt";
+inline constexpr char kStorageRecoveryFilterMismatch[] =
+    "storage.recovery_filter_mismatch";
 }  // namespace metrics_names
 
 /// Plain-value copy of the per-level counters, for frozen samples

@@ -66,7 +66,6 @@ LookupOutcome StaticSubtreeCluster::Lookup(const std::string& path,
 
 Status StaticSubtreeCluster::CreateFile(const std::string& path,
                                         FileMetadata metadata, double now_ms) {
-  (void)now_ms;
   if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
   auto top = TopLevelOf(path);
   if (!top.ok()) return top.status();
@@ -78,12 +77,12 @@ Status StaticSubtreeCluster::CreateFile(const std::string& path,
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  (void)ChargeMutation(home, now_ms);
   return Status::Ok();
 }
 
 Status StaticSubtreeCluster::UnlinkFile(const std::string& path,
                                         double now_ms) {
-  (void)now_ms;
   const MdsId home = OracleHome(path);
   if (home == kInvalidMds) return Status::NotFound(path);
   if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
@@ -91,6 +90,7 @@ Status StaticSubtreeCluster::UnlinkFile(const std::string& path,
   assert(oracle.ok());
   (void)oracle;
   metrics_.messages += 2;
+  (void)ChargeMutation(home, now_ms);
   return Status::Ok();
 }
 

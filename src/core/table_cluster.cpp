@@ -62,7 +62,6 @@ LookupOutcome TableMappingCluster::Lookup(const std::string& path,
 
 Status TableMappingCluster::CreateFile(const std::string& path,
                                        FileMetadata metadata, double now_ms) {
-  (void)now_ms;
   if (OracleHome(path) != kInvalidMds) return Status::AlreadyExists(path);
   const MdsId home = RandomMds();
   if (Status s = node(home).AddLocalFile(path, std::move(metadata)); !s.ok()) {
@@ -74,12 +73,12 @@ Status TableMappingCluster::CreateFile(const std::string& path,
   // Table coherence: the new entry is broadcast to all N-1 other copies.
   metrics_.messages += 2 + (alive_.size() - 1);
   metrics_.update_messages += alive_.size() - 1;
+  (void)ChargeMutation(home, now_ms);
   return Status::Ok();
 }
 
 Status TableMappingCluster::UnlinkFile(const std::string& path,
                                        double now_ms) {
-  (void)now_ms;
   const MdsId home = OracleHome(path);
   if (home == kInvalidMds) return Status::NotFound(path);
   if (Status s = node(home).RemoveLocalFile(path); !s.ok()) return s;
@@ -88,6 +87,7 @@ Status TableMappingCluster::UnlinkFile(const std::string& path,
   (void)oracle;
   metrics_.messages += 2 + (alive_.size() - 1);
   metrics_.update_messages += alive_.size() - 1;
+  (void)ChargeMutation(home, now_ms);
   return Status::Ok();
 }
 

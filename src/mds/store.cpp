@@ -38,6 +38,38 @@ Status MetadataStore::Remove(std::string_view path) {
   return Status::Ok();
 }
 
+std::uint64_t MetadataStore::ApplyBatch(std::span<const StoreMutation> batch) {
+  std::uint64_t applied = 0;
+  for (const auto& m : batch) {
+    switch (m.kind) {
+      case StoreMutation::Kind::kInsert:
+        if (Insert(m.path, m.metadata).ok()) ++applied;
+        break;
+      case StoreMutation::Kind::kUpdate:
+        // Whole-record overwrite; Update() re-measures EntryBytes around
+        // the mutation, so records that grow or shrink keep the footprint
+        // honest.
+        if (Update(m.path, [&](FileMetadata& md) { md = m.metadata; }).ok()) {
+          ++applied;
+        }
+        break;
+      case StoreMutation::Kind::kRemove:
+        if (Remove(m.path).ok()) ++applied;
+        break;
+      case StoreMutation::Kind::kClear:
+        Clear();
+        ++applied;
+        break;
+    }
+  }
+  return applied;
+}
+
+void MetadataStore::Clear() {
+  map_.clear();
+  memory_bytes_ = 0;
+}
+
 void MetadataStore::ForEach(
     const std::function<void(const std::string&, const FileMetadata&)>& fn)
     const {
@@ -48,8 +80,7 @@ std::vector<std::pair<std::string, FileMetadata>> MetadataStore::ExtractAll() {
   std::vector<std::pair<std::string, FileMetadata>> out;
   out.reserve(map_.size());
   for (auto& [path, md] : map_) out.emplace_back(path, std::move(md));
-  map_.clear();
-  memory_bytes_ = 0;
+  Clear();
   return out;
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,6 +18,22 @@
 #include "mds/metadata.hpp"
 
 namespace ghba {
+
+/// One store mutation in a batch. WAL replay and replica migration both
+/// funnel through ApplyBatch below, so the two paths cannot drift on
+/// footprint accounting or duplicate handling.
+struct StoreMutation {
+  enum class Kind : std::uint8_t {
+    kInsert,  ///< add a new record (skipped if the path exists)
+    kUpdate,  ///< overwrite an existing record (skipped if absent)
+    kRemove,  ///< erase a record (skipped if absent)
+    kClear,   ///< drop every record (migration drain)
+  };
+
+  Kind kind = Kind::kInsert;
+  std::string path;
+  FileMetadata metadata;  ///< meaningful for kInsert / kUpdate only
+};
 
 class MetadataStore {
  public:
@@ -33,6 +50,16 @@ class MetadataStore {
                 const std::function<void(FileMetadata&)>& mutate);
 
   Status Remove(std::string_view path);
+
+  /// Apply mutations in order and return how many took effect. Mutations
+  /// that cannot apply (duplicate insert, update/remove of a missing path)
+  /// are skipped rather than aborting the batch: WAL replay feeds batches
+  /// that were valid when logged, so a skip only occurs when the tail of
+  /// the log duplicates a checkpoint — harmless either way.
+  std::uint64_t ApplyBatch(std::span<const StoreMutation> batch);
+
+  /// Drop every record and reset the footprint to zero.
+  void Clear();
 
   std::uint64_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }

@@ -258,6 +258,45 @@ Result<FileListResp> DecodeFileListResp(ByteReader& in) {
   return resp;
 }
 
+std::vector<std::uint8_t> EncodeRecoveryInfoResp(
+    const RecoveryInfoResp& info) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU8(info.durable ? 1 : 0);
+  w.PutU64(info.files);
+  w.PutU64(info.wal_seq);
+  w.PutU64(info.replay_records);
+  w.PutU8(info.torn_tail ? 1 : 0);
+  w.PutU8(info.filter_rebuilt ? 1 : 0);
+  w.PutU8(info.filter_matched ? 1 : 0);
+  return w.Take();
+}
+
+Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in) {
+  RecoveryInfoResp info;
+  const auto flag = [&](bool& field) -> Status {
+    auto v = in.GetU8();
+    if (!v.ok()) return v.status();
+    if (*v > 1) return Status::Corruption("bad bool byte");
+    field = (*v != 0);
+    return Status::Ok();
+  };
+  const auto fixed = [&](std::uint64_t& field) -> Status {
+    auto v = in.GetU64();
+    if (!v.ok()) return v.status();
+    field = *v;
+    return Status::Ok();
+  };
+  if (Status s = flag(info.durable); !s.ok()) return s;
+  if (Status s = fixed(info.files); !s.ok()) return s;
+  if (Status s = fixed(info.wal_seq); !s.ok()) return s;
+  if (Status s = fixed(info.replay_records); !s.ok()) return s;
+  if (Status s = flag(info.torn_tail); !s.ok()) return s;
+  if (Status s = flag(info.filter_rebuilt); !s.ok()) return s;
+  if (Status s = flag(info.filter_matched); !s.ok()) return s;
+  return info;
+}
+
 Result<Envelope> OpenEnvelope(ByteReader& in) {
   auto kind = in.GetU8();
   if (!kind.ok()) return kind.status();
@@ -276,7 +315,7 @@ Result<Envelope> OpenEnvelope(ByteReader& in) {
 Result<MsgType> DecodeType(ByteReader& in) {
   auto t = in.GetU16();
   if (!t.ok()) return t.status();
-  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kReportOutcome)) {
+  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kRecoveryInfo)) {
     return Status::Corruption("unknown message type");
   }
   return static_cast<MsgType>(*t);

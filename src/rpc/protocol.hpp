@@ -38,6 +38,7 @@ enum class MsgType : std::uint16_t {
   kExportFiles = 15,  ///< drain all (path, metadata) pairs -> FileListResp
   kStatsSnapshot = 16,  ///< full metrics snapshot -> StatsSnapshotResp
   kReportOutcome = 17,  ///< client reports a finished lookup; no response
+  kRecoveryInfo = 18,   ///< what recovery found at startup -> RecoveryInfoResp
 };
 
 /// Local lookup outcome shipped back from kLookupLocal / kGroupProbe.
@@ -85,6 +86,21 @@ struct OutcomeReport {
   std::uint32_t retries = 0;
 };
 
+/// What the durable engine recovered at startup (kRecoveryInfo). A server
+/// running without --data-dir answers with durable=false and zeros.
+struct RecoveryInfoResp {
+  bool durable = false;  ///< storage engine active on this server
+  std::uint64_t files = 0;  ///< resident records right after recovery
+  std::uint64_t wal_seq = 0;  ///< last WAL sequence recovered
+  std::uint64_t replay_records = 0;  ///< records replayed beyond checkpoint
+  bool torn_tail = false;  ///< WAL ended in a torn/corrupt frame
+  bool filter_rebuilt = false;  ///< snapshot filter unusable, rebuilt
+  bool filter_matched = true;  ///< replayed filter == rebuilt filter
+
+  friend bool operator==(const RecoveryInfoResp&,
+                         const RecoveryInfoResp&) = default;
+};
+
 // --- encode helpers (client side) ---
 std::vector<std::uint8_t> EncodeHeader(MsgType type);
 std::vector<std::uint8_t> EncodePathRequest(MsgType type,
@@ -115,6 +131,7 @@ std::vector<std::uint8_t> EncodeFilterResp(const BloomFilter& filter);
 std::vector<std::uint8_t> EncodeStatsResp(const StatsResp& stats);
 std::vector<std::uint8_t> EncodeStatsSnapshotResp(
     const StatsSnapshotResp& snap);
+std::vector<std::uint8_t> EncodeRecoveryInfoResp(const RecoveryInfoResp& info);
 
 // --- decode helpers ---
 
@@ -141,5 +158,6 @@ Result<LocalLookupResp> DecodeLocalLookupResp(ByteReader& in);
 Result<StatsResp> DecodeStatsResp(ByteReader& in);
 Result<StatsSnapshotResp> DecodeStatsSnapshotResp(ByteReader& in);
 Result<FileListResp> DecodeFileListResp(ByteReader& in);
+Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in);
 
 }  // namespace ghba

@@ -636,7 +636,12 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
   const std::uint64_t frames_before = TotalFramesInLocked();
   const MdsId nid = static_cast<MdsId>(servers_.size());
   if (Status s = StartServer(nid); !s.ok()) return s;
+  if (Status s = JoinTopologyLocked(nid); !s.ok()) return s;
+  if (messages != nullptr) *messages = TotalFramesInLocked() - frames_before;
+  return nid;
+}
 
+Status PrototypeCluster::JoinTopologyLocked(MdsId nid) {
   if (scheme_ == ProtoScheme::kHba) {
     GroupInfo& g = groups_.front();
     g.members.push_back(nid);
@@ -645,7 +650,8 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
     // the newcomer's filter.
     auto fresh = FetchFilter(nid);
     if (!fresh.ok()) return fresh.status();
-    for (MdsId other = 0; other < nid; ++other) {
+    for (MdsId other = 0; other < servers_.size(); ++other) {
+      if (other == nid || !servers_[other]) continue;
       auto filter = FetchFilter(other);
       if (!filter.ok()) return filter.status();
       if (Status s = InstallReplica(nid, other, *filter); !s.ok()) return s;
@@ -692,7 +698,7 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
     // Light-weight migration: overloaded members hand replicas to the
     // newcomer via fetch + install + drop.
     const std::size_t outsiders =
-        servers_.size() - g.members.size();
+        AliveServersLocked().size() - g.members.size();
     const std::size_t target_load =
         (outsiders + g.members.size() - 1) / g.members.size();
     std::unordered_map<MdsId, std::vector<MdsId>> held;
@@ -727,9 +733,63 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
       groups_[gi].holder[nid] = holder;
     }
   }
+  return Status::Ok();
+}
 
-  if (messages != nullptr) *messages = TotalFramesInLocked() - frames_before;
-  return nid;
+Result<RecoveryInfoResp> PrototypeCluster::RestartServer(MdsId id) {
+  MutexLock lock(&mu_);
+  if (id >= servers_.size()) return Status::NotFound("no such server");
+  if (servers_[id] != nullptr && servers_[id]->running()) {
+    return Status::AlreadyExists("server is still running");
+  }
+  // A crashed-but-undetected server still occupies the topology (its event
+  // loop died but no call has failed yet): run the fail-over bookkeeping
+  // first so the rejoin below starts from a clean slate, exactly as it
+  // would after automatic detection.
+  if (group_of_.contains(id)) {
+    if (Status s = FailOver(id); !s.ok()) return s;
+  }
+
+  FlagGuard guard(in_failover_);  // holds references into groups_
+  if (Status s = StartServer(id); !s.ok()) return s;
+
+  // Recovery handshake before the peer takes any traffic: what did its
+  // durable engine bring back? (Without --data-dir: durable=false, zeros.)
+  auto resp = Call(id, EncodeHeader(MsgType::kRecoveryInfo));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  auto info = DecodeRecoveryInfoResp(in);
+  if (!info.ok()) return info.status();
+
+  if (Status s = JoinTopologyLocked(id); !s.ok()) return s;
+
+  // Recovery may have restored replicas the rebuilt topology no longer
+  // assigns to this server (holders moved during the outage); sweep them.
+  const std::unordered_map<MdsId, MdsId>* assigned = nullptr;
+  if (scheme_ == ProtoScheme::kGhba) {
+    assigned = &groups_[group_of_.at(id)].holder;
+  }
+  for (MdsId owner = 0; owner < servers_.size(); ++owner) {
+    if (owner == id || !servers_[owner]) continue;
+    if (scheme_ == ProtoScheme::kHba) continue;  // full mesh keeps them all
+    const auto it = assigned->find(owner);
+    if (it == assigned->end() || it->second != id) {
+      (void)Call(id, EncodeReplicaDrop(owner));
+    }
+  }
+
+  // Refresh every replica so the rejoined server serves current filters
+  // (its recovered copies may predate mutations on the survivors).
+  if (Status s = PublishAllLocked(); !s.ok()) return s;
+  return *info;
+}
+
+Result<BloomFilter> PrototypeCluster::FilterOf(MdsId id) {
+  MutexLock lock(&mu_);
+  return FetchFilter(id);
 }
 
 std::vector<MdsId> PrototypeCluster::AliveServers() const {

@@ -120,6 +120,18 @@ class PrototypeCluster {
   /// -> kPing confirmation -> FailOver), with no manual KillServer.
   Status CrashServer(MdsId id);
 
+  /// Restart a dead (killed or crashed) server in place. With
+  /// config.storage.data_dir set, the new incarnation recovers its durable
+  /// state (checkpoint + WAL replay) before rejoining; the returned
+  /// RecoveryInfoResp is the peer's own account of what it brought back.
+  /// The rejoined server re-enters a group, receives fresh replicas and
+  /// serves L4 again. A crashed-but-undetected server is failed over first.
+  Result<RecoveryInfoResp> RestartServer(MdsId id);
+
+  /// Diagnostic: one server's current local filter, flattened (the crash
+  /// tests compare pre-crash and post-recovery bits for identity).
+  Result<BloomFilter> FilterOf(MdsId id);
+
   /// Live server ids.
   std::vector<MdsId> AliveServers() const;
 
@@ -155,6 +167,11 @@ class PrototypeCluster {
   };
 
   Status StartServer(MdsId id) GHBA_REQUIRES(mu_);
+  /// Wire a freshly started server `nid` into the replica topology: group
+  /// membership, replica exchange/migration, coverage. Shared by AddServer
+  /// (brand-new id) and RestartServer (rejoining id). Callers hold the
+  /// in_failover_ flag (this walks groups_ across Calls).
+  Status JoinTopologyLocked(MdsId nid) GHBA_REQUIRES(mu_);
   /// Request/response with a per-call budget: each attempt is bounded by
   /// rpc.attempt_timeout_ms, transport failures evict the cached
   /// connection and retry (reconnecting lazily) with jittered backoff,

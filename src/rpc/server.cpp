@@ -52,6 +52,27 @@ Status MdsServer::Start(std::uint16_t port) {
   if (!listener.ok()) return listener.status();
   listener_ = std::move(*listener);
   port_ = listener_.port();
+  if (!config_.storage.data_dir.empty()) {
+    // Recover before the loop thread exists; adopting the role here is
+    // sound because nobody else can touch the state yet.
+    ThreadRoleGuard role(&loop_role_);
+    StorageOptions options = config_.storage;
+    options.data_dir += "/mds-" + std::to_string(id_);
+    auto engine = StorageEngine::Open(
+        options,
+        CountingBloomFilter::ForCapacity(config_.expected_files_per_mds,
+                                         config_.bits_per_file,
+                                         config_.seed ^ 0x5151),
+        &registry_);
+    if (!engine.ok()) return engine.status();
+    engine_ = std::move(*engine);
+    RecoveredState recovered = engine_->TakeRecovered();
+    store_ = std::move(recovered.store);
+    local_filter_ = std::move(recovered.filter);
+    for (auto& [owner, filter] : recovered.replicas) {
+      (void)segment_.AddEntry(owner, std::move(filter));
+    }
+  }
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
@@ -95,6 +116,9 @@ void MdsServer::Loop() {
     const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
     if (ready <= 0) continue;
 
+    // Only the connections that were actually polled have an `fds` entry;
+    // one accepted below joins the poll set next round.
+    const std::size_t polled = conns.size();
     if (fds[0].revents & POLLIN) {
       auto conn = listener_.Accept();
       if (conn.ok()) {
@@ -105,7 +129,7 @@ void MdsServer::Loop() {
 
     // Walk connections back-to-front so erasing is cheap and indices into
     // `fds` (offset by 1 for the listener) stay valid.
-    for (std::size_t i = conns.size(); i-- > 0;) {
+    for (std::size_t i = polled; i-- > 0;) {
       if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       auto frame = conns[i].RecvFrame(Deadline::After(io_budget));
       if (!frame.ok()) {
@@ -171,6 +195,21 @@ std::uint64_t MdsServer::LookupStateBytes() const {
          lru_.MemoryBytes();
 }
 
+void MdsServer::MaybeCheckpoint() {
+  if (engine_ == nullptr || !engine_->CheckpointDue()) return;
+  std::vector<std::pair<MdsId, BloomFilter>> replicas;
+  replicas.reserve(segment_.entries().size());
+  for (const auto& entry : segment_.entries()) {
+    replicas.emplace_back(entry.owner, entry.filter);
+  }
+  const Status s =
+      engine_->WriteCheckpoint(store_, local_filter_, std::move(replicas));
+  if (!s.ok()) {
+    // Not fatal: the WAL keeps growing and the next due mutation retries.
+    GHBA_LOG(kWarn) << "mds " << id_ << " checkpoint failed: " << s.message();
+  }
+}
+
 double MdsServer::ReplicaOverflowFraction() const {
   // As in the simulator (ClusterBase::ChargeMemory): the budget governs the
   // replica working set — the quantity the schemes differ on. The LRU array
@@ -233,15 +272,42 @@ std::vector<std::uint8_t> MdsServer::Handle(
       if (!path.ok()) return EncodeStatusResp(path.status());
       auto md = FileMetadata::Deserialize(in);
       if (!md.ok()) return EncodeStatusResp(md.status());
-      const Status s = store_.Insert(*path, std::move(*md));
-      if (s.ok()) local_filter_.Add(*path);
+      // Apply first, then log, then ack: the WAL records only mutations
+      // that succeeded, and the client is only ever acked a mutation the
+      // log took (a failed log call rolls the memory state back).
+      Status s = store_.Insert(*path, *md);
+      if (s.ok()) {
+        local_filter_.Add(*path);
+        if (engine_ != nullptr) {
+          if (Status w = engine_->LogInsert(*path, *md); !w.ok()) {
+            (void)store_.Remove(*path);
+            (void)local_filter_.Remove(*path);
+            s = w;
+          } else {
+            MaybeCheckpoint();
+          }
+        }
+      }
       return EncodeStatusResp(s);
     }
     case MsgType::kUnlink: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
-      const Status s = store_.Remove(*path);
-      if (s.ok()) local_filter_.Remove(*path);
+      // Kept for rollback should the WAL append fail below.
+      auto old_md = store_.Lookup(*path);
+      Status s = store_.Remove(*path);
+      if (s.ok()) {
+        (void)local_filter_.Remove(*path);
+        if (engine_ != nullptr) {
+          if (Status w = engine_->LogRemove(*path); !w.ok()) {
+            (void)store_.Insert(*path, std::move(*old_md));
+            local_filter_.Add(*path);
+            s = w;
+          } else {
+            MaybeCheckpoint();
+          }
+        }
+      }
       return EncodeStatusResp(s);
     }
     case MsgType::kGetFilter:
@@ -323,12 +389,38 @@ std::vector<std::uint8_t> MdsServer::Handle(
       resp.files.assign(std::make_move_iterator(extracted.begin()),
                         std::make_move_iterator(extracted.end()));
       local_filter_.Clear();
+      if (engine_ != nullptr) {
+        if (Status w = engine_->LogClear(); !w.ok()) {
+          // Roll the drain back: the coordinator must not receive records
+          // a restart of this server would still claim to own.
+          for (auto& [path, md] : resp.files) {
+            (void)store_.Insert(path, std::move(md));
+            local_filter_.Add(path);
+          }
+          return EncodeStatusResp(w);
+        }
+        MaybeCheckpoint();
+      }
       return EncodeFileListResp(resp);
     }
     case MsgType::kShutdown:
       respond = false;
       shutdown = true;
       return {};
+    case MsgType::kRecoveryInfo: {
+      RecoveryInfoResp info;
+      if (engine_ != nullptr) {
+        const RecoveryInfo& r = engine_->recovery_info();
+        info.durable = true;
+        info.files = r.recovered_files;
+        info.wal_seq = r.wal_seq;
+        info.replay_records = r.replay_records;
+        info.torn_tail = r.torn_tail;
+        info.filter_rebuilt = r.filter_rebuilt;
+        info.filter_matched = r.filter_matched;
+      }
+      return EncodeRecoveryInfoResp(info);
+    }
   }
   return EncodeStatusResp(Status::Corruption("unhandled message type"));
 }

@@ -24,6 +24,7 @@
 #include "core/config.hpp"
 #include "mds/store.hpp"
 #include "rpc/fault_injector.hpp"
+#include "storage/engine.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/socket.hpp"
 
@@ -42,7 +43,11 @@ class MdsServer {
   /// through the injector's frame faults.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
-  /// Bind a loopback port (0 = OS-assigned) and start the event loop thread.
+  /// Bind a loopback port (0 = OS-assigned) and start the event loop
+  /// thread. When config.storage.data_dir is set, first opens the durable
+  /// engine under <data_dir>/mds-<id>, recovering any state a previous
+  /// incarnation persisted (checkpoint + WAL replay); from then on every
+  /// mutating RPC is logged before it is acked.
   Status Start(std::uint16_t port = 0);
 
   /// Stop the loop and join the thread. Idempotent.
@@ -79,6 +84,10 @@ class MdsServer {
   /// Resident bytes of the lookup structures (live LookupStateBytes).
   std::uint64_t LookupStateBytes() const GHBA_REQUIRES(loop_role_);
 
+  /// Write a checkpoint (and truncate the WAL) once the log outgrows the
+  /// configured threshold. No-op without a durable engine.
+  void MaybeCheckpoint() GHBA_REQUIRES(loop_role_);
+
   MdsId id_;
   ClusterConfig config_;
   FaultInjector* injector_ = nullptr;
@@ -94,6 +103,8 @@ class MdsServer {
   CountingBloomFilter local_filter_ GHBA_GUARDED_BY(loop_role_);
   BloomFilterArray segment_ GHBA_GUARDED_BY(loop_role_);
   LruBloomArray lru_ GHBA_GUARDED_BY(loop_role_);
+  /// Durable engine; null when running memory-only (no --data-dir).
+  std::unique_ptr<StorageEngine> engine_ GHBA_GUARDED_BY(loop_role_);
 
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};

@@ -1,0 +1,64 @@
+// Configuration of the per-MDS durable storage engine.
+//
+// Header-only on purpose: core/config.hpp embeds StorageOptions in
+// ClusterConfig so the simulator can model durability cost without linking
+// the storage library; only processes that actually open a data directory
+// (MdsServer in --data-dir mode, the storage tests) link ghba_storage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ghba {
+
+/// When the WAL forces its buffered appends to stable storage.
+enum class FsyncPolicy : std::uint8_t {
+  kAlways = 0,    ///< fsync on every commit — no acknowledged op is ever lost
+  kInterval = 1,  ///< fsync every fsync_interval_appends appends (group commit)
+  kNever = 2,     ///< never fsync — bounded loss on power failure, reported
+                  ///< (not silent) via durable_bytes / RecoveryInfo
+};
+
+inline const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kNever: return "never";
+  }
+  return "unknown";
+}
+
+/// Parse "always" / "interval" / "never"; returns false on anything else.
+inline bool ParseFsyncPolicy(const std::string& name, FsyncPolicy* out) {
+  if (name == "always") {
+    *out = FsyncPolicy::kAlways;
+  } else if (name == "interval") {
+    *out = FsyncPolicy::kInterval;
+  } else if (name == "never") {
+    *out = FsyncPolicy::kNever;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+struct StorageOptions {
+  /// Root directory of the engine. Empty = durability disabled (the
+  /// in-memory-only behaviour every pre-existing test expects).
+  std::string data_dir;
+
+  FsyncPolicy fsync = FsyncPolicy::kAlways;
+
+  /// kInterval only: appends between fsyncs (the group-commit window).
+  std::uint32_t fsync_interval_appends = 32;
+
+  /// WAL size that triggers a checkpoint (and subsequent log truncation).
+  std::uint64_t checkpoint_wal_bytes = 4ULL << 20;
+
+  /// Checkpoint files retained after a successful write. Keeping more than
+  /// one lets recovery fall back to an older snapshot when the newest is
+  /// corrupt (half-written before a crash, bit rot, ...).
+  std::uint32_t keep_checkpoints = 2;
+};
+
+}  // namespace ghba

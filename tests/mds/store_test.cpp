@@ -102,6 +102,53 @@ TEST(MetadataStoreTest, ExtractAllDrains) {
   EXPECT_EQ(store.MemoryBytes(), 0u);
 }
 
+TEST(MetadataStoreTest, ClearResetsEverything) {
+  MetadataStore store;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Insert("/f" + std::to_string(i), Md(i)).ok());
+  }
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+}
+
+TEST(MetadataStoreTest, ApplyBatchAllKinds) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/keep", Md(1)).ok());
+  ASSERT_TRUE(store.Insert("/gone", Md(2)).ok());
+
+  FileMetadata updated = Md(1);
+  updated.size_bytes = 4096;
+  std::vector<StoreMutation> batch;
+  batch.push_back({StoreMutation::Kind::kInsert, "/new", Md(3)});
+  batch.push_back({StoreMutation::Kind::kUpdate, "/keep", updated});
+  batch.push_back({StoreMutation::Kind::kRemove, "/gone", {}});
+  EXPECT_EQ(store.ApplyBatch(batch), 3u);
+  EXPECT_TRUE(store.Contains("/new"));
+  EXPECT_EQ(store.Lookup("/keep")->size_bytes, 4096u);
+  EXPECT_FALSE(store.Contains("/gone"));
+
+  // kClear drains everything, including records from the same batch.
+  std::vector<StoreMutation> clear;
+  clear.push_back({StoreMutation::Kind::kInsert, "/x", Md(4)});
+  clear.push_back({StoreMutation::Kind::kClear, "", {}});
+  EXPECT_EQ(store.ApplyBatch(clear), 2u);
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.MemoryBytes(), 0u);
+}
+
+TEST(MetadataStoreTest, ApplyBatchSkipsInapplicableMutations) {
+  MetadataStore store;
+  ASSERT_TRUE(store.Insert("/a", Md(1)).ok());
+  std::vector<StoreMutation> batch;
+  batch.push_back({StoreMutation::Kind::kInsert, "/a", Md(9)});  // duplicate
+  batch.push_back({StoreMutation::Kind::kUpdate, "/nope", Md(9)});
+  batch.push_back({StoreMutation::Kind::kRemove, "/nope", {}});
+  EXPECT_EQ(store.ApplyBatch(batch), 0u);
+  EXPECT_EQ(store.Lookup("/a")->inode, 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
 TEST(MetadataSerializationTest, RoundTrip) {
   FileMetadata md;
   md.inode = 42;

@@ -3,7 +3,7 @@
 // external tools can poll them.
 //
 //   $ ghba_workload [--servers N] [--group M] [--files F]
-//                   [--ports-file PATH] [--hold]
+//                   [--ports-file PATH] [--hold] [--data-dir DIR]
 //
 // Starts an N-MDS G-HBA cluster over loopback TCP, inserts F files,
 // publishes replicas, looks every file up twice (the repeat exercises the
@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   std::uint32_t group_size = 2;
   int num_files = 48;
   std::string ports_file;
+  std::string data_dir;
   bool hold = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--servers") == 0 && i + 1 < argc) {
@@ -44,12 +45,14 @@ int main(int argc, char** argv) {
       num_files = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--ports-file") == 0 && i + 1 < argc) {
       ports_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      data_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--hold") == 0) {
       hold = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--servers N] [--group M] [--files F] "
-                   "[--ports-file PATH] [--hold]\n",
+                   "[--ports-file PATH] [--hold] [--data-dir DIR]\n",
                    argv[0]);
       return 2;
     }
@@ -62,6 +65,8 @@ int main(int argc, char** argv) {
   config.lru_capacity = 64;
   config.memory_budget_bytes = 64ULL << 20;
   config.seed = 2026;
+  // Durable mode: every server logs to DIR/mds-<id>/ before acking.
+  config.storage.data_dir = data_dir;
 
   PrototypeCluster cluster(config, ProtoScheme::kGhba);
   if (const auto s = cluster.Start(); !s.ok()) {

@@ -1,40 +1,71 @@
 // mds_daemon — run one MDS server as a standalone process.
 //
 //   $ mds_daemon <id> <port> [expected_files] [memory_budget_mb]
+//                [--data-dir DIR] [--fsync always|interval|never]
 //
 // Speaks the wire protocol in docs/PROTOCOL.md on 127.0.0.1:<port>. Stop it
 // with SIGINT/SIGTERM or a kShutdown frame (ghba_client <port> shutdown).
+// With --data-dir the server runs durably: mutations hit a write-ahead log
+// under DIR/mds-<id>/ before they are acknowledged, and a restart on the
+// same directory recovers every acked mutation (kill -9 included).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "rpc/server.hpp"
 
 namespace {
 std::atomic<bool> g_stop{false};
 void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <id> <port> [expected_files] [memory_budget_mb]\n"
+               "          [--data-dir DIR] [--fsync always|interval|never]\n",
+               argv0);
+  return 2;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr,
-                 "usage: %s <id> <port> [expected_files] [memory_budget_mb]\n",
-                 argv[0]);
-    return 2;
-  }
-  const auto id = static_cast<ghba::MdsId>(std::atoi(argv[1]));
-  const auto port = static_cast<std::uint16_t>(std::atoi(argv[2]));
-
   ghba::ClusterConfig config;
-  config.expected_files_per_mds =
-      argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 100000;
-  config.memory_budget_bytes =
-      (argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 512)
-      << 20;
+  config.expected_files_per_mds = 100000;
+  config.memory_budget_bytes = 512ULL << 20;
+
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
+      config.storage.data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--fsync") == 0 && i + 1 < argc) {
+      if (!ghba::ParseFsyncPolicy(argv[++i], &config.storage.fsync)) {
+        std::fprintf(stderr, "bad --fsync policy: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 4) return Usage(argv[0]);
+
+  const auto id = static_cast<ghba::MdsId>(std::atoi(positional[0]));
+  const auto port = static_cast<std::uint16_t>(std::atoi(positional[1]));
+  if (positional.size() > 2) {
+    config.expected_files_per_mds =
+        static_cast<std::uint64_t>(std::atoll(positional[2]));
+  }
+  if (positional.size() > 3) {
+    config.memory_budget_bytes =
+        static_cast<std::uint64_t>(std::atoll(positional[3])) << 20;
+  }
   if (const auto s = ghba::ValidateClusterConfig(config); !s.ok()) {
     std::fprintf(stderr, "bad config: %s\n", s.ToString().c_str());
     return 2;
@@ -45,7 +76,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to start: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("mds %u listening on 127.0.0.1:%u\n", id, server.port());
+  if (config.storage.data_dir.empty()) {
+    std::printf("mds %u listening on 127.0.0.1:%u\n", id, server.port());
+  } else {
+    std::printf("mds %u listening on 127.0.0.1:%u (durable, data-dir=%s, "
+                "fsync=%s)\n",
+                id, server.port(), config.storage.data_dir.c_str(),
+                ghba::FsyncPolicyName(config.storage.fsync));
+  }
+  std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
