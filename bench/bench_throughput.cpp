@@ -1,0 +1,315 @@
+// Saturation throughput of one MdsServer: lookups/sec vs client thread
+// count, plus lookup tail latency while a WAL fsync storm runs.
+//
+// This is the bench behind BENCH_throughput.json. It stresses the server's
+// sharded execution model (see DESIGN.md "Concurrency invariants"):
+//
+//   * Scaling series: T client threads, each with its own connection,
+//     issue synchronous kVerify lookups against a durable server. Paths
+//     hash across the worker shards, so added client threads should buy
+//     added lookups/sec until the shards saturate.
+//   * Fsync storm: the same lookup load runs while writer threads hammer
+//     kInsert with fsync=always — every insert is a WAL append + fsync on
+//     a worker thread. Lookups never take the WAL lock and the event
+//     thread never blocks, so the lookup p99 must stay bounded instead of
+//     inheriting the fsync latency.
+//
+//   $ bench_throughput [--quick] [--shards S] [--files F] [--secs SEC]
+//                      [--json PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/protocol.hpp"
+#include "rpc/server.hpp"
+#include "rpc/socket.hpp"
+
+using namespace ghba;
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string PathOf(std::size_t i) { return "/tp/f" + std::to_string(i); }
+
+struct LoadResult {
+  std::vector<double> lat_us;  // one sample per completed lookup
+  std::uint64_t ops = 0;
+  bool ok = true;
+};
+
+/// One client thread: synchronous kVerify round-trips on its own
+/// connection until `stop` (set after the measurement window closes).
+LoadResult LookupLoad(std::uint16_t port, const std::vector<std::string>& paths,
+                      std::size_t start, const std::atomic<bool>& stop) {
+  LoadResult r;
+  auto conn = TcpConnection::Connect(
+      port, Deadline::After(std::chrono::milliseconds(2000)));
+  if (!conn.ok()) {
+    r.ok = false;
+    return r;
+  }
+  std::size_t i = start;
+  while (!stop.load(std::memory_order_relaxed)) {
+    const auto req = EncodePathRequest(MsgType::kVerify, paths[i % paths.size()]);
+    i += 7919;  // coprime stride: every thread sweeps all shards
+    const double t0 = NowSec();
+    const auto deadline = Deadline::After(std::chrono::milliseconds(5000));
+    if (Status s = conn->SendFrame(req, deadline); !s.ok()) {
+      r.ok = false;
+      break;
+    }
+    auto resp = conn->RecvFrame(deadline);
+    if (!resp.ok()) {
+      r.ok = false;
+      break;
+    }
+    r.lat_us.push_back((NowSec() - t0) * 1e6);
+    ++r.ops;
+  }
+  return r;
+}
+
+/// One storm writer: unique-path kInserts (each a WAL append + fsync with
+/// fsync=always) until `stop`.
+std::uint64_t InsertStorm(std::uint16_t port, int writer,
+                          const std::atomic<bool>& stop) {
+  auto conn = TcpConnection::Connect(
+      port, Deadline::After(std::chrono::milliseconds(2000)));
+  if (!conn.ok()) return 0;
+  std::uint64_t n = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    FileMetadata md;
+    md.inode = n;
+    const auto req = EncodeInsert(
+        "/storm/w" + std::to_string(writer) + "/f" + std::to_string(n), md);
+    const auto deadline = Deadline::After(std::chrono::milliseconds(5000));
+    if (!conn->SendFrame(req, deadline).ok()) break;
+    if (!conn->RecvFrame(deadline).ok()) break;
+    ++n;
+  }
+  return n;
+}
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      std::llround(p * static_cast<double>(v.size() - 1)));
+  return v[idx];
+}
+
+struct Measurement {
+  int threads = 0;
+  double seconds = 0;
+  std::uint64_t lookups = 0;
+  double per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::uint64_t inserts = 0;  // fsync-storm phase only
+  bool ok = true;
+};
+
+/// Run `threads` lookup clients (and `writers` storm writers) against the
+/// server for `seconds` and fold the per-thread samples together.
+Measurement Measure(std::uint16_t port, const std::vector<std::string>& paths,
+                    int threads, int writers, double seconds) {
+  Measurement m;
+  m.threads = threads;
+  std::atomic<bool> stop{false};
+  std::vector<LoadResult> results(static_cast<std::size_t>(threads));
+  std::vector<std::uint64_t> inserted(static_cast<std::size_t>(std::max(writers, 1)), 0);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] =
+          LookupLoad(port, paths, static_cast<std::size_t>(t) * 131, stop);
+    });
+  }
+  for (int w = 0; w < writers; ++w) {
+    pool.emplace_back([&, w] {
+      inserted[static_cast<std::size_t>(w)] = InsertStorm(port, w, stop);
+    });
+  }
+  const double t0 = NowSec();
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(seconds * 1000)));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : pool) th.join();
+  m.seconds = NowSec() - t0;
+
+  std::vector<double> all;
+  for (auto& r : results) {
+    m.ok = m.ok && r.ok;
+    m.lookups += r.ops;
+    all.insert(all.end(), r.lat_us.begin(), r.lat_us.end());
+  }
+  for (const auto n : inserted) m.inserts += n;
+  m.per_sec = static_cast<double>(m.lookups) / m.seconds;
+  m.p50_us = Percentile(all, 0.50);
+  m.p99_us = Percentile(all, 0.99);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::uint32_t shards = 4;
+  std::size_t files = 2000;
+  double secs = 2.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      files = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--secs") == 0 && i + 1 < argc) {
+      secs = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--shards S] [--files F] "
+                   "[--secs SEC] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (quick) {
+    files = std::min<std::size_t>(files, 500);
+    secs = std::min(secs, 0.4);
+  }
+
+  const auto data_dir = std::filesystem::temp_directory_path() /
+                        ("ghba-bench-throughput-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(data_dir);
+
+  ClusterConfig config;
+  config.num_mds = 1;
+  config.max_group_size = 1;
+  config.expected_files_per_mds = files + 100000;  // storm headroom
+  config.lru_capacity = 1024;
+  config.memory_budget_bytes = 256ULL << 20;
+  config.seed = 2026;
+  config.rpc.server_shards = shards;
+  config.storage.data_dir = data_dir.string();
+  config.storage.fsync = FsyncPolicy::kAlways;  // every insert = one fsync
+  if (const auto s = ValidateClusterConfig(config); !s.ok()) {
+    std::fprintf(stderr, "bad config: %s\n", s.ToString().c_str());
+    return 2;
+  }
+
+  MdsServer server(0, config);
+  if (const auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Populate over one connection so the lookup phases hit resident paths.
+  std::vector<std::string> paths;
+  paths.reserve(files);
+  for (std::size_t i = 0; i < files; ++i) paths.push_back(PathOf(i));
+  {
+    auto conn = TcpConnection::Connect(
+        server.port(), Deadline::After(std::chrono::milliseconds(2000)));
+    if (!conn.ok()) {
+      std::fprintf(stderr, "populate connect failed\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < files; ++i) {
+      FileMetadata md;
+      md.inode = i;
+      const auto deadline = Deadline::After(std::chrono::milliseconds(5000));
+      if (!conn->SendFrame(EncodeInsert(paths[i], md), deadline).ok() ||
+          !conn->RecvFrame(deadline).ok()) {
+        std::fprintf(stderr, "populate insert %zu failed\n", i);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("bench_throughput: shards=%u files=%zu secs=%.2f%s\n", shards,
+              files, secs, quick ? " (quick)" : "");
+  std::printf("%8s %12s %10s %10s\n", "threads", "lookups/s", "p50(us)",
+              "p99(us)");
+
+  const int kThreadCounts[] = {1, 2, 4, 8};
+  std::vector<Measurement> scaling;
+  bool all_ok = true;
+  for (const int t : kThreadCounts) {
+    Measurement m = Measure(server.port(), paths, t, /*writers=*/0, secs);
+    std::printf("%8d %12.0f %10.1f %10.1f\n", m.threads, m.per_sec, m.p50_us,
+                m.p99_us);
+    all_ok = all_ok && m.ok;
+    scaling.push_back(std::move(m));
+  }
+
+  // Fsync storm: re-measure the 4-thread lookup load with writers running.
+  const int storm_threads = 4;
+  const int storm_writers = 2;
+  const Measurement baseline = scaling[2];  // the 4-thread row
+  Measurement storm =
+      Measure(server.port(), paths, storm_threads, storm_writers, secs);
+  all_ok = all_ok && storm.ok;
+  std::printf("fsync storm (%d writers, %llu inserts): lookups/s=%.0f "
+              "p50=%.1fus p99=%.1fus (baseline p99=%.1fus)\n",
+              storm_writers, static_cast<unsigned long long>(storm.inserts),
+              storm.per_sec, storm.p50_us, storm.p99_us, baseline.p99_us);
+
+  server.Stop();
+  std::filesystem::remove_all(data_dir);
+  if (!all_ok) {
+    std::fprintf(stderr, "some client threads failed\n");
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"throughput\",\n");
+    std::fprintf(f, "  \"shards\": %u,\n  \"files\": %zu,\n", shards, files);
+    std::fprintf(f, "  \"host_cores\": %u,\n",
+                 std::thread::hardware_concurrency());
+    std::fprintf(f, "  \"scaling\": [\n");
+    for (std::size_t i = 0; i < scaling.size(); ++i) {
+      const Measurement& m = scaling[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"seconds\": %.3f, \"lookups\": "
+                   "%llu, \"lookups_per_sec\": %.1f, \"p50_us\": %.1f, "
+                   "\"p99_us\": %.1f}%s\n",
+                   m.threads, m.seconds,
+                   static_cast<unsigned long long>(m.lookups), m.per_sec,
+                   m.p50_us, m.p99_us, i + 1 < scaling.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"fsync_storm\": {\"threads\": %d, \"writers\": %d, "
+                 "\"inserts\": %llu, \"lookups_per_sec\": %.1f, \"p50_us\": "
+                 "%.1f, \"p99_us\": %.1f, \"baseline_p99_us\": %.1f}\n",
+                 storm_threads, storm_writers,
+                 static_cast<unsigned long long>(storm.inserts), storm.per_sec,
+                 storm.p50_us, storm.p99_us, baseline.p99_us);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -75,6 +75,13 @@ class GHBA_CAPABILITY("mutex") Mutex {
   void Unlock() GHBA_RELEASE() { mu_.unlock(); }
   bool TryLock() GHBA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
+  // BasicLockable spelling so std::condition_variable_any can wait on a
+  // Mutex directly. The wait's internal unlock/relock is invisible to the
+  // analysis, which is exactly right: the capability is held before and
+  // after, and the waker re-establishes the invariants before notifying.
+  void lock() GHBA_ACQUIRE() { mu_.lock(); }
+  void unlock() GHBA_RELEASE() { mu_.unlock(); }
+
   /// For interop with std::condition_variable_any and std::scoped_lock.
   std::mutex& native() { return mu_; }
 

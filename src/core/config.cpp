@@ -59,6 +59,12 @@ Status ValidateClusterConfig(const ClusterConfig& config) {
     return Status::InvalidArgument(
         "rpc attempt/ping/suspect counts must be >= 1");
   }
+  // Each shard is a worker thread owning a state slice; beyond a small
+  // multiple of the core count extra shards only cost memory and context
+  // switches, so an absurd value is a misconfiguration, not ambition.
+  if (rpc.server_shards == 0 || rpc.server_shards > 64) {
+    return Status::InvalidArgument("rpc.server_shards must be in [1, 64]");
+  }
   if (lat.wal_fsync_ms < 0) {
     return Status::InvalidArgument("wal_fsync_ms must be non-negative");
   }

@@ -36,6 +36,11 @@ struct RpcOptions {
   /// (each bounded by ping_timeout_ms) and declared dead only if all fail.
   std::uint32_t ping_attempts = 3;
   std::uint32_t ping_timeout_ms = 500;
+  /// Worker shards per MdsServer: requests hash to a shard by path, each
+  /// shard owns its slice of the metadata state, and blocking work (WAL
+  /// fsync, simulated disk probes) only ever stalls its own shard. 1 keeps
+  /// the old single-owner behaviour on one worker thread.
+  std::uint32_t server_shards = 2;
 };
 
 struct ClusterConfig {

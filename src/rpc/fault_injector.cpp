@@ -69,6 +69,21 @@ bool FaultInjector::IsStalled(MdsId id) const {
   return stalled_.contains(id);
 }
 
+void FaultInjector::StallShard(MdsId id, std::uint32_t shard) {
+  MutexLock lock(&mu_);
+  stalled_shards_.emplace(id, shard);
+}
+
+void FaultInjector::UnstallShard(MdsId id, std::uint32_t shard) {
+  MutexLock lock(&mu_);
+  stalled_shards_.erase({id, shard});
+}
+
+bool FaultInjector::IsShardStalled(MdsId id, std::uint32_t shard) const {
+  MutexLock lock(&mu_);
+  return stalled_.contains(id) || stalled_shards_.contains({id, shard});
+}
+
 FaultInjector::Counters FaultInjector::counters() const {
   MutexLock lock(&mu_);
   return counters_;

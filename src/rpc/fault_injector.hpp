@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/lookup_outcome.hpp"  // canonical MdsId
@@ -57,12 +58,21 @@ class FaultInjector {
   /// Decide whether a connect() attempt is refused. Thread-safe.
   bool RefuseConnect();
 
-  /// Stall / resume a server's event loop. While stalled the loop sleeps in
-  /// small slices (still honouring shutdown), so in-flight and new requests
-  /// sit unanswered until their senders' deadlines expire.
+  /// Stall / resume a server's request service. While stalled the server's
+  /// workers sleep in small slices (still honouring shutdown), so in-flight
+  /// and new requests sit unanswered until their senders' deadlines expire.
+  /// The IO thread keeps accepting and buffering — sockets stay open, which
+  /// is exactly the failure mode heart-beats exist to detect.
   void StallServer(MdsId id);
   void UnstallServer(MdsId id);
   bool IsStalled(MdsId id) const;
+
+  /// Stall / resume a single worker shard of one server. Requests routed to
+  /// that shard park; every other shard keeps serving — the fairness case
+  /// the sharded event loop must uphold. StallServer implies every shard.
+  void StallShard(MdsId id, std::uint32_t shard);
+  void UnstallShard(MdsId id, std::uint32_t shard);
+  bool IsShardStalled(MdsId id, std::uint32_t shard) const;
 
   struct Counters {
     std::uint64_t frames = 0;
@@ -83,6 +93,8 @@ class FaultInjector {
   Rng rng_ GHBA_GUARDED_BY(mu_){1};
   Counters counters_ GHBA_GUARDED_BY(mu_);
   std::set<MdsId> stalled_ GHBA_GUARDED_BY(mu_);
+  std::set<std::pair<MdsId, std::uint32_t>> stalled_shards_
+      GHBA_GUARDED_BY(mu_);
 };
 
 /// Apply a kTruncate/kCorrupt plan to a payload copy: truncation drops a

@@ -315,10 +315,111 @@ Result<Envelope> OpenEnvelope(ByteReader& in) {
 Result<MsgType> DecodeType(ByteReader& in) {
   auto t = in.GetU16();
   if (!t.ok()) return t.status();
-  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kRecoveryInfo)) {
+  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kBatch)) {
     return Status::Corruption("unknown message type");
   }
   return static_cast<MsgType>(*t);
+}
+
+bool BatchableType(MsgType type) {
+  switch (type) {
+    case MsgType::kTouchLru:
+    case MsgType::kReportOutcome:
+    case MsgType::kShutdown:
+    case MsgType::kBatch:
+    // A whole-server drain needs every shard parked; it cannot share a
+    // frame with requests that execute on individual shards.
+    case MsgType::kExportFiles:
+      return false;
+    default:
+      return true;
+  }
+}
+
+std::vector<std::uint8_t> EncodeBatch(
+    const std::vector<std::vector<std::uint8_t>>& subs) {
+  auto w = WriterFor(MsgType::kBatch);
+  w.PutVarint(subs.size());
+  for (const auto& sub : subs) {
+    w.PutVarint(sub.size());
+    w.PutBytes(sub);
+  }
+  return w.Take();
+}
+
+Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchRequest(
+    ByteReader& in) {
+  auto n = in.GetVarint();
+  if (!n.ok()) return n.status();
+  if (*n == 0) return Status::InvalidArgument("empty batch");
+  // Every sub-frame costs at least one length byte plus a 2-byte type, so
+  // a count beyond remaining/3 can only come from a mangled length field.
+  if (*n > kMaxBatchFrames || *n > in.remaining() / 3) {
+    return Status::Corruption("absurd batch count");
+  }
+  std::vector<std::vector<std::uint8_t>> subs;
+  subs.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto len = in.GetVarint();
+    if (!len.ok()) return len.status();
+    if (*len > in.remaining()) return Status::Corruption("bad sub-frame len");
+    auto bytes = in.GetBytes(*len);
+    if (!bytes.ok()) return bytes.status();
+    ByteReader sub(*bytes);
+    auto type = DecodeType(sub);
+    if (!type.ok()) return type.status();
+    if (!BatchableType(*type)) {
+      return Status::InvalidArgument("message type not allowed in a batch");
+    }
+    subs.push_back(std::move(*bytes));
+  }
+  return subs;
+}
+
+std::vector<std::uint8_t> EncodeVersionResp(std::uint32_t version) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU32(version);
+  return w.Take();
+}
+
+Result<std::uint32_t> DecodeVersionResp(ByteReader& in) {
+  auto v = in.GetU32();
+  if (!v.ok()) return v.status();
+  if (*v == 0) return Status::Corruption("bad protocol version");
+  return *v;
+}
+
+std::vector<std::uint8_t> EncodeBatchResp(
+    const std::vector<std::vector<std::uint8_t>>& subs) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutVarint(subs.size());
+  for (const auto& sub : subs) {
+    w.PutVarint(sub.size());
+    w.PutBytes(sub);
+  }
+  return w.Take();
+}
+
+Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchResp(
+    ByteReader& in) {
+  auto n = in.GetVarint();
+  if (!n.ok()) return n.status();
+  if (*n > kMaxBatchFrames || *n > in.remaining()) {
+    return Status::Corruption("absurd batch count");
+  }
+  std::vector<std::vector<std::uint8_t>> subs;
+  subs.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto len = in.GetVarint();
+    if (!len.ok()) return len.status();
+    if (*len > in.remaining()) return Status::Corruption("bad sub-frame len");
+    auto bytes = in.GetBytes(*len);
+    if (!bytes.ok()) return bytes.status();
+    subs.push_back(std::move(*bytes));
+  }
+  return subs;
 }
 
 Result<RemoteStatus> DecodeStatusResp(ByteReader& in) {

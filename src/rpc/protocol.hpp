@@ -1,9 +1,12 @@
 // Wire protocol of the loopback prototype.
 //
 // Every frame is [u16 type][payload]; the TCP layer adds the length prefix.
-// Requests and responses share the framing; a connection carries one
-// request/response exchange at a time (the client serializes per
-// connection). All multi-byte integers little-endian via ByteWriter.
+// Requests and responses share the framing. Connections are pipelined: a
+// client may have any number of requests in flight, and the server answers
+// in request order (one-way messages simply produce no response frame; see
+// docs/PROTOCOL.md "Pipelining"). kBatch additionally packs many
+// request/response sub-frames into one TCP frame with a single CRC. All
+// multi-byte integers little-endian via ByteWriter.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +42,26 @@ enum class MsgType : std::uint16_t {
   kStatsSnapshot = 16,  ///< full metrics snapshot -> StatsSnapshotResp
   kReportOutcome = 17,  ///< client reports a finished lookup; no response
   kRecoveryInfo = 18,   ///< what recovery found at startup -> RecoveryInfoResp
+  kVersion = 19,        ///< protocol version handshake -> u32 version
+  kBatch = 20,          ///< many request/response sub-frames, one CRC
 };
+
+/// Protocol revision this build speaks. v2 added kVersion and kBatch; a v1
+/// peer rejects both with kCorruption ("unknown message type"), which is
+/// what the client's version probe keys its fallback on.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Upper bound on sub-frames per kBatch frame: enough for any realistic
+/// pipeline depth, small enough that a mangled count cannot make the server
+/// queue unbounded work from one frame.
+inline constexpr std::uint64_t kMaxBatchFrames = 4096;
+
+/// True when `type` may ride inside a kBatch frame: request/response
+/// messages only. One-ways (kTouchLru, kReportOutcome) would leave a batch
+/// slot forever unfilled, kShutdown kills the server mid-batch, nested
+/// kBatch frames would let one frame amplify itself, and kExportFiles is a
+/// whole-server drain that cannot run on a single shard.
+bool BatchableType(MsgType type);
 
 /// Local lookup outcome shipped back from kLookupLocal / kGroupProbe.
 struct LocalLookupResp {
@@ -114,6 +136,17 @@ std::vector<std::uint8_t> EncodeReplicaDrop(MdsId owner);
 std::vector<std::uint8_t> EncodeReplicaFetch(MdsId owner);
 std::vector<std::uint8_t> EncodeOutcomeReport(const OutcomeReport& report);
 
+/// Batched writes on the wire: many request sub-frames share one TCP frame
+/// and one CRC. Payload: [varint n][varint len, bytes]*n.
+std::vector<std::uint8_t> EncodeBatch(
+    const std::vector<std::vector<std::uint8_t>>& subs);
+
+/// Server-side decode of a kBatch request body. Validates the count and
+/// every length against the remaining frame bytes, and rejects sub-frames
+/// whose leading type is not BatchableType.
+Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchRequest(
+    ByteReader& in);
+
 /// Server-side decode of a kReportOutcome request body.
 Result<OutcomeReport> DecodeOutcomeReport(ByteReader& in);
 
@@ -132,6 +165,11 @@ std::vector<std::uint8_t> EncodeStatsResp(const StatsResp& stats);
 std::vector<std::uint8_t> EncodeStatsSnapshotResp(
     const StatsSnapshotResp& snap);
 std::vector<std::uint8_t> EncodeRecoveryInfoResp(const RecoveryInfoResp& info);
+std::vector<std::uint8_t> EncodeVersionResp(std::uint32_t version);
+/// Batch response: [env 1][varint n][varint len, bytes]*n, one complete
+/// response (envelope included) per sub-request, in sub-request order.
+std::vector<std::uint8_t> EncodeBatchResp(
+    const std::vector<std::vector<std::uint8_t>>& subs);
 
 // --- decode helpers ---
 
@@ -159,5 +197,7 @@ Result<StatsResp> DecodeStatsResp(ByteReader& in);
 Result<StatsSnapshotResp> DecodeStatsSnapshotResp(ByteReader& in);
 Result<FileListResp> DecodeFileListResp(ByteReader& in);
 Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in);
+Result<std::uint32_t> DecodeVersionResp(ByteReader& in);
+Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchResp(ByteReader& in);
 
 }  // namespace ghba

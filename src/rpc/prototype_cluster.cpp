@@ -110,6 +110,7 @@ Status PrototypeCluster::StartServer(MdsId id) {
   if (servers_.size() <= id) servers_.resize(id + 1);
   servers_[id] = std::move(server);
   health_.Forget(id);  // a fresh server starts with a clean slate
+  peer_version_.erase(id);  // a new incarnation may speak a new protocol
   return Status::Ok();
 }
 
@@ -258,6 +259,77 @@ Status PrototypeCluster::OneWay(MdsId id, const std::vector<std::uint8_t>& frame
   return s;
 }
 
+std::uint32_t PrototypeCluster::PeerVersion(MdsId id) {
+  if (const auto it = peer_version_.find(id); it != peer_version_.end()) {
+    return it->second;
+  }
+  std::uint32_t version = 1;
+  auto resp = Call(id, EncodeHeader(MsgType::kVersion));
+  if (resp.ok()) {
+    ByteReader in(*resp);
+    const auto env = OpenEnvelope(in);
+    if (env.ok() && env->has_payload) {
+      if (const auto v = DecodeVersionResp(in); v.ok()) version = *v;
+    }
+  } else if (resp.status().code() != StatusCode::kCorruption) {
+    // Transport failure: no verdict on what the peer speaks — assume the
+    // lowest common denominator for this call but re-probe next time.
+    return 1;
+  }
+  // Either a real answer or a kCorruption reject ("unknown message type"
+  // from a pre-kVersion peer): both are durable for this incarnation.
+  peer_version_[id] = version;
+  return version;
+}
+
+Result<std::uint32_t> PrototypeCluster::ProtocolVersionOf(MdsId id) {
+  MutexLock lock(&mu_);
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::Unavailable("server is down");
+  }
+  return PeerVersion(id);
+}
+
+Result<std::vector<std::vector<std::uint8_t>>> PrototypeCluster::CallBatch(
+    MdsId id, const std::vector<std::vector<std::uint8_t>>& reqs) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(reqs.size());
+  if (reqs.size() > 1 && PeerVersion(id) >= 2) {
+    for (std::size_t off = 0; off < reqs.size();) {
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(kMaxBatchFrames), reqs.size() - off);
+      const std::vector<std::vector<std::uint8_t>> window(
+          reqs.begin() + static_cast<std::ptrdiff_t>(off),
+          reqs.begin() + static_cast<std::ptrdiff_t>(off + n));
+      auto resp = Call(id, EncodeBatch(window));
+      if (!resp.ok()) return resp.status();
+      ByteReader in(*resp);
+      const auto env = OpenEnvelope(in);
+      if (!env.ok()) return env.status();
+      if (!env->has_payload) {
+        return env->status.ok()
+                   ? Status::Corruption("batch response carries no payload")
+                   : env->status;
+      }
+      auto subs = DecodeBatchResp(in);
+      if (!subs.ok()) return subs.status();
+      if (subs->size() != n) {
+        return Status::Corruption("batch response count mismatch");
+      }
+      for (auto& sub : *subs) out.push_back(std::move(sub));
+      off += n;
+    }
+    return out;
+  }
+  // Single request, or a v1 peer: plain pipelined-by-caller Calls.
+  for (const auto& req : reqs) {
+    auto resp = Call(id, req);
+    if (!resp.ok()) return resp.status();
+    out.push_back(std::move(*resp));
+  }
+  return out;
+}
+
 void PrototypeCluster::NoteCallFailure(MdsId id) {
   if (health_.RecordFailure(id) != PeerState::kSuspected) return;
   if (in_failover_) return;  // repair traffic only accounts, never chases
@@ -387,6 +459,31 @@ Status PrototypeCluster::Insert(const std::string& path,
   auto env = OpenEnvelope(in);
   if (!env.ok()) return env.status();
   return env->status;
+}
+
+Status PrototypeCluster::InsertBatch(
+    const std::vector<std::pair<std::string, FileMetadata>>& files) {
+  MutexLock lock(&mu_);
+  const auto alive = AliveServersLocked();
+  if (alive.empty()) return Status::Unavailable("no servers");
+  // Same placement distribution as Insert: each file independently draws a
+  // uniformly random home. The batching is purely a wire-level grouping.
+  std::map<MdsId, std::vector<std::vector<std::uint8_t>>> per_home;
+  for (const auto& [path, md] : files) {
+    const MdsId home = alive[rng_.NextBounded(alive.size())];
+    per_home[home].push_back(EncodeInsert(path, md));
+  }
+  for (auto& [home, reqs] : per_home) {
+    auto resps = CallBatch(home, reqs);
+    if (!resps.ok()) return resps.status();
+    for (const auto& resp : *resps) {
+      ByteReader in(resp);
+      const auto env = OpenEnvelope(in);
+      if (!env.ok()) return env.status();
+      if (!env->status.ok()) return env->status;
+    }
+  }
+  return Status::Ok();
 }
 
 Result<bool> PrototypeCluster::VerifyAt(MdsId candidate,
@@ -883,17 +980,28 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
   for (const MdsId s : survivors) {
     if (s != id) targets.push_back(s);
   }
+  // Round-robin the files across the survivors, then ship each survivor's
+  // share as batched writes: one kBatch frame per kMaxBatchFrames inserts,
+  // one CRC and one round-trip each, instead of a Call per file.
+  std::map<MdsId, std::vector<std::vector<std::uint8_t>>> drain;
+  std::map<MdsId, std::vector<const std::string*>> drain_paths;
   std::size_t rr = 0;
   for (const auto& [path, md] : files->files) {
-    auto insert_resp =
-        Call(targets[rr++ % targets.size()], EncodeInsert(path, md));
-    if (!insert_resp.ok()) return insert_resp.status();
-    ByteReader rin(*insert_resp);
-    auto renv = OpenEnvelope(rin);
-    if (!renv.ok()) return renv.status();
-    if (!renv->status.ok()) {
-      return Status::Internal("drain re-insert of " + path +
-                              " failed: " + renv->status.ToString());
+    const MdsId target = targets[rr++ % targets.size()];
+    drain[target].push_back(EncodeInsert(path, md));
+    drain_paths[target].push_back(&path);
+  }
+  for (auto& [target, reqs] : drain) {
+    auto resps = CallBatch(target, reqs);
+    if (!resps.ok()) return resps.status();
+    for (std::size_t i = 0; i < resps->size(); ++i) {
+      ByteReader rin((*resps)[i]);
+      auto renv = OpenEnvelope(rin);
+      if (!renv.ok()) return renv.status();
+      if (!renv->status.ok()) {
+        return Status::Internal("drain re-insert of " + *drain_paths[target][i] +
+                                " failed: " + renv->status.ToString());
+      }
     }
   }
 

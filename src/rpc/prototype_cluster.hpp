@@ -91,6 +91,18 @@ class PrototypeCluster {
   /// Create a file on a uniformly random server.
   Status Insert(const std::string& path, const FileMetadata& metadata);
 
+  /// Create many files, each on a uniformly random server (same placement
+  /// distribution as Insert). Per-server traffic rides kBatch frames —
+  /// many inserts, one CRC, one round-trip — against v2 peers; v1 peers
+  /// transparently get sequential Calls. First failure aborts.
+  Status InsertBatch(
+      const std::vector<std::pair<std::string, FileMetadata>>& files);
+
+  /// Protocol version `id` speaks, probed with kVersion on first use and
+  /// cached until the server restarts. A peer that rejects the probe as an
+  /// unknown message type is recorded as v1.
+  Result<std::uint32_t> ProtocolVersionOf(MdsId id);
+
   /// Remove a file (the lookup protocol locates it first).
   Status Unlink(const std::string& path);
 
@@ -188,6 +200,19 @@ class PrototypeCluster {
   Status OneWay(MdsId id, const std::vector<std::uint8_t>& frame)
       GHBA_REQUIRES(mu_);
 
+  /// Locked body of ProtocolVersionOf. Transport failures are not cached
+  /// (the next call re-probes); a kCorruption reject is a durable v1
+  /// verdict and is.
+  std::uint32_t PeerVersion(MdsId id) GHBA_REQUIRES(mu_);
+  /// Issue `reqs` against one server and return the responses in request
+  /// order. Against a v2 peer, requests pack into kBatch frames (at most
+  /// kMaxBatchFrames sub-frames each, one CRC per frame); against a v1
+  /// peer — or for a single request — this degenerates to plain Calls.
+  /// Every req must be a BatchableType request.
+  Result<std::vector<std::vector<std::uint8_t>>> CallBatch(
+      MdsId id, const std::vector<std::vector<std::uint8_t>>& reqs)
+      GHBA_REQUIRES(mu_);
+
   /// Health pipeline: account a failed call; once the peer is suspected,
   /// confirm with kPing heart-beats and fail it over if confirmed dead.
   void NoteCallFailure(MdsId id) GHBA_REQUIRES(mu_);
@@ -250,6 +275,9 @@ class PrototypeCluster {
   std::unordered_map<MdsId, TcpConnection> conns_ GHBA_GUARDED_BY(mu_);
   std::vector<GroupInfo> groups_ GHBA_GUARDED_BY(mu_);  // G-HBA only
   std::unordered_map<MdsId, std::size_t> group_of_ GHBA_GUARDED_BY(mu_);
+  /// kVersion probe results, one per live incarnation (StartServer clears
+  /// its entry so a restarted peer is re-probed).
+  std::unordered_map<MdsId, std::uint32_t> peer_version_ GHBA_GUARDED_BY(mu_);
 
   PeerHealthTracker health_;  // internally synchronized
   /// Client-side accounting. Internally synchronized (atomic counters,

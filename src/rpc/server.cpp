@@ -1,27 +1,67 @@
 #include "rpc/server.hpp"
 
-#include <poll.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
-#include <thread>
+#include <cstring>
+#include <map>
+#include <unordered_map>
+#include <utility>
 
 #include "bloom/compressed.hpp"
 #include "common/logging.hpp"
 #include "core/metrics.hpp"
+#include "hash/fnv.hpp"
 #include "hash/query_digest.hpp"
+#include "rpc/wire_buffer.hpp"
 
 namespace ghba {
 
 namespace {
-LruBloomArray::Options LruOptionsFor(const ClusterConfig& config) {
+
+LruBloomArray::Options ShardLruOptionsFor(const ClusterConfig& config,
+                                          std::uint32_t num_shards) {
   LruBloomArray::Options options;
-  options.capacity = config.lru_capacity;
+  // The configured capacity is the whole server's; every shard gets an
+  // equal slice so total L1 footprint stays what the config asked for.
+  options.capacity =
+      std::max<std::size_t>(1, config.lru_capacity / std::max(1u, num_shards));
   options.counters_per_item = 8.0;
   options.seed = 0x1111 ^ config.seed;
   return options;
 }
+
+std::uint16_t PeekType(const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 2) return 0;
+  return static_cast<std::uint16_t>(frame[0]) |
+         (static_cast<std::uint16_t>(frame[1]) << 8);
+}
+
 }  // namespace
+
+std::uint32_t ShardOfPath(std::string_view path, std::uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<std::uint32_t>(Fnv1a64(path) % num_shards);
+}
+
+IoErrorAction ClassifyWaitError(int errnum) {
+  switch (errnum) {
+    case EINTR:   // a signal interrupted the wait: benign, wait again
+    case EAGAIN:  // spurious wakeup on some kernels: benign
+      return IoErrorAction::kRetry;
+    default:
+      // EBADF, EINVAL, ENOMEM, EFAULT, ...: the loop's own machinery is
+      // broken. Retrying would spin forever while serving nobody — the
+      // silent-busy-loop failure mode this classification exists to kill.
+      return IoErrorAction::kFatal;
+  }
+}
 
 MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
     : id_(id),
@@ -29,7 +69,6 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
       local_filter_(CountingBloomFilter::ForCapacity(
           config.expected_files_per_mds, config.bits_per_file,
           config.seed ^ 0x5151)),
-      lru_(LruOptionsFor(config)),
       outcome_l1_(registry_.counter(metrics_names::kLookupsL1)),
       outcome_l2_(registry_.counter(metrics_names::kLookupsL2)),
       outcome_l3_(registry_.counter(metrics_names::kLookupsL3)),
@@ -43,19 +82,62 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
           registry_.counter(metrics_names::kServeGlobalProbes)),
       serve_verifies_(registry_.counter(metrics_names::kServeVerifies)),
       outcome_latency_ms_(
-          registry_.histogram(metrics_names::kLatencyLookupMs)) {}
+          registry_.histogram(metrics_names::kLatencyLookupMs)) {
+  const std::uint32_t n = std::max(1u, config.rpc.server_shards);
+  const auto lru_options = ShardLruOptionsFor(config, n);
+  shards_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(lru_options));
+    shards_.back()->index = i;
+  }
+}
 
 MdsServer::~MdsServer() { Stop(); }
+
+std::string MdsServer::last_error() const {
+  MutexLock lock(&err_mu_);
+  return last_error_;
+}
 
 Status MdsServer::Start(std::uint16_t port) {
   auto listener = TcpListener::Bind(port);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(*listener);
   port_ = listener_.port();
+
+  epoll_fd_ = FdHandle(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) return Status::Internal("epoll_create1 failed");
+  event_fd_ = FdHandle(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!event_fd_.valid()) return Status::Internal("eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listener
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listener_.fd(), &ev) != 0) {
+    return Status::Internal("epoll_ctl(listener) failed");
+  }
+  ev.data.u64 = 1;  // completion wakeup
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, event_fd_.get(), &ev) != 0) {
+    return Status::Internal("epoll_ctl(eventfd) failed");
+  }
+
+  // Reset cross-run state so a stopped server can be started again.
+  {
+    MutexLock lock(&out_mu_);
+    outbox_.clear();
+  }
+  {
+    MutexLock lock(&maint_mu_);
+    maint_queue_.clear();
+    checkpoint_pending_ = false;
+  }
+  {
+    MutexLock lock(&err_mu_);
+    last_error_.clear();
+  }
+  sabotage_errno_.store(0, std::memory_order_release);
+
+  std::vector<std::pair<std::string, FileMetadata>> recovered_records;
   if (!config_.storage.data_dir.empty()) {
-    // Recover before the loop thread exists; adopting the role here is
-    // sound because nobody else can touch the state yet.
-    ThreadRoleGuard role(&loop_role_);
     StorageOptions options = config_.storage;
     options.data_dir += "/mds-" + std::to_string(id_);
     auto engine = StorageEngine::Open(
@@ -65,156 +147,745 @@ Status MdsServer::Start(std::uint16_t port) {
                                          config_.seed ^ 0x5151),
         &registry_);
     if (!engine.ok()) return engine.status();
-    engine_ = std::move(*engine);
-    RecoveredState recovered = engine_->TakeRecovered();
-    store_ = std::move(recovered.store);
-    local_filter_ = std::move(recovered.filter);
-    for (auto& [owner, filter] : recovered.replicas) {
-      (void)segment_.AddEntry(owner, std::move(filter));
+    RecoveredState recovered;
+    {
+      MutexLock wal(&wal_mu_);
+      engine_ = std::move(*engine);
+      recovered = engine_->TakeRecovered();
     }
+    {
+      MutexLock filter(&filter_mu_);
+      local_filter_ = std::move(recovered.filter);
+    }
+    {
+      MutexLock seg(&seg_mu_);
+      for (auto& [owner, filter] : recovered.replicas) {
+        (void)segment_.AddEntry(owner, std::move(filter));
+      }
+    }
+    recovered_records = recovered.store.ExtractAll();
   }
+
+  // Partition recovered records across the shards that will serve them.
+  // Adopting each shard's role here is sound: its worker does not exist yet.
+  for (auto& shard : shards_) {
+    ThreadRoleGuard role(&shard->role);
+    for (auto& [path, md] : recovered_records) {
+      if (ShardOfPath(path, shards()) != shard->index) continue;
+      (void)shard->store.Insert(path, std::move(md));
+    }
+    shard->files.store(shard->store.size(), std::memory_order_relaxed);
+    shard->lru_bytes.store(shard->lru.MemoryBytes(), std::memory_order_relaxed);
+  }
+
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Loop(); });
+  io_thread_ = std::thread([this] { IoLoop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { WorkerLoop(s); });
+  }
+  maint_thread_ = std::thread([this] { MaintenanceLoop(); });
   return Status::Ok();
 }
 
-void MdsServer::Stop() {
-  if (!running_.load(std::memory_order_acquire)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
+void MdsServer::RequestStop() {
   stop_.store(true, std::memory_order_release);
-  // Poke the poll loop so it notices the stop flag.
-  (void)TcpConnection::Connect(port_);
-  if (thread_.joinable()) thread_.join();
-  running_.store(false, std::memory_order_release);
+  if (event_fd_.valid()) {
+    const std::uint64_t one = 1;
+    (void)!::write(event_fd_.get(), &one, sizeof one);
+  }
+  for (auto& shard : shards_) {
+    shard->mu.Lock();
+    shard->cv.notify_all();
+    shard->mu.Unlock();
+  }
+  maint_mu_.Lock();
+  maint_cv_.notify_all();
+  maint_mu_.Unlock();
 }
 
-void MdsServer::Loop() {
-  // This thread owns the MDS state for the lifetime of the loop; every
-  // access to store_/local_filter_/segment_/lru_ below type-checks against
-  // this adoption.
-  ThreadRoleGuard role(&loop_role_);
-  std::vector<TcpConnection> conns;
-  // Per-frame IO bound: a peer that stalls mid-frame (or an injected
-  // truncation) costs one connection, not the whole event loop.
-  const auto io_budget =
-      std::chrono::milliseconds(config_.rpc.server_io_timeout_ms);
-  while (!stop_.load(std::memory_order_acquire)) {
-    // An injected stall freezes request service without closing sockets —
-    // the failure mode heart-beats exist to detect. Shutdown still works.
-    while (injector_ != nullptr && injector_->IsStalled(id_) &&
-           !stop_.load(std::memory_order_acquire)) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+void MdsServer::Stop() {
+  RequestStop();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  if (maint_thread_.joinable()) maint_thread_.join();
+  running_.store(false, std::memory_order_release);
+  listener_.Close();
+  epoll_fd_.Close();
+  event_fd_.Close();
+}
+
+void MdsServer::FailEventLoop(const char* what, int errnum) {
+  {
+    MutexLock lock(&err_mu_);
+    last_error_ = std::string(what) + " failed: " +
+                  std::strerror(errnum) + " (errno " +
+                  std::to_string(errnum) + ")";
+  }
+  GHBA_LOG(kError) << "mds " << id_ << " event loop: " << what
+                   << " failed with errno " << errnum << " ("
+                   << std::strerror(errnum)
+                   << "); stopping the server instead of spinning";
+  RequestStop();
+}
+
+std::uint32_t MdsServer::RouteShard(
+    const std::vector<std::uint8_t>& frame) const {
+  if (shards_.size() <= 1) return 0;
+  ByteReader in(frame);
+  auto type = in.GetU16();
+  if (!type.ok()) return 0;
+  switch (static_cast<MsgType>(*type)) {
+    case MsgType::kLookupLocal:
+    case MsgType::kGroupProbe:
+    case MsgType::kGlobalProbe:
+    case MsgType::kVerify:
+    case MsgType::kTouchLru:
+    case MsgType::kInsert:
+    case MsgType::kUnlink: {
+      auto path = in.GetString();
+      if (!path.ok()) return 0;
+      return ShardOfPath(*path, shards());
     }
+    default:
+      // Whole-server messages (filters, replicas, stats, control) and
+      // malformed frames all run on shard 0.
+      return 0;
+  }
+}
 
-    std::vector<pollfd> fds;
-    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
-    for (const auto& c : conns) fds.push_back(pollfd{c.fd(), POLLIN, 0});
+void MdsServer::PostTask(std::uint32_t shard_index, Task task) {
+  Shard& shard = *shards_[shard_index];
+  shard.mu.Lock();
+  shard.queue.push_back(std::move(task));
+  shard.cv.notify_one();
+  shard.mu.Unlock();
+}
 
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
-    if (ready <= 0) continue;
+void MdsServer::PostCompletion(Completion completion) {
+  {
+    MutexLock lock(&out_mu_);
+    outbox_.push_back(std::move(completion));
+  }
+  const std::uint64_t one = 1;
+  (void)!::write(event_fd_.get(), &one, sizeof one);
+}
 
-    // Only the connections that were actually polled have an `fds` entry;
-    // one accepted below joins the poll set next round.
-    const std::size_t polled = conns.size();
-    if (fds[0].revents & POLLIN) {
-      auto conn = listener_.Accept();
-      if (conn.ok()) {
-        conn->set_injector(injector_);
-        conns.push_back(std::move(*conn));
-      }
-    }
+// ---------------------------------------------------------------------------
+// Event thread
+// ---------------------------------------------------------------------------
 
-    // Walk connections back-to-front so erasing is cheap and indices into
-    // `fds` (offset by 1 for the listener) stay valid.
-    for (std::size_t i = polled; i-- > 0;) {
-      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      auto frame = conns[i].RecvFrame(Deadline::After(io_budget));
-      if (!frame.ok()) {
-        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+void MdsServer::IoLoop() {
+  using Clock = std::chrono::steady_clock;
+
+  struct PendingResp {
+    bool ready = false;
+    bool respond = false;
+    bool planned = false;
+    bool is_batch = false;
+    std::size_t remaining = 0;
+    std::vector<std::vector<std::uint8_t>> slots;
+    std::vector<std::uint8_t> payload;
+    FaultInjector::FramePlan plan;
+  };
+  struct Conn {
+    TcpConnection conn;
+    FrameAssembler in;
+    std::vector<std::uint8_t> out;
+    std::size_t out_off = 0;
+    std::uint64_t next_seq = 0;   // next request slot to assign
+    std::uint64_t flush_seq = 0;  // next slot to flush (responses in order)
+    std::map<std::uint64_t, PendingResp> pending;
+    Clock::time_point delay_until{};
+    bool delayed = false;  // an injected delay is holding up flush_seq
+    bool want_write = false;
+  };
+
+  std::unordered_map<std::uint64_t, Conn> conns;
+  std::uint64_t next_conn_id = 2;  // 0 = listener, 1 = eventfd
+  std::vector<std::uint8_t> chunk(64 * 1024);
+  std::vector<std::uint8_t> frame;  // payload buffer reused across frames
+  std::vector<std::uint64_t> to_close;
+  std::vector<std::uint64_t> touched;
+  std::vector<Completion> completions;
+  epoll_event events[64];
+  const int epfd = epoll_fd_.get();
+
+  auto update_interest = [&](std::uint64_t cid, Conn& c) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (c.want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = cid;
+    (void)::epoll_ctl(epfd, EPOLL_CTL_MOD, c.conn.fd(), &ev);
+  };
+
+  // Push buffered bytes to the socket without blocking; false = conn broken.
+  auto kick_write = [&](std::uint64_t cid, Conn& c) -> bool {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n =
+          ::send(c.conn.fd(), c.out.data() + c.out_off, c.out.size() - c.out_off,
+                 MSG_DONTWAIT | MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_off += static_cast<std::size_t>(n);
         continue;
       }
-      frames_in_.fetch_add(1, std::memory_order_relaxed);
-      bool respond = false;
-      bool shutdown = false;
-      const auto response = Handle(*frame, respond, shutdown);
-      if (respond) {
-        if (conns[i].SendFrame(response, Deadline::After(io_budget)).ok()) {
-          frames_out_.fetch_add(1, std::memory_order_relaxed);
-        } else {
-          conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!c.want_write) {
+          c.want_write = true;
+          update_interest(cid, c);
+        }
+        return true;
+      }
+      return false;
+    }
+    c.out.clear();
+    c.out_off = 0;
+    if (c.want_write) {
+      c.want_write = false;
+      update_interest(cid, c);
+    }
+    return true;
+  };
+
+  // Move ready responses (in request order) into the write buffer, drawing
+  // each wire frame's fault plan exactly where the old SendFrame did —
+  // except injected delays defer the flush instead of blocking the thread.
+  auto try_flush = [&](std::uint64_t cid, Conn& c) -> bool {
+    const auto now = Clock::now();
+    while (true) {
+      auto it = c.pending.find(c.flush_seq);
+      if (it == c.pending.end() || !it->second.ready) break;
+      PendingResp& p = it->second;
+      if (!p.respond) {
+        c.pending.erase(it);
+        ++c.flush_seq;
+        continue;
+      }
+      if (!p.planned) {
+        p.plan = injector_ != nullptr ? injector_->PlanFrame()
+                                      : FaultInjector::FramePlan{};
+        p.planned = true;
+        if (p.plan.delay.count() > 0) {
+          c.delayed = true;
+          c.delay_until = now + p.plan.delay;
         }
       }
-      if (shutdown) {
-        stop_.store(true, std::memory_order_release);
-        break;
+      if (c.delayed) {
+        if (now < c.delay_until) return true;  // resumed once the delay is up
+        c.delayed = false;
+      }
+      (void)BuildWireFrame(p.plan, p.payload, c.out);
+      // Dropped frames count as sent, mirroring SendFrame's accounting.
+      frames_out_.fetch_add(1, std::memory_order_relaxed);
+      c.pending.erase(it);
+      ++c.flush_seq;
+    }
+    return kick_write(cid, c);
+  };
+
+  // Hand one complete request frame to its executor. Every frame — one-way
+  // or not — claims the next response slot so responses stay in order.
+  auto dispatch_frame = [&](std::uint64_t cid, Conn& c,
+                            std::vector<std::uint8_t> f) {
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t seq = c.next_seq++;
+    const std::uint16_t raw_type = PeekType(f);
+    if (raw_type == static_cast<std::uint16_t>(MsgType::kBatch)) {
+      ByteReader in(f);
+      (void)in.GetU16();
+      auto subs = DecodeBatchRequest(in);
+      if (subs.ok()) {
+        PendingResp& p = c.pending[seq];
+        p.is_batch = true;
+        p.remaining = subs->size();
+        p.slots.resize(subs->size());
+        for (std::size_t i = 0; i < subs->size(); ++i) {
+          Task task;
+          task.conn_id = cid;
+          task.seq = seq;
+          task.slot = static_cast<std::int32_t>(i);
+          task.frame = std::move((*subs)[i]);
+          // Route before the move: the by-value Task parameter may be
+          // constructed before RouteShard runs (evaluation order is
+          // unspecified), which would hash a moved-from frame.
+          const std::uint32_t target = RouteShard(task.frame);
+          PostTask(target, std::move(task));
+        }
+        return;
+      }
+      // Undecodable batch: fall through; shard 0 re-decodes and answers
+      // with the error so the reject still flows through the ordered path.
+    }
+    c.pending[seq];  // claim the slot
+    Task task;
+    task.conn_id = cid;
+    task.seq = seq;
+    task.frame = std::move(f);
+    if (raw_type == static_cast<std::uint16_t>(MsgType::kExportFiles)) {
+      // Whole-server drain: only the maintenance thread may park every
+      // shard for a consistent cut.
+      maint_mu_.Lock();
+      maint_queue_.push_back(std::move(task));
+      maint_cv_.notify_all();
+      maint_mu_.Unlock();
+      return;
+    }
+    const std::uint32_t target = RouteShard(task.frame);
+    PostTask(target, std::move(task));
+  };
+
+  auto close_conn = [&](std::uint64_t cid) {
+    auto it = conns.find(cid);
+    if (it == conns.end()) return;
+    (void)::epoll_ctl(epfd, EPOLL_CTL_DEL, it->second.conn.fd(), nullptr);
+    conns.erase(it);
+  };
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Wake up early if an injected delay comes due before the 200ms slice.
+    int timeout_ms = 200;
+    if (std::any_of(conns.begin(), conns.end(),
+                    [](const auto& kv) { return kv.second.delayed; })) {
+      const auto now = Clock::now();
+      for (const auto& [cid, c] : conns) {
+        if (!c.delayed) continue;
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              c.delay_until - now)
+                              .count();
+        timeout_ms = std::clamp<int>(static_cast<int>(left) + 1, 0, timeout_ms);
       }
     }
+
+    int n;
+    int wait_errno;
+    const int sabotage = sabotage_errno_.exchange(0, std::memory_order_acq_rel);
+    if (sabotage != 0) {
+      n = -1;
+      wait_errno = sabotage;
+    } else {
+      n = ::epoll_wait(epfd, events, 64, timeout_ms);
+      wait_errno = errno;
+    }
+    if (n < 0) {
+      if (ClassifyWaitError(wait_errno) == IoErrorAction::kRetry) continue;
+      FailEventLoop("epoll_wait", wait_errno);
+      break;
+    }
+
+    to_close.clear();
+    touched.clear();
+
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t cid = events[i].data.u64;
+      if (cid == 0) {
+        // Level-triggered: accept one per wakeup; more connections re-arm.
+        auto conn = listener_.Accept();
+        if (!conn.ok()) continue;
+        const int fd = conn->fd();
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        const std::uint64_t id = next_conn_id++;
+        Conn& c = conns[id];
+        c.conn = std::move(*conn);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.u64 = id;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, c.conn.fd(), &ev) != 0) {
+          conns.erase(id);
+        }
+        continue;
+      }
+      if (cid == 1) {
+        std::uint64_t drained;
+        while (::read(event_fd_.get(), &drained, sizeof drained) > 0) {
+        }
+        continue;
+      }
+      auto it = conns.find(cid);
+      if (it == conns.end()) continue;
+      Conn& c = it->second;
+      bool dead = false;
+      if (events[i].events & EPOLLOUT) {
+        if (!kick_write(cid, c)) dead = true;
+      }
+      if (!dead && (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR))) {
+        // Drain the socket, then drain *every* buffered frame: one wakeup
+        // services the connection's whole pipeline, instead of one frame
+        // per poll round.
+        while (true) {
+          const ssize_t got =
+              ::recv(c.conn.fd(), chunk.data(), chunk.size(), MSG_DONTWAIT);
+          if (got > 0) {
+            c.in.Append(chunk.data(), static_cast<std::size_t>(got));
+            if (static_cast<std::size_t>(got) < chunk.size()) break;
+            continue;
+          }
+          if (got < 0 && errno == EINTR) continue;
+          if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          dead = true;  // orderly close or hard error
+          break;
+        }
+        while (!dead) {
+          const auto next = c.in.Pop(frame);
+          if (next == FrameAssembler::Next::kNeedMore) break;
+          if (next == FrameAssembler::Next::kCorrupt) {
+            dead = true;
+            break;
+          }
+          dispatch_frame(cid, c, std::move(frame));
+          frame = {};
+        }
+      }
+      if (dead) {
+        to_close.push_back(cid);
+      } else {
+        touched.push_back(cid);
+      }
+    }
+
+    // Finished requests: fill their response slots, assemble batches.
+    completions.clear();
+    {
+      MutexLock lock(&out_mu_);
+      completions.swap(outbox_);
+    }
+    for (auto& comp : completions) {
+      auto it = conns.find(comp.conn_id);
+      if (it == conns.end()) continue;  // connection died first
+      Conn& c = it->second;
+      auto pit = c.pending.find(comp.seq);
+      if (pit == c.pending.end()) continue;
+      PendingResp& p = pit->second;
+      if (comp.slot >= 0 && p.is_batch) {
+        const auto slot = static_cast<std::size_t>(comp.slot);
+        if (slot >= p.slots.size() || p.remaining == 0) continue;
+        p.slots[slot] = std::move(comp.payload);
+        if (--p.remaining == 0) {
+          p.payload = EncodeBatchResp(p.slots);
+          p.slots.clear();
+          p.slots.shrink_to_fit();
+          p.respond = true;
+          p.ready = true;
+        }
+      } else {
+        p.respond = comp.respond;
+        p.payload = std::move(comp.payload);
+        p.ready = true;
+      }
+      touched.push_back(comp.conn_id);
+    }
+
+    // Flush every connection something happened on, plus any whose
+    // injected delay has elapsed.
+    const auto now = Clock::now();
+    for (auto& [cid, c] : conns) {
+      if (c.delayed && now >= c.delay_until) touched.push_back(cid);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (const std::uint64_t cid : touched) {
+      auto it = conns.find(cid);
+      if (it == conns.end()) continue;
+      if (!try_flush(cid, it->second)) to_close.push_back(cid);
+    }
+    for (const std::uint64_t cid : to_close) close_conn(cid);
   }
+
   running_.store(false, std::memory_order_release);
 }
 
-LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
-                                          bool include_lru) {
-  LocalLookupResp resp;
-  // Digest-once, as in the simulator: the LRU probe, the segment-array
-  // probe and the local-filter screen all reuse one digest per seed.
-  QueryDigest digest(path);
-  if (include_lru) {
-    const auto l1 = lru_.Query(digest);
-    if (l1.unique()) {
-      resp.lru_unique = true;
-      resp.lru_home = l1.owner;
+// ---------------------------------------------------------------------------
+// Worker shards
+// ---------------------------------------------------------------------------
+
+void MdsServer::WorkerLoop(Shard* shard) {
+  ThreadRoleGuard role(&shard->role);
+  while (true) {
+    Task task;
+    bool have = false;
+    shard->mu.Lock();
+    while (!stop_.load(std::memory_order_acquire)) {
+      // An injected stall wedges this worker without closing sockets —
+      // the event thread keeps accepting and buffering, but nothing
+      // queued to this shard is served until the stall lifts.
+      const bool stalled =
+          injector_ != nullptr && injector_->IsShardStalled(id_, shard->index);
+      if (stalled) {
+        shard->cv.wait_for(shard->mu, std::chrono::milliseconds(1));
+        continue;
+      }
+      if (shard->park_requested) {
+        shard->parked = true;
+        shard->cv.notify_all();
+        while (shard->park_requested &&
+               !stop_.load(std::memory_order_acquire)) {
+          shard->cv.wait(shard->mu);
+        }
+        shard->parked = false;
+        shard->cv.notify_all();
+        continue;
+      }
+      if (!shard->queue.empty()) {
+        task = std::move(shard->queue.front());
+        shard->queue.pop_front();
+        have = true;
+        break;
+      }
+      shard->cv.wait_for(shard->mu, std::chrono::milliseconds(100));
     }
-  }
-  // Emulate memory pressure: replicas beyond the configured budget live on
-  // (simulated) disk, so probing them physically blocks this server. This
-  // is the mechanism behind the paper's prototype result (Fig. 14): HBA's
-  // N-replica array overflows long before G-HBA's theta-replica one.
-  const double overflow = ReplicaOverflowFraction();
-  if (overflow > 0) {
-    const double disk_filters =
-        static_cast<double>(segment_.size() + 1) * overflow;
-    const auto delay_us = static_cast<std::int64_t>(
-        disk_filters * config_.latency.spilled_probe_ms * 1000.0);
-    if (delay_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    shard->mu.Unlock();
+    if (!have) break;  // only reachable via stop_
+
+    if (task.conn_id == 0) {
+      // Internal cross-shard op: purge a dropped home from this L1.
+      shard->lru.DropHome(task.drop_home);
+      shard->lru_bytes.store(shard->lru.MemoryBytes(),
+                             std::memory_order_relaxed);
+      continue;
     }
+
+    bool respond = false;
+    bool shutdown = false;
+    Completion comp;
+    comp.conn_id = task.conn_id;
+    comp.seq = task.seq;
+    comp.slot = task.slot;
+    comp.payload = Handle(task.frame, *shard, respond, shutdown);
+    comp.respond = respond;
+    PostCompletion(std::move(comp));
+    if (shutdown) RequestStop();
   }
-  segment_.QuerySharedInto(digest, resp.hits);
-  if (local_filter_.MayContain(digest.For(local_filter_.seed()))) {
-    resp.hits.push_back(id_);
-  }
-  return resp;
 }
 
-std::uint64_t MdsServer::LookupStateBytes() const {
-  return local_filter_.MemoryBytes() + segment_.MemoryBytes() +
-         lru_.MemoryBytes();
+// ---------------------------------------------------------------------------
+// Maintenance thread: checkpoints and whole-server drains
+// ---------------------------------------------------------------------------
+
+void MdsServer::ParkAllShards() {
+  for (auto& shard : shards_) {
+    shard->mu.Lock();
+    shard->park_requested = true;
+    shard->cv.notify_all();
+    shard->mu.Unlock();
+  }
+  for (auto& shard : shards_) {
+    shard->mu.Lock();
+    while (!shard->parked && !stop_.load(std::memory_order_acquire)) {
+      shard->cv.wait_for(shard->mu, std::chrono::milliseconds(50));
+    }
+    shard->mu.Unlock();
+  }
 }
 
-void MdsServer::MaybeCheckpoint() {
+void MdsServer::ReleaseAllShards() {
+  for (auto& shard : shards_) {
+    shard->mu.Lock();
+    shard->park_requested = false;
+    shard->cv.notify_all();
+    shard->mu.Unlock();
+  }
+}
+
+void MdsServer::MaintenanceLoop() {
+  while (true) {
+    Task task;
+    bool have_export = false;
+    bool do_checkpoint = false;
+    maint_mu_.Lock();
+    while (!stop_.load(std::memory_order_acquire) && maint_queue_.empty() &&
+           !checkpoint_pending_) {
+      maint_cv_.wait_for(maint_mu_, std::chrono::milliseconds(100));
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      maint_mu_.Unlock();
+      break;
+    }
+    if (!maint_queue_.empty()) {
+      task = std::move(maint_queue_.front());
+      maint_queue_.pop_front();
+      have_export = true;
+    } else {
+      do_checkpoint = checkpoint_pending_;
+      checkpoint_pending_ = false;
+    }
+    maint_mu_.Unlock();
+
+    if (!have_export && !do_checkpoint) continue;
+    // Rendezvous: with every worker parked at its queue fence, the shards'
+    // role-guarded state is quiescent and safe to read from this thread.
+    // This thread is the *only* park initiator, so two fences can never
+    // wait on each other.
+    ParkAllShards();
+    if (stop_.load(std::memory_order_acquire)) {
+      ReleaseAllShards();
+      break;
+    }
+    if (have_export) {
+      RunExport(std::move(task));
+    } else {
+      RunCheckpoint();
+    }
+    ReleaseAllShards();
+  }
+}
+
+void MdsServer::NoteCheckpointDue() {
+  maint_mu_.Lock();
+  checkpoint_pending_ = true;
+  maint_cv_.notify_all();
+  maint_mu_.Unlock();
+}
+
+void MdsServer::RunCheckpoint() {
+  MutexLock wal(&wal_mu_);
   if (engine_ == nullptr || !engine_->CheckpointDue()) return;
-  std::vector<std::pair<MdsId, BloomFilter>> replicas;
-  replicas.reserve(segment_.entries().size());
-  for (const auto& entry : segment_.entries()) {
-    replicas.emplace_back(entry.owner, entry.filter);
+  // One durable image per server: merge the parked shards' stores back
+  // into the single-store checkpoint format (recovery re-partitions).
+  MetadataStore merged;
+  for (const auto& shard : shards_) {
+    shard->store.ForEach(
+        [&merged](const std::string& path, const FileMetadata& md) {
+          (void)merged.Insert(path, md);
+        });
   }
-  const Status s =
-      engine_->WriteCheckpoint(store_, local_filter_, std::move(replicas));
+  std::vector<std::pair<MdsId, BloomFilter>> replicas;
+  {
+    MutexLock seg(&seg_mu_);
+    replicas.reserve(segment_.entries().size());
+    for (const auto& entry : segment_.entries()) {
+      replicas.emplace_back(entry.owner, entry.filter);
+    }
+  }
+  Status s;
+  {
+    MutexLock filter(&filter_mu_);
+    s = engine_->WriteCheckpoint(merged, local_filter_, std::move(replicas));
+  }
   if (!s.ok()) {
     // Not fatal: the WAL keeps growing and the next due mutation retries.
     GHBA_LOG(kWarn) << "mds " << id_ << " checkpoint failed: " << s.message();
   }
 }
 
+void MdsServer::RunExport(Task task) {
+  // Decommissioning drain: hand over every record and clear state.
+  FileListResp resp;
+  for (const auto& shard : shards_) {
+    auto extracted = shard->store.ExtractAll();
+    resp.files.insert(resp.files.end(),
+                      std::make_move_iterator(extracted.begin()),
+                      std::make_move_iterator(extracted.end()));
+  }
+  {
+    MutexLock filter(&filter_mu_);
+    local_filter_.Clear();
+  }
+  Status logged = Status::Ok();
+  {
+    MutexLock wal(&wal_mu_);
+    if (engine_ != nullptr) logged = engine_->LogClear();
+  }
+  Completion comp;
+  comp.conn_id = task.conn_id;
+  comp.seq = task.seq;
+  comp.slot = task.slot;
+  comp.respond = true;
+  if (!logged.ok()) {
+    // Roll the drain back: the coordinator must not receive records a
+    // restart of this server would still claim to own.
+    MutexLock filter(&filter_mu_);
+    for (auto& [path, md] : resp.files) {
+      Shard& shard = *shards_[ShardOfPath(path, shards())];
+      local_filter_.Add(path);
+      (void)shard.store.Insert(path, std::move(md));
+    }
+    comp.payload = EncodeStatusResp(logged);
+  } else {
+    comp.payload = EncodeFileListResp(resp);
+  }
+  for (const auto& shard : shards_) {
+    shard->files.store(shard->store.size(), std::memory_order_relaxed);
+  }
+  PostCompletion(std::move(comp));
+  if (logged.ok()) NoteCheckpointDue();
+}
+
+// ---------------------------------------------------------------------------
+// Request execution (worker threads)
+// ---------------------------------------------------------------------------
+
+LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
+                                          bool include_lru, Shard& shard) {
+  LocalLookupResp resp;
+  // Digest-once, as in the simulator: the LRU probe, the segment-array
+  // probe and the local-filter screen all reuse one digest per seed.
+  QueryDigest digest(path);
+  if (include_lru) {
+    const auto l1 = shard.lru.Query(digest);
+    if (l1.unique()) {
+      resp.lru_unique = true;
+      resp.lru_home = l1.owner;
+    }
+  }
+  // Emulate memory pressure: replicas beyond the configured budget live on
+  // (simulated) disk, so probing them physically blocks — but only this
+  // shard's worker, never the event thread (a slow lookup on one shard
+  // cannot delay a fast one on another).
+  std::size_t seg_size;
+  {
+    MutexLock seg(&seg_mu_);
+    seg_size = segment_.size();
+  }
+  const double overflow = ReplicaOverflowFraction();
+  if (overflow > 0) {
+    const double disk_filters = static_cast<double>(seg_size + 1) * overflow;
+    const auto delay_us = static_cast<std::int64_t>(
+        disk_filters * config_.latency.spilled_probe_ms * 1000.0);
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+  {
+    MutexLock seg(&seg_mu_);
+    segment_.QuerySharedInto(digest, resp.hits);
+  }
+  {
+    MutexLock filter(&filter_mu_);
+    if (local_filter_.MayContain(digest.For(local_filter_.seed()))) {
+      resp.hits.push_back(id_);
+    }
+  }
+  return resp;
+}
+
+std::uint64_t MdsServer::LookupStateBytes() const {
+  std::uint64_t bytes = 0;
+  {
+    MutexLock filter(&filter_mu_);
+    bytes += local_filter_.MemoryBytes();
+  }
+  {
+    MutexLock seg(&seg_mu_);
+    bytes += segment_.MemoryBytes();
+  }
+  for (const auto& shard : shards_) {
+    bytes += shard->lru_bytes.load(std::memory_order_relaxed);
+  }
+  return bytes;
+}
+
 double MdsServer::ReplicaOverflowFraction() const {
   // As in the simulator (ClusterBase::ChargeMemory): the budget governs the
   // replica working set — the quantity the schemes differ on. The LRU array
   // and local filter are small at production scale and accounted elsewhere.
-  const std::uint64_t replica_bytes = segment_.MemoryBytes();
+  std::uint64_t replica_bytes;
+  {
+    MutexLock seg(&seg_mu_);
+    replica_bytes = segment_.MemoryBytes();
+  }
   if (replica_bytes == 0) return 0.0;
   const std::uint64_t room = config_.memory_budget_bytes;
   if (replica_bytes <= room) return 0.0;
@@ -223,7 +894,8 @@ double MdsServer::ReplicaOverflowFraction() const {
 }
 
 std::vector<std::uint8_t> MdsServer::Handle(
-    const std::vector<std::uint8_t>& frame, bool& respond, bool& shutdown) {
+    const std::vector<std::uint8_t>& frame, Shard& shard, bool& respond,
+    bool& shutdown) {
   respond = true;
   shutdown = false;
   ByteReader in(frame);
@@ -241,22 +913,25 @@ std::vector<std::uint8_t> MdsServer::Handle(
         ++serve_group_probes_;
       }
       return EncodeLocalLookupResp(
-          RunLocalLookup(*path, *type == MsgType::kLookupLocal));
+          RunLocalLookup(*path, *type == MsgType::kLookupLocal, shard));
     }
     case MsgType::kGlobalProbe: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
       ++serve_global_probes_;
       // Authoritative: filter screens, store confirms (no false negatives).
-      const bool found =
-          local_filter_.MayContain(*path) && store_.Contains(*path);
-      return EncodeBoolResp(found);
+      bool may;
+      {
+        MutexLock filter(&filter_mu_);
+        may = local_filter_.MayContain(*path);
+      }
+      return EncodeBoolResp(may && shard.store.Contains(*path));
     }
     case MsgType::kVerify: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
       ++serve_verifies_;
-      return EncodeBoolResp(store_.Contains(*path));
+      return EncodeBoolResp(shard.store.Contains(*path));
     }
     case MsgType::kTouchLru: {
       respond = false;
@@ -264,7 +939,9 @@ std::vector<std::uint8_t> MdsServer::Handle(
       if (!path.ok()) return {};
       auto home = in.GetU32();
       if (!home.ok()) return {};
-      lru_.Touch(*path, *home);
+      shard.lru.Touch(*path, *home);
+      shard.lru_bytes.store(shard.lru.MemoryBytes(),
+                            std::memory_order_relaxed);
       return {};
     }
     case MsgType::kInsert: {
@@ -275,48 +952,71 @@ std::vector<std::uint8_t> MdsServer::Handle(
       // Apply first, then log, then ack: the WAL records only mutations
       // that succeeded, and the client is only ever acked a mutation the
       // log took (a failed log call rolls the memory state back).
-      Status s = store_.Insert(*path, *md);
+      Status s = shard.store.Insert(*path, *md);
       if (s.ok()) {
-        local_filter_.Add(*path);
-        if (engine_ != nullptr) {
-          if (Status w = engine_->LogInsert(*path, *md); !w.ok()) {
-            (void)store_.Remove(*path);
-            (void)local_filter_.Remove(*path);
-            s = w;
-          } else {
-            MaybeCheckpoint();
+        {
+          MutexLock filter(&filter_mu_);
+          local_filter_.Add(*path);
+        }
+        bool checkpoint_due = false;
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogInsert(*path, *md); !w.ok()) {
+              (void)shard.store.Remove(*path);
+              MutexLock filter(&filter_mu_);
+              (void)local_filter_.Remove(*path);
+              s = w;
+            } else {
+              checkpoint_due = engine_->CheckpointDue();
+            }
           }
         }
+        if (checkpoint_due) NoteCheckpointDue();
       }
+      shard.files.store(shard.store.size(), std::memory_order_relaxed);
       return EncodeStatusResp(s);
     }
     case MsgType::kUnlink: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
       // Kept for rollback should the WAL append fail below.
-      auto old_md = store_.Lookup(*path);
-      Status s = store_.Remove(*path);
+      auto old_md = shard.store.Lookup(*path);
+      Status s = shard.store.Remove(*path);
       if (s.ok()) {
-        (void)local_filter_.Remove(*path);
-        if (engine_ != nullptr) {
-          if (Status w = engine_->LogRemove(*path); !w.ok()) {
-            (void)store_.Insert(*path, std::move(*old_md));
-            local_filter_.Add(*path);
-            s = w;
-          } else {
-            MaybeCheckpoint();
+        {
+          MutexLock filter(&filter_mu_);
+          (void)local_filter_.Remove(*path);
+        }
+        bool checkpoint_due = false;
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogRemove(*path); !w.ok()) {
+              (void)shard.store.Insert(*path, std::move(*old_md));
+              MutexLock filter(&filter_mu_);
+              local_filter_.Add(*path);
+              s = w;
+            } else {
+              checkpoint_due = engine_->CheckpointDue();
+            }
           }
         }
+        if (checkpoint_due) NoteCheckpointDue();
       }
+      shard.files.store(shard.store.size(), std::memory_order_relaxed);
       return EncodeStatusResp(s);
     }
-    case MsgType::kGetFilter:
+    case MsgType::kGetFilter: {
+      MutexLock filter(&filter_mu_);
       return EncodeFilterResp(local_filter_.ToBloomFilter());
+    }
     case MsgType::kReplicaInstall: {
       auto owner = in.GetU32();
       if (!owner.ok()) return EncodeStatusResp(owner.status());
       auto filter = DecompressFilter(in);
       if (!filter.ok()) return EncodeStatusResp(filter.status());
+      MutexLock seg(&seg_mu_);
       if (segment_.HasEntry(*owner)) {
         return EncodeStatusResp(segment_.RefreshEntry(*owner, *filter));
       }
@@ -325,13 +1025,30 @@ std::vector<std::uint8_t> MdsServer::Handle(
     case MsgType::kReplicaDrop: {
       auto owner = in.GetU32();
       if (!owner.ok()) return EncodeStatusResp(owner.status());
-      auto removed = segment_.RemoveEntry(*owner);
-      lru_.DropHome(*owner);
-      return EncodeStatusResp(removed.status());
+      Status removed;
+      {
+        MutexLock seg(&seg_mu_);
+        removed = segment_.RemoveEntry(*owner).status();
+      }
+      // Purge the dropped home from every shard's L1: this shard's now,
+      // the others via internal tasks (a briefly stale entry elsewhere
+      // only costs a failed verify, which the lookup cascade absorbs).
+      shard.lru.DropHome(*owner);
+      shard.lru_bytes.store(shard.lru.MemoryBytes(),
+                            std::memory_order_relaxed);
+      for (const auto& other : shards_) {
+        if (other->index == shard.index) continue;
+        Task purge;
+        purge.conn_id = 0;  // internal: no response slot
+        purge.drop_home = *owner;
+        PostTask(other->index, std::move(purge));
+      }
+      return EncodeStatusResp(removed);
     }
     case MsgType::kReplicaFetch: {
       auto owner = in.GetU32();
       if (!owner.ok()) return EncodeStatusResp(owner.status());
+      MutexLock seg(&seg_mu_);
       const BloomFilter* filter = segment_.Find(*owner);
       if (filter == nullptr) {
         return EncodeStatusResp(Status::NotFound("no such replica"));
@@ -342,19 +1059,31 @@ std::vector<std::uint8_t> MdsServer::Handle(
       StatsResp stats;
       stats.frames_in = frames_in();
       stats.frames_out = frames_out();
-      stats.files = store_.size();
-      stats.replicas = segment_.size();
+      for (const auto& s : shards_) {
+        stats.files += s->files.load(std::memory_order_relaxed);
+      }
+      {
+        MutexLock seg(&seg_mu_);
+        stats.replicas = segment_.size();
+      }
       return EncodeStatsResp(stats);
     }
     case MsgType::kPing:
       return EncodeStatusResp(Status::Ok());
+    case MsgType::kVersion:
+      return EncodeVersionResp(kProtocolVersion);
     case MsgType::kStatsSnapshot: {
       StatsSnapshotResp snap;
       snap.mds_id = id_;
       snap.frames_in = frames_in();
       snap.frames_out = frames_out();
-      snap.files = store_.size();
-      snap.replicas = segment_.size();
+      for (const auto& s : shards_) {
+        snap.files += s->files.load(std::memory_order_relaxed);
+      }
+      {
+        MutexLock seg(&seg_mu_);
+        snap.replicas = segment_.size();
+      }
       snap.lookup_state_bytes = LookupStateBytes();
       snap.metrics = registry_.Snapshot();
       return EncodeStatsSnapshotResp(snap);
@@ -382,33 +1111,19 @@ std::vector<std::uint8_t> MdsServer::Handle(
       outcome_latency_ms_.Add(static_cast<double>(report->elapsed_ns) / 1e6);
       return {};
     }
-    case MsgType::kExportFiles: {
-      // Decommissioning drain: hand over every record and clear state.
-      FileListResp resp;
-      auto extracted = store_.ExtractAll();
-      resp.files.assign(std::make_move_iterator(extracted.begin()),
-                        std::make_move_iterator(extracted.end()));
-      local_filter_.Clear();
-      if (engine_ != nullptr) {
-        if (Status w = engine_->LogClear(); !w.ok()) {
-          // Roll the drain back: the coordinator must not receive records
-          // a restart of this server would still claim to own.
-          for (auto& [path, md] : resp.files) {
-            (void)store_.Insert(path, std::move(md));
-            local_filter_.Add(path);
-          }
-          return EncodeStatusResp(w);
-        }
-        MaybeCheckpoint();
-      }
-      return EncodeFileListResp(resp);
-    }
+    case MsgType::kExportFiles:
+      // The event thread hands exports to the maintenance thread; reaching
+      // a worker means the frame arrived somewhere it cannot be honoured
+      // (e.g. smuggled into a batch past DecodeBatchRequest).
+      return EncodeStatusResp(
+          Status::InvalidArgument("kExportFiles cannot run on a shard"));
     case MsgType::kShutdown:
       respond = false;
       shutdown = true;
       return {};
     case MsgType::kRecoveryInfo: {
       RecoveryInfoResp info;
+      MutexLock wal(&wal_mu_);
       if (engine_ != nullptr) {
         const RecoveryInfo& r = engine_->recovery_info();
         info.durable = true;
@@ -420,6 +1135,14 @@ std::vector<std::uint8_t> MdsServer::Handle(
         info.filter_matched = r.filter_matched;
       }
       return EncodeRecoveryInfoResp(info);
+    }
+    case MsgType::kBatch: {
+      // Only reachable when DecodeBatchRequest failed on the event thread:
+      // re-decode here so the client gets the precise parse error.
+      auto subs = DecodeBatchRequest(in);
+      if (!subs.ok()) return EncodeStatusResp(subs.status());
+      return EncodeStatusResp(
+          Status::InvalidArgument("nested batch dispatch"));
     }
   }
   return EncodeStatusResp(Status::Corruption("unhandled message type"));

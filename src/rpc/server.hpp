@@ -1,18 +1,43 @@
 // In-process MDS daemon for the loopback prototype.
 //
-// One server = one poll(2) event loop on its own thread, owning the same
-// per-MDS state the simulator models (store, counting local filter, segment
-// replica array, L1 LRU array). All state is touched only from the loop
-// thread — enforced at compile time by the loop_role_ capability: the
-// mutable state is GHBA_GUARDED_BY(loop_role_), which only Loop() adopts,
-// so Clang's -Wthread-safety rejects any access from another thread. The
-// message counters are atomics so the orchestrator can read them live
+// One server = one epoll(7) event thread plus a pool of worker shards plus
+// one maintenance thread (see DESIGN.md "Concurrency invariants"):
+//
+//   * The event thread owns the sockets. It accepts, reads whole frames out
+//     of non-blocking connections (FrameAssembler), routes each request to
+//     a shard, and flushes responses in per-connection request order. It
+//     never touches MDS state and never blocks: injected delays become
+//     deferred flushes, and blocking work lives on the workers.
+//   * Requests hash to a shard by path (ShardOfPath). Each shard's worker
+//     exclusively owns that shard's slice of the state — metadata store and
+//     L1 LRU array — enforced at compile time by a per-shard ThreadRole
+//     capability. Blocking work (WAL appends/fsyncs, the simulated
+//     spilled-replica probe) stalls only the shard it runs on.
+//   * State that is inherently whole-server — the counting local filter,
+//     the segment replica array, the durable engine — is shared under
+//     dedicated mutexes (filter_mu_, seg_mu_, wal_mu_), taken one at a
+//     time; only the maintenance thread nests them (wal_mu_ outermost).
+//   * The maintenance thread is the only thread that may park the workers
+//     (a rendezvous at their queue fences); parked shards give it a
+//     consistent cross-shard snapshot for checkpoints and kExportFiles.
+//
+// Connections are pipelined: any number of requests may be in flight and
+// responses flush in request order per connection (cross-shard execution is
+// unordered, but same-path requests share a shard and so stay FIFO). kBatch
+// frames fan their sub-requests out to the owning shards and reassemble one
+// batched response frame with a single CRC.
+//
+// The message counters are atomics so the orchestrator can read them live
 // (Fig. 15 counts messages during reconfiguration).
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -24,11 +49,23 @@
 #include "core/config.hpp"
 #include "mds/store.hpp"
 #include "rpc/fault_injector.hpp"
-#include "storage/engine.hpp"
 #include "rpc/protocol.hpp"
 #include "rpc/socket.hpp"
+#include "storage/engine.hpp"
 
 namespace ghba {
+
+/// Stable routing hash: which of `num_shards` worker shards owns `path`'s
+/// slice of the MDS state. Pure function of the path, so clients and tests
+/// can aim traffic at (or away from) a specific shard.
+std::uint32_t ShardOfPath(std::string_view path, std::uint32_t num_shards);
+
+/// How the event loop reacts to a failed epoll_wait(2)/poll(2): EINTR and
+/// EAGAIN are transient (retry the wait), anything else — EBADF, EINVAL,
+/// ENOMEM, EFAULT — means the loop's own machinery is broken and silently
+/// retrying would spin forever serving nobody. Exposed for unit tests.
+enum class IoErrorAction { kRetry, kFatal };
+IoErrorAction ClassifyWaitError(int errnum);
 
 class MdsServer {
  public:
@@ -38,28 +75,48 @@ class MdsServer {
   MdsServer(const MdsServer&) = delete;
   MdsServer& operator=(const MdsServer&) = delete;
 
-  /// Attach a fault injector (call before Start): the loop honours
-  /// injected stalls for this server's id, and responses it sends pass
-  /// through the injector's frame faults.
+  /// Attach a fault injector (call before Start): workers honour injected
+  /// stalls for this server's id/shards, and responses pass through the
+  /// injector's frame faults at flush time.
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
 
-  /// Bind a loopback port (0 = OS-assigned) and start the event loop
-  /// thread. When config.storage.data_dir is set, first opens the durable
-  /// engine under <data_dir>/mds-<id>, recovering any state a previous
-  /// incarnation persisted (checkpoint + WAL replay); from then on every
+  /// Bind a loopback port (0 = OS-assigned) and start the event thread,
+  /// the worker shards and the maintenance thread. When
+  /// config.storage.data_dir is set, first opens the durable engine under
+  /// <data_dir>/mds-<id>, recovering any state a previous incarnation
+  /// persisted and partitioning it across the shards; from then on every
   /// mutating RPC is logged before it is acked.
   Status Start(std::uint16_t port = 0);
 
-  /// Stop the loop and join the thread. Idempotent.
+  /// Stop every thread and join them. Idempotent.
   void Stop();
 
   MdsId id() const { return id_; }
   std::uint16_t port() const { return port_; }
   bool running() const { return running_.load(std::memory_order_acquire); }
+  std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
 
   /// Live counters (readable from any thread).
-  std::uint64_t frames_in() const { return frames_in_.load(std::memory_order_relaxed); }
-  std::uint64_t frames_out() const { return frames_out_.load(std::memory_order_relaxed); }
+  std::uint64_t frames_in() const {
+    return frames_in_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t frames_out() const {
+    return frames_out_.load(std::memory_order_relaxed);
+  }
+
+  /// Why the event loop died, or empty while it is healthy. A fatal wait
+  /// error stops the server (running() flips false) instead of busy-looping
+  /// on a broken fd set; this is how the failure is made visible.
+  std::string last_error() const;
+
+  /// Test hook: make the next epoll_wait behave as if it failed with
+  /// `errnum` (e.g. EBADF), driving the fatal-error path without actually
+  /// sabotaging kernel state shared with other tests.
+  void SabotageEventLoopForTest(int errnum) {
+    sabotage_errno_.store(errnum, std::memory_order_release);
+  }
 
   /// This server's metrics registry (internally synchronized): per-level
   /// outcome counters fed by kReportOutcome plus serve-side request counts.
@@ -67,50 +124,143 @@ class MdsServer {
   MetricsSnapshot MetricsSnapshotNow() const { return registry_.Snapshot(); }
 
  private:
-  void Loop();
-  /// Dispatch one request frame; returns the response payload, or empty for
-  /// one-way messages. Sets `shutdown` for kShutdown.
-  std::vector<std::uint8_t> Handle(const std::vector<std::uint8_t>& frame,
-                                   bool& respond, bool& shutdown)
-      GHBA_REQUIRES(loop_role_);
+  /// One request frame queued to a shard (or the maintenance thread), plus
+  /// where its response slots into the connection's ordered flush window.
+  struct Task {
+    std::uint64_t conn_id = 0;  ///< 0 = internal task (no response slot)
+    std::uint64_t seq = 0;
+    std::int32_t slot = -1;  ///< >= 0: sub-frame index of a kBatch request
+    std::vector<std::uint8_t> frame;
+    MdsId drop_home = kInvalidMds;  ///< internal: purge this home from L1
+  };
 
-  LocalLookupResp RunLocalLookup(const std::string& path, bool include_lru)
-      GHBA_REQUIRES(loop_role_);
+  /// A finished request travelling back to the event thread.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::int32_t slot = -1;
+    bool respond = false;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// A worker shard: the slice of MDS state its thread exclusively owns
+  /// (guarded by the shard's ThreadRole) plus its task queue. The atomic
+  /// mirrors let stats requests running on other shards read this shard's
+  /// sizes without touching role-guarded state.
+  struct Shard {
+    std::uint32_t index = 0;
+    ThreadRole role;
+    MetadataStore store GHBA_GUARDED_BY(role);
+    LruBloomArray lru GHBA_GUARDED_BY(role);
+
+    Mutex mu;
+    std::condition_variable_any cv;
+    std::deque<Task> queue GHBA_GUARDED_BY(mu);
+    bool park_requested GHBA_GUARDED_BY(mu) = false;
+    bool parked GHBA_GUARDED_BY(mu) = false;
+
+    std::atomic<std::uint64_t> files{0};
+    std::atomic<std::uint64_t> lru_bytes{0};
+    std::thread thread;
+
+    explicit Shard(const LruBloomArray::Options& lru_options)
+        : lru(lru_options) {}
+  };
+
+  void IoLoop();
+  void WorkerLoop(Shard* shard);
+  void MaintenanceLoop();
+
+  /// Flip stop_ and wake every thread (event loop via eventfd, workers and
+  /// maintenance via their condvars). Safe from any thread.
+  void RequestStop();
+
+  /// Which shard executes `frame`: path-routed types hash the path, all
+  /// other (and malformed) frames run on shard 0.
+  std::uint32_t RouteShard(const std::vector<std::uint8_t>& frame) const;
+
+  void PostTask(std::uint32_t shard, Task task);
+  void PostCompletion(Completion completion);
+
+  /// Record the fatal event-loop error and stop the server.
+  void FailEventLoop(const char* what, int errnum);
+
+  /// Dispatch one request frame on `shard`'s worker; returns the response
+  /// payload, or empty for one-way messages. Sets `shutdown` for kShutdown.
+  std::vector<std::uint8_t> Handle(const std::vector<std::uint8_t>& frame,
+                                   Shard& shard, bool& respond,
+                                   bool& shutdown) GHBA_REQUIRES(shard.role);
+
+  LocalLookupResp RunLocalLookup(const std::string& path, bool include_lru,
+                                 Shard& shard) GHBA_REQUIRES(shard.role);
 
   /// Fraction of replica bytes beyond the memory budget (after the LRU
-  /// array and the local filter take their share). Probing those blocks.
-  double ReplicaOverflowFraction() const GHBA_REQUIRES(loop_role_);
+  /// array and the local filter take their share). Probing those blocks —
+  /// on the shard's worker, never on the event thread.
+  double ReplicaOverflowFraction() const;
 
   /// Resident bytes of the lookup structures (live LookupStateBytes).
-  std::uint64_t LookupStateBytes() const GHBA_REQUIRES(loop_role_);
+  std::uint64_t LookupStateBytes() const;
 
-  /// Write a checkpoint (and truncate the WAL) once the log outgrows the
-  /// configured threshold. No-op without a durable engine.
-  void MaybeCheckpoint() GHBA_REQUIRES(loop_role_);
+  /// Tell the maintenance thread a checkpoint is due (worker-side cheap
+  /// check after a WAL append crossed the threshold).
+  void NoteCheckpointDue();
+
+  // --- maintenance-thread operations (run with every shard parked; the
+  // park fence, not a lock, is what makes the role-guarded reads sound) ---
+  void ParkAllShards();
+  void ReleaseAllShards();
+  // Reading the parked shards' role-guarded stores from the maintenance
+  // thread is invisible to the analysis; the park fence is the guarantee.
+  void RunCheckpoint() GHBA_NO_THREAD_SAFETY_ANALYSIS;
+  void RunExport(Task task) GHBA_NO_THREAD_SAFETY_ANALYSIS;
 
   MdsId id_;
   ClusterConfig config_;
   FaultInjector* injector_ = nullptr;
   TcpListener listener_;
   std::uint16_t port_ = 0;
-  std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<int> sabotage_errno_{0};
 
-  // --- event-loop-thread-only state (loop_role_ is adopted by Loop()) ---
-  ThreadRole loop_role_;
-  MetadataStore store_ GHBA_GUARDED_BY(loop_role_);
-  CountingBloomFilter local_filter_ GHBA_GUARDED_BY(loop_role_);
-  BloomFilterArray segment_ GHBA_GUARDED_BY(loop_role_);
-  LruBloomArray lru_ GHBA_GUARDED_BY(loop_role_);
-  /// Durable engine; null when running memory-only (no --data-dir).
-  std::unique_ptr<StorageEngine> engine_ GHBA_GUARDED_BY(loop_role_);
+  FdHandle epoll_fd_;
+  FdHandle event_fd_;
+  std::thread io_thread_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Workers/maintenance -> event thread: finished requests. The eventfd is
+  // written after every post so the event thread wakes promptly.
+  mutable Mutex out_mu_;
+  std::vector<Completion> outbox_ GHBA_GUARDED_BY(out_mu_);
+
+  // Maintenance thread inputs: pending export requests + checkpoint flag.
+  std::thread maint_thread_;
+  mutable Mutex maint_mu_;
+  std::condition_variable_any maint_cv_;
+  std::deque<Task> maint_queue_ GHBA_GUARDED_BY(maint_mu_);
+  bool checkpoint_pending_ GHBA_GUARDED_BY(maint_mu_) = false;
+
+  // --- whole-server lookup state, shared across shards ---
+  mutable Mutex filter_mu_;
+  CountingBloomFilter local_filter_ GHBA_GUARDED_BY(filter_mu_);
+  mutable Mutex seg_mu_;
+  BloomFilterArray segment_ GHBA_GUARDED_BY(seg_mu_);
+  /// Durable engine; null when running memory-only (no --data-dir). One
+  /// WAL per server: appends serialize on wal_mu_, which lookups never
+  /// take — an fsync storm cannot block the read path.
+  mutable Mutex wal_mu_;
+  std::unique_ptr<StorageEngine> engine_ GHBA_GUARDED_BY(wal_mu_);
 
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};
 
+  mutable Mutex err_mu_;
+  std::string last_error_ GHBA_GUARDED_BY(err_mu_);
+
   // Internally synchronized (atomic counters, striped histograms): written
-  // from the loop thread, snapshotted from any thread.
+  // from worker threads, snapshotted from any thread.
   MetricsRegistry registry_;
   MetricsRegistry::Counter outcome_l1_;
   MetricsRegistry::Counter outcome_l2_;

@@ -1,0 +1,91 @@
+#include "rpc/wire_buffer.hpp"
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "rpc/socket.hpp"
+
+namespace ghba {
+
+void FrameAssembler::Append(const std::uint8_t* data, std::size_t n) {
+  // Compact before growing: once the consumed prefix dominates the buffer,
+  // sliding the tail down is cheaper than letting the vector balloon.
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameAssembler::Next FrameAssembler::Pop(std::vector<std::uint8_t>& payload) {
+  if (buffered() < kFrameHeaderBytes) return Next::kNeedMore;
+  const std::uint8_t* h = buf_.data() + off_;
+  if (h[0] != kFrameMagic0 || h[1] != kFrameMagic1) return Next::kCorrupt;
+  const std::uint32_t len = static_cast<std::uint32_t>(h[2]) |
+                            (static_cast<std::uint32_t>(h[3]) << 8) |
+                            (static_cast<std::uint32_t>(h[4]) << 16) |
+                            (static_cast<std::uint32_t>(h[5]) << 24);
+  const std::uint32_t crc = static_cast<std::uint32_t>(h[6]) |
+                            (static_cast<std::uint32_t>(h[7]) << 8) |
+                            (static_cast<std::uint32_t>(h[8]) << 16) |
+                            (static_cast<std::uint32_t>(h[9]) << 24);
+  if (len > kMaxWireFrameBytes) return Next::kCorrupt;
+  if (buffered() < kFrameHeaderBytes + len) return Next::kNeedMore;
+  payload.resize(len);
+  if (len > 0) {
+    std::memcpy(payload.data(), h + kFrameHeaderBytes, len);
+  }
+  if (Crc32(payload.data(), payload.size()) != crc) return Next::kCorrupt;
+  off_ += kFrameHeaderBytes + len;
+  if (off_ == buf_.size()) {
+    // Fully drained: reset without releasing capacity.
+    buf_.clear();
+    off_ = 0;
+  }
+  return Next::kFrame;
+}
+
+bool BuildWireFrame(const FaultInjector::FramePlan& plan,
+                    const std::vector<std::uint8_t>& payload,
+                    std::vector<std::uint8_t>& out) {
+  const std::uint8_t* body = payload.data();
+  std::size_t body_len = payload.size();
+  std::vector<std::uint8_t> mutated;
+  switch (plan.action) {
+    case FaultInjector::FrameAction::kDrop:
+      return false;
+    case FaultInjector::FrameAction::kTruncate:
+      mutated = payload;
+      MutatePayload(plan, mutated);
+      if (mutated.size() < payload.size()) {
+        body = mutated.data();
+        body_len = mutated.size();
+      }
+      break;
+    case FaultInjector::FrameAction::kCorrupt:
+      mutated = payload;
+      MutatePayload(plan, mutated);
+      body = mutated.data();
+      body_len = mutated.size();
+      break;
+    case FaultInjector::FrameAction::kDeliver:
+      break;
+  }
+  // Header advertises the intended length and CRC even when the body was
+  // mangled: the receiver's framing check is what surfaces the fault.
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = Crc32(payload.data(), payload.size());
+  out.reserve(out.size() + kFrameHeaderBytes + body_len);
+  out.push_back(kFrameMagic0);
+  out.push_back(kFrameMagic1);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  out.insert(out.end(), body, body + body_len);
+  return true;
+}
+
+}  // namespace ghba

@@ -13,9 +13,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "rpc/prototype_cluster.hpp"
 
@@ -153,6 +156,110 @@ TEST(ChaosTest, LookupsStayCorrectAndBoundedUnderInjectedFaults) {
   const auto r = cluster.Lookup("/chaos/after");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->found);
+}
+
+// Kill/restart churn while a pipelined client hammers a survivor: the
+// surviving server's connection must never break, misorder, or wedge
+// while the orchestrator repeatedly kills and recovers a durable peer,
+// and every acked insert must still be resolvable afterwards.
+TEST(ChaosTest, KillRestartUnderPipelinedLoadLosesNothing) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ghba-chaos-pipeline-" +
+       std::to_string(
+           std::chrono::steady_clock::now().time_since_epoch().count()));
+  fs::remove_all(dir);
+
+  ClusterConfig config = ChaosConfig();
+  config.num_mds = 4;
+  config.max_group_size = 2;
+  config.storage.data_dir = dir.string();
+  config.storage.fsync = FsyncPolicy::kAlways;
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const int kFiles = 30;
+  for (int i = 0; i < kFiles; ++i) {
+    FileMetadata md;
+    md.inode = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(cluster.Insert("/chaos/pipe/f" + std::to_string(i), md).ok());
+  }
+  ASSERT_TRUE(cluster.PublishAll().ok());
+
+  // Pipelined load against server 0 (which stays up): windows of
+  // alternating kPing / kGetStats frames, all in flight at once. The
+  // response types must come back in request order — a misroute or a
+  // dropped slot shows up as a type mismatch or a stuck RecvFrame.
+  const auto ports = cluster.ServerPorts();
+  std::atomic<bool> stop{false};
+  std::atomic<int> load_failures{0};
+  std::atomic<int> windows_done{0};
+  std::thread load([&] {
+    auto conn = TcpConnection::Connect(ports[0]);
+    if (!conn.ok()) {
+      ++load_failures;
+      return;
+    }
+    const auto deadline_ms = std::chrono::milliseconds(5000);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int kWindow = 16;
+      for (int i = 0; i < kWindow; ++i) {
+        const auto req = (i % 2 == 0) ? EncodeHeader(MsgType::kPing)
+                                      : EncodeHeader(MsgType::kGetStats);
+        if (!conn->SendFrame(req, Deadline::After(deadline_ms)).ok()) {
+          ++load_failures;
+          return;
+        }
+      }
+      for (int i = 0; i < kWindow; ++i) {
+        auto resp = conn->RecvFrame(Deadline::After(deadline_ms));
+        if (!resp.ok()) {
+          ++load_failures;
+          return;
+        }
+        ByteReader in(*resp);
+        auto env = OpenEnvelope(in);
+        if (!env.ok()) {
+          ++load_failures;
+          return;
+        }
+        // Even slots are pings (bare ack), odd slots stats (payload):
+        // response order must mirror request order exactly.
+        const bool want_payload = (i % 2 == 1);
+        if (env->has_payload != want_payload ||
+            (want_payload && !DecodeStatsResp(in).ok())) {
+          ++load_failures;
+          return;
+        }
+      }
+      ++windows_done;
+    }
+  });
+
+  // Churn a durable peer underneath the load.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(cluster.KillServer(1).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto info = cluster.RestartServer(1);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_TRUE(info->durable);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+  EXPECT_EQ(load_failures.load(), 0);
+  EXPECT_GT(windows_done.load(), 0);
+
+  // Nothing acked was lost across the kill/restart churn.
+  for (int i = 0; i < kFiles; ++i) {
+    const auto r = cluster.Lookup("/chaos/pipe/f" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_TRUE(r->found) << i;
+  }
+  cluster.Stop();
+  fs::remove_all(dir);
 }
 
 TEST(ChaosTest, FixedSeedGivesReproducibleFaultSchedule) {

@@ -101,6 +101,96 @@ TEST(ServerConcurrencyTest, ParallelClientsInsertAndVerify) {
   server.Stop();
 }
 
+// Pipelined multi-frame clients under concurrent load: every thread keeps
+// a full window of requests in flight on its own connection and checks
+// that the responses come back in request order, while the other threads'
+// windows execute on other shards at the same time.
+TEST(ServerConcurrencyTest, PipelinedClientsKeepPerConnectionOrder) {
+  ClusterConfig config = TestConfig();
+  config.rpc.server_shards = 4;
+  MdsServer server(0, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kWindows = 12;
+  constexpr int kWindow = 16;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto conn = TcpConnection::Connect(server.port());
+      if (!conn.ok()) {
+        ++failures;
+        return;
+      }
+      for (int w = 0; w < kWindows; ++w) {
+        // A window of inserts, fired without reading...
+        for (int i = 0; i < kWindow; ++i) {
+          const std::string path = "/p" + std::to_string(t) + "/w" +
+                                   std::to_string(w) + "/f" +
+                                   std::to_string(i);
+          FileMetadata md;
+          md.inode = static_cast<std::uint64_t>(i);
+          if (!conn->SendFrame(EncodeInsert(path, md)).ok()) {
+            ++failures;
+            return;
+          }
+        }
+        // ...then a window of same-path verifies...
+        for (int i = 0; i < kWindow; ++i) {
+          const std::string path = "/p" + std::to_string(t) + "/w" +
+                                   std::to_string(w) + "/f" +
+                                   std::to_string(i);
+          if (!conn->SendFrame(
+                       EncodePathRequest(MsgType::kVerify, path))
+                   .ok()) {
+            ++failures;
+            return;
+          }
+        }
+        // ...then 2*kWindow responses: insert acks first, in order, then
+        // the verifies, every one finding its file.
+        for (int i = 0; i < kWindow; ++i) {
+          auto resp = conn->RecvFrame();
+          if (!resp.ok()) {
+            ++failures;
+            return;
+          }
+          ByteReader in(*resp);
+          auto env = OpenEnvelope(in);
+          if (!env.ok() || env->has_payload || !env->status.ok()) {
+            ++failures;
+            return;
+          }
+        }
+        for (int i = 0; i < kWindow; ++i) {
+          auto resp = conn->RecvFrame();
+          if (!resp.ok()) {
+            ++failures;
+            return;
+          }
+          ByteReader in(*resp);
+          auto env = OpenEnvelope(in);
+          if (!env.ok() || !env->has_payload) {
+            ++failures;
+            return;
+          }
+          auto found = DecodeBoolResp(in);
+          if (!found.ok() || !*found) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
+}
+
 TEST(ServerConcurrencyTest, ConnectionChurnSurvives) {
   MdsServer server(0, TestConfig());
   ASSERT_TRUE(server.Start().ok());

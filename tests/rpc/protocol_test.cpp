@@ -321,6 +321,106 @@ TEST(ProtocolFuzzRegressionTest, NonzeroTailBitsRejected) {
 
 // --- observability messages (kStatsSnapshot / kReportOutcome) ---
 
+TEST(ProtocolBatchTest, BatchRequestRoundTrips) {
+  FileMetadata md;
+  md.inode = 7;
+  std::vector<std::vector<std::uint8_t>> subs;
+  subs.push_back(EncodeInsert("/b/a", md));
+  subs.push_back(EncodePathRequest(MsgType::kVerify, "/b/a"));
+  subs.push_back(EncodePathRequest(MsgType::kLookupLocal, "/b/c"));
+  const auto frame = EncodeBatch(subs);
+
+  ByteReader in(frame);
+  const auto type = DecodeType(in);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(*type, MsgType::kBatch);
+  const auto out = DecodeBatchRequest(in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) EXPECT_EQ((*out)[i], subs[i]);
+}
+
+TEST(ProtocolBatchTest, NonBatchableSubFrameRejected) {
+  for (const MsgType type :
+       {MsgType::kShutdown, MsgType::kTouchLru, MsgType::kReportOutcome,
+        MsgType::kBatch, MsgType::kExportFiles}) {
+    EXPECT_FALSE(BatchableType(type));
+    std::vector<std::vector<std::uint8_t>> subs;
+    subs.push_back(EncodePathRequest(MsgType::kVerify, "/ok"));
+    subs.push_back(EncodeHeader(type));
+    const auto frame = EncodeBatch(subs);
+    ByteReader in(frame);
+    ASSERT_TRUE(DecodeType(in).ok());
+    EXPECT_FALSE(DecodeBatchRequest(in).ok())
+        << "type " << static_cast<int>(type) << " slipped into a batch";
+  }
+  EXPECT_TRUE(BatchableType(MsgType::kInsert));
+  EXPECT_TRUE(BatchableType(MsgType::kVerify));
+  EXPECT_TRUE(BatchableType(MsgType::kLookupLocal));
+}
+
+TEST(ProtocolBatchTest, CountBombRejectedBeforeAllocating) {
+  // Hand-craft a kBatch frame whose count exceeds kMaxBatchFrames: the
+  // decoder must reject on the count alone, not trust it and allocate.
+  ByteWriter out;
+  out.PutU16(static_cast<std::uint16_t>(MsgType::kBatch));
+  out.PutVarint(kMaxBatchFrames + 1);
+  const auto frame = out.Take();
+  ByteReader in(frame);
+  ASSERT_TRUE(DecodeType(in).ok());
+  EXPECT_FALSE(DecodeBatchRequest(in).ok());
+}
+
+TEST(ProtocolBatchTest, LyingSubFrameLengthRejected) {
+  // A sub-frame length pointing past the payload end must be rejected.
+  ByteWriter out;
+  out.PutU16(static_cast<std::uint16_t>(MsgType::kBatch));
+  out.PutVarint(1);
+  out.PutVarint(1000);  // claims 1000 bytes; none follow
+  const auto frame = out.Take();
+  ByteReader in(frame);
+  ASSERT_TRUE(DecodeType(in).ok());
+  EXPECT_FALSE(DecodeBatchRequest(in).ok());
+}
+
+TEST(ProtocolBatchTest, BatchRespRoundTripsAndTruncationsRejected) {
+  std::vector<std::vector<std::uint8_t>> subs;
+  subs.push_back(EncodeBoolResp(true));
+  subs.push_back(EncodeStatusResp(Status::NotFound("nope")));
+  const auto frame = EncodeBatchResp(subs);
+
+  ByteReader in(frame);
+  auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto out = DecodeBatchResp(in);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0], subs[0]);
+  EXPECT_EQ((*out)[1], subs[1]);
+
+  for (std::size_t cut = 1; cut < frame.size(); ++cut) {
+    const std::vector<std::uint8_t> part(frame.begin(),
+                                         frame.begin() +
+                                             static_cast<std::ptrdiff_t>(cut));
+    ByteReader pin(part);
+    auto penv = OpenEnvelope(pin);
+    if (!penv.ok() || !penv->has_payload) continue;
+    EXPECT_FALSE(DecodeBatchResp(pin).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ProtocolVersionTest, VersionRespRoundTrips) {
+  const auto frame = EncodeVersionResp(kProtocolVersion);
+  ByteReader in(frame);
+  auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto version = DecodeVersionResp(in);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, kProtocolVersion);
+}
+
 TEST(ProtocolObservabilityTest, StatsSnapshotRoundTripsEveryField) {
   StatsSnapshotResp snap;
   snap.mds_id = 3;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <thread>
 
@@ -252,6 +253,60 @@ TEST(MdsServerStallTest, StalledServerStillShutsDown) {
   std::this_thread::sleep_for(std::chrono::milliseconds(250));
   server.Stop();  // must not hang on the stalled loop
   EXPECT_FALSE(server.running());
+}
+
+// Regression (satellite bugfix): the old loop treated every poll(2)
+// failure as a timeout and spun forever on a broken fd set, serving
+// nobody and saying nothing. A fatal wait error must stop the server and
+// leave a visible diagnosis.
+TEST(MdsServerWaitErrorTest, FatalWaitErrorStopsTheServerVisibly) {
+  MdsServer server(0, TestConfig());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.last_error().empty());
+  server.SabotageEventLoopForTest(EBADF);
+  // Any traffic wakes the loop; the sabotaged wait then reports EBADF.
+  auto conn = TcpConnection::Connect(server.port());
+  for (int i = 0; i < 100 && server.running(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_FALSE(server.running());
+  EXPECT_NE(server.last_error().find("Bad file"), std::string::npos)
+      << server.last_error();
+  server.Stop();
+}
+
+TEST(MdsServerWaitErrorTest, EintrIsRetriedNotFatal) {
+  MdsServer server(0, TestConfig());
+  ASSERT_TRUE(server.Start().ok());
+  server.SabotageEventLoopForTest(EINTR);
+  auto conn = TcpConnection::Connect(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->SendFrame(EncodeHeader(MsgType::kPing)).ok());
+  EXPECT_TRUE(conn->RecvFrame(Deadline::After(std::chrono::seconds(5))).ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_TRUE(server.last_error().empty());
+  server.Stop();
+}
+
+TEST(ClassifyWaitErrorTest, TransientVersusFatal) {
+  EXPECT_EQ(ClassifyWaitError(EINTR), IoErrorAction::kRetry);
+  EXPECT_EQ(ClassifyWaitError(EAGAIN), IoErrorAction::kRetry);
+  EXPECT_EQ(ClassifyWaitError(EBADF), IoErrorAction::kFatal);
+  EXPECT_EQ(ClassifyWaitError(EINVAL), IoErrorAction::kFatal);
+  EXPECT_EQ(ClassifyWaitError(ENOMEM), IoErrorAction::kFatal);
+  EXPECT_EQ(ClassifyWaitError(EFAULT), IoErrorAction::kFatal);
+}
+
+TEST(MdsServerShardingTest, ShardOfPathIsStableAndInRange) {
+  for (std::uint32_t shards = 1; shards <= 8; ++shards) {
+    for (int i = 0; i < 64; ++i) {
+      const std::string path = "/route/f" + std::to_string(i);
+      const auto s = ShardOfPath(path, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardOfPath(path, shards));  // pure function
+    }
+  }
+  EXPECT_EQ(ShardOfPath("/anything", 1), 0u);
 }
 
 TEST(MdsServerLifecycleTest, MultipleServersCoexist) {

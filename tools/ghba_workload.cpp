@@ -2,8 +2,8 @@
 // in-process PrototypeCluster and (optionally) hold the servers up so
 // external tools can poll them.
 //
-//   $ ghba_workload [--servers N] [--group M] [--files F]
-//                   [--ports-file PATH] [--hold] [--data-dir DIR]
+//   $ ghba_workload [--servers N] [--group M] [--files F] [--shards S]
+//                   [--batch] [--ports-file PATH] [--hold] [--data-dir DIR]
 //
 // Starts an N-MDS G-HBA cluster over loopback TCP, inserts F files,
 // publishes replicas, looks every file up twice (the repeat exercises the
@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   std::uint32_t num_servers = 4;
   std::uint32_t group_size = 2;
   int num_files = 48;
+  std::uint32_t shards = 0;  // 0 = config default
+  bool batch = false;
   std::string ports_file;
   std::string data_dir;
   bool hold = false;
@@ -47,11 +49,16 @@ int main(int argc, char** argv) {
       ports_file = argv[++i];
     } else if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
     } else if (std::strcmp(argv[i], "--hold") == 0) {
       hold = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--servers N] [--group M] [--files F] "
+                   "[--shards S] [--batch] "
                    "[--ports-file PATH] [--hold] [--data-dir DIR]\n",
                    argv[0]);
       return 2;
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
   config.seed = 2026;
   // Durable mode: every server logs to DIR/mds-<id>/ before acking.
   config.storage.data_dir = data_dir;
+  if (shards != 0) config.rpc.server_shards = shards;
 
   PrototypeCluster cluster(config, ProtoScheme::kGhba);
   if (const auto s = cluster.Start(); !s.ok()) {
@@ -74,14 +82,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  for (int i = 0; i < num_files; ++i) {
-    FileMetadata md;
-    md.inode = static_cast<std::uint64_t>(i);
-    if (const auto s =
-            cluster.Insert("/wk/f" + std::to_string(i), md);
-        !s.ok()) {
-      std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+  if (batch) {
+    // Batched writes: one kBatch frame per server, one CRC per frame.
+    std::vector<std::pair<std::string, FileMetadata>> files;
+    files.reserve(static_cast<std::size_t>(num_files));
+    for (int i = 0; i < num_files; ++i) {
+      FileMetadata md;
+      md.inode = static_cast<std::uint64_t>(i);
+      files.emplace_back("/wk/f" + std::to_string(i), md);
+    }
+    if (const auto s = cluster.InsertBatch(files); !s.ok()) {
+      std::fprintf(stderr, "batch insert failed: %s\n", s.ToString().c_str());
       return 1;
+    }
+  } else {
+    for (int i = 0; i < num_files; ++i) {
+      FileMetadata md;
+      md.inode = static_cast<std::uint64_t>(i);
+      if (const auto s =
+              cluster.Insert("/wk/f" + std::to_string(i), md);
+          !s.ok()) {
+        std::fprintf(stderr, "insert failed: %s\n", s.ToString().c_str());
+        return 1;
+      }
     }
   }
   if (const auto s = cluster.PublishAll(); !s.ok()) {

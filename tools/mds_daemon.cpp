@@ -2,6 +2,7 @@
 //
 //   $ mds_daemon <id> <port> [expected_files] [memory_budget_mb]
 //                [--data-dir DIR] [--fsync always|interval|never]
+//                [--shards N]
 //
 // Speaks the wire protocol in docs/PROTOCOL.md on 127.0.0.1:<port>. Stop it
 // with SIGINT/SIGTERM or a kShutdown frame (ghba_client <port> shutdown).
@@ -28,7 +29,8 @@ void HandleSignal(int) { g_stop.store(true); }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <id> <port> [expected_files] [memory_budget_mb]\n"
-               "          [--data-dir DIR] [--fsync always|interval|never]\n",
+               "          [--data-dir DIR] [--fsync always|interval|never]\n"
+               "          [--shards N]\n",
                argv0);
   return 2;
 }
@@ -48,6 +50,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --fsync policy: %s\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      config.rpc.server_shards =
+          static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -77,11 +82,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (config.storage.data_dir.empty()) {
-    std::printf("mds %u listening on 127.0.0.1:%u\n", id, server.port());
+    std::printf("mds %u listening on 127.0.0.1:%u (shards=%u)\n", id,
+                server.port(), server.shards());
   } else {
-    std::printf("mds %u listening on 127.0.0.1:%u (durable, data-dir=%s, "
-                "fsync=%s)\n",
-                id, server.port(), config.storage.data_dir.c_str(),
+    std::printf("mds %u listening on 127.0.0.1:%u (shards=%u, durable, "
+                "data-dir=%s, fsync=%s)\n",
+                id, server.port(), server.shards(),
+                config.storage.data_dir.c_str(),
                 ghba::FsyncPolicyName(config.storage.fsync));
   }
   std::fflush(stdout);
