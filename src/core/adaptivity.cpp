@@ -1,0 +1,77 @@
+#include "core/adaptivity.hpp"
+
+#include <algorithm>
+
+namespace ghba {
+
+std::uint32_t AdaptivityController::RecommendedGroupSize(
+    const AdaptivitySignals& signals) const {
+  if (signals.num_mds == 0 || signals.max_group_size == 0) return 1;
+  return OptimalGroupSize(signals.latency, signals.num_mds,
+                          signals.max_group_size);
+}
+
+AdaptiveDecision AdaptivityController::Evaluate(
+    const AdaptivitySignals& signals) {
+  if (!options_.enabled) return {AdaptiveAction::kNone, "adaptivity disabled"};
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return {AdaptiveAction::kNone, "cooling down"};
+  }
+  if (signals.num_mds == 0) return {AdaptiveAction::kNone, "no servers"};
+
+  // A group past the configured ceiling M always splits: the ceiling is a
+  // hard invariant, not a measured optimum, so it needs no sample count.
+  if (signals.largest_group > signals.max_group_size) {
+    cooldown_ = options_.cooldown_ticks;
+    return {AdaptiveAction::kSplitGroup, "group exceeds configured M"};
+  }
+
+  // Memory pressure beats everything measured: past the budget, replicas
+  // spill to disk and every L2 probe can pay a disk read (Fig. 14).
+  if (signals.memory_budget_bytes > 0) {
+    const double fill = static_cast<double>(signals.lookup_state_bytes) /
+                        static_cast<double>(signals.memory_budget_bytes);
+    if (fill > options_.overload_fraction) {
+      cooldown_ = options_.cooldown_ticks;
+      return {AdaptiveAction::kAddServer,
+              "lookup state fills " + std::to_string(fill) +
+                  " of the memory budget"};
+    }
+  }
+
+  // The measured signals (hit ratios, latencies) are noise until enough
+  // lookups have finished; act only on warm counters.
+  if (signals.lookups_total < options_.min_lookup_samples) {
+    return {AdaptiveAction::kNone, "too few lookup samples"};
+  }
+
+  // Eq. 2-4 with the measured components: if the fullest group is larger
+  // than the optimum, splitting buys back Gamma (the multicast term of
+  // Eq. 4 dominates the storage saving of Eq. 3).
+  const std::uint32_t optimal = RecommendedGroupSize(signals);
+  if (signals.largest_group > optimal && signals.num_groups > 0) {
+    cooldown_ = options_.cooldown_ticks;
+    return {AdaptiveAction::kSplitGroup,
+            "fullest group " + std::to_string(signals.largest_group) +
+                " exceeds Eq. 2-4 optimum " + std::to_string(optimal)};
+  }
+
+  // Shrink only a healthy, over-provisioned cluster: dead peers mean a
+  // fail-over is (or was just) in flight and capacity judgments are stale.
+  if (signals.dead_peers == 0 && signals.num_mds > options_.min_servers &&
+      signals.memory_budget_bytes > 0) {
+    const double fill = static_cast<double>(signals.lookup_state_bytes) /
+                        static_cast<double>(signals.memory_budget_bytes);
+    if (fill < options_.underload_fraction) {
+      cooldown_ = options_.cooldown_ticks;
+      return {AdaptiveAction::kRemoveServer,
+              "lookup state fills only " + std::to_string(fill) +
+                  " of the memory budget"};
+    }
+  }
+
+  return {AdaptiveAction::kNone, "within thresholds"};
+}
+
+}  // namespace ghba

@@ -1,0 +1,83 @@
+// Online adaptivity policy: when do live signals justify reconfiguring?
+//
+// The paper's Section 3.3 optimizer (Eq. 2-4, core/optimizer.hpp) answers
+// "what group size M maximizes normalized throughput Gamma for measured
+// hit rates and level latencies". This controller turns that static answer
+// into an online control loop: callers periodically sample the running
+// cluster — per-level hit ratios and latencies from the MetricsRegistry
+// (lookups.l1 .. lookups.miss, latency.*_ms), resident lookup-structure
+// bytes from kStatsSnapshot's lookup_state_bytes, liveness verdicts from
+// the PeerHealthTracker — and ask Evaluate() for the next action.
+//
+// The policy is deliberately pure: no sockets, no cluster handle, no
+// clock. PrototypeCluster::AdaptivityTick does the sampling and applies
+// the returned action over the wire; every transition here is
+// unit-testable with hand-built signal structs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/optimizer.hpp"
+
+namespace ghba {
+
+/// One sample of the running cluster, in the controller's vocabulary.
+/// Field comments name the MetricsRegistry metric each value comes from
+/// (see DESIGN.md "Online adaptivity" for the full mapping).
+struct AdaptivitySignals {
+  std::uint32_t num_mds = 0;     ///< alive servers (N)
+  std::uint32_t num_groups = 0;  ///< current group count
+  std::uint32_t largest_group = 0;   ///< members of the fullest group
+  std::uint32_t max_group_size = 0;  ///< configured ceiling M
+  std::uint64_t lookups_total = 0;   ///< sum of lookups.l1 .. lookups.miss
+  /// Resident lookup-structure bytes summed across servers
+  /// (kStatsSnapshot lookup_state_bytes) and the matching budget
+  /// (ClusterConfig::memory_budget_bytes x alive servers).
+  std::uint64_t lookup_state_bytes = 0;
+  std::uint64_t memory_budget_bytes = 0;
+  std::uint32_t dead_peers = 0;  ///< PeerHealthTracker kDead verdicts
+  /// Eq. 4 inputs measured from the live counters: P_LRU / P_L2 are the
+  /// unique-hit ratios (lookups.l1, lookups.l2 over the total), D_* the
+  /// per-level mean latencies (latency.l1_ms .. latency.l4_ms).
+  LatencyComponents latency;
+};
+
+enum class AdaptiveAction : std::uint8_t {
+  kNone = 0,
+  kAddServer,     ///< join: lookup state overflows the memory budget
+  kRemoveServer,  ///< graceful leave: the cluster is over-provisioned
+  kSplitGroup,    ///< the fullest group exceeds the Eq. 2-4 optimum
+};
+
+struct AdaptiveDecision {
+  AdaptiveAction action = AdaptiveAction::kNone;
+  std::string reason;  ///< human-readable trigger, for logs and tests
+};
+
+/// Stateful wrapper around the pure thresholds: remembers only the
+/// cooldown so one noisy sample burst cannot thrash the topology.
+class AdaptivityController {
+ public:
+  explicit AdaptivityController(AdaptivityOptions options)
+      : options_(options) {}
+
+  /// The group size Eq. 2-4 recommends for this sample (argmax of Gamma
+  /// over [1, max_group_size] with the measured components).
+  std::uint32_t RecommendedGroupSize(const AdaptivitySignals& signals) const;
+
+  /// Decide the next reconfiguration, or kNone. Priority order: split an
+  /// oversized group (routing efficiency) before growing the cluster
+  /// (capacity) before shrinking it (cost). A non-kNone decision starts
+  /// the cooldown.
+  AdaptiveDecision Evaluate(const AdaptivitySignals& signals);
+
+  std::uint32_t cooldown_remaining() const { return cooldown_; }
+
+ private:
+  AdaptivityOptions options_;
+  std::uint32_t cooldown_ = 0;
+};
+
+}  // namespace ghba

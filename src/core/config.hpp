@@ -43,6 +43,29 @@ struct RpcOptions {
   std::uint32_t server_shards = 2;
 };
 
+/// Knobs of the online adaptivity control loop (AdaptivityController).
+/// The controller is pure policy: these thresholds decide when the live
+/// signals (per-level hit ratios, lookup_state_bytes, peer health) justify
+/// a reconfiguration, and the cooldown stops one burst of bad samples from
+/// thrashing the topology.
+struct AdaptivityOptions {
+  bool enabled = false;
+  /// Evaluate() returns kNone for this many ticks after any action, so the
+  /// cluster observes the effect of one change before making the next.
+  std::uint32_t cooldown_ticks = 3;
+  /// lookup_state_bytes / memory budget above which an MDS join is asked
+  /// for (replicas start spilling to disk past 1.0).
+  double overload_fraction = 0.9;
+  /// ...and below which a graceful leave is asked for, shrinking the
+  /// cluster back when the state fits comfortably.
+  double underload_fraction = 0.2;
+  /// Never shrink below this many servers, whatever the signals say.
+  std::uint32_t min_servers = 2;
+  /// Evaluate() needs at least this many finished lookups before trusting
+  /// the measured hit ratios / latencies (cold counters optimize noise).
+  std::uint64_t min_lookup_samples = 64;
+};
+
 struct ClusterConfig {
   /// Initial number of metadata servers (N).
   std::uint32_t num_mds = 30;
@@ -113,6 +136,9 @@ struct ClusterConfig {
   /// in the simulator, so Fig. 6's Γ optimizer sees durability cost. Off by
   /// default (the paper's model is memory-only).
   bool model_durability = false;
+
+  /// Online adaptivity (group split / MDS join / leave under live load).
+  AdaptivityOptions adaptivity;
 };
 
 /// Check a configuration before constructing a cluster with it: positive

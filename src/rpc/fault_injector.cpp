@@ -84,6 +84,18 @@ bool FaultInjector::IsShardStalled(MdsId id, std::uint32_t shard) const {
   return stalled_.contains(id) || stalled_shards_.contains({id, shard});
 }
 
+void FaultInjector::ArmMigrationCrash(MigrationPhase phase) {
+  MutexLock lock(&mu_);
+  migration_crash_phase_ = static_cast<std::uint8_t>(phase);
+}
+
+bool FaultInjector::ConsumeMigrationCrash(MigrationPhase phase) {
+  MutexLock lock(&mu_);
+  if (migration_crash_phase_ != static_cast<std::uint8_t>(phase)) return false;
+  migration_crash_phase_ = 0;
+  return true;
+}
+
 FaultInjector::Counters FaultInjector::counters() const {
   MutexLock lock(&mu_);
   return counters_;

@@ -74,6 +74,28 @@ class FaultInjector {
   void UnstallShard(MdsId id, std::uint32_t shard);
   bool IsShardStalled(MdsId id, std::uint32_t shard) const;
 
+  /// Phases of a replica migration (PrototypeCluster::MigrateReplica).
+  /// Each phase's durable effect lands in a server WAL before the next
+  /// phase begins, so a crash at any boundary recovers to exactly the
+  /// pre- or post-migration placement of the migrated replica.
+  enum class MigrationPhase : std::uint8_t {
+    kPrepare = 1,  ///< fresh owner filter installed (journaled) on the
+                   ///< new holder; old holder still routes
+    kFlip = 2,     ///< routing flipped: holder map + epoch bump pushed
+                   ///< (journaled) to the group
+    kRetire = 3,   ///< old holder dropped (journaled) its copy
+  };
+
+  /// Arm a one-shot crash: when MigrateReplica completes `phase`, it stops
+  /// the server whose durable state that phase touched — abruptly, no
+  /// drain, no bookkeeping — and aborts the migration, exactly as if the
+  /// machine lost power at that boundary.
+  void ArmMigrationCrash(MigrationPhase phase);
+
+  /// Consume the armed crash if it matches `phase` (true at most once per
+  /// ArmMigrationCrash). Thread-safe.
+  bool ConsumeMigrationCrash(MigrationPhase phase);
+
   struct Counters {
     std::uint64_t frames = 0;
     std::uint64_t drops = 0;
@@ -95,6 +117,8 @@ class FaultInjector {
   std::set<MdsId> stalled_ GHBA_GUARDED_BY(mu_);
   std::set<std::pair<MdsId, std::uint32_t>> stalled_shards_
       GHBA_GUARDED_BY(mu_);
+  /// 0 = disarmed; otherwise the MigrationPhase value to crash at.
+  std::uint8_t migration_crash_phase_ GHBA_GUARDED_BY(mu_) = 0;
 };
 
 /// Apply a kTruncate/kCorrupt plan to a payload copy: truncation drops a

@@ -44,12 +44,16 @@ enum class MsgType : std::uint16_t {
   kRecoveryInfo = 18,   ///< what recovery found at startup -> RecoveryInfoResp
   kVersion = 19,        ///< protocol version handshake -> u32 version
   kBatch = 20,          ///< many request/response sub-frames, one CRC
+  kMembershipUpdate = 21,  ///< push a new cluster view (epoch + members)
+  kGetMembership = 22,     ///< read the server's view -> MembershipResp
 };
 
-/// Protocol revision this build speaks. v2 added kVersion and kBatch; a v1
-/// peer rejects both with kCorruption ("unknown message type"), which is
-/// what the client's version probe keys its fallback on.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// Protocol revision this build speaks. v2 added kVersion and kBatch; v3
+/// adds the reconfiguration messages (kMembershipUpdate, kGetMembership)
+/// and the epoch field on RecoveryInfoResp. A v1 peer rejects unknown
+/// types with kCorruption ("unknown message type"), which is what the
+/// client's version probe keys its fallback on.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Upper bound on sub-frames per kBatch frame: enough for any realistic
 /// pipeline depth, small enough that a mangled count cannot make the server
@@ -118,9 +122,47 @@ struct RecoveryInfoResp {
   bool torn_tail = false;  ///< WAL ended in a torn/corrupt frame
   bool filter_rebuilt = false;  ///< snapshot filter unusable, rebuilt
   bool filter_matched = true;  ///< replayed filter == rebuilt filter
+  /// Cluster view recovered from the checkpoint / journaled membership
+  /// records (v3): the coordinator audits this against its own view when
+  /// the server rejoins.
+  std::uint64_t epoch = 0;
+  std::vector<MdsId> members;
 
   friend bool operator==(const RecoveryInfoResp&,
                          const RecoveryInfoResp&) = default;
+};
+
+/// Why a cluster view changed; rides in kMembershipUpdate so servers can
+/// count reconfiguration traffic by cause.
+enum class ReconfigReason : std::uint8_t {
+  kJoin = 1,      ///< an MDS joined the group
+  kLeave = 2,     ///< an MDS left gracefully
+  kFailover = 3,  ///< an MDS was declared dead and failed over
+  kMigrate = 4,   ///< a replica handoff flipped placement
+  kSplit = 5,     ///< the group split around max size M
+};
+
+/// Coordinator -> MDS cluster-view push (kMembershipUpdate). Epochs are
+/// strictly increasing per server: a server acks a regression with
+/// kInvalidArgument so a delayed push can never roll the view back. The
+/// server journals the accepted view through its WAL (when durable), so a
+/// restart rejoins with a consistent notion of its peers.
+struct MembershipUpdate {
+  std::uint64_t epoch = 0;
+  ReconfigReason reason = ReconfigReason::kJoin;
+  std::vector<MdsId> members;  ///< the receiver's group peers (incl. self)
+
+  friend bool operator==(const MembershipUpdate&,
+                         const MembershipUpdate&) = default;
+};
+
+/// Server's current view (kGetMembership).
+struct MembershipResp {
+  std::uint64_t epoch = 0;
+  std::vector<MdsId> members;
+
+  friend bool operator==(const MembershipResp&,
+                         const MembershipResp&) = default;
 };
 
 // --- encode helpers (client side) ---
@@ -135,6 +177,11 @@ std::vector<std::uint8_t> EncodeReplicaInstall(MdsId owner,
 std::vector<std::uint8_t> EncodeReplicaDrop(MdsId owner);
 std::vector<std::uint8_t> EncodeReplicaFetch(MdsId owner);
 std::vector<std::uint8_t> EncodeOutcomeReport(const OutcomeReport& report);
+std::vector<std::uint8_t> EncodeMembershipUpdate(
+    const MembershipUpdate& update);
+
+/// Server-side decode of a kMembershipUpdate request body.
+Result<MembershipUpdate> DecodeMembershipUpdate(ByteReader& in);
 
 /// Batched writes on the wire: many request sub-frames share one TCP frame
 /// and one CRC. Payload: [varint n][varint len, bytes]*n.
@@ -166,6 +213,7 @@ std::vector<std::uint8_t> EncodeStatsSnapshotResp(
     const StatsSnapshotResp& snap);
 std::vector<std::uint8_t> EncodeRecoveryInfoResp(const RecoveryInfoResp& info);
 std::vector<std::uint8_t> EncodeVersionResp(std::uint32_t version);
+std::vector<std::uint8_t> EncodeMembershipResp(const MembershipResp& resp);
 /// Batch response: [env 1][varint n][varint len, bytes]*n, one complete
 /// response (envelope included) per sub-request, in sub-request order.
 std::vector<std::uint8_t> EncodeBatchResp(
@@ -198,6 +246,7 @@ Result<StatsSnapshotResp> DecodeStatsSnapshotResp(ByteReader& in);
 Result<FileListResp> DecodeFileListResp(ByteReader& in);
 Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in);
 Result<std::uint32_t> DecodeVersionResp(ByteReader& in);
+Result<MembershipResp> DecodeMembershipResp(ByteReader& in);
 Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchResp(ByteReader& in);
 
 }  // namespace ghba

@@ -152,6 +152,17 @@ Status PrototypeCluster::Start() {
       if (Status s = EnsureCoverage(g); !s.ok()) return s;
     }
   }
+  // A durable restart carries each server's journaled view; fold the
+  // highest recovered epoch in so this incarnation's first push is not
+  // rejected as stale, then hand every server its initial view.
+  if (!config_.storage.data_dir.empty()) {
+    for (const MdsId id : AliveServersLocked()) {
+      if (auto view = FetchMembership(id); view.ok()) {
+        routing_epoch_ = std::max(routing_epoch_, view->epoch);
+      }
+    }
+  }
+  PushMembershipLocked(ReconfigReason::kJoin);
   started_ = true;
   return Status::Ok();
 }
@@ -447,6 +458,71 @@ Status PrototypeCluster::EnsureCoverage(GroupInfo& g) {
   return Status::Ok();
 }
 
+void PrototypeCluster::PushMembershipLocked(ReconfigReason reason) {
+  FlagGuard guard(in_failover_);  // push traffic accounts, never chases
+  ++routing_epoch_;
+  for (const MdsId id : AliveServersLocked()) {
+    if (PeerVersion(id) < 3) continue;  // pre-v3 peer holds no view
+    MembershipUpdate update;
+    update.epoch = routing_epoch_;
+    update.reason = reason;
+    if (const auto git = group_of_.find(id); git != group_of_.end()) {
+      update.members = groups_[git->second].members;
+    } else {
+      update.members.push_back(id);  // between groups: a view of itself
+    }
+    (void)Call(id, EncodeMembershipUpdate(update));
+  }
+}
+
+Result<MembershipResp> PrototypeCluster::FetchMembership(MdsId id) {
+  auto resp = Call(id, EncodeHeader(MsgType::kGetMembership));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeMembershipResp(in);
+}
+
+Result<MembershipResp> PrototypeCluster::MembershipOf(MdsId id) {
+  MutexLock lock(&mu_);
+  if (id >= servers_.size() || !servers_[id]) {
+    return Status::Unavailable("server is down");
+  }
+  return FetchMembership(id);
+}
+
+std::uint64_t PrototypeCluster::RoutingEpoch() const {
+  MutexLock lock(&mu_);
+  return routing_epoch_;
+}
+
+Result<MdsId> PrototypeCluster::HolderOf(MdsId group_member,
+                                         MdsId owner) const {
+  MutexLock lock(&mu_);
+  const auto git = group_of_.find(group_member);
+  if (git == group_of_.end()) return Status::NotFound("member is in no group");
+  const auto& holder = groups_[git->second].holder;
+  const auto it = holder.find(owner);
+  if (it == holder.end()) {
+    return Status::NotFound("group assigns no replica of this owner");
+  }
+  return it->second;
+}
+
+Result<bool> PrototypeCluster::HoldsReplica(MdsId holder, MdsId owner) {
+  MutexLock lock(&mu_);
+  auto resp = Call(holder, EncodeReplicaFetch(owner));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (env->has_payload) return true;
+  if (env->status.code() == StatusCode::kNotFound) return false;
+  return env->status;
+}
+
 Status PrototypeCluster::Insert(const std::string& path,
                                 const FileMetadata& metadata) {
   MutexLock lock(&mu_);
@@ -731,11 +807,77 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
   MutexLock lock(&mu_);
   FlagGuard guard(in_failover_);  // holds references into groups_
   const std::uint64_t frames_before = TotalFramesInLocked();
-  const MdsId nid = static_cast<MdsId>(servers_.size());
+  // Recycle the lowest freed id (a removed or failed-over slot) before
+  // growing the vector. StartServer resets the slot's health history and
+  // protocol-version verdict, so the new incarnation starts clean instead
+  // of inheriting its predecessor's kDead state.
+  MdsId nid = static_cast<MdsId>(servers_.size());
+  for (MdsId id = 0; id < servers_.size(); ++id) {
+    if (!servers_[id] && !group_of_.contains(id)) {
+      nid = id;
+      break;
+    }
+  }
   if (Status s = StartServer(nid); !s.ok()) return s;
   if (Status s = JoinTopologyLocked(nid); !s.ok()) return s;
-  if (messages != nullptr) *messages = TotalFramesInLocked() - frames_before;
+  PushMembershipLocked(ReconfigReason::kJoin);
+  const std::uint64_t delta = TotalFramesInLocked() - frames_before;
+  metrics_.reconfig_messages += delta;
+  if (messages != nullptr) *messages = delta;
   return nid;
+}
+
+Status PrototypeCluster::SplitGroupLocked(std::size_t victim) {
+  GroupInfo& a = groups_[victim];
+  const std::size_t move_count = a.members.size() / 2;
+  if (move_count == 0) {
+    return Status::InvalidArgument("group too small to split");
+  }
+  GroupInfo b;
+  for (std::size_t i = 0; i < move_count; ++i) {
+    b.members.push_back(a.members.back());
+    a.members.pop_back();
+  }
+  // Replicas follow their holders into the new group.
+  for (auto it = a.holder.begin(); it != a.holder.end();) {
+    if (std::find(b.members.begin(), b.members.end(), it->second) !=
+        b.members.end()) {
+      b.holder[it->first] = it->second;
+      it = a.holder.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  groups_.push_back(std::move(b));  // invalidates `a`
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    for (const MdsId m : groups_[gi].members) group_of_[m] = gi;
+  }
+  if (Status s = EnsureCoverage(groups_[victim]); !s.ok()) return s;
+  if (Status s = EnsureCoverage(groups_.back()); !s.ok()) return s;
+  PushMembershipLocked(ReconfigReason::kSplit);
+  return Status::Ok();
+}
+
+Status PrototypeCluster::SplitLargestGroup() {
+  MutexLock lock(&mu_);
+  if (scheme_ != ProtoScheme::kGhba) {
+    return Status::InvalidArgument("splitting requires the grouped scheme");
+  }
+  if (groups_.empty()) return Status::NotFound("no groups");
+  FlagGuard guard(in_failover_);  // SplitGroupLocked walks groups_
+  const std::uint64_t frames_before = TotalFramesInLocked();
+  std::size_t victim = 0;
+  for (std::size_t gi = 1; gi < groups_.size(); ++gi) {
+    if (groups_[gi].members.size() > groups_[victim].members.size()) {
+      victim = gi;
+    }
+  }
+  if (groups_[victim].members.size() < 2) {
+    return Status::InvalidArgument("fullest group too small to split");
+  }
+  Status result = SplitGroupLocked(victim);
+  metrics_.reconfig_messages += TotalFramesInLocked() - frames_before;
+  return result;
 }
 
 Status PrototypeCluster::JoinTopologyLocked(MdsId nid) {
@@ -759,29 +901,7 @@ Status PrototypeCluster::JoinTopologyLocked(MdsId nid) {
     if (target == static_cast<std::size_t>(-1)) {
       // Split a random full group: tail half forms a new group.
       const std::size_t victim = rng_.NextBounded(groups_.size());
-      GroupInfo& a = groups_[victim];
-      const std::size_t move_count = a.members.size() / 2;
-      GroupInfo b;
-      for (std::size_t i = 0; i < move_count; ++i) {
-        b.members.push_back(a.members.back());
-        a.members.pop_back();
-      }
-      // Replicas follow their holders into the new group.
-      for (auto it = a.holder.begin(); it != a.holder.end();) {
-        if (std::find(b.members.begin(), b.members.end(), it->second) !=
-            b.members.end()) {
-          b.holder[it->first] = it->second;
-          it = a.holder.erase(it);
-        } else {
-          ++it;
-        }
-      }
-      groups_.push_back(std::move(b));
-      for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
-        for (const MdsId m : groups_[gi].members) group_of_[m] = gi;
-      }
-      if (Status s = EnsureCoverage(groups_[victim]); !s.ok()) return s;
-      if (Status s = EnsureCoverage(groups_.back()); !s.ok()) return s;
+      if (Status s = SplitGroupLocked(victim); !s.ok()) return s;
       target = GroupWithRoom();
     }
     GroupInfo& g = groups_[target];
@@ -861,6 +981,12 @@ Result<RecoveryInfoResp> PrototypeCluster::RestartServer(MdsId id) {
   auto info = DecodeRecoveryInfoResp(in);
   if (!info.ok()) return info.status();
 
+  // The rejoining server recovered its journaled view (checkpoint v2 /
+  // kMembership WAL records); fold its epoch in so the push below strictly
+  // advances past anything it — or its peers — persisted before the
+  // outage. The push then replaces whatever stale membership it recovered.
+  routing_epoch_ = std::max(routing_epoch_, info->epoch);
+
   if (Status s = JoinTopologyLocked(id); !s.ok()) return s;
 
   // Recovery may have restored replicas the rebuilt topology no longer
@@ -881,6 +1007,7 @@ Result<RecoveryInfoResp> PrototypeCluster::RestartServer(MdsId id) {
   // Refresh every replica so the rejoined server serves current filters
   // (its recovered copies may predate mutations on the survivors).
   if (Status s = PublishAllLocked(); !s.ok()) return s;
+  PushMembershipLocked(ReconfigReason::kJoin);
   return *info;
 }
 
@@ -1011,11 +1138,18 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
   conns_.erase(id);
   servers_[id]->Stop();
   servers_[id].reset();
+  // The departed id may be recycled by a later AddServer: its health
+  // history and protocol-version verdict must die with this incarnation,
+  // or the re-added server would start life marked dead.
+  health_.Forget(id);
+  peer_version_.erase(id);
   if (Status s = PublishAllLocked(); !s.ok()) return s;
+  PushMembershipLocked(ReconfigReason::kLeave);
 
-  if (messages != nullptr) {
-    *messages = TotalFramesInLocked() + victim_frames - frames_before;
-  }
+  const std::uint64_t delta =
+      TotalFramesInLocked() + victim_frames - frames_before;
+  metrics_.reconfig_messages += delta;
+  if (messages != nullptr) *messages = delta;
   return Status::Ok();
 }
 
@@ -1046,6 +1180,9 @@ Status PrototypeCluster::CrashServer(MdsId id) {
 Status PrototypeCluster::FailOver(MdsId id) {
   // The crash (or its detection): no drain, no goodbye.
   FlagGuard guard(in_failover_);
+  const std::uint64_t frames_before = TotalFramesInLocked();
+  const std::uint64_t victim_frames =
+      (id < servers_.size() && servers_[id]) ? servers_[id]->frames_in() : 0;
   conns_.erase(id);
   health_.MarkDead(id);
   health_.RecordFailover(id);
@@ -1086,7 +1223,150 @@ Status PrototypeCluster::FailOver(MdsId id) {
     g.members.erase(std::find(g.members.begin(), g.members.end(), id));
     group_of_.erase(id);
   }
+  // Survivors learn the post-failover view under a bumped epoch. The dead
+  // peer's health verdict deliberately survives (tests assert the kDead
+  // state is visible after automatic detection); only a graceful
+  // RemoveServer — or a restart of the same id — clears it.
+  PushMembershipLocked(ReconfigReason::kFailover);
+  metrics_.reconfig_messages +=
+      TotalFramesInLocked() + victim_frames - frames_before;
   return result;
+}
+
+Status PrototypeCluster::CrashMigrationLocked(MdsId victim,
+                                              const char* phase) {
+  // Power loss at a phase boundary: the event loop stops, every piece of
+  // orchestrator bookkeeping stays (as CrashServer), and the caller's test
+  // restarts the victim to see where its journaled state lands.
+  conns_.erase(victim);
+  if (victim < servers_.size() && servers_[victim]) servers_[victim]->Stop();
+  return Status::Unavailable(std::string("migration crashed at phase ") +
+                             phase);
+}
+
+Status PrototypeCluster::MigrateReplica(MdsId owner, MdsId to) {
+  MutexLock lock(&mu_);
+  if (scheme_ != ProtoScheme::kGhba) {
+    return Status::InvalidArgument("migration requires the grouped scheme");
+  }
+  if (to >= servers_.size() || !servers_[to]) {
+    return Status::NotFound("target server is down");
+  }
+  if (owner >= servers_.size() || !servers_[owner]) {
+    return Status::NotFound("owner server is down");
+  }
+  const auto git = group_of_.find(to);
+  if (git == group_of_.end()) return Status::NotFound("target is in no group");
+  GroupInfo& g = groups_[git->second];
+  const auto assignment = g.holder.find(owner);
+  if (assignment == g.holder.end()) {
+    return Status::NotFound("target's group holds no replica of this owner");
+  }
+  const MdsId from = assignment->second;
+  if (from == to) return Status::Ok();
+  FlagGuard guard(in_failover_);  // holds references into groups_
+  const std::uint64_t frames_before = TotalFramesInLocked();
+
+  // Phase 1 — prepare. Snapshot the owner's *current* filter and install
+  // it (journaled through `to`'s WAL) on the new holder. From here until
+  // retire, both holders answer probes for the owner — the dual-epoch
+  // window: a lookup racing the flip probes a superset of placements, so
+  // the window costs duplicate messages, never a wrong miss.
+  auto filter = FetchFilter(owner);
+  if (!filter.ok()) return filter.status();
+  if (Status s = InstallReplica(to, owner, *filter); !s.ok()) return s;
+  if (injector_ != nullptr &&
+      injector_->ConsumeMigrationCrash(
+          FaultInjector::MigrationPhase::kPrepare)) {
+    // Routing still points at `from`: recovery sweeps the journaled copy
+    // off `to` at rejoin — exactly the pre-migration placement.
+    return CrashMigrationLocked(to, "prepare");
+  }
+
+  // Phase 2 — flip: rewrite the holder map and push the bumped epoch to
+  // the group (journaled on every durable member). The commit point: from
+  // here recovery completes the migration instead of undoing it.
+  assignment->second = to;
+  PushMembershipLocked(ReconfigReason::kMigrate);
+  if (injector_ != nullptr &&
+      injector_->ConsumeMigrationCrash(FaultInjector::MigrationPhase::kFlip)) {
+    return CrashMigrationLocked(from, "flip");
+  }
+
+  // Phase 3 — retire: the old holder drops (journals) its copy.
+  (void)Call(from, EncodeReplicaDrop(owner));
+  ++metrics_.replicas_migrated;
+  metrics_.reconfig_messages += TotalFramesInLocked() - frames_before;
+  if (injector_ != nullptr &&
+      injector_->ConsumeMigrationCrash(
+          FaultInjector::MigrationPhase::kRetire)) {
+    return CrashMigrationLocked(from, "retire");
+  }
+  return Status::Ok();
+}
+
+Result<AdaptiveDecision> PrototypeCluster::AdaptivityTick(
+    AdaptivityController& controller) {
+  AdaptivitySignals signals;
+  {
+    MutexLock lock(&mu_);
+    if (!started_) return Status::Unavailable("cluster not started");
+    const auto alive = AliveServersLocked();
+    signals.num_mds = static_cast<std::uint32_t>(alive.size());
+    signals.num_groups = static_cast<std::uint32_t>(groups_.size());
+    for (const auto& g : groups_) {
+      signals.largest_group = std::max(
+          signals.largest_group, static_cast<std::uint32_t>(g.members.size()));
+    }
+    signals.max_group_size = config_.max_group_size;
+    signals.memory_budget_bytes = config_.memory_budget_bytes * alive.size();
+    signals.dead_peers =
+        static_cast<std::uint32_t>(health_.DeadPeers().size());
+    signals.lookups_total = metrics_.levels.total();
+    signals.latency = MeasureComponents(metrics_);
+    for (const MdsId id : alive) {
+      auto resp = Call(id, EncodeHeader(MsgType::kStatsSnapshot));
+      if (!resp.ok()) continue;  // a slow peer skips one sample
+      ByteReader in(*resp);
+      auto env = OpenEnvelope(in);
+      if (!env.ok() || !env->has_payload) continue;
+      if (auto snap = DecodeStatsSnapshotResp(in); snap.ok()) {
+        signals.lookup_state_bytes += snap->lookup_state_bytes;
+      }
+    }
+  }
+
+  AdaptiveDecision decision = controller.Evaluate(signals);
+  // Applying can fail (a peer mid-crash, a group too small to split); the
+  // decision still stands — the failure is appended as the diagnostic and
+  // the next tick resamples and retries.
+  const auto note_failure = [&decision](const Status& s) {
+    if (!s.ok()) decision.reason += " (apply failed: " + s.ToString() + ")";
+  };
+  // Apply best-effort outside the sampling scope: each action takes mu_
+  // itself, and a failed application leaves the reason as the diagnostic
+  // for the caller while the next tick retries.
+  switch (decision.action) {
+    case AdaptiveAction::kAddServer:
+      note_failure(AddServer(nullptr).status());
+      break;
+    case AdaptiveAction::kRemoveServer: {
+      MdsId victim = kInvalidMds;
+      {
+        MutexLock lock(&mu_);
+        const auto alive = AliveServersLocked();
+        if (alive.size() > 1) victim = alive.back();
+      }
+      if (victim != kInvalidMds) note_failure(RemoveServer(victim, nullptr));
+      break;
+    }
+    case AdaptiveAction::kSplitGroup:
+      note_failure(SplitLargestGroup());
+      break;
+    case AdaptiveAction::kNone:
+      break;
+  }
+  return decision;
 }
 
 MetricsSnapshot PrototypeCluster::ClientSnapshot() {

@@ -25,6 +25,7 @@
 #include "common/lookup_outcome.hpp"
 #include "common/rng.hpp"
 #include "common/sync.hpp"
+#include "core/adaptivity.hpp"
 #include "core/config.hpp"
 #include "core/metrics.hpp"
 #include "mds/metadata.hpp"
@@ -140,6 +141,50 @@ class PrototypeCluster {
   /// serves L4 again. A crashed-but-undetected server is failed over first.
   Result<RecoveryInfoResp> RestartServer(MdsId id);
 
+  /// Move the replica of `owner` held inside `to`'s group onto `to`, as a
+  /// crash-safe three-phase handoff. Each phase's durable effect is
+  /// journaled through the involved server's WAL before the next phase
+  /// starts:
+  ///   1. prepare — snapshot the owner's current filter, install it
+  ///      (journaled) on `to`; the old holder still routes.
+  ///   2. flip — rewrite the holder map and push a bumped routing epoch to
+  ///      the group (journaled on every member). This is the commit point.
+  ///   3. retire — the old holder drops (journals) its copy.
+  /// Between 1 and 3 both holders answer probes for the owner — the
+  /// dual-epoch window: lookups racing the flip probe a superset of
+  /// placements, so the window costs duplicate messages, never a wrong
+  /// miss. A crash at any boundary (see FaultInjector::ArmMigrationCrash)
+  /// recovers to exactly the pre-flip or post-flip placement of this
+  /// replica, never a half-migrated view.
+  Status MigrateReplica(MdsId owner, MdsId to);
+
+  /// Split the fullest group in two (tail half forms a new group) and push
+  /// the new views. The adaptivity loop's kSplitGroup action.
+  Status SplitLargestGroup();
+
+  /// One tick of the online adaptivity loop: sample the live signals
+  /// (alive servers, group shapes, measured hit ratios and latencies,
+  /// summed lookup_state_bytes, peer health), ask `controller` for a
+  /// decision, and apply it (AddServer / RemoveServer / SplitLargestGroup)
+  /// while traffic keeps flowing. Returns the decision taken; applying it
+  /// best-effort — an action that fails leaves the decision's reason as
+  /// the diagnostic and the next tick retries.
+  Result<AdaptiveDecision> AdaptivityTick(AdaptivityController& controller);
+
+  /// Current routing epoch (bumped before every membership push).
+  std::uint64_t RoutingEpoch() const;
+
+  /// One server's own cluster view, over the wire (kGetMembership).
+  Result<MembershipResp> MembershipOf(MdsId id);
+
+  /// Orchestrator-side placement: which member of `group_member`'s group
+  /// holds the replica of `owner`?
+  Result<MdsId> HolderOf(MdsId group_member, MdsId owner) const;
+
+  /// Server-side truth: does `holder`'s segment array contain a replica of
+  /// `owner` right now (kReplicaFetch probe)?
+  Result<bool> HoldsReplica(MdsId holder, MdsId owner);
+
   /// Diagnostic: one server's current local filter, flattened (the crash
   /// tests compare pre-crash and post-recovery bits for identity).
   Result<BloomFilter> FilterOf(MdsId id);
@@ -233,6 +278,27 @@ class PrototypeCluster {
   std::size_t GroupWithRoom() const GHBA_REQUIRES(mu_);
   Status EnsureCoverage(GroupInfo& g) GHBA_REQUIRES(mu_);
 
+  /// Split group `victim` in two (tail half forms a new group), rebuild
+  /// coverage for both halves and push the new views (kSplit). Callers
+  /// hold the in_failover_ flag.
+  Status SplitGroupLocked(std::size_t victim) GHBA_REQUIRES(mu_);
+
+  /// Bump the routing epoch and push every live server its new group view
+  /// via kMembershipUpdate. Best-effort: an unreachable peer catches up on
+  /// the next push (or at rejoin); until then its stale view costs routing
+  /// efficiency only — the exact L4 level keeps answers correct.
+  void PushMembershipLocked(ReconfigReason reason) GHBA_REQUIRES(mu_);
+
+  /// kGetMembership round-trip (locked body of MembershipOf).
+  Result<MembershipResp> FetchMembership(MdsId id) GHBA_REQUIRES(mu_);
+
+  /// Simulated power loss at a migration phase boundary: stop `victim`'s
+  /// event loop abruptly, keep every piece of orchestrator bookkeeping
+  /// (as CrashServer does), and report the aborted migration. The caller's
+  /// test restarts the victim and asserts where recovery landed.
+  Status CrashMigrationLocked(MdsId victim, const char* phase)
+      GHBA_REQUIRES(mu_);
+
   Result<bool> VerifyAt(MdsId candidate, const std::string& path)
       GHBA_REQUIRES(mu_);
   /// Verifies `candidate` at most once per lookup (`q.verified` is the
@@ -278,6 +344,11 @@ class PrototypeCluster {
   /// kVersion probe results, one per live incarnation (StartServer clears
   /// its entry so a restarted peer is re-probed).
   std::unordered_map<MdsId, std::uint32_t> peer_version_ GHBA_GUARDED_BY(mu_);
+  /// Routing epoch of the last membership push. Strictly increasing;
+  /// Start/RestartServer fold in the epochs durable servers recovered, so
+  /// a new orchestrator incarnation never pushes an epoch the survivors
+  /// would reject as stale.
+  std::uint64_t routing_epoch_ GHBA_GUARDED_BY(mu_) = 0;
 
   PeerHealthTracker health_;  // internally synchronized
   /// Client-side accounting. Internally synchronized (atomic counters,

@@ -81,6 +81,8 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
       serve_global_probes_(
           registry_.counter(metrics_names::kServeGlobalProbes)),
       serve_verifies_(registry_.counter(metrics_names::kServeVerifies)),
+      reconfig_messages_(
+          registry_.counter(metrics_names::kMessagesReconfig)),
       outcome_latency_ms_(
           registry_.histogram(metrics_names::kLatencyLookupMs)) {
   const std::uint32_t n = std::max(1u, config.rpc.server_shards);
@@ -134,6 +136,11 @@ Status MdsServer::Start(std::uint16_t port) {
     MutexLock lock(&err_mu_);
     last_error_.clear();
   }
+  {
+    MutexLock view(&view_mu_);
+    view_epoch_ = 0;
+    view_members_.clear();
+  }
   sabotage_errno_.store(0, std::memory_order_release);
 
   std::vector<std::pair<std::string, FileMetadata>> recovered_records;
@@ -162,6 +169,13 @@ Status MdsServer::Start(std::uint16_t port) {
       for (auto& [owner, filter] : recovered.replicas) {
         (void)segment_.AddEntry(owner, std::move(filter));
       }
+    }
+    {
+      // Rejoin with the cluster view the WAL/checkpoint last recorded; the
+      // coordinator's next kMembershipUpdate (higher epoch) supersedes it.
+      MutexLock view(&view_mu_);
+      view_epoch_ = recovered.epoch;
+      view_members_ = std::move(recovered.members);
     }
     recovered_records = recovered.store.ExtractAll();
   }
@@ -1014,21 +1028,86 @@ std::vector<std::uint8_t> MdsServer::Handle(
     case MsgType::kReplicaInstall: {
       auto owner = in.GetU32();
       if (!owner.ok()) return EncodeStatusResp(owner.status());
-      auto filter = DecompressFilter(in);
+      // Keep the raw compressed blob: the WAL journals it opaquely, so a
+      // crash after this ack replays the install on recovery (the migration
+      // handoff's "ship delta" phase is durable once acked).
+      auto blob = in.GetBytes(in.remaining());
+      if (!blob.ok()) return EncodeStatusResp(blob.status());
+      ByteReader blob_in(*blob);
+      auto filter = DecompressFilter(blob_in);
       if (!filter.ok()) return EncodeStatusResp(filter.status());
-      MutexLock seg(&seg_mu_);
-      if (segment_.HasEntry(*owner)) {
-        return EncodeStatusResp(segment_.RefreshEntry(*owner, *filter));
+      if (!blob_in.AtEnd()) {
+        return EncodeStatusResp(
+            Status::Corruption("replica install trailing bytes"));
       }
-      return EncodeStatusResp(segment_.AddEntry(*owner, std::move(*filter)));
+      ++reconfig_messages_;
+      // Same discipline as kInsert: apply, then log, then ack — a failed
+      // log call restores the previous segment entry and nacks.
+      Status s;
+      bool had_old = false;
+      BloomFilter old_filter;
+      {
+        MutexLock seg(&seg_mu_);
+        const BloomFilter* existing = segment_.Find(*owner);
+        if (existing != nullptr) {
+          had_old = true;
+          old_filter = *existing;
+          s = segment_.RefreshEntry(*owner, *filter);
+        } else {
+          s = segment_.AddEntry(*owner, std::move(*filter));
+        }
+      }
+      if (s.ok()) {
+        bool checkpoint_due = false;
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogReplicaInstall(*owner, *blob);
+                !w.ok()) {
+              MutexLock seg(&seg_mu_);
+              if (had_old) {
+                (void)segment_.RefreshEntry(*owner, old_filter);
+              } else {
+                (void)segment_.RemoveEntry(*owner);
+              }
+              s = w;
+            } else {
+              checkpoint_due = engine_->CheckpointDue();
+            }
+          }
+        }
+        if (checkpoint_due) NoteCheckpointDue();
+      }
+      return EncodeStatusResp(s);
     }
     case MsgType::kReplicaDrop: {
       auto owner = in.GetU32();
       if (!owner.ok()) return EncodeStatusResp(owner.status());
+      ++reconfig_messages_;
       Status removed;
+      BloomFilter dropped;
       {
         MutexLock seg(&seg_mu_);
-        removed = segment_.RemoveEntry(*owner).status();
+        auto r = segment_.RemoveEntry(*owner);
+        removed = r.status();
+        if (r.ok()) dropped = std::move(*r);
+      }
+      // Journal the retire phase; on log failure restore the entry and
+      // nack so the coordinator retries instead of losing the replica.
+      if (removed.ok()) {
+        bool checkpoint_due = false;
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogReplicaDrop(*owner); !w.ok()) {
+              MutexLock seg(&seg_mu_);
+              (void)segment_.AddEntry(*owner, std::move(dropped));
+              return EncodeStatusResp(w);
+            }
+            checkpoint_due = engine_->CheckpointDue();
+          }
+        }
+        if (checkpoint_due) NoteCheckpointDue();
       }
       // Purge the dropped home from every shard's L1: this shard's now,
       // the others via internal tasks (a briefly stale entry elsewhere
@@ -1133,8 +1212,51 @@ std::vector<std::uint8_t> MdsServer::Handle(
         info.torn_tail = r.torn_tail;
         info.filter_rebuilt = r.filter_rebuilt;
         info.filter_matched = r.filter_matched;
+        info.epoch = r.epoch;
+        info.members = r.members;
       }
       return EncodeRecoveryInfoResp(info);
+    }
+    case MsgType::kMembershipUpdate: {
+      auto update = DecodeMembershipUpdate(in);
+      if (!update.ok()) return EncodeStatusResp(update.status());
+      ++reconfig_messages_;
+      {
+        MutexLock view(&view_mu_);
+        // Strictly increasing: a delayed or replayed push must never roll
+        // the view back to an older epoch.
+        if (update->epoch <= view_epoch_) {
+          return EncodeStatusResp(
+              Status::InvalidArgument("stale membership epoch"));
+        }
+      }
+      // Journal before adopting: once the ack leaves, a crash must recover
+      // the new view, never the old one.
+      {
+        MutexLock wal(&wal_mu_);
+        if (engine_ != nullptr) {
+          if (Status w = engine_->LogMembership(update->epoch,
+                                                update->members);
+              !w.ok()) {
+            return EncodeStatusResp(w);
+          }
+        }
+      }
+      {
+        MutexLock view(&view_mu_);
+        if (update->epoch > view_epoch_) {
+          view_epoch_ = update->epoch;
+          view_members_ = std::move(update->members);
+        }
+      }
+      return EncodeStatusResp(Status::Ok());
+    }
+    case MsgType::kGetMembership: {
+      MembershipResp resp;
+      MutexLock view(&view_mu_);
+      resp.epoch = view_epoch_;
+      resp.members = view_members_;
+      return EncodeMembershipResp(resp);
     }
     case MsgType::kBatch: {
       // Only reachable when DecodeBatchRequest failed on the event thread:

@@ -98,7 +98,7 @@ Result<CheckpointHeader> DecodeCheckpointHeader(ByteReader& in) {
   CheckpointHeader header;
   auto version = in.GetU16();
   if (!version.ok()) return version.status();
-  if (*version != kCheckpointVersion) {
+  if (*version < kMinCheckpointVersion || *version > kCheckpointVersion) {
     return Status::Corruption("unknown checkpoint version");
   }
   header.version = *version;
@@ -131,6 +131,10 @@ std::vector<std::uint8_t> EncodeCheckpoint(const CheckpointState& state) {
     body.PutU32(owner);
     body.PutBytes(CompressFilter(filter));
   }
+  // Version-2 cluster view, appended after the replica array.
+  body.PutU64(state.epoch);
+  body.PutVarint(state.members.size());
+  for (const MdsId id : state.members) body.PutU32(id);
   const auto& b = body.data();
 
   ByteWriter out;
@@ -197,6 +201,22 @@ Result<CheckpointState> DecodeCheckpoint(
     auto filter = DecompressFilter(in);
     if (!filter.ok()) return filter.status();
     state.replicas.emplace_back(*owner, std::move(*filter));
+  }
+  if (header->version >= 2) {
+    auto epoch = in.GetU64();
+    if (!epoch.ok()) return epoch.status();
+    state.epoch = *epoch;
+    auto member_count = in.GetVarint();
+    if (!member_count.ok()) return member_count.status();
+    if (*member_count > in.remaining() / sizeof(std::uint32_t)) {
+      return Status::Corruption("absurd checkpoint member count");
+    }
+    state.members.reserve(*member_count);
+    for (std::uint64_t i = 0; i < *member_count; ++i) {
+      auto id = in.GetU32();
+      if (!id.ok()) return id.status();
+      state.members.push_back(*id);
+    }
   }
   if (!in.AtEnd()) return Status::Corruption("checkpoint trailing bytes");
   return state;

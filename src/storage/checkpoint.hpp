@@ -10,6 +10,13 @@
 //          [has_filter u8] has_filter? [CountingBloomFilter]
 //          [replica_count varint] replica_count * ([owner u32][compressed
 //          BloomFilter])
+//          (version >= 2) [epoch u64][member_count varint] member_count *
+//          [member u32]
+//
+// Version 2 appends the server's cluster view — the routing epoch and its
+// group-member list — so a restarted mds_daemon rejoins with a consistent
+// notion of who its peers are instead of relying on the coordinator to
+// re-push it. Version-1 files (no view) still decode: epoch 0, no members.
 //
 // wal_seq is the last WAL sequence the snapshot covers; recovery replays
 // only records beyond it. Writes are atomic (temp file + fsync + rename +
@@ -35,7 +42,9 @@ namespace ghba {
 
 inline constexpr std::uint8_t kCheckpointMagic0 = 0x47;  // 'G'
 inline constexpr std::uint8_t kCheckpointMagic1 = 0x43;  // 'C'
-inline constexpr std::uint16_t kCheckpointVersion = 1;
+inline constexpr std::uint16_t kCheckpointVersion = 2;
+/// Oldest format still decodable (pre-cluster-view snapshots).
+inline constexpr std::uint16_t kMinCheckpointVersion = 1;
 inline constexpr std::size_t kCheckpointHeaderBytes = 20;
 
 /// Allocation cap for a claimed body length (allocate-after-validate).
@@ -52,6 +61,10 @@ struct CheckpointState {
   CountingBloomFilter filter;
   /// Segment replica array entries (owner, flattened filter).
   std::vector<std::pair<MdsId, BloomFilter>> replicas;
+  /// Cluster view at snapshot time (version >= 2): the routing epoch the
+  /// server last acknowledged and its group peers. Zero/empty for v1 files.
+  std::uint64_t epoch = 0;
+  std::vector<MdsId> members;
 };
 
 struct CheckpointHeader {

@@ -41,7 +41,11 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       .used_fallback_checkpoint = recovered->used_fallback_checkpoint,
       .filter_rebuilt = recovered->filter_rebuilt,
       .filter_matched = recovered->filter_matched,
+      .epoch = recovered->epoch,
+      .members = recovered->members,
   };
+  engine->view_epoch_ = recovered->epoch;
+  engine->view_members_ = recovered->members;
   engine->recovered_ = std::move(*recovered);
 
   if (registry != nullptr) {
@@ -75,13 +79,8 @@ void StorageEngine::ExportWalMetrics() {
   wal_bytes_ = wal_.size_bytes();
 }
 
-Status StorageEngine::LogRecord(WalOp op, std::string_view path,
-                                const FileMetadata* metadata) {
-  WalRecord record;
-  record.op = op;
+Status StorageEngine::CommitRecord(WalRecord record) {
   record.seq = next_seq_;
-  record.path = std::string(path);
-  if (metadata != nullptr) record.metadata = *metadata;
   if (Status s = wal_.Append(record); !s.ok()) return s;
   if (Status s = wal_.Commit(); !s.ok()) return s;
   // Only burn the sequence once the record is in the log: replay tolerates
@@ -89,6 +88,15 @@ Status StorageEngine::LogRecord(WalOp op, std::string_view path,
   ++next_seq_;
   ExportWalMetrics();
   return Status::Ok();
+}
+
+Status StorageEngine::LogRecord(WalOp op, std::string_view path,
+                                const FileMetadata* metadata) {
+  WalRecord record;
+  record.op = op;
+  record.path = std::string(path);
+  if (metadata != nullptr) record.metadata = *metadata;
+  return CommitRecord(std::move(record));
 }
 
 Status StorageEngine::LogInsert(std::string_view path,
@@ -107,6 +115,39 @@ Status StorageEngine::LogRemove(std::string_view path) {
 
 Status StorageEngine::LogClear() {
   return LogRecord(WalOp::kClear, {}, nullptr);
+}
+
+Status StorageEngine::LogReplicaInstall(MdsId owner,
+                                        std::span<const std::uint8_t> blob) {
+  // An oversized record would break replay as a torn tail (the replayer
+  // caps frames at kMaxWalRecordBytes), taking every later record with it.
+  // Skip journaling instead: the in-memory install still happens, and the
+  // coordinator republishes filters on rejoin, so staleness is bounded.
+  if (blob.size() + 64 > kMaxWalRecordBytes) return Status::Ok();
+  WalRecord record;
+  record.op = WalOp::kReplicaInstall;
+  record.owner = owner;
+  record.filter_blob.assign(blob.begin(), blob.end());
+  return CommitRecord(std::move(record));
+}
+
+Status StorageEngine::LogReplicaDrop(MdsId owner) {
+  WalRecord record;
+  record.op = WalOp::kReplicaDrop;
+  record.owner = owner;
+  return CommitRecord(std::move(record));
+}
+
+Status StorageEngine::LogMembership(std::uint64_t epoch,
+                                    std::vector<MdsId> members) {
+  WalRecord record;
+  record.op = WalOp::kMembership;
+  record.epoch = epoch;
+  record.members = members;
+  if (Status s = CommitRecord(std::move(record)); !s.ok()) return s;
+  view_epoch_ = epoch;
+  view_members_ = std::move(members);
+  return Status::Ok();
 }
 
 bool StorageEngine::CheckpointDue() const {
@@ -131,6 +172,8 @@ Status StorageEngine::WriteCheckpoint(
   state.has_filter = true;
   state.filter = filter;
   state.replicas = std::move(replicas);
+  state.epoch = view_epoch_;
+  state.members = view_members_;
 
   auto written =
       WriteCheckpointFile(options_.data_dir, state, options_.keep_checkpoints);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -41,6 +42,11 @@ struct RecoveryInfo {
   bool used_fallback_checkpoint = false;
   bool filter_rebuilt = false;
   bool filter_matched = true;
+  /// Cluster view recovered from the checkpoint / journaled kMembership
+  /// records: the routing epoch the server last acknowledged and its group
+  /// peers at that time.
+  std::uint64_t epoch = 0;
+  std::vector<MdsId> members;
 };
 
 class StorageEngine {
@@ -64,6 +70,23 @@ class StorageEngine {
   Status LogUpdate(std::string_view path, const FileMetadata& metadata);
   Status LogRemove(std::string_view path);
   Status LogClear();
+
+  /// Journal one replica-migration phase. `blob` is the compressed filter
+  /// exactly as it arrived on the wire — the log stores it opaquely. A blob
+  /// too large for one WAL frame is *not* journaled (Ok is still returned):
+  /// an oversized record would read back as a torn tail and break replay of
+  /// everything after it. The staleness is bounded — the coordinator
+  /// republishes filters when the server rejoins after a crash.
+  Status LogReplicaInstall(MdsId owner, std::span<const std::uint8_t> blob);
+  Status LogReplicaDrop(MdsId owner);
+  /// Journal a cluster-view change (routing epoch + group members). The
+  /// engine remembers the latest view and folds it into every checkpoint.
+  Status LogMembership(std::uint64_t epoch, std::vector<MdsId> members);
+
+  /// Latest acknowledged cluster view (recovered, then tracking
+  /// LogMembership).
+  std::uint64_t view_epoch() const { return view_epoch_; }
+  const std::vector<MdsId>& view_members() const { return view_members_; }
 
   /// True once the WAL has outgrown options.checkpoint_wal_bytes.
   bool CheckpointDue() const;
@@ -91,6 +114,7 @@ class StorageEngine {
 
   Status LogRecord(WalOp op, std::string_view path,
                    const FileMetadata* metadata);
+  Status CommitRecord(WalRecord record);
   void ExportWalMetrics();
 
   StorageOptions options_;
@@ -98,6 +122,8 @@ class StorageEngine {
   RecoveredState recovered_;
   RecoveryInfo info_;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t view_epoch_ = 0;
+  std::vector<MdsId> view_members_;
 
   bool have_metrics_ = false;
   MetricsRegistry::Counter wal_appends_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 
+#include "bloom/compressed.hpp"
 #include "storage/checkpoint.hpp"
 
 namespace ghba {
@@ -46,6 +47,14 @@ StoreMutation ToStoreMutation(WalRecord record) {
     case WalOp::kClear:
       m.kind = StoreMutation::Kind::kClear;
       break;
+    case WalOp::kReplicaInstall:
+    case WalOp::kReplicaDrop:
+    case WalOp::kMembership:
+      // Reconfiguration records never reach the store; callers divert them
+      // before translating. Mapping to kClear would wipe the store, so
+      // translate to a harmless no-op remove of the (empty) path instead.
+      m.kind = StoreMutation::Kind::kRemove;
+      break;
   }
   m.path = std::move(record.path);
   m.metadata = std::move(record.metadata);
@@ -70,6 +79,8 @@ Result<RecoveredState> RecoverState(
   }
   out.store.ApplyBatch(batch);
   out.replicas = std::move(ckpt.replicas);
+  out.epoch = ckpt.epoch;
+  out.members = std::move(ckpt.members);
 
   // 2. The snapshot filter, if usable; otherwise mark for rebuild. The
   // actual replay below works on whichever one we start from.
@@ -93,6 +104,40 @@ Result<RecoveredState> RecoverState(
   batch.reserve(replay.records.size());
   for (WalRecord& record : replay.records) {
     last_seq = std::max(last_seq, record.seq);
+    // Reconfiguration records replay into the replica array / cluster
+    // view; they never touch the store or the local filter.
+    switch (record.op) {
+      case WalOp::kReplicaInstall: {
+        ByteReader blob(record.filter_blob);
+        auto filter = DecompressFilter(blob);
+        if (!filter.ok() || !blob.AtEnd()) {
+          // The frame CRC checked out, so a bad blob means the writer
+          // journaled garbage. Skip: staleness is bounded — the
+          // coordinator republishes filters when the server rejoins.
+          continue;
+        }
+        auto it = std::find_if(
+            out.replicas.begin(), out.replicas.end(),
+            [&record](const auto& e) { return e.first == record.owner; });
+        if (it != out.replicas.end()) {
+          it->second = std::move(*filter);
+        } else {
+          out.replicas.emplace_back(record.owner, std::move(*filter));
+        }
+        continue;
+      }
+      case WalOp::kReplicaDrop:
+        std::erase_if(out.replicas, [&record](const auto& e) {
+          return e.first == record.owner;
+        });
+        continue;
+      case WalOp::kMembership:
+        out.epoch = record.epoch;
+        out.members = std::move(record.members);
+        continue;
+      default:
+        break;
+    }
     // Maintain the filter alongside the store exactly as the live server
     // does: insert adds, remove removes, clear clears, update leaves the
     // membership set untouched.
@@ -106,7 +151,7 @@ Result<RecoveredState> RecoverState(
       case WalOp::kClear:
         replayed.Clear();
         break;
-      case WalOp::kUpdate:
+      default:
         break;
     }
     batch.push_back(ToStoreMutation(std::move(record)));

@@ -31,7 +31,9 @@ inline constexpr char kWalFileName[] = "wal.log";
 
 /// Translate one WAL record into the shared store mutation type (WAL
 /// replay and replica migration both funnel through
-/// MetadataStore::ApplyBatch).
+/// MetadataStore::ApplyBatch). Only meaningful for the file-mutation ops
+/// (kInsert/kUpdate/kRemove/kClear); reconfiguration records are replayed
+/// into the replica array / cluster view instead.
 StoreMutation ToStoreMutation(WalRecord record);
 
 struct RecoveredState {
@@ -53,6 +55,11 @@ struct RecoveredState {
   /// checkpointed filter had saturated counters; the rebuilt (exact) one
   /// was installed instead.
   bool filter_matched = true;
+
+  /// Recovered cluster view: the last journaled/checkpointed routing epoch
+  /// and group-member list (kMembership records override the snapshot).
+  std::uint64_t epoch = 0;
+  std::vector<MdsId> members;
 };
 
 /// Run recovery over `data_dir` (which must exist). `filter_template` is an

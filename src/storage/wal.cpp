@@ -30,8 +30,27 @@ void EncodeWalRecordPayload(const WalRecord& record, ByteWriter& out) {
   out.PutU8(static_cast<std::uint8_t>(record.op));
   out.PutU64(record.seq);
   out.PutString(record.path);
-  if (record.op == WalOp::kInsert || record.op == WalOp::kUpdate) {
-    record.metadata.Serialize(out);
+  switch (record.op) {
+    case WalOp::kInsert:
+    case WalOp::kUpdate:
+      record.metadata.Serialize(out);
+      break;
+    case WalOp::kReplicaInstall:
+      out.PutU32(record.owner);
+      out.PutVarint(record.filter_blob.size());
+      out.PutBytes(record.filter_blob);
+      break;
+    case WalOp::kReplicaDrop:
+      out.PutU32(record.owner);
+      break;
+    case WalOp::kMembership:
+      out.PutU64(record.epoch);
+      out.PutVarint(record.members.size());
+      for (const MdsId id : record.members) out.PutU32(id);
+      break;
+    case WalOp::kRemove:
+    case WalOp::kClear:
+      break;
   }
 }
 
@@ -40,7 +59,7 @@ Result<WalRecord> DecodeWalRecordPayload(ByteReader& in) {
   auto op = in.GetU8();
   if (!op.ok()) return op.status();
   if (*op < static_cast<std::uint8_t>(WalOp::kInsert) ||
-      *op > static_cast<std::uint8_t>(WalOp::kClear)) {
+      *op > static_cast<std::uint8_t>(WalOp::kMembership)) {
     return Status::Corruption("bad WAL op");
   }
   record.op = static_cast<WalOp>(*op);
@@ -53,10 +72,54 @@ Result<WalRecord> DecodeWalRecordPayload(ByteReader& in) {
     return Status::Corruption("WAL path too long");
   }
   record.path = std::move(*path);
-  if (record.op == WalOp::kInsert || record.op == WalOp::kUpdate) {
-    auto md = FileMetadata::Deserialize(in);
-    if (!md.ok()) return md.status();
-    record.metadata = std::move(*md);
+  switch (record.op) {
+    case WalOp::kInsert:
+    case WalOp::kUpdate: {
+      auto md = FileMetadata::Deserialize(in);
+      if (!md.ok()) return md.status();
+      record.metadata = std::move(*md);
+      break;
+    }
+    case WalOp::kReplicaInstall: {
+      auto owner = in.GetU32();
+      if (!owner.ok()) return owner.status();
+      record.owner = *owner;
+      auto blob_len = in.GetVarint();
+      if (!blob_len.ok()) return blob_len.status();
+      if (*blob_len > in.remaining()) {
+        return Status::Corruption("WAL replica blob overruns record");
+      }
+      auto blob = in.GetBytes(static_cast<std::size_t>(*blob_len));
+      if (!blob.ok()) return blob.status();
+      record.filter_blob = std::move(*blob);
+      break;
+    }
+    case WalOp::kReplicaDrop: {
+      auto owner = in.GetU32();
+      if (!owner.ok()) return owner.status();
+      record.owner = *owner;
+      break;
+    }
+    case WalOp::kMembership: {
+      auto epoch = in.GetU64();
+      if (!epoch.ok()) return epoch.status();
+      record.epoch = *epoch;
+      auto count = in.GetVarint();
+      if (!count.ok()) return count.status();
+      if (*count > in.remaining() / sizeof(std::uint32_t)) {
+        return Status::Corruption("WAL member count overruns record");
+      }
+      record.members.reserve(static_cast<std::size_t>(*count));
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto id = in.GetU32();
+        if (!id.ok()) return id.status();
+        record.members.push_back(*id);
+      }
+      break;
+    }
+    case WalOp::kRemove:
+    case WalOp::kClear:
+      break;
   }
   return record;
 }

@@ -11,8 +11,13 @@
 // garbage and keep appending.
 //
 // Record frame: [0x57 0x4C]['len' u32 LE]['crc32' u32 LE][payload]
-// Payload:      [op u8][seq u64][path varint-string][metadata?]
-// (metadata present for kInsert/kUpdate only; seq strictly increases)
+// Payload:      [op u8][seq u64][path varint-string][body?]
+// The body depends on the op: kInsert/kUpdate carry FileMetadata,
+// kReplicaInstall carries [owner u32][blob varint-len + bytes],
+// kReplicaDrop carries [owner u32], and kMembership carries
+// [epoch u64][count varint][member u32]* — the migration state machine and
+// cluster-view updates journal through the same frames as file mutations,
+// so crash recovery replays them in one pass (seq strictly increases).
 #pragma once
 
 #include <cstdint>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/lookup_outcome.hpp"
 #include "common/status.hpp"
 #include "mds/metadata.hpp"
 #include "storage/options.hpp"
@@ -41,6 +47,12 @@ enum class WalOp : std::uint8_t {
   kUpdate = 2,  ///< overwrite existing record (path + metadata)
   kRemove = 3,  ///< erase record (path only)
   kClear = 4,   ///< drop all records (migration drain; no path)
+  // Online-reconfiguration records: the replica handoff and cluster-view
+  // changes journal through the same log so a kill -9 at any migration
+  // phase recovers to a consistent placement.
+  kReplicaInstall = 5,  ///< install/refresh an outsider replica (owner + blob)
+  kReplicaDrop = 6,     ///< retire an outsider replica (owner only)
+  kMembership = 7,      ///< routing epoch + group member list
 };
 
 struct WalRecord {
@@ -48,6 +60,12 @@ struct WalRecord {
   std::uint64_t seq = 0;  ///< strictly increasing per log
   std::string path;
   FileMetadata metadata;  ///< meaningful for kInsert / kUpdate
+  /// Reconfiguration fields (meaningful for the ops noted).
+  MdsId owner = 0;  ///< kReplicaInstall / kReplicaDrop: replica's home MDS
+  std::vector<std::uint8_t> filter_blob;  ///< kReplicaInstall: compressed
+                                          ///< filter, opaque to the log
+  std::uint64_t epoch = 0;                ///< kMembership: routing epoch
+  std::vector<MdsId> members;             ///< kMembership: group peers
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };

@@ -1,0 +1,128 @@
+#include "core/adaptivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ghba {
+namespace {
+
+AdaptivityOptions Enabled() {
+  AdaptivityOptions options;
+  options.enabled = true;
+  options.cooldown_ticks = 2;
+  options.min_lookup_samples = 64;
+  return options;
+}
+
+/// A healthy, within-thresholds cluster sample: 8 servers in groups of 4
+/// (within M=8), memory half full, warm counters, no dead peers.
+AdaptivitySignals SteadySignals() {
+  AdaptivitySignals signals;
+  signals.num_mds = 8;
+  signals.num_groups = 2;
+  signals.largest_group = 4;
+  signals.max_group_size = 8;
+  signals.lookups_total = 10000;
+  signals.lookup_state_bytes = 512 << 10;
+  signals.memory_budget_bytes = 1 << 20;
+  signals.dead_peers = 0;
+  signals.latency.p_lru = 0.5;
+  signals.latency.p_l2 = 0.3;
+  signals.latency.d_lru = 0.01;
+  signals.latency.d_l2 = 0.05;
+  signals.latency.d_group = 0.5;
+  signals.latency.d_net = 0.2;
+  return signals;
+}
+
+TEST(AdaptivityControllerTest, DisabledNeverActs) {
+  AdaptivityController controller{AdaptivityOptions{}};  // enabled=false
+  auto signals = SteadySignals();
+  signals.largest_group = signals.max_group_size + 5;  // flagrant violation
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kNone);
+}
+
+TEST(AdaptivityControllerTest, SteadyStateHoldsStill) {
+  AdaptivityController controller{Enabled()};
+  const auto decision = controller.Evaluate(SteadySignals());
+  EXPECT_EQ(decision.action, AdaptiveAction::kNone);
+  EXPECT_EQ(controller.cooldown_remaining(), 0u);
+}
+
+TEST(AdaptivityControllerTest, GroupPastHardCeilingSplitsWithoutSamples) {
+  AdaptivityController controller{Enabled()};
+  auto signals = SteadySignals();
+  signals.largest_group = 9;  // > M=8
+  signals.lookups_total = 0;  // cold counters must not gate the invariant
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kSplitGroup);
+}
+
+TEST(AdaptivityControllerTest, MemoryOverloadAddsServer) {
+  AdaptivityController controller{Enabled()};
+  auto signals = SteadySignals();
+  signals.lookup_state_bytes = signals.memory_budget_bytes;  // 100% full
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kAddServer);
+}
+
+TEST(AdaptivityControllerTest, ColdCountersGateMeasuredDecisions) {
+  AdaptivityController controller{Enabled()};
+  auto signals = SteadySignals();
+  signals.lookups_total = 3;  // below min_lookup_samples
+  signals.lookup_state_bytes = 0;  // would otherwise look underloaded
+  const auto decision = controller.Evaluate(signals);
+  EXPECT_EQ(decision.action, AdaptiveAction::kNone);
+  EXPECT_EQ(decision.reason, "too few lookup samples");
+}
+
+TEST(AdaptivityControllerTest, GroupPastMeasuredOptimumSplits) {
+  AdaptivityController controller{Enabled()};
+  auto signals = SteadySignals();
+  // Make the global multicast expensive: Eq. 4 scales D_net by M, so a
+  // large D_net pushes the Eq. 2 argmax down to small groups and the
+  // current fullest group (4, within the hard ceiling 8) is now oversized.
+  signals.latency.d_net = 2.0;
+  const std::uint32_t optimum = controller.RecommendedGroupSize(signals);
+  ASSERT_LT(optimum, signals.largest_group);
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kSplitGroup);
+}
+
+TEST(AdaptivityControllerTest, UnderloadRemovesServerOnlyWhenHealthy) {
+  auto signals = SteadySignals();
+  signals.lookup_state_bytes = 1 << 10;  // ~0.1% of the budget
+  {
+    AdaptivityController controller{Enabled()};
+    EXPECT_EQ(controller.Evaluate(signals).action,
+              AdaptiveAction::kRemoveServer);
+  }
+  {
+    AdaptivityController controller{Enabled()};
+    auto sick = signals;
+    sick.dead_peers = 1;  // a fail-over is in flight: capacity is stale
+    EXPECT_EQ(controller.Evaluate(sick).action, AdaptiveAction::kNone);
+  }
+}
+
+TEST(AdaptivityControllerTest, MinServersFloorsShrinking) {
+  auto options = Enabled();
+  options.min_servers = 8;
+  AdaptivityController controller{options};
+  auto signals = SteadySignals();  // num_mds = 8 == floor
+  signals.lookup_state_bytes = 0;
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kNone);
+}
+
+TEST(AdaptivityControllerTest, CooldownThrottlesConsecutiveActions) {
+  AdaptivityController controller{Enabled()};  // cooldown_ticks = 2
+  auto signals = SteadySignals();
+  signals.largest_group = signals.max_group_size + 1;
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kSplitGroup);
+  EXPECT_EQ(controller.cooldown_remaining(), 2u);
+  // The violation persists, but the controller waits out its own dust.
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kNone);
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kNone);
+  EXPECT_EQ(controller.Evaluate(signals).action, AdaptiveAction::kSplitGroup);
+}
+
+}  // namespace
+}  // namespace ghba

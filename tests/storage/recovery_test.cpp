@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "bloom/compressed.hpp"
 #include "storage/checkpoint.hpp"
 #include "storage/engine.hpp"
 
@@ -306,6 +307,92 @@ TEST_F(RecoveryTest, EngineCheckpointsWhenWalOutgrowsThreshold) {
   ASSERT_TRUE(state.ok());
   EXPECT_EQ(state->store.size(), store.size());
   EXPECT_EQ(state->replay_records, 0u);
+}
+
+TEST_F(RecoveryTest, ReplicaRecordsReplayIntoReplicaArray) {
+  auto replica = BloomFilter::ForCapacity(64, 8.0, /*seed=*/3);
+  replica.Add("/remote");
+  const auto blob = CompressFilter(replica);
+  {
+    auto engine = StorageEngine::Open(Options(), Template(), nullptr);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->LogReplicaInstall(4, blob).ok());
+    ASSERT_TRUE((*engine)->LogReplicaInstall(8, blob).ok());
+    ASSERT_TRUE((*engine)->LogReplicaDrop(8).ok());
+  }
+  // Install-then-drop nets out to exactly one surviving replica: the
+  // placement a crash between migration phases recovers to is always one
+  // of the two journaled endpoints, never a half-state.
+  const auto state = RecoverState(dir_, Template());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->replicas.size(), 1u);
+  EXPECT_EQ(state->replicas[0].first, 4u);
+  EXPECT_TRUE(state->replicas[0].second.MayContain("/remote"));
+}
+
+TEST_F(RecoveryTest, ReinstallOverwritesExistingReplica) {
+  auto v1 = BloomFilter::ForCapacity(64, 8.0, /*seed=*/3);
+  v1.Add("/stale");
+  auto v2 = BloomFilter::ForCapacity(64, 8.0, /*seed=*/3);
+  v2.Add("/fresh");
+  {
+    auto engine = StorageEngine::Open(Options(), Template(), nullptr);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->LogReplicaInstall(2, CompressFilter(v1)).ok());
+    ASSERT_TRUE((*engine)->LogReplicaInstall(2, CompressFilter(v2)).ok());
+  }
+  const auto state = RecoverState(dir_, Template());
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state->replicas.size(), 1u);
+  EXPECT_TRUE(state->replicas[0].second.MayContain("/fresh"));
+  EXPECT_FALSE(state->replicas[0].second.MayContain("/stale"));
+}
+
+TEST_F(RecoveryTest, MembershipRecordsRecoverLatestView) {
+  {
+    auto engine = StorageEngine::Open(Options(), Template(), nullptr);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->LogMembership(3, {0, 1}).ok());
+    ASSERT_TRUE((*engine)->LogMembership(7, {0, 1, 2}).ok());
+    EXPECT_EQ((*engine)->view_epoch(), 7u);
+  }
+  const auto state = RecoverState(dir_, Template());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state->epoch, 7u);
+  EXPECT_EQ(state->members, (std::vector<MdsId>{0, 1, 2}));
+}
+
+TEST_F(RecoveryTest, CheckpointCarriesClusterView) {
+  {
+    auto engine = StorageEngine::Open(Options(), Template(), nullptr);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->LogMembership(5, {1, 2}).ok());
+    MetadataStore store;
+    ASSERT_TRUE((*engine)->WriteCheckpoint(store, Template(), {}).ok());
+    EXPECT_EQ((*engine)->wal().size_bytes(), 0u);  // view lives on anyway
+  }
+  auto engine = StorageEngine::Open(Options(), Template(), nullptr);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ((*engine)->recovery_info().epoch, 5u);
+  EXPECT_EQ((*engine)->view_epoch(), 5u);
+  EXPECT_EQ((*engine)->view_members(), (std::vector<MdsId>{1, 2}));
+}
+
+TEST_F(RecoveryTest, OversizedReplicaBlobIsSkippedNotTorn) {
+  // A blob too large for one WAL frame must not be journaled: it would
+  // read back as a torn tail and take every later record with it.
+  const std::vector<std::uint8_t> huge(kMaxWalRecordBytes, 0xab);
+  {
+    auto engine = StorageEngine::Open(Options(), Template(), nullptr);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->LogReplicaInstall(3, huge).ok());  // skipped, Ok
+    ASSERT_TRUE((*engine)->LogInsert("/after", Md(1)).ok());
+  }
+  const auto state = RecoverState(dir_, Template());
+  ASSERT_TRUE(state.ok());
+  EXPECT_FALSE(state->torn_tail);
+  EXPECT_TRUE(state->replicas.empty());
+  EXPECT_TRUE(state->store.Contains("/after"));
 }
 
 TEST_F(RecoveryTest, ToStoreMutationMapsEveryOp) {

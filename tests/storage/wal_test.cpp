@@ -98,6 +98,103 @@ TEST(WalCodecTest, RejectsBadOpAndLongPath) {
   EXPECT_FALSE(DecodeWalRecordPayload(r2).ok());
 }
 
+TEST(WalCodecTest, ReplicaInstallRoundTrip) {
+  WalRecord record;
+  record.op = WalOp::kReplicaInstall;
+  record.seq = 11;
+  record.owner = 4;
+  record.filter_blob = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  ByteWriter w;
+  EncodeWalRecordPayload(record, w);
+  ByteReader r(w.data());
+  const auto decoded = DecodeWalRecordPayload(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(WalCodecTest, ReplicaDropRoundTrip) {
+  WalRecord record;
+  record.op = WalOp::kReplicaDrop;
+  record.seq = 12;
+  record.owner = 9;
+  ByteWriter w;
+  EncodeWalRecordPayload(record, w);
+  ByteReader r(w.data());
+  const auto decoded = DecodeWalRecordPayload(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(WalCodecTest, MembershipRoundTrip) {
+  WalRecord record;
+  record.op = WalOp::kMembership;
+  record.seq = 13;
+  record.epoch = 42;
+  record.members = {0, 3, 7, 11};
+  ByteWriter w;
+  EncodeWalRecordPayload(record, w);
+  ByteReader r(w.data());
+  const auto decoded = DecodeWalRecordPayload(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(*decoded, record);
+}
+
+TEST(WalCodecTest, RejectsTruncatedReplicaBlob) {
+  WalRecord record;
+  record.op = WalOp::kReplicaInstall;
+  record.seq = 1;
+  record.owner = 2;
+  record.filter_blob.assign(64, 0x5a);
+  ByteWriter w;
+  EncodeWalRecordPayload(record, w);
+  auto bytes = w.Take();
+  bytes.resize(bytes.size() - 16);  // blob length now overruns the record
+  ByteReader r(bytes);
+  EXPECT_FALSE(DecodeWalRecordPayload(r).ok());
+}
+
+TEST(WalCodecTest, RejectsTruncatedMemberList) {
+  WalRecord record;
+  record.op = WalOp::kMembership;
+  record.seq = 1;
+  record.epoch = 5;
+  record.members = {1, 2, 3, 4, 5, 6, 7, 8};
+  ByteWriter w;
+  EncodeWalRecordPayload(record, w);
+  auto bytes = w.Take();
+  bytes.resize(bytes.size() - 6);  // member count now overruns the record
+  ByteReader r(bytes);
+  EXPECT_FALSE(DecodeWalRecordPayload(r).ok());
+}
+
+TEST(WalReplayTest, ReconfigurationRecordsReplayInline) {
+  WalRecord install;
+  install.op = WalOp::kReplicaInstall;
+  install.seq = 2;
+  install.owner = 3;
+  install.filter_blob = {1, 2, 3};
+  WalRecord membership;
+  membership.op = WalOp::kMembership;
+  membership.seq = 3;
+  membership.epoch = 7;
+  membership.members = {0, 3};
+  WalRecord drop;
+  drop.op = WalOp::kReplicaDrop;
+  drop.seq = 4;
+  drop.owner = 3;
+  const auto buf =
+      FramesFor({Insert(1, "/a"), install, membership, drop, Insert(5, "/b")});
+  const auto replay = ReplayWalBuffer(buf, 0);
+  ASSERT_EQ(replay.records.size(), 5u);
+  EXPECT_FALSE(replay.torn_tail);
+  EXPECT_EQ(replay.records[1], install);
+  EXPECT_EQ(replay.records[2], membership);
+  EXPECT_EQ(replay.records[3], drop);
+}
+
 TEST(WalReplayTest, CleanLogReplaysEverything) {
   const auto buf = FramesFor({Insert(1, "/a"), Remove(2, "/a"), Insert(3, "/b")});
   const auto replay = ReplayWalBuffer(buf, /*from_seq=*/0);

@@ -4,6 +4,7 @@
 //
 //   $ ghba_workload [--servers N] [--group M] [--files F] [--shards S]
 //                   [--batch] [--ports-file PATH] [--hold] [--data-dir DIR]
+//                   [--churn SECS]
 //
 // Starts an N-MDS G-HBA cluster over loopback TCP, inserts F files,
 // publishes replicas, looks every file up twice (the repeat exercises the
@@ -13,16 +14,27 @@
 //   lookups=<count issued>
 //   ports=<p0> <p1> ...
 //
+// With --churn SECS the workload then runs SECS seconds of membership
+// churn under live load: a background thread keeps looking files up while
+// the main thread gracefully removes and re-adds servers. Every lookup
+// answer is audited — a not-found or a non-transient error is a wrong
+// lookup — and the run fails unless wrong == 0 and at least one
+// reconfiguration actually happened. The reconfig-chaos CI stage drives
+// this mode. Churn results go to stdout as churn_* key=value lines.
+//
 // With --hold the process then blocks until stdin reaches EOF (or a line
 // arrives), keeping the servers alive; the e2e CI smoke uses this to run
 // `ghba_stats --json` against a real cluster and assert the accounting
 // invariant l1+l2+l3+l4+miss == lookups.
 //
 // Exit status: 0 on success, 1 on any cluster/workload failure.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "rpc/prototype_cluster.hpp"
@@ -38,6 +50,7 @@ int main(int argc, char** argv) {
   std::string ports_file;
   std::string data_dir;
   bool hold = false;
+  double churn_secs = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--servers") == 0 && i + 1 < argc) {
       num_servers = static_cast<std::uint32_t>(std::atoi(argv[++i]));
@@ -55,11 +68,14 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(argv[i], "--hold") == 0) {
       hold = true;
+    } else if (std::strcmp(argv[i], "--churn") == 0 && i + 1 < argc) {
+      churn_secs = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--servers N] [--group M] [--files F] "
                    "[--shards S] [--batch] "
-                   "[--ports-file PATH] [--hold] [--data-dir DIR]\n",
+                   "[--ports-file PATH] [--hold] [--data-dir DIR] "
+                   "[--churn SECS]\n",
                    argv[0]);
       return 2;
     }
@@ -130,6 +146,64 @@ int main(int argc, char** argv) {
       return 1;
     }
     ++lookups;
+  }
+
+  if (churn_secs > 0) {
+    // Membership churn under live load: lookups keep flowing from a
+    // background thread while servers gracefully leave and fresh ones
+    // join. RemoveServer drains the leaver's files to the survivors, so
+    // every file must stay resolvable throughout; an unreachable-peer
+    // error is transient (the orchestrator's next call retries), a
+    // not-found is a wrong lookup and fails the run.
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> churn_lookups{0};
+    std::atomic<std::uint64_t> churn_wrong{0};
+    std::thread load([&] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto r = cluster.Lookup("/wk/f" + std::to_string(i % num_files));
+        ++i;
+        churn_lookups.fetch_add(1, std::memory_order_relaxed);
+        const bool wrong = r.ok() ? !r->found
+                                  : r.status().code() != StatusCode::kUnavailable;
+        if (wrong) churn_wrong.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    std::uint64_t rounds = 0;
+    const auto stop_at = std::chrono::steady_clock::now() +
+                         std::chrono::duration<double>(churn_secs);
+    while (std::chrono::steady_clock::now() < stop_at) {
+      const auto alive = cluster.AliveServers();
+      if (alive.size() > 1) {
+        if (!cluster.RemoveServer(alive.back(), nullptr).ok()) {
+          std::fprintf(stderr, "churn: remove failed\n");
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (!cluster.AddServer(nullptr).ok()) {
+        std::fprintf(stderr, "churn: add failed\n");
+      }
+      ++rounds;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    load.join();
+    const std::uint64_t reconfig_msgs =
+        cluster.metrics().reconfig_messages.value();
+    std::printf("churn_rounds=%llu\n", static_cast<unsigned long long>(rounds));
+    std::printf("churn_lookups=%llu\n",
+                static_cast<unsigned long long>(churn_lookups.load()));
+    std::printf("churn_wrong=%llu\n",
+                static_cast<unsigned long long>(churn_wrong.load()));
+    std::printf("churn_reconfig_messages=%llu\n",
+                static_cast<unsigned long long>(reconfig_msgs));
+    std::printf("churn_epoch=%llu\n",
+                static_cast<unsigned long long>(cluster.RoutingEpoch()));
+    if (churn_wrong.load() != 0 || reconfig_msgs == 0 ||
+        churn_lookups.load() == 0) {
+      std::fprintf(stderr, "churn failed the zero-wrong-lookups bar\n");
+      return 1;
+    }
   }
 
   // Make sure every one-way kReportOutcome frame has been folded into the
