@@ -23,15 +23,18 @@ void Require(bool cond) {
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size < 1) return 0;
-  const std::uint8_t selector = data[0] % 9;
+  const std::uint8_t selector = data[0] % 12;
   ghba::ByteReader in(std::span(data + 1, size - 1));
 
   switch (selector) {
     case 0: {
       const auto type = ghba::DecodeType(in);
       if (type.ok()) {
+        // Bound must track the newest MsgType: it froze at kRecoveryInfo
+        // when v3 added types 19-22, so a mutated frame carrying a valid
+        // kVersion..kGetMembership tag tripped this Require.
         Require(*type >= ghba::MsgType::kLookupLocal &&
-                *type <= ghba::MsgType::kRecoveryInfo);
+                *type <= ghba::MsgType::kGetMembership);
       }
       break;
     }
@@ -141,6 +144,50 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
         Require(reopened.ok() && reopened->has_payload);
         const auto redecoded = ghba::DecodeRecoveryInfoResp(again);
         Require(redecoded.ok() && *redecoded == *info);
+      }
+      break;
+    }
+    case 9: {
+      const auto version = ghba::DecodeVersionResp(in);
+      if (version.ok()) {
+        const auto bytes = ghba::EncodeVersionResp(*version);
+        ghba::ByteReader again(bytes);
+        auto reopened = ghba::OpenEnvelope(again);
+        Require(reopened.ok() && reopened->has_payload);
+        const auto redecoded = ghba::DecodeVersionResp(again);
+        Require(redecoded.ok() && *redecoded == *version);
+      }
+      break;
+    }
+    case 10: {
+      const auto resp = ghba::DecodeMembershipResp(in);
+      if (resp.ok()) {
+        const auto bytes = ghba::EncodeMembershipResp(*resp);
+        ghba::ByteReader again(bytes);
+        auto reopened = ghba::OpenEnvelope(again);
+        Require(reopened.ok() && reopened->has_payload);
+        const auto redecoded = ghba::DecodeMembershipResp(again);
+        Require(redecoded.ok() && *redecoded == *resp);
+      }
+      break;
+    }
+    case 11: {
+      // Batch responses: each sub-frame is a complete enveloped response;
+      // a mangled envelope byte inside one sub-frame must fail that
+      // sub-decode without disturbing the outer framing.
+      const auto subs = ghba::DecodeBatchResp(in);
+      if (subs.ok()) {
+        const auto bytes = ghba::EncodeBatchResp(*subs);
+        ghba::ByteReader again(bytes);
+        auto reopened = ghba::OpenEnvelope(again);
+        Require(reopened.ok() && reopened->has_payload);
+        const auto redecoded = ghba::DecodeBatchResp(again);
+        Require(redecoded.ok() && *redecoded == *subs);
+        for (const auto& sub : *subs) {
+          ghba::ByteReader sub_in(sub);
+          // Sub-envelope corruption is a legal mutation; only crashes count.
+          (void)ghba::OpenEnvelope(sub_in);
+        }
       }
       break;
     }

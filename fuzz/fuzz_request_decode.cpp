@@ -26,27 +26,45 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case ghba::MsgType::kGlobalProbe:
     case ghba::MsgType::kVerify:
     case ghba::MsgType::kUnlink:
+      // Decode failures are the expected fuzz outcome everywhere below;
+      // the property is "no crash", not "no error".
       (void)in.GetString();
       break;
     case ghba::MsgType::kTouchLru: {
-      if (in.GetString().ok()) (void)in.GetU32();
+      if (in.GetString().ok()) (void)in.GetU32();  // error = valid outcome
       break;
     }
     case ghba::MsgType::kInsert: {
-      if (in.GetString().ok()) (void)ghba::FileMetadata::Deserialize(in);
+      if (in.GetString().ok())
+        (void)ghba::FileMetadata::Deserialize(in);  // error = valid outcome
       break;
     }
     case ghba::MsgType::kReplicaInstall: {
-      if (in.GetU32().ok()) (void)ghba::DecompressFilter(in);
+      if (in.GetU32().ok()) (void)ghba::DecompressFilter(in);  // ditto
       break;
     }
     case ghba::MsgType::kReplicaDrop:
     case ghba::MsgType::kReplicaFetch:
-      (void)in.GetU32();
+      (void)in.GetU32();  // error = valid outcome
       break;
     case ghba::MsgType::kReportOutcome:
-      (void)ghba::DecodeOutcomeReport(in);
+      (void)ghba::DecodeOutcomeReport(in);  // error = valid outcome
       break;
+    case ghba::MsgType::kMembershipUpdate:
+      (void)ghba::DecodeMembershipUpdate(in);  // error = valid outcome
+      break;
+    case ghba::MsgType::kBatch: {
+      // Sub-frames are recursively typed; mirror Handle's one-level parse
+      // (nested batches are rejected by DecodeBatchRequest itself).
+      auto subs = ghba::DecodeBatchRequest(in);
+      if (subs.ok()) {
+        for (const auto& sub : *subs) {
+          ghba::ByteReader sub_in(sub);
+          (void)ghba::DecodeType(sub_in);  // error = valid outcome
+        }
+      }
+      break;
+    }
     case ghba::MsgType::kGetFilter:
     case ghba::MsgType::kGetStats:
     case ghba::MsgType::kPing:
@@ -54,6 +72,8 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case ghba::MsgType::kExportFiles:
     case ghba::MsgType::kStatsSnapshot:
     case ghba::MsgType::kRecoveryInfo:
+    case ghba::MsgType::kVersion:
+    case ghba::MsgType::kGetMembership:
       break;  // no arguments
   }
   return 0;

@@ -87,6 +87,10 @@ int main(int argc, char** argv) {
   // --- fuzz_protocol_decode: selector + response body ---
   WriteSeed(root, "fuzz_protocol_decode", "type",
             Sel(0, ghba::EncodeHeader(ghba::MsgType::kGetStats)));
+  // Pins the decoder's upper bound at the newest v3 type: this seed used
+  // to trap the harness's stale range check (frozen at kRecoveryInfo).
+  WriteSeed(root, "fuzz_protocol_decode", "type_v3",
+            Sel(0, ghba::EncodeHeader(ghba::MsgType::kGetMembership)));
   WriteSeed(root, "fuzz_protocol_decode", "envelope_error",
             Sel(1, ghba::EncodeStatusResp(ghba::Status::NotFound("nope"))));
   WriteSeed(root, "fuzz_protocol_decode", "envelope_ok",
@@ -150,6 +154,23 @@ int main(int argc, char** argv) {
   recovery.filter_matched = true;
   WriteSeed(root, "fuzz_protocol_decode", "recovery_info",
             Sel(8, StripEnvelope(ghba::EncodeRecoveryInfoResp(recovery))));
+  WriteSeed(root, "fuzz_protocol_decode", "version",
+            Sel(9, StripEnvelope(ghba::EncodeVersionResp(
+                       ghba::kProtocolVersion))));
+  ghba::MembershipResp membership;
+  membership.epoch = 7;
+  membership.members = {1, 2, 5};
+  WriteSeed(root, "fuzz_protocol_decode", "membership",
+            Sel(10, StripEnvelope(ghba::EncodeMembershipResp(membership))));
+  {
+    // A batch response: one OK status sub-frame, one typed bool sub-frame.
+    std::vector<Bytes> subs = {
+        ghba::EncodeStatusResp(ghba::Status::Ok()),
+        ghba::EncodeBoolResp(true),
+    };
+    WriteSeed(root, "fuzz_protocol_decode", "batch",
+              Sel(11, StripEnvelope(ghba::EncodeBatchResp(subs))));
+  }
 
   // --- fuzz_request_decode: whole request frames ---
   WriteSeed(root, "fuzz_request_decode", "lookup",
@@ -175,6 +196,25 @@ int main(int argc, char** argv) {
             ghba::EncodeOutcomeReport(report));
   WriteSeed(root, "fuzz_request_decode", "recovery_info",
             ghba::EncodeHeader(ghba::MsgType::kRecoveryInfo));
+  WriteSeed(root, "fuzz_request_decode", "version",
+            ghba::EncodeHeader(ghba::MsgType::kVersion));
+  WriteSeed(root, "fuzz_request_decode", "get_membership",
+            ghba::EncodeHeader(ghba::MsgType::kGetMembership));
+  ghba::MembershipUpdate update;
+  update.epoch = 8;
+  update.reason = ghba::ReconfigReason::kSplit;
+  update.members = {1, 2, 3, 4};
+  WriteSeed(root, "fuzz_request_decode", "membership_update",
+            ghba::EncodeMembershipUpdate(update));
+  {
+    // A pipelined batch of three request sub-frames.
+    std::vector<Bytes> subs = {
+        ghba::EncodePathRequest(ghba::MsgType::kLookupLocal, "/usr/bin"),
+        ghba::EncodeInsert("/batched/file", SampleMetadata()),
+        ghba::EncodeHeader(ghba::MsgType::kPing),
+    };
+    WriteSeed(root, "fuzz_request_decode", "batch", ghba::EncodeBatch(subs));
+  }
 
   // --- fuzz_filter_decompress: raw and gap-coded compressed filters ---
   WriteSeed(root, "fuzz_filter_decompress", "raw",
@@ -204,6 +244,7 @@ int main(int argc, char** argv) {
     ghba::IdBloomArray idbfa;
     idbfa.AddMember(1);
     idbfa.AddMember(2);
+    // Members 1 and 2 were just added; the replica adds cannot fail.
     (void)idbfa.AddReplica(1, 7);
     (void)idbfa.AddReplica(2, 9);
     ghba::ByteWriter w;

@@ -10,7 +10,9 @@ namespace ghba {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // Guards the stderr sink: one log line reaches the stream atomically.
-Mutex g_sink_mutex;
+// Lowest rank: logging happens under arbitrary locks, and nothing may be
+// acquired while a line is being written.
+Mutex g_sink_mutex{LockRank::kLogging};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {

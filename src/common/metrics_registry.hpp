@@ -61,7 +61,7 @@ class MetricsRegistry {
   struct HistogramCell {
     static constexpr std::size_t kStripes = 8;
     struct alignas(64) Stripe {
-      mutable Mutex mu;
+      mutable Mutex mu{LockRank::kMetricsStripe};
       Histogram hist GHBA_GUARDED_BY(mu);
     };
     Stripe stripes[kStripes];
@@ -156,7 +156,8 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable Mutex mu_;
+  // Ranked above the stripes: Snapshot() merges histograms under mu_.
+  mutable Mutex mu_{LockRank::kMetricsRegistry};
   // node-based maps: cell addresses are stable across inserts.
   std::map<std::string, std::unique_ptr<CounterCell>> counters_
       GHBA_GUARDED_BY(mu_);

@@ -43,7 +43,15 @@ constexpr const char* StatusCodeName(StatusCode code) {
 
 /// A cheap, value-semantic status: a code plus an optional message.
 /// The OK status carries no allocation.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning Status warn
+/// (error under -Werror) when the result is dropped: a silently ignored
+/// failure — a WAL append that didn't happen, an ack for a mutation that
+/// was rolled back — voids the crash-safety guarantees the storage engine
+/// provides. Deliberate discards must be spelled `(void)call()` WITH a
+/// comment on the same or preceding line saying why ignoring is sound;
+/// the `ghba-unchecked-status` check (tools/tidy/) enforces the comment.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -98,8 +106,10 @@ class Status {
 };
 
 /// Result<T>: either a value or a non-OK Status (std::expected stand-in).
+/// [[nodiscard]] for the same reason as Status: dropping one drops an
+/// error with it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : state_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : state_(std::move(status)) {  // NOLINT

@@ -1,4 +1,5 @@
-// Clang thread-safety annotations and annotated synchronization wrappers.
+// Clang thread-safety annotations, annotated synchronization wrappers, and
+// the lock-rank discipline (compile-time + optional runtime "lockdep").
 //
 // Every mutex-guarded structure in the library declares *at compile time*
 // which lock guards which field (GHBA_GUARDED_BY) and which capability each
@@ -7,10 +8,38 @@
 // test happens to exercise. On non-Clang compilers every macro expands to
 // nothing and Mutex/MutexLock behave exactly like std::mutex/lock_guard.
 //
+// On top of the per-mutex discipline sits an *inter*-mutex discipline:
+// every Mutex carries a mandatory static LockRank, and the global rule is
+//
+//     a thread may only acquire a Mutex whose rank is strictly LOWER
+//     than the rank of every Mutex it already holds.
+//
+// Ranks therefore read top-down: the highest rank (kCluster) is always
+// outermost, the lowest (kLogging) is a leaf that may be taken while
+// holding anything but can nest nothing inside itself. Because the order
+// is total and acquisition is strictly decreasing, no cycle can ever form
+// across threads — an A->B order on one thread and a B->A order on another
+// necessarily contains one rank-increasing acquisition, which is refused.
+//
+// The rule is enforced twice:
+//   * statically, by the `ghba-mutex-rank` check in tools/tidy/ (every
+//     Mutex member must be initialized from a LockRank enumerator, and
+//     lexically nested MutexLock scopes whose ranks do not strictly
+//     decrease are compile-time diagnostics), and
+//   * dynamically, when built with -DGHBA_LOCKDEP=1 (cmake -DGHBA_LOCKDEP=ON):
+//     every Lock/Unlock maintains a per-thread held-lock stack, records the
+//     cross-thread acquisition graph, and aborts with both acquisition
+//     backtraces on the first rank inversion — *before* blocking on the
+//     mutex, so a would-be deadlock dies loudly instead of hanging.
+// With GHBA_LOCKDEP off (the default) the validator compiles away entirely:
+// Mutex is layout-identical to std::mutex (static_assert'ed below).
+//
 // See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
 // attribute semantics. The macro set follows the naming in that document.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -62,32 +91,178 @@
 
 namespace ghba {
 
-/// std::mutex with capability annotations. Drop-in for the plain type:
-/// same cost, but fields can be GHBA_GUARDED_BY it and functions can
-/// GHBA_REQUIRES it.
+/// The global lock order, lowest (innermost leaf) to highest (outermost).
+/// A thread may only acquire a Mutex ranked strictly below everything it
+/// already holds, so acquisition chains walk this table top-down:
+///
+///   rank              instance(s)                        holder
+///   ----------------  ---------------------------------  ------------------
+///   kCluster          PrototypeCluster::mu_              orchestrator/client
+///   kServerWal        MdsServer::wal_mu_                 durable engine
+///   kServerFilter     MdsServer::filter_mu_              local filter
+///   kServerSeg        MdsServer::seg_mu_                 segment replicas
+///   kServerShard      MdsServer::Shard::mu (per shard)   worker task queues
+///   kServerMaint      MdsServer::maint_mu_               maintenance inputs
+///   kServerOut        MdsServer::out_mu_                 completion outbox
+///   kServerView       MdsServer::view_mu_                membership view
+///   kServerErr        MdsServer::err_mu_                 last_error_
+///   kFaultInjector    FaultInjector::mu_                 fault decisions
+///   kHealth           PeerHealthTracker::mu_             peer states
+///   kMetricsRegistry  MetricsRegistry::mu_               metric name maps
+///   kMetricsStripe    HistogramCell::Stripe::mu (x8)     histogram stripes
+///   kLogging          logging.cpp g_sink_mutex           stderr sink
+///
+/// Real chains this order admits (all observed in the code):
+///   cluster -> {any server lock, health, injector, metrics, logging}
+///   wal -> filter / wal -> seg        (mutation journaling + checkpoint)
+///   shard -> injector                 (stall probe inside the worker wait)
+///   registry -> stripe                (Snapshot merging histograms)
+///   anything -> logging               (GHBA_LOG under any lock)
+enum class LockRank : std::uint8_t {
+  kLogging = 0,
+  kMetricsStripe = 1,
+  kMetricsRegistry = 2,
+  kHealth = 3,
+  kFaultInjector = 4,
+  kServerErr = 5,
+  kServerView = 6,
+  kServerOut = 7,
+  kServerMaint = 8,
+  kServerShard = 9,
+  kServerSeg = 10,
+  kServerFilter = 11,
+  kServerWal = 12,
+  kCluster = 13,
+};
+
+/// Number of distinct ranks (size of the lockdep acquisition graph).
+inline constexpr std::size_t kLockRankCount = 14;
+
+/// Human-readable name for a LockRank (diagnostics).
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kLogging: return "logging";
+    case LockRank::kMetricsStripe: return "metrics-stripe";
+    case LockRank::kMetricsRegistry: return "metrics-registry";
+    case LockRank::kHealth: return "health";
+    case LockRank::kFaultInjector: return "fault-injector";
+    case LockRank::kServerErr: return "server-err";
+    case LockRank::kServerView: return "server-view";
+    case LockRank::kServerOut: return "server-out";
+    case LockRank::kServerMaint: return "server-maint";
+    case LockRank::kServerShard: return "server-shard";
+    case LockRank::kServerSeg: return "server-seg";
+    case LockRank::kServerFilter: return "server-filter";
+    case LockRank::kServerWal: return "server-wal";
+    case LockRank::kCluster: return "cluster";
+  }
+  return "unknown";
+}
+
+#if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP
+
+namespace lockdep {
+
+/// Validate the acquisition of (`mu`, `rank`) against this thread's held
+/// stack and record the rank edge in the global acquisition graph. Called
+/// BEFORE blocking on the mutex: a rank inversion aborts (with the current
+/// backtrace, the conflicting lock's acquisition backtrace, and — when the
+/// opposite order was ever observed on any thread — that order's recorded
+/// backtraces) instead of deadlocking.
+void BeforeAcquire(const void* mu, LockRank rank);
+
+/// Push (`mu`, `rank`) onto this thread's held stack (after the lock).
+void AfterAcquire(const void* mu, LockRank rank);
+
+/// Remove `mu` from this thread's held stack (out-of-order safe: waits on
+/// condition_variable_any unlock/relock through the BasicLockable face).
+void OnRelease(const void* mu);
+
+/// Number of locks the calling thread currently holds (test hook).
+std::size_t HeldCount();
+
+}  // namespace lockdep
+
+#endif  // GHBA_LOCKDEP
+
+/// std::mutex with capability annotations and a mandatory static LockRank.
+/// Drop-in for the plain type — same cost in release builds — but fields
+/// can be GHBA_GUARDED_BY it, functions can GHBA_REQUIRES it, and (under
+/// GHBA_LOCKDEP) every acquisition is checked against the global order.
 class GHBA_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// The rank is mandatory: there is deliberately no default constructor,
+  /// so every mutex in the tree documents its place in the global order at
+  /// the point of declaration. `ghba-mutex-rank` additionally requires the
+  /// argument to be a literal LockRank enumerator.
+  explicit Mutex(LockRank rank)
+#if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP
+      : rank_(rank) {
+  }
+#else
+  {
+    (void)rank;
+  }
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() GHBA_ACQUIRE() { mu_.lock(); }
-  void Unlock() GHBA_RELEASE() { mu_.unlock(); }
-  bool TryLock() GHBA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() GHBA_ACQUIRE() {
+#if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP
+    lockdep::BeforeAcquire(this, rank_);
+    mu_.lock();
+    lockdep::AfterAcquire(this, rank_);
+#else
+    mu_.lock();
+#endif
+  }
+  void Unlock() GHBA_RELEASE() {
+#if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP
+    lockdep::OnRelease(this);
+#endif
+    mu_.unlock();
+  }
+  bool TryLock() GHBA_TRY_ACQUIRE(true) {
+#if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP
+    // A try-lock cannot deadlock by itself, but an out-of-rank try-lock is
+    // still a discipline violation here: validate exactly like Lock().
+    lockdep::BeforeAcquire(this, rank_);
+    if (!mu_.try_lock()) return false;
+    lockdep::AfterAcquire(this, rank_);
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
 
   // BasicLockable spelling so std::condition_variable_any can wait on a
   // Mutex directly. The wait's internal unlock/relock is invisible to the
   // analysis, which is exactly right: the capability is held before and
   // after, and the waker re-establishes the invariants before notifying.
-  void lock() GHBA_ACQUIRE() { mu_.lock(); }
-  void unlock() GHBA_RELEASE() { mu_.unlock(); }
+  // Lockdep *does* see it (pop on unlock, re-validate on relock), which is
+  // also right: whatever the thread still holds bounds the relock.
+  void lock() GHBA_ACQUIRE() { Lock(); }
+  void unlock() GHBA_RELEASE() { Unlock(); }
 
   /// For interop with std::condition_variable_any and std::scoped_lock.
+  /// NB: acquisitions through the native handle bypass lockdep; keep it to
+  /// call sites that never hold a second lock.
   std::mutex& native() { return mu_; }
 
  private:
   std::mutex mu_;
+#if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP
+  LockRank rank_;
+#endif
 };
+
+#if !defined(GHBA_LOCKDEP) || !GHBA_LOCKDEP
+// The whole validator must compile to nothing when off: a ranked Mutex is
+// layout-identical to the raw std::mutex it wraps.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "Mutex must carry zero lockdep overhead when GHBA_LOCKDEP "
+              "is off");
+#endif
 
 /// RAII lock for Mutex, annotated so the analysis tracks the scope:
 ///   MutexLock lock(&mu_);   // mu_ held until end of scope

@@ -35,7 +35,15 @@ Status MdsNode::AddLocalFile(const std::string& path, FileMetadata metadata) {
 
 Status MdsNode::RemoveLocalFile(const std::string& path) {
   if (Status s = store_.Remove(path); !s.ok()) return s;
-  local_filter_.Remove(path);
+  // The store held the path, so the counting filter must hold it too (it
+  // is updated on every insert and has no false negatives). A failed
+  // remove therefore proves the filter diverged from the store — silently
+  // dropping that error previously let the divergence compound unlink
+  // after unlink.
+  if (Status s = local_filter_.Remove(path); !s.ok()) {
+    return Status::Internal("local filter diverged from store on unlink of " +
+                            path + ": " + s.ToString());
+  }
   ++mutations_since_publish_;
   return Status::Ok();
 }

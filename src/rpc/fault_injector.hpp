@@ -107,7 +107,10 @@ class FaultInjector {
   Counters counters() const;
 
  private:
-  mutable Mutex mu_;
+  // Below every server lock: workers probe IsShardStalled() while holding
+  // their shard queue mutex, and the event thread draws frame plans mid-
+  // flush; the injector itself never calls back out under mu_.
+  mutable Mutex mu_{LockRank::kFaultInjector};
   /// One decision stream: options, RNG, counters, and the stalled set all
   /// advance together under mu_, so a fixed seed replays a fixed fault
   /// sequence regardless of which thread asks.

@@ -76,7 +76,7 @@ class PeerHealthTracker {
   };
 
   const std::uint32_t suspect_after_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{LockRank::kHealth};
   std::unordered_map<MdsId, Entry> peers_ GHBA_GUARDED_BY(mu_);
   CumulativeCounts totals_ GHBA_GUARDED_BY(mu_);
 };

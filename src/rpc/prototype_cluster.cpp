@@ -441,6 +441,8 @@ Status PrototypeCluster::EnsureCoverage(GroupInfo& g) {
     if (is_member(owner)) to_drop.push_back(owner);
   }
   for (const MdsId owner : to_drop) {
+    // Best-effort cleanup: a failed drop leaves a stale replica that the
+    // next reconfiguration sweep retires.
     (void)Call(g.holder[owner], EncodeReplicaDrop(owner));
     g.holder.erase(owner);
   }
@@ -471,6 +473,7 @@ void PrototypeCluster::PushMembershipLocked(ReconfigReason reason) {
     } else {
       update.members.push_back(id);  // between groups: a view of itself
     }
+    // A server that misses this push re-syncs on its next epoch check.
     (void)Call(id, EncodeMembershipUpdate(update));
   }
 }
@@ -747,9 +750,10 @@ LookupOutcome PrototypeCluster::FinishLookup(const std::string& path,
   report.elapsed_ns = q.trace.TotalElapsedNs();
   report.peers_contacted = q.trace.peers_contacted;
   report.retries = q.trace.retries;
+  // Telemetry one-ways: losing one only skews per-level hit counters.
   (void)OneWay(q.entry, EncodeOutcomeReport(report));
   if (found) {
-    (void)OneWay(q.entry, EncodeTouch(path, home));
+    (void)OneWay(q.entry, EncodeTouch(path, home));  // L1 hint, advisory
   }
   return result;
 }
@@ -908,6 +912,8 @@ Status PrototypeCluster::JoinTopologyLocked(MdsId nid) {
     g.members.push_back(nid);
     group_of_[nid] = target;
     if (g.holder.contains(nid)) {
+      // Best-effort retire of the old holder's copy; a miss leaves a
+      // stale replica, not an inconsistency.
       (void)Call(g.holder[nid], EncodeReplicaDrop(nid));
       g.holder.erase(nid);
     }
@@ -935,6 +941,7 @@ Status PrototypeCluster::JoinTopologyLocked(MdsId nid) {
         auto filter = DecompressFilter(in);
         if (!filter.ok()) return filter.status();
         if (Status s = InstallReplica(nid, owner, *filter); !s.ok()) return s;
+        // Install succeeded; the old copy is now merely redundant.
         (void)Call(m, EncodeReplicaDrop(owner));
         g.holder[owner] = nid;
       }
@@ -1000,6 +1007,7 @@ Result<RecoveryInfoResp> PrototypeCluster::RestartServer(MdsId id) {
     if (scheme_ == ProtoScheme::kHba) continue;  // full mesh keeps them all
     const auto it = assigned->find(owner);
     if (it == assigned->end() || it->second != id) {
+      // Best-effort: an undropped extra replica costs memory, not safety.
       (void)Call(id, EncodeReplicaDrop(owner));
     }
   }
@@ -1072,6 +1080,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
     // Every survivor drops the leaver's replica/filter state and purges L1
     // entries pointing at it.
     for (const MdsId other : AliveServersLocked()) {
+      // Leaver cleanup is advisory; failures leave stale replicas only.
       if (other != id) (void)Call(other, EncodeReplicaDrop(id));
     }
     for (auto& other : groups_) {
@@ -1089,7 +1098,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
     group_of_.erase(id);
     for (const MdsId other : AliveServersLocked()) {
       if (other == id) continue;
-      (void)Call(other, EncodeReplicaDrop(id));
+      (void)Call(other, EncodeReplicaDrop(id));  // advisory, as above
     }
   }
 
@@ -1196,6 +1205,8 @@ Status PrototypeCluster::FailOver(MdsId id) {
   // (if it holds one) and purges its L1 entries pointing there.
   Status result = Status::Ok();
   for (const MdsId other : AliveServersLocked()) {
+    // Failover cleanup: survivors that miss the drop self-heal on the
+    // next membership epoch.
     (void)Call(other, EncodeReplicaDrop(id));
   }
   if (scheme_ == ProtoScheme::kGhba) {
@@ -1293,7 +1304,8 @@ Status PrototypeCluster::MigrateReplica(MdsId owner, MdsId to) {
     return CrashMigrationLocked(from, "flip");
   }
 
-  // Phase 3 — retire: the old holder drops (journals) its copy.
+  // Phase 3 — retire: the old holder drops (journals) its copy. The new
+  // copy is installed, so a failed retire only leaves a stale duplicate.
   (void)Call(from, EncodeReplicaDrop(owner));
   ++metrics_.replicas_migrated;
   metrics_.reconfig_messages += TotalFramesInLocked() - frames_before;

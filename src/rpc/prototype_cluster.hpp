@@ -331,8 +331,10 @@ class PrototypeCluster {
 
   /// Serializes every client/orchestrator operation. One lock is enough:
   /// the prototype client is a coordinator, not a throughput path, and a
-  /// single capability keeps the fail-over reasoning tractable.
-  mutable Mutex mu_;
+  /// single capability keeps the fail-over reasoning tractable. Highest
+  /// rank: Start/Stop/RestartServer reach directly into server internals
+  /// (and everything else) while holding it.
+  mutable Mutex mu_{LockRank::kCluster};
   Rng rng_ GHBA_GUARDED_BY(mu_);
   bool started_ GHBA_GUARDED_BY(mu_) = false;
 

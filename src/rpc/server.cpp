@@ -167,6 +167,7 @@ Status MdsServer::Start(std::uint16_t port) {
     {
       MutexLock seg(&seg_mu_);
       for (auto& [owner, filter] : recovered.replicas) {
+        // Recovery already deduplicated owners; AlreadyExists cannot fire.
         (void)segment_.AddEntry(owner, std::move(filter));
       }
     }
@@ -186,6 +187,7 @@ Status MdsServer::Start(std::uint16_t port) {
     ThreadRoleGuard role(&shard->role);
     for (auto& [path, md] : recovered_records) {
       if (ShardOfPath(path, shards()) != shard->index) continue;
+      // Recovery yields unique paths into an empty store: cannot collide.
       (void)shard->store.Insert(path, std::move(md));
     }
     shard->files.store(shard->store.size(), std::memory_order_relaxed);
@@ -293,6 +295,7 @@ void MdsServer::PostCompletion(Completion completion) {
 // ---------------------------------------------------------------------------
 
 void MdsServer::IoLoop() {
+  ThreadRoleGuard io(&io_role_);
   using Clock = std::chrono::steady_clock;
 
   struct PendingResp {
@@ -391,6 +394,7 @@ void MdsServer::IoLoop() {
         if (now < c.delay_until) return true;  // resumed once the delay is up
         c.delayed = false;
       }
+      // A false return means the injector dropped the frame on purpose.
       (void)BuildWireFrame(p.plan, p.payload, c.out);
       // Dropped frames count as sent, mirroring SendFrame's accounting.
       frames_out_.fetch_add(1, std::memory_order_relaxed);
@@ -409,7 +413,7 @@ void MdsServer::IoLoop() {
     const std::uint16_t raw_type = PeekType(f);
     if (raw_type == static_cast<std::uint16_t>(MsgType::kBatch)) {
       ByteReader in(f);
-      (void)in.GetU16();
+      (void)in.GetU16();  // skip the type tag PeekType already validated
       auto subs = DecodeBatchRequest(in);
       if (subs.ok()) {
         PendingResp& p = c.pending[seq];
@@ -762,6 +766,7 @@ void MdsServer::RunCheckpoint() {
   for (const auto& shard : shards_) {
     shard->store.ForEach(
         [&merged](const std::string& path, const FileMetadata& md) {
+          // Shards partition the namespace: paths are globally unique.
           (void)merged.Insert(path, md);
         });
   }
@@ -814,6 +819,7 @@ void MdsServer::RunExport(Task task) {
     for (auto& [path, md] : resp.files) {
       Shard& shard = *shards_[ShardOfPath(path, shards())];
       local_filter_.Add(path);
+      // Undoing our own drain: the slot we just emptied cannot collide.
       (void)shard.store.Insert(path, std::move(md));
     }
     comp.payload = EncodeStatusResp(logged);
@@ -977,9 +983,10 @@ std::vector<std::uint8_t> MdsServer::Handle(
           MutexLock wal(&wal_mu_);
           if (engine_ != nullptr) {
             if (Status w = engine_->LogInsert(*path, *md); !w.ok()) {
+              // Rollback of the insert we just made; both entries exist.
               (void)shard.store.Remove(*path);
               MutexLock filter(&filter_mu_);
-              (void)local_filter_.Remove(*path);
+              (void)local_filter_.Remove(*path);  // ditto
               s = w;
             } else {
               checkpoint_due = engine_->CheckpointDue();
@@ -1000,6 +1007,9 @@ std::vector<std::uint8_t> MdsServer::Handle(
       if (s.ok()) {
         {
           MutexLock filter(&filter_mu_);
+          // Store remove succeeded, so the filter holds the path; a CBF
+          // underflow here would mean divergence, caught by checkpoint
+          // audits rather than failing the client's unlink.
           (void)local_filter_.Remove(*path);
         }
         bool checkpoint_due = false;
@@ -1007,6 +1017,7 @@ std::vector<std::uint8_t> MdsServer::Handle(
           MutexLock wal(&wal_mu_);
           if (engine_ != nullptr) {
             if (Status w = engine_->LogRemove(*path); !w.ok()) {
+              // Rollback: re-insert what we removed two lines up.
               (void)shard.store.Insert(*path, std::move(*old_md));
               MutexLock filter(&filter_mu_);
               local_filter_.Add(*path);
@@ -1066,8 +1077,10 @@ std::vector<std::uint8_t> MdsServer::Handle(
                 !w.ok()) {
               MutexLock seg(&seg_mu_);
               if (had_old) {
+                // Rollback to the entry displaced above; owner is present.
                 (void)segment_.RefreshEntry(*owner, old_filter);
               } else {
+                // Rollback of the install above; owner is present.
                 (void)segment_.RemoveEntry(*owner);
               }
               s = w;
@@ -1101,6 +1114,7 @@ std::vector<std::uint8_t> MdsServer::Handle(
           if (engine_ != nullptr) {
             if (Status w = engine_->LogReplicaDrop(*owner); !w.ok()) {
               MutexLock seg(&seg_mu_);
+              // Restoring the entry removed above; the slot is free.
               (void)segment_.AddEntry(*owner, std::move(dropped));
               return EncodeStatusResp(w);
             }

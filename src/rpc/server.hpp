@@ -153,7 +153,9 @@ class MdsServer {
     MetadataStore store GHBA_GUARDED_BY(role);
     LruBloomArray lru GHBA_GUARDED_BY(role);
 
-    Mutex mu;
+    // Holders probe the fault injector (IsShardStalled) inside the wait
+    // loop, so this ranks above kFaultInjector; nothing else nests in it.
+    Mutex mu{LockRank::kServerShard};
     std::condition_variable_any cv;
     std::deque<Task> queue GHBA_GUARDED_BY(mu);
     bool park_requested GHBA_GUARDED_BY(mu) = false;
@@ -182,8 +184,11 @@ class MdsServer {
   void PostTask(std::uint32_t shard, Task task);
   void PostCompletion(Completion completion);
 
-  /// Record the fatal event-loop error and stop the server.
-  void FailEventLoop(const char* what, int errnum);
+  /// Record the fatal event-loop error and stop the server. Event-thread
+  /// only: the io_role_ requirement both documents that and arms the
+  /// `ghba-blocking-on-event-thread` check — anything reachable from here
+  /// must never fsync/sleep/poll/connect.
+  void FailEventLoop(const char* what, int errnum) GHBA_REQUIRES(io_role_);
 
   /// Dispatch one request frame on `shard`'s worker; returns the response
   /// payload, or empty for one-way messages. Sets `shutdown` for kShutdown.
@@ -226,43 +231,51 @@ class MdsServer {
 
   FdHandle epoll_fd_;
   FdHandle event_fd_;
+  /// The event thread's capability: adopted once at the top of IoLoop.
+  /// Functions marked GHBA_REQUIRES(io_role_) run on the event thread only
+  /// and are scanned by `ghba-blocking-on-event-thread` for blocking calls.
+  ThreadRole io_role_;
   std::thread io_thread_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // Workers/maintenance -> event thread: finished requests. The eventfd is
   // written after every post so the event thread wakes promptly.
-  mutable Mutex out_mu_;
+  mutable Mutex out_mu_{LockRank::kServerOut};
   std::vector<Completion> outbox_ GHBA_GUARDED_BY(out_mu_);
 
   // Maintenance thread inputs: pending export requests + checkpoint flag.
   std::thread maint_thread_;
-  mutable Mutex maint_mu_;
+  mutable Mutex maint_mu_{LockRank::kServerMaint};
   std::condition_variable_any maint_cv_;
   std::deque<Task> maint_queue_ GHBA_GUARDED_BY(maint_mu_);
   bool checkpoint_pending_ GHBA_GUARDED_BY(maint_mu_) = false;
 
   // --- whole-server lookup state, shared across shards ---
-  mutable Mutex filter_mu_;
+  // Ranked below wal_mu_: the mutation paths journal under wal_mu_ and
+  // roll back / snapshot the filter and segment inside that scope.
+  mutable Mutex filter_mu_{LockRank::kServerFilter};
   CountingBloomFilter local_filter_ GHBA_GUARDED_BY(filter_mu_);
-  mutable Mutex seg_mu_;
+  mutable Mutex seg_mu_{LockRank::kServerSeg};
   BloomFilterArray segment_ GHBA_GUARDED_BY(seg_mu_);
   /// Cluster view (routing epoch + group peers), pushed by the coordinator
   /// via kMembershipUpdate or recovered from the checkpoint/WAL at Start.
   /// Epochs strictly increase: a delayed push can never roll the view back.
-  mutable Mutex view_mu_;
+  mutable Mutex view_mu_{LockRank::kServerView};
   std::uint64_t view_epoch_ GHBA_GUARDED_BY(view_mu_) = 0;
   std::vector<MdsId> view_members_ GHBA_GUARDED_BY(view_mu_);
   /// Durable engine; null when running memory-only (no --data-dir). One
   /// WAL per server: appends serialize on wal_mu_, which lookups never
   /// take — an fsync storm cannot block the read path.
-  mutable Mutex wal_mu_;
+  // Highest server rank: the journaling discipline nests seg_mu_ and
+  // filter_mu_ inside it (apply -> log -> ack, rollback on log failure).
+  mutable Mutex wal_mu_{LockRank::kServerWal};
   std::unique_ptr<StorageEngine> engine_ GHBA_GUARDED_BY(wal_mu_);
 
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};
 
-  mutable Mutex err_mu_;
+  mutable Mutex err_mu_{LockRank::kServerErr};
   std::string last_error_ GHBA_GUARDED_BY(err_mu_);
 
   // Internally synchronized (atomic counters, striped histograms): written

@@ -146,6 +146,8 @@ Result<RecoveredState> RecoverState(
         replayed.Add(record.path);
         break;
       case WalOp::kRemove:
+        // Replay tolerates underflow: a checkpoint may already fold in
+        // this remove, making the WAL record a no-op second remove.
         (void)replayed.Remove(record.path);
         break;
       case WalOp::kClear:

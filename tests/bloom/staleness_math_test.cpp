@@ -66,7 +66,7 @@ TEST(StalenessMathTest, DeletedFilesStillHitSnapshot) {
   // every one of them (deleted_hit_rate ~ 1).
   std::uint64_t hits = 0;
   for (std::uint64_t i = 0; i < kBase / 3; ++i) {
-    cbf.Remove("g" + std::to_string(i));
+    ASSERT_TRUE(cbf.Remove("g" + std::to_string(i)).ok());
     hits += snapshot.MayContain("g" + std::to_string(i));
   }
   EXPECT_EQ(hits, kBase / 3);

@@ -43,6 +43,22 @@ TEST(MdsNodeTest, RemoveMissingFileFails) {
   EXPECT_EQ(node.mutations_since_publish(), 0u);
 }
 
+// Regression (found by the [[nodiscard]] sweep): RemoveLocalFile used to
+// drop the counting filter's Status, so a store/filter divergence — the
+// path in the store but never Add'ed to the filter — was silently
+// swallowed and the two structures drifted further on every unlink.
+TEST(MdsNodeTest, RemoveSurfacesStoreFilterDivergence) {
+  MdsNode node(0, TestConfig());
+  // Insert behind the filter's back: store() is the authoritative handle
+  // migration code writes through, so this divergence is constructible.
+  ASSERT_TRUE(node.store().Insert("/sneaky", Md()).ok());
+  const Status s = node.RemoveLocalFile("/sneaky");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("diverged"), std::string::npos);
+  // The store side of the unlink still happened (it is what failed loudly).
+  EXPECT_FALSE(node.store().Contains("/sneaky"));
+}
+
 TEST(MdsNodeTest, SnapshotSharesGeometryAcrossNodes) {
   const auto config = TestConfig();
   MdsNode a(0, config), b(1, config);

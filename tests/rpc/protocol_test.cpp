@@ -410,6 +410,56 @@ TEST(ProtocolBatchTest, BatchRespRoundTripsAndTruncationsRejected) {
   }
 }
 
+TEST(ProtocolBatchTest, MangledSubFrameEnvelopeFailsThatSlotOnly) {
+  // Regression for the batch envelope layering: each sub-frame of a batch
+  // response carries its own envelope byte. Mangling one slot's envelope
+  // must corrupt exactly that slot — the outer framing still parses (the
+  // sub-frames are length-delimited opaque bytes) and the intact sibling
+  // still decodes. A bug that made the outer decoder peek into sub-frame
+  // envelopes would fail the whole batch here.
+  std::vector<std::vector<std::uint8_t>> subs;
+  subs.push_back(EncodeBoolResp(true));
+  subs.push_back(EncodeStatusResp(Status::Ok()));
+  auto frame = EncodeBatchResp(subs);
+
+  // Locate sub-frame 0's envelope byte: outer envelope, varint count (=2),
+  // varint len of sub 0 — with both subs short, each varint is one byte.
+  const std::size_t sub0_envelope = 3;
+  ASSERT_EQ(frame[sub0_envelope], 1u);  // bool resp: typed payload follows
+  frame[sub0_envelope] = 0x7F;          // neither 0 nor 1: corrupt
+
+  ByteReader in(frame);
+  auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto out = DecodeBatchResp(in);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+
+  ByteReader sub0((*out)[0]);
+  auto env0 = OpenEnvelope(sub0);
+  ASSERT_FALSE(env0.ok());
+  EXPECT_EQ(env0.status().code(), StatusCode::kCorruption);
+
+  ByteReader sub1((*out)[1]);
+  auto env1 = OpenEnvelope(sub1);
+  ASSERT_TRUE(env1.ok());
+  EXPECT_FALSE(env1->has_payload);
+  EXPECT_TRUE(env1->status.ok());
+}
+
+TEST(ProtocolBatchTest, MangledOuterEnvelopeRejectsTheBatch) {
+  std::vector<std::vector<std::uint8_t>> subs;
+  subs.push_back(EncodeBoolResp(false));
+  auto frame = EncodeBatchResp(subs);
+  ASSERT_EQ(frame[0], 1u);
+  frame[0] = 0x2A;  // corrupt the batch's own envelope byte
+  ByteReader in(frame);
+  auto env = OpenEnvelope(in);
+  ASSERT_FALSE(env.ok());
+  EXPECT_EQ(env.status().code(), StatusCode::kCorruption);
+}
+
 TEST(ProtocolVersionTest, VersionRespRoundTrips) {
   const auto frame = EncodeVersionResp(kProtocolVersion);
   ByteReader in(frame);
