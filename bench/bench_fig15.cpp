@@ -19,9 +19,9 @@ std::vector<std::uint64_t> MeasureJoins(ProtoScheme scheme, std::uint32_t n,
   if (!cluster.Start().ok()) return cumulative;
   std::uint64_t total = 0;
   for (int i = 0; i < joins; ++i) {
-    std::uint64_t messages = 0;
-    if (!cluster.AddServer(&messages).ok()) break;
-    total += messages;
+    const auto joined = cluster.AddServer();
+    if (!joined.ok()) break;
+    total += joined->messages;
     cumulative.push_back(total);
   }
   cluster.Stop();

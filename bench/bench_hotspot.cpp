@@ -1,0 +1,316 @@
+// Flash-crowd hotspot bench: the client front tier's leased lookup cache
+// plus hot-key replication, A/B against the bare cascade. This is the
+// bench behind BENCH_hotspot.json.
+//
+// One cluster, two facades over it (ghba::Client::Attach). The access
+// stream is a FLASH-profile crowd: Zipf-skewed lookups over a small hot
+// set, the worst case for the hot paths' home servers. Each phase runs the
+// same deterministic stream:
+//
+//   * cache_off — cache and hot replication disabled; every lookup runs
+//     the four-level cascade over TCP. Baseline p50/p99 and per-MDS load.
+//   * cache_on — leases cache positives, the count-min sketch promotes hot
+//     keys, hot replication spreads their filters. Caching converts the
+//     access-weighted skew into unique-key skew, so both tail latency and
+//     the per-MDS load CV (std/mean of per-server frames_in deltas) drop.
+//
+// A coherence audit then runs with the cache hot: unlink each audited file
+// through the facade and immediately re-read it — any `found` is a stale
+// read and fails the bench (the same zero-stale bar as ghba_workload
+// --coherence).
+//
+//   $ bench_hotspot [--quick] [--files F] [--secs SEC] [--json PATH]
+//
+// Exit: 0 when both phases ran, the cache demonstrably served hits, and
+// the audit saw zero stale reads; 1 otherwise. The p99/CV *comparison* is
+// asserted by the CI e2e stage from the JSON, not here, so a noisy runner
+// shows up as a red assertion with numbers attached rather than a silent
+// bench failure.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+#include "trace/profile.hpp"
+
+using namespace ghba;
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      std::llround(p * static_cast<double>(v.size() - 1)));
+  return v[idx];
+}
+
+/// Coefficient of variation (std/mean) of per-server load.
+double LoadCv(const std::vector<std::uint64_t>& loads) {
+  if (loads.empty()) return 0;
+  double mean = 0;
+  for (const auto l : loads) mean += static_cast<double>(l);
+  mean /= static_cast<double>(loads.size());
+  if (mean <= 0) return 0;
+  double var = 0;
+  for (const auto l : loads) {
+    const double d = static_cast<double>(l) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(loads.size());
+  return std::sqrt(var) / mean;
+}
+
+/// The deterministic flash crowd: Zipf weights over the hot set, seeded
+/// once so both phases replay the identical stream.
+std::vector<std::string> BuildStream(std::size_t files, std::size_t length,
+                                     double skew, std::uint64_t seed) {
+  std::vector<double> weights(files);
+  for (std::size_t i = 0; i < files; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  std::mt19937_64 rng(seed);
+  std::discrete_distribution<std::size_t> pick(weights.begin(), weights.end());
+  std::vector<std::string> stream;
+  stream.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    stream.push_back("/hot/f" + std::to_string(pick(rng)));
+  }
+  return stream;
+}
+
+std::vector<std::uint64_t> PerServerFramesIn(PrototypeCluster& cluster) {
+  std::vector<std::uint64_t> frames;
+  for (const MdsId id : cluster.AliveServers()) {
+    const auto stats = cluster.FetchStats(id);
+    frames.push_back(stats.ok() ? stats->frames_in : 0);
+  }
+  return frames;
+}
+
+struct PhaseResult {
+  std::uint64_t lookups = 0;
+  std::uint64_t wrong = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double load_cv = 0;
+  std::vector<std::uint64_t> per_mds;  ///< frames_in delta per server
+};
+
+/// Replay the stream through one facade until it is exhausted or the
+/// wall-clock budget runs out, whichever comes later for a full pass.
+PhaseResult RunPhase(Client& client, const std::vector<std::string>& stream,
+                     double min_secs) {
+  PhaseResult out;
+  PrototypeCluster& cluster = client.cluster();
+  const auto before = PerServerFramesIn(cluster);
+  std::vector<double> lat_us;
+  lat_us.reserve(stream.size());
+  const double stop_at = NowSec() + min_secs;
+  std::size_t i = 0;
+  // At least one full pass over the stream; keep cycling until the time
+  // budget is spent so both phases see comparable durations.
+  while (i < stream.size() || NowSec() < stop_at) {
+    const auto& path = stream[i++ % stream.size()];
+    const double t0 = NowSec();
+    const auto r = client.Lookup(path);
+    lat_us.push_back((NowSec() - t0) * 1e6);
+    ++out.lookups;
+    if (!r.ok() || !r->found) ++out.wrong;
+    if (i >= stream.size() * 64) break;  // hard cap: don't spin forever
+  }
+  const auto after = PerServerFramesIn(cluster);
+  for (std::size_t s = 0; s < after.size() && s < before.size(); ++s) {
+    out.per_mds.push_back(after[s] - before[s]);
+  }
+  out.load_cv = LoadCv(out.per_mds);
+  out.p50_us = Percentile(lat_us, 0.50);
+  out.p99_us = Percentile(lat_us, 0.99);
+  return out;
+}
+
+/// Zero-stale bar under a hot cache: unlink through the facade, probe,
+/// re-insert. Returns stale-read count (or a negative on infra failure).
+long long CoherenceAudit(Client& client, std::size_t files,
+                         std::size_t rounds) {
+  long long stale = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const std::string path = "/hot/f" + std::to_string(round % files);
+    const auto warm = client.Lookup(path);
+    if (!warm.ok() || !warm->found) return -1;
+    if (!client.Unlink(path).ok()) return -1;
+    for (int probe = 0; probe < 3; ++probe) {
+      const auto r = client.Lookup(path);
+      if (!r.ok()) return -1;
+      if (r->found) ++stale;
+    }
+    FileMetadata md;
+    md.inode = 99;
+    if (!client.Insert(path, md).ok()) return -1;
+  }
+  return stale;
+}
+
+void PrintPhase(const char* name, const PhaseResult& r) {
+  std::printf("%-9s %7llu lookups, p50=%.1fus p99=%.1fus, load_cv=%.3f, "
+              "wrong=%llu\n",
+              name, static_cast<unsigned long long>(r.lookups), r.p50_us,
+              r.p99_us, r.load_cv, static_cast<unsigned long long>(r.wrong));
+}
+
+void PrintPhaseJson(std::FILE* f, const char* name, const PhaseResult& r,
+                    const char* trailer) {
+  std::fprintf(f,
+               "    \"%s\": {\"lookups\": %llu, \"p50_us\": %.1f, "
+               "\"p99_us\": %.1f, \"load_cv\": %.4f, \"per_mds_frames\": [",
+               name, static_cast<unsigned long long>(r.lookups), r.p50_us,
+               r.p99_us, r.load_cv);
+  for (std::size_t i = 0; i < r.per_mds.size(); ++i) {
+    std::fprintf(f, "%s%llu", i ? ", " : "",
+                 static_cast<unsigned long long>(r.per_mds[i]));
+  }
+  std::fprintf(f, "]}%s\n", trailer);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::size_t files = 256;
+  double secs = 1.5;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      files = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--secs") == 0 && i + 1 < argc) {
+      secs = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--files F] [--secs SEC] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (quick) {
+    files = std::min<std::size_t>(files, 96);
+    secs = std::min(secs, 0.5);
+  }
+
+  const WorkloadProfile flash = FlashCrowdProfile();
+  std::printf("bench_hotspot: files=%zu secs=%.2f zipf=%.2f%s\n", files, secs,
+              flash.zipf_skew, quick ? " (quick)" : "");
+
+  ClusterConfig config;
+  config.num_mds = 6;
+  config.max_group_size = 3;
+  config.expected_files_per_mds = 500;
+  config.lru_capacity = 64;
+  config.memory_budget_bytes = 64ULL << 20;
+  config.seed = 31;
+
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  if (!cluster.Start().ok()) {
+    std::fprintf(stderr, "cluster failed to start\n");
+    return 1;
+  }
+  {
+    std::vector<std::pair<std::string, FileMetadata>> batch;
+    for (std::size_t i = 0; i < files; ++i) {
+      FileMetadata md;
+      md.inode = i;
+      batch.emplace_back("/hot/f" + std::to_string(i), md);
+    }
+    if (!cluster.InsertBatch(batch).ok() || !cluster.PublishAll().ok()) {
+      std::fprintf(stderr, "namespace build failed\n");
+      return 1;
+    }
+  }
+
+  // The identical crowd hits both facades; seed fixed by config.seed.
+  const auto stream =
+      BuildStream(files, files * 16, flash.zipf_skew, config.seed);
+
+  ClientOptions off;
+  off.cache_enabled = false;
+  off.hot_replication = false;
+  auto baseline = Client::Attach(&cluster, off);
+  const PhaseResult cache_off = RunPhase(*baseline, stream, secs);
+  PrintPhase("cache_off", cache_off);
+
+  ClientOptions on;
+  on.cache_enabled = true;
+  on.hot_replication = true;
+  on.hot_threshold = 32;  // the crowd must actually trip the detector
+  auto cached = Client::Attach(&cluster, on);
+  const auto counters_before = cluster.ClientSnapshot().counters;
+  const PhaseResult cache_on = RunPhase(*cached, stream, secs);
+  const auto snapshot = cluster.ClientSnapshot();
+  const auto delta = [&](const char* name) -> std::uint64_t {
+    const auto it = counters_before.find(name);
+    const std::uint64_t before = it == counters_before.end() ? 0 : it->second;
+    return snapshot.CounterOr(name) - before;
+  };
+  const std::uint64_t cache_hits = delta("cache.hits");
+  const std::uint64_t hot_promotions = delta("cache.hot_promotions");
+  PrintPhase("cache_on", cache_on);
+  std::printf("cache_hits=%llu hot_promotions=%llu\n",
+              static_cast<unsigned long long>(cache_hits),
+              static_cast<unsigned long long>(hot_promotions));
+
+  const long long stale =
+      CoherenceAudit(*cached, files, quick ? 16 : std::min<std::size_t>(files, 64));
+  std::printf("coherence: stale_reads=%lld\n", stale);
+
+  cluster.Stop();
+
+  const bool ok = cache_off.lookups > 0 && cache_on.lookups > 0 &&
+                  cache_off.wrong == 0 && cache_on.wrong == 0 &&
+                  cache_hits > 0 && stale == 0;
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"hotspot\",\n");
+    std::fprintf(f, "  \"profile\": \"%s\",\n", flash.name.c_str());
+    std::fprintf(f, "  \"files\": %zu,\n  \"zipf_skew\": %.2f,\n", files,
+                 flash.zipf_skew);
+    std::fprintf(f, "  \"phases\": {\n");
+    PrintPhaseJson(f, "cache_off", cache_off, ",");
+    PrintPhaseJson(f, "cache_on", cache_on, "");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"cache_hits\": %llu,\n  \"hot_promotions\": %llu,\n"
+                 "  \"stale_reads\": %lld,\n  \"ok\": %s\n}\n",
+                 static_cast<unsigned long long>(cache_hits),
+                 static_cast<unsigned long long>(hot_promotions), stale,
+                 ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!ok) {
+    std::fprintf(stderr, "hotspot bench failed its correctness gates\n");
+    return 1;
+  }
+  return 0;
+}

@@ -138,11 +138,10 @@ CostRow MeasureCosts(std::uint32_t n, std::uint32_t m, std::size_t files) {
   if (!BuildNamespace(cluster, files, nullptr)) return row;
 
   {
-    std::uint64_t messages = 0;
     const double t0 = NowSec();
-    const auto added = cluster.AddServer(&messages);
+    const auto added = cluster.AddServer();
     row.join.ms = (NowSec() - t0) * 1e3;
-    row.join.messages = messages;
+    row.join.messages = added.ok() ? added->messages : 0;
     row.join.ok = added.ok();
   }
   {
@@ -157,12 +156,14 @@ CostRow MeasureCosts(std::uint32_t n, std::uint32_t m, std::size_t files) {
   }
   {
     const auto alive = cluster.AliveServers();
-    std::uint64_t messages = 0;
     const double t0 = NowSec();
-    row.leave.ok =
-        !alive.empty() && cluster.RemoveServer(alive.back(), &messages).ok();
+    Result<PrototypeCluster::ReconfigOutcome> left =
+        alive.empty() ? Result<PrototypeCluster::ReconfigOutcome>(
+                            Status::NotFound("no servers"))
+                      : cluster.RemoveServer(alive.back());
+    row.leave.ok = left.ok();
     row.leave.ms = (NowSec() - t0) * 1e3;
-    row.leave.messages = messages;
+    row.leave.messages = left.ok() ? left->messages : 0;
   }
   cluster.Stop();
   return row;

@@ -82,8 +82,8 @@ int PrototypePart() {
               reachable, kFiles);
 
   // A graceful decommission, by contrast, loses nothing.
-  std::uint64_t messages = 0;
-  if (!cluster.RemoveServer(5, &messages).ok()) return 1;
+  const auto removed = cluster.RemoveServer(5);
+  if (!removed.ok()) return 1;
   int after_remove = 0;
   for (int i = 0; i < kFiles; ++i) {
     const auto r = cluster.Lookup("/wire/f" + std::to_string(i));
@@ -91,7 +91,8 @@ int PrototypePart() {
   }
   std::printf("  server 5 decommissioned (%llu frames): %d/%d still "
               "reachable — graceful leaves lose nothing\n",
-              static_cast<unsigned long long>(messages), after_remove, kFiles);
+              static_cast<unsigned long long>(removed->messages),
+              after_remove, kFiles);
   cluster.Stop();
   return 0;
 }

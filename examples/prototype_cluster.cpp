@@ -67,11 +67,11 @@ int main(int argc, char** argv) {
   }
 
   // Grow the cluster online and count the real frames it took.
-  std::uint64_t messages = 0;
-  const auto nid = cluster.AddServer(&messages);
-  if (nid.ok()) {
-    std::printf("added MDS%u over the wire: %llu frames exchanged\n", *nid,
-                static_cast<unsigned long long>(messages));
+  const auto joined = cluster.AddServer();
+  if (joined.ok()) {
+    std::printf("added MDS%u over the wire: %llu frames exchanged\n",
+                joined->id,
+                static_cast<unsigned long long>(joined->messages));
   }
 
   // The cluster still serves every file.

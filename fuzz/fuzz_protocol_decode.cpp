@@ -23,7 +23,7 @@ void Require(bool cond) {
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   if (size < 1) return 0;
-  const std::uint8_t selector = data[0] % 12;
+  const std::uint8_t selector = data[0] % 13;
   ghba::ByteReader in(std::span(data + 1, size - 1));
 
   switch (selector) {
@@ -31,10 +31,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       const auto type = ghba::DecodeType(in);
       if (type.ok()) {
         // Bound must track the newest MsgType: it froze at kRecoveryInfo
-        // when v3 added types 19-22, so a mutated frame carrying a valid
-        // kVersion..kGetMembership tag tripped this Require.
+        // when v3 added types 19-22 (and again at kGetMembership when v4
+        // added the lease pair), so a mutated frame carrying a valid new
+        // tag tripped this Require.
         Require(*type >= ghba::MsgType::kLookupLocal &&
-                *type <= ghba::MsgType::kGetMembership);
+                *type <= ghba::MsgType::kInvalidate);
       }
       break;
     }
@@ -188,6 +189,18 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
           // Sub-envelope corruption is a legal mutation; only crashes count.
           (void)ghba::OpenEnvelope(sub_in);
         }
+      }
+      break;
+    }
+    case 12: {
+      const auto lease = ghba::DecodeLeaseGrantResp(in);
+      if (lease.ok()) {
+        const auto bytes = ghba::EncodeLeaseGrantResp(*lease);
+        ghba::ByteReader again(bytes);
+        auto reopened = ghba::OpenEnvelope(again);
+        Require(reopened.ok() && reopened->has_payload);
+        const auto redecoded = ghba::DecodeLeaseGrantResp(again);
+        Require(redecoded.ok() && *redecoded == *lease);
       }
       break;
     }

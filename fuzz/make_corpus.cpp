@@ -91,6 +91,9 @@ int main(int argc, char** argv) {
   // to trap the harness's stale range check (frozen at kRecoveryInfo).
   WriteSeed(root, "fuzz_protocol_decode", "type_v3",
             Sel(0, ghba::EncodeHeader(ghba::MsgType::kGetMembership)));
+  // Same trap, one protocol revision later: pins the bound at kInvalidate.
+  WriteSeed(root, "fuzz_protocol_decode", "type_v4",
+            Sel(0, ghba::EncodeHeader(ghba::MsgType::kInvalidate)));
   WriteSeed(root, "fuzz_protocol_decode", "envelope_error",
             Sel(1, ghba::EncodeStatusResp(ghba::Status::NotFound("nope"))));
   WriteSeed(root, "fuzz_protocol_decode", "envelope_ok",
@@ -171,6 +174,17 @@ int main(int argc, char** argv) {
     WriteSeed(root, "fuzz_protocol_decode", "batch",
               Sel(11, StripEnvelope(ghba::EncodeBatchResp(subs))));
   }
+  {
+    ghba::LeaseGrantResp lease;
+    lease.granted = true;
+    lease.ttl_ms = 2000;
+    lease.home = 4;
+    WriteSeed(root, "fuzz_protocol_decode", "lease_grant",
+              Sel(12, StripEnvelope(ghba::EncodeLeaseGrantResp(lease))));
+    WriteSeed(root, "fuzz_protocol_decode", "lease_refusal",
+              Sel(12, StripEnvelope(
+                          ghba::EncodeLeaseGrantResp(ghba::LeaseGrantResp{}))));
+  }
 
   // --- fuzz_request_decode: whole request frames ---
   WriteSeed(root, "fuzz_request_decode", "lookup",
@@ -200,6 +214,10 @@ int main(int argc, char** argv) {
             ghba::EncodeHeader(ghba::MsgType::kVersion));
   WriteSeed(root, "fuzz_request_decode", "get_membership",
             ghba::EncodeHeader(ghba::MsgType::kGetMembership));
+  WriteSeed(root, "fuzz_request_decode", "lease_grant",
+            ghba::EncodePathRequest(ghba::MsgType::kLeaseGrant, "/hot/file"));
+  WriteSeed(root, "fuzz_request_decode", "invalidate",
+            ghba::EncodePathRequest(ghba::MsgType::kInvalidate, "/hot/file"));
   ghba::MembershipUpdate update;
   update.epoch = 8;
   update.reason = ghba::ReconfigReason::kSplit;

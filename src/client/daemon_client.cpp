@@ -1,0 +1,139 @@
+#include "client/daemon_client.hpp"
+
+#include <chrono>
+
+namespace ghba {
+
+Result<DaemonClient> DaemonClient::Connect(std::uint16_t port,
+                                           std::uint32_t io_timeout_ms) {
+  auto conn = TcpConnection::Connect(
+      port, Deadline::After(std::chrono::milliseconds(io_timeout_ms)));
+  if (!conn.ok()) return conn.status();
+  return DaemonClient(std::move(*conn), io_timeout_ms);
+}
+
+Result<std::vector<std::uint8_t>> DaemonClient::Call(
+    const std::vector<std::uint8_t>& req) {
+  const auto deadline =
+      Deadline::After(std::chrono::milliseconds(io_timeout_ms_));
+  if (Status s = conn_.SendFrame(req, deadline); !s.ok()) return s;
+  return conn_.RecvFrame(deadline);
+}
+
+Status DaemonClient::StatusCall(const std::vector<std::uint8_t>& req) {
+  auto resp = Call(req);
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+Status DaemonClient::Ping() { return StatusCall(EncodeHeader(MsgType::kPing)); }
+
+Status DaemonClient::Insert(const std::string& path,
+                            const FileMetadata& metadata) {
+  return StatusCall(EncodeInsert(path, metadata));
+}
+
+Status DaemonClient::Unlink(const std::string& path) {
+  return StatusCall(EncodePathRequest(MsgType::kUnlink, path));
+}
+
+Result<DaemonClient::VerifyResult> DaemonClient::Verify(
+    const std::string& path) {
+  VerifyResult out;
+  {
+    auto resp = Call(EncodePathRequest(MsgType::kVerify, path));
+    if (!resp.ok()) return resp.status();
+    ByteReader in(*resp);
+    auto env = OpenEnvelope(in);
+    if (!env.ok()) return env.status();
+    if (!env->has_payload) return env->status;
+    auto present = DecodeBoolResp(in);
+    if (!present.ok()) return present.status();
+    out.present = *present;
+  }
+  {
+    // The routing picture: which replicas (and the L1 cache) would have
+    // sent a cascade here.
+    auto resp = Call(EncodePathRequest(MsgType::kLookupLocal, path));
+    if (!resp.ok()) return resp.status();
+    ByteReader in(*resp);
+    auto env = OpenEnvelope(in);
+    if (!env.ok()) return env.status();
+    if (!env->has_payload) return env->status;
+    auto local = DecodeLocalLookupResp(in);
+    if (!local.ok()) return local.status();
+    out.replica_hits = std::move(local->hits);
+    out.lru_unique = local->lru_unique;
+    out.lru_home = local->lru_home;
+  }
+  if (out.present) {
+    // A v4 daemon identifies itself through the lease grant; an older one
+    // (kCorruption reject on the unknown type) leaves resolved unset.
+    auto resp = Call(EncodePathRequest(MsgType::kLeaseGrant, path));
+    if (resp.ok()) {
+      ByteReader in(*resp);
+      auto env = OpenEnvelope(in);
+      if (env.ok() && env->has_payload) {
+        if (auto lease = DecodeLeaseGrantResp(in); lease.ok()) {
+          out.resolved = lease->home;
+          out.lease_granted = lease->granted;
+          out.lease_ttl_ms = lease->ttl_ms;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<LeaseGrantResp> DaemonClient::RequestLease(const std::string& path) {
+  auto resp = Call(EncodePathRequest(MsgType::kLeaseGrant, path));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeLeaseGrantResp(in);
+}
+
+Status DaemonClient::Invalidate(const std::string& path) {
+  return StatusCall(EncodePathRequest(MsgType::kInvalidate, path));
+}
+
+Result<StatsResp> DaemonClient::Stats() {
+  auto resp = Call(EncodeHeader(MsgType::kGetStats));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeStatsResp(in);
+}
+
+Result<std::uint32_t> DaemonClient::Version() {
+  auto resp = Call(EncodeHeader(MsgType::kVersion));
+  if (!resp.ok()) {
+    // A pre-kVersion daemon rejects the unknown type as corruption; that
+    // reject is itself the answer.
+    if (resp.status().code() == StatusCode::kCorruption) return 1u;
+    return resp.status();
+  }
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) {
+    return env->status.ok() ? Result<std::uint32_t>(1u)
+                            : Result<std::uint32_t>(env->status);
+  }
+  return DecodeVersionResp(in);
+}
+
+Status DaemonClient::Shutdown() {
+  return conn_.SendFrame(
+      EncodeHeader(MsgType::kShutdown),
+      Deadline::After(std::chrono::milliseconds(io_timeout_ms_)));
+}
+
+}  // namespace ghba

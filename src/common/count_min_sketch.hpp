@@ -1,0 +1,94 @@
+// Count-min sketch: fixed-memory frequency estimation over a key stream.
+//
+// The client front tier feeds every lookup path through one of these to
+// spot flash-crowd keys without keeping a per-key table: d rows of w
+// counters, each row indexed by an independent hash, estimate = min over
+// rows. The estimate never undercounts; it overcounts by at most eps * N
+// (N = stream length since the last decay) with probability >= 1 - delta,
+// where eps = e / w and delta = e^-d (Cormode & Muthukrishnan 2005).
+// Periodic `Decay()` halves every counter so a key that was hot an hour
+// ago does not stay "hot" forever — the sketch tracks the recent stream.
+//
+// Not thread-safe; each client serializes access under its own lock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hash/murmur3.hpp"
+
+namespace ghba {
+
+class CountMinSketch {
+ public:
+  /// `width` counters per row, `depth` rows. Sensible defaults for a
+  /// client tracking a few thousand distinct paths: width 1024 gives
+  /// eps ~= 0.27%, depth 4 gives delta ~= 1.8%.
+  explicit CountMinSketch(std::uint32_t width = 1024, std::uint32_t depth = 4,
+                          std::uint64_t seed = 0)
+      : width_(std::max<std::uint32_t>(width, 1)),
+        depth_(std::max<std::uint32_t>(depth, 1)),
+        seed_(seed),
+        rows_(static_cast<std::size_t>(width_) * depth_, 0) {}
+
+  std::uint32_t width() const { return width_; }
+  std::uint32_t depth() const { return depth_; }
+  /// Stream length folded in since construction / the last Decay().
+  std::uint64_t total() const { return total_; }
+  std::size_t MemoryBytes() const { return rows_.size() * sizeof(rows_[0]); }
+
+  /// Count one occurrence of `key`; returns the new (post-add) estimate.
+  std::uint64_t Add(std::string_view key) {
+    ++total_;
+    std::uint64_t est = UINT64_MAX;
+    for (std::uint32_t d = 0; d < depth_; ++d) {
+      std::uint64_t& cell = rows_[Slot(key, d)];
+      // Saturate instead of wrapping: a wrapped counter would turn the
+      // hottest key in the stream into an apparently cold one.
+      if (cell != UINT64_MAX) ++cell;
+      est = std::min(est, cell);
+    }
+    return est;
+  }
+
+  /// Point estimate for `key`: >= true count, <= true count + eps * total.
+  std::uint64_t Estimate(std::string_view key) const {
+    std::uint64_t est = UINT64_MAX;
+    for (std::uint32_t d = 0; d < depth_; ++d) {
+      est = std::min(est, rows_[Slot(key, d)]);
+    }
+    return est;
+  }
+
+  /// Exponential aging: halve every counter (and the stream total). Called
+  /// on a period; two half-lives after a flash crowd ends its key reads as
+  /// a quarter of its peak, so the hot set follows the workload.
+  void Decay() {
+    for (auto& cell : rows_) cell >>= 1;
+    total_ >>= 1;
+  }
+
+  void Clear() {
+    std::fill(rows_.begin(), rows_.end(), 0);
+    total_ = 0;
+  }
+
+ private:
+  std::size_t Slot(std::string_view key, std::uint32_t row) const {
+    // One 128-bit digest per row, decorrelated by the row index folded
+    // into the seed; rows must be independent for the min() bound.
+    const Hash128 d = Murmur3_128(key, seed_ + 0x9e3779b97f4a7c15ULL * (row + 1));
+    return static_cast<std::size_t>(row) * width_ +
+           static_cast<std::size_t>(d.lo % width_);
+  }
+
+  std::uint32_t width_;
+  std::uint32_t depth_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> rows_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ghba

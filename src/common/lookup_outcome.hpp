@@ -42,6 +42,7 @@ struct LookupOutcome {
   double latency_ms = 0;       ///< end-to-end operation latency
   int served_level = 0;        ///< 1..4 = L1..L4 (4 also covers true misses)
   std::uint64_t messages = 0;  ///< network messages this lookup caused
+  bool from_cache = false;  ///< served by the client's leased lookup cache
   LookupTrace trace;
 };
 

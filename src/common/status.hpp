@@ -23,6 +23,7 @@ enum class StatusCode {
   kCorruption,      ///< Wire / serialized data failed validation.
   kInternal,        ///< Invariant violation inside the library.
   kTimedOut,        ///< A deadline expired before the operation finished.
+  kRetryAfter,      ///< Target is shedding load; retry after a backoff.
 };
 
 /// Human-readable name for a StatusCode.
@@ -37,6 +38,7 @@ constexpr const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCorruption: return "CORRUPTION";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kTimedOut: return "TIMED_OUT";
+    case StatusCode::kRetryAfter: return "RETRY_AFTER";
   }
   return "UNKNOWN";
 }
@@ -81,6 +83,9 @@ class [[nodiscard]] Status {
   }
   static Status TimedOut(std::string msg = "") {
     return {StatusCode::kTimedOut, std::move(msg)};
+  }
+  static Status RetryAfter(std::string msg = "") {
+    return {StatusCode::kRetryAfter, std::move(msg)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -97,6 +97,7 @@ namespace ghba {
 ///
 ///   rank              instance(s)                        holder
 ///   ----------------  ---------------------------------  ------------------
+///   kClient           Client::mu_                        front-tier facade
 ///   kCluster          PrototypeCluster::mu_              orchestrator/client
 ///   kServerWal        MdsServer::wal_mu_                 durable engine
 ///   kServerFilter     MdsServer::filter_mu_              local filter
@@ -113,6 +114,7 @@ namespace ghba {
 ///   kLogging          logging.cpp g_sink_mutex           stderr sink
 ///
 /// Real chains this order admits (all observed in the code):
+///   client -> cluster                 (facade ops call into the cluster)
 ///   cluster -> {any server lock, health, injector, metrics, logging}
 ///   wal -> filter / wal -> seg        (mutation journaling + checkpoint)
 ///   shard -> injector                 (stall probe inside the worker wait)
@@ -133,10 +135,11 @@ enum class LockRank : std::uint8_t {
   kServerFilter = 11,
   kServerWal = 12,
   kCluster = 13,
+  kClient = 14,
 };
 
 /// Number of distinct ranks (size of the lockdep acquisition graph).
-inline constexpr std::size_t kLockRankCount = 14;
+inline constexpr std::size_t kLockRankCount = 15;
 
 /// Human-readable name for a LockRank (diagnostics).
 constexpr const char* LockRankName(LockRank rank) {
@@ -155,6 +158,7 @@ constexpr const char* LockRankName(LockRank rank) {
     case LockRank::kServerFilter: return "server-filter";
     case LockRank::kServerWal: return "server-wal";
     case LockRank::kCluster: return "cluster";
+    case LockRank::kClient: return "client";
   }
   return "unknown";
 }

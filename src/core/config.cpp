@@ -83,6 +83,18 @@ Status ValidateClusterConfig(const ClusterConfig& config) {
   if (storage.keep_checkpoints == 0) {
     return Status::InvalidArgument("storage.keep_checkpoints must be >= 1");
   }
+  const HotSpotOptions& hot = config.hotspot;
+  if (hot.sketch_width == 0 || hot.sketch_depth == 0) {
+    return Status::InvalidArgument(
+        "hotspot sketch geometry must be >= 1 in both dimensions");
+  }
+  if (hot.hot_threshold == 0) {
+    return Status::InvalidArgument("hotspot.hot_threshold must be >= 1");
+  }
+  if (hot.shed_enabled && hot.shed_queue_depth == 0) {
+    return Status::InvalidArgument(
+        "hotspot.shed_queue_depth must be >= 1 when shedding is enabled");
+  }
   return Status::Ok();
 }
 

@@ -66,6 +66,26 @@ struct AdaptivityOptions {
   std::uint64_t min_lookup_samples = 64;
 };
 
+/// Server-side hot-spot handling (the front tier's shed/replicate loop).
+/// The per-shard verify stream feeds a count-min sketch; a path whose
+/// estimate crosses `hot_threshold` within one decay period is "hot".
+struct HotSpotOptions {
+  /// Lease TTL granted to clients on kLeaseGrant. 0 disables granting
+  /// (clients fall back to uncached lookups).
+  std::uint32_t lease_ttl_ms = 2000;
+  /// Verify hits per decay period after which a path counts as hot.
+  std::uint32_t hot_threshold = 64;
+  /// Sketch geometry for the server-side detector (per shard).
+  std::uint32_t sketch_width = 1024;
+  std::uint32_t sketch_depth = 4;
+  /// When true, a server over `shed_queue_depth` queued requests answers
+  /// hot-path verifies with kRetryAfter instead of serving them. Off by
+  /// default: shedding trades latency for throughput and the coherence
+  /// audits want every request answered.
+  bool shed_enabled = false;
+  std::uint32_t shed_queue_depth = 256;
+};
+
 struct ClusterConfig {
   /// Initial number of metadata servers (N).
   std::uint32_t num_mds = 30;
@@ -139,6 +159,9 @@ struct ClusterConfig {
 
   /// Online adaptivity (group split / MDS join / leave under live load).
   AdaptivityOptions adaptivity;
+
+  /// Hot-spot detection, lease TTLs and load shedding (front tier).
+  HotSpotOptions hotspot;
 };
 
 /// Check a configuration before constructing a cluster with it: positive

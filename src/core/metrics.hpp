@@ -70,6 +70,19 @@ inline constexpr char kStorageRecoveryFilterRebuilt[] =
     "storage.recovery_filter_rebuilt";
 inline constexpr char kStorageRecoveryFilterMismatch[] =
     "storage.recovery_filter_mismatch";
+// Front tier: server-side lease bookkeeping and hot-spot handling.
+inline constexpr char kServeLeaseGrants[] = "serve.lease_grants";
+inline constexpr char kServeLeaseRefusals[] = "serve.lease_refusals";
+inline constexpr char kServeInvalidations[] = "serve.invalidations";
+inline constexpr char kServeHotKeys[] = "serve.hot_keys";
+inline constexpr char kServeShedRequests[] = "serve.shed_requests";
+// Front tier: client-side lookup cache (ghba::Client registries only).
+inline constexpr char kCacheHits[] = "cache.hits";
+inline constexpr char kCacheMisses[] = "cache.misses";
+inline constexpr char kCacheExpiredLease[] = "cache.expired_lease";
+inline constexpr char kCacheStaleEpoch[] = "cache.stale_epoch";
+inline constexpr char kCacheInvalidations[] = "cache.invalidations";
+inline constexpr char kCacheHotPromotions[] = "cache.hot_promotions";
 }  // namespace metrics_names
 
 /// Plain-value copy of the per-level counters, for frozen samples

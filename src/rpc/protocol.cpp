@@ -164,6 +164,34 @@ Result<MembershipResp> DecodeMembershipResp(ByteReader& in) {
   return resp;
 }
 
+std::vector<std::uint8_t> EncodeLeaseGrantResp(const LeaseGrantResp& resp) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU8(resp.granted ? 1 : 0);
+  w.PutU32(resp.ttl_ms);
+  w.PutU32(resp.home);
+  return w.Take();
+}
+
+Result<LeaseGrantResp> DecodeLeaseGrantResp(ByteReader& in) {
+  LeaseGrantResp resp;
+  auto granted = in.GetU8();
+  if (!granted.ok()) return granted.status();
+  if (*granted > 1) return Status::Corruption("bad bool byte");
+  resp.granted = (*granted != 0);
+  auto ttl = in.GetU32();
+  if (!ttl.ok()) return ttl.status();
+  resp.ttl_ms = *ttl;
+  auto home = in.GetU32();
+  if (!home.ok()) return home.status();
+  resp.home = *home;
+  // A grant must name the granting server; a refusal carries no home.
+  if (resp.granted && resp.home == kInvalidMds) {
+    return Status::Corruption("granted lease without a home");
+  }
+  return resp;
+}
+
 std::vector<std::uint8_t> EncodeStatusResp(const Status& status) {
   ByteWriter w;
   w.PutU8(0);  // envelope: 0 = Status follows
@@ -398,7 +426,7 @@ Result<Envelope> OpenEnvelope(ByteReader& in) {
 Result<MsgType> DecodeType(ByteReader& in) {
   auto t = in.GetU16();
   if (!t.ok()) return t.status();
-  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kGetMembership)) {
+  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kInvalidate)) {
     return Status::Corruption("unknown message type");
   }
   return static_cast<MsgType>(*t);
@@ -510,7 +538,7 @@ Result<RemoteStatus> DecodeStatusResp(ByteReader& in) {
   if (!code.ok()) return code.status();
   auto msg = in.GetString();
   if (!msg.ok()) return msg.status();
-  if (*code > static_cast<std::uint8_t>(StatusCode::kTimedOut)) {
+  if (*code > static_cast<std::uint8_t>(StatusCode::kRetryAfter)) {
     return Status::Corruption("bad status code");
   }
   return RemoteStatus{Status(static_cast<StatusCode>(*code), std::move(*msg))};

@@ -46,14 +46,18 @@ enum class MsgType : std::uint16_t {
   kBatch = 20,          ///< many request/response sub-frames, one CRC
   kMembershipUpdate = 21,  ///< push a new cluster view (epoch + members)
   kGetMembership = 22,     ///< read the server's view -> MembershipResp
+  kLeaseGrant = 23,   ///< ask the home MDS for a lookup lease -> LeaseGrantResp
+  kInvalidate = 24,   ///< revoke any lease/L1 entry for a path -> StatusResp
 };
 
 /// Protocol revision this build speaks. v2 added kVersion and kBatch; v3
 /// adds the reconfiguration messages (kMembershipUpdate, kGetMembership)
-/// and the epoch field on RecoveryInfoResp. A v1 peer rejects unknown
-/// types with kCorruption ("unknown message type"), which is what the
-/// client's version probe keys its fallback on.
-inline constexpr std::uint32_t kProtocolVersion = 3;
+/// and the epoch field on RecoveryInfoResp; v4 adds the client-cache
+/// coherence pair (kLeaseGrant, kInvalidate) and the kRetryAfter shed
+/// status. A v1 peer rejects unknown types with kCorruption ("unknown
+/// message type"), which is what the client's version probe keys its
+/// fallback on.
+inline constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Upper bound on sub-frames per kBatch frame: enough for any realistic
 /// pipeline depth, small enough that a mangled count cannot make the server
@@ -156,6 +160,21 @@ struct MembershipUpdate {
                          const MembershipUpdate&) = default;
 };
 
+/// Home MDS's answer to a lease request (kLeaseGrant, v4). The server
+/// grants only for paths it actually stores — a grant is a positive
+/// membership proof, so the client may serve `home` from cache until the
+/// lease expires or the routing epoch moves. `ttl_ms` is server-chosen
+/// (config `lease_ttl_ms`); 0 together with granted=false means "not
+/// here", which the client must treat as a cache miss, never a negative.
+struct LeaseGrantResp {
+  bool granted = false;
+  std::uint32_t ttl_ms = 0;
+  MdsId home = kInvalidMds;  ///< the granting server's id
+
+  friend bool operator==(const LeaseGrantResp&,
+                         const LeaseGrantResp&) = default;
+};
+
 /// Server's current view (kGetMembership).
 struct MembershipResp {
   std::uint64_t epoch = 0;
@@ -214,6 +233,7 @@ std::vector<std::uint8_t> EncodeStatsSnapshotResp(
 std::vector<std::uint8_t> EncodeRecoveryInfoResp(const RecoveryInfoResp& info);
 std::vector<std::uint8_t> EncodeVersionResp(std::uint32_t version);
 std::vector<std::uint8_t> EncodeMembershipResp(const MembershipResp& resp);
+std::vector<std::uint8_t> EncodeLeaseGrantResp(const LeaseGrantResp& resp);
 /// Batch response: [env 1][varint n][varint len, bytes]*n, one complete
 /// response (envelope included) per sub-request, in sub-request order.
 std::vector<std::uint8_t> EncodeBatchResp(
@@ -247,6 +267,7 @@ Result<FileListResp> DecodeFileListResp(ByteReader& in);
 Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in);
 Result<std::uint32_t> DecodeVersionResp(ByteReader& in);
 Result<MembershipResp> DecodeMembershipResp(ByteReader& in);
+Result<LeaseGrantResp> DecodeLeaseGrantResp(ByteReader& in);
 Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchResp(ByteReader& in);
 
 }  // namespace ghba

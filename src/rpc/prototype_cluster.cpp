@@ -771,6 +771,65 @@ Status PrototypeCluster::Unlink(const std::string& path) {
   return env->status;
 }
 
+Result<LeaseGrantResp> PrototypeCluster::RequestLease(
+    MdsId home, const std::string& path) {
+  MutexLock lock(&mu_);
+  if (home >= servers_.size() || !servers_[home]) {
+    return Status::Unavailable("server is down");
+  }
+  if (PeerVersion(home) < 4) {
+    return Status::InvalidArgument("peer predates the lease protocol (v4)");
+  }
+  auto resp = Call(home, EncodePathRequest(MsgType::kLeaseGrant, path));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeLeaseGrantResp(in);
+}
+
+Status PrototypeCluster::InvalidatePath(const std::string& path) {
+  MutexLock lock(&mu_);
+  const auto req = EncodePathRequest(MsgType::kInvalidate, path);
+  for (const MdsId id : AliveServersLocked()) {
+    if (PeerVersion(id) < 4) continue;  // pre-v4 peer grants no leases
+    auto resp = Call(id, req);
+    if (!resp.ok()) continue;  // unreachable: its leases die by TTL
+    ByteReader in(*resp);
+    auto env = OpenEnvelope(in);
+    if (!env.ok()) return env.status();
+    if (!env->status.ok()) return env->status;
+  }
+  return Status::Ok();
+}
+
+Result<std::uint32_t> PrototypeCluster::ReplicateHotEntry(MdsId owner) {
+  MutexLock lock(&mu_);
+  if (scheme_ != ProtoScheme::kGhba) {
+    return Status::InvalidArgument(
+        "hot replication requires the grouped scheme");
+  }
+  if (owner >= servers_.size() || !servers_[owner]) {
+    return Status::NotFound("owner server is down");
+  }
+  FlagGuard guard(in_failover_);  // walks groups_ across Calls
+  auto filter = FetchFilter(owner);
+  if (!filter.ok()) return filter.status();
+  std::uint32_t installs = 0;
+  for (auto& g : groups_) {
+    const auto designated = g.holder.find(owner);
+    for (const MdsId m : g.members) {
+      if (m == owner || m >= servers_.size() || !servers_[m]) continue;
+      if (designated != g.holder.end() && designated->second == m) continue;
+      if (Status s = InstallReplica(m, owner, *filter); !s.ok()) return s;
+      ++installs;
+    }
+  }
+  metrics_.replicas_migrated += installs;
+  return installs;
+}
+
 Status PrototypeCluster::PublishAll() {
   MutexLock lock(&mu_);
   return PublishAllLocked();
@@ -807,7 +866,7 @@ Status PrototypeCluster::PublishAllLocked() {
   return Status::Ok();
 }
 
-Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
+Result<PrototypeCluster::ReconfigOutcome> PrototypeCluster::AddServer() {
   MutexLock lock(&mu_);
   FlagGuard guard(in_failover_);  // holds references into groups_
   const std::uint64_t frames_before = TotalFramesInLocked();
@@ -827,8 +886,7 @@ Result<MdsId> PrototypeCluster::AddServer(std::uint64_t* messages) {
   PushMembershipLocked(ReconfigReason::kJoin);
   const std::uint64_t delta = TotalFramesInLocked() - frames_before;
   metrics_.reconfig_messages += delta;
-  if (messages != nullptr) *messages = delta;
-  return nid;
+  return ReconfigOutcome{nid, delta};
 }
 
 Status PrototypeCluster::SplitGroupLocked(std::size_t victim) {
@@ -1037,7 +1095,8 @@ std::vector<MdsId> PrototypeCluster::AliveServersLocked() const {
   return out;
 }
 
-Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
+Result<PrototypeCluster::ReconfigOutcome> PrototypeCluster::RemoveServer(
+    MdsId id) {
   MutexLock lock(&mu_);
   if (id >= servers_.size() || !servers_[id]) {
     return Status::NotFound("no such server");
@@ -1158,8 +1217,7 @@ Status PrototypeCluster::RemoveServer(MdsId id, std::uint64_t* messages) {
   const std::uint64_t delta =
       TotalFramesInLocked() + victim_frames - frames_before;
   metrics_.reconfig_messages += delta;
-  if (messages != nullptr) *messages = delta;
-  return Status::Ok();
+  return ReconfigOutcome{id, delta};
 }
 
 Status PrototypeCluster::KillServer(MdsId id) {
@@ -1360,7 +1418,7 @@ Result<AdaptiveDecision> PrototypeCluster::AdaptivityTick(
   // for the caller while the next tick retries.
   switch (decision.action) {
     case AdaptiveAction::kAddServer:
-      note_failure(AddServer(nullptr).status());
+      note_failure(AddServer().status());
       break;
     case AdaptiveAction::kRemoveServer: {
       MdsId victim = kInvalidMds;
@@ -1369,7 +1427,7 @@ Result<AdaptiveDecision> PrototypeCluster::AdaptivityTick(
         const auto alive = AliveServersLocked();
         if (alive.size() > 1) victim = alive.back();
       }
-      if (victim != kInvalidMds) note_failure(RemoveServer(victim, nullptr));
+      if (victim != kInvalidMds) note_failure(RemoveServer(victim).status());
       break;
     }
     case AdaptiveAction::kSplitGroup:

@@ -113,13 +113,20 @@ class PrototypeCluster {
   /// Fetch every server's current filter and refresh its replicas.
   Status PublishAll();
 
-  /// Add one server (Fig. 15's experiment). Frames exchanged during the
-  /// operation are returned via `messages`.
-  Result<MdsId> AddServer(std::uint64_t* messages);
+  /// What a topology change did: the server involved and the frames the
+  /// operation exchanged (Fig. 15's cost axis). Returned by value — the
+  /// client-path API carries results in Result<T>, never out-params.
+  struct ReconfigOutcome {
+    MdsId id = kInvalidMds;
+    std::uint64_t messages = 0;
+  };
+
+  /// Add one server (Fig. 15's experiment).
+  Result<ReconfigOutcome> AddServer();
 
   /// Gracefully decommission a server: its replicas move to group peers,
   /// its files drain to the survivors, every group drops its filter.
-  Status RemoveServer(MdsId id, std::uint64_t* messages);
+  Result<ReconfigOutcome> RemoveServer(MdsId id);
 
   /// Crash a server (no drain — its files are lost) and run fail-over:
   /// survivors drop its filters and rebuild group coverage. Exercises the
@@ -194,6 +201,26 @@ class PrototypeCluster {
 
   /// Diagnostic: exact store membership of `path` on one server.
   Result<bool> VerifyOn(MdsId id, const std::string& path);
+
+  /// Ask `home` for a lookup lease on `path` (kLeaseGrant, v4). A grant is
+  /// a positive membership proof with a TTL; a refusal means "do not cache"
+  /// and carries no verdict about existence.
+  Result<LeaseGrantResp> RequestLease(MdsId home, const std::string& path);
+
+  /// Broadcast kInvalidate for `path` to every live server: each drops any
+  /// lease and L1 entry it holds for the path. Best-effort per peer — an
+  /// unreachable server's leases die by TTL instead — but a peer that
+  /// answers with an error fails the call, so callers can assert coherence.
+  Status InvalidatePath(const std::string& path);
+
+  /// Flash-crowd response: install `owner`'s filter on every live group
+  /// member that is not already its designated holder, so hot lookups
+  /// resolve at L2 on any entry server instead of funnelling through one
+  /// holder per group (reuses the MigrateReplica install path). The extra
+  /// copies are cache-grade: PublishAll refreshes only designated holders,
+  /// so a stale extra costs a false route that kVerify absorbs, never a
+  /// wrong answer. Returns the number of copies installed.
+  Result<std::uint32_t> ReplicateHotEntry(MdsId owner);
 
   /// Total frames received across all servers (monotone counter).
   std::uint64_t TotalFramesIn() const;

@@ -43,6 +43,13 @@ std::uint16_t PeekType(const std::vector<std::uint8_t>& frame) {
          (static_cast<std::uint16_t>(frame[1]) << 8);
 }
 
+std::uint64_t SteadyNowMs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 std::uint32_t ShardOfPath(std::string_view path, std::uint32_t num_shards) {
@@ -81,6 +88,15 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
       serve_global_probes_(
           registry_.counter(metrics_names::kServeGlobalProbes)),
       serve_verifies_(registry_.counter(metrics_names::kServeVerifies)),
+      serve_lease_grants_(
+          registry_.counter(metrics_names::kServeLeaseGrants)),
+      serve_lease_refusals_(
+          registry_.counter(metrics_names::kServeLeaseRefusals)),
+      serve_invalidations_(
+          registry_.counter(metrics_names::kServeInvalidations)),
+      serve_hot_keys_(registry_.counter(metrics_names::kServeHotKeys)),
+      serve_shed_requests_(
+          registry_.counter(metrics_names::kServeShedRequests)),
       reconfig_messages_(
           registry_.counter(metrics_names::kMessagesReconfig)),
       outcome_latency_ms_(
@@ -89,7 +105,8 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
   const auto lru_options = ShardLruOptionsFor(config, n);
   shards_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    shards_.push_back(std::make_unique<Shard>(lru_options));
+    shards_.push_back(std::make_unique<Shard>(
+        lru_options, config.hotspot, config.seed ^ (0x9090ULL + i)));
     shards_.back()->index = i;
   }
 }
@@ -261,7 +278,9 @@ std::uint32_t MdsServer::RouteShard(
     case MsgType::kVerify:
     case MsgType::kTouchLru:
     case MsgType::kInsert:
-    case MsgType::kUnlink: {
+    case MsgType::kUnlink:
+    case MsgType::kLeaseGrant:
+    case MsgType::kInvalidate: {
       auto path = in.GetString();
       if (!path.ok()) return 0;
       return ShardOfPath(*path, shards());
@@ -277,6 +296,7 @@ void MdsServer::PostTask(std::uint32_t shard_index, Task task) {
   Shard& shard = *shards_[shard_index];
   shard.mu.Lock();
   shard.queue.push_back(std::move(task));
+  shard.queue_len.store(shard.queue.size(), std::memory_order_relaxed);
   shard.cv.notify_one();
   shard.mu.Unlock();
 }
@@ -649,6 +669,8 @@ void MdsServer::WorkerLoop(Shard* shard) {
       if (!shard->queue.empty()) {
         task = std::move(shard->queue.front());
         shard->queue.pop_front();
+        shard->queue_len.store(shard->queue.size(),
+                               std::memory_order_relaxed);
         have = true;
         break;
       }
@@ -837,6 +859,22 @@ void MdsServer::RunExport(Task task) {
 // Request execution (worker threads)
 // ---------------------------------------------------------------------------
 
+std::uint64_t MdsServer::NoteHotAccess(const std::string& path,
+                                       Shard& shard) {
+  // Bound the tracked stream so the estimates follow the recent workload:
+  // once the period fills, halve everything. The period is generous
+  // relative to the threshold so a genuinely hot key crosses it well
+  // before the decay claws its counters back.
+  const std::uint64_t period = std::max<std::uint64_t>(
+      4096, 64ULL * config_.hotspot.hot_threshold);
+  if (shard.hot_sketch.total() >= period) shard.hot_sketch.Decay();
+  const std::uint64_t estimate = shard.hot_sketch.Add(path);
+  // Exactly-at-threshold fires once per period per key (the sketch adds
+  // one at a time), so this counts distinct hot promotions, not traffic.
+  if (estimate == config_.hotspot.hot_threshold) ++serve_hot_keys_;
+  return estimate;
+}
+
 LocalLookupResp MdsServer::RunLocalLookup(const std::string& path,
                                           bool include_lru, Shard& shard) {
   LocalLookupResp resp;
@@ -951,6 +989,17 @@ std::vector<std::uint8_t> MdsServer::Handle(
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
       ++serve_verifies_;
+      const std::uint64_t heat = NoteHotAccess(*path, shard);
+      // Shed only the hot tail, and only while this shard is actually
+      // drowning: cold paths and idle servers always get a real answer.
+      if (config_.hotspot.shed_enabled &&
+          heat >= config_.hotspot.hot_threshold &&
+          shard.queue_len.load(std::memory_order_relaxed) >
+              config_.hotspot.shed_queue_depth) {
+        ++serve_shed_requests_;
+        return EncodeStatusResp(
+            Status::RetryAfter("hot path on an overloaded shard"));
+      }
       return EncodeBoolResp(shard.store.Contains(*path));
     }
     case MsgType::kTouchLru: {
@@ -1028,6 +1077,10 @@ std::vector<std::uint8_t> MdsServer::Handle(
           }
         }
         if (checkpoint_due) NoteCheckpointDue();
+        // The path is gone: any lease out there must not outlive it. The
+        // coordinator broadcasts kInvalidate to the rest of the group;
+        // this covers the shard that served the unlink itself.
+        shard.leases.erase(*path);
       }
       shard.files.store(shard.store.size(), std::memory_order_relaxed);
       return EncodeStatusResp(s);
@@ -1271,6 +1324,48 @@ std::vector<std::uint8_t> MdsServer::Handle(
       resp.epoch = view_epoch_;
       resp.members = view_members_;
       return EncodeMembershipResp(resp);
+    }
+    case MsgType::kLeaseGrant: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      // A lease is a positive membership proof, so it is granted only for
+      // paths this server actually stores right now; the client combines
+      // the TTL with its routing-epoch check for coherence.
+      LeaseGrantResp resp;
+      const std::uint32_t ttl = config_.hotspot.lease_ttl_ms;
+      if (ttl > 0 && shard.store.Contains(*path)) {
+        resp.granted = true;
+        resp.ttl_ms = ttl;
+        resp.home = id_;
+        shard.leases[*path] = SteadyNowMs() + ttl;
+        ++serve_lease_grants_;
+        // Lease demand is lookup demand: a key every client wants leased
+        // is exactly the kind the hot detector should see.
+        (void)NoteHotAccess(*path, shard);  // estimate consumed by kVerify
+        // Opportunistic prune so an ever-changing hot set cannot grow the
+        // table without bound (the map is shard-local and small, so a
+        // linear sweep every 256 grants is cheap).
+        if (shard.leases.size() % 256 == 0) {
+          const std::uint64_t now = SteadyNowMs();
+          std::erase_if(shard.leases,
+                        [now](const auto& kv) { return kv.second <= now; });
+        }
+      } else {
+        ++serve_lease_refusals_;
+      }
+      return EncodeLeaseGrantResp(resp);
+    }
+    case MsgType::kInvalidate: {
+      auto path = in.GetString();
+      if (!path.ok()) return EncodeStatusResp(path.status());
+      ++serve_invalidations_;
+      shard.leases.erase(*path);
+      // Also drop any L1 hint for the path: after an unlink or a
+      // migration the cached (path -> home) would be a stale positive.
+      shard.lru.Invalidate(*path);
+      shard.lru_bytes.store(shard.lru.MemoryBytes(),
+                            std::memory_order_relaxed);
+      return EncodeStatusResp(Status::Ok());
     }
     case MsgType::kBatch: {
       // Only reachable when DecodeBatchRequest failed on the event thread:

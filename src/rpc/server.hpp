@@ -39,11 +39,13 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bloom/bloom_filter_array.hpp"
 #include "bloom/counting_bloom_filter.hpp"
 #include "bloom/lru_bloom_array.hpp"
+#include "common/count_min_sketch.hpp"
 #include "common/metrics_registry.hpp"
 #include "common/sync.hpp"
 #include "core/config.hpp"
@@ -152,6 +154,14 @@ class MdsServer {
     ThreadRole role;
     MetadataStore store GHBA_GUARDED_BY(role);
     LruBloomArray lru GHBA_GUARDED_BY(role);
+    /// Outstanding client leases for this shard's paths (path -> absolute
+    /// steady-clock expiry, ms). Shard-owned like the store: kLeaseGrant,
+    /// kInvalidate and kUnlink are all path-routed, so every access runs
+    /// on this worker.
+    std::unordered_map<std::string, std::uint64_t> leases
+        GHBA_GUARDED_BY(role);
+    /// Hot-spot detector over this shard's verify/lease stream.
+    CountMinSketch hot_sketch GHBA_GUARDED_BY(role);
 
     // Holders probe the fault injector (IsShardStalled) inside the wait
     // loop, so this ranks above kFaultInjector; nothing else nests in it.
@@ -163,10 +173,16 @@ class MdsServer {
 
     std::atomic<std::uint64_t> files{0};
     std::atomic<std::uint64_t> lru_bytes{0};
+    /// Tasks posted but not yet dequeued; the shed decision reads it
+    /// without taking mu.
+    std::atomic<std::uint64_t> queue_len{0};
     std::thread thread;
 
-    explicit Shard(const LruBloomArray::Options& lru_options)
-        : lru(lru_options) {}
+    Shard(const LruBloomArray::Options& lru_options,
+          const HotSpotOptions& hot_options, std::uint64_t seed)
+        : lru(lru_options),
+          hot_sketch(hot_options.sketch_width, hot_options.sketch_depth,
+                     seed) {}
   };
 
   void IoLoop();
@@ -198,6 +214,11 @@ class MdsServer {
 
   LocalLookupResp RunLocalLookup(const std::string& path, bool include_lru,
                                  Shard& shard) GHBA_REQUIRES(shard.role);
+
+  /// Feed one access to the shard's hot-spot sketch (decaying it on
+  /// period) and return the post-add estimate for `path`.
+  std::uint64_t NoteHotAccess(const std::string& path, Shard& shard)
+      GHBA_REQUIRES(shard.role);
 
   /// Fraction of replica bytes beyond the memory budget (after the LRU
   /// array and the local filter take their share). Probing those blocks —
@@ -291,6 +312,11 @@ class MdsServer {
   MetricsRegistry::Counter serve_group_probes_;
   MetricsRegistry::Counter serve_global_probes_;
   MetricsRegistry::Counter serve_verifies_;
+  MetricsRegistry::Counter serve_lease_grants_;
+  MetricsRegistry::Counter serve_lease_refusals_;
+  MetricsRegistry::Counter serve_invalidations_;
+  MetricsRegistry::Counter serve_hot_keys_;
+  MetricsRegistry::Counter serve_shed_requests_;
   MetricsRegistry::Counter reconfig_messages_;
   MetricsRegistry::LatencyHistogram outcome_latency_ms_;
 };

@@ -75,6 +75,71 @@ WorkloadProfile HpProfile() {
   return p;
 }
 
+WorkloadProfile FlashCrowdProfile() {
+  WorkloadProfile p;
+  p.name = "FLASH";
+  // Read-only mob: opens/stats on the famous files, near-zero churn.
+  p.open_fraction = 0.30;
+  p.close_fraction = 0.30;
+  p.stat_fraction = 0.39;
+  p.create_fraction = 0.008;
+  p.unlink_fraction = 0.002;
+  p.total_files = 100000;
+  // The crowd converges on a few hundred files out of the whole namespace.
+  p.active_files = 400;
+  p.users = 5000;  // everyone at once
+  p.hosts = 250;
+  p.zipf_skew = 1.4;         // a handful of files take most hits
+  p.rereference_prob = 0.9;  // the same story refreshed over and over
+  p.working_set = 64;
+  p.ops_per_second = 20000;  // burst rate, not steady state
+  return p;
+}
+
+WorkloadProfile ReaddirStormProfile() {
+  WorkloadProfile p;
+  p.name = "READDIR";
+  // ls -lR sweeps: one stat per directory entry, opens only for descents.
+  p.open_fraction = 0.05;
+  p.close_fraction = 0.05;
+  p.stat_fraction = 0.88;
+  p.create_fraction = 0.015;
+  p.unlink_fraction = 0.005;
+  p.total_files = 200000;
+  p.active_files = 150000;    // a sweep touches most of the namespace
+  p.users = 40;
+  p.hosts = 20;
+  p.zipf_skew = 0.3;          // within a sweep every entry is hit alike
+  p.rereference_prob = 0.05;  // sequential scan: no recency to exploit
+  p.working_set = 128;
+  p.ops_per_second = 8000;
+  // Wide and shallow: big directories are what make the storm.
+  p.dirs_per_level = 256;
+  p.dir_depth = 2;
+  return p;
+}
+
+WorkloadProfile MultiTenantProfile() {
+  WorkloadProfile p;
+  p.name = "TENANT";
+  p.open_fraction = 0.18;
+  p.close_fraction = 0.18;
+  p.stat_fraction = 0.58;
+  p.create_fraction = 0.04;
+  p.unlink_fraction = 0.02;
+  p.total_files = 500000;
+  p.active_files = 120000;
+  p.users = 800;  // many small tenants, each in its own subtree
+  p.hosts = 100;
+  p.zipf_skew = 0.7;          // warm tenants, but no single celebrity
+  p.rereference_prob = 0.45;
+  p.working_set = 2048;       // union of many small per-tenant sets
+  p.ops_per_second = 6000;
+  p.dirs_per_level = 32;
+  p.dir_depth = 4;            // /tenant/project/dir/file
+  return p;
+}
+
 Result<WorkloadProfile> ProfileByName(const std::string& name) {
   std::string lower(name);
   std::transform(lower.begin(), lower.end(), lower.begin(),
@@ -82,6 +147,9 @@ Result<WorkloadProfile> ProfileByName(const std::string& name) {
   if (lower == "ins") return InsProfile();
   if (lower == "res") return ResProfile();
   if (lower == "hp") return HpProfile();
+  if (lower == "flash") return FlashCrowdProfile();
+  if (lower == "readdir") return ReaddirStormProfile();
+  if (lower == "tenant") return MultiTenantProfile();
   return Status::InvalidArgument("unknown workload profile: " + name);
 }
 

@@ -62,9 +62,29 @@ WorkloadProfile ResProfile();
 /// 32 active users / 207 accounts, 0.969M active of 4.0M total files.
 WorkloadProfile HpProfile();
 
-/// Look up a profile by case-insensitive name ("ins", "res", "hp");
-/// kInvalidArgument for unknown names (same error contract as the rpc
-/// layer — see docs/PROTOCOL.md).
+/// FLASH: flash-crowd stressor for the client front tier. A tiny set of
+/// suddenly-famous files absorbs almost all lookups (extreme Zipf skew +
+/// near-certain re-reference over a small window), the worst case for a
+/// single home MDS and the best case for the leased lookup cache plus
+/// hot-key replication. Not from the paper's tables — a synthetic probe
+/// of the MIDAS-style adaptivity loop.
+WorkloadProfile FlashCrowdProfile();
+
+/// READDIR: directory-scan storm. Sequential stats sweep wide directories
+/// (ls -lR style), so traffic is stat-saturated with *low* re-reference —
+/// each file is touched once per sweep — defeating recency caches while
+/// keeping per-directory bursts. Wide, shallow namespace.
+WorkloadProfile ReaddirStormProfile();
+
+/// TENANT: multi-tenant consolidation. Many users on many hosts, each in
+/// a private subtree: large namespace, modest per-tenant heat, moderate
+/// skew. The per-MDS load question here is fairness (load CV), not one
+/// hotspot.
+WorkloadProfile MultiTenantProfile();
+
+/// Look up a profile by case-insensitive name ("ins", "res", "hp",
+/// "flash", "readdir", "tenant"); kInvalidArgument for unknown names
+/// (same error contract as the rpc layer — see docs/PROTOCOL.md).
 Result<WorkloadProfile> ProfileByName(const std::string& name);
 
 }  // namespace ghba

@@ -1,0 +1,357 @@
+// The client front tier (ghba::Client): the leased, epoch-invalidated
+// lookup cache must never serve a stale positive — not after its TTL, not
+// after an unlink through the facade, and not across a replica migration
+// (crashed at any phase or clean). Time is injected so lease expiry is
+// tested by advancing a counter, not by sleeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "client/client.hpp"
+
+namespace ghba {
+namespace {
+
+ClusterConfig ClientTestConfig() {
+  ClusterConfig c;
+  c.num_mds = 6;
+  c.max_group_size = 3;
+  c.expected_files_per_mds = 500;
+  c.lru_capacity = 64;
+  c.memory_budget_bytes = 64ULL << 20;
+  c.seed = 11;
+  c.rpc.connect_timeout_ms = 150;
+  c.rpc.attempt_timeout_ms = 150;
+  c.rpc.call_budget_ms = 450;
+  c.rpc.max_attempts = 3;
+  c.rpc.retry_backoff_ms = 2;
+  c.rpc.server_io_timeout_ms = 150;
+  c.rpc.suspect_after = 3;
+  c.rpc.ping_attempts = 3;
+  c.rpc.ping_timeout_ms = 100;
+  c.hotspot.lease_ttl_ms = 500;
+  return c;
+}
+
+/// A facade whose clock is a counter the test advances by hand.
+struct FakeClockClient {
+  std::uint64_t now_ms = 1000;
+  std::unique_ptr<Client> client;
+
+  explicit FakeClockClient(PrototypeCluster* cluster, ClientOptions options = {}) {
+    options.clock_ms = [this] { return now_ms; };
+    client = Client::Attach(cluster, std::move(options));
+  }
+  Client* operator->() { return client.get(); }
+  Client& operator*() { return *client; }
+};
+
+std::map<std::string, MdsId> BuildNamespace(PrototypeCluster& cluster,
+                                            int files) {
+  std::map<std::string, MdsId> home_of;
+  for (int i = 0; i < files; ++i) {
+    const auto path = "/cli/f" + std::to_string(i);
+    FileMetadata md;
+    md.inode = static_cast<std::uint64_t>(i);
+    EXPECT_TRUE(cluster.Insert(path, md).ok());
+  }
+  EXPECT_TRUE(cluster.PublishAll().ok());
+  for (int i = 0; i < files; ++i) {
+    const auto path = "/cli/f" + std::to_string(i);
+    const auto r = cluster.Lookup(path);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) home_of[path] = r->home;
+  }
+  return home_of;
+}
+
+std::uint64_t CacheCounter(PrototypeCluster& cluster, const std::string& name) {
+  return cluster.ClientSnapshot().CounterOr(name);
+}
+
+TEST(ClientCacheTest, SecondLookupIsServedFromCache) {
+  PrototypeCluster cluster(ClientTestConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 8);
+  FakeClockClient client(&cluster);
+
+  const auto first = client->Lookup("/cli/f0");
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->found);
+  EXPECT_FALSE(first->from_cache);
+  ASSERT_EQ(client->CacheSize(), 1u);
+
+  const auto second = client->Lookup("/cli/f0");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->found);
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->served_level, 0u);
+  EXPECT_EQ(second->home, first->home);
+  EXPECT_GE(CacheCounter(cluster, "cache.hits"), 1u);
+}
+
+TEST(ClientCacheTest, LeaseExpiresUnderClockAdvance) {
+  const ClusterConfig config = ClientTestConfig();
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 4);
+  FakeClockClient client(&cluster);
+
+  ASSERT_TRUE(client->Lookup("/cli/f1").ok());
+  // Just inside the TTL: still a hit.
+  client.now_ms += config.hotspot.lease_ttl_ms - 1;
+  const auto fresh = client->Lookup("/cli/f1");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->from_cache);
+
+  // One more millisecond and the lease is dead: the cascade runs again and
+  // the answer is re-leased.
+  client.now_ms += 1;
+  const auto expired = client->Lookup("/cli/f1");
+  ASSERT_TRUE(expired.ok());
+  EXPECT_TRUE(expired->found);
+  EXPECT_FALSE(expired->from_cache);
+  EXPECT_GE(CacheCounter(cluster, "cache.expired_lease"), 1u);
+  EXPECT_EQ(client->CacheSize(), 1u);  // re-leased, not abandoned
+}
+
+TEST(ClientCacheTest, UnlinkNeverLeavesAStalePositive) {
+  PrototypeCluster cluster(ClientTestConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 4);
+  FakeClockClient client(&cluster);
+
+  ASSERT_TRUE(client->Lookup("/cli/f2").ok());
+  ASSERT_EQ(client->CacheSize(), 1u);
+  ASSERT_TRUE(client->Unlink("/cli/f2").ok());
+  EXPECT_EQ(client->CacheSize(), 0u);
+
+  // Immediately after the unlink returns — zero staleness window for the
+  // unlinking client, however fresh the lease was.
+  const auto r = client->Lookup("/cli/f2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+  EXPECT_GE(CacheCounter(cluster, "cache.invalidations"), 1u);
+}
+
+TEST(ClientCacheTest, OtherClientsStalenessIsBoundedByTheLeaseTtl) {
+  const ClusterConfig config = ClientTestConfig();
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 4);
+  FakeClockClient writer(&cluster);
+  FakeClockClient reader(&cluster);
+
+  ASSERT_TRUE(reader->Lookup("/cli/f3").ok());
+  ASSERT_TRUE(writer->Unlink("/cli/f3").ok());
+
+  // The reader's local entry cannot be reached by the broadcast; its lease
+  // TTL is the staleness bound, after which the re-lookup sees the truth.
+  reader.now_ms += config.hotspot.lease_ttl_ms;
+  const auto r = reader->Lookup("/cli/f3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->found);
+  EXPECT_FALSE(r->from_cache);
+}
+
+TEST(ClientCacheTest, EpochBumpInvalidatesAcrossACleanMigration) {
+  PrototypeCluster cluster(ClientTestConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  const auto home_of = BuildNamespace(cluster, 12);
+  FakeClockClient client(&cluster);
+  for (const auto& [path, home] : home_of) {
+    ASSERT_TRUE(client->Lookup(path).ok());
+  }
+  ASSERT_EQ(client->CacheSize(), home_of.size());
+
+  // Move an outsider replica inside server 0's group: the flip pushes a
+  // bumped epoch, which must kill every older lease at the next probe.
+  const auto view = cluster.MembershipOf(0);
+  ASSERT_TRUE(view.ok());
+  MdsId owner = kInvalidMds;
+  for (const MdsId id : cluster.AliveServers()) {
+    if (std::find(view->members.begin(), view->members.end(), id) ==
+        view->members.end()) {
+      owner = id;
+      break;
+    }
+  }
+  ASSERT_NE(owner, kInvalidMds);
+  const auto from = cluster.HolderOf(0, owner);
+  ASSERT_TRUE(from.ok());
+  MdsId to = kInvalidMds;
+  for (const MdsId id : view->members) {
+    if (id != *from) to = id;
+  }
+  ASSERT_NE(to, kInvalidMds);
+  const std::uint64_t epoch_before = cluster.RoutingEpoch();
+  ASSERT_TRUE(cluster.MigrateReplica(owner, to).ok());
+  ASSERT_GT(cluster.RoutingEpoch(), epoch_before);
+
+  // Every lookup after the bump re-runs the cascade (no hit may survive)
+  // and still lands on the right home.
+  for (const auto& [path, home] : home_of) {
+    const auto r = client->Lookup(path);
+    ASSERT_TRUE(r.ok()) << path;
+    EXPECT_TRUE(r->found) << path;
+    EXPECT_FALSE(r->from_cache) << path;
+    EXPECT_EQ(r->home, home) << path;
+  }
+  EXPECT_GE(CacheCounter(cluster, "cache.stale_epoch"), home_of.size());
+}
+
+TEST(ClientCacheTest, DisabledCacheNeverCachesOrLeases) {
+  PrototypeCluster cluster(ClientTestConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 4);
+  ClientOptions off;
+  off.cache_enabled = false;
+  FakeClockClient client(&cluster, off);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto r = client->Lookup("/cli/f0");
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->found);
+    EXPECT_FALSE(r->from_cache);
+  }
+  EXPECT_EQ(client->CacheSize(), 0u);
+}
+
+TEST(ClientCacheTest, CapacityBoundsTheCacheViaLruEviction) {
+  PrototypeCluster cluster(ClientTestConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 6);
+  ClientOptions small;
+  small.cache_capacity = 2;
+  FakeClockClient client(&cluster, small);
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client->Lookup("/cli/f" + std::to_string(i)).ok());
+    EXPECT_LE(client->CacheSize(), 2u);
+  }
+  // The two most recent survive; the rest were evicted, not expired.
+  const auto r5 = client->Lookup("/cli/f5");
+  ASSERT_TRUE(r5.ok());
+  EXPECT_TRUE(r5->from_cache);
+}
+
+TEST(ClientCacheTest, HotKeyPromotionReplicatesTheHomeFilter) {
+  PrototypeCluster cluster(ClientTestConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  BuildNamespace(cluster, 4);
+  ClientOptions hot;
+  hot.hot_threshold = 4;
+  FakeClockClient client(&cluster, hot);
+
+  const std::uint64_t migrated_before =
+      cluster.metrics().replicas_migrated.value();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client->Lookup("/cli/f0").ok());
+  }
+  EXPECT_GE(CacheCounter(cluster, "cache.hot_promotions"), 1u);
+  EXPECT_GT(cluster.metrics().replicas_migrated.value(), migrated_before);
+
+  // Promotion is per (path, epoch): hammering the same path again must not
+  // replicate a second time under the same topology.
+  const std::uint64_t promotions =
+      CacheCounter(cluster, "cache.hot_promotions");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client->Lookup("/cli/f0").ok());
+  }
+  EXPECT_EQ(CacheCounter(cluster, "cache.hot_promotions"), promotions);
+}
+
+// A crash at any migration phase, then recovery, must never let the facade
+// serve a wrong answer from a pre-migration lease. The commit point is the
+// phase-2 flip; whichever endpoint placement the crash resolves to, homes
+// are unchanged (migration moves replicas, not files), so the bar is: all
+// lookups correct, no stale cache hit pointing anywhere wrong.
+class ClientMigrationCrashTest
+    : public ::testing::TestWithParam<FaultInjector::MigrationPhase> {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = info->name();
+    std::replace(name.begin(), name.end(), '/', '_');
+    dir_ = std::filesystem::temp_directory_path() / ("ghba_clicrash_" + name);
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(ClientMigrationCrashTest, NoStaleCacheReadAcrossCrashAndRecovery) {
+  ClusterConfig config = ClientTestConfig();
+  config.storage.data_dir = dir_.string();
+  config.storage.fsync = FsyncPolicy::kAlways;
+
+  FaultInjector injector;
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  cluster.set_fault_injector(&injector);
+  ASSERT_TRUE(cluster.Start().ok());
+  const auto home_of = BuildNamespace(cluster, 12);
+  FakeClockClient client(&cluster);
+  for (const auto& [path, home] : home_of) {
+    ASSERT_TRUE(client->Lookup(path).ok());
+  }
+  ASSERT_EQ(client->CacheSize(), home_of.size());
+
+  const auto view = cluster.MembershipOf(0);
+  ASSERT_TRUE(view.ok());
+  MdsId owner = kInvalidMds;
+  for (const MdsId id : cluster.AliveServers()) {
+    if (std::find(view->members.begin(), view->members.end(), id) ==
+        view->members.end()) {
+      owner = id;
+      break;
+    }
+  }
+  ASSERT_NE(owner, kInvalidMds);
+  const auto from = cluster.HolderOf(0, owner);
+  ASSERT_TRUE(from.ok());
+  MdsId to = kInvalidMds;
+  for (const MdsId id : view->members) {
+    if (id != *from) to = id;
+  }
+  ASSERT_NE(to, kInvalidMds);
+
+  injector.ArmMigrationCrash(GetParam());
+  ASSERT_FALSE(cluster.MigrateReplica(owner, to).ok());
+  const bool committed = GetParam() != FaultInjector::MigrationPhase::kPrepare;
+  const MdsId victim = committed ? *from : to;
+  ASSERT_TRUE(cluster.RestartServer(victim).ok());
+
+  // Whatever mix of cache hits and re-lookups happens now, every answer
+  // must be found at the unchanged home.
+  for (const auto& [path, home] : home_of) {
+    const auto r = client->Lookup(path);
+    ASSERT_TRUE(r.ok()) << path;
+    EXPECT_TRUE(r->found) << path;
+    EXPECT_EQ(r->home, home) << path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhases, ClientMigrationCrashTest,
+    ::testing::Values(FaultInjector::MigrationPhase::kPrepare,
+                      FaultInjector::MigrationPhase::kFlip,
+                      FaultInjector::MigrationPhase::kRetire),
+    [](const ::testing::TestParamInfo<FaultInjector::MigrationPhase>& info) {
+      switch (info.param) {
+        case FaultInjector::MigrationPhase::kPrepare:
+          return "Prepare";
+        case FaultInjector::MigrationPhase::kFlip:
+          return "Flip";
+        case FaultInjector::MigrationPhase::kRetire:
+          return "Retire";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace ghba

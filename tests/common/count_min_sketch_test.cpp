@@ -1,0 +1,97 @@
+// Count-min sketch: the front tier's hot-key detector. The contract under
+// test is the Cormode-Muthukrishnan bound — estimates never undercount and
+// overcount by at most eps * N (eps = e / width) with probability
+// >= 1 - e^-depth — plus the decay/clear aging semantics the client's
+// promotion loop depends on.
+#include "common/count_min_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ghba {
+namespace {
+
+TEST(CountMinSketchTest, NeverUndercountsAndRespectsTheEpsilonBound) {
+  const std::uint32_t width = 512;
+  const std::uint32_t depth = 4;
+  CountMinSketch sketch(width, depth, /*seed=*/42);
+
+  // A skewed stream over many more distinct keys than width, so rows do
+  // collide and the bound is actually exercised.
+  std::mt19937_64 rng(7);
+  std::map<std::string, std::uint64_t> truth;
+  const std::size_t kStream = 60000;
+  for (std::size_t i = 0; i < kStream; ++i) {
+    // Geometric-ish skew: low ids vastly more popular.
+    const auto id = static_cast<std::uint64_t>(
+        std::floor(std::pow(static_cast<double>(rng() % 1000000) / 1000000.0,
+                            3.0) *
+                   2000));
+    const std::string key = "/k/" + std::to_string(id);
+    ++truth[key];
+    sketch.Add(key);
+  }
+  ASSERT_EQ(sketch.total(), kStream);
+
+  const double eps = std::exp(1.0) / static_cast<double>(width);
+  const auto bound = static_cast<std::uint64_t>(
+      std::ceil(eps * static_cast<double>(sketch.total())));
+  std::size_t over_bound = 0;
+  for (const auto& [key, count] : truth) {
+    const std::uint64_t est = sketch.Estimate(key);
+    ASSERT_GE(est, count) << key;  // one-sided error, always
+    if (est > count + bound) ++over_bound;
+  }
+  // delta = e^-4 ~= 1.8% per key; allow double that for a fixed seed.
+  EXPECT_LE(static_cast<double>(over_bound),
+            0.04 * static_cast<double>(truth.size()));
+}
+
+TEST(CountMinSketchTest, AddReturnsThePostAddEstimate) {
+  CountMinSketch sketch(256, 4, 1);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    const std::uint64_t est = sketch.Add("/hot");
+    EXPECT_GE(est, i);  // >= true count even mid-stream
+  }
+  EXPECT_GE(sketch.Estimate("/hot"), 10u);
+  EXPECT_EQ(sketch.Estimate("/never-seen-xyz"), 0u);
+}
+
+TEST(CountMinSketchTest, DecayHalvesCountsAndTotal) {
+  CountMinSketch sketch(256, 4, 1);
+  for (int i = 0; i < 100; ++i) sketch.Add("/flash");
+  const std::uint64_t peak = sketch.Estimate("/flash");
+  sketch.Decay();
+  EXPECT_EQ(sketch.total(), 50u);
+  EXPECT_LE(sketch.Estimate("/flash"), peak / 2 + 1);
+  // Two half-lives: yesterday's crowd reads as a quarter of its peak.
+  sketch.Decay();
+  EXPECT_LE(sketch.Estimate("/flash"), peak / 4 + 1);
+}
+
+TEST(CountMinSketchTest, ClearZeroesEverything) {
+  CountMinSketch sketch(64, 2, 9);
+  for (int i = 0; i < 32; ++i) sketch.Add("/x" + std::to_string(i));
+  sketch.Clear();
+  EXPECT_EQ(sketch.total(), 0u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(sketch.Estimate("/x" + std::to_string(i)), 0u);
+  }
+}
+
+TEST(CountMinSketchTest, GeometryIsClampedToAtLeastOne) {
+  CountMinSketch sketch(0, 0, 0);
+  EXPECT_EQ(sketch.width(), 1u);
+  EXPECT_EQ(sketch.depth(), 1u);
+  sketch.Add("/a");
+  EXPECT_GE(sketch.Estimate("/a"), 1u);
+}
+
+}  // namespace
+}  // namespace ghba

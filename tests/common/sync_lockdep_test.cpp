@@ -80,8 +80,9 @@ TEST(SyncTest, ConditionVariableAnyWaitRelocks) {
 TEST(SyncTest, LockRankNamesCoverTheTable) {
   EXPECT_STREQ(LockRankName(LockRank::kLogging), "logging");
   EXPECT_STREQ(LockRankName(LockRank::kCluster), "cluster");
+  EXPECT_STREQ(LockRankName(LockRank::kClient), "client");
   EXPECT_STREQ(LockRankName(LockRank::kServerWal), "server-wal");
-  EXPECT_EQ(static_cast<std::size_t>(LockRank::kCluster) + 1, kLockRankCount);
+  EXPECT_EQ(static_cast<std::size_t>(LockRank::kClient) + 1, kLockRankCount);
 }
 
 #if defined(GHBA_LOCKDEP) && GHBA_LOCKDEP

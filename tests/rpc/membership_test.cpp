@@ -60,14 +60,13 @@ TEST(MembershipTest, TopologyChangesBumpTheEpoch) {
   ASSERT_TRUE(cluster.Start().ok());
   std::uint64_t last = cluster.RoutingEpoch();
 
-  std::uint64_t messages = 0;
-  const auto added = cluster.AddServer(&messages);
+  const auto added = cluster.AddServer();
   ASSERT_TRUE(added.ok());
-  EXPECT_GT(messages, 0u);
+  EXPECT_GT(added->messages, 0u);
   EXPECT_GT(cluster.RoutingEpoch(), last);
   last = cluster.RoutingEpoch();
 
-  ASSERT_TRUE(cluster.RemoveServer(*added, &messages).ok());
+  ASSERT_TRUE(cluster.RemoveServer(added->id).ok());
   EXPECT_GT(cluster.RoutingEpoch(), last);
   last = cluster.RoutingEpoch();
 
@@ -137,9 +136,9 @@ TEST(MembershipTest, RecycledIdStartsWithCleanHealthState) {
 
   // ...but the next AddServer recycles the freed slot and must not inherit
   // the corpse's verdict, cached connection, or protocol version.
-  const auto added = cluster.AddServer(nullptr);
+  const auto added = cluster.AddServer();
   ASSERT_TRUE(added.ok());
-  EXPECT_EQ(*added, victim) << "lowest free id is recycled";
+  EXPECT_EQ(added->id, victim) << "lowest free id is recycled";
   EXPECT_EQ(cluster.health().state(victim), PeerState::kHealthy);
   const auto version = cluster.ProtocolVersionOf(victim);
   ASSERT_TRUE(version.ok());
@@ -156,7 +155,7 @@ TEST(MembershipTest, RecycledIdStartsWithCleanHealthState) {
 
   // Graceful leave clears the verdict immediately: RemoveServer is an
   // administrative action, not a failure.
-  ASSERT_TRUE(cluster.RemoveServer(victim, nullptr).ok());
+  ASSERT_TRUE(cluster.RemoveServer(victim).ok());
   EXPECT_EQ(cluster.health().state(victim), PeerState::kHealthy);
 }
 
@@ -174,7 +173,7 @@ TEST(MembershipTest, DurableServersRejoinAndRestartWithTheJournaledView) {
   {
     PrototypeCluster cluster(config, ProtoScheme::kGhba);
     ASSERT_TRUE(cluster.Start().ok());
-    ASSERT_TRUE(cluster.AddServer(nullptr).ok());  // raise the epoch
+    ASSERT_TRUE(cluster.AddServer().ok());  // raise the epoch
 
     // A killed durable server journaled the view it last acked; restart
     // recovers it and the orchestrator folds it into its own epoch line.
@@ -305,9 +304,9 @@ TEST(MembershipTest, ChurnUnderLiveLookupsServesEveryFile) {
   for (int round = 0; round < 3; ++round) {
     const auto alive = cluster.AliveServers();
     ASSERT_GT(alive.size(), 1u);
-    ASSERT_TRUE(cluster.RemoveServer(alive.back(), nullptr).ok()) << round;
+    ASSERT_TRUE(cluster.RemoveServer(alive.back()).ok()) << round;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    ASSERT_TRUE(cluster.AddServer(nullptr).ok()) << round;
+    ASSERT_TRUE(cluster.AddServer().ok()) << round;
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 

@@ -115,6 +115,53 @@ TEST(ProtocolTest, StatsRespRoundTrip) {
   EXPECT_EQ(decoded->replicas, 40u);
 }
 
+TEST(ProtocolTest, LeaseGrantRespRoundTrip) {
+  LeaseGrantResp resp;
+  resp.granted = true;
+  resp.ttl_ms = 2000;
+  resp.home = 5;
+  const auto frame = EncodeLeaseGrantResp(resp);
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  ASSERT_TRUE(env->has_payload);
+  const auto decoded = DecodeLeaseGrantResp(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, resp);
+}
+
+TEST(ProtocolTest, LeaseRefusalRoundTrip) {
+  // granted=false, ttl 0: "not here" — a cache miss, never a negative.
+  const auto frame = EncodeLeaseGrantResp(LeaseGrantResp{});
+  ByteReader in(frame);
+  ASSERT_TRUE(OpenEnvelope(in).ok());
+  const auto decoded = DecodeLeaseGrantResp(in);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->granted);
+  EXPECT_EQ(decoded->ttl_ms, 0u);
+}
+
+TEST(ProtocolTest, V4PathRequestsDecode) {
+  for (const MsgType type : {MsgType::kLeaseGrant, MsgType::kInvalidate}) {
+    const auto frame = EncodePathRequest(type, "/v4/p");
+    ByteReader in(frame);
+    const auto decoded = DecodeType(in);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, type);
+    EXPECT_EQ(*in.GetString(), "/v4/p");
+  }
+}
+
+TEST(ProtocolTest, RetryAfterStatusRoundTrips) {
+  const auto frame = EncodeStatusResp(Status::RetryAfter("hot shard"));
+  ByteReader in(frame);
+  const auto env = OpenEnvelope(in);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(env->has_payload);
+  EXPECT_EQ(env->status.code(), StatusCode::kRetryAfter);
+  EXPECT_EQ(env->status.message(), "hot shard");
+}
+
 TEST(ProtocolTest, TruncatedEnvelopeRejected) {
   ByteReader in(std::span<const std::uint8_t>{});
   EXPECT_FALSE(OpenEnvelope(in).ok());
@@ -214,6 +261,20 @@ TEST(ProtocolHardeningTest, EveryTruncationOfStatsRejected) {
     const auto env = OpenEnvelope(in);
     if (!env.ok()) continue;
     EXPECT_FALSE(DecodeStatsResp(in).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ProtocolHardeningTest, EveryTruncationOfLeaseGrantRejected) {
+  LeaseGrantResp resp;
+  resp.granted = true;
+  resp.ttl_ms = 1234;
+  resp.home = 9;
+  const auto full = EncodeLeaseGrantResp(resp);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    ByteReader in(std::span<const std::uint8_t>(full.data(), len));
+    const auto env = OpenEnvelope(in);
+    if (!env.ok()) continue;
+    EXPECT_FALSE(DecodeLeaseGrantResp(in).ok()) << "prefix length " << len;
   }
 }
 

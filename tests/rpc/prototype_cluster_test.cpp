@@ -70,11 +70,10 @@ TEST_P(PrototypeClusterTest, UnlinkThenMiss) {
 TEST_P(PrototypeClusterTest, AddServerCountsMessages) {
   PrototypeCluster cluster(ProtoConfig(), GetParam());
   ASSERT_TRUE(cluster.Start().ok());
-  std::uint64_t messages = 0;
-  const auto nid = cluster.AddServer(&messages);
-  ASSERT_TRUE(nid.ok()) << nid.status().ToString();
+  const auto joined = cluster.AddServer();
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
   EXPECT_EQ(cluster.NumServers(), 9u);
-  EXPECT_GT(messages, 0u);
+  EXPECT_GT(joined->messages, 0u);
   // Service continues after the join.
   ASSERT_TRUE(cluster.Insert("/after/join", Md()).ok());
   ASSERT_TRUE(cluster.PublishAll().ok());
@@ -99,12 +98,16 @@ TEST(PrototypeJoinCostTest, HbaJoinCostsMoreMessagesThanGhba) {
   {
     PrototypeCluster cluster(ProtoConfig(13, 3), ProtoScheme::kGhba);
     ASSERT_TRUE(cluster.Start().ok());
-    ASSERT_TRUE(cluster.AddServer(&ghba_messages).ok());
+    const auto joined = cluster.AddServer();
+    ASSERT_TRUE(joined.ok());
+    ghba_messages = joined->messages;
   }
   {
     PrototypeCluster cluster(ProtoConfig(13, 3), ProtoScheme::kHba);
     ASSERT_TRUE(cluster.Start().ok());
-    ASSERT_TRUE(cluster.AddServer(&hba_messages).ok());
+    const auto joined = cluster.AddServer();
+    ASSERT_TRUE(joined.ok());
+    hba_messages = joined->messages;
   }
   EXPECT_GT(hba_messages, ghba_messages);
 }
@@ -132,9 +135,9 @@ TEST_P(PrototypeClusterTest, GracefulRemoveKeepsAllFiles) {
   }
   ASSERT_TRUE(cluster.PublishAll().ok());
 
-  std::uint64_t messages = 0;
-  ASSERT_TRUE(cluster.RemoveServer(2, &messages).ok());
-  EXPECT_GT(messages, 0u);
+  const auto removed = cluster.RemoveServer(2);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_GT(removed->messages, 0u);
   EXPECT_EQ(cluster.AliveServers().size(), 7u);
 
   for (int i = 0; i < 60; ++i) {
@@ -182,7 +185,7 @@ TEST_P(PrototypeClusterTest, CrashLosesOnlyItsFiles) {
 TEST(PrototypeRemoveTest, RemoveUnknownRejected) {
   PrototypeCluster cluster(ProtoConfig(4, 2), ProtoScheme::kGhba);
   ASSERT_TRUE(cluster.Start().ok());
-  EXPECT_EQ(cluster.RemoveServer(99, nullptr).code(), StatusCode::kNotFound);
+  EXPECT_EQ(cluster.RemoveServer(99).status().code(), StatusCode::kNotFound);
   EXPECT_EQ(cluster.KillServer(99).code(), StatusCode::kNotFound);
 }
 
@@ -312,7 +315,7 @@ TEST(PrototypeSplitTest, JoinsBeyondCapacityTriggerSplit) {
   PrototypeCluster cluster(ProtoConfig(6, 3), ProtoScheme::kGhba);
   ASSERT_TRUE(cluster.Start().ok());
   const auto groups_before = cluster.NumGroups();
-  ASSERT_TRUE(cluster.AddServer(nullptr).ok());
+  ASSERT_TRUE(cluster.AddServer().ok());
   EXPECT_GT(cluster.NumGroups(), groups_before);
   // Still serves across the reorganized groups.
   ASSERT_TRUE(cluster.Insert("/post/split", Md()).ok());

@@ -197,6 +197,60 @@ TEST_F(MdsServerTest, StatsCountFrames) {
   EXPECT_GE(stats->frames_out, 1u);
 }
 
+TEST_F(MdsServerTest, LeaseGrantedOnlyForStoredPaths) {
+  FileMetadata md;
+  ASSERT_TRUE(CallStatus(EncodeInsert("/leased", md)).ok());
+
+  auto resp = Call(EncodePathRequest(MsgType::kLeaseGrant, "/leased"));
+  ASSERT_TRUE(resp.ok());
+  ByteReader in(*resp);
+  ASSERT_TRUE(OpenEnvelope(in).ok());
+  const auto lease = DecodeLeaseGrantResp(in);
+  ASSERT_TRUE(lease.ok());
+  EXPECT_TRUE(lease->granted);
+  EXPECT_EQ(lease->home, 0u);  // the granting server names itself
+  EXPECT_EQ(lease->ttl_ms, TestConfig().hotspot.lease_ttl_ms);
+
+  // Not stored here: a refusal ("do not cache"), never an error and never
+  // an existence verdict.
+  auto missing = Call(EncodePathRequest(MsgType::kLeaseGrant, "/elsewhere"));
+  ASSERT_TRUE(missing.ok());
+  ByteReader min(*missing);
+  ASSERT_TRUE(OpenEnvelope(min).ok());
+  const auto refusal = DecodeLeaseGrantResp(min);
+  ASSERT_TRUE(refusal.ok());
+  EXPECT_FALSE(refusal->granted);
+  EXPECT_EQ(refusal->ttl_ms, 0u);
+}
+
+TEST_F(MdsServerTest, InvalidateAndUnlinkPurgeLeases) {
+  FileMetadata md;
+  ASSERT_TRUE(CallStatus(EncodeInsert("/l1", md)).ok());
+  ASSERT_TRUE(CallStatus(EncodeInsert("/l2", md)).ok());
+  for (const char* path : {"/l1", "/l2"}) {
+    auto resp = Call(EncodePathRequest(MsgType::kLeaseGrant, path));
+    ASSERT_TRUE(resp.ok());
+  }
+  // Explicit revocation is idempotent and fine for never-leased paths too.
+  EXPECT_TRUE(
+      CallStatus(EncodePathRequest(MsgType::kInvalidate, "/l1")).ok());
+  EXPECT_TRUE(
+      CallStatus(EncodePathRequest(MsgType::kInvalidate, "/l1")).ok());
+  EXPECT_TRUE(
+      CallStatus(EncodePathRequest(MsgType::kInvalidate, "/never")).ok());
+  // kUnlink purges its own lease as part of the removal.
+  ASSERT_TRUE(CallStatus(EncodePathRequest(MsgType::kUnlink, "/l2")).ok());
+
+  auto resp = Call(EncodeHeader(MsgType::kStatsSnapshot));
+  ASSERT_TRUE(resp.ok());
+  ByteReader in(*resp);
+  ASSERT_TRUE(OpenEnvelope(in).ok());
+  const auto snap = DecodeStatsSnapshotResp(in);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_GE(snap->metrics.CounterOr("serve.lease_grants"), 2u);
+  EXPECT_GE(snap->metrics.CounterOr("serve.invalidations"), 3u);
+}
+
 TEST_F(MdsServerTest, MalformedFrameAnswersWithError) {
   ByteWriter w;
   w.PutU16(12345);  // unknown type

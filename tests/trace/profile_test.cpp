@@ -30,7 +30,8 @@ TEST_P(ProfileTest, PopulationsSane) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Named, ProfileTest,
-                         ::testing::Values("ins", "res", "hp"));
+                         ::testing::Values("ins", "res", "hp", "flash",
+                                           "readdir", "tenant"));
 
 TEST(ProfileLookupTest, CaseInsensitive) {
   EXPECT_EQ(ProfileByName("HP")->name, "HP");
@@ -50,6 +51,23 @@ TEST(ProfileShapeTest, ResIsMostStatHeavy) {
   // INS open+close share exceeds RES's (1196+1215 vs 497+558 out of totals).
   EXPECT_GT(InsProfile().open_fraction + InsProfile().close_fraction,
             ResProfile().open_fraction + ResProfile().close_fraction);
+}
+
+// The stressor profiles probe opposite ends of the locality spectrum: a
+// flash crowd is a tiny, furiously re-referenced active set; a readdir
+// storm sweeps nearly everything exactly once.
+TEST(ProfileShapeTest, StressorsSpanTheLocalitySpectrum) {
+  const auto flash = FlashCrowdProfile();
+  const auto readdir = ReaddirStormProfile();
+  const auto tenant = MultiTenantProfile();
+  EXPECT_LT(flash.active_files, 1000u);
+  EXPECT_GT(flash.zipf_skew, 1.0);
+  EXPECT_GT(flash.rereference_prob, readdir.rereference_prob);
+  EXPECT_GT(static_cast<double>(readdir.active_files) /
+                static_cast<double>(readdir.total_files),
+            0.5);
+  EXPECT_LT(readdir.zipf_skew, tenant.zipf_skew);
+  EXPECT_GT(tenant.users, InsProfile().users);
 }
 
 TEST(ProfileShapeTest, HpActiveRatioMatchesTable4) {

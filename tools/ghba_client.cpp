@@ -1,32 +1,57 @@
-// ghba_client — poke a running mds_daemon over the wire.
+// ghba_client — poke a running mds_daemon over the wire, via DaemonClient.
 //
 //   $ ghba_client <port> ping
 //   $ ghba_client <port> insert </path> [inode]
 //   $ ghba_client <port> verify </path>
+//   $ ghba_client <port> lease </path>
+//   $ ghba_client <port> invalidate </path>
 //   $ ghba_client <port> unlink </path>
 //   $ ghba_client <port> stats
+//   $ ghba_client <port> version
 //   $ ghba_client <port> shutdown
+//
+// `verify` resolves the routing, not just existence: it prints the id of
+// the server that answered for the path (from the v4 lease grant) and the
+// replica owners whose filters match, e.g.
+//
+//   present resolved=mds2 lease_ttl_ms=2000 replicas=[2] l1=mds2
+//
+// Exit status: 0 success; 1 failure; 2 usage; 3 verify says absent.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "rpc/protocol.hpp"
-#include "rpc/socket.hpp"
+#include "client/daemon_client.hpp"
 
 using namespace ghba;
 
 namespace {
 
-int PrintStatus(const std::vector<std::uint8_t>& resp) {
-  ByteReader in(resp);
-  const auto env = OpenEnvelope(in);
-  if (!env.ok()) {
-    std::fprintf(stderr, "bad response: %s\n", env.status().ToString().c_str());
+int PrintStatus(const Status& s) {
+  std::printf("%s\n", s.ToString().c_str());
+  return s.ok() ? 0 : 1;
+}
+
+int RunVerify(DaemonClient& client, const std::string& path) {
+  const auto v = client.Verify(path);
+  if (!v.ok()) {
+    std::fprintf(stderr, "verify failed: %s\n", v.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", env->status.ToString().c_str());
-  return env->status.ok() ? 0 : 1;
+  std::printf("%s", v->present ? "present" : "absent");
+  if (v->resolved != kInvalidMds) {
+    std::printf(" resolved=mds%u", v->resolved);
+    if (v->lease_granted) std::printf(" lease_ttl_ms=%u", v->lease_ttl_ms);
+  }
+  std::printf(" replicas=[");
+  for (std::size_t i = 0; i < v->replica_hits.size(); ++i) {
+    std::printf("%s%u", i ? " " : "", v->replica_hits[i]);
+  }
+  std::printf("]");
+  if (v->lru_unique) std::printf(" l1=mds%u", v->lru_home);
+  std::printf("\n");
+  return v->present ? 0 : 3;
 }
 
 }  // namespace
@@ -34,74 +59,71 @@ int PrintStatus(const std::vector<std::uint8_t>& resp) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <port> <ping|insert|verify|unlink|stats|shutdown> "
-                 "[args]\n",
+                 "usage: %s <port> <ping|insert|verify|lease|invalidate|"
+                 "unlink|stats|version|shutdown> [args]\n",
                  argv[0]);
     return 2;
   }
   const auto port = static_cast<std::uint16_t>(std::atoi(argv[1]));
   const std::string cmd = argv[2];
 
-  auto conn = TcpConnection::Connect(port);
-  if (!conn.ok()) {
+  auto client = DaemonClient::Connect(port);
+  if (!client.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
-                 conn.status().ToString().c_str());
+                 client.status().ToString().c_str());
     return 1;
   }
 
-  const auto call = [&](const std::vector<std::uint8_t>& frame)
-      -> Result<std::vector<std::uint8_t>> {
-    if (const auto s = conn->SendFrame(frame); !s.ok()) return s;
-    return conn->RecvFrame();
+  const auto need_path = [&]() -> const char* {
+    if (argc < 4) {
+      std::fprintf(stderr, "%s needs a path\n", cmd.c_str());
+      return nullptr;
+    }
+    return argv[3];
   };
 
-  if (cmd == "ping") {
-    auto resp = call(EncodeHeader(MsgType::kPing));
-    if (!resp.ok()) return 1;
-    return PrintStatus(*resp);
-  }
+  if (cmd == "ping") return PrintStatus(client->Ping());
   if (cmd == "insert") {
-    if (argc < 4) {
-      std::fprintf(stderr, "insert needs a path\n");
-      return 2;
-    }
+    const char* path = need_path();
+    if (path == nullptr) return 2;
     FileMetadata md;
     md.inode = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
-    auto resp = call(EncodeInsert(argv[3], md));
-    if (!resp.ok()) return 1;
-    return PrintStatus(*resp);
+    return PrintStatus(client->Insert(path, md));
   }
   if (cmd == "verify") {
-    if (argc < 4) {
-      std::fprintf(stderr, "verify needs a path\n");
-      return 2;
+    const char* path = need_path();
+    if (path == nullptr) return 2;
+    return RunVerify(*client, path);
+  }
+  if (cmd == "lease") {
+    const char* path = need_path();
+    if (path == nullptr) return 2;
+    const auto lease = client->RequestLease(path);
+    if (!lease.ok()) {
+      std::fprintf(stderr, "lease failed: %s\n",
+                   lease.status().ToString().c_str());
+      return 1;
     }
-    auto resp = call(EncodePathRequest(MsgType::kVerify, argv[3]));
-    if (!resp.ok()) return 1;
-    ByteReader in(*resp);
-    const auto env = OpenEnvelope(in);
-    if (!env.ok() || !env->has_payload) return 1;
-    const auto found = DecodeBoolResp(in);
-    if (!found.ok()) return 1;
-    std::printf("%s\n", *found ? "present" : "absent");
-    return *found ? 0 : 3;
+    if (lease->granted) {
+      std::printf("granted home=mds%u ttl_ms=%u\n", lease->home,
+                  lease->ttl_ms);
+      return 0;
+    }
+    std::printf("refused\n");
+    return 3;
+  }
+  if (cmd == "invalidate") {
+    const char* path = need_path();
+    if (path == nullptr) return 2;
+    return PrintStatus(client->Invalidate(path));
   }
   if (cmd == "unlink") {
-    if (argc < 4) {
-      std::fprintf(stderr, "unlink needs a path\n");
-      return 2;
-    }
-    auto resp = call(EncodePathRequest(MsgType::kUnlink, argv[3]));
-    if (!resp.ok()) return 1;
-    return PrintStatus(*resp);
+    const char* path = need_path();
+    if (path == nullptr) return 2;
+    return PrintStatus(client->Unlink(path));
   }
   if (cmd == "stats") {
-    auto resp = call(EncodeHeader(MsgType::kGetStats));
-    if (!resp.ok()) return 1;
-    ByteReader in(*resp);
-    const auto env = OpenEnvelope(in);
-    if (!env.ok() || !env->has_payload) return 1;
-    const auto stats = DecodeStatsResp(in);
+    const auto stats = client->Stats();
     if (!stats.ok()) return 1;
     std::printf("frames_in=%llu frames_out=%llu files=%llu replicas=%llu\n",
                 static_cast<unsigned long long>(stats->frames_in),
@@ -110,11 +132,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats->replicas));
     return 0;
   }
+  if (cmd == "version") {
+    const auto v = client->Version();
+    if (!v.ok()) return 1;
+    std::printf("v%u\n", *v);
+    return 0;
+  }
   if (cmd == "shutdown") {
-    if (const auto s = conn->SendFrame(EncodeHeader(MsgType::kShutdown));
-        !s.ok()) {
-      return 1;
-    }
+    if (!client->Shutdown().ok()) return 1;
     std::printf("shutdown sent\n");
     return 0;
   }
