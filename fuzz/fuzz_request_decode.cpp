@@ -67,6 +67,22 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
       }
       break;
     }
+    case ghba::MsgType::kTxnBegin:
+      (void)ghba::DecodeTxnBegin(in);  // error = valid outcome
+      break;
+    case ghba::MsgType::kTxnPrepare:
+      (void)ghba::DecodeTxnPrepare(in);  // error = valid outcome
+      break;
+    case ghba::MsgType::kTxnDecide:
+      (void)ghba::DecodeTxnDecide(in);  // error = valid outcome
+      break;
+    case ghba::MsgType::kTxnCommit:
+    case ghba::MsgType::kTxnAbort:
+      (void)ghba::DecodeTxnFinish(in);  // error = valid outcome
+      break;
+    case ghba::MsgType::kTxnResolve:
+      (void)ghba::DecodeTxnResolve(in);  // error = valid outcome
+      break;
     case ghba::MsgType::kGetFilter:
     case ghba::MsgType::kGetStats:
     case ghba::MsgType::kPing:
@@ -76,6 +92,7 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     case ghba::MsgType::kRecoveryInfo:
     case ghba::MsgType::kVersion:
     case ghba::MsgType::kGetMembership:
+    case ghba::MsgType::kTxnList:
       break;  // no arguments
   }
   return 0;

@@ -94,6 +94,9 @@ int main(int argc, char** argv) {
   // Same trap, one protocol revision later: pins the bound at kInvalidate.
   WriteSeed(root, "fuzz_protocol_decode", "type_v4",
             Sel(0, ghba::EncodeHeader(ghba::MsgType::kInvalidate)));
+  // And again for v5: pins the bound at the newest kTxn* type.
+  WriteSeed(root, "fuzz_protocol_decode", "type_v5",
+            Sel(0, ghba::EncodeHeader(ghba::MsgType::kTxnList)));
   WriteSeed(root, "fuzz_protocol_decode", "envelope_error",
             Sel(1, ghba::EncodeStatusResp(ghba::Status::NotFound("nope"))));
   WriteSeed(root, "fuzz_protocol_decode", "envelope_ok",
@@ -185,6 +188,30 @@ int main(int argc, char** argv) {
               Sel(12, StripEnvelope(
                           ghba::EncodeLeaseGrantResp(ghba::LeaseGrantResp{}))));
   }
+  {
+    // v5 transaction responses: a remove-prepare YES vote (carries the
+    // file's metadata), an insert vote (carries none), a resolve verdict
+    // and an in-doubt listing.
+    ghba::TxnPrepareResp vote;
+    vote.has_metadata = true;
+    vote.metadata = SampleMetadata();
+    WriteSeed(root, "fuzz_protocol_decode", "txn_vote_remove",
+              Sel(13, StripEnvelope(ghba::EncodeTxnPrepareResp(vote))));
+    WriteSeed(root, "fuzz_protocol_decode", "txn_vote_insert",
+              Sel(13, StripEnvelope(
+                          ghba::EncodeTxnPrepareResp(ghba::TxnPrepareResp{}))));
+    ghba::TxnResolveResp resolve;
+    resolve.state = ghba::TxnDecisionState::kCommitted;
+    WriteSeed(root, "fuzz_protocol_decode", "txn_resolve",
+              Sel(14, StripEnvelope(ghba::EncodeTxnResolveResp(resolve))));
+    ghba::TxnListResp list;
+    list.entries.push_back(
+        {77, 2, ghba::TxnSubOp::kRemove, "/txn/in-doubt/src"});
+    list.entries.push_back(
+        {77, 2, ghba::TxnSubOp::kInsert, "/txn/in-doubt/dst"});
+    WriteSeed(root, "fuzz_protocol_decode", "txn_list",
+              Sel(15, StripEnvelope(ghba::EncodeTxnListResp(list))));
+  }
 
   // --- fuzz_request_decode: whole request frames ---
   WriteSeed(root, "fuzz_request_decode", "lookup",
@@ -232,6 +259,46 @@ int main(int argc, char** argv) {
         ghba::EncodeHeader(ghba::MsgType::kPing),
     };
     WriteSeed(root, "fuzz_request_decode", "batch", ghba::EncodeBatch(subs));
+  }
+  {
+    // The v5 transaction family: one seed per wire message, in the order a
+    // rename drives them.
+    ghba::TxnBeginReq begin;
+    begin.txn_id = 77;
+    begin.participants = {2, 5};
+    WriteSeed(root, "fuzz_request_decode", "txn_begin",
+              ghba::EncodeTxnBegin(begin));
+    ghba::TxnPrepareReq prep_remove;
+    prep_remove.path = "/txn/src";
+    prep_remove.txn_id = 77;
+    prep_remove.coordinator = 2;
+    prep_remove.subop = ghba::TxnSubOp::kRemove;
+    prep_remove.participants = {2, 5};
+    WriteSeed(root, "fuzz_request_decode", "txn_prepare_remove",
+              ghba::EncodeTxnPrepare(prep_remove));
+    ghba::TxnPrepareReq prep_insert = prep_remove;
+    prep_insert.path = "/txn/dst";
+    prep_insert.subop = ghba::TxnSubOp::kInsert;
+    prep_insert.metadata = SampleMetadata();
+    WriteSeed(root, "fuzz_request_decode", "txn_prepare_insert",
+              ghba::EncodeTxnPrepare(prep_insert));
+    ghba::TxnDecideReq decide;
+    decide.txn_id = 77;
+    decide.commit = true;
+    WriteSeed(root, "fuzz_request_decode", "txn_decide",
+              ghba::EncodeTxnDecide(decide));
+    ghba::TxnFinishReq finish;
+    finish.path = "/txn/dst";
+    finish.txn_id = 77;
+    WriteSeed(root, "fuzz_request_decode", "txn_commit",
+              ghba::EncodeTxnFinish(ghba::MsgType::kTxnCommit, finish));
+    finish.path = "/txn/src";
+    WriteSeed(root, "fuzz_request_decode", "txn_abort",
+              ghba::EncodeTxnFinish(ghba::MsgType::kTxnAbort, finish));
+    WriteSeed(root, "fuzz_request_decode", "txn_resolve",
+              ghba::EncodeTxnResolve(77));
+    WriteSeed(root, "fuzz_request_decode", "txn_list",
+              ghba::EncodeHeader(ghba::MsgType::kTxnList));
   }
 
   // --- fuzz_filter_decompress: raw and gap-coded compressed filters ---
@@ -300,6 +367,47 @@ int main(int argc, char** argv) {
     ghba::EncodeWalRecordPayload(insert, payload);
     WriteSeed(root, "fuzz_wal_decode", "payload_insert", Sel(1, payload.Take()));
 
+    // A transaction's full journal trail on one participant/coordinator:
+    // begin, prepare (with the intent payload), the commit decision and the
+    // closing commit — the records replay/recovery folds into txn state.
+    ghba::WalRecord txn_begin;
+    txn_begin.op = ghba::WalOp::kTxnBegin;
+    txn_begin.seq = 4;
+    txn_begin.txn_id = 77;
+    txn_begin.members = {2, 5};
+    ghba::WalRecord txn_prepare;
+    txn_prepare.op = ghba::WalOp::kTxnPrepare;
+    txn_prepare.seq = 5;
+    txn_prepare.txn_id = 77;
+    txn_prepare.txn_subop = ghba::TxnSubOp::kInsert;
+    txn_prepare.path = "/txn/dst";
+    txn_prepare.metadata = SampleMetadata();
+    txn_prepare.owner = 2;  // coordinator
+    txn_prepare.members = {2, 5};
+    ghba::WalRecord txn_decision;
+    txn_decision.op = ghba::WalOp::kTxnDecision;
+    txn_decision.seq = 6;
+    txn_decision.txn_id = 77;
+    txn_decision.txn_commit = true;
+    ghba::WalRecord txn_commit;
+    txn_commit.op = ghba::WalOp::kTxnCommit;
+    txn_commit.seq = 7;
+    txn_commit.txn_id = 77;
+    txn_commit.txn_subop = ghba::TxnSubOp::kInsert;
+    txn_commit.path = "/txn/dst";
+    txn_commit.metadata = SampleMetadata();
+    Bytes txn_log;
+    for (const auto* r : {&txn_begin, &txn_prepare, &txn_decision,
+                          &txn_commit}) {
+      const auto frame = ghba::EncodeWalRecordFrame(*r);
+      txn_log.insert(txn_log.end(), frame.begin(), frame.end());
+    }
+    WriteSeed(root, "fuzz_wal_decode", "log_txn", Sel(0, txn_log));
+    ghba::ByteWriter txn_payload;
+    ghba::EncodeWalRecordPayload(txn_prepare, txn_payload);
+    WriteSeed(root, "fuzz_wal_decode", "payload_txn_prepare",
+              Sel(1, txn_payload.Take()));
+
     ghba::CheckpointState state;
     state.wal_seq = 3;
     state.files.emplace_back("/a/b", SampleMetadata());
@@ -317,6 +425,22 @@ int main(int argc, char** argv) {
     minimal.wal_seq = 0;
     WriteSeed(root, "fuzz_wal_decode", "checkpoint_empty",
               Sel(2, ghba::EncodeCheckpoint(minimal)));
+    // A v3 checkpoint carrying folded transaction state: one in-doubt
+    // prepare plus a two-row decision table.
+    ghba::CheckpointState with_txn;
+    with_txn.wal_seq = 9;
+    with_txn.files.emplace_back("/txn/src", SampleMetadata());
+    ghba::TxnPendingOp pending;
+    pending.txn_id = 77;
+    pending.subop = ghba::TxnSubOp::kRemove;
+    pending.path = "/txn/src";
+    pending.coordinator = 2;
+    pending.participants = {2, 5};
+    with_txn.txn_pending.push_back(pending);
+    with_txn.txn_decisions.push_back({76, ghba::TxnCoordState::kCommitted});
+    with_txn.txn_decisions.push_back({77, ghba::TxnCoordState::kBegun});
+    WriteSeed(root, "fuzz_wal_decode", "checkpoint_txn",
+              Sel(2, ghba::EncodeCheckpoint(with_txn)));
   }
 
   std::fprintf(stderr, "corpus written under %s\n", root.string().c_str());

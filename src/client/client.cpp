@@ -197,6 +197,27 @@ Status Client::Unlink(const std::string& path) {
   return cluster_->InvalidatePath(path);
 }
 
+Status Client::Rename(const std::string& src, const std::string& dst) {
+  MutexLock lock(&mu_);
+  // Purge before driving: even a failed drive may have moved state on a
+  // participant's recovery path, and a purge only costs a re-lookup.
+  CacheErase(src);
+  CacheErase(dst);
+  promoted_.erase(src);
+  if (Status s = cluster_->Rename(src, dst); !s.ok()) return s;
+  // Durably committed; now make it coherent like Unlink does: the old
+  // name must answer NotFound everywhere, the new name must not be
+  // shadowed by a stale lease or L1 entry anywhere.
+  if (Status s = cluster_->InvalidatePath(src); !s.ok()) return s;
+  return cluster_->InvalidatePath(dst);
+}
+
+Status Client::CreateExclusive(const std::string& path,
+                               const FileMetadata& metadata) {
+  MutexLock lock(&mu_);
+  return cluster_->CreateExclusive(path, metadata);
+}
+
 std::size_t Client::CacheSize() const {
   MutexLock lock(&mu_);
   return cache_.size();

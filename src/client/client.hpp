@@ -110,6 +110,20 @@ class Client {
   /// survives a successful Unlink.
   Status Unlink(const std::string& path);
 
+  /// Atomically rename `src` to `dst` via WAL-journaled two-phase commit
+  /// across the involved MDSs (protocol v5), then make the move coherent:
+  /// both local cache entries are purged and kInvalidate is broadcast for
+  /// both names, so no server keeps a lease or L1 entry under the old
+  /// name. Ok means the rename is durably committed — a crash anywhere
+  /// after rolls it forward at recovery, never half-applies it.
+  Status Rename(const std::string& src, const std::string& dst);
+
+  /// Atomic create-if-absent through the same transaction machinery:
+  /// the existence check and the insert are one prepared op under the
+  /// server's intent lock, so two racing creators cannot both win.
+  Status CreateExclusive(const std::string& path,
+                         const FileMetadata& metadata);
+
   /// Cached entries right now (expired-but-unevicted entries count).
   std::size_t CacheSize() const;
 

@@ -112,6 +112,67 @@ Result<StatsResp> DaemonClient::Stats() {
   return DecodeStatsResp(in);
 }
 
+Status DaemonClient::TxnBegin(std::uint64_t txn_id,
+                              const std::vector<MdsId>& participants) {
+  TxnBeginReq req;
+  req.txn_id = txn_id;
+  req.participants = participants;
+  return StatusCall(EncodeTxnBegin(req));
+}
+
+Result<TxnPrepareResp> DaemonClient::TxnPrepare(const TxnPrepareReq& req) {
+  auto resp = Call(EncodeTxnPrepare(req));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;  // a NO vote is a plain status
+  return DecodeTxnPrepareResp(in);
+}
+
+Status DaemonClient::TxnDecide(std::uint64_t txn_id, bool commit) {
+  TxnDecideReq req;
+  req.txn_id = txn_id;
+  req.commit = commit;
+  return StatusCall(EncodeTxnDecide(req));
+}
+
+Status DaemonClient::TxnCommit(std::uint64_t txn_id, const std::string& path) {
+  TxnFinishReq req;
+  req.path = path;
+  req.txn_id = txn_id;
+  return StatusCall(EncodeTxnFinish(MsgType::kTxnCommit, req));
+}
+
+Status DaemonClient::TxnAbort(std::uint64_t txn_id, const std::string& path) {
+  TxnFinishReq req;
+  req.path = path;
+  req.txn_id = txn_id;
+  return StatusCall(EncodeTxnFinish(MsgType::kTxnAbort, req));
+}
+
+Result<TxnDecisionState> DaemonClient::TxnResolve(std::uint64_t txn_id) {
+  auto resp = Call(EncodeTxnResolve(txn_id));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  auto decoded = DecodeTxnResolveResp(in);
+  if (!decoded.ok()) return decoded.status();
+  return decoded->state;
+}
+
+Result<TxnListResp> DaemonClient::TxnList() {
+  auto resp = Call(EncodeHeader(MsgType::kTxnList));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  return DecodeTxnListResp(in);
+}
+
 Result<std::uint32_t> DaemonClient::Version() {
   auto resp = Call(EncodeHeader(MsgType::kVersion));
   if (!resp.ok()) {

@@ -62,6 +62,20 @@ class DaemonClient {
 
   Result<StatsResp> Stats();
 
+  // --- distributed transactions (v5) ---
+  // Typed wrappers over the kTxn* family, one per wire message. The
+  // txn_chaos tool builds its TxnTransport from these: the same TxnDriver
+  // choreography proven in-process then runs against real daemons it can
+  // kill -9 between phases.
+  Status TxnBegin(std::uint64_t txn_id,
+                  const std::vector<MdsId>& participants);
+  Result<TxnPrepareResp> TxnPrepare(const TxnPrepareReq& req);
+  Status TxnDecide(std::uint64_t txn_id, bool commit);
+  Status TxnCommit(std::uint64_t txn_id, const std::string& path);
+  Status TxnAbort(std::uint64_t txn_id, const std::string& path);
+  Result<TxnDecisionState> TxnResolve(std::uint64_t txn_id);
+  Result<TxnListResp> TxnList();
+
   /// Protocol version the daemon speaks (kVersion; pre-v1 daemons that
   /// reject the probe report 1).
   Result<std::uint32_t> Version();

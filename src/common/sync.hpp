@@ -99,6 +99,7 @@ namespace ghba {
 ///   ----------------  ---------------------------------  ------------------
 ///   kClient           Client::mu_                        front-tier facade
 ///   kCluster          PrototypeCluster::mu_              orchestrator/client
+///   kServerTxn        MdsServer txn manager              2PC intent locks
 ///   kServerWal        MdsServer::wal_mu_                 durable engine
 ///   kServerFilter     MdsServer::filter_mu_              local filter
 ///   kServerSeg        MdsServer::seg_mu_                 segment replicas
@@ -116,6 +117,7 @@ namespace ghba {
 /// Real chains this order admits (all observed in the code):
 ///   client -> cluster                 (facade ops call into the cluster)
 ///   cluster -> {any server lock, health, injector, metrics, logging}
+///   txn -> wal                        (prepare journals under intent lock)
 ///   wal -> filter / wal -> seg        (mutation journaling + checkpoint)
 ///   shard -> injector                 (stall probe inside the worker wait)
 ///   registry -> stripe                (Snapshot merging histograms)
@@ -134,12 +136,13 @@ enum class LockRank : std::uint8_t {
   kServerSeg = 10,
   kServerFilter = 11,
   kServerWal = 12,
-  kCluster = 13,
-  kClient = 14,
+  kServerTxn = 13,
+  kCluster = 14,
+  kClient = 15,
 };
 
 /// Number of distinct ranks (size of the lockdep acquisition graph).
-inline constexpr std::size_t kLockRankCount = 15;
+inline constexpr std::size_t kLockRankCount = 16;
 
 /// Human-readable name for a LockRank (diagnostics).
 constexpr const char* LockRankName(LockRank rank) {
@@ -157,6 +160,7 @@ constexpr const char* LockRankName(LockRank rank) {
     case LockRank::kServerSeg: return "server-seg";
     case LockRank::kServerFilter: return "server-filter";
     case LockRank::kServerWal: return "server-wal";
+    case LockRank::kServerTxn: return "server-txn";
     case LockRank::kCluster: return "cluster";
     case LockRank::kClient: return "client";
   }

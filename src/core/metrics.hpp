@@ -76,6 +76,12 @@ inline constexpr char kServeLeaseRefusals[] = "serve.lease_refusals";
 inline constexpr char kServeInvalidations[] = "serve.invalidations";
 inline constexpr char kServeHotKeys[] = "serve.hot_keys";
 inline constexpr char kServeShedRequests[] = "serve.shed_requests";
+// Distributed transactions (2PC): server-side message counts.
+inline constexpr char kServeTxnBegins[] = "serve.txn_begins";
+inline constexpr char kServeTxnPrepares[] = "serve.txn_prepares";
+inline constexpr char kServeTxnCommits[] = "serve.txn_commits";
+inline constexpr char kServeTxnAborts[] = "serve.txn_aborts";
+inline constexpr char kServeTxnResolves[] = "serve.txn_resolves";
 // Front tier: client-side lookup cache (ghba::Client registries only).
 inline constexpr char kCacheHits[] = "cache.hits";
 inline constexpr char kCacheMisses[] = "cache.misses";

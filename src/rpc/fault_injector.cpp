@@ -84,16 +84,40 @@ bool FaultInjector::IsShardStalled(MdsId id, std::uint32_t shard) const {
   return stalled_.contains(id) || stalled_shards_.contains({id, shard});
 }
 
-void FaultInjector::ArmMigrationCrash(MigrationPhase phase) {
+void FaultInjector::ArmCrashPoint(std::string tag) {
   MutexLock lock(&mu_);
-  migration_crash_phase_ = static_cast<std::uint8_t>(phase);
+  crash_points_.insert(std::move(tag));
+}
+
+bool FaultInjector::ConsumeCrashPoint(const std::string& tag) {
+  MutexLock lock(&mu_);
+  return crash_points_.erase(tag) > 0;
+}
+
+bool FaultInjector::HasArmedCrashPoints() const {
+  MutexLock lock(&mu_);
+  return !crash_points_.empty();
+}
+
+namespace {
+
+const char* MigrationCrashTag(FaultInjector::MigrationPhase phase) {
+  switch (phase) {
+    case FaultInjector::MigrationPhase::kPrepare: return "migrate.prepare";
+    case FaultInjector::MigrationPhase::kFlip: return "migrate.flip";
+    case FaultInjector::MigrationPhase::kRetire: return "migrate.retire";
+  }
+  return "migrate.unknown";
+}
+
+}  // namespace
+
+void FaultInjector::ArmMigrationCrash(MigrationPhase phase) {
+  ArmCrashPoint(MigrationCrashTag(phase));
 }
 
 bool FaultInjector::ConsumeMigrationCrash(MigrationPhase phase) {
-  MutexLock lock(&mu_);
-  if (migration_crash_phase_ != static_cast<std::uint8_t>(phase)) return false;
-  migration_crash_phase_ = 0;
-  return true;
+  return ConsumeCrashPoint(MigrationCrashTag(phase));
 }
 
 FaultInjector::Counters FaultInjector::counters() const {

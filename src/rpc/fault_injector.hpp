@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -86,10 +87,29 @@ class FaultInjector {
     kRetire = 3,   ///< old holder dropped (journaled) its copy
   };
 
-  /// Arm a one-shot crash: when MigrateReplica completes `phase`, it stops
-  /// the server whose durable state that phase touched — abruptly, no
-  /// drain, no bookkeeping — and aborts the migration, exactly as if the
-  /// machine lost power at that boundary.
+  /// Arm a one-shot crash point by tag. When the instrumented operation
+  /// reaches the boundary named by `tag`, it consumes the arm and stops the
+  /// server whose durable state that boundary touched — abruptly, no drain,
+  /// no bookkeeping — exactly as if the machine lost power there. Tags are
+  /// free-form dotted strings owned by the instrumented code:
+  ///   migrate.prepare / migrate.flip / migrate.retire
+  ///       (PrototypeCluster::MigrateReplica phase boundaries)
+  ///   txn.<phase>[.<k>]      crash the k-th target of a 2PC phase
+  ///   txnhalt.<phase>[.<k>]  halt the 2PC driver (client death), server
+  ///                          stays up
+  /// Multiple tags may be armed at once; each fires at most once.
+  void ArmCrashPoint(std::string tag);
+
+  /// Consume the armed crash point `tag` (true at most once per arm).
+  /// Thread-safe.
+  bool ConsumeCrashPoint(const std::string& tag);
+
+  /// Any crash point still armed? (Tests assert their arm actually fired.)
+  bool HasArmedCrashPoints() const;
+
+  /// Arm a one-shot crash at a replica-migration phase boundary. Wrapper
+  /// over ArmCrashPoint with the migrate.* tags (kept for the existing
+  /// migration tests; new instrumentation should use tags directly).
   void ArmMigrationCrash(MigrationPhase phase);
 
   /// Consume the armed crash if it matches `phase` (true at most once per
@@ -120,8 +140,9 @@ class FaultInjector {
   std::set<MdsId> stalled_ GHBA_GUARDED_BY(mu_);
   std::set<std::pair<MdsId, std::uint32_t>> stalled_shards_
       GHBA_GUARDED_BY(mu_);
-  /// 0 = disarmed; otherwise the MigrationPhase value to crash at.
-  std::uint8_t migration_crash_phase_ GHBA_GUARDED_BY(mu_) = 0;
+  /// Armed one-shot crash-point tags (migration phases map onto the
+  /// migrate.* tags; 2PC phase boundaries use txn.* / txnhalt.*).
+  std::set<std::string> crash_points_ GHBA_GUARDED_BY(mu_);
 };
 
 /// Apply a kTruncate/kCorrupt plan to a payload copy: truncation drops a

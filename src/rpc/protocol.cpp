@@ -366,6 +366,7 @@ std::vector<std::uint8_t> EncodeRecoveryInfoResp(
   w.PutU64(info.epoch);
   w.PutVarint(info.members.size());
   for (const MdsId id : info.members) w.PutU32(id);
+  w.PutU64(info.txn_in_doubt);
   return w.Take();
 }
 
@@ -405,7 +406,233 @@ Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in) {
     if (!id.ok()) return id.status();
     info.members.push_back(*id);
   }
+  auto in_doubt = in.GetU64();
+  if (!in_doubt.ok()) return in_doubt.status();
+  info.txn_in_doubt = *in_doubt;
   return info;
+}
+
+namespace {
+
+void PutMdsIds(ByteWriter& w, const std::vector<MdsId>& ids) {
+  w.PutVarint(ids.size());
+  for (const MdsId id : ids) w.PutU32(id);
+}
+
+Status GetMdsIds(ByteReader& in, std::vector<MdsId>* out) {
+  auto n = in.GetVarint();
+  if (!n.ok()) return n.status();
+  if (*n > in.remaining() / 4) {
+    return Status::Corruption("too many participants");
+  }
+  out->reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    auto id = in.GetU32();
+    if (!id.ok()) return id.status();
+    out->push_back(*id);
+  }
+  return Status::Ok();
+}
+
+Result<TxnSubOp> GetSubOp(ByteReader& in) {
+  auto subop = in.GetU8();
+  if (!subop.ok()) return subop.status();
+  if (*subop < static_cast<std::uint8_t>(TxnSubOp::kInsert) ||
+      *subop > static_cast<std::uint8_t>(TxnSubOp::kRemove)) {
+    return Status::Corruption("bad txn sub-op");
+  }
+  return static_cast<TxnSubOp>(*subop);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeTxnBegin(const TxnBeginReq& req) {
+  auto w = WriterFor(MsgType::kTxnBegin);
+  w.PutU64(req.txn_id);
+  PutMdsIds(w, req.participants);
+  return w.Take();
+}
+
+Result<TxnBeginReq> DecodeTxnBegin(ByteReader& in) {
+  TxnBeginReq req;
+  auto txn_id = in.GetU64();
+  if (!txn_id.ok()) return txn_id.status();
+  // Txn id 0 is the "no transaction" sentinel everywhere in the manager.
+  if (*txn_id == 0) return Status::Corruption("bad txn id");
+  req.txn_id = *txn_id;
+  if (Status s = GetMdsIds(in, &req.participants); !s.ok()) return s;
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeTxnPrepare(const TxnPrepareReq& req) {
+  auto w = WriterFor(MsgType::kTxnPrepare);
+  w.PutString(req.path);
+  w.PutU64(req.txn_id);
+  w.PutU32(req.coordinator);
+  w.PutU8(static_cast<std::uint8_t>(req.subop));
+  PutMdsIds(w, req.participants);
+  if (req.subop == TxnSubOp::kInsert) req.metadata.Serialize(w);
+  return w.Take();
+}
+
+Result<TxnPrepareReq> DecodeTxnPrepare(ByteReader& in) {
+  TxnPrepareReq req;
+  auto path = in.GetString();
+  if (!path.ok()) return path.status();
+  req.path = std::move(*path);
+  auto txn_id = in.GetU64();
+  if (!txn_id.ok()) return txn_id.status();
+  if (*txn_id == 0) return Status::Corruption("bad txn id");
+  req.txn_id = *txn_id;
+  auto coord = in.GetU32();
+  if (!coord.ok()) return coord.status();
+  req.coordinator = *coord;
+  auto subop = GetSubOp(in);
+  if (!subop.ok()) return subop.status();
+  req.subop = *subop;
+  if (Status s = GetMdsIds(in, &req.participants); !s.ok()) return s;
+  if (req.subop == TxnSubOp::kInsert) {
+    auto md = FileMetadata::Deserialize(in);
+    if (!md.ok()) return md.status();
+    req.metadata = std::move(*md);
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeTxnDecide(const TxnDecideReq& req) {
+  auto w = WriterFor(MsgType::kTxnDecide);
+  w.PutU64(req.txn_id);
+  w.PutU8(req.commit ? 1 : 0);
+  return w.Take();
+}
+
+Result<TxnDecideReq> DecodeTxnDecide(ByteReader& in) {
+  TxnDecideReq req;
+  auto txn_id = in.GetU64();
+  if (!txn_id.ok()) return txn_id.status();
+  if (*txn_id == 0) return Status::Corruption("bad txn id");
+  req.txn_id = *txn_id;
+  auto commit = in.GetU8();
+  if (!commit.ok()) return commit.status();
+  if (*commit > 1) return Status::Corruption("bad bool byte");
+  req.commit = (*commit != 0);
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeTxnFinish(MsgType type,
+                                          const TxnFinishReq& req) {
+  auto w = WriterFor(type);
+  w.PutString(req.path);
+  w.PutU64(req.txn_id);
+  return w.Take();
+}
+
+Result<TxnFinishReq> DecodeTxnFinish(ByteReader& in) {
+  TxnFinishReq req;
+  auto path = in.GetString();
+  if (!path.ok()) return path.status();
+  req.path = std::move(*path);
+  auto txn_id = in.GetU64();
+  if (!txn_id.ok()) return txn_id.status();
+  if (*txn_id == 0) return Status::Corruption("bad txn id");
+  req.txn_id = *txn_id;
+  return req;
+}
+
+std::vector<std::uint8_t> EncodeTxnResolve(std::uint64_t txn_id) {
+  auto w = WriterFor(MsgType::kTxnResolve);
+  w.PutU64(txn_id);
+  return w.Take();
+}
+
+Result<std::uint64_t> DecodeTxnResolve(ByteReader& in) {
+  auto txn_id = in.GetU64();
+  if (!txn_id.ok()) return txn_id.status();
+  if (*txn_id == 0) return Status::Corruption("bad txn id");
+  return *txn_id;
+}
+
+std::vector<std::uint8_t> EncodeTxnPrepareResp(const TxnPrepareResp& resp) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU8(resp.has_metadata ? 1 : 0);
+  if (resp.has_metadata) resp.metadata.Serialize(w);
+  return w.Take();
+}
+
+Result<TxnPrepareResp> DecodeTxnPrepareResp(ByteReader& in) {
+  TxnPrepareResp resp;
+  auto has_md = in.GetU8();
+  if (!has_md.ok()) return has_md.status();
+  if (*has_md > 1) return Status::Corruption("bad bool byte");
+  resp.has_metadata = (*has_md != 0);
+  if (resp.has_metadata) {
+    auto md = FileMetadata::Deserialize(in);
+    if (!md.ok()) return md.status();
+    resp.metadata = std::move(*md);
+  }
+  return resp;
+}
+
+std::vector<std::uint8_t> EncodeTxnResolveResp(const TxnResolveResp& resp) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutU8(static_cast<std::uint8_t>(resp.state));
+  return w.Take();
+}
+
+Result<TxnResolveResp> DecodeTxnResolveResp(ByteReader& in) {
+  auto state = in.GetU8();
+  if (!state.ok()) return state.status();
+  if (*state > static_cast<std::uint8_t>(TxnDecisionState::kAborted)) {
+    return Status::Corruption("bad txn decision state");
+  }
+  TxnResolveResp resp;
+  resp.state = static_cast<TxnDecisionState>(*state);
+  return resp;
+}
+
+std::vector<std::uint8_t> EncodeTxnListResp(const TxnListResp& resp) {
+  ByteWriter w;
+  w.PutU8(1);  // envelope
+  w.PutVarint(resp.entries.size());
+  for (const auto& e : resp.entries) {
+    w.PutU64(e.txn_id);
+    w.PutU32(e.coordinator);
+    w.PutU8(static_cast<std::uint8_t>(e.subop));
+    w.PutString(e.path);
+  }
+  return w.Take();
+}
+
+Result<TxnListResp> DecodeTxnListResp(ByteReader& in) {
+  auto n = in.GetVarint();
+  if (!n.ok()) return n.status();
+  // An entry costs at least 14 bytes (8 id + 4 coordinator + 1 sub-op +
+  // 1-byte length of an empty path); beyond that the count is mangled.
+  if (*n > in.remaining() / 14) {
+    return Status::Corruption("absurd txn list count");
+  }
+  TxnListResp resp;
+  resp.entries.reserve(*n);
+  for (std::uint64_t i = 0; i < *n; ++i) {
+    TxnListEntry e;
+    auto txn_id = in.GetU64();
+    if (!txn_id.ok()) return txn_id.status();
+    if (*txn_id == 0) return Status::Corruption("bad txn id");
+    e.txn_id = *txn_id;
+    auto coord = in.GetU32();
+    if (!coord.ok()) return coord.status();
+    e.coordinator = *coord;
+    auto subop = GetSubOp(in);
+    if (!subop.ok()) return subop.status();
+    e.subop = *subop;
+    auto path = in.GetString();
+    if (!path.ok()) return path.status();
+    e.path = std::move(*path);
+    resp.entries.push_back(std::move(e));
+  }
+  return resp;
 }
 
 Result<Envelope> OpenEnvelope(ByteReader& in) {
@@ -426,7 +653,7 @@ Result<Envelope> OpenEnvelope(ByteReader& in) {
 Result<MsgType> DecodeType(ByteReader& in) {
   auto t = in.GetU16();
   if (!t.ok()) return t.status();
-  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kInvalidate)) {
+  if (*t < 1 || *t > static_cast<std::uint16_t>(MsgType::kTxnList)) {
     return Status::Corruption("unknown message type");
   }
   return static_cast<MsgType>(*t);

@@ -19,6 +19,7 @@
 #include "common/metrics_registry.hpp"
 #include "common/status.hpp"
 #include "mds/metadata.hpp"
+#include "storage/wal.hpp"  // TxnSubOp: wire and WAL share the sub-op enum
 
 namespace ghba {
 
@@ -48,16 +49,25 @@ enum class MsgType : std::uint16_t {
   kGetMembership = 22,     ///< read the server's view -> MembershipResp
   kLeaseGrant = 23,   ///< ask the home MDS for a lookup lease -> LeaseGrantResp
   kInvalidate = 24,   ///< revoke any lease/L1 entry for a path -> StatusResp
+  // Distributed-transaction messages (v5, two-phase commit).
+  kTxnBegin = 25,    ///< coordinator: open a decision record -> StatusResp
+  kTxnPrepare = 26,  ///< participant: journal intent + lock -> TxnPrepareResp
+  kTxnDecide = 27,   ///< coordinator: durably fix the verdict -> StatusResp
+  kTxnCommit = 28,   ///< participant: apply + close prepare -> StatusResp
+  kTxnAbort = 29,    ///< participant: close prepare, no apply -> StatusResp
+  kTxnResolve = 30,  ///< query a txn's outcome -> TxnResolveResp
+  kTxnList = 31,     ///< enumerate in-doubt prepares -> TxnListResp
 };
 
 /// Protocol revision this build speaks. v2 added kVersion and kBatch; v3
 /// adds the reconfiguration messages (kMembershipUpdate, kGetMembership)
 /// and the epoch field on RecoveryInfoResp; v4 adds the client-cache
 /// coherence pair (kLeaseGrant, kInvalidate) and the kRetryAfter shed
-/// status. A v1 peer rejects unknown types with kCorruption ("unknown
-/// message type"), which is what the client's version probe keys its
-/// fallback on.
-inline constexpr std::uint32_t kProtocolVersion = 4;
+/// status; v5 adds the distributed-transaction family (kTxnBegin ..
+/// kTxnList) behind Client::Rename / CreateExclusive. A v1 peer rejects
+/// unknown types with kCorruption ("unknown message type"), which is what
+/// the client's version probe keys its fallback on.
+inline constexpr std::uint32_t kProtocolVersion = 5;
 
 /// Upper bound on sub-frames per kBatch frame: enough for any realistic
 /// pipeline depth, small enough that a mangled count cannot make the server
@@ -131,6 +141,9 @@ struct RecoveryInfoResp {
   /// the server rejoins.
   std::uint64_t epoch = 0;
   std::vector<MdsId> members;
+  /// In-doubt transaction prepares recovery surfaced (v5): ops holding
+  /// intent locks until resolution queries their coordinators.
+  std::uint64_t txn_in_doubt = 0;
 
   friend bool operator==(const RecoveryInfoResp&,
                          const RecoveryInfoResp&) = default;
@@ -184,6 +197,95 @@ struct MembershipResp {
                          const MembershipResp&) = default;
 };
 
+// --- distributed transactions (v5) ---
+
+/// Coordinator -> its own log: open the decision record (kTxnBegin).
+struct TxnBeginReq {
+  std::uint64_t txn_id = 0;
+  std::vector<MdsId> participants;
+
+  friend bool operator==(const TxnBeginReq&, const TxnBeginReq&) = default;
+};
+
+/// Driver -> participant: journal the prepared sub-op and take the per-path
+/// intent lock (kTxnPrepare). Path rides first so shard routing shares the
+/// generic "string after type" parse. `metadata` is meaningful only for
+/// TxnSubOp::kInsert.
+struct TxnPrepareReq {
+  std::string path;
+  std::uint64_t txn_id = 0;
+  MdsId coordinator = kInvalidMds;
+  TxnSubOp subop = TxnSubOp::kNone;
+  std::vector<MdsId> participants;
+  FileMetadata metadata;
+
+  friend bool operator==(const TxnPrepareReq&, const TxnPrepareReq&) = default;
+};
+
+/// Participant's yes-vote payload. A kRemove prepare returns the metadata
+/// the commit will erase, so a rename driver never needs a separate read
+/// RPC to re-home the file.
+struct TxnPrepareResp {
+  bool has_metadata = false;
+  FileMetadata metadata;
+
+  friend bool operator==(const TxnPrepareResp&,
+                         const TxnPrepareResp&) = default;
+};
+
+/// Driver -> coordinator: durably fix the verdict (kTxnDecide). Once the
+/// coordinator acks a commit=true decide, the transaction IS committed.
+struct TxnDecideReq {
+  std::uint64_t txn_id = 0;
+  bool commit = false;
+
+  friend bool operator==(const TxnDecideReq&, const TxnDecideReq&) = default;
+};
+
+/// Driver -> participant: close a prepared op (kTxnCommit / kTxnAbort).
+struct TxnFinishReq {
+  std::string path;
+  std::uint64_t txn_id = 0;
+
+  friend bool operator==(const TxnFinishReq&, const TxnFinishReq&) = default;
+};
+
+/// What a kTxnResolve query learned about a transaction's outcome.
+/// kUnknown from a coordinator means "never began here" — under presumed
+/// abort the resolver treats it exactly like kAborted. kPending means the
+/// coordinator began the txn but never journaled a decision; the resolver
+/// force-aborts it via kTxnDecide before releasing participants.
+enum class TxnDecisionState : std::uint8_t {
+  kUnknown = 0,
+  kPending = 1,
+  kCommitted = 2,
+  kAborted = 3,
+};
+
+struct TxnResolveResp {
+  TxnDecisionState state = TxnDecisionState::kUnknown;
+
+  friend bool operator==(const TxnResolveResp&,
+                         const TxnResolveResp&) = default;
+};
+
+/// One in-doubt prepared op (kTxnList). Metadata stays server-side: commit
+/// replays from the participant's own journaled prepare.
+struct TxnListEntry {
+  std::uint64_t txn_id = 0;
+  MdsId coordinator = kInvalidMds;
+  TxnSubOp subop = TxnSubOp::kNone;
+  std::string path;
+
+  friend bool operator==(const TxnListEntry&, const TxnListEntry&) = default;
+};
+
+struct TxnListResp {
+  std::vector<TxnListEntry> entries;
+
+  friend bool operator==(const TxnListResp&, const TxnListResp&) = default;
+};
+
 // --- encode helpers (client side) ---
 std::vector<std::uint8_t> EncodeHeader(MsgType type);
 std::vector<std::uint8_t> EncodePathRequest(MsgType type,
@@ -216,6 +318,20 @@ Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchRequest(
 /// Server-side decode of a kReportOutcome request body.
 Result<OutcomeReport> DecodeOutcomeReport(ByteReader& in);
 
+// --- transaction requests (v5) ---
+std::vector<std::uint8_t> EncodeTxnBegin(const TxnBeginReq& req);
+std::vector<std::uint8_t> EncodeTxnPrepare(const TxnPrepareReq& req);
+std::vector<std::uint8_t> EncodeTxnDecide(const TxnDecideReq& req);
+std::vector<std::uint8_t> EncodeTxnFinish(MsgType type,
+                                          const TxnFinishReq& req);
+std::vector<std::uint8_t> EncodeTxnResolve(std::uint64_t txn_id);
+
+Result<TxnBeginReq> DecodeTxnBegin(ByteReader& in);
+Result<TxnPrepareReq> DecodeTxnPrepare(ByteReader& in);
+Result<TxnDecideReq> DecodeTxnDecide(ByteReader& in);
+Result<TxnFinishReq> DecodeTxnFinish(ByteReader& in);
+Result<std::uint64_t> DecodeTxnResolve(ByteReader& in);
+
 /// Exported file set (graceful decommissioning).
 struct FileListResp {
   std::vector<std::pair<std::string, FileMetadata>> files;
@@ -234,6 +350,9 @@ std::vector<std::uint8_t> EncodeRecoveryInfoResp(const RecoveryInfoResp& info);
 std::vector<std::uint8_t> EncodeVersionResp(std::uint32_t version);
 std::vector<std::uint8_t> EncodeMembershipResp(const MembershipResp& resp);
 std::vector<std::uint8_t> EncodeLeaseGrantResp(const LeaseGrantResp& resp);
+std::vector<std::uint8_t> EncodeTxnPrepareResp(const TxnPrepareResp& resp);
+std::vector<std::uint8_t> EncodeTxnResolveResp(const TxnResolveResp& resp);
+std::vector<std::uint8_t> EncodeTxnListResp(const TxnListResp& resp);
 /// Batch response: [env 1][varint n][varint len, bytes]*n, one complete
 /// response (envelope included) per sub-request, in sub-request order.
 std::vector<std::uint8_t> EncodeBatchResp(
@@ -268,6 +387,9 @@ Result<RecoveryInfoResp> DecodeRecoveryInfoResp(ByteReader& in);
 Result<std::uint32_t> DecodeVersionResp(ByteReader& in);
 Result<MembershipResp> DecodeMembershipResp(ByteReader& in);
 Result<LeaseGrantResp> DecodeLeaseGrantResp(ByteReader& in);
+Result<TxnPrepareResp> DecodeTxnPrepareResp(ByteReader& in);
+Result<TxnResolveResp> DecodeTxnResolveResp(ByteReader& in);
+Result<TxnListResp> DecodeTxnListResp(ByteReader& in);
 Result<std::vector<std::vector<std::uint8_t>>> DecodeBatchResp(ByteReader& in);
 
 }  // namespace ghba

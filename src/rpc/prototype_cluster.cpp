@@ -6,6 +6,7 @@
 
 #include "bloom/compressed.hpp"
 #include "common/logging.hpp"
+#include "hash/fnv.hpp"
 
 namespace ghba {
 
@@ -771,6 +772,281 @@ Status PrototypeCluster::Unlink(const std::string& path) {
   return env->status;
 }
 
+// --- distributed transactions (v5) ---
+
+/// TxnDriver's transport, bound to the cluster's Call() path. Every method
+/// takes mu_ for exactly one message round-trip: a drive holds no lock
+/// between messages, so lookups, inserts and even fail-overs interleave
+/// with an in-flight transaction — the same concurrency real daemons see.
+struct PrototypeCluster::TxnBridge final : TxnTransport {
+  explicit TxnBridge(PrototypeCluster* cluster) : c(cluster) {}
+
+  Status TxnBegin(MdsId coordinator, std::uint64_t txn_id,
+                  const std::vector<MdsId>& participants) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnBeginAt(coordinator, txn_id, participants);
+  }
+  Result<std::optional<FileMetadata>> TxnPrepare(
+      MdsId participant, const TxnPendingOp& op) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnPrepareAt(participant, op);
+  }
+  Status TxnDecide(MdsId coordinator, std::uint64_t txn_id,
+                   bool commit) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnDecideAt(coordinator, txn_id, commit);
+  }
+  Status TxnCommit(MdsId participant, std::uint64_t txn_id,
+                   const std::string& path) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnFinishAt(MsgType::kTxnCommit, participant, txn_id, path);
+  }
+  Status TxnAbort(MdsId participant, std::uint64_t txn_id,
+                  const std::string& path) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnFinishAt(MsgType::kTxnAbort, participant, txn_id, path);
+  }
+  Result<std::vector<TxnPendingOp>> TxnList(MdsId server) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnListAt(server);
+  }
+  Result<TxnResolution> TxnQueryDecision(MdsId coordinator,
+                                         std::uint64_t txn_id) override {
+    MutexLock lock(&c->mu_);
+    return c->TxnQueryDecisionAt(coordinator, txn_id);
+  }
+  bool TxnServerConfirmedDead(MdsId server) override {
+    MutexLock lock(&c->mu_);
+    // The orchestrator's own bookkeeping is the truth here: a crashed or
+    // removed server has a stopped (or absent) MdsServer object. A server
+    // that is up but slow keeps its object running, so a transient stall
+    // never masquerades as death and resolution stays in doubt instead of
+    // presuming abort too eagerly.
+    return server >= c->servers_.size() || !c->servers_[server] ||
+           !c->servers_[server]->running();
+  }
+  /// TxnDriver's after_step hook (not part of the transport interface).
+  bool AfterStep(TxnPhase phase, MdsId target) {
+    MutexLock lock(&c->mu_);
+    return c->TxnStepLocked(phase, target);
+  }
+
+  PrototypeCluster* c;
+};
+
+Status PrototypeCluster::TxnBeginAt(MdsId coordinator, std::uint64_t txn_id,
+                                    const std::vector<MdsId>& participants) {
+  TxnBeginReq req;
+  req.txn_id = txn_id;
+  req.participants = participants;
+  auto resp = Call(coordinator, EncodeTxnBegin(req));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+Result<std::optional<FileMetadata>> PrototypeCluster::TxnPrepareAt(
+    MdsId participant, const TxnPendingOp& op) {
+  TxnPrepareReq req;
+  req.path = op.path;
+  req.txn_id = op.txn_id;
+  req.coordinator = op.coordinator;
+  req.subop = op.subop;
+  req.participants = op.participants;
+  req.metadata = op.metadata;
+  auto resp = Call(participant, EncodeTxnPrepare(req));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  // A NO vote (NotFound, AlreadyExists, intent-locked, ...) arrives as a
+  // plain status envelope; the driver turns it into an abort.
+  if (!env->has_payload) return env->status;
+  auto vote = DecodeTxnPrepareResp(in);
+  if (!vote.ok()) return vote.status();
+  if (!vote->has_metadata) return std::optional<FileMetadata>();
+  return std::optional<FileMetadata>(std::move(vote->metadata));
+}
+
+Status PrototypeCluster::TxnDecideAt(MdsId coordinator, std::uint64_t txn_id,
+                                     bool commit) {
+  TxnDecideReq req;
+  req.txn_id = txn_id;
+  req.commit = commit;
+  auto resp = Call(coordinator, EncodeTxnDecide(req));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+Status PrototypeCluster::TxnFinishAt(MsgType type, MdsId participant,
+                                     std::uint64_t txn_id,
+                                     const std::string& path) {
+  TxnFinishReq req;
+  req.path = path;
+  req.txn_id = txn_id;
+  auto resp = Call(participant, EncodeTxnFinish(type, req));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  return env->status;
+}
+
+Result<std::vector<TxnPendingOp>> PrototypeCluster::TxnListAt(MdsId server) {
+  auto resp = Call(server, EncodeHeader(MsgType::kTxnList));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  auto list = DecodeTxnListResp(in);
+  if (!list.ok()) return list.status();
+  std::vector<TxnPendingOp> ops;
+  ops.reserve(list->entries.size());
+  for (auto& e : list->entries) {
+    TxnPendingOp op;
+    op.txn_id = e.txn_id;
+    op.coordinator = e.coordinator;
+    op.subop = e.subop;
+    op.path = std::move(e.path);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+Result<TxnResolution> PrototypeCluster::TxnQueryDecisionAt(
+    MdsId coordinator, std::uint64_t txn_id) {
+  auto resp = Call(coordinator, EncodeTxnResolve(txn_id));
+  if (!resp.ok()) return resp.status();
+  ByteReader in(*resp);
+  auto env = OpenEnvelope(in);
+  if (!env.ok()) return env.status();
+  if (!env->has_payload) return env->status;
+  auto decoded = DecodeTxnResolveResp(in);
+  if (!decoded.ok()) return decoded.status();
+  switch (decoded->state) {
+    case TxnDecisionState::kPending: return TxnResolution::kPending;
+    case TxnDecisionState::kCommitted: return TxnResolution::kCommitted;
+    case TxnDecisionState::kAborted: return TxnResolution::kAborted;
+    case TxnDecisionState::kUnknown: break;
+  }
+  return TxnResolution::kUnknown;
+}
+
+bool PrototypeCluster::TxnStepLocked(TxnPhase phase, MdsId target) {
+  // Position k within the phase names the crash point txn.<phase>.<k>;
+  // count even when nothing is armed so the numbering never depends on
+  // which other points a test consumed first.
+  const std::uint32_t k = txn_step_seq_[static_cast<std::size_t>(phase)]++;
+  if (injector_ == nullptr || !injector_->HasArmedCrashPoints()) return true;
+  const std::string name = TxnPhaseName(phase);
+  const std::string suffix = "." + std::to_string(k);
+  if (injector_->ConsumeCrashPoint("txn." + name + suffix) ||
+      injector_->ConsumeCrashPoint("txn." + name)) {
+    // The server that just processed this message loses power. The driver
+    // keeps going and hits the dead peer (or finishes without it) —
+    // exactly what a machine failure mid-protocol looks like.
+    CrashTxnLocked(target);
+    return true;
+  }
+  if (injector_->ConsumeCrashPoint("txnhalt." + name + suffix) ||
+      injector_->ConsumeCrashPoint("txnhalt." + name)) {
+    return false;  // the driving client dies at this boundary
+  }
+  return true;
+}
+
+void PrototypeCluster::CrashTxnLocked(MdsId victim) {
+  // Same power-loss semantics as CrashMigrationLocked: the event loop
+  // stops, the cached connection drops, every piece of orchestrator
+  // bookkeeping stays. Detection then happens through failed calls, as
+  // after a real machine failure.
+  conns_.erase(victim);
+  if (victim < servers_.size() && servers_[victim]) servers_[victim]->Stop();
+}
+
+std::uint64_t PrototypeCluster::NextTxnIdLocked() {
+  // Lazy random seed: coordinator decision tables survive restarts, so a
+  // fresh orchestrator over an old data_dir must not reuse ids an earlier
+  // incarnation journaled. Id 0 is reserved by the wire codecs.
+  while (next_txn_id_ == 0) next_txn_id_ = rng_.Next();
+  return next_txn_id_++;
+}
+
+Status PrototypeCluster::Rename(const std::string& src,
+                                const std::string& dst) {
+  if (src == dst) return Status::InvalidArgument("rename onto itself");
+  MdsId src_home = kInvalidMds;
+  MdsId dst_home = kInvalidMds;
+  std::uint64_t txn_id = 0;
+  {
+    MutexLock lock(&mu_);
+    if (!started_) return Status::Unavailable("cluster not started");
+    const auto alive = AliveServersLocked();
+    if (alive.empty()) return Status::Unavailable("no servers");
+    auto located = LookupLocked(src);
+    if (!located.ok()) return located.status();
+    if (!located->found) return Status::NotFound(src);
+    src_home = located->home;
+    // Cheap refusal before any journaling; the prepare-insert vote
+    // re-checks authoritatively under dst's intent lock.
+    if (auto probe = LookupLocked(dst); probe.ok() && probe->found) {
+      return Status::AlreadyExists(dst);
+    }
+    dst_home = alive[Fnv1a64(dst) % alive.size()];
+    txn_id = NextTxnIdLocked();
+    txn_step_seq_.fill(0);
+  }
+  TxnBridge bridge(this);
+  TxnDriver driver(&bridge, [&bridge](TxnPhase phase, MdsId target) {
+    return bridge.AfterStep(phase, target);
+  });
+  return driver.Rename(txn_id, src, src_home, dst, dst_home);
+}
+
+Status PrototypeCluster::CreateExclusive(const std::string& path,
+                                         const FileMetadata& metadata) {
+  MdsId home = kInvalidMds;
+  std::uint64_t txn_id = 0;
+  {
+    MutexLock lock(&mu_);
+    if (!started_) return Status::Unavailable("cluster not started");
+    const auto alive = AliveServersLocked();
+    if (alive.empty()) return Status::Unavailable("no servers");
+    // Cheap refusal for a path living anywhere in the cluster; the
+    // prepare-insert vote is the authoritative check on the hash home,
+    // which is where every racing CreateExclusive for this path lands.
+    if (auto probe = LookupLocked(path); probe.ok() && probe->found) {
+      return Status::AlreadyExists(path);
+    }
+    home = alive[Fnv1a64(path) % alive.size()];
+    txn_id = NextTxnIdLocked();
+    txn_step_seq_.fill(0);
+  }
+  TxnBridge bridge(this);
+  TxnDriver driver(&bridge, [&bridge](TxnPhase phase, MdsId target) {
+    return bridge.AfterStep(phase, target);
+  });
+  return driver.CreateExclusive(txn_id, path, home, metadata);
+}
+
+Result<std::uint64_t> PrototypeCluster::ResolveInDoubt(MdsId id) {
+  {
+    MutexLock lock(&mu_);
+    if (id >= servers_.size() || !servers_[id] || !servers_[id]->running()) {
+      return Status::Unavailable("server is down");
+    }
+  }
+  TxnBridge bridge(this);
+  TxnDriver driver(&bridge);  // resolution is not a crash-point surface
+  return driver.ResolveInDoubt(id);
+}
+
 Result<LeaseGrantResp> PrototypeCluster::RequestLease(
     MdsId home, const std::string& path) {
   MutexLock lock(&mu_);
@@ -1019,7 +1295,25 @@ Status PrototypeCluster::JoinTopologyLocked(MdsId nid) {
 }
 
 Result<RecoveryInfoResp> PrototypeCluster::RestartServer(MdsId id) {
-  MutexLock lock(&mu_);
+  Result<RecoveryInfoResp> info = Status::Unavailable("restart not attempted");
+  {
+    MutexLock lock(&mu_);
+    info = RestartServerLocked(id);
+  }
+  if (!info.ok() || info->txn_in_doubt == 0) return info;
+  // Recovery re-locked every prepared-but-undecided op (their paths
+  // refuse plain mutations until resolved); consult each op's coordinator
+  // now so committed renames roll forward and everything else rolls back
+  // before the rejoined server takes real traffic. The count reported
+  // back to the caller is what is STILL in doubt after this pass — an
+  // unreachable coordinator leaves its ops for a later ResolveInDoubt.
+  if (auto left = ResolveInDoubt(id); left.ok()) {
+    info->txn_in_doubt = *left;
+  }
+  return info;
+}
+
+Result<RecoveryInfoResp> PrototypeCluster::RestartServerLocked(MdsId id) {
   if (id >= servers_.size()) return Status::NotFound("no such server");
   if (servers_[id] != nullptr && servers_[id]->running()) {
     return Status::AlreadyExists("server is still running");

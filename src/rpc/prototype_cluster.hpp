@@ -15,6 +15,7 @@
 // rewrites groups_ underneath a lookup.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 #include "rpc/protocol.hpp"
 #include "rpc/server.hpp"
 #include "rpc/socket.hpp"
+#include "txn/txn_driver.hpp"
 
 namespace ghba {
 
@@ -106,6 +108,32 @@ class PrototypeCluster {
 
   /// Remove a file (the lookup protocol locates it first).
   Status Unlink(const std::string& path);
+
+  /// Atomically rename `src` to `dst` via WAL-journaled two-phase commit
+  /// (v5). The lookup protocol locates src; src's home coordinates and
+  /// journals every transition. dst's home comes from a deterministic hash
+  /// placement over the live servers, so a rename usually crosses MDSs.
+  /// Ok means the commit decision is durable on the coordinator: a crash
+  /// at any later boundary rolls the rename forward at recovery — never a
+  /// half-applied pair. NotFound when src is absent, AlreadyExists when
+  /// dst is taken; both abort cleanly.
+  Status Rename(const std::string& src, const std::string& dst);
+
+  /// Atomically create `path` (same hash placement) with `metadata`,
+  /// failing with AlreadyExists when present. A single-participant
+  /// transaction sharing Rename's journal trail and crash matrix: the
+  /// existence check and the insert are one prepared op under the intent
+  /// lock, so two racing creators cannot both win.
+  Status CreateExclusive(const std::string& path,
+                         const FileMetadata& metadata);
+
+  /// Resolve every in-doubt prepared op on `id` against its coordinator's
+  /// durable decision table: committed ops roll forward, aborted/unknown
+  /// roll back (presumed abort), an undecided txn is force-aborted first.
+  /// Returns the number of ops still in doubt (coordinator unreachable
+  /// and not confirmed dead); 0 means the server is clean. RestartServer
+  /// runs this automatically when recovery reports in-doubt prepares.
+  Result<std::uint64_t> ResolveInDoubt(MdsId id);
 
   /// Four-level lookup driven from the client.
   Result<LookupOutcome> Lookup(const std::string& path);
@@ -326,6 +354,48 @@ class PrototypeCluster {
   Status CrashMigrationLocked(MdsId victim, const char* phase)
       GHBA_REQUIRES(mu_);
 
+  /// TxnDriver's transport over Call() (defined in the .cpp). Each method
+  /// takes mu_ itself, so the driver runs unlocked between messages —
+  /// concurrent cluster traffic interleaves with a transaction exactly as
+  /// it would against real daemons.
+  struct TxnBridge;
+
+  // Locked bodies of the TxnBridge — one per v5 protocol message, all
+  // plain Call() round-trips with the envelope idiom.
+  Status TxnBeginAt(MdsId coordinator, std::uint64_t txn_id,
+                    const std::vector<MdsId>& participants)
+      GHBA_REQUIRES(mu_);
+  Result<std::optional<FileMetadata>> TxnPrepareAt(MdsId participant,
+                                                   const TxnPendingOp& op)
+      GHBA_REQUIRES(mu_);
+  Status TxnDecideAt(MdsId coordinator, std::uint64_t txn_id, bool commit)
+      GHBA_REQUIRES(mu_);
+  Status TxnFinishAt(MsgType type, MdsId participant, std::uint64_t txn_id,
+                     const std::string& path) GHBA_REQUIRES(mu_);
+  Result<std::vector<TxnPendingOp>> TxnListAt(MdsId server)
+      GHBA_REQUIRES(mu_);
+  Result<TxnResolution> TxnQueryDecisionAt(MdsId coordinator,
+                                           std::uint64_t txn_id)
+      GHBA_REQUIRES(mu_);
+  /// After-step hook body: consume txn.<phase>[.<k>] (crash the server
+  /// that just processed message k of that phase, bookkeeping kept) and
+  /// txnhalt.<phase>[.<k>] (halt the driver — the client dies at that
+  /// boundary) crash points armed on the injector. Returns false to halt.
+  bool TxnStepLocked(TxnPhase phase, MdsId target) GHBA_REQUIRES(mu_);
+  /// Power loss at a txn phase boundary: same semantics as
+  /// CrashMigrationLocked — the event loop stops, every piece of
+  /// orchestrator bookkeeping stays, detection happens via failed calls.
+  void CrashTxnLocked(MdsId victim) GHBA_REQUIRES(mu_);
+  /// Next client-side transaction id. Lazily seeded from rng_ so a fresh
+  /// orchestrator over an old data_dir cannot collide with txn ids a
+  /// durable coordinator already journaled (ids must be unique per
+  /// coordinator table, which survives restarts).
+  std::uint64_t NextTxnIdLocked() GHBA_REQUIRES(mu_);
+  /// Locked body of RestartServer (everything up to the rejoin push); the
+  /// public wrapper then resolves in-doubt prepares with mu_ released
+  /// between messages, as every txn drive runs.
+  Result<RecoveryInfoResp> RestartServerLocked(MdsId id) GHBA_REQUIRES(mu_);
+
   Result<bool> VerifyAt(MdsId candidate, const std::string& path)
       GHBA_REQUIRES(mu_);
   /// Verifies `candidate` at most once per lookup (`q.verified` is the
@@ -378,6 +448,12 @@ class PrototypeCluster {
   /// a new orchestrator incarnation never pushes an epoch the survivors
   /// would reject as stale.
   std::uint64_t routing_epoch_ GHBA_GUARDED_BY(mu_) = 0;
+  /// Txn id allocator; 0 means "not yet seeded" (NextTxnIdLocked draws a
+  /// random base — txn id 0 itself is reserved by the wire codecs).
+  std::uint64_t next_txn_id_ GHBA_GUARDED_BY(mu_) = 0;
+  /// Per-drive message counters, one per TxnPhase: position k within a
+  /// phase names the crash point txn.<phase>.<k>. Reset at drive start.
+  std::array<std::uint32_t, 5> txn_step_seq_ GHBA_GUARDED_BY(mu_){};
 
   PeerHealthTracker health_;  // internally synchronized
   /// Client-side accounting. Internally synchronized (atomic counters,

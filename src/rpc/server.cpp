@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -97,6 +98,13 @@ MdsServer::MdsServer(MdsId id, const ClusterConfig& config)
       serve_hot_keys_(registry_.counter(metrics_names::kServeHotKeys)),
       serve_shed_requests_(
           registry_.counter(metrics_names::kServeShedRequests)),
+      serve_txn_begins_(registry_.counter(metrics_names::kServeTxnBegins)),
+      serve_txn_prepares_(
+          registry_.counter(metrics_names::kServeTxnPrepares)),
+      serve_txn_commits_(registry_.counter(metrics_names::kServeTxnCommits)),
+      serve_txn_aborts_(registry_.counter(metrics_names::kServeTxnAborts)),
+      serve_txn_resolves_(
+          registry_.counter(metrics_names::kServeTxnResolves)),
       reconfig_messages_(
           registry_.counter(metrics_names::kMessagesReconfig)),
       outcome_latency_ms_(
@@ -158,6 +166,7 @@ Status MdsServer::Start(std::uint16_t port) {
     view_epoch_ = 0;
     view_members_.clear();
   }
+  txn_.Seed({}, {}, {});
   sabotage_errno_.store(0, std::memory_order_release);
 
   std::vector<std::pair<std::string, FileMetadata>> recovered_records;
@@ -195,6 +204,11 @@ Status MdsServer::Start(std::uint16_t port) {
       view_epoch_ = recovered.epoch;
       view_members_ = std::move(recovered.members);
     }
+    // Re-take the intent lock of every in-doubt prepare and restore the
+    // decision table; the paths stay fenced against plain mutations until
+    // resolution (driver-side ResolveInDoubt) closes them.
+    txn_.Seed(std::move(recovered.txn_pending),
+              std::move(recovered.txn_decisions), recovered.txn_closed);
     recovered_records = recovered.store.ExtractAll();
   }
 
@@ -280,7 +294,12 @@ std::uint32_t MdsServer::RouteShard(
     case MsgType::kInsert:
     case MsgType::kUnlink:
     case MsgType::kLeaseGrant:
-    case MsgType::kInvalidate: {
+    case MsgType::kInvalidate:
+    // Per-path txn messages route like the mutations they stage, so a
+    // prepare and the plain ops it fences always share one shard worker.
+    case MsgType::kTxnPrepare:
+    case MsgType::kTxnCommit:
+    case MsgType::kTxnAbort: {
       auto path = in.GetString();
       if (!path.ok()) return 0;
       return ShardOfPath(*path, shards());
@@ -1018,6 +1037,13 @@ std::vector<std::uint8_t> MdsServer::Handle(
       if (!path.ok()) return EncodeStatusResp(path.status());
       auto md = FileMetadata::Deserialize(in);
       if (!md.ok()) return EncodeStatusResp(md.status());
+      // A prepared txn op owns this path until its coordinator's verdict
+      // lands; racing a plain insert past it could contradict the vote.
+      // (Prepare and insert share this shard worker, so no check/apply gap.)
+      if (txn_.IsLocked(*path)) {
+        return EncodeStatusResp(
+            Status::Unavailable("path intent-locked by an in-flight txn"));
+      }
       // Apply first, then log, then ack: the WAL records only mutations
       // that succeeded, and the client is only ever acked a mutation the
       // log took (a failed log call rolls the memory state back).
@@ -1050,6 +1076,12 @@ std::vector<std::uint8_t> MdsServer::Handle(
     case MsgType::kUnlink: {
       auto path = in.GetString();
       if (!path.ok()) return EncodeStatusResp(path.status());
+      // Same fence as kInsert: an unlink under a prepare-remove would make
+      // the already-journaled vote metadata a lie.
+      if (txn_.IsLocked(*path)) {
+        return EncodeStatusResp(
+            Status::Unavailable("path intent-locked by an in-flight txn"));
+      }
       // Kept for rollback should the WAL append fail below.
       auto old_md = shard.store.Lookup(*path);
       Status s = shard.store.Remove(*path);
@@ -1281,6 +1313,7 @@ std::vector<std::uint8_t> MdsServer::Handle(
         info.filter_matched = r.filter_matched;
         info.epoch = r.epoch;
         info.members = r.members;
+        info.txn_in_doubt = r.txn_in_doubt;
       }
       return EncodeRecoveryInfoResp(info);
     }
@@ -1366,6 +1399,254 @@ std::vector<std::uint8_t> MdsServer::Handle(
       shard.lru_bytes.store(shard.lru.MemoryBytes(),
                             std::memory_order_relaxed);
       return EncodeStatusResp(Status::Ok());
+    }
+    case MsgType::kTxnBegin: {
+      auto req = DecodeTxnBegin(in);
+      if (!req.ok()) return EncodeStatusResp(req.status());
+      ++serve_txn_begins_;
+      bool checkpoint_due = false;
+      {
+        MutexLock txn(&txn_.mu());
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogTxnBegin(req->txn_id,
+                                                req->participants);
+                !w.ok()) {
+              return EncodeStatusResp(w);
+            }
+            checkpoint_due = engine_->CheckpointDue();
+          }
+        }
+        txn_.BeginLocked(req->txn_id);
+      }
+      if (checkpoint_due) NoteCheckpointDue();
+      return EncodeStatusResp(Status::Ok());
+    }
+    case MsgType::kTxnPrepare: {
+      auto req = DecodeTxnPrepare(in);
+      if (!req.ok()) return EncodeStatusResp(req.status());
+      ++serve_txn_prepares_;
+      TxnPrepareResp resp;
+      bool checkpoint_due = false;
+      {
+        MutexLock txn(&txn_.mu());
+        if (txn_.ClosedOutcomeLocked(req->txn_id).has_value()) {
+          // A replayed prepare after this server already closed the txn:
+          // the outcome is fixed, re-staging it could only diverge.
+          return EncodeStatusResp(
+              Status::InvalidArgument("txn already closed on this server"));
+        }
+        if (txn_.IsLockedByOtherLocked(req->path, req->txn_id)) {
+          return EncodeStatusResp(
+              Status::Unavailable("path intent-locked by another txn"));
+        }
+        TxnPendingOp op;
+        op.txn_id = req->txn_id;
+        op.subop = req->subop;
+        op.path = req->path;
+        op.coordinator = req->coordinator;
+        op.participants = req->participants;
+        if (req->subop == TxnSubOp::kRemove) {
+          // The yes-vote carries the doomed file's metadata so a rename
+          // driver can stage the insert without a separate read RPC.
+          auto md = shard.store.Lookup(req->path);
+          if (!md.ok()) {
+            // NO vote: nothing journaled, nothing locked.
+            return EncodeStatusResp(
+                Status::NotFound("prepare-remove: no such path"));
+          }
+          resp.has_metadata = true;
+          resp.metadata = std::move(*md);
+        } else {
+          if (shard.store.Contains(req->path)) {
+            return EncodeStatusResp(
+                Status::AlreadyExists("prepare-insert: path exists"));
+          }
+          op.metadata = std::move(req->metadata);
+        }
+        // Journal before indexing: once the ack leaves, a crash must
+        // recover this op as in-doubt, intent lock and all.
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogTxnPrepare(op); !w.ok()) {
+              return EncodeStatusResp(w);
+            }
+            checkpoint_due = engine_->CheckpointDue();
+          }
+        }
+        txn_.AddPendingLocked(std::move(op));
+      }
+      if (checkpoint_due) NoteCheckpointDue();
+      return EncodeTxnPrepareResp(resp);
+    }
+    case MsgType::kTxnDecide: {
+      auto req = DecodeTxnDecide(in);
+      if (!req.ok()) return EncodeStatusResp(req.status());
+      bool checkpoint_due = false;
+      {
+        MutexLock txn(&txn_.mu());
+        const auto prior = txn_.QueryLocked(req->txn_id);
+        if (prior.has_value() && *prior != TxnCoordState::kBegun) {
+          const bool committed = *prior == TxnCoordState::kCommitted;
+          if (committed == req->commit) {
+            return EncodeStatusResp(Status::Ok());  // idempotent re-decide
+          }
+          // A durable verdict never flips; participants may already have
+          // acted on the recorded one.
+          return EncodeStatusResp(
+              Status::InvalidArgument("txn decision already fixed"));
+        }
+        if (!prior.has_value() && req->commit) {
+          // Unknown txn (never begun here, or pruned): a resolver may have
+          // already answered "aborted" for it under presumed abort, so a
+          // late commit verdict is unsafe to record.
+          return EncodeStatusResp(
+              Status::InvalidArgument("commit decision for unknown txn"));
+        }
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogTxnDecision(req->txn_id, req->commit);
+                !w.ok()) {
+              return EncodeStatusResp(w);
+            }
+            checkpoint_due = engine_->CheckpointDue();
+          }
+        }
+        txn_.DecideLocked(req->txn_id, req->commit);
+      }
+      if (checkpoint_due) NoteCheckpointDue();
+      return EncodeStatusResp(Status::Ok());
+    }
+    case MsgType::kTxnCommit: {
+      auto req = DecodeTxnFinish(in);
+      if (!req.ok()) return EncodeStatusResp(req.status());
+      ++serve_txn_commits_;
+      bool checkpoint_due = false;
+      {
+        MutexLock txn(&txn_.mu());
+        const TxnPendingOp* found =
+            txn_.FindPendingLocked(req->txn_id, req->path);
+        if (found == nullptr) {
+          // Retry of a commit this server already applied and closed (or
+          // whose history aged out — the apply is idempotent either way).
+          return EncodeStatusResp(Status::Ok());
+        }
+        const TxnPendingOp op = *found;  // ClosePending invalidates `found`
+        std::optional<FileMetadata> old_md;  // rollback payload for removes
+        Status s;
+        if (op.subop == TxnSubOp::kInsert) {
+          s = shard.store.Insert(op.path, op.metadata);
+        } else {
+          auto looked = shard.store.Lookup(op.path);
+          if (looked.ok()) old_md = std::move(*looked);
+          s = shard.store.Remove(op.path);
+        }
+        if (!s.ok()) return EncodeStatusResp(s);
+        {
+          MutexLock filter(&filter_mu_);
+          if (op.subop == TxnSubOp::kInsert) {
+            local_filter_.Add(op.path);
+          } else {
+            // Store remove succeeded, so the filter holds the path (same
+            // underflow tolerance as kUnlink).
+            (void)local_filter_.Remove(op.path);
+          }
+        }
+        // One WAL frame applies the sub-op and closes the prepare; replay
+        // can never see a half-applied commit.
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogTxnCommit(op); !w.ok()) {
+              // Rollback: the prepare stays pending, the coordinator's
+              // verdict still stands, and the resolver retries the close.
+              if (op.subop == TxnSubOp::kInsert) {
+                (void)shard.store.Remove(op.path);  // undo the insert above
+                MutexLock filter(&filter_mu_);
+                (void)local_filter_.Remove(op.path);  // ditto
+              } else if (old_md.has_value()) {
+                // Restore what was removed above; the slot is free.
+                (void)shard.store.Insert(op.path, std::move(*old_md));
+                MutexLock filter(&filter_mu_);
+                local_filter_.Add(op.path);
+              }
+              return EncodeStatusResp(w);
+            }
+            checkpoint_due = engine_->CheckpointDue();
+          }
+        }
+        // The path is gone: no lease may outlive it (kUnlink discipline).
+        if (op.subop == TxnSubOp::kRemove) shard.leases.erase(op.path);
+        txn_.ClosePendingLocked(req->txn_id, req->path, /*committed=*/true);
+      }
+      shard.files.store(shard.store.size(), std::memory_order_relaxed);
+      if (checkpoint_due) NoteCheckpointDue();
+      return EncodeStatusResp(Status::Ok());
+    }
+    case MsgType::kTxnAbort: {
+      auto req = DecodeTxnFinish(in);
+      if (!req.ok()) return EncodeStatusResp(req.status());
+      ++serve_txn_aborts_;
+      bool checkpoint_due = false;
+      {
+        MutexLock txn(&txn_.mu());
+        if (txn_.FindPendingLocked(req->txn_id, req->path) == nullptr) {
+          return EncodeStatusResp(Status::Ok());  // idempotent: not staged
+        }
+        {
+          MutexLock wal(&wal_mu_);
+          if (engine_ != nullptr) {
+            if (Status w = engine_->LogTxnAbort(req->txn_id, req->path);
+                !w.ok()) {
+              return EncodeStatusResp(w);
+            }
+            checkpoint_due = engine_->CheckpointDue();
+          }
+        }
+        txn_.ClosePendingLocked(req->txn_id, req->path, /*committed=*/false);
+      }
+      if (checkpoint_due) NoteCheckpointDue();
+      return EncodeStatusResp(Status::Ok());
+    }
+    case MsgType::kTxnResolve: {
+      auto txn_id = DecodeTxnResolve(in);
+      if (!txn_id.ok()) return EncodeStatusResp(txn_id.status());
+      ++serve_txn_resolves_;
+      TxnResolveResp resp;
+      {
+        MutexLock txn(&txn_.mu());
+        if (const auto state = txn_.QueryLocked(*txn_id)) {
+          switch (*state) {
+            case TxnCoordState::kBegun:
+              resp.state = TxnDecisionState::kPending;
+              break;
+            case TxnCoordState::kCommitted:
+              resp.state = TxnDecisionState::kCommitted;
+              break;
+            case TxnCoordState::kAborted:
+              resp.state = TxnDecisionState::kAborted;
+              break;
+          }
+        } else {
+          resp.state = TxnDecisionState::kUnknown;  // presumed abort
+        }
+      }
+      return EncodeTxnResolveResp(resp);
+    }
+    case MsgType::kTxnList: {
+      TxnListResp resp;
+      for (const TxnPendingOp& op : txn_.Pending()) {
+        TxnListEntry entry;
+        entry.txn_id = op.txn_id;
+        entry.coordinator = op.coordinator;
+        entry.subop = op.subop;
+        entry.path = op.path;
+        resp.entries.push_back(std::move(entry));
+      }
+      return EncodeTxnListResp(resp);
     }
     case MsgType::kBatch: {
       // Only reachable when DecodeBatchRequest failed on the event thread:

@@ -54,6 +54,7 @@
 #include "rpc/protocol.hpp"
 #include "rpc/socket.hpp"
 #include "storage/engine.hpp"
+#include "txn/txn_manager.hpp"
 
 namespace ghba {
 
@@ -292,6 +293,11 @@ class MdsServer {
   // filter_mu_ inside it (apply -> log -> ack, rollback on log failure).
   mutable Mutex wal_mu_{LockRank::kServerWal};
   std::unique_ptr<StorageEngine> engine_ GHBA_GUARDED_BY(wal_mu_);
+  /// Two-phase-commit state (intent locks, pending prepares, coordinator
+  /// decisions). Internally synchronized at rank kServerTxn — deliberately
+  /// above wal_mu_, so txn handlers journal inside the intent-lock critical
+  /// section (check -> journal -> mutate; see txn_manager.hpp).
+  TxnManager txn_;
 
   std::atomic<std::uint64_t> frames_in_{0};
   std::atomic<std::uint64_t> frames_out_{0};
@@ -317,6 +323,11 @@ class MdsServer {
   MetricsRegistry::Counter serve_invalidations_;
   MetricsRegistry::Counter serve_hot_keys_;
   MetricsRegistry::Counter serve_shed_requests_;
+  MetricsRegistry::Counter serve_txn_begins_;
+  MetricsRegistry::Counter serve_txn_prepares_;
+  MetricsRegistry::Counter serve_txn_commits_;
+  MetricsRegistry::Counter serve_txn_aborts_;
+  MetricsRegistry::Counter serve_txn_resolves_;
   MetricsRegistry::Counter reconfig_messages_;
   MetricsRegistry::LatencyHistogram outcome_latency_ms_;
 };

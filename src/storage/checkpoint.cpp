@@ -135,6 +135,22 @@ std::vector<std::uint8_t> EncodeCheckpoint(const CheckpointState& state) {
   body.PutU64(state.epoch);
   body.PutVarint(state.members.size());
   for (const MdsId id : state.members) body.PutU32(id);
+  // Version-3 transaction state: in-doubt prepares + coordinator decisions.
+  body.PutVarint(state.txn_pending.size());
+  for (const auto& op : state.txn_pending) {
+    body.PutU64(op.txn_id);
+    body.PutU8(static_cast<std::uint8_t>(op.subop));
+    body.PutU32(op.coordinator);
+    body.PutVarint(op.participants.size());
+    for (const MdsId id : op.participants) body.PutU32(id);
+    body.PutString(op.path);
+    if (op.subop == TxnSubOp::kInsert) op.metadata.Serialize(body);
+  }
+  body.PutVarint(state.txn_decisions.size());
+  for (const auto& d : state.txn_decisions) {
+    body.PutU64(d.txn_id);
+    body.PutU8(static_cast<std::uint8_t>(d.state));
+  }
   const auto& b = body.data();
 
   ByteWriter out;
@@ -216,6 +232,71 @@ Result<CheckpointState> DecodeCheckpoint(
       auto id = in.GetU32();
       if (!id.ok()) return id.status();
       state.members.push_back(*id);
+    }
+  }
+  if (header->version >= 3) {
+    auto pending_count = in.GetVarint();
+    if (!pending_count.ok()) return pending_count.status();
+    // A pending entry costs at least 15 bytes (8 id + 1 sub-op + 4
+    // coordinator + 1 participant count + 1 path length).
+    if (*pending_count > in.remaining() / 15) {
+      return Status::Corruption("absurd checkpoint txn-pending count");
+    }
+    state.txn_pending.reserve(*pending_count);
+    for (std::uint64_t i = 0; i < *pending_count; ++i) {
+      TxnPendingOp op;
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      op.txn_id = *txn_id;
+      auto subop = in.GetU8();
+      if (!subop.ok()) return subop.status();
+      if (*subop < static_cast<std::uint8_t>(TxnSubOp::kInsert) ||
+          *subop > static_cast<std::uint8_t>(TxnSubOp::kRemove)) {
+        return Status::Corruption("bad checkpoint txn sub-op");
+      }
+      op.subop = static_cast<TxnSubOp>(*subop);
+      auto coord = in.GetU32();
+      if (!coord.ok()) return coord.status();
+      op.coordinator = *coord;
+      auto part_count = in.GetVarint();
+      if (!part_count.ok()) return part_count.status();
+      if (*part_count > in.remaining() / sizeof(std::uint32_t)) {
+        return Status::Corruption("absurd checkpoint participant count");
+      }
+      op.participants.reserve(*part_count);
+      for (std::uint64_t j = 0; j < *part_count; ++j) {
+        auto id = in.GetU32();
+        if (!id.ok()) return id.status();
+        op.participants.push_back(*id);
+      }
+      auto path = in.GetString();
+      if (!path.ok()) return path.status();
+      op.path = std::move(*path);
+      if (op.subop == TxnSubOp::kInsert) {
+        auto md = FileMetadata::Deserialize(in);
+        if (!md.ok()) return md.status();
+        op.metadata = std::move(*md);
+      }
+      state.txn_pending.push_back(std::move(op));
+    }
+    auto decision_count = in.GetVarint();
+    if (!decision_count.ok()) return decision_count.status();
+    if (*decision_count > in.remaining() / 9) {
+      return Status::Corruption("absurd checkpoint txn-decision count");
+    }
+    state.txn_decisions.reserve(*decision_count);
+    for (std::uint64_t i = 0; i < *decision_count; ++i) {
+      TxnCoordEntry entry;
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      entry.txn_id = *txn_id;
+      auto st = in.GetU8();
+      if (!st.ok()) return st.status();
+      if (*st > static_cast<std::uint8_t>(TxnCoordState::kAborted)) {
+        return Status::Corruption("bad checkpoint txn decision state");
+      }
+      entry.state = static_cast<TxnCoordState>(*st);
+      state.txn_decisions.push_back(entry);
     }
   }
   if (!in.AtEnd()) return Status::Corruption("checkpoint trailing bytes");

@@ -12,11 +12,18 @@
 //          BloomFilter])
 //          (version >= 2) [epoch u64][member_count varint] member_count *
 //          [member u32]
+//          (version >= 3) [pending_count varint] pending_count *
+//          ([txn_id u64][subop u8][coordinator u32][participant_count
+//          varint][participant u32]*[path string][metadata if insert])
+//          [decision_count varint] decision_count * ([txn_id u64][state u8])
 //
 // Version 2 appends the server's cluster view — the routing epoch and its
 // group-member list — so a restarted mds_daemon rejoins with a consistent
 // notion of who its peers are instead of relying on the coordinator to
-// re-push it. Version-1 files (no view) still decode: epoch 0, no members.
+// re-push it. Version 3 appends the transaction state (in-doubt prepares
+// and the coordinator decision table) because checkpointing truncates the
+// WAL records that state would otherwise replay from. Version-1/2 files
+// still decode: missing sections come back empty.
 //
 // wal_seq is the last WAL sequence the snapshot covers; recovery replays
 // only records beyond it. Writes are atomic (temp file + fsync + rename +
@@ -37,12 +44,13 @@
 #include "common/lookup_outcome.hpp"
 #include "common/status.hpp"
 #include "mds/metadata.hpp"
+#include "storage/txn_state.hpp"
 
 namespace ghba {
 
 inline constexpr std::uint8_t kCheckpointMagic0 = 0x47;  // 'G'
 inline constexpr std::uint8_t kCheckpointMagic1 = 0x43;  // 'C'
-inline constexpr std::uint16_t kCheckpointVersion = 2;
+inline constexpr std::uint16_t kCheckpointVersion = 3;
 /// Oldest format still decodable (pre-cluster-view snapshots).
 inline constexpr std::uint16_t kMinCheckpointVersion = 1;
 inline constexpr std::size_t kCheckpointHeaderBytes = 20;
@@ -65,6 +73,10 @@ struct CheckpointState {
   /// server last acknowledged and its group peers. Zero/empty for v1 files.
   std::uint64_t epoch = 0;
   std::vector<MdsId> members;
+  /// Transaction state at snapshot time (version >= 3): prepares still
+  /// in doubt and the coordinator decision table. Empty for older files.
+  std::vector<TxnPendingOp> txn_pending;
+  std::vector<TxnCoordEntry> txn_decisions;
 };
 
 struct CheckpointHeader {

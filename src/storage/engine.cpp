@@ -43,9 +43,14 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       .filter_matched = recovered->filter_matched,
       .epoch = recovered->epoch,
       .members = recovered->members,
+      .txn_in_doubt = recovered->txn_pending.size(),
   };
   engine->view_epoch_ = recovered->epoch;
   engine->view_members_ = recovered->members;
+  // Copies, not moves: TakeRecovered hands the same tables to the server's
+  // TxnManager while the engine keeps folding them into checkpoints.
+  engine->txn_pending_ = recovered->txn_pending;
+  engine->txn_decisions_ = recovered->txn_decisions;
   engine->recovered_ = std::move(*recovered);
 
   if (registry != nullptr) {
@@ -150,6 +155,90 @@ Status StorageEngine::LogMembership(std::uint64_t epoch,
   return Status::Ok();
 }
 
+Status StorageEngine::LogTxnBegin(std::uint64_t txn_id,
+                                  const std::vector<MdsId>& participants) {
+  WalRecord record;
+  record.op = WalOp::kTxnBegin;
+  record.txn_id = txn_id;
+  record.members = participants;
+  if (Status s = CommitRecord(std::move(record)); !s.ok()) return s;
+  for (auto& d : txn_decisions_) {
+    if (d.txn_id == txn_id) return Status::Ok();  // idempotent re-begin
+  }
+  txn_decisions_.push_back(TxnCoordEntry{txn_id, TxnCoordState::kBegun});
+  // Presumed abort keeps the table prunable: a dropped entry answers
+  // "aborted" to any future resolve query.
+  if (txn_decisions_.size() > kMaxTxnCoordEntries) {
+    txn_decisions_.erase(txn_decisions_.begin());
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::LogTxnDecision(std::uint64_t txn_id, bool commit) {
+  WalRecord record;
+  record.op = WalOp::kTxnDecision;
+  record.txn_id = txn_id;
+  record.txn_commit = commit;
+  if (Status s = CommitRecord(std::move(record)); !s.ok()) return s;
+  const TxnCoordState state =
+      commit ? TxnCoordState::kCommitted : TxnCoordState::kAborted;
+  for (auto& d : txn_decisions_) {
+    if (d.txn_id == txn_id) {
+      d.state = state;
+      return Status::Ok();
+    }
+  }
+  txn_decisions_.push_back(TxnCoordEntry{txn_id, state});
+  if (txn_decisions_.size() > kMaxTxnCoordEntries) {
+    txn_decisions_.erase(txn_decisions_.begin());
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::LogTxnPrepare(const TxnPendingOp& op) {
+  WalRecord record;
+  record.op = WalOp::kTxnPrepare;
+  record.txn_id = op.txn_id;
+  record.path = op.path;
+  record.txn_subop = op.subop;
+  record.owner = op.coordinator;
+  record.members = op.participants;
+  if (op.subop == TxnSubOp::kInsert) record.metadata = op.metadata;
+  if (Status s = CommitRecord(std::move(record)); !s.ok()) return s;
+  std::erase_if(txn_pending_, [&op](const TxnPendingOp& p) {
+    return p.txn_id == op.txn_id && p.path == op.path;
+  });
+  txn_pending_.push_back(op);
+  return Status::Ok();
+}
+
+Status StorageEngine::LogTxnCommit(const TxnPendingOp& op) {
+  WalRecord record;
+  record.op = WalOp::kTxnCommit;
+  record.txn_id = op.txn_id;
+  record.path = op.path;
+  record.txn_subop = op.subop;
+  if (op.subop == TxnSubOp::kInsert) record.metadata = op.metadata;
+  if (Status s = CommitRecord(std::move(record)); !s.ok()) return s;
+  std::erase_if(txn_pending_, [&op](const TxnPendingOp& p) {
+    return p.txn_id == op.txn_id && p.path == op.path;
+  });
+  return Status::Ok();
+}
+
+Status StorageEngine::LogTxnAbort(std::uint64_t txn_id,
+                                  const std::string& path) {
+  WalRecord record;
+  record.op = WalOp::kTxnAbort;
+  record.txn_id = txn_id;
+  record.path = path;
+  if (Status s = CommitRecord(std::move(record)); !s.ok()) return s;
+  std::erase_if(txn_pending_, [&](const TxnPendingOp& p) {
+    return p.txn_id == txn_id && p.path == path;
+  });
+  return Status::Ok();
+}
+
 bool StorageEngine::CheckpointDue() const {
   return wal_.size_bytes() >= options_.checkpoint_wal_bytes;
 }
@@ -174,6 +263,8 @@ Status StorageEngine::WriteCheckpoint(
   state.replicas = std::move(replicas);
   state.epoch = view_epoch_;
   state.members = view_members_;
+  state.txn_pending = txn_pending_;
+  state.txn_decisions = txn_decisions_;
 
   auto written =
       WriteCheckpointFile(options_.data_dir, state, options_.keep_checkpoints);

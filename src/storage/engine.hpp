@@ -47,6 +47,9 @@ struct RecoveryInfo {
   /// peers at that time.
   std::uint64_t epoch = 0;
   std::vector<MdsId> members;
+  /// Prepared-but-undecided transaction ops recovery surfaced; each holds
+  /// an intent lock until the coordinator's verdict resolves it.
+  std::uint64_t txn_in_doubt = 0;
 };
 
 class StorageEngine {
@@ -82,6 +85,20 @@ class StorageEngine {
   /// Journal a cluster-view change (routing epoch + group members). The
   /// engine remembers the latest view and folds it into every checkpoint.
   Status LogMembership(std::uint64_t epoch, std::vector<MdsId> members);
+
+  /// Journal two-phase-commit transitions. The engine mirrors the pending
+  /// prepares and the coordinator decision table so both survive WAL
+  /// truncation inside every checkpoint (v3 section). Callers follow the
+  /// same discipline as the mutation loggers: journal before acking, roll
+  /// back on error.
+  Status LogTxnBegin(std::uint64_t txn_id,
+                     const std::vector<MdsId>& participants);
+  Status LogTxnDecision(std::uint64_t txn_id, bool commit);
+  Status LogTxnPrepare(const TxnPendingOp& op);
+  /// One frame that applies the sub-op and closes the prepare; `op` carries
+  /// the sub-op, path and (for inserts) metadata to re-apply on replay.
+  Status LogTxnCommit(const TxnPendingOp& op);
+  Status LogTxnAbort(std::uint64_t txn_id, const std::string& path);
 
   /// Latest acknowledged cluster view (recovered, then tracking
   /// LogMembership).
@@ -124,6 +141,9 @@ class StorageEngine {
   std::uint64_t next_seq_ = 1;
   std::uint64_t view_epoch_ = 0;
   std::vector<MdsId> view_members_;
+  /// Mirrors of the durable txn state, folded into every checkpoint.
+  std::vector<TxnPendingOp> txn_pending_;
+  std::vector<TxnCoordEntry> txn_decisions_;
 
   bool have_metrics_ = false;
   MetricsRegistry::Counter wal_appends_;

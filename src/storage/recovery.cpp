@@ -50,9 +50,15 @@ StoreMutation ToStoreMutation(WalRecord record) {
     case WalOp::kReplicaInstall:
     case WalOp::kReplicaDrop:
     case WalOp::kMembership:
-      // Reconfiguration records never reach the store; callers divert them
-      // before translating. Mapping to kClear would wipe the store, so
-      // translate to a harmless no-op remove of the (empty) path instead.
+    case WalOp::kTxnBegin:
+    case WalOp::kTxnPrepare:
+    case WalOp::kTxnCommit:
+    case WalOp::kTxnAbort:
+    case WalOp::kTxnDecision:
+      // Reconfiguration and transaction records never reach the store this
+      // way; callers divert them before translating (a committed txn sub-op
+      // is translated explicitly). Mapping to kClear would wipe the store,
+      // so translate to a harmless no-op remove of the (empty) path instead.
       m.kind = StoreMutation::Kind::kRemove;
       break;
   }
@@ -81,6 +87,8 @@ Result<RecoveredState> RecoverState(
   out.replicas = std::move(ckpt.replicas);
   out.epoch = ckpt.epoch;
   out.members = std::move(ckpt.members);
+  out.txn_pending = std::move(ckpt.txn_pending);
+  out.txn_decisions = std::move(ckpt.txn_decisions);
 
   // 2. The snapshot filter, if usable; otherwise mark for rebuild. The
   // actual replay below works on whichever one we start from.
@@ -102,6 +110,22 @@ Result<RecoveredState> RecoverState(
   std::uint64_t last_seq = ckpt.wal_seq;
   batch.clear();
   batch.reserve(replay.records.size());
+  const auto erase_pending = [&out](std::uint64_t txn_id,
+                                    const std::string& path) {
+    std::erase_if(out.txn_pending, [&](const TxnPendingOp& op) {
+      return op.txn_id == txn_id && op.path == path;
+    });
+  };
+  const auto upsert_decision = [&out](std::uint64_t txn_id,
+                                      TxnCoordState state) {
+    for (auto& d : out.txn_decisions) {
+      if (d.txn_id == txn_id) {
+        d.state = state;
+        return;
+      }
+    }
+    out.txn_decisions.push_back(TxnCoordEntry{txn_id, state});
+  };
   for (WalRecord& record : replay.records) {
     last_seq = std::max(last_seq, record.seq);
     // Reconfiguration records replay into the replica array / cluster
@@ -135,6 +159,56 @@ Result<RecoveredState> RecoverState(
         out.epoch = record.epoch;
         out.members = std::move(record.members);
         continue;
+      case WalOp::kTxnBegin:
+        // Begin precedes any decision for the same txn in seq order, but a
+        // replayed begin must never roll a checkpointed decision back.
+        if (std::none_of(out.txn_decisions.begin(), out.txn_decisions.end(),
+                         [&record](const TxnCoordEntry& d) {
+                           return d.txn_id == record.txn_id;
+                         })) {
+          upsert_decision(record.txn_id, TxnCoordState::kBegun);
+        }
+        continue;
+      case WalOp::kTxnDecision:
+        upsert_decision(record.txn_id, record.txn_commit
+                                           ? TxnCoordState::kCommitted
+                                           : TxnCoordState::kAborted);
+        continue;
+      case WalOp::kTxnPrepare: {
+        // A re-journaled prepare (recovery re-logging) replaces the old one.
+        erase_pending(record.txn_id, record.path);
+        TxnPendingOp op;
+        op.txn_id = record.txn_id;
+        op.subop = record.txn_subop;
+        op.path = std::move(record.path);
+        op.metadata = std::move(record.metadata);
+        op.coordinator = record.owner;
+        op.participants = std::move(record.members);
+        out.txn_pending.push_back(std::move(op));
+        continue;
+      }
+      case WalOp::kTxnAbort:
+        erase_pending(record.txn_id, record.path);
+        out.txn_closed.emplace_back(record.txn_id, false);
+        continue;
+      case WalOp::kTxnCommit: {
+        // One frame both applies the sub-op and closes the prepare: a torn
+        // tail either replays the whole commit or none of it.
+        erase_pending(record.txn_id, record.path);
+        out.txn_closed.emplace_back(record.txn_id, true);
+        StoreMutation m;
+        m.path = std::move(record.path);
+        if (record.txn_subop == TxnSubOp::kInsert) {
+          replayed.Add(m.path);
+          m.kind = StoreMutation::Kind::kInsert;
+          m.metadata = std::move(record.metadata);
+        } else {
+          (void)replayed.Remove(m.path);
+          m.kind = StoreMutation::Kind::kRemove;
+        }
+        batch.push_back(std::move(m));
+        continue;
+      }
       default:
         break;
     }

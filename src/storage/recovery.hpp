@@ -22,6 +22,7 @@
 #include "common/lookup_outcome.hpp"
 #include "common/status.hpp"
 #include "mds/store.hpp"
+#include "storage/txn_state.hpp"
 #include "storage/wal.hpp"
 
 namespace ghba {
@@ -60,6 +61,19 @@ struct RecoveredState {
   /// and group-member list (kMembership records override the snapshot).
   std::uint64_t epoch = 0;
   std::vector<MdsId> members;
+
+  /// In-doubt transaction prepares: journaled (or checkpointed) kTxnPrepare
+  /// records whose commit/abort never made it to the log. The server must
+  /// re-take their intent locks and have them resolved before the paths
+  /// accept plain mutations again.
+  std::vector<TxnPendingOp> txn_pending;
+  /// Coordinator decision table: every kTxnBegin/kTxnDecision outcome that
+  /// survives (checkpoint section + WAL tail).
+  std::vector<TxnCoordEntry> txn_decisions;
+  /// Participant outcomes closed since the checkpoint (txn_id -> committed),
+  /// in log order. Seeds the idempotency history so a re-sent commit/abort
+  /// after restart is acked instead of re-applied.
+  std::vector<std::pair<std::uint64_t, bool>> txn_closed;
 };
 
 /// Run recovery over `data_dir` (which must exist). `filter_template` is an

@@ -1,0 +1,62 @@
+// Durable transaction state shared by the WAL replayer, the checkpointer
+// and the server-side TxnManager.
+//
+// Two tables survive a crash:
+//   * pending prepares (participant side): every kTxnPrepare whose
+//     kTxnCommit/kTxnAbort has not been journaled yet. These are the
+//     in-doubt ops a restart must re-lock and resolve.
+//   * the coordinator decision table: kTxnBegin marks a txn begun,
+//     kTxnDecision fixes its verdict. Under presumed abort the table may
+//     be pruned — a query for an unknown txn answers "aborted".
+//
+// Both are folded into checkpoints (v3 body section) because a checkpoint
+// truncates the WAL records they came from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/lookup_outcome.hpp"
+#include "mds/metadata.hpp"
+#include "storage/wal.hpp"
+
+namespace ghba {
+
+/// One prepared-but-undecided participant op: exactly the payload of its
+/// kTxnPrepare record. `participants` lets a resolver consult the txn's
+/// other members when the coordinator is confirmed dead.
+struct TxnPendingOp {
+  std::uint64_t txn_id = 0;
+  TxnSubOp subop = TxnSubOp::kNone;
+  std::string path;
+  FileMetadata metadata;  ///< kInsert payload
+  MdsId coordinator = kInvalidMds;
+  std::vector<MdsId> participants;
+
+  friend bool operator==(const TxnPendingOp&, const TxnPendingOp&) = default;
+};
+
+/// Coordinator-side decision states. Order matters: the checkpoint codec
+/// bounds the encoded byte by kAborted.
+enum class TxnCoordState : std::uint8_t {
+  kBegun = 0,      ///< kTxnBegin journaled, no decision yet
+  kCommitted = 1,  ///< kTxnDecision(commit) durable — the txn IS committed
+  kAborted = 2,    ///< kTxnDecision(abort) durable
+};
+
+/// One coordinator decision-table row.
+struct TxnCoordEntry {
+  std::uint64_t txn_id = 0;
+  TxnCoordState state = TxnCoordState::kBegun;
+
+  friend bool operator==(const TxnCoordEntry&, const TxnCoordEntry&) = default;
+};
+
+/// Presumed abort lets the decision table stay bounded: entries beyond
+/// this cap are pruned oldest-first, and a pruned commit entry can only
+/// belong to a txn whose participants have all closed (the driver pushes
+/// commits before acking; recovery resolution closes the stragglers).
+inline constexpr std::size_t kMaxTxnCoordEntries = 4096;
+
+}  // namespace ghba

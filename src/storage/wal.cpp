@@ -48,6 +48,31 @@ void EncodeWalRecordPayload(const WalRecord& record, ByteWriter& out) {
       out.PutVarint(record.members.size());
       for (const MdsId id : record.members) out.PutU32(id);
       break;
+    case WalOp::kTxnBegin:
+      out.PutU64(record.txn_id);
+      out.PutVarint(record.members.size());
+      for (const MdsId id : record.members) out.PutU32(id);
+      break;
+    case WalOp::kTxnPrepare:
+      out.PutU64(record.txn_id);
+      out.PutU32(record.owner);  // coordinator
+      out.PutU8(static_cast<std::uint8_t>(record.txn_subop));
+      out.PutVarint(record.members.size());
+      for (const MdsId id : record.members) out.PutU32(id);
+      if (record.txn_subop == TxnSubOp::kInsert) record.metadata.Serialize(out);
+      break;
+    case WalOp::kTxnCommit:
+      out.PutU64(record.txn_id);
+      out.PutU8(static_cast<std::uint8_t>(record.txn_subop));
+      if (record.txn_subop == TxnSubOp::kInsert) record.metadata.Serialize(out);
+      break;
+    case WalOp::kTxnAbort:
+      out.PutU64(record.txn_id);
+      break;
+    case WalOp::kTxnDecision:
+      out.PutU64(record.txn_id);
+      out.PutU8(record.txn_commit ? 1 : 0);
+      break;
     case WalOp::kRemove:
     case WalOp::kClear:
       break;
@@ -59,7 +84,7 @@ Result<WalRecord> DecodeWalRecordPayload(ByteReader& in) {
   auto op = in.GetU8();
   if (!op.ok()) return op.status();
   if (*op < static_cast<std::uint8_t>(WalOp::kInsert) ||
-      *op > static_cast<std::uint8_t>(WalOp::kMembership)) {
+      *op > static_cast<std::uint8_t>(WalOp::kTxnDecision)) {
     return Status::Corruption("bad WAL op");
   }
   record.op = static_cast<WalOp>(*op);
@@ -115,6 +140,89 @@ Result<WalRecord> DecodeWalRecordPayload(ByteReader& in) {
         if (!id.ok()) return id.status();
         record.members.push_back(*id);
       }
+      break;
+    }
+    case WalOp::kTxnBegin: {
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      record.txn_id = *txn_id;
+      auto count = in.GetVarint();
+      if (!count.ok()) return count.status();
+      if (*count > in.remaining() / sizeof(std::uint32_t)) {
+        return Status::Corruption("WAL participant count overruns record");
+      }
+      record.members.reserve(static_cast<std::size_t>(*count));
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto id = in.GetU32();
+        if (!id.ok()) return id.status();
+        record.members.push_back(*id);
+      }
+      break;
+    }
+    case WalOp::kTxnPrepare: {
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      record.txn_id = *txn_id;
+      auto coord = in.GetU32();
+      if (!coord.ok()) return coord.status();
+      record.owner = *coord;
+      auto subop = in.GetU8();
+      if (!subop.ok()) return subop.status();
+      if (*subop < static_cast<std::uint8_t>(TxnSubOp::kInsert) ||
+          *subop > static_cast<std::uint8_t>(TxnSubOp::kRemove)) {
+        return Status::Corruption("bad txn sub-op");
+      }
+      record.txn_subop = static_cast<TxnSubOp>(*subop);
+      auto count = in.GetVarint();
+      if (!count.ok()) return count.status();
+      if (*count > in.remaining() / sizeof(std::uint32_t)) {
+        return Status::Corruption("WAL participant count overruns record");
+      }
+      record.members.reserve(static_cast<std::size_t>(*count));
+      for (std::uint64_t i = 0; i < *count; ++i) {
+        auto id = in.GetU32();
+        if (!id.ok()) return id.status();
+        record.members.push_back(*id);
+      }
+      if (record.txn_subop == TxnSubOp::kInsert) {
+        auto md = FileMetadata::Deserialize(in);
+        if (!md.ok()) return md.status();
+        record.metadata = std::move(*md);
+      }
+      break;
+    }
+    case WalOp::kTxnCommit: {
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      record.txn_id = *txn_id;
+      auto subop = in.GetU8();
+      if (!subop.ok()) return subop.status();
+      if (*subop < static_cast<std::uint8_t>(TxnSubOp::kInsert) ||
+          *subop > static_cast<std::uint8_t>(TxnSubOp::kRemove)) {
+        return Status::Corruption("bad txn sub-op");
+      }
+      record.txn_subop = static_cast<TxnSubOp>(*subop);
+      if (record.txn_subop == TxnSubOp::kInsert) {
+        auto md = FileMetadata::Deserialize(in);
+        if (!md.ok()) return md.status();
+        record.metadata = std::move(*md);
+      }
+      break;
+    }
+    case WalOp::kTxnAbort: {
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      record.txn_id = *txn_id;
+      break;
+    }
+    case WalOp::kTxnDecision: {
+      auto txn_id = in.GetU64();
+      if (!txn_id.ok()) return txn_id.status();
+      record.txn_id = *txn_id;
+      auto verdict = in.GetU8();
+      if (!verdict.ok()) return verdict.status();
+      if (*verdict > 1) return Status::Corruption("bad txn verdict byte");
+      record.txn_commit = (*verdict != 0);
       break;
     }
     case WalOp::kRemove:

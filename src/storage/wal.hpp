@@ -18,6 +18,8 @@
 // [epoch u64][count varint][member u32]* — the migration state machine and
 // cluster-view updates journal through the same frames as file mutations,
 // so crash recovery replays them in one pass (seq strictly increases).
+// The kTxn* records (two-phase commit) carry a txn id and, per op, the
+// coordinator, participant list, sub-op and metadata — see WalOp below.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +55,26 @@ enum class WalOp : std::uint8_t {
   kReplicaInstall = 5,  ///< install/refresh an outsider replica (owner + blob)
   kReplicaDrop = 6,     ///< retire an outsider replica (owner only)
   kMembership = 7,      ///< routing epoch + group member list
+  // Distributed-transaction records (two-phase commit, presumed abort).
+  // Participant side: kTxnPrepare journals the intent (path + sub-op, NOT
+  // applied to the store), kTxnCommit is one frame that both applies the
+  // sub-op and closes the prepare (so a torn tail can never half-apply),
+  // kTxnAbort closes the prepare without applying. Coordinator side:
+  // kTxnBegin opens the decision record, kTxnDecision is THE commit point
+  // — once it is durable the transaction's outcome is fixed.
+  kTxnBegin = 8,     ///< coordinator: txn_id + participant list
+  kTxnPrepare = 9,   ///< participant: txn_id + sub-op + path (+ metadata)
+  kTxnCommit = 10,   ///< participant: apply sub-op and close the prepare
+  kTxnAbort = 11,    ///< participant: close the prepare, nothing applied
+  kTxnDecision = 12, ///< coordinator: txn_id + commit/abort verdict
+};
+
+/// Per-participant operation inside a transaction. kTxnPrepare/kTxnCommit
+/// records carry exactly one.
+enum class TxnSubOp : std::uint8_t {
+  kNone = 0,
+  kInsert = 1,  ///< create `path` with the carried metadata at commit
+  kRemove = 2,  ///< erase `path` at commit
 };
 
 struct WalRecord {
@@ -65,7 +87,14 @@ struct WalRecord {
   std::vector<std::uint8_t> filter_blob;  ///< kReplicaInstall: compressed
                                           ///< filter, opaque to the log
   std::uint64_t epoch = 0;                ///< kMembership: routing epoch
-  std::vector<MdsId> members;             ///< kMembership: group peers
+  std::vector<MdsId> members;             ///< kMembership: group peers;
+                                          ///< kTxnBegin/kTxnPrepare:
+                                          ///< participant list
+  /// Transaction fields (meaningful for the kTxn* ops). `owner` doubles as
+  /// the coordinator id on kTxnPrepare.
+  std::uint64_t txn_id = 0;
+  TxnSubOp txn_subop = TxnSubOp::kNone;  ///< kTxnPrepare / kTxnCommit
+  bool txn_commit = false;               ///< kTxnDecision verdict
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };

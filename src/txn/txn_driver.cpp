@@ -1,0 +1,226 @@
+#include "txn/txn_driver.hpp"
+
+#include <utility>
+
+namespace ghba {
+
+namespace {
+
+void CountMessage(TxnDriveStats* stats) {
+  if (stats != nullptr) ++stats->messages;
+}
+
+}  // namespace
+
+bool TxnDriver::Step(TxnPhase phase, MdsId target, TxnDriveStats* stats) {
+  if (!after_step_) return true;
+  if (after_step_(phase, target)) return true;
+  if (stats != nullptr) stats->halted = true;
+  return false;
+}
+
+Status TxnDriver::AbortAll(
+    std::uint64_t txn_id, MdsId coordinator,
+    const std::vector<std::pair<MdsId, std::string>>& prepared, Status cause,
+    TxnDriveStats* stats) {
+  // The abort decision makes the outcome durable; the per-participant
+  // aborts merely release intent locks early. Failures are fine — a
+  // participant that misses its abort resolves via presumed abort.
+  CountMessage(stats);
+  Status decide = transport_->TxnDecide(coordinator, txn_id, false);
+  if (decide.ok() && !Step(TxnPhase::kDecide, coordinator, stats)) {
+    return cause;
+  }
+  for (const auto& [participant, path] : prepared) {
+    CountMessage(stats);
+    // Best-effort: the op aborts anyway once the participant resolves.
+    (void)transport_->TxnAbort(participant, txn_id, path);
+    if (!Step(TxnPhase::kAbort, participant, stats)) return cause;
+  }
+  return cause;
+}
+
+Status TxnDriver::Rename(std::uint64_t txn_id, const std::string& src,
+                         MdsId src_home, const std::string& dst,
+                         MdsId dst_home, TxnDriveStats* stats) {
+  if (txn_id == 0) return Status::InvalidArgument("txn id 0 is reserved");
+  if (src == dst) return Status::InvalidArgument("rename onto itself");
+  const MdsId coordinator = src_home;
+  std::vector<MdsId> participants{src_home};
+  if (dst_home != src_home) participants.push_back(dst_home);
+
+  CountMessage(stats);
+  if (Status s = transport_->TxnBegin(coordinator, txn_id, participants);
+      !s.ok()) {
+    return s;
+  }
+  if (!Step(TxnPhase::kBegin, coordinator, stats)) {
+    return Status::Unavailable("txn halted after begin");
+  }
+
+  std::vector<std::pair<MdsId, std::string>> prepared;
+
+  // Prepare the remove first: its vote carries src's metadata, which the
+  // insert prepare needs. NotFound here IS the rename's NotFound.
+  TxnPendingOp remove_op;
+  remove_op.txn_id = txn_id;
+  remove_op.subop = TxnSubOp::kRemove;
+  remove_op.path = src;
+  remove_op.coordinator = coordinator;
+  remove_op.participants = participants;
+  CountMessage(stats);
+  auto vote = transport_->TxnPrepare(src_home, remove_op);
+  if (!vote.ok()) {
+    return AbortAll(txn_id, coordinator, prepared, vote.status(), stats);
+  }
+  if (!vote->has_value()) {
+    return AbortAll(txn_id, coordinator, prepared,
+                    Status::Internal("remove vote carried no metadata"),
+                    stats);
+  }
+  prepared.emplace_back(src_home, src);
+  if (!Step(TxnPhase::kPrepare, src_home, stats)) {
+    return Status::Unavailable("txn halted after src prepare");
+  }
+
+  TxnPendingOp insert_op;
+  insert_op.txn_id = txn_id;
+  insert_op.subop = TxnSubOp::kInsert;
+  insert_op.path = dst;
+  insert_op.metadata = **vote;
+  insert_op.coordinator = coordinator;
+  insert_op.participants = participants;
+  CountMessage(stats);
+  if (auto ins = transport_->TxnPrepare(dst_home, insert_op); !ins.ok()) {
+    return AbortAll(txn_id, coordinator, prepared, ins.status(), stats);
+  }
+  prepared.emplace_back(dst_home, dst);
+  if (!Step(TxnPhase::kPrepare, dst_home, stats)) {
+    return Status::Unavailable("txn halted after dst prepare");
+  }
+
+  // THE commit point. Failure to make the decision durable aborts; after
+  // it returns, the rename is committed no matter what happens next.
+  CountMessage(stats);
+  if (Status s = transport_->TxnDecide(coordinator, txn_id, true); !s.ok()) {
+    return AbortAll(txn_id, coordinator, prepared, std::move(s), stats);
+  }
+  if (!Step(TxnPhase::kDecide, coordinator, stats)) {
+    if (stats != nullptr) stats->commits_pending += 2;
+    return Status::Ok();  // committed; closing messages owed to resolution
+  }
+
+  // Insert before remove: the transient double-presence window is benign
+  // (both lookups succeed), a neither-present window would not be.
+  for (const auto& [participant, path] :
+       {std::pair{dst_home, dst}, std::pair{src_home, src}}) {
+    CountMessage(stats);
+    if (Status s = transport_->TxnCommit(participant, txn_id, path);
+        !s.ok()) {
+      if (stats != nullptr) ++stats->commits_pending;
+      continue;  // already committed; resolution will close this op
+    }
+    if (!Step(TxnPhase::kCommit, participant, stats)) {
+      if (stats != nullptr && participant == dst_home) {
+        ++stats->commits_pending;  // src commit never sent
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+Status TxnDriver::CreateExclusive(std::uint64_t txn_id,
+                                  const std::string& path, MdsId home,
+                                  const FileMetadata& metadata,
+                                  TxnDriveStats* stats) {
+  if (txn_id == 0) return Status::InvalidArgument("txn id 0 is reserved");
+  CountMessage(stats);
+  if (Status s = transport_->TxnBegin(home, txn_id, {home}); !s.ok()) {
+    return s;
+  }
+  if (!Step(TxnPhase::kBegin, home, stats)) {
+    return Status::Unavailable("txn halted after begin");
+  }
+
+  TxnPendingOp op;
+  op.txn_id = txn_id;
+  op.subop = TxnSubOp::kInsert;
+  op.path = path;
+  op.metadata = metadata;
+  op.coordinator = home;
+  op.participants = {home};
+  CountMessage(stats);
+  if (auto vote = transport_->TxnPrepare(home, op); !vote.ok()) {
+    return AbortAll(txn_id, home, {}, vote.status(), stats);
+  }
+  if (!Step(TxnPhase::kPrepare, home, stats)) {
+    return Status::Unavailable("txn halted after prepare");
+  }
+
+  CountMessage(stats);
+  if (Status s = transport_->TxnDecide(home, txn_id, true); !s.ok()) {
+    return AbortAll(txn_id, home, {{home, path}}, std::move(s), stats);
+  }
+  if (!Step(TxnPhase::kDecide, home, stats)) {
+    if (stats != nullptr) ++stats->commits_pending;
+    return Status::Ok();
+  }
+
+  CountMessage(stats);
+  if (Status s = transport_->TxnCommit(home, txn_id, path); !s.ok()) {
+    if (stats != nullptr) ++stats->commits_pending;
+    return Status::Ok();  // committed; resolution closes it
+  }
+  (void)Step(TxnPhase::kCommit, home, stats);  // drive is complete either way
+  return Status::Ok();
+}
+
+Result<std::uint64_t> TxnDriver::ResolveInDoubt(MdsId server) {
+  auto pending = transport_->TxnList(server);
+  if (!pending.ok()) return pending.status();
+
+  std::uint64_t unresolved = 0;
+  for (const TxnPendingOp& op : *pending) {
+    TxnResolution verdict = TxnResolution::kUnknown;
+    if (op.coordinator == server) {
+      // Self-coordinated op: the server's own recovered decision table is
+      // authoritative; ask it directly.
+      auto res = transport_->TxnQueryDecision(server, op.txn_id);
+      if (!res.ok()) return res.status();
+      verdict = *res;
+    } else {
+      auto res = transport_->TxnQueryDecision(op.coordinator, op.txn_id);
+      if (res.ok()) {
+        verdict = *res;
+      } else if (transport_->TxnServerConfirmedDead(op.coordinator)) {
+        // Presumed abort: a dead coordinator that never reported a commit
+        // decision cannot have committed (it journals the decision before
+        // anyone acks), so rolling back is safe.
+        verdict = TxnResolution::kAborted;
+      } else {
+        ++unresolved;  // merely unreachable: stay in doubt, retry later
+        continue;
+      }
+    }
+
+    if (verdict == TxnResolution::kPending) {
+      // Begun but undecided: no client is still driving this txn (we are
+      // the recovery path), so fix the verdict to abort first.
+      if (Status s = transport_->TxnDecide(op.coordinator, op.txn_id, false);
+          !s.ok()) {
+        ++unresolved;
+        continue;
+      }
+      verdict = TxnResolution::kAborted;
+    }
+
+    Status close = verdict == TxnResolution::kCommitted
+                       ? transport_->TxnCommit(server, op.txn_id, op.path)
+                       : transport_->TxnAbort(server, op.txn_id, op.path);
+    if (!close.ok()) ++unresolved;
+  }
+  return unresolved;
+}
+
+}  // namespace ghba

@@ -1,0 +1,351 @@
+// Distributed namespace transactions (the PR's tentpole): a rename across
+// two MDSs is one WAL-journaled two-phase commit, `Decide(commit)` durable
+// at the coordinator is the ack point, and a crash of EITHER participant
+// at EVERY phase boundary must recover to exactly one of the endpoints —
+// the old name or the new name, never both, never neither. The crash cases
+// run parameterized over every boundary so a new phase cannot ship without
+// a crash test; the halt cases kill the *client* mid-drive instead and let
+// in-doubt resolution finish the job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hash/fnv.hpp"
+#include "rpc/prototype_cluster.hpp"
+
+namespace ghba {
+namespace {
+
+ClusterConfig TxnConfig() {
+  ClusterConfig c;
+  c.num_mds = 6;
+  c.max_group_size = 3;
+  c.expected_files_per_mds = 500;
+  c.lru_capacity = 64;
+  c.memory_budget_bytes = 64ULL << 20;
+  c.seed = 7;
+  c.rpc.connect_timeout_ms = 150;
+  c.rpc.attempt_timeout_ms = 150;
+  c.rpc.call_budget_ms = 450;
+  c.rpc.max_attempts = 3;
+  c.rpc.retry_backoff_ms = 2;
+  c.rpc.server_io_timeout_ms = 150;
+  c.rpc.suspect_after = 3;
+  c.rpc.ping_attempts = 3;
+  c.rpc.ping_timeout_ms = 100;
+  return c;
+}
+
+/// Where CreateExclusive / the rename dst lands: the deterministic hash
+/// placement over the id-sorted alive set (mirrors the orchestrator).
+MdsId HashHome(PrototypeCluster& cluster, const std::string& path) {
+  const auto alive = cluster.AliveServers();
+  EXPECT_FALSE(alive.empty());
+  return alive[Fnv1a64(path) % alive.size()];
+}
+
+/// A dst name whose hash placement differs from (or equals, per `cross`)
+/// `src_home`, so a test can force the cross-MDS or same-MDS shape.
+std::string PickDst(PrototypeCluster& cluster, MdsId src_home, bool cross) {
+  for (int i = 0; i < 256; ++i) {
+    const std::string candidate = "/txn/dst" + std::to_string(i);
+    if ((HashHome(cluster, candidate) != src_home) == cross) return candidate;
+  }
+  ADD_FAILURE() << "no dst candidate with the required placement";
+  return "/txn/dst0";
+}
+
+std::map<std::string, MdsId> BuildNamespace(PrototypeCluster& cluster,
+                                            int files) {
+  std::map<std::string, MdsId> home_of;
+  for (int i = 0; i < files; ++i) {
+    const auto path = "/base/f" + std::to_string(i);
+    FileMetadata md;
+    md.inode = static_cast<std::uint64_t>(i);
+    EXPECT_TRUE(cluster.Insert(path, md).ok());
+  }
+  EXPECT_TRUE(cluster.PublishAll().ok());
+  for (int i = 0; i < files; ++i) {
+    const auto path = "/base/f" + std::to_string(i);
+    const auto r = cluster.Lookup(path);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) home_of[path] = r->home;
+  }
+  return home_of;
+}
+
+void ExpectAllLookupsCorrect(PrototypeCluster& cluster,
+                             const std::map<std::string, MdsId>& home_of) {
+  for (const auto& [path, home] : home_of) {
+    const auto r = cluster.Lookup(path);
+    ASSERT_TRUE(r.ok()) << path << ": " << r.status().ToString();
+    EXPECT_TRUE(r->found) << path;
+    EXPECT_EQ(r->home, home) << path;
+  }
+}
+
+/// The exactly-one-endpoint invariant every txn test ends on: an acked
+/// rename resolves to dst, an unacked one to src, and never to both.
+void ExpectRenameEndpoint(PrototypeCluster& cluster, const std::string& src,
+                          const std::string& dst, bool acked) {
+  const auto src_r = cluster.Lookup(src);
+  const auto dst_r = cluster.Lookup(dst);
+  ASSERT_TRUE(src_r.ok()) << src_r.status().ToString();
+  ASSERT_TRUE(dst_r.ok()) << dst_r.status().ToString();
+  EXPECT_EQ(src_r->found, !acked) << "src presence";
+  EXPECT_EQ(dst_r->found, acked) << "dst presence";
+  EXPECT_FALSE(src_r->found && dst_r->found) << "half-applied rename";
+}
+
+TEST(TxnTest, CrossServerRenameMovesTheFileAtomically) {
+  PrototypeCluster cluster(TxnConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  const auto home_of = BuildNamespace(cluster, 24);
+
+  const std::string src = "/txn/src";
+  FileMetadata md;
+  md.inode = 42;
+  ASSERT_TRUE(cluster.Insert(src, md).ok());
+  const auto src_r = cluster.Lookup(src);
+  ASSERT_TRUE(src_r.ok());
+  const MdsId src_home = src_r->home;
+  const std::string dst = PickDst(cluster, src_home, /*cross=*/true);
+  const MdsId dst_home = HashHome(cluster, dst);
+
+  ASSERT_TRUE(cluster.Rename(src, dst).ok());
+
+  ExpectRenameEndpoint(cluster, src, dst, /*acked=*/true);
+  const auto moved = cluster.Lookup(dst);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved->home, dst_home);
+  // The new name is a plain file afterwards: no lingering intent lock.
+  EXPECT_TRUE(cluster.Unlink(dst).ok());
+  ExpectAllLookupsCorrect(cluster, home_of);
+}
+
+TEST(TxnTest, SameServerRenameWorksThroughTheSameMachinery) {
+  PrototypeCluster cluster(TxnConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const std::string src = "/txn/samesrc";
+  ASSERT_TRUE(cluster.Insert(src, FileMetadata{}).ok());
+  const auto src_r = cluster.Lookup(src);
+  ASSERT_TRUE(src_r.ok());
+  const std::string dst = PickDst(cluster, src_r->home, /*cross=*/false);
+
+  ASSERT_TRUE(cluster.Rename(src, dst).ok());
+  ExpectRenameEndpoint(cluster, src, dst, /*acked=*/true);
+}
+
+TEST(TxnTest, RenameRejectsBadArguments) {
+  PrototypeCluster cluster(TxnConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+  ASSERT_TRUE(cluster.Insert("/txn/a", FileMetadata{}).ok());
+  ASSERT_TRUE(cluster.Insert("/txn/b", FileMetadata{}).ok());
+
+  EXPECT_EQ(cluster.Rename("/txn/a", "/txn/a").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster.Rename("/txn/missing", "/txn/c").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(cluster.Rename("/txn/a", "/txn/b").code(),
+            StatusCode::kAlreadyExists);
+  // The refused drives left both names fully usable.
+  EXPECT_TRUE(cluster.Unlink("/txn/a").ok());
+  EXPECT_TRUE(cluster.Unlink("/txn/b").ok());
+}
+
+TEST(TxnTest, CreateExclusiveCreatesOnceAtTheHashHome) {
+  PrototypeCluster cluster(TxnConfig(), ProtoScheme::kGhba);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const std::string path = "/txn/excl";
+  FileMetadata md;
+  md.inode = 7;
+  ASSERT_TRUE(cluster.CreateExclusive(path, md).ok());
+  const auto r = cluster.Lookup(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->found);
+  EXPECT_EQ(r->home, HashHome(cluster, path));
+
+  EXPECT_EQ(cluster.CreateExclusive(path, md).code(),
+            StatusCode::kAlreadyExists);
+  // Plain Insert sees it too, and the file is a plain file afterwards.
+  EXPECT_TRUE(cluster.Unlink(path).ok());
+  EXPECT_TRUE(cluster.CreateExclusive(path, md).ok());
+}
+
+// --- client-death (halt) cases: the driver stops mid-choreography, the
+// servers stay up, and ResolveInDoubt must finish what the decision (or
+// presumed abort) dictates. ---------------------------------------------
+
+TEST(TxnTest, HaltedPrepareLeavesIntentLockUntilResolutionAborts) {
+  FaultInjector injector;
+  PrototypeCluster cluster(TxnConfig(), ProtoScheme::kGhba);
+  cluster.set_fault_injector(&injector);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const std::string src = "/txn/haltsrc";
+  ASSERT_TRUE(cluster.Insert(src, FileMetadata{}).ok());
+  const auto src_r = cluster.Lookup(src);
+  ASSERT_TRUE(src_r.ok());
+  const MdsId src_home = src_r->home;
+  const std::string dst = PickDst(cluster, src_home, /*cross=*/true);
+
+  injector.ArmCrashPoint("txnhalt.prepare.0");
+  const Status halted = cluster.Rename(src, dst);
+  ASSERT_FALSE(halted.ok());
+  EXPECT_EQ(halted.code(), StatusCode::kUnavailable);
+
+  // The in-doubt prepare fences plain mutations on src...
+  const Status fenced = cluster.Unlink(src);
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.code(), StatusCode::kUnavailable);
+  EXPECT_NE(fenced.ToString().find("intent-locked"), std::string::npos);
+
+  // ...until resolution force-aborts it (the coordinator never decided,
+  // so kPending resolves to abort), after which src is a plain file again.
+  const auto left = cluster.ResolveInDoubt(src_home);
+  ASSERT_TRUE(left.ok()) << left.status().ToString();
+  EXPECT_EQ(*left, 0u);
+  ExpectRenameEndpoint(cluster, src, dst, /*acked=*/false);
+  EXPECT_TRUE(cluster.Unlink(src).ok());
+}
+
+TEST(TxnTest, HaltAfterDecideIsAckedAndResolutionRollsForward) {
+  FaultInjector injector;
+  PrototypeCluster cluster(TxnConfig(), ProtoScheme::kGhba);
+  cluster.set_fault_injector(&injector);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const std::string src = "/txn/fwdsrc";
+  ASSERT_TRUE(cluster.Insert(src, FileMetadata{}).ok());
+  const auto src_r = cluster.Lookup(src);
+  ASSERT_TRUE(src_r.ok());
+  const MdsId src_home = src_r->home;
+  const std::string dst = PickDst(cluster, src_home, /*cross=*/true);
+  const MdsId dst_home = HashHome(cluster, dst);
+
+  // The commit decision is durable, then the client dies before sending a
+  // single commit. Ok was already owed to the caller — "no acked rename
+  // lost" must hold purely through resolution.
+  injector.ArmCrashPoint("txnhalt.decide.0");
+  ASSERT_TRUE(cluster.Rename(src, dst).ok());
+
+  for (const MdsId id : {dst_home, src_home}) {
+    const auto left = cluster.ResolveInDoubt(id);
+    ASSERT_TRUE(left.ok()) << left.status().ToString();
+    EXPECT_EQ(*left, 0u) << "server " << id;
+  }
+  ExpectRenameEndpoint(cluster, src, dst, /*acked=*/true);
+}
+
+// --- server-crash matrix: kill the targeted MDS at every message boundary
+// of the choreography, restart it (fail-over + durable recovery + rejoin +
+// automatic in-doubt resolution), and audit the endpoint invariant. ------
+
+struct CrashCase {
+  const char* tag;     ///< FaultInjector crash point armed before the drive
+  bool victim_is_dst;  ///< which home dies (false: src_home == coordinator)
+  bool acked;          ///< Rename must return Ok iff the decision preceded
+  const char* name;
+};
+
+class TxnCrashTest : public ::testing::TestWithParam<CrashCase> {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = info->name();
+    std::replace(name.begin(), name.end(), '/', '_');
+    dir_ = std::filesystem::temp_directory_path() / ("ghba_txncrash_" + name);
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_P(TxnCrashTest, CrashAtPhaseBoundaryRecoversToExactlyOneEndpoint) {
+  const CrashCase& c = GetParam();
+  ClusterConfig config = TxnConfig();
+  config.storage.data_dir = dir_.string();
+  config.storage.fsync = FsyncPolicy::kAlways;
+
+  FaultInjector injector;
+  PrototypeCluster cluster(config, ProtoScheme::kGhba);
+  cluster.set_fault_injector(&injector);
+  ASSERT_TRUE(cluster.Start().ok());
+  const auto home_of = BuildNamespace(cluster, 24);
+
+  const std::string src = "/txn/crashsrc";
+  FileMetadata md;
+  md.inode = 4242;
+  ASSERT_TRUE(cluster.Insert(src, md).ok());
+  const auto src_r = cluster.Lookup(src);
+  ASSERT_TRUE(src_r.ok());
+  const MdsId src_home = src_r->home;
+  const std::string dst = PickDst(cluster, src_home, /*cross=*/true);
+  const MdsId dst_home = HashHome(cluster, dst);
+  const MdsId victim = c.victim_is_dst ? dst_home : src_home;
+
+  injector.ArmCrashPoint(c.tag);
+  const Status drove = cluster.Rename(src, dst);
+  EXPECT_EQ(drove.ok(), c.acked) << drove.ToString();
+
+  // Kill -9 semantics: the armed point was consumed (the victim actually
+  // died mid-protocol). Whether the topology already failed it over is
+  // timing-dependent and deliberately not asserted.
+  EXPECT_FALSE(injector.HasArmedCrashPoints())
+      << "the armed crash point never fired";
+
+  // Restart = fail-over + durable recovery + rejoin + in-doubt resolution.
+  // Whatever the crash left in doubt must be resolved by the time the
+  // restart returns — the caller never babysits recovery.
+  const auto info = cluster.RestartServer(victim);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_TRUE(info->durable);
+  EXPECT_EQ(info->txn_in_doubt, 0u) << "unresolved in-doubt prepares";
+
+  // An acked rename resolved to dst with the original inode; an unacked
+  // one left src untouched. Never both names, never neither.
+  ExpectRenameEndpoint(cluster, src, dst, c.acked);
+  ExpectAllLookupsCorrect(cluster, home_of);
+
+  // The surviving name is a plain file: rename it once more, cleanly.
+  const std::string survivor = c.acked ? dst : src;
+  ASSERT_TRUE(cluster.Rename(survivor, "/txn/after").ok());
+  const auto after = cluster.Lookup("/txn/after");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->found);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBoundaries, TxnCrashTest,
+    ::testing::Values(
+        // Coordinator dies right after journaling Begin: nothing prepared
+        // anywhere, the drive fails, src survives.
+        CrashCase{"txn.begin.0", false, false, "CoordAfterBegin"},
+        // src_home dies after journaling its prepare-remove: the decision
+        // can never be journaled, restart resolution force-aborts.
+        CrashCase{"txn.prepare.0", false, false, "SrcAfterPrepare"},
+        // dst_home dies after journaling its prepare-insert: the decision
+        // still commits at the live coordinator — acked, rolled forward
+        // into the dead server's recovery.
+        CrashCase{"txn.prepare.1", true, true, "DstAfterPrepare"},
+        // Coordinator dies with the commit decision durable but no commit
+        // sent to itself: acked, self-resolution applies the remove.
+        CrashCase{"txn.decide.0", false, true, "CoordAfterDecide"},
+        // dst_home dies after applying its commit: acked, recovery replays
+        // the journaled commit, nothing left in doubt.
+        CrashCase{"txn.commit.0", true, true, "DstAfterCommit"},
+        // src_home dies after the final commit: the txn was fully closed.
+        CrashCase{"txn.commit.1", false, true, "SrcAfterCommit"}),
+    [](const ::testing::TestParamInfo<CrashCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ghba

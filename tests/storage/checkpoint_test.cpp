@@ -87,11 +87,14 @@ TEST(CheckpointCodecTest, ClusterViewRoundTrips) {
 
 TEST(CheckpointCodecTest, VersionOneFileDecodesWithEmptyView) {
   // A checkpoint written before the cluster view existed: same body minus
-  // the trailing [epoch u64][member count varint], header version 1. Build
+  // the trailing v2 view ([epoch u64][member count varint]) and v3 txn
+  // sections ([pending varint][decision varint]), header version 1. Build
   // it by hand so the current decoder is exercised against real old bytes.
   const auto v2 = EncodeCheckpoint(SampleState(9));
   const std::size_t view_bytes = sizeof(std::uint64_t) + 1;  // epoch + varint 0
-  const std::size_t v1_body_len = v2.size() - kCheckpointHeaderBytes - view_bytes;
+  const std::size_t txn_bytes = 2;  // two empty varint counts
+  const std::size_t v1_body_len =
+      v2.size() - kCheckpointHeaderBytes - view_bytes - txn_bytes;
   ByteWriter w;
   w.PutU8(kCheckpointMagic0);
   w.PutU8(kCheckpointMagic1);
@@ -110,12 +113,64 @@ TEST(CheckpointCodecTest, VersionOneFileDecodesWithEmptyView) {
   EXPECT_TRUE(decoded->members.empty());
 }
 
+TEST(CheckpointCodecTest, TxnStateRoundTrips) {
+  auto state = SampleState(7);
+  TxnPendingOp pending;
+  pending.txn_id = 77;
+  pending.subop = TxnSubOp::kInsert;
+  pending.path = "/txn/dst";
+  pending.metadata = Md(9);
+  pending.coordinator = 2;
+  pending.participants = {2, 5};
+  state.txn_pending.push_back(pending);
+  TxnPendingOp remove;
+  remove.txn_id = 78;
+  remove.subop = TxnSubOp::kRemove;  // no metadata on the wire
+  remove.path = "/txn/src";
+  remove.coordinator = 4;
+  remove.participants = {4};
+  state.txn_pending.push_back(remove);
+  state.txn_decisions.push_back({76, TxnCoordState::kCommitted});
+  state.txn_decisions.push_back({77, TxnCoordState::kBegun});
+  const auto decoded = DecodeCheckpoint(EncodeCheckpoint(state));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->txn_pending, state.txn_pending);
+  EXPECT_EQ(decoded->txn_decisions, state.txn_decisions);
+}
+
+TEST(CheckpointCodecTest, VersionTwoFileDecodesWithEmptyTxnState) {
+  // A checkpoint written before the txn sections existed: same body minus
+  // the two trailing varint counts, header version 2.
+  auto state = SampleState(11);
+  state.epoch = 4;
+  state.members = {0, 1};
+  const auto v3 = EncodeCheckpoint(state);
+  const std::size_t v2_body_len = v3.size() - kCheckpointHeaderBytes - 2;
+  ByteWriter w;
+  w.PutU8(kCheckpointMagic0);
+  w.PutU8(kCheckpointMagic1);
+  w.PutU16(2);  // pre-txn version
+  w.PutU64(11);  // wal_seq
+  w.PutU32(static_cast<std::uint32_t>(v2_body_len));
+  w.PutU32(Crc32(v3.data() + kCheckpointHeaderBytes, v2_body_len));
+  for (std::size_t i = 0; i < v2_body_len; ++i) {
+    w.PutU8(v3[kCheckpointHeaderBytes + i]);
+  }
+  const auto decoded = DecodeCheckpoint(w.data());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch, 4u);
+  EXPECT_EQ(decoded->members, (std::vector<MdsId>{0, 1}));
+  EXPECT_TRUE(decoded->txn_pending.empty());
+  EXPECT_TRUE(decoded->txn_decisions.empty());
+}
+
 TEST(CheckpointCodecTest, RejectsAbsurdMemberCount) {
   auto state = SampleState(3);
   state.epoch = 1;
   auto bytes = EncodeCheckpoint(state);
-  // The member-count varint is the last body byte (zero members); claim a
-  // count far past the remaining bytes and fix up the CRC.
+  // The last body byte is now the v3 txn-decision count varint; claim a
+  // count far past the remaining bytes and fix up the CRC. (The member
+  // count has the same remaining-bytes guard.)
   bytes.back() = 0x7f;
   const std::size_t body_len = bytes.size() - kCheckpointHeaderBytes;
   const std::uint32_t crc =
